@@ -1,0 +1,184 @@
+//! aVal: the automated acceptance test (paper §III.H).
+//!
+//! "a multi-step process of configuring a reference problem, running a
+//! simulation, and comparing results against a reference solution. This
+//! test uses a simple least-squares (L2 norm) fit of the waveforms from
+//! the new simulation and the 'correct' result in the reference solution."
+
+use awp_signal::series::l2_misfit;
+use awp_solver::stations::Seismogram;
+use serde::{Deserialize, Serialize};
+
+/// Acceptance test configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AcceptanceTest {
+    /// Maximum relative L2 misfit per component.
+    pub tolerance: f64,
+}
+
+impl Default for AcceptanceTest {
+    fn default() -> Self {
+        // Loose enough to compare solvers of different orders on coarse
+        // grids, tight enough to catch real regressions.
+        Self { tolerance: 0.35 }
+    }
+}
+
+/// Per-station comparison outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StationMisfit {
+    pub station: String,
+    pub misfit_vx: f64,
+    pub misfit_vy: f64,
+    pub misfit_vz: f64,
+}
+
+impl StationMisfit {
+    pub fn worst(&self) -> f64 {
+        self.misfit_vx.max(self.misfit_vy).max(self.misfit_vz)
+    }
+}
+
+/// The full acceptance report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AcceptanceReport {
+    pub tolerance: f64,
+    pub stations: Vec<StationMisfit>,
+    pub passed: bool,
+}
+
+impl AcceptanceTest {
+    /// Compare trial seismograms against references (matched by station
+    /// name; both sets must cover the same stations and lengths).
+    pub fn compare(&self, trial: &[Seismogram], reference: &[Seismogram]) -> AcceptanceReport {
+        let mut stations = Vec::new();
+        for r in reference {
+            let t = trial
+                .iter()
+                .find(|s| s.station.name == r.station.name)
+                .unwrap_or_else(|| panic!("trial is missing station {}", r.station.name));
+            let n = t.vx.len().min(r.vx.len());
+            stations.push(StationMisfit {
+                station: r.station.name.clone(),
+                misfit_vx: l2_misfit(&t.vx[..n], &r.vx[..n]),
+                misfit_vy: l2_misfit(&t.vy[..n], &r.vy[..n]),
+                misfit_vz: l2_misfit(&t.vz[..n], &r.vz[..n]),
+            });
+        }
+        let passed = stations.iter().all(|s| s.worst() <= self.tolerance);
+        AcceptanceReport { tolerance: self.tolerance, stations, passed }
+    }
+}
+
+/// The standard acceptance run (paper §III.H: "a multi-step process of
+/// configuring a reference problem, running a simulation, and comparing
+/// results against a reference solution"): a fixed, well-resolved
+/// double-couple point source in a homogeneous halfspace, solved by the
+/// production AWM and by the independent 2nd-order reference solver, then
+/// compared with the L2 criterion. Run this after any solver change.
+pub fn standard_acceptance() -> AcceptanceReport {
+    use awp_cvm::mesh::MeshGenerator;
+    use awp_cvm::model::HomogeneousModel;
+    use awp_grid::dims::{Dims3, Idx3};
+    use awp_solver::config::{AbcKind, SolverConfig};
+    use awp_solver::reference::ReferenceSolver;
+    use awp_solver::solver::Solver;
+    use awp_solver::stations::Station;
+    use awp_source::kinematic::KinematicSource;
+    use awp_source::moment::MomentTensor;
+    use awp_source::stf::Stf;
+
+    let d = Dims3::new(36, 36, 24);
+    let h = 100.0;
+    let dt = 0.006;
+    let mesh =
+        MeshGenerator::new(&HomogeneousModel::new(6000.0, 3464.0, 2700.0), d, h).generate();
+    let src = KinematicSource::point(
+        Idx3::new(13, 18, 10),
+        MomentTensor::strike_slip(0.3),
+        1.0e15,
+        Stf::Cosine { rise_time: 0.5 },
+        dt,
+    );
+    let stations = vec![
+        Station::new("ref-near", Idx3::new(20, 18, 0)),
+        Station::new("ref-far", Idx3::new(25, 24, 0)),
+    ];
+    let steps = 150;
+    let cfg = SolverConfig {
+        abc: AbcKind::Sponge { width: 7, amp: 0.95 },
+        free_surface: true,
+        ..SolverConfig::small(d, h, dt, steps)
+    };
+    let trial = Solver::run_serial(cfg, &mesh, &src, &stations);
+    let mut rs = ReferenceSolver::new(&mesh, dt, 7, 0.95);
+    let reference = rs.run_steps(steps, &src, &stations);
+    AcceptanceTest::default().compare(&trial.seismograms, &reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awp_grid::dims::Idx3;
+    use awp_solver::stations::Station;
+
+    fn seis(name: &str, vx: Vec<f64>) -> Seismogram {
+        Seismogram {
+            station: Station::new(name, Idx3::new(0, 0, 0)),
+            dt: 0.1,
+            vy: vec![0.0; vx.len()],
+            vz: vec![0.0; vx.len()],
+            vx,
+        }
+    }
+
+    #[test]
+    fn identical_waveforms_pass() {
+        let a = vec![seis("s1", vec![1.0, 2.0, -1.0])];
+        let rep = AcceptanceTest::default().compare(&a, &a);
+        assert!(rep.passed);
+        assert_eq!(rep.stations[0].misfit_vx, 0.0);
+    }
+
+    #[test]
+    fn large_discrepancy_fails() {
+        let t = vec![seis("s1", vec![1.0, 2.0, -1.0])];
+        let r = vec![seis("s1", vec![-1.0, -2.0, 1.0])];
+        let rep = AcceptanceTest::default().compare(&t, &r);
+        assert!(!rep.passed);
+        assert!(rep.stations[0].misfit_vx > 1.0);
+    }
+
+    #[test]
+    fn small_perturbation_passes() {
+        let base: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        let pert: Vec<f64> = base.iter().map(|v| v * 1.05).collect();
+        let rep = AcceptanceTest::default().compare(&[seis("s", pert)], &[seis("s", base)]);
+        assert!(rep.passed);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing station")]
+    fn missing_station_detected() {
+        let t = vec![seis("a", vec![0.0])];
+        let r = vec![seis("b", vec![0.0])];
+        AcceptanceTest::default().compare(&t, &r);
+    }
+
+    #[test]
+    fn standard_acceptance_passes() {
+        let report = standard_acceptance();
+        assert!(
+            report.passed,
+            "acceptance regression: {:?}",
+            report.stations.iter().map(|s| (s.station.clone(), s.worst())).collect::<Vec<_>>()
+        );
+        assert_eq!(report.stations.len(), 2);
+    }
+
+    #[test]
+    fn worst_picks_max() {
+        let m = StationMisfit { station: "x".into(), misfit_vx: 0.1, misfit_vy: 0.5, misfit_vz: 0.2 };
+        assert_eq!(m.worst(), 0.5);
+    }
+}

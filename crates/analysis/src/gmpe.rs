@@ -1,0 +1,242 @@
+//! NGA ground-motion prediction equations for PGV (paper Fig. 23).
+//!
+//! Implements the functional forms of Boore & Atkinson (2008) and
+//! Campbell & Bozorgnia (2008) for peak ground velocity. The paper
+//! compares M8's rock-site geometric-mean PGV against these curves and
+//! their ±1σ (16 %/84 % probability-of-exceedance) bands.
+//!
+//! Coefficient provenance: transcribed from the published Earthquake
+//! Spectra papers from memory; the distance-decay and magnitude-scaling
+//! *shape* is faithful, absolute medians are approximate (see DESIGN.md).
+//! Both return the geometric-mean horizontal PGV.
+
+use serde::{Deserialize, Serialize};
+
+/// Median ± log-normal sigma estimate.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GmpeEstimate {
+    /// Median PGV (cm/s).
+    pub median: f64,
+    /// Standard deviation of ln(PGV).
+    pub sigma_ln: f64,
+}
+
+impl GmpeEstimate {
+    /// The 84th-percentile (median × e^σ) value.
+    pub fn p84(&self) -> f64 {
+        self.median * self.sigma_ln.exp()
+    }
+
+    /// The 16th-percentile value.
+    pub fn p16(&self) -> f64 {
+        self.median * (-self.sigma_ln).exp()
+    }
+
+    /// Probability of exceedance of an observed value under the log-normal
+    /// model.
+    pub fn poe(&self, observed: f64) -> f64 {
+        if observed <= 0.0 {
+            return 1.0;
+        }
+        let z = (observed.ln() - self.median.ln()) / self.sigma_ln;
+        0.5 * erfc(z / std::f64::consts::SQRT_2)
+    }
+}
+
+/// Complementary error function (Abramowitz–Stegun 7.1.26 rational
+/// approximation, |err| < 1.5e-7).
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Boore & Atkinson (2008) PGV for a strike-slip event.
+///
+/// ```
+/// use awp_analysis::gmpe::ba08_pgv;
+/// let near = ba08_pgv(8.0, 5.0, 1000.0);
+/// let far = ba08_pgv(8.0, 100.0, 1000.0);
+/// assert!(near.median > far.median, "PGV decays with distance");
+/// assert!(near.p16() < near.median && near.median < near.p84());
+/// ```
+///
+/// `m` moment magnitude, `rjb` Joyner–Boore distance (km), `vs30` (m/s).
+pub fn ba08_pgv(m: f64, rjb: f64, vs30: f64) -> GmpeEstimate {
+    // PGV coefficients (BA08 Tables 3–8, strike-slip).
+    const C1: f64 = -0.87370;
+    const C2: f64 = 0.10060;
+    const C3: f64 = -0.00334;
+    const H: f64 = 2.54;
+    const MREF: f64 = 4.5;
+    const RREF: f64 = 1.0;
+    const E1_SS: f64 = 5.04727; // e2 (strike-slip) term
+    const E5: f64 = 0.18322;
+    const E6: f64 = -0.12736;
+    const MH: f64 = 8.5;
+    const BLIN: f64 = -0.600;
+    const VREF: f64 = 760.0;
+    const SIGMA: f64 = 0.560;
+
+    let r = (rjb * rjb + H * H).sqrt();
+    let fd = (C1 + C2 * (m - MREF)) * (r / RREF).ln() + C3 * (r - RREF);
+    let fm = if m <= MH {
+        E1_SS + E5 * (m - MH) + E6 * (m - MH) * (m - MH)
+    } else {
+        E1_SS
+    };
+    // Linear site term only (rock sites in Fig. 23 have Vs30 ≥ 760 where
+    // the nonlinear term is negligible).
+    let fs = BLIN * (vs30 / VREF).ln();
+    GmpeEstimate { median: (fm + fd + fs).exp(), sigma_ln: SIGMA }
+}
+
+/// Campbell & Bozorgnia (2008) PGV for a vertical strike-slip event.
+///
+/// `m` magnitude, `rrup` rupture distance (km), `vs30` (m/s), `z25` depth
+/// (km) to the 2.5 km/s shear-wave isosurface.
+pub fn cb08_pgv(m: f64, rrup: f64, vs30: f64, z25: f64) -> GmpeEstimate {
+    const C0: f64 = 0.954;
+    const C1: f64 = 0.696;
+    const C2: f64 = -0.309;
+    const C3: f64 = -0.019;
+    const C4: f64 = -2.016;
+    const C5: f64 = 0.170;
+    const C6: f64 = 4.00;
+    const C10: f64 = 1.694;
+    const C11: f64 = 0.092;
+    const C12: f64 = 1.000;
+    const K1: f64 = 400.0;
+    const K2: f64 = -1.955;
+    const K3: f64 = 1.929;
+    const N: f64 = 1.18;
+    const SIGMA: f64 = 0.525;
+
+    let fmag = if m <= 5.5 {
+        C0 + C1 * m
+    } else if m <= 6.5 {
+        C0 + C1 * m + C2 * (m - 5.5)
+    } else {
+        C0 + C1 * m + C2 * (m - 5.5) + C3 * (m - 6.5)
+    };
+    let fdis = (C4 + C5 * m) * (rrup * rrup + C6 * C6).sqrt().ln();
+    // Strike-slip: no fault-style or hanging-wall terms.
+    let fsite = if vs30 < K1 {
+        // Nonlinear branch evaluated at low reference rock PGA ≈ 0.1g
+        // (Fig. 23 sites are rock, so this branch is rarely taken).
+        let a1100 = 0.1;
+        C10 * (vs30 / K1).ln()
+            + K2 * ((a1100 + 1.88 * (vs30 / K1).powf(N)).ln() - (a1100 + 1.88).ln())
+    } else {
+        (C10 + K2 * N) * (vs30.min(1100.0) / K1).ln()
+    };
+    let fsed = if z25 < 1.0 {
+        C11 * (z25 - 1.0)
+    } else if z25 <= 3.0 {
+        0.0
+    } else {
+        C12 * K3 * (-0.75f64).exp() * (1.0 - (-0.25 * (z25 - 3.0)).exp())
+    };
+    GmpeEstimate { median: (fmag + fdis + fsite + fsed).exp(), sigma_ln: SIGMA }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.1572992).abs() < 1e-5);
+        assert!((erfc(-1.0) - 1.8427008).abs() < 1e-5);
+        assert!(erfc(4.0) < 1e-7);
+    }
+
+    #[test]
+    fn ba08_decays_with_distance() {
+        let mut prev = f64::INFINITY;
+        for r in [1.0, 5.0, 20.0, 50.0, 100.0, 200.0] {
+            let e = ba08_pgv(8.0, r, 1000.0);
+            assert!(e.median < prev, "PGV must decay with distance");
+            assert!(e.median > 0.0);
+            prev = e.median;
+        }
+    }
+
+    #[test]
+    fn ba08_grows_with_magnitude() {
+        let m7 = ba08_pgv(7.0, 20.0, 760.0).median;
+        let m8 = ba08_pgv(8.0, 20.0, 760.0).median;
+        assert!(m8 > m7);
+    }
+
+    #[test]
+    fn ba08_magnitude8_nearfault_plausible() {
+        // Fig. 23: near-fault (≈1–3 km) median PGV for Mw 8 rock sites sits
+        // in the tens of cm/s to ~1 m/s range.
+        let e = ba08_pgv(8.0, 2.0, 1000.0);
+        assert!(e.median > 20.0 && e.median < 300.0, "median {} cm/s", e.median);
+        // And at 200 km it has fallen by more than an order of magnitude.
+        let far = ba08_pgv(8.0, 200.0, 1000.0);
+        assert!(far.median < e.median / 10.0);
+    }
+
+    #[test]
+    fn cb08_decays_with_distance_and_tracks_ba08_shape() {
+        let mut prev = f64::INFINITY;
+        for r in [2.0, 10.0, 50.0, 150.0] {
+            let e = cb08_pgv(8.0, r, 1000.0, 0.4);
+            assert!(e.median < prev);
+            prev = e.median;
+        }
+        // The two relations agree within a factor of ~4 over the plotted
+        // range (the paper shows them as close curves).
+        for r in [5.0, 20.0, 80.0] {
+            let a = ba08_pgv(8.0, r, 1000.0).median;
+            let c = cb08_pgv(8.0, r, 1000.0, 0.4).median;
+            let ratio = (a / c).max(c / a);
+            assert!(ratio < 4.0, "r={r}: BA {a:.1} vs CB {c:.1}");
+        }
+    }
+
+    #[test]
+    fn cb08_basin_amplifies() {
+        let rock = cb08_pgv(8.0, 30.0, 760.0, 0.5).median;
+        let deep_basin = cb08_pgv(8.0, 30.0, 760.0, 6.0).median;
+        assert!(deep_basin > rock, "deep sediment must amplify: {deep_basin} vs {rock}");
+    }
+
+    #[test]
+    fn softer_sites_amplify_ba08() {
+        let hard = ba08_pgv(7.0, 30.0, 1100.0).median;
+        let soft = ba08_pgv(7.0, 30.0, 300.0).median;
+        assert!(soft > hard);
+    }
+
+    #[test]
+    fn percentile_band_brackets_median() {
+        let e = ba08_pgv(8.0, 50.0, 1000.0);
+        assert!(e.p16() < e.median && e.median < e.p84());
+        assert!((e.poe(e.median) - 0.5).abs() < 1e-6);
+        assert!(e.poe(e.p84()) < 0.2);
+        assert!(e.poe(e.p16()) > 0.8);
+        // Extreme observation → very low POE, like the paper's SBB example
+        // ("well below 0.1% POE").
+        assert!(e.poe(e.median * 8.0) < 0.001);
+    }
+}

@@ -1,0 +1,25 @@
+//! Validation toolkit (aVal) and derived data-product analysis (dPDA) for
+//! the AWP-ODC reproduction (paper §III.H and §VII.C).
+//!
+//! * [`aval`] — the acceptance test: L2-norm waveform comparison against a
+//!   reference solution;
+//! * [`pgv`] — peak-ground-velocity maps assembled from per-rank
+//!   fragments, directivity ratios, and ASCII rendering;
+//! * [`gmpe`] — the NGA attenuation relations used in the paper's Fig. 23
+//!   (Boore & Atkinson 2008; Campbell & Bozorgnia 2008, PGV);
+//! * [`distance`] — fault-distance measures and rock-site selection;
+//! * [`rupturevel`] — rupture-velocity fields and super-shear detection
+//!   (Fig. 19c, Fig. 22);
+//! * [`record`] — JSON experiment records written by the bench harness.
+
+pub mod aval;
+pub mod distance;
+pub mod gmpe;
+pub mod pgv;
+pub mod record;
+pub mod rupturevel;
+
+pub use aval::{AcceptanceReport, AcceptanceTest};
+pub use gmpe::{ba08_pgv, cb08_pgv, GmpeEstimate};
+pub use pgv::PgvMap;
+pub use record::ExperimentRecord;

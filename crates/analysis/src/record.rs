@@ -1,0 +1,87 @@
+//! Machine-readable experiment records.
+//!
+//! Every bench binary appends a JSON record under `results/` so
+//! EXPERIMENTS.md entries can point at reproducible artefacts.
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One experiment outcome: the table/figure id, a description, and the
+/// measured series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// e.g. "fig14", "table2", "s5b".
+    pub id: String,
+    pub description: String,
+    /// Arbitrary structured payload (series, rows, parameters).
+    pub data: Value,
+}
+
+impl ExperimentRecord {
+    pub fn new(id: impl Into<String>, description: impl Into<String>, data: Value) -> Self {
+        Self { id: id.into(), description: description.into(), data }
+    }
+
+    /// Write to `<dir>/<id>.json` (pretty-printed). Creates the directory.
+    pub fn write(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        let json = serde_json::to_string_pretty(self).expect("record serialises");
+        f.write_all(json.as_bytes())?;
+        f.write_all(b"\n")?;
+        Ok(path)
+    }
+
+    /// Read a record back.
+    pub fn read(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// The workspace-relative results directory used by the bench harness.
+pub fn default_results_dir() -> PathBuf {
+    // Walk up from the current dir until a Cargo workspace root is found.
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir.join("results");
+        }
+        if !dir.pop() {
+            return PathBuf::from("results");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn write_read_round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let rec = ExperimentRecord::new(
+            "fig99",
+            "test record",
+            json!({"series": [1.0, 2.0], "param": "x"}),
+        );
+        let path = rec.write(dir.path()).unwrap();
+        assert!(path.ends_with("fig99.json"));
+        let back = ExperimentRecord::read(&path).unwrap();
+        assert_eq!(back.id, "fig99");
+        assert_eq!(back.data["series"][1], json!(2.0));
+    }
+
+    #[test]
+    fn invalid_json_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("junk.json");
+        std::fs::write(&path, "not json").unwrap();
+        assert!(ExperimentRecord::read(&path).is_err());
+    }
+}

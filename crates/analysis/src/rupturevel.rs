@@ -1,0 +1,201 @@
+//! Rupture-velocity fields and super-shear detection (paper Fig. 19c,
+//! Fig. 22).
+//!
+//! Given the rupture-time field t(i, k) on the fault plane, the local
+//! rupture speed is `v_r = h / |∇t|`. The paper normalises by the local
+//! shear-wave speed: "yellow areas are dominated by sub-Rayleigh rupture
+//! velocities, while red and blue patches indicate areas where the rupture
+//! propagates at super-shear speed."
+
+use serde::{Deserialize, Serialize};
+
+/// Rupture-time field on a fault plane (along-strike × down-dip,
+/// x-fastest). Cells that never ruptured hold `f64::INFINITY`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuptureTimeField {
+    pub nx: usize,
+    pub nz: usize,
+    pub h: f64,
+    pub t: Vec<f64>,
+}
+
+impl RuptureTimeField {
+    pub fn new(nx: usize, nz: usize, h: f64, t: Vec<f64>) -> Self {
+        assert_eq!(t.len(), nx * nz);
+        Self { nx, nz, h, t }
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, k: usize) -> f64 {
+        self.t[i + self.nx * k]
+    }
+
+    /// Local rupture speed (m/s) by central differences of rupture time;
+    /// `None` for unruptured or edge-degenerate cells.
+    pub fn speed(&self, i: usize, k: usize) -> Option<f64> {
+        if !self.at(i, k).is_finite() {
+            return None;
+        }
+        let dx = if i == 0 || i + 1 >= self.nx {
+            return None;
+        } else {
+            (self.at(i + 1, k) - self.at(i - 1, k)) / (2.0 * self.h)
+        };
+        let dz = if k == 0 || k + 1 >= self.nz {
+            0.0
+        } else {
+            (self.at(i, k + 1) - self.at(i, k - 1)) / (2.0 * self.h)
+        };
+        if !dx.is_finite() || !dz.is_finite() {
+            return None;
+        }
+        let grad = (dx * dx + dz * dz).sqrt();
+        if grad <= 1e-12 {
+            None
+        } else {
+            Some(1.0 / grad)
+        }
+    }
+
+    /// Rupture speed normalised by the local shear speed `vs(i, k)`
+    /// (the Fig. 19c colouring).
+    pub fn normalized_speed(&self, i: usize, k: usize, vs: f64) -> Option<f64> {
+        self.speed(i, k).map(|v| v / vs)
+    }
+
+    /// Fraction of ruptured cells propagating super-shear (`v_r > vs`).
+    pub fn supershear_fraction(&self, vs: impl Fn(usize, usize) -> f64) -> f64 {
+        let mut ss = 0usize;
+        let mut total = 0usize;
+        for k in 0..self.nz {
+            for i in 0..self.nx {
+                if let Some(v) = self.speed(i, k) {
+                    total += 1;
+                    if v > vs(i, k) {
+                        ss += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            ss as f64 / total as f64
+        }
+    }
+
+    /// Along-strike intervals (cell ranges) whose depth-averaged rupture
+    /// speed exceeds the local shear speed — the paper's "large ~100 km
+    /// patch of super-shear rupture velocity".
+    pub fn supershear_patches(&self, vs: impl Fn(usize, usize) -> f64) -> Vec<(usize, usize)> {
+        let mut flags: Vec<bool> = Vec::with_capacity(self.nx);
+        for i in 0..self.nx {
+            let mut ss = 0usize;
+            let mut n = 0usize;
+            for k in 0..self.nz {
+                if let Some(v) = self.speed(i, k) {
+                    n += 1;
+                    if v > vs(i, k) {
+                        ss += 1;
+                    }
+                }
+            }
+            flags.push(n > 0 && ss * 2 > n);
+        }
+        let mut patches = Vec::new();
+        let mut start = None;
+        for (i, &f) in flags.iter().enumerate() {
+            match (f, start) {
+                (true, None) => start = Some(i),
+                (false, Some(s)) => {
+                    patches.push((s, i));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            patches.push((s, self.nx));
+        }
+        patches
+    }
+
+    /// Time of complete rupture (max finite time).
+    pub fn final_time(&self) -> f64 {
+        self.t.iter().copied().filter(|t| t.is_finite()).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A rupture expanding at constant speed v from (i0, k0).
+    fn circular(nx: usize, nz: usize, h: f64, v: f64, i0: usize, k0: usize) -> RuptureTimeField {
+        let t = (0..nx * nz)
+            .map(|p| {
+                let (i, k) = (p % nx, p / nx);
+                let dx = (i as f64 - i0 as f64) * h;
+                let dz = (k as f64 - k0 as f64) * h;
+                (dx * dx + dz * dz).sqrt() / v
+            })
+            .collect();
+        RuptureTimeField::new(nx, nz, h, t)
+    }
+
+    #[test]
+    fn constant_speed_recovered() {
+        let f = circular(40, 20, 100.0, 2800.0, 20, 10);
+        // Away from the hypocentre singularity the estimated speed is v.
+        let v = f.speed(35, 10).unwrap();
+        assert!((v - 2800.0).abs() / 2800.0 < 0.02, "v = {v}");
+        let v2 = f.speed(20, 17).unwrap();
+        assert!((v2 - 2800.0).abs() / 2800.0 < 0.05, "v = {v2}");
+    }
+
+    #[test]
+    fn supershear_classification() {
+        let f = circular(40, 20, 100.0, 4000.0, 20, 10);
+        // vs = 3464 → everything supershear.
+        let frac = f.supershear_fraction(|_, _| 3464.0);
+        assert!(frac > 0.9, "frac {frac}");
+        // vs = 5000 → only the hypocentre-neighbour cells (where central
+        // differences underestimate |∇t|) may misclassify.
+        assert!(f.supershear_fraction(|_, _| 5000.0) < 0.15);
+    }
+
+    #[test]
+    fn patches_detected_in_mixed_field() {
+        // Left half slow, right half fast.
+        let (nx, nz, h) = (40, 8, 100.0);
+        let mut t = vec![0.0; nx * nz];
+        let mut acc: f64 = 0.0;
+        let mut col_time = vec![0.0f64; nx];
+        for i in 1..nx {
+            let v = if i < 20 { 2500.0 } else { 5000.0 };
+            acc += h / v;
+            col_time[i] = acc;
+        }
+        for k in 0..nz {
+            for i in 0..nx {
+                t[i + nx * k] = col_time[i];
+            }
+        }
+        let f = RuptureTimeField::new(nx, nz, h, t);
+        let patches = f.supershear_patches(|_, _| 3464.0);
+        assert_eq!(patches.len(), 1, "{patches:?}");
+        let (s, e) = patches[0];
+        assert!(s >= 19 && s <= 22, "patch start {s}");
+        assert!(e >= nx - 1, "patch extends to the end: {e}");
+    }
+
+    #[test]
+    fn unruptured_cells_ignored() {
+        let mut f = circular(20, 10, 100.0, 3000.0, 10, 5);
+        for k in 0..10 {
+            f.t[19 + 20 * k] = f64::INFINITY;
+        }
+        assert!(f.speed(19, 5).is_none());
+        assert!(f.final_time().is_finite());
+    }
+}

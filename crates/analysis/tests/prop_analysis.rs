@@ -1,0 +1,106 @@
+//! Property-based tests for the analysis toolkit.
+
+use awp_analysis::distance::{bin_by_distance, distance_to_trace, SiteSample};
+use awp_analysis::gmpe::{ba08_pgv, cb08_pgv, erfc};
+use awp_analysis::pgv::PgvMap;
+use proptest::prelude::*;
+
+proptest! {
+    /// erfc is monotone decreasing and bounded in (0, 2).
+    #[test]
+    fn erfc_monotone_bounded(a in -4.0f64..4.0, d in 0.01f64..2.0) {
+        let lo = erfc(a + d);
+        let hi = erfc(a);
+        prop_assert!(lo < hi);
+        prop_assert!(lo > 0.0 && hi < 2.0);
+    }
+
+    /// BA08 median PGV decreases with distance and increases with
+    /// magnitude across the regression's range.
+    #[test]
+    fn ba08_monotonicity(m in 5.0f64..8.4, r in 1.0f64..190.0, vs30 in 300.0f64..1400.0) {
+        let base = ba08_pgv(m, r, vs30);
+        prop_assert!(base.median.is_finite() && base.median > 0.0);
+        let farther = ba08_pgv(m, r + 10.0, vs30);
+        prop_assert!(farther.median < base.median);
+        let bigger = ba08_pgv(m + 0.1, r, vs30);
+        prop_assert!(bigger.median > base.median);
+        prop_assert!(base.p16() < base.median && base.median < base.p84());
+    }
+
+    /// CB08 behaves the same way, and deep sediment never de-amplifies
+    /// relative to the 1–3 km neutral zone.
+    #[test]
+    fn cb08_monotonicity(m in 5.0f64..8.4, r in 1.0f64..190.0, z25 in 0.0f64..8.0) {
+        let a = cb08_pgv(m, r, 760.0, z25);
+        prop_assert!(a.median.is_finite() && a.median > 0.0);
+        let farther = cb08_pgv(m, r + 10.0, 760.0, z25);
+        prop_assert!(farther.median < a.median);
+        if z25 > 3.0 {
+            let neutral = cb08_pgv(m, r, 760.0, 2.0);
+            prop_assert!(a.median >= neutral.median);
+        }
+    }
+
+    /// POE is a proper survival function of the observed value.
+    #[test]
+    fn poe_monotone(m in 6.0f64..8.4, r in 2.0f64..150.0, f in 0.1f64..10.0) {
+        let est = ba08_pgv(m, r, 760.0);
+        let small = est.poe(est.median * f * 0.5);
+        let large = est.poe(est.median * f);
+        prop_assert!(large <= small + 1e-12);
+        // erfc is a ~1e-7-accurate rational approximation.
+        prop_assert!((est.poe(est.median) - 0.5).abs() < 1e-6);
+    }
+
+    /// Distance to a polyline is non-negative, zero on vertices, and obeys
+    /// the triangle-ish bound |d(p) − d(q)| ≤ |p − q|.
+    #[test]
+    fn trace_distance_lipschitz(px in -50.0f64..150.0, py in -50.0f64..150.0,
+                                qx in -50.0f64..150.0, qy in -50.0f64..150.0) {
+        let trace = [(0.0, 0.0), (50.0, 10.0), (100.0, 0.0)];
+        let dp = distance_to_trace(px, py, &trace);
+        let dq = distance_to_trace(qx, qy, &trace);
+        prop_assert!(dp >= 0.0 && dq >= 0.0);
+        let sep = (px - qx).hypot(py - qy);
+        prop_assert!((dp - dq).abs() <= sep + 1e-9);
+        prop_assert!(distance_to_trace(50.0, 10.0, &trace) < 1e-9);
+    }
+
+    /// Binning never loses in-range samples and bin medians lie within the
+    /// sample range.
+    #[test]
+    fn binning_conserves(samples in proptest::collection::vec(
+        (1.0f64..200.0, 0.1f64..500.0), 1..200)) {
+        let sites: Vec<SiteSample> =
+            samples.iter().map(|&(r_km, pgv_cms)| SiteSample { r_km, pgv_cms }).collect();
+        let bins = bin_by_distance(&sites, 1.0, 200.0, 8);
+        let binned: usize = bins.iter().map(|b| b.count).sum();
+        let in_range = sites.iter().filter(|s| s.r_km >= 1.0 && s.r_km <= 200.0).count();
+        prop_assert_eq!(binned, in_range);
+        let lo = sites.iter().map(|s| s.pgv_cms).fold(f64::INFINITY, f64::min);
+        let hi = sites.iter().map(|s| s.pgv_cms).fold(0.0, f64::max);
+        for b in bins.iter().filter(|b| b.count > 0) {
+            prop_assert!(b.median_cms >= lo - 1e-9 && b.median_cms <= hi + 1e-9);
+        }
+    }
+
+    /// PgvMap position lookups always land inside the grid.
+    #[test]
+    fn pgv_lookup_total(nx in 1usize..20, ny in 1usize..20,
+                        x in -1e6f64..1e6, y in -1e6f64..1e6) {
+        let m = PgvMap::zeros(nx, ny, 100.0);
+        prop_assert_eq!(m.at_position(x, y), 0.0);
+    }
+
+    /// ratio() then multiply recovers the original where defined.
+    #[test]
+    fn ratio_inverts(vals in proptest::collection::vec(0.01f64..100.0, 4..=4)) {
+        let a = PgvMap { nx: 2, ny: 2, h: 1.0, data: vals.clone() };
+        let b = PgvMap { nx: 2, ny: 2, h: 1.0, data: vec![2.0, 4.0, 8.0, 16.0] };
+        let r = a.ratio(&b);
+        for i in 0..4 {
+            prop_assert!((r.data[i] * b.data[i] - a.data[i]).abs() < 1e-9);
+        }
+    }
+}

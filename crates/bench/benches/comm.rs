@@ -1,0 +1,67 @@
+//! Criterion benches of the communication layer (paper §IV.A): engine
+//! latency and halo-exchange cost.
+
+use awp_grid::decomp::Decomp3;
+use awp_grid::dims::Dims3;
+use awp_grid::stagger::Component;
+use awp_solver::exchange::{exchange, full_plan, reduced_stress_plan, reduced_velocity_plan, Phase};
+use awp_solver::state::WaveState;
+use awp_vcluster::probe::{cascade, ping_pong};
+use awp_vcluster::{Cluster, CommMode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ping_pong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ping_pong_roundtrip");
+    group.sample_size(10);
+    for mode in [CommMode::Asynchronous, CommMode::Synchronous] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{mode:?}")), |b| {
+            b.iter(|| ping_pong(mode, 1, 50, 1024));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cascade(c: &mut Criterion) {
+    // The dependency chain whose accumulated latency the async model
+    // removes.
+    let mut group = c.benchmark_group("cascade_chain8");
+    group.sample_size(10);
+    for mode in [CommMode::Asynchronous, CommMode::Synchronous] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{mode:?}")), |b| {
+            b.iter(|| cascade(mode, 8, 20));
+        });
+    }
+    group.finish();
+}
+
+fn bench_halo_exchange(c: &mut Criterion) {
+    let global = Dims3::new(64, 64, 32);
+    let decomp = Decomp3::new(global, [2, 2, 1]);
+    let mut group = c.benchmark_group("halo_exchange_4ranks");
+    group.sample_size(10);
+    for (name, reduced) in [("full_plan", false), ("reduced_plan", true)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let cluster = Cluster::new(4, CommMode::Asynchronous);
+                cluster.run(|ctx| {
+                    let sub = decomp.subdomain(ctx.rank());
+                    let mut st = WaveState::new(sub.dims, false);
+                    let plan = if reduced {
+                        let mut p = reduced_velocity_plan();
+                        p.extend(reduced_stress_plan());
+                        p
+                    } else {
+                        full_plan(&Component::ALL)
+                    };
+                    for step in 0..5u64 {
+                        exchange(&mut st, &sub, ctx, &plan, Phase::Velocity, step);
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ping_pong, bench_cascade, bench_halo_exchange);
+criterion_main!(benches);

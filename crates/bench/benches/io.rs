@@ -1,0 +1,73 @@
+//! Criterion benches of the I/O substrate: MD5 throughput (§III.E), FFT,
+//! mesh plane/subvolume reads (§III.C), checkpoint write.
+
+use awp_cvm::mesh::MeshGenerator;
+use awp_cvm::model::LayeredModel;
+use awp_grid::dims::Dims3;
+use awp_pario::checkpoint::{write_checkpoint, CheckpointData};
+use awp_pario::Md5;
+use awp_signal::fft::{fft, Complex};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_md5(c: &mut Criterion) {
+    let data: Vec<f32> = (0..1_000_000).map(|i| i as f32).collect();
+    let mut group = c.benchmark_group("md5");
+    group.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    group.sample_size(10);
+    group.bench_function("digest_4MB_f32", |b| {
+        b.iter(|| {
+            let mut h = Md5::new();
+            h.update_f32(&data);
+            h.finalize_hex()
+        });
+    });
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let n = 4096;
+    let sig: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0)).collect();
+    c.bench_function("fft_4096", |b| {
+        b.iter(|| {
+            let mut d = sig.clone();
+            fft(&mut d);
+            d
+        });
+    });
+}
+
+fn bench_mesh_reads(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("mesh.bin");
+    let model = LayeredModel::gradient_crust(900.0);
+    let mesh = MeshGenerator::new(&model, Dims3::new(64, 64, 32), 200.0).generate();
+    awp_cvm::meshfile::write_mesh(&path, &mesh).unwrap();
+    let mut group = c.benchmark_group("mesh_io");
+    group.sample_size(10);
+    group.bench_function("read_xy_plane", |b| {
+        b.iter(|| awp_cvm::meshfile::read_plane(&path, 16).unwrap());
+    });
+    group.bench_function("read_subvolume_32cubed", |b| {
+        b.iter(|| awp_cvm::meshfile::read_subvolume(&path, 8, 8, 0, 32, 32, 32).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let data = CheckpointData {
+        step: 1000,
+        fields: (0..9).map(|i| (format!("f{i}"), vec![1.5f32; 200_000])).collect(),
+    };
+    let mut group = c.benchmark_group("checkpoint");
+    group.throughput(Throughput::Bytes(9 * 200_000 * 4));
+    group.sample_size(10);
+    group.bench_function("write_7MB", |b| {
+        let path = dir.path().join("ckpt.bin");
+        b.iter(|| write_checkpoint(&path, &data).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_md5, bench_fft, bench_mesh_reads, bench_checkpoint);
+criterion_main!(benches);

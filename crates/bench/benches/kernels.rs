@@ -1,0 +1,85 @@
+//! Criterion benches of the hot solver kernels (paper §IV.B): legacy vs
+//! optimized arithmetic, cache blocking on/off, attenuation cost.
+
+use awp_cvm::mesh::MeshGenerator;
+use awp_cvm::model::HomogeneousModel;
+use awp_grid::blocking::BlockSpec;
+use awp_grid::dims::{Dims3, Idx3};
+use awp_solver::attenuation::Attenuation;
+use awp_solver::kernels::{update_stress, update_velocity};
+use awp_solver::medium::Medium;
+use awp_solver::state::{MemoryVars, WaveState};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn setup(d: Dims3) -> (Medium, WaveState) {
+    let model = HomogeneousModel::rock();
+    let mesh = MeshGenerator::new(&model, d, 100.0).generate();
+    let mut med = Medium::from_mesh(&mesh);
+    med.precompute();
+    let mut st = WaveState::new(d, false);
+    // Seed with a disturbance so branches over zeros don't flatter us.
+    st.sxx.map_interior(|idx, _| ((idx.i + idx.j * 3 + idx.k * 7) % 13) as f32);
+    st.vx.map_interior(|idx, _| ((idx.i * 5 + idx.j + idx.k) % 11) as f32);
+    (med, st)
+}
+
+fn bench_velocity(c: &mut Criterion) {
+    let d = Dims3::new(64, 64, 64);
+    let (med, st) = setup(d);
+    let mut group = c.benchmark_group("velocity_update");
+    group.sample_size(20);
+    for (name, block, optimized) in [
+        ("legacy_divisions", BlockSpec::UNBLOCKED, false),
+        ("optimized_unblocked", BlockSpec::UNBLOCKED, true),
+        ("optimized_blocked_16x8", BlockSpec::JAGUAR, true),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut s = st.clone();
+            b.iter(|| update_velocity(&mut s, &med, 0.01, block, optimized));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stress(c: &mut Criterion) {
+    let d = Dims3::new(64, 64, 64);
+    let (med, st) = setup(d);
+    let at = Attenuation::new(&med, 1e-3, 0.1, 2.0, Idx3::new(0, 0, 0));
+    let mut group = c.benchmark_group("stress_update");
+    group.sample_size(20);
+    group.bench_function("legacy_divisions", |b| {
+        let mut s = st.clone();
+        b.iter(|| update_stress(&mut s, &med, None, 0.01, 1e-3, BlockSpec::UNBLOCKED, false));
+    });
+    group.bench_function("optimized_blocked", |b| {
+        let mut s = st.clone();
+        b.iter(|| update_stress(&mut s, &med, None, 0.01, 1e-3, BlockSpec::JAGUAR, true));
+    });
+    group.bench_function("optimized_blocked_anelastic", |b| {
+        let mut s = st.clone();
+        s.mem = Some(MemoryVars::new(d));
+        b.iter(|| update_stress(&mut s, &med, Some(&at), 0.01, 1e-3, BlockSpec::JAGUAR, true));
+    });
+    group.finish();
+}
+
+fn bench_blocking_sweep(c: &mut Criterion) {
+    // The paper's kblock/jblock search ("the optimal solution was found to
+    // be 16/8 … variation between different combinations is around 3%").
+    let d = Dims3::new(96, 96, 96);
+    let (med, st) = setup(d);
+    let mut group = c.benchmark_group("cache_block_sweep");
+    group.sample_size(10);
+    for (kb, jb) in [(4usize, 4usize), (8, 8), (16, 8), (16, 16), (32, 8)] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{kb}x{jb}")), |b| {
+            let mut s = st.clone();
+            b.iter(|| {
+                update_velocity(&mut s, &med, 0.01, BlockSpec::new(kb, jb), true);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_velocity, bench_stress, bench_blocking_sweep);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Fig. 15: maximum PGVs for the TeraShake-K ruptures — SE→NW vs NW→SE
+//! directivity ("NW-SE rupture on the same stretch of the SAF generated
+//! orders-of-magnitude smaller peak motions in Los Angeles").
+
+use awp_bench::{save_record, section};
+use awp_odc::scenario::{RuptureDirection, Scenario, CITIES};
+use serde_json::json;
+
+fn main() {
+    section("Fig. 15 — TeraShake-K directivity (SE→NW vs NW→SE)");
+    let nx = 120;
+    let dur = 110.0;
+    println!("running SE→NW ...");
+    let se_nw = Scenario::terashake_k(nx, RuptureDirection::SeToNw)
+        .with_duration(dur)
+        .prepare()
+        .run_serial();
+    println!("running NW→SE ...");
+    let nw_se = Scenario::terashake_k(nx, RuptureDirection::NwToSe)
+        .with_duration(dur)
+        .prepare()
+        .run_serial();
+
+    println!("\ncity PGVH (m/s):");
+    println!("{:<18} {:>10} {:>10} {:>8}", "station", "SE→NW", "NW→SE", "ratio");
+    let mut rows = Vec::new();
+    for (name, ..) in CITIES {
+        let a = se_nw.pgv_at(name).unwrap_or(0.0);
+        let b = nw_se.pgv_at(name).unwrap_or(0.0);
+        let ratio = if b > 0.0 { a / b } else { f64::NAN };
+        println!("{name:<18} {a:>10.3} {b:>10.3} {ratio:>8.2}");
+        rows.push(json!({ "station": name, "se_nw": a, "nw_se": b }));
+    }
+    // LA-corridor amplification: the SE→NW rupture channels energy toward
+    // the LA basin (the paper's waveguide story).
+    let la_ratio = se_nw.pgv_at("Los Angeles").unwrap() / nw_se.pgv_at("Los Angeles").unwrap();
+    println!(
+        "\nLos Angeles SE→NW / NW→SE ratio: {la_ratio:.2} (paper: orders of magnitude at\n\
+         full 0.5 Hz resolution; the shape — SE→NW ≫ NW→SE — is the reproduced claim)"
+    );
+
+    println!("\nSE→NW PGV map:");
+    println!("{}", se_nw.pgv.to_ascii(90));
+    println!("NW→SE PGV map:");
+    println!("{}", nw_se.pgv.to_ascii(90));
+
+    save_record(
+        "fig15",
+        "TeraShake-K directivity PGV maps (paper Fig. 15)",
+        json!({
+            "cities": rows,
+            "la_ratio_se_nw_over_nw_se": la_ratio,
+            "pgv_max_se_nw": se_nw.pgv.max(),
+            "pgv_max_nw_se": nw_se.pgv.max(),
+        }),
+    );
+}

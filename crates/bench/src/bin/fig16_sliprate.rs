@@ -1,0 +1,77 @@
+//! Fig. 16: snapshots of slip rate for dynamic (TS-D) vs kinematic (TS-K)
+//! rupture at a fixed time after initiation — the dynamic source is
+//! rougher, with slip-rate concentrations at the rupture front.
+
+use awp_bench::{save_record, section};
+use awp_odc::scenario::{RuptureDirection, Scenario};
+use awp_source::kinematic::KinematicSource;
+use serde_json::json;
+
+/// Moment-rate profile along strike at absolute time `t` (normalised).
+fn along_strike_profile(src: &KinematicSource, t: f64, nx: usize) -> Vec<f64> {
+    let mut prof = vec![0.0; nx];
+    for sf in &src.subfaults {
+        if sf.idx.i < nx {
+            prof[sf.idx.i] += sf.moment_rate_at(t, src.dt);
+        }
+    }
+    let m = prof.iter().cloned().fold(0.0, f64::max).max(1e-30);
+    prof.iter().map(|v| v / m).collect()
+}
+
+/// Coefficient of variation of the non-zero part of a profile — the
+/// roughness measure separating dynamic from kinematic fronts.
+fn roughness(p: &[f64]) -> f64 {
+    let nz: Vec<f64> = p.iter().cloned().filter(|v| *v > 1e-6).collect();
+    if nz.len() < 2 {
+        return 0.0;
+    }
+    let mean = nz.iter().sum::<f64>() / nz.len() as f64;
+    let var = nz.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / nz.len() as f64;
+    var.sqrt() / mean
+}
+
+fn main() {
+    section("Fig. 16 — slip-rate snapshot: dynamic (TS-D) vs kinematic (TS-K)");
+    let nx = 96;
+    println!("preparing TS-K (kinematic) ...");
+    let tsk = Scenario::terashake_k(nx, RuptureDirection::SeToNw).with_duration(1.0).prepare();
+    println!("preparing TS-D (dynamic rupture) ...");
+    let tsd = Scenario::terashake_d(nx, 1992).with_duration(1.0).prepare();
+
+    let t_snap = 27.5; // the paper's snapshot time
+    let prof_k = along_strike_profile(&tsk.source, t_snap, nx);
+    let prof_d = along_strike_profile(&tsd.source, t_snap, nx);
+
+    println!("\nnormalised moment-rate along strike at t = {t_snap} s:");
+    println!("cell   kinematic  dynamic");
+    for i in (0..nx).step_by(4) {
+        let bar = |v: f64| "#".repeat((v * 30.0) as usize);
+        println!("{i:>4}   {:<31}  {:<31}", bar(prof_k[i]), bar(prof_d[i]));
+    }
+    let rk = roughness(&prof_k);
+    let rd = roughness(&prof_d);
+    println!("\nfront roughness (CV of active cells): kinematic {rk:.2}, dynamic {rd:.2}");
+    println!(
+        "paper: the TS-K source was 'relatively smooth in its slip distribution and\n\
+         rupture characteristics' — the dynamic front should be the rougher one."
+    );
+    let rup = tsd.rupture.as_ref().unwrap();
+    println!(
+        "dynamic source: Mw {:.2}, peak slip rate {:.2} m/s",
+        tsd.source.magnitude(),
+        rup.peak_sliprate.iter().cloned().fold(0.0, f64::max)
+    );
+
+    save_record(
+        "fig16",
+        "Slip-rate snapshot dynamic vs kinematic (paper Fig. 16)",
+        json!({
+            "t_snapshot_s": t_snap,
+            "roughness_kinematic": rk,
+            "roughness_dynamic": rd,
+            "profile_kinematic": prof_k,
+            "profile_dynamic": prof_d,
+        }),
+    );
+}

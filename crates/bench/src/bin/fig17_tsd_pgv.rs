@@ -1,0 +1,77 @@
+//! Fig. 17: TeraShake-D PGVs — the dynamic source's less coherent
+//! wavefield reduces the largest peak motions relative to TS-K by factors
+//! of 2–3, with 'star-burst' rays of elevated PGV radiating from the
+//! fault.
+
+use awp_bench::{save_record, section};
+use awp_odc::scenario::{RuptureDirection, Scenario};
+use serde_json::json;
+
+fn main() {
+    section("Fig. 17 — TeraShake-D vs TeraShake-K PGV");
+    let nx = 108;
+    let dur = 100.0;
+    println!("running TS-K ...");
+    let tsk = Scenario::terashake_k(nx, RuptureDirection::SeToNw)
+        .with_duration(dur)
+        .prepare();
+    let tsk_mw = tsk.source.magnitude();
+    let k = tsk.run_serial();
+    println!("running TS-D ...");
+    let tsd_run = Scenario::terashake_d(nx, 1992).with_duration(dur).prepare();
+    // Match moments so the comparison isolates source complexity (the
+    // paper's TS-D sources have "average slip … nearly the same" as TS-K).
+    let mut tsd = tsd_run;
+    let factor =
+        awp_source::moment::moment_of_magnitude(tsk_mw) / tsd.source.total_moment();
+    tsd.source.scale_moment(factor);
+    let d = tsd.run_serial();
+
+    println!("\nPGV statistics (m/s):");
+    println!("{:<12} {:>10} {:>10}", "", "TS-K", "TS-D");
+    println!("{:<12} {:>10.3} {:>10.3}", "max", k.pgv.max(), d.pgv.max());
+    println!("{:<12} {:>10.4} {:>10.4}", "mean", k.pgv.mean(), d.pgv.mean());
+    let reduction = k.pgv.max() / d.pgv.max();
+    println!(
+        "\npeak reduction factor TS-K/TS-D = {reduction:.2} (paper: 'decreases the largest\n\
+         peak ground motions … by factors of 2-3')"
+    );
+
+    // Star-burst proxy: the dynamic map's azimuthal PGV variance along a
+    // ring around the fault should exceed the kinematic one's.
+    let ring_cv = |rep: &awp_odc::scenario::ScenarioReport| {
+        let (cx, cy) = (0.6 * 600_000.0, 0.5 * 300_000.0);
+        let r = 60_000.0;
+        let mut vals = Vec::new();
+        for a in 0..36 {
+            let th = a as f64 * std::f64::consts::PI / 18.0;
+            let v = rep.pgv.at_position(cx + r * th.cos(), cy + r * th.sin());
+            if v > 0.0 {
+                vals.push(v.ln());
+            }
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64).sqrt()
+    };
+    let cv_k = ring_cv(&k);
+    let cv_d = ring_cv(&d);
+    println!(
+        "azimuthal ln-PGV scatter on a 60 km ring: TS-K {cv_k:.2}, TS-D {cv_d:.2}\n\
+         (the 'star-burst' pattern raises the dynamic run's azimuthal variability)"
+    );
+
+    println!("\nTS-D PGV map:");
+    println!("{}", d.pgv.to_ascii(90));
+
+    save_record(
+        "fig17",
+        "TS-D PGV vs TS-K (paper Fig. 17)",
+        json!({
+            "tsk_pgv_max": k.pgv.max(),
+            "tsd_pgv_max": d.pgv.max(),
+            "peak_reduction_factor": reduction,
+            "ring_scatter_tsk": cv_k,
+            "ring_scatter_tsd": cv_d,
+        }),
+    );
+}

@@ -1,0 +1,53 @@
+//! Fig. 18: slip distributions and rupture-time contours for the
+//! ShakeOut-D dynamic source ensemble (7 stress-field realisations in the
+//! paper; we run 4 seeds of the same machinery).
+
+use awp_bench::{save_record, section};
+use awp_odc::scenario::Scenario;
+use serde_json::json;
+
+fn main() {
+    section("Fig. 18 — ShakeOut-D dynamic source ensemble");
+    let nx = 96;
+    let seeds = [11u64, 22, 33, 44];
+    let mut rows = Vec::new();
+    println!(
+        "{:>6} {:>9} {:>9} {:>10} {:>10} {:>8} {:>10}",
+        "seed", "max slip", "mean slip", "peak ṡ", "duration", "Mw", "ruptured"
+    );
+    for seed in seeds {
+        let run = Scenario::shakeout_d(nx, seed).with_duration(1.0).prepare();
+        let r = run.rupture.as_ref().unwrap();
+        println!(
+            "{:>6} {:>8.2}m {:>8.2}m {:>8.2}m/s {:>9.1}s {:>8.2} {:>9.0}%",
+            seed,
+            r.max_slip(),
+            r.mean_slip(),
+            r.peak_sliprate.iter().cloned().fold(0.0, f64::max),
+            r.duration(),
+            r.magnitude(),
+            r.ruptured_fraction() * 100.0
+        );
+        // Rupture-time contours along strike (mid-depth), like the white
+        // contours of Fig. 18.
+        let kmid = r.nz / 2;
+        let contours: Vec<f64> = (0..r.nx)
+            .step_by((r.nx / 12).max(1))
+            .map(|i| r.rupture_time(i, kmid))
+            .collect();
+        rows.push(json!({
+            "seed": seed,
+            "max_slip_m": r.max_slip(),
+            "mean_slip_m": r.mean_slip(),
+            "mw": r.magnitude(),
+            "duration_s": r.duration(),
+            "ruptured_fraction": r.ruptured_fraction(),
+            "rupture_time_contours_s": contours,
+        }));
+    }
+    println!(
+        "\npaper: seven dynamic source descriptions 'to assess the uncertainty in the\n\
+         site-specific peak motions' — the seeds above are our ensemble."
+    );
+    save_record("fig18", "ShakeOut-D source ensemble (paper Fig. 18)", json!({ "members": rows }));
+}

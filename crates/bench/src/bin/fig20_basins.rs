@@ -1,0 +1,64 @@
+//! Figs. 1 & 20: the model volume and its sedimentary basins — "depth to
+//! the isosurface of a shear-wave velocity of 2.5 km/s" across the
+//! 810 × 405 km box, with the basin cutaway statistics.
+
+use awp_bench::{save_record, section};
+use awp_cvm::SoCalModel;
+use serde_json::json;
+
+fn main() {
+    section("Figs. 1/20 — SoCal model: depth to the Vs = 2.5 km/s isosurface");
+    let model = SoCalModel::m8();
+    let (nx, ny) = (100usize, 50usize);
+    let (dx, dy) = (810_000.0 / nx as f64, 405_000.0 / ny as f64);
+    let mut z25 = vec![0.0f64; nx * ny];
+    let mut max_depth = 0.0f64;
+    for j in 0..ny {
+        for i in 0..nx {
+            let d = model.depth_to_vs(i as f64 * dx, j as f64 * dy, 2500.0);
+            z25[i + nx * j] = d;
+            max_depth = max_depth.max(d);
+        }
+    }
+    // ASCII shading (deeper = darker), like the paper's red/yellow scale.
+    let ramp: &[u8] = b" .:-=+*#%@";
+    println!("(N up; the fault runs along the middle; darker = deeper sediments)");
+    for j in (0..ny).rev() {
+        let mut line = String::new();
+        for i in 0..nx {
+            let t = (z25[i + nx * j] / max_depth).clamp(0.0, 1.0);
+            line.push(ramp[(t * (ramp.len() - 1) as f64) as usize] as char);
+        }
+        println!("{line}");
+    }
+
+    println!("\nbasin inventory (paper: LA, San Gabriel, Ventura, San Bernardino, Coachella):");
+    println!("{:<16} {:>9} {:>9} {:>12} {:>12}", "basin", "x (km)", "y (km)", "basement (m)", "Z2.5 (m)");
+    let mut basins = Vec::new();
+    for b in model.basins() {
+        let z = model.depth_to_vs(b.cx, b.cy, 2500.0);
+        println!(
+            "{:<16} {:>9.0} {:>9.0} {:>12.0} {:>12.0}",
+            b.name,
+            b.cx / 1e3,
+            b.cy / 1e3,
+            b.depth,
+            z
+        );
+        basins.push(json!({
+            "name": b.name, "cx_km": b.cx / 1e3, "cy_km": b.cy / 1e3,
+            "basement_m": b.depth, "z25_m": z,
+        }));
+    }
+    let rock_z25 = model.depth_to_vs(30_000.0, 360_000.0, 2500.0);
+    println!("\nreference rock site Z2.5: {rock_z25:.0} m (basins must exceed this)");
+    println!(
+        "paper Fig. 20: 'Sedimentary basins are revealed by cutaway of material with\n\
+         S-wave velocity less than 2.5 km/s (as defined by the SCEC CVM 4)'."
+    );
+    save_record(
+        "fig20",
+        "Basin structure / Z2.5 isosurface (paper Figs. 1 & 20)",
+        json!({ "basins": basins, "rock_z25_m": rock_z25, "max_z25_m": max_depth }),
+    );
+}

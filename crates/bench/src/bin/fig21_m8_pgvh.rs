@@ -1,0 +1,52 @@
+//! Fig. 21: PGVHs derived from M8 with seismograms at selected locations.
+
+use awp_bench::{save_record, section};
+use awp_odc::scenario::Scenario;
+use awp_signal::spectrum::dominant_period;
+use serde_json::json;
+
+fn main() {
+    section("Fig. 21 — M8 PGVH map and station seismograms");
+    let sc = Scenario::m8(160, 2010).with_duration(200.0);
+    println!("preparing (two-step source) ...");
+    let run = sc.prepare();
+    println!(
+        "wave propagation: {:?} cells, {} steps, attenuation on ...",
+        run.cfg.dims, run.cfg.steps
+    );
+    let rep = run.run_parallel([2, 2, 1]);
+
+    println!("\ncity PGVH (m/s) and dominant period:");
+    println!("{:<18} {:>9} {:>12}", "station", "PGVH", "dom. period");
+    let mut cities = Vec::new();
+    for s in &rep.seismograms {
+        let pgvh = s.pgvh_rss();
+        let period = dominant_period(&s.vx, s.dt, 0.02).unwrap_or(0.0);
+        println!("{:<18} {:>9.3} {:>10.1} s", s.station.name, pgvh, period);
+        cities.push(json!({ "station": s.station.name, "pgvh_ms": pgvh, "period_s": period }));
+    }
+
+    // The paper's headline observations.
+    let near_fault_max = rep.pgv.max();
+    let sb = rep.pgv_at("San Bernardino").unwrap_or(0.0);
+    let la = rep.pgv_at("Los Angeles").unwrap_or(0.0);
+    println!("\nnear-fault PGVH max: {near_fault_max:.2} m/s (paper: isolated >10 m/s on the trace)");
+    println!("San Bernardino: {sb:.2} m/s (paper: ~6 m/s, 'hardest hit' — basin + directivity + proximity)");
+    println!("downtown LA: {la:.2} m/s (paper: ~0.4 m/s, waveguide not excited by NW→SE rupture)");
+    let sb_beats_la = sb > la;
+    println!("San Bernardino > Los Angeles: {sb_beats_la} (the paper's key contrast)");
+
+    println!("\nPGVH map (max {:.2} m/s):", rep.pgv.max());
+    println!("{}", rep.pgv.to_ascii(100));
+
+    save_record(
+        "fig21",
+        "M8 PGVH map + city seismograms (paper Fig. 21)",
+        json!({
+            "cities": cities,
+            "pgv_max_ms": near_fault_max,
+            "san_bernardino_over_la": sb_beats_la,
+            "paper": { "san_bernardino_ms": 6.0, "downtown_la_ms": 0.4, "near_fault_ms": 10.0 },
+        }),
+    );
+}

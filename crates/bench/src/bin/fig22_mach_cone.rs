@@ -1,0 +1,82 @@
+//! Fig. 22: surface velocity snapshot illustrating super-shear wave
+//! propagation — the Mach cone carries intense near-fault motion to large
+//! fault distances, and the fault-parallel component rivals the
+//! fault-perpendicular one.
+
+use awp_bench::{save_record, section};
+use awp_odc::scenario::Scenario;
+use awp_odc::solver::solver::Solver;
+use awp_odc::solver::stations::surface_velocities;
+use awp_odc::vcluster::TimeLedger;
+use awp_grid::decomp::Decomp3;
+use serde_json::json;
+
+fn main() {
+    section("Fig. 22 — super-shear Mach cone snapshot");
+    // A strongly loaded dynamic rupture guarantees a super-shear segment.
+    let mut sc = Scenario::m8(128, 77).with_duration(60.0);
+    if let awp_odc::scenario::SourceSpec::Dynamic { reload_mean, .. } = &mut sc.source {
+        *reload_mean = 0.62;
+    }
+    println!("preparing two-step source (heavy prestress → super-shear) ...");
+    let run = sc.prepare();
+    let r = run.rupture.as_ref().unwrap();
+    println!("rupture duration {:.0} s, Mw {:.2}", r.duration(), r.magnitude());
+
+    // Drive the wave solver manually and capture a snapshot at the paper's
+    // 23 s mark.
+    let decomp = Decomp3::new(run.cfg.dims, [1, 1, 1]);
+    let sub = decomp.subdomain(0);
+    let mut solver = Solver::new(run.cfg.clone(), sub, &run.mesh, &run.source, &run.stations);
+    let snap_step = (23.0 / run.cfg.dt) as usize;
+    let mut ledger = TimeLedger::new();
+    println!("running {} steps to the t = 23 s snapshot ...", snap_step);
+    for _ in 0..snap_step {
+        solver.step_serial(&mut ledger);
+    }
+    let snap = surface_velocities(&solver.state, 1);
+    let d = run.cfg.dims;
+
+    // Fault-parallel (vx) vs fault-perpendicular (vy) amplitude along a
+    // line 10 cells off the fault (the super-shear signature: parallel ≳
+    // perpendicular).
+    let jf = ((sc.fault_y_frac * d.ny as f64) as usize).saturating_sub(4);
+    let mut par = 0.0f64;
+    let mut perp = 0.0f64;
+    for i in 0..d.nx {
+        let o = 3 * (i + d.nx * jf);
+        par = par.max(snap[o].abs() as f64);
+        perp = perp.max(snap[o + 1].abs() as f64);
+    }
+    println!("\noff-fault line (~4 cells south of the mean trace) at t = 23 s:");
+    println!("  max |fault-parallel v| = {par:.3} m/s, max |fault-perpendicular v| = {perp:.3} m/s");
+    println!("  parallel/perpendicular = {:.2} (paper: 'the fault-parallel component of\n   ground motion tends to display similar or larger amplitude')", par / perp.max(1e-12));
+
+    // Decay of peak |v| with fault distance at the snapshot time — Mach
+    // waves decay slower than cylindrical spreading.
+    println!("\npeak |v_h| vs fault distance at t = 23 s:");
+    let mut decay = Vec::new();
+    for off in [2usize, 6, 12, 20, 30] {
+        let j = ((sc.fault_y_frac * d.ny as f64) as usize + off).min(d.ny - 1);
+        let mut m = 0.0f64;
+        for i in 0..d.nx {
+            let o = 3 * (i + d.nx * j);
+            let vh = (snap[o] as f64).hypot(snap[o + 1] as f64);
+            m = m.max(vh);
+        }
+        println!("  {:>5.1} km: {:.3} m/s", off as f64 * run.cfg.h / 1e3, m);
+        decay.push(json!({ "distance_km": off as f64 * run.cfg.h / 1e3, "peak_vh_ms": m }));
+    }
+
+    save_record(
+        "fig22",
+        "Super-shear Mach cone snapshot at 23 s (paper Fig. 22)",
+        json!({
+            "t_snapshot_s": 23.0,
+            "fault_parallel_max": par,
+            "fault_perpendicular_max": perp,
+            "parallel_over_perpendicular": par / perp.max(1e-12),
+            "decay_profile": decay,
+        }),
+    );
+}

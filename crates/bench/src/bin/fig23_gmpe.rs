@@ -1,0 +1,146 @@
+//! Fig. 23: comparison of simulated rock-site PGVs with the NGA
+//! attenuation relations (BA08, CB08) out to 200 km from the fault.
+
+use awp_analysis::distance::{bin_by_distance, distance_to_trace, SiteSample};
+use awp_analysis::gmpe::{ba08_pgv, cb08_pgv};
+use awp_bench::{save_record, section};
+use awp_cvm::model::CommunityVelocityModel;
+use awp_cvm::SoCalModel;
+use awp_odc::scenario::Scenario;
+use serde_json::json;
+
+fn main() {
+    section("Fig. 23 — simulated rock-site PGV vs NGA relations (Mw 8)");
+    let sc = Scenario::m8(160, 2010).with_duration(200.0);
+    println!("running mini-M8 ...");
+    let run = sc.prepare();
+    let mw = run.source.magnitude();
+    let rep = run.run_parallel([2, 2, 1]);
+    println!("source Mw {mw:.2}, PGV max {:.2} m/s", rep.pgv.max());
+
+    // Rock-site selection: surface Vs > 1000 m/s (the paper's criterion).
+    let model = SoCalModel::scaled(sc.length, sc.width);
+    let trace = sc.trace();
+    let trace_pts: Vec<(f64, f64)> = trace.points.clone();
+    let h = rep.pgv.h;
+    let mut samples = Vec::new();
+    for j in 0..rep.pgv.ny {
+        for i in 0..rep.pgv.nx {
+            let (x, y) = (i as f64 * h, j as f64 * h);
+            if model.query(x, y, 10.0).vs <= 1000.0 {
+                continue;
+            }
+            let pgv = rep.pgv.at(i, j);
+            if pgv <= 0.0 {
+                continue;
+            }
+            let r_km = distance_to_trace(x, y, &trace_pts) / 1000.0;
+            // RSS → geometric-mean conversion: the paper notes the
+            // geometric mean is typically 1.5–2× smaller.
+            samples.push(SiteSample { r_km, pgv_cms: pgv * 100.0 / 1.7 });
+        }
+    }
+    println!("{} rock sites (surface Vs > 1000 m/s)", samples.len());
+
+    let bins = bin_by_distance(&samples, 2.0, 200.0, 10);
+    println!(
+        "\n{:>12} {:>6} {:>11} {:>7} | {:>11} {:>11}",
+        "distance", "n", "sim median", "σ_ln", "BA08 median", "CB08 median"
+    );
+    let mut rows = Vec::new();
+    for b in &bins {
+        if b.count == 0 {
+            continue;
+        }
+        let r_mid = (b.r_lo_km * b.r_hi_km).sqrt();
+        let ba = ba08_pgv(mw, r_mid, 1000.0);
+        let cb = cb08_pgv(mw, r_mid, 1000.0, 0.4);
+        println!(
+            "{:>5.1}-{:<6.1} {:>6} {:>9.1}cm/s {:>7.2} | {:>9.1}cm/s {:>9.1}cm/s",
+            b.r_lo_km, b.r_hi_km, b.count, b.median_cms, b.sigma_ln, ba.median, cb.median
+        );
+        rows.push(json!({
+            "r_km": r_mid, "count": b.count,
+            "sim_median_cms": b.median_cms, "sim_sigma_ln": b.sigma_ln,
+            "ba08_median_cms": ba.median, "ba08_sigma_ln": ba.sigma_ln,
+            "cb08_median_cms": cb.median,
+            "within_ba08_1sigma": b.median_cms > ba.p16() && b.median_cms < ba.p84(),
+        }));
+    }
+    let inside: usize = rows
+        .iter()
+        .filter(|r| r["within_ba08_1sigma"].as_bool().unwrap_or(false))
+        .count();
+    // Decay-shape comparison: log-log slope of median PGV vs distance for
+    // the simulation and for BA08, plus the mean level offset. The slope
+    // is the resolution-robust quantity; the level shifts with the
+    // source's high-frequency content.
+    let slope = |ys: &Vec<(f64, f64)>| -> f64 {
+        let n = ys.len() as f64;
+        let mx = ys.iter().map(|(x, _)| x.ln()).sum::<f64>() / n;
+        let my = ys.iter().map(|(_, y)| y.ln()).sum::<f64>() / n;
+        let num: f64 = ys.iter().map(|(x, y)| (x.ln() - mx) * (y.ln() - my)).sum();
+        let den: f64 = ys.iter().map(|(x, _)| (x.ln() - mx).powi(2)).sum();
+        num / den
+    };
+    let sim_pts: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (r["r_km"].as_f64().unwrap(), r["sim_median_cms"].as_f64().unwrap()))
+        .collect();
+    let ba_pts: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (r["r_km"].as_f64().unwrap(), r["ba08_median_cms"].as_f64().unwrap()))
+        .collect();
+    let s_sim = slope(&sim_pts);
+    let s_ba = slope(&ba_pts);
+    let offset = (sim_pts
+        .iter()
+        .zip(&ba_pts)
+        .map(|((_, a), (_, b))| (a / b).ln())
+        .sum::<f64>()
+        / sim_pts.len() as f64)
+        .exp();
+    println!(
+        "decay slope (d ln PGV / d ln R): simulation {s_sim:.2}, BA08 {s_ba:.2};\n\
+         mean level ratio sim/BA08 = {offset:.2} (level tracks the source's\n\
+         high-frequency content, which is resolution-limited here)"
+    );
+    // Shape check with the common level offset removed: how many bins sit
+    // inside the BA08 ±1σ band after normalisation? This separates the
+    // distance-decay/scatter agreement (resolution-robust) from the
+    // spectral level (resolution-limited).
+    let inside_norm = sim_pts
+        .iter()
+        .zip(&ba_pts)
+        .filter(|((_, a), (_, b))| {
+            let ln_dev = (a / offset / b).ln().abs();
+            ln_dev < 0.560 // BA08 σ_ln(PGV)
+        })
+        .count();
+    println!(
+        "after removing the common level offset: {inside_norm} of {} bins inside ±1σ",
+        sim_pts.len()
+    );
+    println!(
+        "\n{} of {} occupied bins fall inside the BA08 ±1σ band\n\
+         (paper: 'the median M8 and AR PGVs agree very well … M8 median ± 1 standard\n\
+         deviation are very close to the AR 16% and 84% POE levels')",
+        inside,
+        rows.len()
+    );
+
+    // POE of an extreme basin site (the paper's SBB example, <0.1% POE).
+    if let Some(sb) = rep.pgv_at("San Bernardino") {
+        let est = ba08_pgv(mw, 10.0, 760.0);
+        let poe = est.poe(sb * 100.0 / 1.7);
+        println!("\nSan Bernardino PGVH {:.2} m/s at ~10 km → BA08 POE {:.3}%", sb, poe * 100.0);
+    }
+
+    save_record(
+        "fig23",
+        "Rock-site PGV vs BA08/CB08 (paper Fig. 23)",
+        json!({ "mw": mw, "bins": rows, "bins_inside_1sigma": inside,
+                "sim_decay_slope": s_sim, "ba08_decay_slope": s_ba, "level_ratio": offset,
+                "bins_inside_after_level_norm": inside_norm }),
+    );
+}

@@ -1,0 +1,110 @@
+//! Fig. 3: verification against an independent code.
+//!
+//! The paper compares AWP-ODC's ShakeOut PGVs against two independently
+//! written codes (CMU finite elements, URS finite differences). We stand
+//! in our independent 2nd-order f64 reference solver and verify on two
+//! levels, mirroring the paper's practice:
+//!
+//! 1. **waveform level** (the aVal acceptance test, §III.H) on a
+//!    well-resolved point-source problem — under-resolved scenario grids
+//!    make scheme-dependent dispersion dominate, which is a property of
+//!    the discretisation, not a bug;
+//! 2. **PGV-map level** on the mini-ShakeOut scenario, the actual Fig. 3
+//!    comparison ("nearly identical peak ground velocities from three
+//!    different 3D codes").
+
+use awp_analysis::aval::AcceptanceTest;
+use awp_analysis::pgv::PgvMap;
+use awp_bench::{save_record, section};
+use awp_cvm::mesh::MeshGenerator;
+use awp_cvm::model::HomogeneousModel;
+use awp_grid::dims::{Dims3, Idx3};
+use awp_odc::scenario::Scenario;
+use awp_solver::config::{AbcKind, SolverConfig};
+use awp_solver::reference::ReferenceSolver;
+use awp_solver::solver::Solver;
+use awp_solver::stations::Station;
+use awp_source::kinematic::KinematicSource;
+use awp_source::moment::MomentTensor;
+use awp_source::stf::Stf;
+use serde_json::json;
+
+fn main() {
+    section("Fig. 3 (part 1) — waveform-level aVal on a resolved problem");
+    let d = Dims3::new(40, 40, 28);
+    let h = 100.0;
+    let dt = 0.006;
+    let mesh = MeshGenerator::new(&HomogeneousModel::new(6000.0, 3464.0, 2700.0), d, h).generate();
+    let src = KinematicSource::point(
+        Idx3::new(14, 20, 12),
+        MomentTensor::strike_slip(0.3),
+        1.0e15,
+        Stf::Cosine { rise_time: 0.5 },
+        dt,
+    );
+    let stations = vec![
+        Station::new("near", Idx3::new(22, 20, 0)),
+        Station::new("far", Idx3::new(28, 26, 0)),
+    ];
+    let steps = 180;
+    let cfg = SolverConfig {
+        abc: AbcKind::Sponge { width: 8, amp: 0.95 },
+        free_surface: true,
+        ..SolverConfig::small(d, h, dt, steps)
+    };
+    let awm = Solver::run_serial(cfg, &mesh, &src, &stations);
+    let mut rs = ReferenceSolver::new(&mesh, dt, 8, 0.95);
+    let ref_seis = rs.run_steps(steps, &src, &stations);
+    let report = AcceptanceTest::default().compare(&awm.seismograms, &ref_seis);
+    println!("{:<8} {:>8} {:>8} {:>8}", "station", "vx", "vy", "vz");
+    for s in &report.stations {
+        println!("{:<8} {:>8.3} {:>8.3} {:>8.3}", s.station, s.misfit_vx, s.misfit_vy, s.misfit_vz);
+    }
+    println!("aVal (L2 ≤ {:.2}): {}", report.tolerance, if report.passed { "PASSED" } else { "FAILED" });
+
+    section("Fig. 3 (part 2) — PGV-map level on the mini-ShakeOut scenario");
+    let sc = Scenario::shakeout_k(72, 0.3).with_duration(60.0);
+    let run = sc.prepare();
+    println!("scenario {:?} (h = {:.1} km), {} steps", run.cfg.dims, sc.h() / 1e3, run.cfg.steps);
+    println!("running AWM ...");
+    let awm_sc = Solver::run_serial(run.cfg.clone(), &run.mesh, &run.source, &run.stations);
+    println!("running reference ...");
+    let ref_pgv = ReferenceSolver::run_pgv(&run.mesh, run.cfg.dt, run.cfg.steps, &run.source);
+    let awm_map = PgvMap::from_field(
+        awm_sc.pgv_map.iter().map(|&v| v as f64).collect(),
+        run.cfg.dims.nx,
+        run.cfg.dims.ny,
+        run.cfg.h,
+    );
+    let ref_map = PgvMap::from_field(ref_pgv, run.cfg.dims.nx, run.cfg.dims.ny, run.cfg.h);
+    let peak_ratio = awm_map.max() / ref_map.max();
+    let mean_ratio = awm_map.mean() / ref_map.mean();
+    // Cell-wise log-ratio scatter over shaking cells.
+    let mut lr = Vec::new();
+    for (a, b) in awm_map.data.iter().zip(&ref_map.data) {
+        if *a > 1e-4 && *b > 1e-4 {
+            lr.push((a / b).ln());
+        }
+    }
+    let mean_lr = lr.iter().sum::<f64>() / lr.len() as f64;
+    let sd_lr = (lr.iter().map(|v| (v - mean_lr) * (v - mean_lr)).sum::<f64>()
+        / lr.len() as f64)
+        .sqrt();
+    println!("PGV max: AWM {:.3} m/s vs reference {:.3} m/s (ratio {:.2})", awm_map.max(), ref_map.max(), peak_ratio);
+    println!("PGV mean ratio {mean_ratio:.2}; cell-wise ln-ratio {mean_lr:.3} ± {sd_lr:.3}");
+    println!("paper: 'nearly identical peak ground velocities' across the three codes.");
+
+    save_record(
+        "fig3",
+        "Cross-code verification: resolved-waveform aVal + scenario PGV maps (paper Fig. 3)",
+        json!({
+            "aval_passed": report.passed,
+            "aval_misfits": report.stations.iter().map(|s| json!({
+                "station": s.station, "worst": s.worst() })).collect::<Vec<_>>(),
+            "scenario_peak_ratio": peak_ratio,
+            "scenario_mean_ratio": mean_ratio,
+            "cellwise_ln_ratio_mean": mean_lr,
+            "cellwise_ln_ratio_sd": sd_lr,
+        }),
+    );
+}

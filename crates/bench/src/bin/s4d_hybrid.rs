@@ -1,0 +1,76 @@
+//! §IV.D: load balancing by exploiting hybrid multithreads — the
+//! MPI/OpenMP hybrid mode. The paper found the hybrid "can effectively
+//! resolve the load balancing issue" but "introduced significant idle
+//! thread overhead", so pure MPI won at scale; we measure both modes and
+//! verify bit-identical physics.
+
+use awp_bench::{fmt_time, save_record, section};
+use awp_cvm::mesh::MeshGenerator;
+use awp_cvm::model::LayeredModel;
+use awp_grid::dims::{Dims3, Idx3};
+use awp_solver::config::SolverConfig;
+use awp_solver::solver::Solver;
+use awp_solver::stations::Station;
+use awp_source::kinematic::KinematicSource;
+use awp_source::moment::MomentTensor;
+use awp_source::stf::Stf;
+use serde_json::json;
+
+fn main() {
+    section("§IV.D — hybrid (Rayon) vs single-threaded kernels");
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host hardware threads: {host}");
+    let dims = Dims3::new(96, 96, 72);
+    let h = 150.0;
+    let mesh = MeshGenerator::new(&LayeredModel::gradient_crust(900.0), dims, h).generate();
+    let dt = mesh.stats().dt_max() * 0.9;
+    let source = KinematicSource::point(
+        Idx3::new(48, 48, 30),
+        MomentTensor::strike_slip(0.0),
+        1e18,
+        Stf::Triangle { rise_time: 1.0 },
+        dt,
+    );
+    let stations = [Station::new("s", Idx3::new(10, 10, 0))];
+    let steps = 30;
+
+    let mut results = Vec::new();
+    let mut reports = Vec::new();
+    for hybrid in [false, true] {
+        let mut cfg = SolverConfig::small(dims, h, dt, steps);
+        cfg.attenuation = true;
+        cfg.opts.hybrid = hybrid;
+        let t0 = std::time::Instant::now();
+        let rep = Solver::run_serial(cfg, &mesh, &source, &stations);
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "  {}: {} wall, {:.2} Gflop/s",
+            if hybrid { "hybrid (Rayon)   " } else { "single-threaded  " },
+            fmt_time(wall),
+            rep.flops as f64 / wall / 1e9
+        );
+        results.push(wall);
+        reports.push(rep);
+    }
+    let identical = reports[0].seismograms[0].vx == reports[1].seismograms[0].vx
+        && reports[0].pgv_map == reports[1].pgv_map;
+    println!("  physics identical across modes: {identical}");
+    let speedup = results[0] / results[1];
+    println!(
+        "  hybrid speedup: {speedup:.2}× on {host} host thread(s)\n\
+         (paper: hybrid reduced load imbalance >35% at full scale but idle-thread\n\
+         overhead meant 'the pure MPI code still performs better' — with {host} thread(s)\n\
+         here, expect ≈1× plus thread overhead)"
+    );
+    save_record(
+        "s4d",
+        "Hybrid MPI/OpenMP-style mode (paper §IV.D)",
+        json!({
+            "host_threads": host,
+            "single_thread_wall_s": results[0],
+            "hybrid_wall_s": results[1],
+            "hybrid_speedup": speedup,
+            "bitwise_identical": identical,
+        }),
+    );
+}

@@ -1,0 +1,72 @@
+//! §V.A: the Eq. (8) parallel-efficiency calculation — 98.6 % / 2.20×10⁵
+//! speedup on 223,074 Jaguar cores — plus weak scaling (90 % between 200
+//! and 204 K cores) and per-machine efficiency tables.
+
+use awp_bench::{save_record, section};
+use awp_grid::dims::Dims3;
+use awp_perfmodel::evolution::VersionFeatures;
+use awp_perfmodel::machines::Machine;
+use awp_perfmodel::scaling::weak_scaling;
+use awp_perfmodel::speedup::{
+    best_parts, efficiency, m8_mesh, m8_parts, speedup, ModelInput, PAPER_C,
+};
+use serde_json::json;
+
+fn main() {
+    section("§V.A — Eq. (8) parallel efficiency");
+    let jaguar = Machine::Jaguar.profile();
+    let inp = ModelInput { n: m8_mesh(), parts: m8_parts(), machine: jaguar.clone(), c: PAPER_C };
+    let s = speedup(&inp);
+    let e = efficiency(&inp);
+    println!("M8 mesh {:?} on {:?} = 223,074 cores:", m8_mesh(), m8_parts());
+    println!("  speedup  {s:.4e}   (paper: 2.20×10⁵)");
+    println!("  efficiency {:.1}%  (paper: 98.6%)", e * 100.0);
+    println!(
+        "  machine constants α = {:.1e} s, β = {:.1e} s, τ = {:.2e} s (paper §V.A values)",
+        jaguar.alpha, jaguar.beta, jaguar.tau
+    );
+
+    section("weak scaling, 200 → 204,000 cores");
+    let per_core = Dims3::new(132, 125, 118);
+    let pts = weak_scaling(
+        per_core,
+        &[200, 2_000, 20_000, 204_000],
+        &jaguar,
+        PAPER_C,
+        VersionFeatures::for_version("7.2"),
+    );
+    println!("{:>9} {:>12} {:>11}", "cores", "t/step (s)", "efficiency");
+    for p in &pts {
+        println!("{:>9} {:>12.5} {:>11.3}", p.cores, p.time_per_step, p.efficiency);
+    }
+    println!("paper: '90% parallel efficiency for weak scaling between 200 and 204K cores'");
+
+    section("strong-scaling efficiency per machine at its Table-1 partition");
+    println!("{:>10} {:>9} {:>11}", "machine", "cores", "efficiency");
+    let mut per_machine = Vec::new();
+    for m in Machine::ALL {
+        let p = m.profile();
+        // A mesh sized to keep ~2M points per core (M8-like loading).
+        let target = 2_000_000usize * p.cores_used;
+        let nx = ((target as f64).powf(1.0 / 3.0) * 2.0) as usize;
+        let n = Dims3::new(nx, nx / 2, nx / 8);
+        let parts = best_parts(n, p.cores_used, &p, PAPER_C);
+        let e = efficiency(&ModelInput { n, parts, machine: p.clone(), c: PAPER_C });
+        println!("{:>10} {:>9} {:>10.1}%", p.name, p.cores_used, e * 100.0);
+        per_machine.push(json!({ "machine": p.name, "cores": p.cores_used, "efficiency": e }));
+    }
+
+    save_record(
+        "s5a",
+        "Eq. (8) efficiency / weak scaling (paper §V.A)",
+        json!({
+            "m8_speedup": s,
+            "m8_efficiency": e,
+            "paper_speedup": 2.20e5,
+            "paper_efficiency": 0.986,
+            "weak_scaling": pts.iter().map(|p| json!({
+                "cores": p.cores, "efficiency": p.efficiency })).collect::<Vec<_>>(),
+            "per_machine": per_machine,
+        }),
+    );
+}

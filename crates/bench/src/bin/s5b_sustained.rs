@@ -1,0 +1,93 @@
+//! §V.B: sustained performance — measured kernel flop rate on this
+//! machine, and the model's projection of the paper's 220 Tflop/s (M8
+//! production) and 260 Tflop/s (1.4-trillion-point benchmark) runs.
+
+use awp_bench::{save_record, section};
+use awp_cvm::mesh::MeshGenerator;
+use awp_cvm::model::HomogeneousModel;
+use awp_grid::dims::{Dims3, Idx3};
+use awp_perfmodel::evolution::{model_sustained_tflops, VersionFeatures};
+use awp_perfmodel::machines::Machine;
+use awp_perfmodel::speedup::{best_parts, m8_mesh, m8_parts, PAPER_C};
+use awp_solver::config::SolverConfig;
+use awp_solver::flops::per_point;
+use awp_solver::solver::Solver;
+use awp_solver::stations::Station;
+use awp_source::kinematic::KinematicSource;
+use awp_source::moment::MomentTensor;
+use awp_source::stf::Stf;
+use serde_json::json;
+
+fn main() {
+    section("§V.B — sustained performance");
+
+    // Measured: serial kernel rate on this host.
+    let dims = Dims3::new(96, 96, 96);
+    let h = 100.0;
+    let mesh = MeshGenerator::new(&HomogeneousModel::rock(), dims, h).generate();
+    let dt = mesh.stats().dt_max() * 0.9;
+    let source = KinematicSource::point(
+        Idx3::new(48, 48, 48),
+        MomentTensor::explosion(),
+        1e16,
+        Stf::Triangle { rise_time: 0.2 },
+        dt,
+    );
+    let steps = 60;
+    let mut cfg = SolverConfig::small(dims, h, dt, steps);
+    cfg.attenuation = true;
+    println!("measuring: {} cells × {steps} steps, anelastic ({} flops/point/step) ...",
+        dims.count(), per_point(true));
+    let t0 = std::time::Instant::now();
+    let res = Solver::run_serial(cfg, &mesh, &source, &[Station::new("s", Idx3::new(5, 5, 0))]);
+    let wall = t0.elapsed().as_secs_f64();
+    let gflops = res.flops as f64 / wall / 1e9;
+    println!("measured: {gflops:.2} Gflop/s on one core ({wall:.1} s wall)");
+
+    // Paper projections.
+    let jaguar = Machine::Jaguar.profile();
+    let m8_t = model_sustained_tflops(
+        m8_mesh(),
+        m8_parts(),
+        &jaguar,
+        PAPER_C,
+        VersionFeatures::for_version("7.2"),
+        0.0975,
+    );
+    // The 2,000-step benchmark: 750 × 375 × 79 km at 25 m = 1.42 trillion
+    // points ("sustained rates of 260 Tflop/s").
+    let bench_mesh = Dims3::new(30_000, 15_000, 3_160);
+    let bench_parts = best_parts(bench_mesh, 223_074, &jaguar, PAPER_C);
+    // Larger per-core blocks → better cache behaviour; the paper measured
+    // a higher per-core fraction on the benchmark (260/220 ≈ 1.18).
+    let bench_t = model_sustained_tflops(
+        bench_mesh,
+        bench_parts,
+        &jaguar,
+        PAPER_C,
+        VersionFeatures::for_version("7.2"),
+        0.0975 * 1.18,
+    );
+    println!("\nmodeled on 223,074 Jaguar cores:");
+    println!("  M8 production (436e9 points, 6.9 TB in / 4.5 TB out): {m8_t:.0} Tflop/s (paper: 220)");
+    println!("  2 Hz / 25 m benchmark (1.4e12 points): {bench_t:.0} Tflop/s (paper: 260)");
+    println!(
+        "  fraction of the 2.3 Pflop/s partition peak: {:.1}% (paper: ~10%)",
+        m8_t / jaguar.peak_tflops() * 100.0
+    );
+    println!("\npaper: 'the sustained performance is based on the 24-hour M8 production\n\
+         simulation … not a benchmark run.'");
+
+    save_record(
+        "s5b",
+        "Sustained performance: measured kernel rate + modeled Tflop/s (paper §V.B)",
+        json!({
+            "measured_gflops_single_core": gflops,
+            "flops_per_point_anelastic": per_point(true),
+            "modeled_m8_tflops": m8_t,
+            "modeled_benchmark_tflops": bench_t,
+            "paper_m8_tflops": 220.0,
+            "paper_benchmark_tflops": 260.0,
+        }),
+    );
+}

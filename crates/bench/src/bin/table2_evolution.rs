@@ -1,0 +1,106 @@
+//! Table 2: evolution of AWP-ODC — measured version-ladder speedups on
+//! this machine plus modeled sustained Tflop/s against the paper's
+//! reported values.
+
+use awp_bench::{fmt_time, save_record, section};
+use awp_cvm::mesh::MeshGenerator;
+use awp_cvm::model::LayeredModel;
+use awp_grid::dims::{Dims3, Idx3};
+use awp_perfmodel::evolution::{model_sustained_tflops, table2_reference, VersionFeatures};
+use awp_perfmodel::machines::Machine;
+use awp_perfmodel::speedup::{m8_mesh, m8_parts, PAPER_C};
+use awp_solver::config::{CodeVersion, SolverConfig};
+use awp_solver::solver::{partition_mesh_direct, run_parallel};
+use awp_solver::stations::Station;
+use awp_source::kinematic::KinematicSource;
+use awp_source::moment::MomentTensor;
+use awp_source::stf::Stf;
+use serde_json::json;
+
+fn main() {
+    section("Table 2 — evolution of AWP-ODC");
+
+    // Measured: the same problem under each code version's solver toggles
+    // (4 ranks of the virtual cluster).
+    let dims = Dims3::new(72, 72, 48);
+    let h = 200.0;
+    let model = LayeredModel::gradient_crust(900.0);
+    let mesh = MeshGenerator::new(&model, dims, h).generate();
+    let dt = mesh.stats().dt_max() * 0.9;
+    let source = KinematicSource::point(
+        Idx3::new(36, 36, 20),
+        MomentTensor::strike_slip(0.0),
+        1e18,
+        Stf::Triangle { rise_time: 1.0 },
+        dt,
+    );
+    let stations = [Station::new("s", Idx3::new(10, 10, 0))];
+    let parts = [2, 2, 1];
+    let decomp = awp_grid::decomp::Decomp3::new(dims, parts);
+    let meshes = partition_mesh_direct(&mesh, &decomp);
+    let steps = 40;
+
+    println!("measured mini-run ({} cells, {steps} steps, 4 ranks):", dims.count());
+    println!("{:<8} {:<34} {:>12} {:>9}", "version", "optimisations", "wall/step", "speedup");
+    let mut baseline = None;
+    let mut measured = Vec::new();
+    for v in CodeVersion::ALL {
+        let mut cfg = SolverConfig::small(dims, h, dt, steps);
+        cfg.opts = v.opts();
+        let t0 = std::time::Instant::now();
+        let _ = run_parallel(&cfg, parts, &meshes, &source, &stations);
+        let per_step = t0.elapsed().as_secs_f64() / steps as f64;
+        let base = *baseline.get_or_insert(per_step);
+        println!(
+            "{:<8} {:<34} {:>12} {:>8.2}x",
+            v.name(),
+            format!("{:?}", v.opts().comm_mode),
+            fmt_time(per_step),
+            base / per_step
+        );
+        measured.push(json!({ "version": v.name(), "seconds_per_step": per_step,
+                              "speedup_vs_v1": base / per_step }));
+    }
+
+    // Paper reference + model.
+    println!("\npaper Table 2 vs model (sustained Tflop/s at each milestone's machine):");
+    println!(
+        "{:<6} {:<8} {:<14} {:>10} {:>12} {:>12}",
+        "year", "version", "simulation", "SUs (M)", "paper Tf/s", "model Tf/s"
+    );
+    let mut rows = Vec::new();
+    for row in table2_reference() {
+        let feats = VersionFeatures::for_version(row.version);
+        // Milestone machines: TeraShake on DataStar, ShakeOut on Ranger,
+        // W2W on Kraken, M8 on Jaguar.
+        let (machine, n, cores) = match row.year {
+            2004..=2006 => (Machine::DataStar, Dims3::new(1500, 750, 400), 1024usize),
+            2007 | 2008 => (Machine::Ranger, Dims3::new(6000, 3000, 800), 16_000),
+            2009 => (Machine::Kraken, Dims3::new(6000, 3000, 800), 96_000),
+            _ => (Machine::Jaguar, m8_mesh(), 223_074),
+        };
+        let profile = machine.profile();
+        let parts = if cores == 223_074 {
+            m8_parts()
+        } else {
+            awp_perfmodel::speedup::best_parts(n, cores, &profile, PAPER_C)
+        };
+        let mut p = profile.clone();
+        p.cores_used = cores;
+        let modeled = model_sustained_tflops(n, parts, &p, PAPER_C, feats, 0.0975);
+        println!(
+            "{:<6} {:<8} {:<14} {:>10.1} {:>12.2} {:>12.2}",
+            row.year, row.version, row.simulation, row.alloc_su_millions,
+            row.sustained_tflops, modeled
+        );
+        rows.push(json!({
+            "year": row.year, "version": row.version, "simulation": row.simulation,
+            "paper_tflops": row.sustained_tflops, "modeled_tflops": modeled,
+        }));
+    }
+    save_record(
+        "table2",
+        "AWP-ODC evolution: measured version ladder + modeled sustained Tflop/s",
+        json!({ "measured_mini": measured, "milestones": rows }),
+    );
+}

@@ -1,0 +1,47 @@
+//! Shared plumbing for the experiment harness binaries.
+//!
+//! Every binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md's experiment index): it prints the
+//! same rows/series the paper reports and appends a JSON record under
+//! `results/`.
+
+use awp_analysis::record::{default_results_dir, ExperimentRecord};
+use serde_json::Value;
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Write the experiment record and report where it went.
+pub fn save_record(id: &str, description: &str, data: Value) {
+    let rec = ExperimentRecord::new(id, description, data);
+    match rec.write(&default_results_dir()) {
+        Ok(path) => println!("\n[record] {}", path.display()),
+        Err(e) => eprintln!("[record] failed to write: {e}"),
+    }
+}
+
+/// Format seconds in engineering units.
+pub fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.2} µs", s * 1e6)
+    }
+}
+
+/// Quick harness-side smoke tests.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_time_units() {
+        assert_eq!(fmt_time(2.5), "2.50 s");
+        assert_eq!(fmt_time(0.0025), "2.50 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.50 µs");
+    }
+}

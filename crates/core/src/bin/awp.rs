@@ -1,0 +1,140 @@
+//! `awp` — command-line front door to the AWP-ODC reproduction.
+//!
+//! ```text
+//! awp scenarios                         list the milestone catalogue
+//! awp run <name> [nx] [seconds]         run a scenario serially, print PGVs
+//! awp workflow <name> [nx] [seconds]    run the full E2E workflow (4 ranks)
+//! awp efficiency                        print the Eq. (8) M8 numbers
+//! awp machines                          print the Table-1 registry
+//! ```
+
+use awp_odc::perfmodel::machines::Machine;
+use awp_odc::perfmodel::speedup::{efficiency, m8_mesh, m8_parts, speedup, ModelInput, PAPER_C};
+use awp_odc::scenario::{RuptureDirection, Scenario};
+use awp_odc::workflow::{scratch_dir, E2EWorkflow};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  awp scenarios\n  awp run <name> [nx] [seconds]\n  awp workflow <name> [nx] [seconds]\n  awp efficiency\n  awp machines\n\nscenario names: terashake-k | terashake-d | shakeout-k | shakeout-d |\n                wall-to-wall | m8 | pnw"
+    );
+    std::process::exit(2);
+}
+
+fn build_scenario(name: &str, nx: usize) -> Scenario {
+    match name {
+        "terashake-k" => Scenario::terashake_k(nx, RuptureDirection::SeToNw),
+        "terashake-d" => Scenario::terashake_d(nx, 1992),
+        "shakeout-k" => Scenario::shakeout_k(nx, 0.3),
+        "shakeout-d" => Scenario::shakeout_d(nx, 7),
+        "wall-to-wall" => Scenario::wall_to_wall(nx),
+        "m8" => Scenario::m8(nx, 2010),
+        "pnw" => Scenario::pacific_northwest(nx, 9.0),
+        other => {
+            eprintln!("unknown scenario '{other}'");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("scenarios") => {
+            println!("{:<14} {:>8} {:>10} {:>8}  description", "name", "box (km)", "fault (km)", "source");
+            for name in
+                ["terashake-k", "terashake-d", "shakeout-k", "shakeout-d", "wall-to-wall", "m8", "pnw"]
+            {
+                let sc = build_scenario(name, 48);
+                println!(
+                    "{:<14} {:>4.0}x{:<4.0} {:>10.0} {:>8}  {}",
+                    name,
+                    sc.length / 1e3,
+                    sc.width / 1e3,
+                    sc.trace().length() / 1e3,
+                    match sc.source {
+                        awp_odc::scenario::SourceSpec::Kinematic { .. } => "kinem.",
+                        awp_odc::scenario::SourceSpec::Dynamic { .. } => "dynam.",
+                    },
+                    sc.description
+                );
+            }
+        }
+        Some("run") => {
+            let name = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let nx: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(96);
+            let secs: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(60.0);
+            let sc = build_scenario(name, nx).with_duration(secs);
+            println!("{} — {}", sc.name, sc.description);
+            let run = sc.prepare();
+            println!(
+                "grid {:?} (h = {:.1} km), {} steps, source Mw {:.2}",
+                run.cfg.dims,
+                sc.h() / 1e3,
+                run.cfg.steps,
+                run.source.magnitude()
+            );
+            let rep = run.run_serial();
+            println!(
+                "done in {:.1} s ({:.2} Gflop/s); PGV max {:.2} m/s",
+                rep.elapsed_s,
+                rep.sustained_flops() / 1e9,
+                rep.pgv.max()
+            );
+            println!("\ncity PGVH (m/s):");
+            for s in &rep.seismograms {
+                println!("  {:<18} {:>7.3}", s.station.name, s.pgvh_rss());
+            }
+            println!("\n{}", rep.pgv.to_ascii(90));
+        }
+        Some("workflow") => {
+            let name = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let nx: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(48);
+            let secs: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(30.0);
+            let sc = build_scenario(name, nx).with_duration(secs);
+            let dir = scratch_dir("awp-cli");
+            println!("{} → E2E workflow on 4 ranks (workdir {dir:?})", sc.name);
+            let rep = E2EWorkflow::new(sc.prepare(), [2, 2, 1], &dir)
+                .execute()
+                .expect("workflow failed");
+            println!("{:<20} {:>9} {:>10} {:>9}", "stage", "seconds", "MB", "MB/s");
+            for s in &rep.stages {
+                println!(
+                    "{:<20} {:>9.2} {:>10.2} {:>9.1}",
+                    s.stage,
+                    s.seconds,
+                    s.bytes as f64 / 1e6,
+                    s.mb_per_s()
+                );
+            }
+            println!(
+                "archive verified: {}; collection MD5 {}",
+                rep.archive_verified, rep.collection_checksum
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        Some("efficiency") => {
+            let inp = ModelInput {
+                n: m8_mesh(),
+                parts: m8_parts(),
+                machine: Machine::Jaguar.profile(),
+                c: PAPER_C,
+            };
+            println!(
+                "M8 on 223,074 Jaguar cores (Eq. 8): speedup {:.4e}, efficiency {:.1}%",
+                speedup(&inp),
+                efficiency(&inp) * 100.0
+            );
+            println!("paper §V.A: 2.20e5 / 98.6%");
+        }
+        Some("machines") => {
+            for m in Machine::ALL {
+                let p = m.profile();
+                println!(
+                    "{:<10} {:<22} {:>7} cores {:>6.1} Gf/core  α={:.1e} β={:.1e}",
+                    p.name, p.interconnect, p.cores_used, p.peak_gflops, p.alpha, p.beta
+                );
+            }
+        }
+        _ => usage(),
+    }
+}

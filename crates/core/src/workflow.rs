@@ -1,0 +1,452 @@
+//! E2EaW — the end-to-end workflow (paper §III.I, Fig. 10).
+//!
+//! Carries one simulation through the full production pipeline:
+//!
+//! 1. **CVM2MESH** — write the global mesh file;
+//! 2. **PetaMeshP** — pre-partition it into per-rank files (under the
+//!    §IV.E open-file throttle), or redistribute the global file on demand
+//!    through reader ranks (the MPI-IO path M8 kept as fallback);
+//! 3. **dSrcG/PetaSrcP** — write the moment-rate file and distribute
+//!    subfaults to their owning ranks;
+//! 4. **AWM** — the parallel solve, with run-time output aggregation
+//!    writing decimated surface velocities into one shared file at
+//!    explicit displacements (§III.E), optional per-rank checkpointing
+//!    (§III.F) and failure-injected restart;
+//! 5. **checksums** — parallel MD5 of every rank's output block;
+//! 6. **archive** — copy to the archive directory and re-verify the
+//!    digests (the GridFTP + iRODS ingestion stand-in).
+
+use crate::scenario::ScenarioRun;
+use awp_analysis::pgv::PgvMap;
+use awp_cvm::mesh::Mesh;
+use awp_grid::decomp::Decomp3;
+use awp_pario::checkpoint::{checkpoint_file_name, read_checkpoint, write_checkpoint, CheckpointData};
+use awp_pario::output::{OutputAggregator, OutputPlan, SharedFileWriter};
+use awp_pario::partition::{partition_ondemand, prepartition, read_prepartitioned};
+use awp_pario::throttle::OpenThrottle;
+use awp_pario::Md5;
+use awp_solver::boundary::owns_free_surface;
+use awp_solver::config::SolverConfig;
+use awp_solver::solver::{exchange_material_halos, Solver};
+use awp_solver::stations::{surface_velocities, Station};
+use awp_source::kinematic::KinematicSource;
+use awp_vcluster::Cluster;
+use serde::Serialize;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One pipeline stage's timing.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageTiming {
+    pub stage: String,
+    pub seconds: f64,
+    pub bytes: u64,
+}
+
+impl StageTiming {
+    /// Throughput in MB/s (0 when no bytes were moved).
+    pub fn mb_per_s(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.bytes as f64 / 1e6 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Workflow outcome.
+#[derive(Debug)]
+pub struct WorkflowReport {
+    pub stages: Vec<StageTiming>,
+    /// Per-rank output-block digests.
+    pub checksums: Vec<String>,
+    /// Digest of the digest list (the collection fingerprint).
+    pub collection_checksum: String,
+    /// Archive copy re-verified against the checksums.
+    pub archive_verified: bool,
+    pub pgv: PgvMap,
+    pub surface_file: PathBuf,
+    /// Output write transactions (the aggregation-efficiency metric).
+    pub output_transactions: u64,
+    /// Step at which an injected failure aborted the first pass.
+    pub failed_at: Option<usize>,
+    /// Whether a restart pass ran.
+    pub restarted: bool,
+}
+
+/// Mesh-input scheme — the paper's two PetaMeshP I/O models (§III.C):
+/// per-rank pre-partitioned files, or on-demand reader/receiver
+/// redistribution of the single global file ("MPI-IO" path, which M8 kept
+/// as the fallback "in case of hardware file system failure", §VII.B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputMode {
+    Prepartitioned,
+    OnDemand { readers: usize },
+}
+
+/// The end-to-end workflow runner.
+pub struct E2EWorkflow {
+    pub run: ScenarioRun,
+    pub parts: [usize; 3],
+    pub workdir: PathBuf,
+    /// Temporal output decimation (M8: every 20th step).
+    pub output_decimate: usize,
+    /// Aggregation flush interval in steps (M8: 20 000).
+    pub flush_every: usize,
+    /// Open-file throttle limit (M8: 650).
+    pub open_limit: usize,
+    /// Mesh input scheme.
+    pub input: InputMode,
+    /// Per-rank checkpoint interval in steps (None = off; M8 disabled
+    /// checkpointing to spare the filesystem the 49 TB state writes).
+    pub checkpoint_every: Option<usize>,
+    /// Failure injection: abort the solve at this step; the workflow then
+    /// restarts from the latest checkpoints (§III.F restart capability).
+    pub fail_at_step: Option<usize>,
+}
+
+/// Per-rank solve outcome.
+type RankOutcome = (usize, awp_grid::decomp::Subdomain, Vec<f32>, String, u64);
+
+impl E2EWorkflow {
+    pub fn new(run: ScenarioRun, parts: [usize; 3], workdir: impl Into<PathBuf>) -> Self {
+        Self {
+            run,
+            parts,
+            workdir: workdir.into(),
+            output_decimate: 4,
+            flush_every: 50,
+            open_limit: 650,
+            input: InputMode::Prepartitioned,
+            checkpoint_every: None,
+            fail_at_step: None,
+        }
+    }
+
+    /// Execute all stages.
+    pub fn execute(&self) -> io::Result<WorkflowReport> {
+        let mut stages = Vec::new();
+        std::fs::create_dir_all(&self.workdir)?;
+        let cfg = &self.run.cfg;
+        let decomp = Decomp3::new(cfg.dims, self.parts);
+        let n_ranks = decomp.rank_count();
+
+        // 1. CVM2MESH: the global mesh file.
+        let mesh_path = self.workdir.join("mesh.global.bin");
+        let t = Instant::now();
+        awp_cvm::meshfile::write_mesh(&mesh_path, &self.run.mesh)?;
+        stages.push(StageTiming {
+            stage: "cvm2mesh".into(),
+            seconds: t.elapsed().as_secs_f64(),
+            bytes: std::fs::metadata(&mesh_path)?.len(),
+        });
+
+        // 2. PetaMeshP: pre-partition, or on-demand reader/receiver
+        // redistribution of the global file.
+        let parts_dir = self.workdir.join("parts");
+        let throttle = OpenThrottle::new(self.open_limit);
+        let t = Instant::now();
+        let ondemand_meshes = match self.input {
+            InputMode::Prepartitioned => {
+                let part_paths = prepartition(&mesh_path, &decomp, &parts_dir, Some(&throttle))?;
+                let part_bytes: u64 = part_paths
+                    .iter()
+                    .map(|p| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+                    .sum();
+                stages.push(StageTiming {
+                    stage: "petameshp".into(),
+                    seconds: t.elapsed().as_secs_f64(),
+                    bytes: part_bytes,
+                });
+                None
+            }
+            InputMode::OnDemand { readers } => {
+                let meshes = partition_ondemand(&mesh_path, &decomp, readers)?;
+                let bytes: u64 = meshes.iter().map(|m| m.memory_bytes() as u64).sum();
+                stages.push(StageTiming {
+                    stage: "petameshp-ondemand".into(),
+                    seconds: t.elapsed().as_secs_f64(),
+                    bytes,
+                });
+                Some(meshes)
+            }
+        };
+
+        // 3. dSrcG + PetaSrcP.
+        let src_path = self.workdir.join("source.bin");
+        let t = Instant::now();
+        awp_source::srcfile::write_source(&src_path, &self.run.source)?;
+        let rank_sources = awp_source::partition::partition_spatial(&self.run.source, &decomp);
+        stages.push(StageTiming {
+            stage: "dsrcg+petasrcp".into(),
+            seconds: t.elapsed().as_secs_f64(),
+            bytes: std::fs::metadata(&src_path)?.len(),
+        });
+
+        // 4. AWM with run-time output aggregation (+ optional checkpoints
+        // and failure-injected restart).
+        let surface_file = self.workdir.join("surface.bin");
+        let writer = Arc::new(SharedFileWriter::create(&surface_file)?);
+        let surface_ranks: Vec<usize> =
+            (0..n_ranks).filter(|&r| owns_free_surface(&decomp.subdomain(r))).collect();
+        let rank_len = surface_ranks
+            .iter()
+            .map(|&r| {
+                let s = decomp.subdomain(r);
+                3 * s.dims.nx * s.dims.ny
+            })
+            .max()
+            .unwrap_or(0);
+        let plan = OutputPlan {
+            decimate: self.output_decimate,
+            flush_every: self.flush_every,
+            rank_len,
+            ranks: surface_ranks.len(),
+        };
+        let ckpt_dir = self.workdir.join("ckpt");
+        if self.checkpoint_every.is_some() {
+            std::fs::create_dir_all(&ckpt_dir)?;
+        }
+        let env = SolveEnv {
+            cfg,
+            decomp: &decomp,
+            parts_dir: &parts_dir,
+            throttle: &throttle,
+            ondemand_meshes: &ondemand_meshes,
+            rank_sources: &rank_sources,
+            stations: &self.run.stations,
+            writer: &writer,
+            plan,
+            surface_ranks: &surface_ranks,
+            ckpt_dir: &ckpt_dir,
+            checkpoint_every: self.checkpoint_every,
+        };
+        let t = Instant::now();
+        let first = solve_ranks(&env, false, self.fail_at_step)?;
+        let failed_at = self.fail_at_step.filter(|&s| s < cfg.steps);
+        let mut restarted = false;
+        let results = if failed_at.is_some() {
+            assert!(
+                self.checkpoint_every.is_some(),
+                "failure injection requires checkpointing"
+            );
+            // "This approach helps restart in the case of unexpected
+            // termination" — resume every rank from its latest checkpoint.
+            restarted = true;
+            solve_ranks(&env, true, None)?
+        } else {
+            first
+        };
+        let solve_seconds = t.elapsed().as_secs_f64();
+
+        let mut pgv_map = PgvMap::zeros(cfg.dims.nx, cfg.dims.ny, cfg.h);
+        let mut checksums = Vec::new();
+        for (_, sub, pgv, digest, _) in results {
+            if !digest.is_empty() {
+                checksums.push(digest);
+            }
+            for j in 0..sub.dims.ny {
+                for i in 0..sub.dims.nx {
+                    if !pgv.is_empty() {
+                        pgv_map.data[(sub.origin.i + i) + cfg.dims.nx * (sub.origin.j + j)] =
+                            pgv[i + sub.dims.nx * j] as f64;
+                    }
+                }
+            }
+        }
+        stages.push(StageTiming {
+            stage: "awm-solve".into(),
+            seconds: solve_seconds,
+            bytes: writer.bytes_written(),
+        });
+        let output_transactions = writer.transactions();
+
+        // 5. Collection checksum.
+        let mut top = Md5::new();
+        for c in &checksums {
+            top.update(c.as_bytes());
+        }
+        let collection_checksum = top.finalize_hex();
+
+        // 6. Archive with verification.
+        let archive_dir = self.workdir.join("archive");
+        std::fs::create_dir_all(&archive_dir)?;
+        let archived = archive_dir.join("surface.bin");
+        let t = Instant::now();
+        std::fs::copy(&surface_file, &archived)?;
+        let copy_bytes = std::fs::metadata(&archived)?.len();
+        let archive_verified = {
+            let a = Md5::digest_hex(&std::fs::read(&surface_file)?);
+            let b = Md5::digest_hex(&std::fs::read(&archived)?);
+            a == b
+        };
+        stages.push(StageTiming {
+            stage: "archive".into(),
+            seconds: t.elapsed().as_secs_f64(),
+            bytes: copy_bytes,
+        });
+
+        Ok(WorkflowReport {
+            stages,
+            checksums,
+            collection_checksum,
+            archive_verified,
+            pgv: pgv_map,
+            surface_file,
+            output_transactions,
+            failed_at,
+            restarted,
+        })
+    }
+}
+
+/// Everything a solve pass needs (shared between the initial run and a
+/// restart).
+struct SolveEnv<'a> {
+    cfg: &'a SolverConfig,
+    decomp: &'a Decomp3,
+    parts_dir: &'a Path,
+    throttle: &'a OpenThrottle,
+    ondemand_meshes: &'a Option<Vec<Mesh>>,
+    rank_sources: &'a [KinematicSource],
+    stations: &'a [Station],
+    writer: &'a Arc<SharedFileWriter>,
+    plan: OutputPlan,
+    surface_ranks: &'a [usize],
+    ckpt_dir: &'a Path,
+    checkpoint_every: Option<usize>,
+}
+
+/// Run all ranks from step 0 (or from their checkpoints when `resume`)
+/// until `stop_at` (exclusive) or completion.
+fn solve_ranks(
+    env: &SolveEnv<'_>,
+    resume: bool,
+    stop_at: Option<usize>,
+) -> io::Result<Vec<RankOutcome>> {
+    let cfg = env.cfg;
+    let n_ranks = env.decomp.rank_count();
+    let cluster = Cluster::new(n_ranks, cfg.opts.comm_mode.into());
+    let results: Vec<io::Result<RankOutcome>> = cluster.run(|ctx| {
+        let rank = ctx.rank();
+        let sub = env.decomp.subdomain(rank);
+        // Each rank obtains its sub-mesh per the configured input scheme.
+        let local = match env.ondemand_meshes {
+            Some(meshes) => meshes[rank].clone(),
+            None => read_prepartitioned(env.parts_dir, rank, Some(env.throttle))?,
+        };
+        let mut solver =
+            Solver::new(cfg.clone(), sub, &local, &env.rank_sources[rank], env.stations);
+        exchange_material_halos(&mut solver.med, &sub, ctx);
+        solver.med.precompute();
+        let surf_slot = env.surface_ranks.iter().position(|&r| r == rank);
+        let mut agg = surf_slot.map(|slot| OutputAggregator::new(env.plan, slot));
+        let mut pgv = if surf_slot.is_some() {
+            vec![0.0f32; sub.dims.nx * sub.dims.ny]
+        } else {
+            Vec::new()
+        };
+        let mut start_step = 0usize;
+        if resume {
+            let ckpt = read_checkpoint(&env.ckpt_dir.join(checkpoint_file_name(rank)))?;
+            start_step = ckpt.step as usize;
+            solver.state.restore_fields(&ckpt.fields);
+            solver.step = start_step;
+            if let (Some(saved), false) = (ckpt.field("workflow_pgv"), pgv.is_empty()) {
+                pgv.copy_from_slice(saved);
+            }
+        }
+        let end = stop_at.unwrap_or(cfg.steps).min(cfg.steps);
+        for step in start_step..end {
+            solver.step_parallel(ctx);
+            if let Some(agg) = agg.as_mut() {
+                let mut rec = surface_velocities(&solver.state, 1);
+                rec.resize(env.plan.rank_len, 0.0);
+                agg.record(step, &rec, env.writer)?;
+                for j in 0..sub.dims.ny {
+                    for i in 0..sub.dims.nx {
+                        let vx = solver.state.vx.get(i as isize, j as isize, 0);
+                        let vy = solver.state.vy.get(i as isize, j as isize, 0);
+                        let h = (vx * vx + vy * vy).sqrt();
+                        let p = &mut pgv[i + sub.dims.nx * j];
+                        if h > *p {
+                            *p = h;
+                        }
+                    }
+                }
+            }
+            if let Some(every) = env.checkpoint_every {
+                let done = step + 1;
+                if done % every == 0 && done < cfg.steps {
+                    let mut fields = solver.state.checkpoint_fields();
+                    fields.push(("workflow_pgv".to_string(), pgv.clone()));
+                    write_checkpoint(
+                        &env.ckpt_dir.join(checkpoint_file_name(rank)),
+                        &CheckpointData { step: done as u64, fields },
+                    )?;
+                }
+            }
+        }
+        if let Some(agg) = agg.as_mut() {
+            agg.flush(env.writer)?;
+        }
+        env.writer.sync()?;
+        // Parallel MD5 of this rank's final output block (only meaningful
+        // once the run completed; an aborted pass digests nothing).
+        let digest = if let Some(slot) = surf_slot {
+            if end == cfg.steps && cfg.steps > 0 {
+                let last_rec = (cfg.steps - 1) / env.plan.decimate;
+                let data =
+                    env.writer.read_f32_at(env.plan.offset(last_rec, slot), env.plan.rank_len)?;
+                let mut h = Md5::new();
+                h.update_f32(&data);
+                h.finalize_hex()
+            } else {
+                String::new()
+            }
+        } else {
+            String::new()
+        };
+        Ok((rank, sub, pgv, digest, solver.flops.total))
+    });
+    results.into_iter().collect()
+}
+
+/// Convenience: locate a stage by name.
+impl WorkflowReport {
+    pub fn stage(&self, name: &str) -> Option<&StageTiming> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+}
+
+/// Scratch directory helper for tests/examples.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("awp-odc-{tag}-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn workflow_runs_end_to_end() {
+        let sc = Scenario::shakeout_k(24, 0.3).with_duration(15.0);
+        let run = sc.prepare();
+        let dir = scratch_dir("wf-unit");
+        let wf = E2EWorkflow::new(run, [2, 2, 1], &dir);
+        let rep = wf.execute().expect("workflow must complete");
+        assert!(rep.archive_verified, "archive digests must match");
+        assert_eq!(rep.checksums.len(), 4, "all four surface ranks digest");
+        assert!(rep.pgv.max() > 0.0, "the scenario must shake the surface");
+        assert!(rep.stage("cvm2mesh").is_some());
+        assert!(rep.stage("awm-solve").unwrap().seconds > 0.0);
+        assert!(rep.output_transactions > 0);
+        assert!(rep.failed_at.is_none() && !rep.restarted);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

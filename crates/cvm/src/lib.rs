@@ -1,0 +1,27 @@
+//! Community velocity model substrate and mesh generation.
+//!
+//! The paper extracts the 3-D crustal structure of Southern California from
+//! the SCEC Community Velocity Model V4 (CVM4) with the CVM2MESH package:
+//! "The program partitions the mesh region into a set of slices along the
+//! z-axis … Each slice is assigned to an individual core for extraction from
+//! the underlying CVM" (§III.B). CVM4 itself is proprietary data we do not
+//! have, so [`socal::SoCalModel`] provides a procedural stand-in with the
+//! same structural elements — a depth-gradient crust, sedimentary basins
+//! (Los Angeles, San Bernardino, Ventura, Coachella analogues), a minimum
+//! S-wave velocity floor, and the paper's on-the-fly quality factor rules
+//! `Q_s = 50 V_s` (V_s in km/s) and `Q_p = 2 Q_s`.
+//!
+//! [`mesh::MeshGenerator`] reproduces the CVM2MESH slice-parallel extraction
+//! (Rayon workers stand in for the per-slice MPI cores) and
+//! [`meshfile`] the single global mesh file that PetaMeshP later partitions.
+
+pub mod material;
+pub mod mesh;
+pub mod meshfile;
+pub mod model;
+pub mod socal;
+
+pub use material::MaterialSample;
+pub use mesh::{Mesh, MeshGenerator, MeshStats};
+pub use model::{CommunityVelocityModel, HomogeneousModel, LayeredModel};
+pub use socal::SoCalModel;

@@ -1,0 +1,116 @@
+//! Material samples and empirical crustal relations.
+
+use serde::{Deserialize, Serialize};
+
+/// One queried material point: wave speeds (m/s), density (kg/m³) and
+/// quality factors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaterialSample {
+    pub vp: f32,
+    pub vs: f32,
+    pub rho: f32,
+    pub qs: f32,
+    pub qp: f32,
+}
+
+impl MaterialSample {
+    /// Build a sample from wave speeds, deriving Q from the paper's
+    /// on-the-fly rules: "Qs = 50 Vs where Vs is in units of km/s, and
+    /// Qp = 2 Qs" (§VII.B).
+    pub fn from_speeds(vp: f32, vs: f32, rho: f32) -> Self {
+        let qs = qs_from_vs(vs);
+        Self { vp, vs, rho, qs, qp: 2.0 * qs }
+    }
+
+    /// Physical admissibility: positive density, Vp > √2·Vs (positive λ),
+    /// positive Q.
+    pub fn is_physical(&self) -> bool {
+        self.rho > 0.0
+            && self.vs > 0.0
+            && self.vp > self.vs * std::f32::consts::SQRT_2
+            && self.qs > 0.0
+            && self.qp > 0.0
+    }
+}
+
+/// The paper's empirical attenuation rule (V_s in m/s here).
+pub fn qs_from_vs(vs_mps: f32) -> f32 {
+    50.0 * (vs_mps / 1000.0)
+}
+
+/// Brocher (2005) regression: V_p from V_s, both km/s. Standard crustal
+/// scaling used by SCEC velocity models.
+pub fn brocher_vp_from_vs(vs_km: f64) -> f64 {
+    0.9409 + 2.0947 * vs_km - 0.8206 * vs_km.powi(2) + 0.2683 * vs_km.powi(3)
+        - 0.0251 * vs_km.powi(4)
+}
+
+/// Nafe–Drake regression: density (g/cm³) from V_p (km/s).
+pub fn nafe_drake_rho_from_vp(vp_km: f64) -> f64 {
+    1.6612 * vp_km - 0.4721 * vp_km.powi(2) + 0.0671 * vp_km.powi(3) - 0.0043 * vp_km.powi(4)
+        + 0.000106 * vp_km.powi(5)
+}
+
+/// Full sample from V_s alone via the Brocher/Nafe–Drake chain (V_s in
+/// m/s).
+pub fn sample_from_vs(vs_mps: f64) -> MaterialSample {
+    let vs_km = vs_mps / 1000.0;
+    let vp_km = brocher_vp_from_vs(vs_km);
+    let rho = nafe_drake_rho_from_vp(vp_km) * 1000.0; // g/cc → kg/m³
+    MaterialSample::from_speeds((vp_km * 1000.0) as f32, vs_mps as f32, rho as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_rules_match_paper() {
+        // Vs = 400 m/s → Qs = 20, Qp = 40.
+        let s = MaterialSample::from_speeds(1600.0, 400.0, 1900.0);
+        assert!((s.qs - 20.0).abs() < 1e-4);
+        assert!((s.qp - 40.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn brocher_rock_values_reasonable() {
+        // Vs = 3.5 km/s → Vp ≈ 6.0–6.3 km/s for typical crust.
+        let vp = brocher_vp_from_vs(3.5);
+        assert!(vp > 5.7 && vp < 6.5, "vp {vp}");
+    }
+
+    #[test]
+    fn nafe_drake_rock_density() {
+        // Vp = 6 km/s → ρ ≈ 2.6–2.8 g/cc.
+        let rho = nafe_drake_rho_from_vp(6.0);
+        assert!(rho > 2.5 && rho < 2.9, "rho {rho}");
+    }
+
+    #[test]
+    fn sediment_sample_is_physical() {
+        let s = sample_from_vs(400.0);
+        assert!(s.is_physical(), "{s:?}");
+        assert!(s.vp > 1200.0 && s.vp < 2500.0, "vp {}", s.vp);
+        assert!(s.rho > 1500.0 && s.rho < 2400.0, "rho {}", s.rho);
+    }
+
+    #[test]
+    fn chain_monotone_in_vs() {
+        let mut prev = sample_from_vs(300.0);
+        for vs in [500.0, 1000.0, 2000.0, 3000.0, 4000.0] {
+            let s = sample_from_vs(vs);
+            assert!(s.vp > prev.vp);
+            assert!(s.rho > prev.rho);
+            assert!(s.qs > prev.qs);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn unphysical_detected() {
+        let bad = MaterialSample { vp: 500.0, vs: 400.0, rho: 2000.0, qs: 20.0, qp: 40.0 };
+        assert!(!bad.is_physical(), "vp < √2 vs must be rejected");
+        let bad2 = MaterialSample { vp: 1600.0, vs: 400.0, rho: -1.0, qs: 20.0, qp: 40.0 };
+        assert!(!bad2.is_physical());
+    }
+}

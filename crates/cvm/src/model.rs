@@ -1,0 +1,141 @@
+//! Velocity-model interface plus simple reference models.
+
+use crate::material::{sample_from_vs, MaterialSample};
+use serde::{Deserialize, Serialize};
+
+/// A queryable 3-D material model. Coordinates are metres within the model
+/// box: `x` east-ish (along the long axis), `y` north-ish, `z` **depth**
+/// below the free surface (positive down).
+pub trait CommunityVelocityModel: Sync {
+    fn query(&self, x: f64, y: f64, z: f64) -> MaterialSample;
+
+    /// Hard floor applied to V_s — M8 used "a minimum S-wave velocity (Vs)
+    /// of 400 m/s" (§VII.B). Models return samples already clamped.
+    fn vs_floor(&self) -> f32 {
+        400.0
+    }
+}
+
+/// Uniform halfspace (verification and analytic tests).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HomogeneousModel {
+    pub sample: MaterialSample,
+}
+
+impl HomogeneousModel {
+    /// Standard hard-rock halfspace: Vp 6 km/s, Vs 3.464 km/s, ρ 2700.
+    pub fn rock() -> Self {
+        Self { sample: MaterialSample::from_speeds(6000.0, 3464.0, 2700.0) }
+    }
+
+    pub fn new(vp: f32, vs: f32, rho: f32) -> Self {
+        Self { sample: MaterialSample::from_speeds(vp, vs, rho) }
+    }
+}
+
+impl CommunityVelocityModel for HomogeneousModel {
+    fn query(&self, _x: f64, _y: f64, _z: f64) -> MaterialSample {
+        self.sample
+    }
+}
+
+/// Flat-layered model: each layer is (bottom depth m, sample). Depths must
+/// ascend; the last layer extends to infinity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayeredModel {
+    layers: Vec<(f64, MaterialSample)>,
+}
+
+impl LayeredModel {
+    pub fn new(layers: Vec<(f64, MaterialSample)>) -> Self {
+        assert!(!layers.is_empty(), "need at least one layer");
+        for w in layers.windows(2) {
+            assert!(w[0].0 < w[1].0, "layer depths must ascend");
+        }
+        Self { layers }
+    }
+
+    /// The LOH.1-style verification structure: a 1 km soft layer over a
+    /// hard halfspace — a standard community test model.
+    pub fn loh1() -> Self {
+        Self::new(vec![
+            (1000.0, MaterialSample::from_speeds(4000.0, 2000.0, 2600.0)),
+            (f64::INFINITY, MaterialSample::from_speeds(6000.0, 3464.0, 2700.0)),
+        ])
+    }
+
+    /// Generic depth-gradient crust used as the background of the SoCal
+    /// model: V_s rises from `vs_surface` to ~3.5 km/s by 6 km depth and
+    /// on to 4.0 km/s at 30 km.
+    pub fn gradient_crust(vs_surface: f64) -> Self {
+        let profile = [
+            (500.0, vs_surface),
+            (1500.0, vs_surface.max(1800.0)),
+            (3000.0, 2600.0),
+            (6000.0, 3200.0),
+            (16000.0, 3500.0),
+            (30000.0, 3800.0),
+            (f64::INFINITY, 4200.0),
+        ];
+        Self::new(profile.iter().map(|&(d, vs)| (d, sample_from_vs(vs))).collect())
+    }
+
+    pub fn sample_at_depth(&self, z: f64) -> MaterialSample {
+        for &(bottom, s) in &self.layers {
+            if z < bottom {
+                return s;
+            }
+        }
+        self.layers.last().unwrap().1
+    }
+}
+
+impl CommunityVelocityModel for LayeredModel {
+    fn query(&self, _x: f64, _y: f64, z: f64) -> MaterialSample {
+        self.sample_at_depth(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_is_uniform() {
+        let m = HomogeneousModel::rock();
+        let a = m.query(0.0, 0.0, 0.0);
+        let b = m.query(1e5, 2e5, 8e4);
+        assert_eq!(a, b);
+        assert!(a.is_physical());
+    }
+
+    #[test]
+    fn layered_picks_correct_layer() {
+        let m = LayeredModel::loh1();
+        assert_eq!(m.query(0.0, 0.0, 500.0).vs, 2000.0);
+        assert_eq!(m.query(0.0, 0.0, 1500.0).vs, 3464.0);
+        // Boundary belongs to the lower layer (z < bottom is strict).
+        assert_eq!(m.query(0.0, 0.0, 1000.0).vs, 3464.0);
+    }
+
+    #[test]
+    fn gradient_crust_monotone_with_depth() {
+        let m = LayeredModel::gradient_crust(760.0);
+        let mut prev = 0.0f32;
+        for z in [0.0, 1000.0, 2000.0, 5000.0, 10_000.0, 25_000.0, 50_000.0] {
+            let s = m.query(0.0, 0.0, z);
+            assert!(s.vs >= prev, "vs must not decrease with depth");
+            assert!(s.is_physical(), "z={z}: {s:?}");
+            prev = s.vs;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn unsorted_layers_rejected() {
+        LayeredModel::new(vec![
+            (2000.0, MaterialSample::from_speeds(6000.0, 3464.0, 2700.0)),
+            (1000.0, MaterialSample::from_speeds(6000.0, 3464.0, 2700.0)),
+        ]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the velocity-model substrate.
+
+use awp_cvm::material::{sample_from_vs, MaterialSample};
+use awp_cvm::mesh::MeshGenerator;
+use awp_cvm::model::{CommunityVelocityModel, LayeredModel};
+use awp_cvm::SoCalModel;
+use awp_grid::dims::Dims3;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The Brocher/Nafe–Drake chain yields physically admissible samples
+    /// across the crustal Vs range.
+    #[test]
+    fn material_chain_physical(vs in 250.0f64..4600.0) {
+        let s = sample_from_vs(vs);
+        prop_assert!(s.is_physical(), "{s:?}");
+        prop_assert!(s.vp > s.vs);
+        prop_assert!((s.qs - 50.0 * s.vs / 1000.0).abs() < 1e-3);
+        prop_assert!((s.qp - 2.0 * s.qs).abs() < 1e-3);
+    }
+
+    /// Every SoCal query is physical and respects the 400 m/s floor, at
+    /// any position and depth.
+    #[test]
+    fn socal_queries_admissible(x in -1e5f64..9e5, y in -1e5f64..5e5, z in 0.0f64..9e4) {
+        let m = SoCalModel::m8();
+        let s = m.query(x, y, z);
+        prop_assert!(s.is_physical(), "{s:?} at ({x},{y},{z})");
+        prop_assert!(s.vs >= m.vs_floor() - 1e-3);
+    }
+
+    /// Vs never decreases with depth at a fixed map point (compaction).
+    #[test]
+    fn socal_vs_monotone_with_depth(x in 0.0f64..8.1e5, y in 0.0f64..4.05e5,
+                                    z1 in 0.0f64..3e4, dz in 0.0f64..3e4) {
+        let m = SoCalModel::m8();
+        let a = m.query(x, y, z1);
+        let b = m.query(x, y, z1 + dz);
+        prop_assert!(b.vs >= a.vs - 1.0, "Vs({z1}+{dz}) = {} < Vs({z1}) = {}", b.vs, a.vs);
+    }
+
+    /// Mesh extraction samples the model exactly at cell centres for any
+    /// window.
+    #[test]
+    fn mesh_matches_model_pointwise(nx in 2usize..6, ny in 2usize..6, nz in 2usize..6,
+                                    h in 100.0f64..2000.0,
+                                    ox in 0.0f64..1e5, oy in 0.0f64..1e5) {
+        let model = LayeredModel::gradient_crust(800.0);
+        let gen = MeshGenerator::new(&model, Dims3::new(nx, ny, nz), h).with_origin(ox, oy);
+        let mesh = gen.generate();
+        for (i, j, k) in [(0, 0, 0), (nx - 1, ny - 1, nz - 1), (nx / 2, ny / 2, nz / 2)] {
+            let want = model.query(
+                ox + (i as f64 + 0.5) * h,
+                oy + (j as f64 + 0.5) * h,
+                (k as f64 + 0.5) * h,
+            );
+            prop_assert_eq!(mesh.sample(i, j, k), want);
+        }
+    }
+
+    /// Mesh stats bound every sampled value.
+    #[test]
+    fn stats_are_bounds(h in 200.0f64..2000.0) {
+        let model = SoCalModel::scaled(50_000.0, 25_000.0);
+        let mesh = MeshGenerator::new(&model, Dims3::new(10, 5, 8), h).generate();
+        let st = mesh.stats();
+        for v in &mesh.vs {
+            prop_assert!(*v >= st.vs_min && *v <= st.vs_max);
+        }
+        for v in &mesh.vp {
+            prop_assert!(*v >= st.vp_min && *v <= st.vp_max);
+        }
+        prop_assert!(st.dt_max() > 0.0);
+        prop_assert!(st.f_max(5.0) > 0.0);
+    }
+
+    /// Q rules hold on every mesh cell.
+    #[test]
+    fn q_rules_on_mesh(seed in 0usize..4) {
+        let model = SoCalModel::scaled(100_000.0, 50_000.0);
+        let h = 2_000.0 + seed as f64 * 500.0;
+        let mesh = MeshGenerator::new(&model, Dims3::new(8, 4, 6), h).generate();
+        for p in 0..mesh.dims.count() {
+            prop_assert!((mesh.qs[p] - 50.0 * mesh.vs[p] / 1000.0).abs() < 1e-2);
+            prop_assert!((mesh.qp[p] - 2.0 * mesh.qs[p]).abs() < 1e-2);
+        }
+    }
+}
+
+/// Admissibility is also enforced structurally: a hand-built bad sample
+/// is rejected.
+#[test]
+fn admissibility_checks() {
+    let good = MaterialSample::from_speeds(6000.0, 3464.0, 2700.0);
+    assert!(good.is_physical());
+    let bad = MaterialSample { vp: 100.0, ..good };
+    assert!(!bad.is_physical());
+}

@@ -1,0 +1,124 @@
+//! Cache blocking of the (k, j) loop nest (paper §IV.B).
+//!
+//! The AWP-ODC kernels stream unit-stride along x; the j−1 and k−1 planes
+//! fall out of cache between iterations for any reasonably sized grid. The
+//! paper forms memory blocks over the k and j loops (`kblock`/`jblock`,
+//! empirically 16/8 for loop length ~125) so operands from adjacent planes
+//! are still resident when revisited.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Block sizes for the k (outer) and j (middle) loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockSpec {
+    pub kblock: usize,
+    pub jblock: usize,
+}
+
+impl BlockSpec {
+    /// The paper's empirically optimal choice on Jaguar (§IV.B: "For a
+    /// typical loop length of 125, the optimal solution was found to be
+    /// 16/8").
+    pub const JAGUAR: BlockSpec = BlockSpec { kblock: 16, jblock: 8 };
+
+    /// No blocking: a single block spans the whole loop.
+    pub const UNBLOCKED: BlockSpec = BlockSpec {
+        kblock: usize::MAX,
+        jblock: usize::MAX,
+    };
+
+    pub fn new(kblock: usize, jblock: usize) -> Self {
+        assert!(kblock > 0 && jblock > 0, "block sizes must be positive");
+        Self { kblock, jblock }
+    }
+}
+
+/// Tile the rectangle `0..nj` × `0..nk` into (j-range, k-range) blocks,
+/// ordered k-block outermost, mirroring the paper's
+/// `do kk / do jj / do k / do j` restructuring.
+pub fn blocked_tiles(nj: usize, nk: usize, spec: BlockSpec) -> Vec<(Range<usize>, Range<usize>)> {
+    let kb = spec.kblock.max(1);
+    let jb = spec.jblock.max(1);
+    let mut tiles = Vec::new();
+    let mut kk = 0;
+    while kk < nk {
+        let ke = (kk.saturating_add(kb)).min(nk);
+        let mut jj = 0;
+        while jj < nj {
+            let je = (jj.saturating_add(jb)).min(nj);
+            tiles.push((jj..je, kk..ke));
+            jj = je;
+        }
+        kk = ke;
+    }
+    tiles
+}
+
+/// Run `body(j, k)` over every (j, k) pair in blocked order.
+#[inline]
+pub fn for_each_blocked(nj: usize, nk: usize, spec: BlockSpec, mut body: impl FnMut(usize, usize)) {
+    for (jr, kr) in blocked_tiles(nj, nk, spec) {
+        for k in kr.clone() {
+            for j in jr.clone() {
+                body(j, k);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn tiles_cover_exactly_once() {
+        for (nj, nk, spec) in [
+            (10, 10, BlockSpec::new(3, 4)),
+            (125, 125, BlockSpec::JAGUAR),
+            (7, 1, BlockSpec::new(16, 8)),
+            (5, 5, BlockSpec::UNBLOCKED),
+        ] {
+            let mut seen = HashSet::new();
+            for_each_blocked(nj, nk, spec, |j, k| {
+                assert!(j < nj && k < nk);
+                assert!(seen.insert((j, k)), "({j},{k}) visited twice");
+            });
+            assert_eq!(seen.len(), nj * nk);
+        }
+    }
+
+    #[test]
+    fn unblocked_is_single_tile() {
+        let tiles = blocked_tiles(9, 4, BlockSpec::UNBLOCKED);
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0], (0..9, 0..4));
+    }
+
+    #[test]
+    fn jaguar_tiles_have_requested_shape() {
+        let tiles = blocked_tiles(125, 125, BlockSpec::JAGUAR);
+        // Full interior tiles are 8 (j) by 16 (k).
+        let (jr, kr) = &tiles[0];
+        assert_eq!(jr.len(), 8);
+        assert_eq!(kr.len(), 16);
+        // 125 = 15*8 + 5 → 16 j-blocks; 125 = 7*16 + 13 → 8 k-blocks.
+        assert_eq!(tiles.len(), 16 * 8);
+    }
+
+    #[test]
+    fn k_is_outermost() {
+        let tiles = blocked_tiles(4, 4, BlockSpec::new(2, 2));
+        // First two tiles share the first k block.
+        assert_eq!(tiles[0].1, 0..2);
+        assert_eq!(tiles[1].1, 0..2);
+        assert_eq!(tiles[2].1, 2..4);
+    }
+
+    #[test]
+    #[should_panic(expected = "block sizes must be positive")]
+    fn zero_block_rejected() {
+        BlockSpec::new(0, 8);
+    }
+}

@@ -1,0 +1,165 @@
+//! Grid extents and integer indices.
+
+use serde::{Deserialize, Serialize};
+
+/// Extent of a 3-D structured grid (number of cells per axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dims3 {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+impl Dims3 {
+    pub const fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Self { nx, ny, nz }
+    }
+
+    /// Total number of cells.
+    pub const fn count(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Extent along one axis (0 = x, 1 = y, 2 = z).
+    pub const fn axis(&self, axis: usize) -> usize {
+        match axis {
+            0 => self.nx,
+            1 => self.ny,
+            _ => self.nz,
+        }
+    }
+
+    /// Dims with one axis replaced.
+    pub fn with_axis(mut self, axis: usize, len: usize) -> Self {
+        match axis {
+            0 => self.nx = len,
+            1 => self.ny = len,
+            _ => self.nz = len,
+        }
+        self
+    }
+
+    pub fn as_array(&self) -> [usize; 3] {
+        [self.nx, self.ny, self.nz]
+    }
+
+    /// True when a point lies within `0..n` on every axis.
+    pub fn contains(&self, idx: Idx3) -> bool {
+        idx.i < self.nx && idx.j < self.ny && idx.k < self.nz
+    }
+
+    /// Row-major (x fastest) linear offset of an interior point.
+    pub fn linear(&self, idx: Idx3) -> usize {
+        debug_assert!(self.contains(idx));
+        idx.i + self.nx * (idx.j + self.ny * idx.k)
+    }
+
+    /// Inverse of [`Dims3::linear`].
+    pub fn delinear(&self, lin: usize) -> Idx3 {
+        debug_assert!(lin < self.count());
+        let i = lin % self.nx;
+        let j = (lin / self.nx) % self.ny;
+        let k = lin / (self.nx * self.ny);
+        Idx3 { i, j, k }
+    }
+}
+
+impl From<(usize, usize, usize)> for Dims3 {
+    fn from((nx, ny, nz): (usize, usize, usize)) -> Self {
+        Self { nx, ny, nz }
+    }
+}
+
+/// Index of a cell within a grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Idx3 {
+    pub i: usize,
+    pub j: usize,
+    pub k: usize,
+}
+
+impl Idx3 {
+    pub const fn new(i: usize, j: usize, k: usize) -> Self {
+        Self { i, j, k }
+    }
+
+    pub const fn axis(&self, axis: usize) -> usize {
+        match axis {
+            0 => self.i,
+            1 => self.j,
+            _ => self.k,
+        }
+    }
+
+    pub fn with_axis(mut self, axis: usize, v: usize) -> Self {
+        match axis {
+            0 => self.i = v,
+            1 => self.j = v,
+            _ => self.k = v,
+        }
+        self
+    }
+}
+
+impl From<(usize, usize, usize)> for Idx3 {
+    fn from((i, j, k): (usize, usize, usize)) -> Self {
+        Self { i, j, k }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_multiplies_axes() {
+        assert_eq!(Dims3::new(3, 4, 5).count(), 60);
+        assert_eq!(Dims3::new(1, 1, 1).count(), 1);
+    }
+
+    #[test]
+    fn linear_is_x_fastest() {
+        let d = Dims3::new(4, 3, 2);
+        assert_eq!(d.linear(Idx3::new(0, 0, 0)), 0);
+        assert_eq!(d.linear(Idx3::new(1, 0, 0)), 1);
+        assert_eq!(d.linear(Idx3::new(0, 1, 0)), 4);
+        assert_eq!(d.linear(Idx3::new(0, 0, 1)), 12);
+        assert_eq!(d.linear(Idx3::new(3, 2, 1)), 23);
+    }
+
+    #[test]
+    fn delinear_round_trips() {
+        let d = Dims3::new(5, 7, 3);
+        for lin in 0..d.count() {
+            assert_eq!(d.linear(d.delinear(lin)), lin);
+        }
+    }
+
+    #[test]
+    fn axis_accessors_agree() {
+        let d = Dims3::new(2, 9, 11);
+        assert_eq!(d.axis(0), 2);
+        assert_eq!(d.axis(1), 9);
+        assert_eq!(d.axis(2), 11);
+        assert_eq!(d.as_array(), [2, 9, 11]);
+        let e = d.with_axis(1, 4);
+        assert_eq!(e, Dims3::new(2, 4, 11));
+    }
+
+    #[test]
+    fn idx_axis_round_trip() {
+        let x = Idx3::new(1, 2, 3);
+        for a in 0..3 {
+            assert_eq!(x.with_axis(a, 9).axis(a), 9);
+        }
+    }
+
+    #[test]
+    fn contains_is_exclusive_upper() {
+        let d = Dims3::new(2, 2, 2);
+        assert!(d.contains(Idx3::new(1, 1, 1)));
+        assert!(!d.contains(Idx3::new(2, 0, 0)));
+        assert!(!d.contains(Idx3::new(0, 2, 0)));
+        assert!(!d.contains(Idx3::new(0, 0, 2)));
+    }
+}

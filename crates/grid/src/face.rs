@@ -1,0 +1,357 @@
+//! Subdomain faces and halo (ghost-cell) extraction/injection.
+//!
+//! The ghost exchange of AWP-ODC (paper §III.A, Fig. 5) ships slabs of
+//! wavefield data between physically adjacent subgrids: the two interior
+//! layers next to each face travel to the neighbour's two halo layers. The
+//! fourth-order staggered operators are axis-aligned (cross stencils), so no
+//! corner/edge exchange is required — only the six faces.
+
+use crate::array3::Array3;
+use serde::{Deserialize, Serialize};
+
+/// Coordinate axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Axis {
+    X,
+    Y,
+    Z,
+}
+
+impl Axis {
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    pub const fn index(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+
+    pub const fn from_index(i: usize) -> Axis {
+        match i {
+            0 => Axis::X,
+            1 => Axis::Y,
+            _ => Axis::Z,
+        }
+    }
+}
+
+/// One of the six faces of a subdomain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Face {
+    XLo,
+    XHi,
+    YLo,
+    YHi,
+    ZLo,
+    ZHi,
+}
+
+impl Face {
+    pub const ALL: [Face; 6] = [
+        Face::XLo,
+        Face::XHi,
+        Face::YLo,
+        Face::YHi,
+        Face::ZLo,
+        Face::ZHi,
+    ];
+
+    pub const fn axis(self) -> Axis {
+        match self {
+            Face::XLo | Face::XHi => Axis::X,
+            Face::YLo | Face::YHi => Axis::Y,
+            Face::ZLo | Face::ZHi => Axis::Z,
+        }
+    }
+
+    pub const fn is_low(self) -> bool {
+        matches!(self, Face::XLo | Face::YLo | Face::ZLo)
+    }
+
+    pub const fn opposite(self) -> Face {
+        match self {
+            Face::XLo => Face::XHi,
+            Face::XHi => Face::XLo,
+            Face::YLo => Face::YHi,
+            Face::YHi => Face::YLo,
+            Face::ZLo => Face::ZHi,
+            Face::ZHi => Face::ZLo,
+        }
+    }
+
+    /// Stable small integer id (used as part of message tags).
+    pub const fn id(self) -> usize {
+        match self {
+            Face::XLo => 0,
+            Face::XHi => 1,
+            Face::YLo => 2,
+            Face::YHi => 3,
+            Face::ZLo => 4,
+            Face::ZHi => 5,
+        }
+    }
+}
+
+/// Number of `f32` values in a face slab of thickness `width`.
+pub fn face_len(a: &Array3, face: Face, width: usize) -> usize {
+    let d = a.interior();
+    match face.axis() {
+        Axis::X => width * d.ny * d.nz,
+        Axis::Y => d.nx * width * d.nz,
+        Axis::Z => d.nx * d.ny * width,
+    }
+}
+
+/// Iterate the (normal-layer, tangential) interior ranges of a face slab.
+///
+/// `layer_of` maps a layer counter `0..width` to the interior coordinate
+/// along the face normal.
+fn layers(face: Face, n: usize, width: usize, l: usize) -> isize {
+    debug_assert!(width <= n);
+    if face.is_low() {
+        l as isize
+    } else {
+        (n - width + l) as isize
+    }
+}
+
+/// Extract the `width` interior layers adjacent to `face` into `buf`
+/// (cleared first). Tangential extent is the interior only.
+pub fn extract_face(a: &Array3, face: Face, width: usize, buf: &mut Vec<f32>) {
+    buf.clear();
+    buf.reserve(face_len(a, face, width));
+    let d = a.interior();
+    match face.axis() {
+        Axis::X => {
+            let n = d.nx;
+            for l in 0..width {
+                let i = layers(face, n, width, l);
+                for k in 0..d.nz {
+                    for j in 0..d.ny {
+                        buf.push(a.get(i, j as isize, k as isize));
+                    }
+                }
+            }
+        }
+        Axis::Y => {
+            let n = d.ny;
+            for l in 0..width {
+                let j = layers(face, n, width, l);
+                for k in 0..d.nz {
+                    for i in 0..d.nx {
+                        buf.push(a.get(i as isize, j, k as isize));
+                    }
+                }
+            }
+        }
+        Axis::Z => {
+            let n = d.nz;
+            for l in 0..width {
+                let k = layers(face, n, width, l);
+                for j in 0..d.ny {
+                    for i in 0..d.nx {
+                        buf.push(a.get(i as isize, j as isize, k));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Inject a slab received from the neighbour across `face` into this array's
+/// halo layers beyond that face. The slab must have been produced by
+/// [`extract_face`] on the *opposite* face of the neighbour (layer order is
+/// preserved: the layer closest to the shared boundary lands closest to it).
+pub fn inject_halo(a: &mut Array3, face: Face, width: usize, buf: &[f32]) {
+    assert_eq!(buf.len(), face_len(a, face, width), "halo slab size mismatch");
+    let d = a.interior();
+    let mut it = buf.iter();
+    match face.axis() {
+        Axis::X => {
+            for l in 0..width {
+                // Low face: neighbour's high layers map to halo -width..0,
+                // with neighbour layer l (counted low-to-high) landing at
+                // -(width - l). High face: neighbour layer l lands at n + l.
+                let i = if face.is_low() {
+                    l as isize - width as isize
+                } else {
+                    (d.nx + l) as isize
+                };
+                for k in 0..d.nz {
+                    for j in 0..d.ny {
+                        a.set(i, j as isize, k as isize, *it.next().unwrap());
+                    }
+                }
+            }
+        }
+        Axis::Y => {
+            for l in 0..width {
+                let j = if face.is_low() {
+                    l as isize - width as isize
+                } else {
+                    (d.ny + l) as isize
+                };
+                for k in 0..d.nz {
+                    for i in 0..d.nx {
+                        a.set(i as isize, j, k as isize, *it.next().unwrap());
+                    }
+                }
+            }
+        }
+        Axis::Z => {
+            for l in 0..width {
+                let k = if face.is_low() {
+                    l as isize - width as isize
+                } else {
+                    (d.nz + l) as isize
+                };
+                for j in 0..d.ny {
+                    for i in 0..d.nx {
+                        a.set(i as isize, j as isize, k, *it.next().unwrap());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::Dims3;
+
+    fn seq_array(d: Dims3) -> Array3 {
+        let mut a = Array3::new(d, 2);
+        let src: Vec<f32> = (0..d.count()).map(|v| v as f32).collect();
+        a.interior_from_slice(&src);
+        a
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for f in Face::ALL {
+            assert_eq!(f.opposite().opposite(), f);
+            assert_eq!(f.axis(), f.opposite().axis());
+            assert_ne!(f.is_low(), f.opposite().is_low());
+        }
+    }
+
+    #[test]
+    fn ids_are_distinct() {
+        let mut seen = [false; 6];
+        for f in Face::ALL {
+            assert!(!seen[f.id()]);
+            seen[f.id()] = true;
+        }
+    }
+
+    #[test]
+    fn face_len_counts_slab() {
+        let a = Array3::new(Dims3::new(3, 4, 5), 2);
+        assert_eq!(face_len(&a, Face::XLo, 2), 2 * 4 * 5);
+        assert_eq!(face_len(&a, Face::YHi, 2), 3 * 2 * 5);
+        assert_eq!(face_len(&a, Face::ZLo, 1), 3 * 4);
+    }
+
+    #[test]
+    fn extract_xlo_reads_first_layers() {
+        let a = seq_array(Dims3::new(4, 2, 2));
+        let mut buf = Vec::new();
+        extract_face(&a, Face::XLo, 2, &mut buf);
+        // Layer i=0 then i=1; within a layer k-major then j.
+        assert_eq!(buf.len(), 2 * 2 * 2);
+        assert_eq!(buf[0], a.get(0, 0, 0));
+        assert_eq!(buf[4], a.get(1, 0, 0));
+    }
+
+    /// Exchange between two arrays must reproduce what a single contiguous
+    /// array would hold: stitch two subgrids along x and verify halos.
+    #[test]
+    fn exchange_matches_contiguous_x() {
+        let d = Dims3::new(4, 3, 2);
+        // Global grid 8 wide split into two 4-wide halves.
+        let g = Dims3::new(8, 3, 2);
+        let global: Vec<f32> = (0..g.count()).map(|v| (v as f32).sin()).collect();
+        let mut left = Array3::new(d, 2);
+        let mut right = Array3::new(d, 2);
+        let mut lsrc = Vec::new();
+        let mut rsrc = Vec::new();
+        for k in 0..g.nz {
+            for j in 0..g.ny {
+                for i in 0..g.nx {
+                    let v = global[i + g.nx * (j + g.ny * k)];
+                    if i < 4 {
+                        lsrc.push(v);
+                    } else {
+                        rsrc.push(v);
+                    }
+                }
+            }
+        }
+        left.interior_from_slice(&lsrc);
+        right.interior_from_slice(&rsrc);
+
+        // left.XHi -> right halo at XLo side; right.XLo -> left halo at XHi.
+        let mut buf = Vec::new();
+        extract_face(&left, Face::XHi, 2, &mut buf);
+        inject_halo(&mut right, Face::XLo, 2, &buf);
+        extract_face(&right, Face::XLo, 2, &mut buf);
+        inject_halo(&mut left, Face::XHi, 2, &buf);
+
+        for k in 0..d.nz as isize {
+            for j in 0..d.ny as isize {
+                // left halo beyond its high-x face == right interior 0,1
+                assert_eq!(left.get(4, j, k), right.get(0, j, k));
+                assert_eq!(left.get(5, j, k), right.get(1, j, k));
+                // right halo below its low-x face == left interior 2,3
+                assert_eq!(right.get(-2, j, k), left.get(2, j, k));
+                assert_eq!(right.get(-1, j, k), left.get(3, j, k));
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_matches_contiguous_y_and_z() {
+        for axis in [Axis::Y, Axis::Z] {
+            let d = Dims3::new(3, 3, 3);
+            let mut lo = seq_array(d);
+            let mut hi = seq_array(d);
+            // Distinguish the halves.
+            hi.map_interior(|_, v| v + 100.0);
+            let (fhi, flo) = match axis {
+                Axis::Y => (Face::YHi, Face::YLo),
+                Axis::Z => (Face::ZHi, Face::ZLo),
+                Axis::X => unreachable!(),
+            };
+            let mut buf = Vec::new();
+            extract_face(&lo, fhi, 2, &mut buf);
+            inject_halo(&mut hi, flo, 2, &buf);
+            extract_face(&hi, flo, 2, &mut buf);
+            inject_halo(&mut lo, fhi, 2, &buf);
+            match axis {
+                Axis::Y => {
+                    assert_eq!(lo.get(0, 3, 0), hi.get(0, 0, 0));
+                    assert_eq!(lo.get(0, 4, 0), hi.get(0, 1, 0));
+                    assert_eq!(hi.get(0, -2, 0), lo.get(0, 1, 0));
+                    assert_eq!(hi.get(0, -1, 0), lo.get(0, 2, 0));
+                }
+                Axis::Z => {
+                    assert_eq!(lo.get(0, 0, 3), hi.get(0, 0, 0));
+                    assert_eq!(lo.get(0, 0, 4), hi.get(0, 0, 1));
+                    assert_eq!(hi.get(0, 0, -2), lo.get(0, 0, 1));
+                    assert_eq!(hi.get(0, 0, -1), lo.get(0, 0, 2));
+                }
+                Axis::X => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "halo slab size mismatch")]
+    fn inject_rejects_wrong_size() {
+        let mut a = Array3::new(Dims3::new(3, 3, 3), 2);
+        inject_halo(&mut a, Face::XLo, 2, &[0.0; 5]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Effective-media averaging at staggered points (paper §IV.B).
+//!
+//! The Lamé parameters are sampled at cell centres; the staggered updates
+//! need them at edge/face points, where AWP-ODC uses harmonic means (the
+//! `xl = 8./(Σ 1/λ)` kernel the paper shows — the arrays store *reciprocals*
+//! of `mu` and `lam`, one of the single-CPU optimisations of §IV.B, so the
+//! 8-point harmonic mean becomes one division). Densities are averaged
+//! arithmetically at velocity points.
+
+/// Harmonic mean of 8 positive values.
+///
+/// Returns 0 when any input is 0 (a void treats the effective modulus as 0).
+#[inline]
+pub fn harmonic_mean8(v: [f32; 8]) -> f32 {
+    let mut s = 0.0f32;
+    for x in v {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        s += 1.0 / x;
+    }
+    8.0 / s
+}
+
+/// Harmonic mean of 2 positive values (edge-centred shear modulus in 2-D
+/// sub-stencils and fault-plane averaging).
+#[inline]
+pub fn harmonic_mean2(a: f32, b: f32) -> f32 {
+    if a <= 0.0 || b <= 0.0 {
+        return 0.0;
+    }
+    2.0 * a * b / (a + b)
+}
+
+/// Harmonic mean of 4 positive values (face-centred shear modulus).
+#[inline]
+pub fn harmonic_mean4(v: [f32; 4]) -> f32 {
+    let mut s = 0.0f32;
+    for x in v {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        s += 1.0 / x;
+    }
+    4.0 / s
+}
+
+/// Arithmetic 2-point mean (density at velocity points).
+#[inline]
+pub fn arithmetic_mean2(a: f32, b: f32) -> f32 {
+    0.5 * (a + b)
+}
+
+/// The paper's reciprocal-storage kernel: given stored reciprocals `r[i] =
+/// 1/λ_i`, the effective modulus is `8 / Σ r_i` — one division instead of
+/// eight.
+#[inline]
+pub fn harmonic_from_reciprocals8(r: [f32; 8]) -> f32 {
+    let s: f32 = r.iter().sum();
+    if s <= 0.0 {
+        0.0
+    } else {
+        8.0 / s
+    }
+}
+
+/// Elastic moduli from wave speeds: `μ = ρ V_s²`, `λ = ρ (V_p² − 2 V_s²)`.
+#[inline]
+pub fn lame_from_speeds(rho: f32, vp: f32, vs: f32) -> (f32, f32) {
+    let mu = rho * vs * vs;
+    let lam = rho * (vp * vp - 2.0 * vs * vs);
+    (lam, mu)
+}
+
+/// Wave speeds from moduli (inverse of [`lame_from_speeds`]).
+#[inline]
+pub fn speeds_from_lame(rho: f32, lam: f32, mu: f32) -> (f32, f32) {
+    let vp = ((lam + 2.0 * mu) / rho).max(0.0).sqrt();
+    let vs = (mu / rho).max(0.0).sqrt();
+    (vp, vs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_of_equal_values_is_value() {
+        assert!((harmonic_mean8([5.0; 8]) - 5.0).abs() < 1e-6);
+        assert!((harmonic_mean4([3.0; 4]) - 3.0).abs() < 1e-6);
+        assert!((harmonic_mean2(2.0, 2.0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn harmonic_below_arithmetic() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let h = harmonic_mean8(v);
+        let a: f32 = v.iter().sum::<f32>() / 8.0;
+        assert!(h < a);
+        assert!(h > 0.0);
+    }
+
+    #[test]
+    fn zero_input_short_circuits() {
+        assert_eq!(harmonic_mean8([1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(harmonic_mean2(0.0, 5.0), 0.0);
+        assert_eq!(harmonic_mean4([1.0, 0.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn reciprocal_form_matches_direct() {
+        let v = [2.0f32, 4.0, 8.0, 2.0, 4.0, 8.0, 2.0, 4.0];
+        let r = v.map(|x| 1.0 / x);
+        let direct = harmonic_mean8(v);
+        let recip = harmonic_from_reciprocals8(r);
+        assert!((direct - recip).abs() < 1e-5, "{direct} vs {recip}");
+    }
+
+    #[test]
+    fn lame_round_trip() {
+        let (rho, vp, vs) = (2700.0f32, 6000.0f32, 3464.0f32);
+        let (lam, mu) = lame_from_speeds(rho, vp, vs);
+        assert!(lam > 0.0 && mu > 0.0);
+        let (vp2, vs2) = speeds_from_lame(rho, lam, mu);
+        assert!((vp - vp2).abs() / vp < 1e-5);
+        assert!((vs - vs2).abs() / vs < 1e-5);
+    }
+
+    #[test]
+    fn poisson_solid_has_lam_eq_mu() {
+        // Vp/Vs = √3 → λ = μ.
+        let (lam, mu) = lame_from_speeds(1000.0, 3.0f32.sqrt(), 1.0);
+        assert!((lam - mu).abs() / mu < 1e-4);
+    }
+}

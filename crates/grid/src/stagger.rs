@@ -1,0 +1,158 @@
+//! Staggered-grid conventions for the velocity–stress system.
+//!
+//! The nine wavefield components live at staggered positions within a cell
+//! (Graves 1996; paper §II.B). Normal stresses sit at cell centres, each
+//! velocity component is offset half a cell along its own axis, and each
+//! shear stress is offset half a cell along both of its index axes.
+
+use serde::{Deserialize, Serialize};
+
+/// Half-cell offsets of a field location: `true` means +h/2 on that axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StaggerLoc {
+    pub x_half: bool,
+    pub y_half: bool,
+    pub z_half: bool,
+}
+
+impl StaggerLoc {
+    pub const CELL: StaggerLoc = StaggerLoc { x_half: false, y_half: false, z_half: false };
+
+    /// Physical coordinate (in units of h) of index `idx` for this location.
+    pub fn coord(&self, idx: (usize, usize, usize)) -> (f64, f64, f64) {
+        (
+            idx.0 as f64 + if self.x_half { 0.5 } else { 0.0 },
+            idx.1 as f64 + if self.y_half { 0.5 } else { 0.0 },
+            idx.2 as f64 + if self.z_half { 0.5 } else { 0.0 },
+        )
+    }
+}
+
+/// One of the nine wavefield components updated each time step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Component {
+    Vx,
+    Vy,
+    Vz,
+    Sxx,
+    Syy,
+    Szz,
+    Sxy,
+    Sxz,
+    Syz,
+}
+
+impl Component {
+    pub const ALL: [Component; 9] = [
+        Component::Vx,
+        Component::Vy,
+        Component::Vz,
+        Component::Sxx,
+        Component::Syy,
+        Component::Szz,
+        Component::Sxy,
+        Component::Sxz,
+        Component::Syz,
+    ];
+
+    pub const VELOCITIES: [Component; 3] = [Component::Vx, Component::Vy, Component::Vz];
+
+    pub const STRESSES: [Component; 6] = [
+        Component::Sxx,
+        Component::Syy,
+        Component::Szz,
+        Component::Sxy,
+        Component::Sxz,
+        Component::Syz,
+    ];
+
+    pub const fn is_velocity(self) -> bool {
+        matches!(self, Component::Vx | Component::Vy | Component::Vz)
+    }
+
+    /// Stable small integer id, used in message tags and field tables.
+    pub const fn id(self) -> usize {
+        match self {
+            Component::Vx => 0,
+            Component::Vy => 1,
+            Component::Vz => 2,
+            Component::Sxx => 3,
+            Component::Syy => 4,
+            Component::Szz => 5,
+            Component::Sxy => 6,
+            Component::Sxz => 7,
+            Component::Syz => 8,
+        }
+    }
+
+    /// Staggered location of this component within the cell.
+    pub const fn loc(self) -> StaggerLoc {
+        match self {
+            Component::Vx => StaggerLoc { x_half: true, y_half: false, z_half: false },
+            Component::Vy => StaggerLoc { x_half: false, y_half: true, z_half: false },
+            Component::Vz => StaggerLoc { x_half: false, y_half: false, z_half: true },
+            Component::Sxx | Component::Syy | Component::Szz => StaggerLoc::CELL,
+            Component::Sxy => StaggerLoc { x_half: true, y_half: true, z_half: false },
+            Component::Sxz => StaggerLoc { x_half: true, y_half: false, z_half: true },
+            Component::Syz => StaggerLoc { x_half: false, y_half: true, z_half: true },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_and_dense() {
+        let mut seen = [false; 9];
+        for c in Component::ALL {
+            assert!(!seen[c.id()]);
+            seen[c.id()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn velocities_offset_along_own_axis_only() {
+        assert_eq!(Component::Vx.loc(), StaggerLoc { x_half: true, y_half: false, z_half: false });
+        assert_eq!(Component::Vy.loc(), StaggerLoc { x_half: false, y_half: true, z_half: false });
+        assert_eq!(Component::Vz.loc(), StaggerLoc { x_half: false, y_half: false, z_half: true });
+    }
+
+    #[test]
+    fn normal_stresses_at_cell_centre() {
+        for c in [Component::Sxx, Component::Syy, Component::Szz] {
+            assert_eq!(c.loc(), StaggerLoc::CELL);
+            assert!(!c.is_velocity());
+        }
+    }
+
+    #[test]
+    fn shear_stresses_offset_on_both_index_axes() {
+        let l = Component::Sxy.loc();
+        assert!(l.x_half && l.y_half && !l.z_half);
+        let l = Component::Sxz.loc();
+        assert!(l.x_half && !l.y_half && l.z_half);
+        let l = Component::Syz.loc();
+        assert!(!l.x_half && l.y_half && l.z_half);
+    }
+
+    #[test]
+    fn coord_applies_half_offsets() {
+        let l = Component::Vx.loc();
+        assert_eq!(l.coord((2, 3, 4)), (2.5, 3.0, 4.0));
+        assert_eq!(StaggerLoc::CELL.coord((1, 1, 1)), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn partitions_of_all() {
+        assert_eq!(Component::VELOCITIES.len() + Component::STRESSES.len(), Component::ALL.len());
+        for c in Component::VELOCITIES {
+            assert!(c.is_velocity());
+        }
+        for c in Component::STRESSES {
+            assert!(!c.is_velocity());
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the grid foundations.
+
+use awp_grid::{
+    array3::Array3,
+    blocking::{for_each_blocked, BlockSpec},
+    decomp::Decomp3,
+    dims::{Dims3, Idx3},
+    face::{extract_face, face_len, inject_halo, Face},
+};
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = Dims3> {
+    (1usize..8, 1usize..8, 1usize..8).prop_map(|(x, y, z)| Dims3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn linear_delinear_roundtrip(d in small_dims(), lin in 0usize..512) {
+        let lin = lin % d.count();
+        prop_assert_eq!(d.linear(d.delinear(lin)), lin);
+    }
+
+    #[test]
+    fn interior_vec_roundtrip(d in small_dims(), seed in any::<u64>()) {
+        let mut a = Array3::new(d, 2);
+        let src: Vec<f32> = (0..d.count())
+            .map(|i| ((i as u64).wrapping_mul(seed | 1) % 1000) as f32)
+            .collect();
+        a.interior_from_slice(&src);
+        prop_assert_eq!(a.interior_to_vec(), src);
+    }
+
+    /// extract → inject on the opposite side reproduces the source layers.
+    #[test]
+    fn face_roundtrip_through_neighbor(d in small_dims(), face_id in 0usize..6) {
+        let face = Face::ALL[face_id];
+        let w = d.axis(face.axis().index()).min(2);
+        let mut src = Array3::new(d, 2);
+        let vals: Vec<f32> = (0..d.count()).map(|i| i as f32 + 0.5).collect();
+        src.interior_from_slice(&vals);
+        let mut dst = Array3::new(d, 2);
+
+        let mut buf = Vec::new();
+        extract_face(&src, face, w, &mut buf);
+        prop_assert_eq!(buf.len(), face_len(&src, face, w));
+        // Receive it on the opposite face of dst; halo cells there must equal
+        // src's boundary-adjacent interior layers (order preserved).
+        inject_halo(&mut dst, face.opposite(), w, &buf);
+        // Spot-check one layer: re-extract what we injected by reading halos.
+        let axis = face.axis().index();
+        let n = d.axis(axis) as isize;
+        for l in 0..w as isize {
+            // src interior layer coordinate.
+            let ls = if face.is_low() { l } else { n - w as isize + l };
+            // dst halo coordinate on the opposite side.
+            let ld = if face.opposite().is_low() { l - w as isize } else { n + l };
+            // compare along the tangential diagonal.
+            let t0 = 0isize;
+            let mut sc = [t0, t0, t0];
+            sc[axis] = ls;
+            let mut dc = [t0, t0, t0];
+            dc[axis] = ld;
+            prop_assert_eq!(src.get(sc[0], sc[1], sc[2]), dst.get(dc[0], dc[1], dc[2]));
+        }
+    }
+
+    #[test]
+    fn decomp_covers_global(d in small_dims(), px in 1usize..4, py in 1usize..4, pz in 1usize..4) {
+        let parts = [px.min(d.nx), py.min(d.ny), pz.min(d.nz)];
+        let dec = Decomp3::new(d, parts);
+        let mut owned = vec![0u32; d.count()];
+        for r in 0..dec.rank_count() {
+            let s = dec.subdomain(r);
+            for k in 0..s.dims.nz {
+                for j in 0..s.dims.ny {
+                    for i in 0..s.dims.nx {
+                        let g = s.local_to_global(Idx3::new(i, j, k));
+                        owned[d.linear(g)] += 1;
+                    }
+                }
+            }
+        }
+        prop_assert!(owned.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn blocked_visits_all(nj in 1usize..40, nk in 1usize..40, kb in 1usize..20, jb in 1usize..20) {
+        let mut count = 0usize;
+        let mut sum = 0usize;
+        for_each_blocked(nj, nk, BlockSpec::new(kb, jb), |j, k| {
+            count += 1;
+            sum += j + nj * k;
+        });
+        prop_assert_eq!(count, nj * nk);
+        // Sum over all (j,k) of j + nj*k is invariant to visit order.
+        let expect: usize = (0..nj * nk).sum();
+        prop_assert_eq!(sum, expect);
+    }
+}

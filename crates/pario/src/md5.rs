@@ -1,0 +1,295 @@
+//! RFC 1321 MD5, implemented from scratch with an incremental API.
+//!
+//! AWP-ODC tracks simulation data integrity with MD5: "we generate MD5
+//! checksums in parallel at each processor for each mesh sub-array. The
+//! parallelized MD5 approach substantially decreases the time needed to
+//! generate the checksums for several terabytes of data" (§III.E). The
+//! workflow also re-verifies them after transfers (§III.I). MD5 is used
+//! here purely as a fast integrity fingerprint, as in the paper — not for
+//! security.
+
+/// Per-round left-rotation amounts.
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// K[i] = floor(|sin(i+1)| · 2³²), computed once to avoid transcription
+/// errors in the 64 constants.
+fn k_table() -> &'static [u32; 64] {
+    use std::sync::OnceLock;
+    static K: OnceLock<[u32; 64]> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut k = [0u32; 64];
+        for (i, v) in k.iter_mut().enumerate() {
+            *v = (((i as f64 + 1.0).sin().abs()) * 4294967296.0).floor() as u32;
+        }
+        k
+    })
+}
+
+/// Incremental MD5 hasher.
+///
+/// ```
+/// use awp_pario::Md5;
+/// assert_eq!(Md5::digest_hex(b"abc"), "900150983cd24fb0d6963f7d28e17f72");
+/// ```
+#[derive(Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    /// Total message length in bytes.
+    len: u64,
+    /// Partial block.
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5 {
+    pub fn new() -> Self {
+        Self {
+            state: [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.process_block(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            self.process_block(block.try_into().unwrap());
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Feed a slice of f32 values (mesh sub-arrays) as little-endian bytes.
+    pub fn update_f32(&mut self, data: &[f32]) {
+        // Stream in chunks to avoid a full byte copy of multi-GB arrays.
+        let mut block = [0u8; 4096];
+        for chunk in data.chunks(1024) {
+            let bytes = &mut block[..chunk.len() * 4];
+            for (i, v) in chunk.iter().enumerate() {
+                bytes[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+            }
+            self.update(bytes);
+        }
+    }
+
+    fn process_block(&mut self, block: &[u8; 64]) {
+        let k = k_table();
+        let mut m = [0u32; 16];
+        for (i, w) in m.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        let (mut a, mut b, mut c, mut d) =
+            (self.state[0], self.state[1], self.state[2], self.state[3]);
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            let sum = a
+                .wrapping_add(f)
+                .wrapping_add(k[i])
+                .wrapping_add(m[g]);
+            b = b.wrapping_add(sum.rotate_left(S[i]));
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+
+    /// Finish and return the 16-byte digest.
+    pub fn finalize(mut self) -> [u8; 16] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80 then zeros to 56 mod 64, then the 64-bit length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Append length without counting it (update() would re-add to len,
+        // but len is no longer read afterwards).
+        self.update(&bit_len.to_le_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 16];
+        for (i, s) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&s.to_le_bytes());
+        }
+        out
+    }
+
+    /// Finish and return the lowercase hex digest.
+    pub fn finalize_hex(self) -> String {
+        let d = self.finalize();
+        let mut s = String::with_capacity(32);
+        for b in d {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// One-shot digest of a byte slice.
+    pub fn digest_hex(data: &[u8]) -> String {
+        let mut h = Md5::new();
+        h.update(data);
+        h.finalize_hex()
+    }
+}
+
+/// Parallel MD5 of per-rank sub-arrays (the paper's scheme): each sub-array
+/// gets its own digest, computed concurrently; the collection digest is the
+/// MD5 of the concatenated per-chunk digests.
+pub fn parallel_digest(chunks: &[&[f32]]) -> (Vec<String>, String) {
+    use rayon::prelude::*;
+    let per: Vec<String> = chunks
+        .par_iter()
+        .map(|c| {
+            let mut h = Md5::new();
+            h.update_f32(c);
+            h.finalize_hex()
+        })
+        .collect();
+    let mut top = Md5::new();
+    for d in &per {
+        top.update(d.as_bytes());
+    }
+    (per, top.finalize_hex())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 1321 appendix test suite.
+    #[test]
+    fn rfc1321_vectors() {
+        let cases = [
+            ("", "d41d8cd98f00b204e9800998ecf8427e"),
+            ("a", "0cc175b9c0f1b6a831c399e269772661"),
+            ("abc", "900150983cd24fb0d6963f7d28e17f72"),
+            ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+            (
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(Md5::digest_hex(input.as_bytes()), want, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn quick_brown_fox() {
+        assert_eq!(
+            Md5::digest_hex(b"The quick brown fox jumps over the lazy dog"),
+            "9e107d9d372bb6826bd81d3542a419d6"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let oneshot = Md5::digest_hex(&data);
+        // Irregular chunking crossing block boundaries.
+        let mut h = Md5::new();
+        let mut pos = 0;
+        for step in [1usize, 63, 64, 65, 100, 1000, 7] {
+            if pos >= data.len() {
+                break;
+            }
+            let end = (pos + step).min(data.len());
+            h.update(&data[pos..end]);
+            pos = end;
+        }
+        h.update(&data[pos..]);
+        assert_eq!(h.finalize_hex(), oneshot);
+    }
+
+    #[test]
+    fn f32_update_matches_byte_update() {
+        let vals: Vec<f32> = (0..5000).map(|i| (i as f32).sin()).collect();
+        let mut a = Md5::new();
+        a.update_f32(&vals);
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut b = Md5::new();
+        b.update(&bytes);
+        assert_eq!(a.finalize_hex(), b.finalize_hex());
+    }
+
+    #[test]
+    fn parallel_digest_is_deterministic() {
+        let a: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..1000).map(|i| -(i as f32)).collect();
+        let (per1, top1) = parallel_digest(&[&a, &b]);
+        let (per2, top2) = parallel_digest(&[&a, &b]);
+        assert_eq!(per1, per2);
+        assert_eq!(top1, top2);
+        assert_ne!(per1[0], per1[1]);
+        // Order matters for the collection digest.
+        let (_, top_rev) = parallel_digest(&[&b, &a]);
+        assert_ne!(top1, top_rev);
+    }
+
+    #[test]
+    fn digest_differs_on_single_bit_flip() {
+        let mut data = vec![0u8; 1024];
+        let d1 = Md5::digest_hex(&data);
+        data[512] ^= 1;
+        let d2 = Md5::digest_hex(&data);
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn length_padding_boundaries() {
+        // Messages of length 55, 56, 63, 64, 65 exercise all padding paths.
+        for len in [55usize, 56, 63, 64, 65, 119, 120] {
+            let data = vec![b'x'; len];
+            let d = Md5::digest_hex(&data);
+            assert_eq!(d.len(), 32);
+            // Compare against incremental one-byte-at-a-time.
+            let mut h = Md5::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize_hex(), d, "len {len}");
+        }
+    }
+}

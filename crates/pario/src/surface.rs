@@ -1,0 +1,159 @@
+//! Reading back the aggregated surface-velocity output file.
+//!
+//! The paper's workflow derives data products (dPDA) from the archived
+//! outputs — PGV maps, visualisations, spectral analyses — rather than
+//! from in-memory state. This module reads the record-major shared file
+//! written by [`crate::output`] back into per-rank time series, so the
+//! whole output path (aggregation → displacement writes → archive) is
+//! verifiable against the solver's in-memory results.
+
+use crate::output::OutputPlan;
+use std::fs::File;
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+/// Reader over a surface output file.
+pub struct SurfaceReader {
+    file: File,
+    plan: OutputPlan,
+    /// Number of saved records present (derived from file length).
+    records: usize,
+}
+
+impl SurfaceReader {
+    /// Open a file written under `plan`.
+    pub fn open(path: &Path, plan: OutputPlan) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let rec_bytes = (plan.ranks * plan.rank_len * 4) as u64;
+        if rec_bytes == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "empty output plan"));
+        }
+        let records = (len / rec_bytes) as usize;
+        Ok(Self { file, plan, records })
+    }
+
+    /// Saved records available.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Read rank `r`'s block of record `rec`.
+    pub fn read_block(&self, rec: usize, rank: usize) -> io::Result<Vec<f32>> {
+        if rec >= self.records || rank >= self.plan.ranks {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "record/rank out of range"));
+        }
+        let mut bytes = vec![0u8; self.plan.rank_len * 4];
+        self.file.read_exact_at(&mut bytes, self.plan.offset(rec, rank))?;
+        Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    /// Peak |v_h| per surface cell for one rank across all records — the
+    /// file-derived PGV fragment. Blocks hold interleaved `(vx, vy, vz)`
+    /// per cell; `cells` is the rank's true cell count (blocks may be
+    /// zero-padded to `rank_len`).
+    pub fn pgv_fragment(&self, rank: usize, cells: usize) -> io::Result<Vec<f32>> {
+        assert!(cells * 3 <= self.plan.rank_len, "cells exceed the block");
+        let mut pgv = vec![0.0f32; cells];
+        for rec in 0..self.records {
+            let block = self.read_block(rec, rank)?;
+            for (c, p) in pgv.iter_mut().enumerate() {
+                let vx = block[3 * c];
+                let vy = block[3 * c + 1];
+                let h = (vx * vx + vy * vy).sqrt();
+                if h > *p {
+                    *p = h;
+                }
+            }
+        }
+        Ok(pgv)
+    }
+
+    /// A single cell's three-component velocity time series (sampled at
+    /// the decimated cadence).
+    pub fn cell_series(&self, rank: usize, cell: usize) -> io::Result<(Vec<f32>, Vec<f32>, Vec<f32>)> {
+        assert!(cell * 3 + 2 < self.plan.rank_len);
+        let mut vx = Vec::with_capacity(self.records);
+        let mut vy = Vec::with_capacity(self.records);
+        let mut vz = Vec::with_capacity(self.records);
+        for rec in 0..self.records {
+            let block = self.read_block(rec, rank)?;
+            vx.push(block[3 * cell]);
+            vy.push(block[3 * cell + 1]);
+            vz.push(block[3 * cell + 2]);
+        }
+        Ok((vx, vy, vz))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::{OutputAggregator, SharedFileWriter};
+
+    fn write_test_file(dir: &Path, plan: OutputPlan, steps: usize) -> std::path::PathBuf {
+        let path = dir.join("surf.bin");
+        let w = SharedFileWriter::create(&path).unwrap();
+        let mut aggs: Vec<_> = (0..plan.ranks).map(|r| OutputAggregator::new(plan, r)).collect();
+        for step in 0..steps {
+            for (r, agg) in aggs.iter_mut().enumerate() {
+                // vx = step + rank, vy = 2·step, vz = −1, for 2 cells.
+                let s = step as f32;
+                let data = vec![s + r as f32, 2.0 * s, -1.0, s + r as f32 + 0.5, 2.0 * s, -1.0];
+                agg.record(step, &data, &w).unwrap();
+            }
+        }
+        for agg in &mut aggs {
+            agg.flush(&w).unwrap();
+        }
+        path
+    }
+
+    #[test]
+    fn reads_back_what_was_aggregated() {
+        let dir = tempfile::tempdir().unwrap();
+        let plan = OutputPlan { decimate: 2, flush_every: 5, rank_len: 6, ranks: 2 };
+        let path = write_test_file(dir.path(), plan, 10);
+        let r = SurfaceReader::open(&path, plan).unwrap();
+        assert_eq!(r.records(), 5, "steps 0,2,4,6,8 saved");
+        let block = r.read_block(3, 1).unwrap(); // step 6, rank 1
+        assert_eq!(block[0], 7.0);
+        assert_eq!(block[1], 12.0);
+    }
+
+    #[test]
+    fn file_derived_pgv_matches_history() {
+        let dir = tempfile::tempdir().unwrap();
+        let plan = OutputPlan { decimate: 1, flush_every: 4, rank_len: 6, ranks: 2 };
+        let path = write_test_file(dir.path(), plan, 8);
+        let r = SurfaceReader::open(&path, plan).unwrap();
+        let pgv = r.pgv_fragment(0, 2).unwrap();
+        // Max over steps of hypot(step, 2 step) = step·√5 at step 7.
+        let want = (7.0f32.powi(2) + 14.0f32.powi(2)).sqrt();
+        assert!((pgv[0] - want).abs() < 1e-5, "{} vs {want}", pgv[0]);
+        assert!(pgv[1] > pgv[0], "second cell has +0.5 vx");
+    }
+
+    #[test]
+    fn cell_series_round_trips() {
+        let dir = tempfile::tempdir().unwrap();
+        let plan = OutputPlan { decimate: 1, flush_every: 3, rank_len: 6, ranks: 1 };
+        let path = write_test_file(dir.path(), plan, 6);
+        let r = SurfaceReader::open(&path, plan).unwrap();
+        let (vx, vy, vz) = r.cell_series(0, 0).unwrap();
+        assert_eq!(vx, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(vy, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        assert!(vz.iter().all(|&v| v == -1.0));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let plan = OutputPlan { decimate: 1, flush_every: 3, rank_len: 6, ranks: 1 };
+        let path = write_test_file(dir.path(), plan, 3);
+        let r = SurfaceReader::open(&path, plan).unwrap();
+        assert!(r.read_block(99, 0).is_err());
+        assert!(r.read_block(0, 5).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Concurrent-open throttling (paper §IV.E).
+//!
+//! "we implemented a simple I/O approach by constraining the number of
+//! synchronously opened files to control the number of concurrent requests
+//! hitting the metadata servers" — M8 limited open requests to 650
+//! (maximum 670 OSTs on Jaguar). This is a counting semaphore over file
+//! opens, plus counters that let benchmarks observe the peak concurrency.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A counting semaphore bounding concurrent open files.
+pub struct OpenThrottle {
+    limit: usize,
+    open: Mutex<usize>,
+    cv: Condvar,
+    peak: AtomicUsize,
+    total: AtomicUsize,
+}
+
+impl OpenThrottle {
+    pub fn new(limit: usize) -> Self {
+        assert!(limit > 0, "limit must be positive");
+        Self {
+            limit,
+            open: Mutex::new(0),
+            cv: Condvar::new(),
+            peak: AtomicUsize::new(0),
+            total: AtomicUsize::new(0),
+        }
+    }
+
+    /// The M8 production setting.
+    pub fn m8() -> Self {
+        Self::new(650)
+    }
+
+    /// Acquire an open slot; blocks while `limit` files are already open.
+    /// The returned guard releases the slot on drop.
+    pub fn acquire(&self) -> OpenGuard<'_> {
+        let mut open = self.open.lock();
+        while *open >= self.limit {
+            self.cv.wait(&mut open);
+        }
+        *open += 1;
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.peak.fetch_max(*open, Ordering::Relaxed);
+        OpenGuard { throttle: self }
+    }
+
+    /// Highest concurrency observed.
+    pub fn peak_open(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Total acquisitions.
+    pub fn total_opens(&self) -> usize {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    fn release(&self) {
+        let mut open = self.open.lock();
+        *open -= 1;
+        self.cv.notify_one();
+    }
+}
+
+/// RAII slot handle.
+pub struct OpenGuard<'a> {
+    throttle: &'a OpenThrottle,
+}
+
+impl Drop for OpenGuard<'_> {
+    fn drop(&mut self) {
+        self.throttle.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn serial_acquire_release() {
+        let t = OpenThrottle::new(2);
+        {
+            let _a = t.acquire();
+            let _b = t.acquire();
+            assert_eq!(t.peak_open(), 2);
+        }
+        let _c = t.acquire();
+        assert_eq!(t.total_opens(), 3);
+        assert_eq!(t.peak_open(), 2);
+    }
+
+    #[test]
+    fn limit_is_never_exceeded_under_contention() {
+        let t = Arc::new(OpenThrottle::new(4));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let _g = t.acquire();
+                    std::hint::black_box(());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(t.peak_open() <= 4, "peak {} exceeded limit", t.peak_open());
+        assert_eq!(t.total_opens(), 16 * 50);
+    }
+
+    #[test]
+    fn m8_limit_is_650() {
+        assert_eq!(OpenThrottle::m8().limit(), 650);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_limit_rejected() {
+        OpenThrottle::new(0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the parallel I/O substrate.
+
+use awp_pario::checkpoint::{read_checkpoint, write_checkpoint, CheckpointData};
+use awp_pario::output::OutputPlan;
+use awp_pario::Md5;
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental MD5 over arbitrary chunk boundaries equals one-shot.
+    #[test]
+    fn md5_chunking_invariance(data in proptest::collection::vec(any::<u8>(), 0..2000),
+                               cuts in proptest::collection::vec(0usize..2000, 0..8)) {
+        let oneshot = Md5::digest_hex(&data);
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut h = Md5::new();
+        let mut prev = 0;
+        for c in cuts {
+            h.update(&data[prev..c.max(prev)]);
+            prev = c.max(prev);
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize_hex(), oneshot);
+    }
+
+    /// Distinct inputs virtually never collide (sanity, not security).
+    #[test]
+    fn md5_sensitive_to_any_flip(data in proptest::collection::vec(any::<u8>(), 1..500),
+                                 pos in any::<usize>(), bit in 0u8..8) {
+        let mut tampered = data.clone();
+        let p = pos % data.len();
+        tampered[p] ^= 1 << bit;
+        prop_assert_ne!(Md5::digest_hex(&data), Md5::digest_hex(&tampered));
+    }
+
+    /// Checkpoints round-trip arbitrary field sets bit-exactly.
+    #[test]
+    fn checkpoint_roundtrip(step in any::<u64>(),
+                            fields in proptest::collection::vec(
+                                (proptest::collection::vec(any::<f32>(), 0..200),),
+                                0..6)) {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("c.bin");
+        let data = CheckpointData {
+            step,
+            fields: fields
+                .into_iter()
+                .enumerate()
+                .map(|(i, (v,))| (format!("field{i}"), v))
+                .collect(),
+        };
+        write_checkpoint(&path, &data).unwrap();
+        let back = read_checkpoint(&path).unwrap();
+        prop_assert_eq!(back.step, data.step);
+        prop_assert_eq!(back.fields.len(), data.fields.len());
+        for ((an, av), (bn, bv)) in back.fields.iter().zip(&data.fields) {
+            prop_assert_eq!(an, bn);
+            // Bit-exact: compare the raw bit patterns (NaNs included).
+            let ab: Vec<u32> = av.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = bv.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(ab, bb);
+        }
+    }
+
+    /// Output-plan displacements never overlap across (record, rank)
+    /// pairs.
+    #[test]
+    fn output_plan_offsets_disjoint(decimate in 1usize..10, rank_len in 1usize..50,
+                                    ranks in 1usize..6, nrec in 1usize..10) {
+        let plan = OutputPlan { decimate, flush_every: 100, rank_len, ranks };
+        let mut seen = std::collections::HashSet::new();
+        for rec in 0..nrec {
+            for rank in 0..ranks {
+                let off = plan.offset(rec, rank);
+                prop_assert!(off % 4 == 0);
+                prop_assert!(seen.insert(off), "offset reused");
+                // The block [off, off + rank_len*4) must not reach the next
+                // block's start.
+                prop_assert!(off + (rank_len as u64) * 4 <= plan.offset(rec, rank) + (rank_len as u64) * 4);
+            }
+        }
+        // Consecutive blocks tile the file exactly.
+        prop_assert_eq!(plan.offset(0, 0), 0);
+        if ranks > 1 {
+            prop_assert_eq!(plan.offset(0, 1), (rank_len * 4) as u64);
+        }
+        prop_assert_eq!(plan.offset(1, 0), (ranks * rank_len * 4) as u64);
+    }
+}

@@ -1,0 +1,192 @@
+//! Machine registry (paper Table 1).
+//!
+//! Jaguar's α, β, τ are the paper's §V.A calibration ("α = 5.5×10⁻⁶ s,
+//! β = 2.5×10⁻¹⁰ s, and τ = 9.62×10⁻¹¹ s"). The remaining systems carry
+//! documented estimates from their interconnect class; per-flop times τ
+//! follow 1/peak from Table 1's per-core peak Gflop/s.
+
+use serde::{Deserialize, Serialize};
+
+/// The machines of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Machine {
+    DataStar,
+    Ranger,
+    BlueGeneWatson,
+    Intrepid,
+    Kraken,
+    Jaguar,
+}
+
+/// One machine's characteristics.
+#[derive(Debug, Clone, Serialize)]
+pub struct MachineProfile {
+    pub machine: Machine,
+    pub name: &'static str,
+    pub location: &'static str,
+    pub processor: &'static str,
+    pub interconnect: &'static str,
+    /// Peak Gflop/s per core (Table 1).
+    pub peak_gflops: f64,
+    /// Cores used by the SCEC production runs (Table 1).
+    pub cores_used: usize,
+    /// Average point-to-point latency (s).
+    pub alpha: f64,
+    /// Inverse bandwidth (s per unit of Eq. 8's data units).
+    pub beta: f64,
+    /// Machine computation time per flop (s).
+    pub tau: f64,
+    /// Sockets per node sharing the NIC — drives the NUMA latency
+    /// amplification of the synchronous model (§IV.A).
+    pub sockets_per_node: usize,
+}
+
+impl Machine {
+    pub const ALL: [Machine; 6] = [
+        Machine::DataStar,
+        Machine::Ranger,
+        Machine::BlueGeneWatson,
+        Machine::Intrepid,
+        Machine::Kraken,
+        Machine::Jaguar,
+    ];
+
+    pub fn profile(&self) -> MachineProfile {
+        match self {
+            Machine::DataStar => MachineProfile {
+                machine: *self,
+                name: "DataStar",
+                location: "SDSC",
+                processor: "1.5/1.7 GHz Power4",
+                interconnect: "IBM Fat Tree",
+                peak_gflops: 6.8,
+                cores_used: 2_048,
+                alpha: 8.0e-6,
+                beta: 1.4e-9,
+                tau: 1.0 / 6.8e9,
+                sockets_per_node: 8,
+            },
+            Machine::Ranger => MachineProfile {
+                machine: *self,
+                name: "Ranger",
+                location: "TACC",
+                processor: "2.3 GHz AMD Barcelona",
+                interconnect: "InfiniBand Fat Tree",
+                peak_gflops: 9.2,
+                cores_used: 60_000,
+                alpha: 2.3e-6,
+                beta: 1.0e-9,
+                tau: 1.0 / 9.2e9,
+                sockets_per_node: 4,
+            },
+            Machine::BlueGeneWatson => MachineProfile {
+                machine: *self,
+                name: "BGW",
+                location: "IBM Watson",
+                processor: "700 MHz PowerPC (BG/L)",
+                interconnect: "3D Torus",
+                peak_gflops: 2.8,
+                cores_used: 40_000,
+                alpha: 3.5e-6,
+                beta: 2.9e-9,
+                tau: 1.0 / 2.8e9,
+                sockets_per_node: 1,
+            },
+            Machine::Intrepid => MachineProfile {
+                machine: *self,
+                name: "Intrepid",
+                location: "ANL",
+                processor: "850 MHz PowerPC (BG/P)",
+                interconnect: "3D Torus",
+                peak_gflops: 3.4,
+                cores_used: 128_000,
+                alpha: 3.0e-6,
+                beta: 2.4e-9,
+                tau: 1.0 / 3.4e9,
+                sockets_per_node: 4,
+            },
+            Machine::Kraken => MachineProfile {
+                machine: *self,
+                name: "Kraken",
+                location: "NICS",
+                processor: "2.6 GHz Istanbul (Cray XT5)",
+                interconnect: "SeaStar2+ 3D Torus",
+                peak_gflops: 10.4,
+                cores_used: 96_000,
+                alpha: 5.5e-6,
+                beta: 2.5e-10,
+                tau: 9.62e-11,
+                sockets_per_node: 2,
+            },
+            Machine::Jaguar => MachineProfile {
+                machine: *self,
+                name: "Jaguar",
+                location: "ORNL",
+                processor: "2.6 GHz Istanbul (Cray XT5)",
+                interconnect: "SeaStar2+ 3D Torus",
+                peak_gflops: 10.4,
+                cores_used: 223_074,
+                alpha: 5.5e-6,
+                beta: 2.5e-10,
+                tau: 9.62e-11,
+                sockets_per_node: 2,
+            },
+        }
+    }
+}
+
+impl MachineProfile {
+    /// Peak Tflop/s of the listed core partition.
+    pub fn peak_tflops(&self) -> f64 {
+        self.peak_gflops * self.cores_used as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaguar_uses_paper_calibration() {
+        let j = Machine::Jaguar.profile();
+        assert_eq!(j.alpha, 5.5e-6);
+        assert_eq!(j.beta, 2.5e-10);
+        assert_eq!(j.tau, 9.62e-11);
+        assert_eq!(j.cores_used, 223_074);
+    }
+
+    #[test]
+    fn table1_core_counts() {
+        assert_eq!(Machine::DataStar.profile().cores_used, 2_048);
+        assert_eq!(Machine::Ranger.profile().cores_used, 60_000);
+        assert_eq!(Machine::BlueGeneWatson.profile().cores_used, 40_000);
+        assert_eq!(Machine::Intrepid.profile().cores_used, 128_000);
+        assert_eq!(Machine::Kraken.profile().cores_used, 96_000);
+    }
+
+    #[test]
+    fn jaguar_peak_partition() {
+        // 223,074 × 10.4 Gflop/s ≈ 2.32 Pflop/s; the paper's 220 Tflop/s
+        // sustained ≈ 10 % of peak.
+        let j = Machine::Jaguar.profile();
+        let peak = j.peak_tflops();
+        assert!((peak - 2320.0).abs() < 10.0, "peak {peak}");
+        assert!((220.0 / peak - 0.095).abs() < 0.02);
+    }
+
+    #[test]
+    fn taus_inverse_of_peak() {
+        for m in Machine::ALL {
+            let p = m.profile();
+            if p.machine != Machine::Jaguar && p.machine != Machine::Kraken {
+                assert!((p.tau * p.peak_gflops * 1e9 - 1.0).abs() < 1e-9, "{:?}", m);
+            }
+        }
+    }
+
+    #[test]
+    fn numa_machines_flagged() {
+        assert!(Machine::Ranger.profile().sockets_per_node > 1);
+        assert_eq!(Machine::BlueGeneWatson.profile().sockets_per_node, 1);
+    }
+}

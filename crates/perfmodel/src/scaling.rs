@@ -1,0 +1,173 @@
+//! Strong and weak scaling projections (paper Fig. 14, §V.A).
+
+use crate::evolution::{model_breakdown, VersionFeatures};
+use crate::machines::MachineProfile;
+use crate::speedup::{best_parts, per_step_costs, ModelInput};
+use awp_grid::dims::Dims3;
+use serde::{Deserialize, Serialize};
+
+/// One point on a scaling curve.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    pub cores: usize,
+    /// Wall seconds per time step.
+    pub time_per_step: f64,
+    /// Speedup relative to the curve's first point, scaled by its core
+    /// count (classic strong-scaling speedup).
+    pub speedup: f64,
+    pub efficiency: f64,
+}
+
+/// Strong scaling: fixed mesh, growing core counts.
+pub fn strong_scaling(
+    n: Dims3,
+    cores: &[usize],
+    machine: &MachineProfile,
+    c: f64,
+    feats: VersionFeatures,
+) -> Vec<ScalingPoint> {
+    assert!(!cores.is_empty());
+    let mut out = Vec::with_capacity(cores.len());
+    let mut first: Option<(usize, f64)> = None;
+    for &p in cores {
+        let parts = best_parts(n, p, machine, c);
+        let t = model_breakdown(n, parts, machine, c, feats).total();
+        let (p0, t0) = *first.get_or_insert((p, t));
+        let speedup = p0 as f64 * t0 / t;
+        out.push(ScalingPoint { cores: p, time_per_step: t, speedup, efficiency: speedup / p as f64 });
+    }
+    out
+}
+
+/// Weak scaling: fixed work per core (mesh grows with P). Returns
+/// efficiency = t(first)/t(p).
+///
+/// Per-rank computation and communication are P-independent in Eq. (8)'s
+/// terms; the paper attributes the observed degradation to "the load
+/// imbalance caused by the variability between boundary and interior
+/// computational loads and the increase of the communication-computation
+/// ratio" (§V.A). We model that as a barrier-skew term growing with the
+/// machine diameter, calibrated to the paper's anchor: 90 % efficiency
+/// between 200 and 204 K Jaguar cores.
+pub fn weak_scaling(
+    per_core: Dims3,
+    cores: &[usize],
+    machine: &MachineProfile,
+    c: f64,
+    feats: VersionFeatures,
+) -> Vec<ScalingPoint> {
+    assert!(!cores.is_empty());
+    const SKEW: f64 = 0.12;
+    let p0 = cores[0] as f64;
+    let mut out = Vec::with_capacity(cores.len());
+    let mut t0: Option<f64> = None;
+    for &p in cores {
+        // Grow the mesh by the best topology for p.
+        let probe = Dims3::new(per_core.nx * p, per_core.ny, per_core.nz);
+        let parts = best_parts(probe, p, machine, c);
+        let n = Dims3::new(per_core.nx * parts[0], per_core.ny * parts[1], per_core.nz * parts[2]);
+        let b = model_breakdown(n, parts, machine, c, feats);
+        let skew = b.comp * SKEW * (1.0 - (p0 / p as f64).cbrt());
+        let t = b.total() + skew;
+        let t0v = *t0.get_or_insert(t);
+        let eff = t0v / t;
+        out.push(ScalingPoint { cores: p, time_per_step: t, speedup: eff * p as f64, efficiency: eff });
+    }
+    out
+}
+
+/// Super-linear check helper: per-core working set in bytes for a mesh
+/// partition (9 fields + media, f32). The paper observed super-linear M8
+/// speedup "as the problem size per processor reduces, the core data set
+/// sufficiently fits into L1/L2 cache".
+pub fn per_core_bytes(n: Dims3, p: usize) -> f64 {
+    let points = n.count() as f64 / p as f64;
+    points * (9.0 + 6.0) * 4.0
+}
+
+/// Apply a cache-regime compute bonus to a strong-scaling curve: when the
+/// per-core working set drops below `l2_bytes`, T_comp shrinks by
+/// `bonus` — the documented mechanism behind Fig. 14's super-linear M8
+/// curve.
+pub fn apply_cache_bonus(
+    points: &mut [ScalingPoint],
+    n: Dims3,
+    machine: &MachineProfile,
+    c: f64,
+    l2_bytes: f64,
+    bonus: f64,
+) {
+    assert!(bonus > 0.0 && bonus < 1.0);
+    let mut t_first: Option<(usize, f64)> = None;
+    for pt in points.iter_mut() {
+        if per_core_bytes(n, pt.cores) < l2_bytes {
+            let parts = best_parts(n, pt.cores, machine, c);
+            let costs = per_step_costs(&ModelInput { n, parts, machine: machine.clone(), c });
+            pt.time_per_step -= costs.comp * bonus;
+        }
+        let (p0, t0) = *t_first.get_or_insert((pt.cores, pt.time_per_step));
+        pt.speedup = p0 as f64 * t0 / pt.time_per_step;
+        pt.efficiency = pt.speedup / pt.cores as f64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::Machine;
+    use crate::speedup::PAPER_C;
+
+    #[test]
+    fn strong_scaling_monotone_time() {
+        let m = Machine::Jaguar.profile();
+        let n = Dims3::new(4000, 2000, 400);
+        let pts = strong_scaling(n, &[64, 512, 4096, 32768], &m, PAPER_C, VersionFeatures::for_version("7.2"));
+        for w in pts.windows(2) {
+            assert!(w[1].time_per_step < w[0].time_per_step, "time must shrink");
+            assert!(w[1].efficiency <= w[0].efficiency + 1e-12);
+        }
+        assert!((pts[0].efficiency - 1.0).abs() < 1e-9, "first point defines the baseline");
+    }
+
+    #[test]
+    fn optimized_version_scales_better() {
+        let m = Machine::Ranger.profile();
+        let n = Dims3::new(6000, 3000, 800);
+        let cores = [1000usize, 8000, 64000];
+        let before = strong_scaling(n, &cores, &m, PAPER_C, VersionFeatures::for_version("4.0"));
+        let after = strong_scaling(n, &cores, &m, PAPER_C, VersionFeatures::for_version("7.2"));
+        // Fig. 14: "Solid lines are scaling after optimizations, square
+        // dotted lines denote scaling before optimization."
+        assert!(after.last().unwrap().efficiency > before.last().unwrap().efficiency * 2.0);
+    }
+
+    #[test]
+    fn weak_scaling_matches_paper_band() {
+        // "On Jaguar, we measured 90% parallel efficiency for weak scaling
+        // between 200 and 204K processor cores."
+        let m = Machine::Jaguar.profile();
+        let per_core = Dims3::new(132, 125, 118); // the M8 per-core block
+        let pts = weak_scaling(per_core, &[200, 204_000], &m, PAPER_C, VersionFeatures::for_version("7.2"));
+        let eff = pts.last().unwrap().efficiency;
+        assert!(eff > 0.85 && eff < 0.95, "weak-scaling efficiency {eff}, paper anchor 0.90");
+    }
+
+    #[test]
+    fn cache_bonus_makes_superlinear() {
+        let m = Machine::Jaguar.profile();
+        let n = Dims3::new(8000, 4000, 2000);
+        let cores = [4096usize, 32768, 262144];
+        let mut pts = strong_scaling(n, &cores, &m, PAPER_C, VersionFeatures::for_version("7.2"));
+        // Working set at 262144 cores: 6.4e10/2.6e5 ≈ 2.4e5 pts ≈ 15 MB —
+        // inside a 16 MB last-level cache, like M8's subgrids on Jaguar.
+        apply_cache_bonus(&mut pts, n, &m, PAPER_C, 16.0e6, 0.3);
+        let last = pts.last().unwrap();
+        assert!(last.efficiency > 1.0, "super-linear regime expected: {}", last.efficiency);
+    }
+
+    #[test]
+    fn per_core_bytes_shrinks() {
+        let n = Dims3::new(1000, 1000, 100);
+        assert!(per_core_bytes(n, 10) > per_core_bytes(n, 1000));
+    }
+}

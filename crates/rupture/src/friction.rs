@@ -1,0 +1,102 @@
+//! Slip-weakening friction (paper §II.C, §VII.A).
+//!
+//! "Friction in our model followed a slip-weakening law, with static (µs)
+//! and dynamic (µd) friction coefficients of 0.75 and 0.5, respectively,
+//! and a slip-weakening distance dc of 0.3 m."
+
+use serde::{Deserialize, Serialize};
+
+/// Linear slip-weakening law.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlipWeakening {
+    /// Static friction coefficient.
+    pub mu_s: f64,
+    /// Dynamic friction coefficient.
+    pub mu_d: f64,
+    /// Slip-weakening distance (m).
+    pub dc: f64,
+    /// Cohesion (Pa).
+    pub cohesion: f64,
+}
+
+impl SlipWeakening {
+    /// The M8 values.
+    pub fn m8() -> Self {
+        Self { mu_s: 0.75, mu_d: 0.5, dc: 0.3, cohesion: 1.0e6 }
+    }
+
+    /// Friction coefficient after `slip` metres of slip.
+    pub fn mu(&self, slip: f64) -> f64 {
+        let s = (slip / self.dc).clamp(0.0, 1.0);
+        self.mu_s + (self.mu_d - self.mu_s) * s
+    }
+
+    /// Frictional shear strength (Pa) for compressive normal stress
+    /// `sigma_n` (Pa, positive in compression).
+    pub fn strength(&self, slip: f64, sigma_n: f64) -> f64 {
+        self.cohesion + self.mu(slip) * sigma_n.max(0.0)
+    }
+
+    /// Static (unbroken) strength.
+    pub fn static_strength(&self, sigma_n: f64) -> f64 {
+        self.strength(0.0, sigma_n)
+    }
+
+    /// Residual (fully weakened) strength.
+    pub fn residual_strength(&self, sigma_n: f64) -> f64 {
+        self.strength(self.dc, sigma_n)
+    }
+
+    /// Fracture energy per unit area: `G = ½ (τs − τd) dc`.
+    pub fn fracture_energy(&self, sigma_n: f64) -> f64 {
+        0.5 * (self.static_strength(sigma_n) - self.residual_strength(sigma_n)) * self.dc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m8_values() {
+        let f = SlipWeakening::m8();
+        assert_eq!(f.mu(0.0), 0.75);
+        assert_eq!(f.mu(0.3), 0.5);
+        assert_eq!(f.mu(100.0), 0.5, "no re-strengthening beyond dc");
+        assert!((f.mu(0.15) - 0.625).abs() < 1e-12, "linear at half dc");
+    }
+
+    #[test]
+    fn strength_includes_cohesion() {
+        let f = SlipWeakening::m8();
+        assert_eq!(f.static_strength(0.0), 1.0e6);
+        let sn = 50.0e6;
+        assert!((f.static_strength(sn) - (1.0e6 + 0.75 * 50.0e6)).abs() < 1.0);
+    }
+
+    #[test]
+    fn weakening_monotone() {
+        let f = SlipWeakening::m8();
+        let sn = 30.0e6;
+        let mut prev = f.strength(0.0, sn);
+        for s in [0.05, 0.1, 0.2, 0.3, 0.5] {
+            let cur = f.strength(s, sn);
+            assert!(cur <= prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn tensile_normal_stress_drops_friction() {
+        let f = SlipWeakening::m8();
+        assert_eq!(f.strength(0.0, -10.0e6), f.cohesion, "tension leaves only cohesion");
+    }
+
+    #[test]
+    fn fracture_energy_positive() {
+        let f = SlipWeakening::m8();
+        let g = f.fracture_energy(50.0e6);
+        // ½ (0.25·50 MPa)(0.3 m) = 1.875 MJ/m².
+        assert!((g - 1.875e6).abs() < 1.0, "{g}");
+    }
+}

@@ -1,0 +1,37 @@
+//! DFR — the dynamic fault rupture solver of AWP-ODC (paper §II.C,
+//! §VII.A).
+//!
+//! Implements spontaneous rupture on a vertical planar strike-slip fault
+//! with the staggered-grid split-node (SGSN) method of Dalguer & Day
+//! (2007): the fault plane passes through the along-strike velocity
+//! nodes, which are split into (+) and (−) halves that "interact only
+//! through shear tractions at that node point" (paper Fig. 2). The
+//! traction is resolved per node by the traction-at-split-node balance
+//! bounded by slip-weakening friction.
+//!
+//! Like the paper's M8 source, the model supports:
+//! * slip-weakening friction (μ_s = 0.75, μ_d = 0.5, d_c = 0.3 m);
+//! * velocity-strengthening emulation in the top 2 km (μ_d > μ_s with a
+//!   linear transition to 3 km) and a cosine-tapered d_c → 1 m at the
+//!   surface;
+//! * depth-dependent effective normal stress, cohesion (1 MPa), and an
+//!   initial shear stress built from a von Kármán random field
+//!   accommodated into the depth-dependent strength profile;
+//! * rupture nucleation by a stress increment on a circular patch;
+//! * extraction of slip, peak slip rate, rupture time, slip-rate time
+//!   histories, and conversion to the kinematic moment-rate format.
+//!
+//! Scope notes (documented substitutions): slip is restricted to the
+//! along-strike direction (the dominant mode for the paper's vertical SAF
+//! scenarios); the off-fault medium is updated with 2nd-order operators —
+//! the paper itself drops to 2nd order within two cells of the fault.
+
+pub mod friction;
+pub mod outputs;
+pub mod prestress;
+pub mod sgsn;
+
+pub use friction::SlipWeakening;
+pub use outputs::RuptureResult;
+pub use prestress::{FaultPrestress, PrestressConfig};
+pub use sgsn::{RuptureConfig, RuptureSolver};

@@ -1,0 +1,245 @@
+//! Rupture products: slip, peak slip rate, rupture time, slip-rate
+//! histories, moment accounting, and conversion to the kinematic source
+//! format (the first step of the M8 two-step method, §VII.B).
+
+use awp_grid::dims::{Dims3, Idx3};
+use awp_source::kinematic::{from_slip_rates, KinematicSource};
+use serde::{Deserialize, Serialize};
+
+/// Results of a spontaneous-rupture run. Fault-plane fields are x-fastest
+/// over `nx × nz` nodes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuptureResult {
+    pub nx: usize,
+    pub nz: usize,
+    /// Node spacing (m).
+    pub h: f64,
+    /// Sampling interval of the recorded slip-rate histories (s).
+    pub dt_rec: f64,
+    pub slip: Vec<f64>,
+    pub peak_sliprate: Vec<f64>,
+    pub rupture_time: Vec<f64>,
+    histories: Vec<Vec<f32>>,
+    /// Depth-wise rigidity used for moment accounting (Pa).
+    mu_profile: Vec<f64>,
+}
+
+impl RuptureResult {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        nx: usize,
+        nz: usize,
+        h: f64,
+        dt_rec: f64,
+        slip: Vec<f64>,
+        peak_sliprate: Vec<f64>,
+        rupture_time: Vec<f64>,
+        histories: Vec<Vec<f32>>,
+        mu_profile: &[f64],
+    ) -> Self {
+        assert_eq!(slip.len(), nx * nz);
+        assert_eq!(mu_profile.len(), nz);
+        Self {
+            nx,
+            nz,
+            h,
+            dt_rec,
+            slip,
+            peak_sliprate,
+            rupture_time,
+            histories,
+            mu_profile: mu_profile.to_vec(),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, k: usize) -> usize {
+        debug_assert!(i < self.nx && k < self.nz);
+        i + self.nx * k
+    }
+
+    pub fn slip(&self, i: usize, k: usize) -> f64 {
+        self.slip[self.idx(i, k)]
+    }
+
+    pub fn peak_sliprate(&self, i: usize, k: usize) -> f64 {
+        self.peak_sliprate[self.idx(i, k)]
+    }
+
+    pub fn rupture_time(&self, i: usize, k: usize) -> f64 {
+        self.rupture_time[self.idx(i, k)]
+    }
+
+    pub fn history(&self, i: usize, k: usize) -> &[f32] {
+        &self.histories[self.idx(i, k)]
+    }
+
+    pub fn max_slip(&self) -> f64 {
+        self.slip.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Mean slip over ruptured nodes (0 if none ruptured).
+    pub fn mean_slip(&self) -> f64 {
+        let ruptured: Vec<f64> = self
+            .slip
+            .iter()
+            .zip(&self.rupture_time)
+            .filter(|(_, t)| t.is_finite())
+            .map(|(s, _)| *s)
+            .collect();
+        if ruptured.is_empty() {
+            0.0
+        } else {
+            ruptured.iter().sum::<f64>() / ruptured.len() as f64
+        }
+    }
+
+    /// Surface slip: mean over the top node row.
+    pub fn surface_slip_max(&self) -> f64 {
+        (0..self.nx).map(|i| self.slip(i, 0)).fold(0.0, f64::max)
+    }
+
+    /// Seismic moment `M0 = Σ μ(k) A D(i,k)` (N·m).
+    pub fn moment(&self) -> f64 {
+        let a = self.h * self.h;
+        let mut m0 = 0.0;
+        for k in 0..self.nz {
+            let mu = self.mu_profile[k];
+            for i in 0..self.nx {
+                m0 += mu * a * self.slip(i, k);
+            }
+        }
+        m0
+    }
+
+    pub fn magnitude(&self) -> f64 {
+        awp_source::moment::moment_magnitude(self.moment().max(1.0))
+    }
+
+    /// Rupture duration (time of the last rupturing node).
+    pub fn duration(&self) -> f64 {
+        self.rupture_time.iter().cloned().filter(|t| t.is_finite()).fold(0.0, f64::max)
+    }
+
+    /// Fraction of the fault that ruptured.
+    pub fn ruptured_fraction(&self) -> f64 {
+        let n = self.rupture_time.iter().filter(|t| t.is_finite()).count();
+        n as f64 / self.rupture_time.len() as f64
+    }
+
+    /// Convert to a kinematic moment-rate source on a planar fault in a
+    /// target grid: subfault (i, k) lands at grid cell
+    /// `(i_origin + i·sub, j0, k_origin + k·sub)`, subsampled by `sub`
+    /// nodes in each fault direction (each carrying the slip of its
+    /// sub-patch via the area factor). Histories are kept at `dt_rec`.
+    pub fn to_kinematic(
+        &self,
+        grid: Dims3,
+        i_origin: usize,
+        j0: usize,
+        k_origin: usize,
+        sub: usize,
+        strike: f64,
+    ) -> KinematicSource {
+        let sub = sub.max(1);
+        let area = (self.h * sub as f64) * (self.h * sub as f64);
+        let mut entries = Vec::new();
+        for k in (0..self.nz).step_by(sub) {
+            for i in (0..self.nx).step_by(sub) {
+                let hist = self.history(i, k);
+                if hist.iter().all(|&v| v == 0.0) {
+                    continue;
+                }
+                let gi = i_origin + i / sub;
+                let gk = k_origin + k / sub;
+                if gi >= grid.nx || gk >= grid.nz || j0 >= grid.ny {
+                    continue;
+                }
+                entries.push((Idx3::new(gi, j0, gk), 0.0, hist.to_vec()));
+            }
+        }
+        // μ taken at each subfault's depth; from_slip_rates needs a single
+        // μ — use the depth-weighted mean of ruptured rows.
+        let mu_mean = {
+            let mut wsum = 0.0;
+            let mut w = 0.0;
+            for k in 0..self.nz {
+                let rowslip: f64 = (0..self.nx).map(|i| self.slip(i, k)).sum();
+                wsum += self.mu_profile[k] * rowslip;
+                w += rowslip;
+            }
+            if w > 0.0 {
+                wsum / w
+            } else {
+                self.mu_profile[0]
+            }
+        };
+        from_slip_rates(entries, mu_mean, area, strike, self.dt_rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> RuptureResult {
+        // 4 × 2 fault: uniform slip 2 m, all ruptured.
+        RuptureResult::assemble(
+            4,
+            2,
+            100.0,
+            0.1,
+            vec![2.0; 8],
+            vec![1.0; 8],
+            vec![0.5; 8],
+            vec![vec![1.0, 1.0, 0.0]; 8],
+            &[3.0e10, 3.0e10],
+        )
+    }
+
+    #[test]
+    fn moment_of_uniform_slip() {
+        let r = toy();
+        // M0 = μ A D × n = 3e10 · 1e4 · 2 · 8 = 4.8e15.
+        assert!((r.moment() - 4.8e15).abs() / 4.8e15 < 1e-12);
+        assert!(r.magnitude() > 4.0 && r.magnitude() < 5.0);
+        assert_eq!(r.mean_slip(), 2.0);
+        assert_eq!(r.ruptured_fraction(), 1.0);
+        assert_eq!(r.duration(), 0.5);
+    }
+
+    #[test]
+    fn kinematic_conversion_conserves_moment_approximately() {
+        let r = toy();
+        let src = r.to_kinematic(Dims3::new(16, 8, 8), 2, 3, 0, 1, 0.0);
+        assert_eq!(src.subfaults.len(), 8);
+        // Moment from histories: μ A ∫ṡ dt = 3e10·1e4·(1.0·0.1·2) = 6e13
+        // per subfault… integral of [1,1,0] at dt 0.1 = 0.2 m < slip 2 m
+        // (the toy history is truncated), so just check consistency of the
+        // conversion itself.
+        let per = src.subfaults[0].moment;
+        assert!((per - 3.0e10 * 1.0e4 * 0.2).abs() / per < 1e-6);
+        // Indices mapped onto the target plane.
+        assert!(src.subfaults.iter().all(|s| s.idx.j == 3));
+    }
+
+    #[test]
+    fn subsampling_scales_area() {
+        let r = toy();
+        let full = r.to_kinematic(Dims3::new(16, 8, 8), 0, 3, 0, 1, 0.0);
+        let half = r.to_kinematic(Dims3::new(16, 8, 8), 0, 3, 0, 2, 0.0);
+        assert!(half.subfaults.len() < full.subfaults.len());
+        // Total moment approximately preserved (uniform field: exact).
+        let mf = full.total_moment();
+        let mh = half.total_moment();
+        assert!((mf - mh).abs() / mf < 1e-6, "{mf} vs {mh}");
+    }
+
+    #[test]
+    fn silent_nodes_skipped() {
+        let mut r = toy();
+        r.histories[0] = vec![0.0, 0.0, 0.0];
+        let src = r.to_kinematic(Dims3::new(16, 8, 8), 0, 3, 0, 1, 0.0);
+        assert_eq!(src.subfaults.len(), 7);
+    }
+}

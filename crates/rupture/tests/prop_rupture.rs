@@ -1,0 +1,68 @@
+//! Property-based tests for the rupture substrate.
+
+use awp_rupture::friction::SlipWeakening;
+use awp_rupture::prestress::{FaultPrestress, PrestressConfig};
+use proptest::prelude::*;
+
+fn law() -> impl Strategy<Value = SlipWeakening> {
+    (0.5f64..0.9, 0.1f64..0.5, 0.05f64..2.0, 0.0f64..5.0e6).prop_map(
+        |(mu_s, mu_d, dc, cohesion)| SlipWeakening { mu_s, mu_d, dc, cohesion },
+    )
+}
+
+proptest! {
+    /// Friction interpolates monotonically between µs and µd, and the
+    /// strength respects the same bounds for any compressive load.
+    #[test]
+    fn friction_bounds(f in law(), slip in 0.0f64..10.0, sn in 0.0f64..2.0e8) {
+        let mu = f.mu(slip);
+        prop_assert!(mu <= f.mu_s + 1e-12 && mu >= f.mu_d - 1e-12);
+        let tau = f.strength(slip, sn);
+        prop_assert!(tau >= f.residual_strength(sn) - 1e-6);
+        prop_assert!(tau <= f.static_strength(sn) + 1e-6);
+        prop_assert!(tau >= f.cohesion - 1e-9, "cohesion floor");
+    }
+
+    /// Weakening is non-increasing in slip.
+    #[test]
+    fn weakening_monotone(f in law(), s1 in 0.0f64..5.0, ds in 0.0f64..5.0) {
+        prop_assert!(f.mu(s1 + ds) <= f.mu(s1) + 1e-12);
+    }
+
+    /// Fracture energy is non-negative and scales linearly with d_c.
+    #[test]
+    fn fracture_energy_scaling(f in law(), sn in 1.0e6f64..1.0e8) {
+        let g = f.fracture_energy(sn);
+        prop_assert!(g >= 0.0);
+        let mut doubled = f;
+        doubled.dc *= 2.0;
+        prop_assert!((doubled.fracture_energy(sn) - 2.0 * g).abs() <= 1e-6 * g.max(1.0));
+    }
+
+    /// Prestress fields are admissible for any seed: τ0 within
+    /// [0, failure], σn within [0, cap], dc positive, and the nucleation
+    /// patch overstressed.
+    #[test]
+    fn prestress_admissible(seed in any::<u64>(), reload in 0.1f64..0.9, amp in 0.0f64..0.6) {
+        let mut cfg = PrestressConfig::m8_like(48, 12, 1_000.0, seed);
+        cfg.reload_mean = reload;
+        cfg.reload_amp = amp;
+        let ps = FaultPrestress::build(&cfg);
+        for k in 0..12 {
+            for i in 0..48 {
+                let p = ps.idx(i, k);
+                prop_assert!(ps.sigma_n[p] >= 0.0 && ps.sigma_n[p] <= cfg.sigma_n_max + 1.0);
+                prop_assert!(ps.dc[p] > 0.0);
+                let fail = ps.cohesion + ps.mu_s[p] * ps.sigma_n[p];
+                // Outside the nucleation patch τ0 never exceeds failure.
+                let dx = (i as f64 - cfg.hypo.0 as f64) * cfg.h;
+                let dz = (k as f64 - cfg.hypo.1 as f64) * cfg.h;
+                if (dx * dx + dz * dz).sqrt() > cfg.nucleation_radius {
+                    prop_assert!(ps.tau0[p] <= fail + 1.0, "τ0 {} > fail {fail}", ps.tau0[p]);
+                }
+                prop_assert!(ps.tau0[p] >= 0.0);
+            }
+        }
+        prop_assert!(ps.strength_excess(cfg.hypo.0, cfg.hypo.1) < 0.0);
+    }
+}

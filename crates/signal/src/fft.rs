@@ -1,0 +1,291 @@
+//! Iterative radix-2 complex FFT (Cooley–Tukey), implemented from scratch.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// Minimal complex number (f64) for the FFT.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self { re: r * theta.cos(), im: r * theta.sin() }
+    }
+
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, o: Complex) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// Smallest power of two ≥ `n` (and ≥ 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+fn bit_reverse_permute(data: &mut [Complex]) {
+    let n = data.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+fn fft_in_place(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    bit_reverse_permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_polar(1.0, ang);
+        let half = len / 2;
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for j in 0..half {
+                let u = data[i + j];
+                let v = data[i + j + half] * w;
+                data[i + j] = u + v;
+                data[i + j + half] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT (in place). Length must be a power of two.
+pub fn fft(data: &mut [Complex]) {
+    fft_in_place(data, false);
+}
+
+/// Inverse FFT (in place, normalised by 1/N).
+pub fn ifft(data: &mut [Complex]) {
+    fft_in_place(data, true);
+    let inv = 1.0 / data.len() as f64;
+    for v in data.iter_mut() {
+        *v = v.scale(inv);
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+/// Returns the full complex spectrum (length = padded N).
+pub fn rfft(signal: &[f64]) -> Vec<Complex> {
+    let n = next_pow2(signal.len());
+    let mut data = vec![Complex::ZERO; n];
+    for (d, &s) in data.iter_mut().zip(signal) {
+        d.re = s;
+    }
+    fft(&mut data);
+    data
+}
+
+/// 2-D FFT over a row-major `nx × ny` grid (both dims powers of two).
+pub fn fft2(data: &mut [Complex], nx: usize, ny: usize, inverse: bool) {
+    assert_eq!(data.len(), nx * ny);
+    // Rows (contiguous).
+    for row in data.chunks_exact_mut(nx) {
+        fft_in_place(row, inverse);
+    }
+    // Columns (strided; gather/scatter through a scratch buffer).
+    let mut col = vec![Complex::ZERO; ny];
+    for x in 0..nx {
+        for y in 0..ny {
+            col[y] = data[x + nx * y];
+        }
+        fft_in_place(&mut col, inverse);
+        for y in 0..ny {
+            data[x + nx * y] = col[y];
+        }
+    }
+    if inverse {
+        // fft_in_place normalises nothing; apply 1/N once per axis pass is
+        // wrong — apply full 1/(nx*ny) here (row/col passes above used the
+        // raw transform).
+        let inv = 1.0 / (nx * ny) as f64;
+        for v in data.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut d = vec![Complex::ZERO; 8];
+        d[0].re = 1.0;
+        fft(&mut d);
+        for v in &d {
+            assert!(approx(v.re, 1.0, 1e-12) && approx(v.im, 0.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn fft_of_dc_concentrates_at_zero() {
+        let mut d = vec![Complex::new(1.0, 0.0); 16];
+        fft(&mut d);
+        assert!(approx(d[0].re, 16.0, 1e-9));
+        for v in &d[1..] {
+            assert!(v.norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_right_bin() {
+        let n = 64;
+        let kf = 5;
+        let mut d: Vec<Complex> = (0..n)
+            .map(|i| {
+                let t = 2.0 * std::f64::consts::PI * kf as f64 * i as f64 / n as f64;
+                Complex::new(t.cos(), 0.0)
+            })
+            .collect();
+        fft(&mut d);
+        // Energy at bins kf and n-kf, each n/2.
+        assert!(approx(d[kf].norm(), n as f64 / 2.0, 1e-8));
+        assert!(approx(d[n - kf].norm(), n as f64 / 2.0, 1e-8));
+        for (i, v) in d.iter().enumerate() {
+            if i != kf && i != n - kf {
+                assert!(v.norm() < 1e-8, "leak at bin {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let n = 128;
+        let orig: Vec<Complex> =
+            (0..n).map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos())).collect();
+        let mut d = orig.clone();
+        fft(&mut d);
+        ifft(&mut d);
+        for (a, b) in d.iter().zip(&orig) {
+            assert!(approx(a.re, b.re, 1e-10) && approx(a.im, b.im, 1e-10));
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 256;
+        let sig: Vec<Complex> =
+            (0..n).map(|i| Complex::new((0.13 * i as f64).sin(), 0.0)).collect();
+        let time_energy: f64 = sig.iter().map(|v| v.norm_sq()).sum();
+        let mut d = sig;
+        fft(&mut d);
+        let freq_energy: f64 = d.iter().map(|v| v.norm_sq()).sum::<f64>() / n as f64;
+        assert!(approx(time_energy, freq_energy, 1e-8 * time_energy.max(1.0)));
+    }
+
+    #[test]
+    fn fft2_round_trip() {
+        let (nx, ny) = (8, 4);
+        let orig: Vec<Complex> =
+            (0..nx * ny).map(|i| Complex::new(i as f64, (i as f64 * 0.3).sin())).collect();
+        let mut d = orig.clone();
+        fft2(&mut d, nx, ny, false);
+        fft2(&mut d, nx, ny, true);
+        for (a, b) in d.iter().zip(&orig) {
+            assert!(approx(a.re, b.re, 1e-9) && approx(a.im, b.im, 1e-9));
+        }
+    }
+
+    #[test]
+    fn rfft_pads_to_pow2() {
+        let spec = rfft(&[1.0, 2.0, 3.0]);
+        assert_eq!(spec.len(), 4);
+        // DC bin = sum of samples.
+        assert!(approx(spec[0].re, 6.0, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_rejected() {
+        let mut d = vec![Complex::ZERO; 6];
+        fft(&mut d);
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(1024), 1024);
+        assert_eq!(next_pow2(1025), 2048);
+    }
+}

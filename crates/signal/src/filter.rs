@@ -1,0 +1,245 @@
+//! Butterworth low-pass filtering via cascaded biquad sections.
+//!
+//! The M8 source insertion applies "a 4th-order low-pass filter with a
+//! cut-off frequency of 2 Hz" (paper §VII.B). We build even-order
+//! Butterworth filters as cascades of second-order sections derived with the
+//! bilinear transform (RBJ cookbook form), plus a zero-phase
+//! forward–backward variant for acceptance-test comparisons.
+
+use serde::{Deserialize, Serialize};
+
+/// One second-order IIR section, direct form I, normalised (a0 = 1).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Biquad {
+    pub b0: f64,
+    pub b1: f64,
+    pub b2: f64,
+    pub a1: f64,
+    pub a2: f64,
+}
+
+impl Biquad {
+    /// Low-pass section with quality factor `q` at digital cutoff
+    /// `fc` (Hz) for sample rate `fs` (Hz).
+    pub fn lowpass(fc: f64, fs: f64, q: f64) -> Self {
+        assert!(fc > 0.0 && fc < fs / 2.0, "cutoff must be in (0, Nyquist)");
+        let w0 = 2.0 * std::f64::consts::PI * fc / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Self {
+            b0: (1.0 - cw) / 2.0 / a0,
+            b1: (1.0 - cw) / a0,
+            b2: (1.0 - cw) / 2.0 / a0,
+            a1: -2.0 * cw / a0,
+            a2: (1.0 - alpha) / a0,
+        }
+    }
+
+    /// High-pass section (used to remove numerical drift from integrated
+    /// velocity records).
+    pub fn highpass(fc: f64, fs: f64, q: f64) -> Self {
+        assert!(fc > 0.0 && fc < fs / 2.0, "cutoff must be in (0, Nyquist)");
+        let w0 = 2.0 * std::f64::consts::PI * fc / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Self {
+            b0: (1.0 + cw) / 2.0 / a0,
+            b1: -(1.0 + cw) / a0,
+            b2: (1.0 + cw) / 2.0 / a0,
+            a1: -2.0 * cw / a0,
+            a2: (1.0 - alpha) / a0,
+        }
+    }
+
+    /// Filter a signal through this section.
+    pub fn run(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = Vec::with_capacity(x.len());
+        let (mut x1, mut x2, mut y1, mut y2) = (0.0, 0.0, 0.0, 0.0);
+        for &xi in x {
+            let yi = self.b0 * xi + self.b1 * x1 + self.b2 * x2 - self.a1 * y1 - self.a2 * y2;
+            x2 = x1;
+            x1 = xi;
+            y2 = y1;
+            y1 = yi;
+            y.push(yi);
+        }
+        y
+    }
+}
+
+/// An even-order Butterworth filter as a cascade of biquads.
+///
+/// ```
+/// use awp_signal::filter::Butterworth;
+/// // The paper's M8 source filter: 4th order, 2 Hz cut-off.
+/// let f = Butterworth::lowpass(4, 2.0, 100.0);
+/// let spike: Vec<f64> = (0..64).map(|i| if i == 10 { 1.0 } else { 0.0 }).collect();
+/// let y = f.filter(&spike);
+/// assert!(y.iter().all(|v| v.is_finite()));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Butterworth {
+    sections: Vec<Biquad>,
+    order: usize,
+}
+
+impl Butterworth {
+    /// Even-order low-pass Butterworth (`order` ∈ {2, 4, 6, ...}).
+    ///
+    /// Section Q values come from the Butterworth pole angles:
+    /// `Q_k = 1 / (2 sin(π (2k+1) / (2n)))`.
+    pub fn lowpass(order: usize, fc: f64, fs: f64) -> Self {
+        assert!(order >= 2 && order % 2 == 0, "order must be even and ≥ 2");
+        let n = order as f64;
+        let sections = (0..order / 2)
+            .map(|k| {
+                let theta = std::f64::consts::PI * (2.0 * k as f64 + 1.0) / (2.0 * n);
+                let q = 1.0 / (2.0 * theta.sin());
+                Biquad::lowpass(fc, fs, q)
+            })
+            .collect();
+        Self { sections, order }
+    }
+
+    /// Even-order high-pass Butterworth.
+    pub fn highpass(order: usize, fc: f64, fs: f64) -> Self {
+        assert!(order >= 2 && order % 2 == 0, "order must be even and ≥ 2");
+        let n = order as f64;
+        let sections = (0..order / 2)
+            .map(|k| {
+                let theta = std::f64::consts::PI * (2.0 * k as f64 + 1.0) / (2.0 * n);
+                let q = 1.0 / (2.0 * theta.sin());
+                Biquad::highpass(fc, fs, q)
+            })
+            .collect();
+        Self { sections, order }
+    }
+
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Causal (single-pass) filtering.
+    pub fn filter(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = x.to_vec();
+        for s in &self.sections {
+            y = s.run(&y);
+        }
+        y
+    }
+
+    /// Zero-phase forward–backward filtering (squares the magnitude
+    /// response; effective order doubles).
+    pub fn filtfilt(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.filter(x);
+        y.reverse();
+        y = self.filter(&y);
+        y.reverse();
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Steady-state amplitude of a filtered sine (skip the transient).
+    fn tone_gain(filt: &Butterworth, f: f64, fs: f64) -> f64 {
+        let n = 4096;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
+            .collect();
+        let y = filt.filter(&x);
+        y[n / 2..].iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    #[test]
+    fn lowpass_passes_low_blocks_high() {
+        let fs = 100.0;
+        let filt = Butterworth::lowpass(4, 2.0, fs);
+        let g_low = tone_gain(&filt, 0.2, fs);
+        let g_high = tone_gain(&filt, 20.0, fs);
+        assert!(g_low > 0.95, "passband gain {g_low}");
+        assert!(g_high < 0.01, "stopband gain {g_high}");
+    }
+
+    #[test]
+    fn cutoff_gain_near_minus_3db() {
+        let fs = 100.0;
+        let filt = Butterworth::lowpass(4, 2.0, fs);
+        let g = tone_gain(&filt, 2.0, fs);
+        let target = 1.0 / 2.0f64.sqrt();
+        assert!((g - target).abs() < 0.03, "gain at fc = {g}, want ≈ {target}");
+    }
+
+    #[test]
+    fn higher_order_rolls_off_faster() {
+        let fs = 100.0;
+        let f2 = Butterworth::lowpass(2, 2.0, fs);
+        let f6 = Butterworth::lowpass(6, 2.0, fs);
+        let g2 = tone_gain(&f2, 8.0, fs);
+        let g6 = tone_gain(&f6, 8.0, fs);
+        assert!(g6 < g2 / 10.0, "order 6 ({g6}) should be much steeper than order 2 ({g2})");
+    }
+
+    #[test]
+    fn highpass_blocks_dc() {
+        let fs = 100.0;
+        let filt = Butterworth::highpass(2, 1.0, fs);
+        let dc = vec![1.0; 2048];
+        let y = filt.filter(&dc);
+        assert!(y.last().unwrap().abs() < 1e-3);
+        let g_high = tone_gain(&filt, 20.0, fs);
+        assert!(g_high > 0.95);
+    }
+
+    #[test]
+    fn filtfilt_has_zero_phase() {
+        // A symmetric pulse must stay symmetric (peak position preserved).
+        let fs = 100.0;
+        let n = 512;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = (i as f64 - 256.0) / 20.0;
+                (-t * t).exp()
+            })
+            .collect();
+        let filt = Butterworth::lowpass(4, 5.0, fs);
+        let y = filt.filtfilt(&x);
+        let peak = y.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert_eq!(peak, 256, "zero-phase filtering must not shift the peak");
+        // Causal filtering shifts it.
+        let yc = filt.filter(&x);
+        let peak_c = yc.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert!(peak_c > 256);
+    }
+
+    #[test]
+    fn filter_is_linear() {
+        let fs = 50.0;
+        let filt = Butterworth::lowpass(4, 2.0, fs);
+        let a: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b: Vec<f64> = (0..256).map(|i| (i as f64 * 0.05).cos()).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| 2.0 * x + 3.0 * y).collect();
+        let fa = filt.filter(&a);
+        let fb = filt.filter(&b);
+        let fsum = filt.filter(&sum);
+        for i in 0..256 {
+            assert!((fsum[i] - (2.0 * fa[i] + 3.0 * fb[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be even")]
+    fn odd_order_rejected() {
+        Butterworth::lowpass(3, 1.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn cutoff_above_nyquist_rejected() {
+        Butterworth::lowpass(4, 6.0, 10.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Time-series utilities: resampling, calculus, and the aVal L2 misfit.
+
+/// Linear-interpolation resampling of a series sampled at `dt_in` onto
+/// `n_out` samples at `dt_out`, both starting at t = 0. Samples beyond the
+/// input extent are held at the last input value.
+pub fn resample_linear(x: &[f64], dt_in: f64, dt_out: f64, n_out: usize) -> Vec<f64> {
+    assert!(dt_in > 0.0 && dt_out > 0.0);
+    if x.is_empty() {
+        return vec![0.0; n_out];
+    }
+    (0..n_out)
+        .map(|i| {
+            let t = i as f64 * dt_out;
+            let s = t / dt_in;
+            let i0 = s.floor() as usize;
+            if i0 + 1 >= x.len() {
+                *x.last().unwrap()
+            } else {
+                let f = s - i0 as f64;
+                x[i0] * (1.0 - f) + x[i0 + 1] * f
+            }
+        })
+        .collect()
+}
+
+/// Cumulative trapezoidal integration: `y[i] = ∫₀^{t_i} x dt`.
+pub fn integrate_trapezoid(x: &[f64], dt: f64) -> Vec<f64> {
+    let mut y = Vec::with_capacity(x.len());
+    let mut acc = 0.0;
+    for i in 0..x.len() {
+        if i > 0 {
+            acc += 0.5 * (x[i] + x[i - 1]) * dt;
+        }
+        y.push(acc);
+    }
+    y
+}
+
+/// Central-difference derivative (one-sided at the ends).
+pub fn differentiate(x: &[f64], dt: f64) -> Vec<f64> {
+    let n = x.len();
+    if n < 2 {
+        return vec![0.0; n];
+    }
+    (0..n)
+        .map(|i| {
+            if i == 0 {
+                (x[1] - x[0]) / dt
+            } else if i == n - 1 {
+                (x[n - 1] - x[n - 2]) / dt
+            } else {
+                (x[i + 1] - x[i - 1]) / (2.0 * dt)
+            }
+        })
+        .collect()
+}
+
+/// Relative L2 misfit between a trial waveform and a reference — the
+/// acceptance-test metric of the paper's aVal toolkit (§III.H: "a simple
+/// least-squares (L2 norm) fit of the waveforms from the new simulation and
+/// the 'correct' result in the reference solution").
+///
+/// Returns `‖a − b‖₂ / ‖b‖₂`; 0 means identical, and a reference of all
+/// zeros yields the absolute norm of `a`.
+pub fn l2_misfit(trial: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(trial.len(), reference.len(), "waveform length mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (a, b) in trial.iter().zip(reference) {
+        num += (a - b) * (a - b);
+        den += b * b;
+    }
+    if den == 0.0 {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Peak absolute value of a series.
+pub fn peak_abs(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+/// Root-sum-of-squares of two horizontal components, per sample — the PGVH
+/// measure of the paper's Fig. 21 ("as the root sum of squares of the
+/// horizontal components").
+pub fn horizontal_rss(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a.hypot(*b)).collect()
+}
+
+/// Geometric mean of the two horizontal peak values — the measure used by
+/// the NGA relations in Fig. 23 ("we use the geometric mean of the PGVHs").
+pub fn geometric_mean_peak(x: &[f64], y: &[f64]) -> f64 {
+    (peak_abs(x) * peak_abs(y)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resample_identity_when_same_rate() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = resample_linear(&x, 0.1, 0.1, 4);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn resample_interpolates_midpoints() {
+        let x = vec![0.0, 2.0];
+        let y = resample_linear(&x, 1.0, 0.5, 3);
+        assert_eq!(y, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn resample_holds_last_value() {
+        let x = vec![1.0, 5.0];
+        let y = resample_linear(&x, 1.0, 1.0, 4);
+        assert_eq!(y, vec![1.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn integral_of_constant_is_line() {
+        let x = vec![2.0; 11];
+        let y = integrate_trapezoid(&x, 0.5);
+        assert!((y[10] - 10.0).abs() < 1e-12);
+        assert_eq!(y[0], 0.0);
+    }
+
+    #[test]
+    fn derivative_of_line_is_constant() {
+        let x: Vec<f64> = (0..20).map(|i| 3.0 * i as f64 * 0.1).collect();
+        let d = differentiate(&x, 0.1);
+        for v in &d {
+            assert!((v - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn derivative_inverts_integral_approximately() {
+        let dt = 0.01;
+        let x: Vec<f64> = (0..1000).map(|i| (i as f64 * dt * 3.0).sin()).collect();
+        let xi = integrate_trapezoid(&x, dt);
+        let xd = differentiate(&xi, dt);
+        // Interior samples should match well.
+        for i in 10..990 {
+            assert!((xd[i] - x[i]).abs() < 1e-3, "i={i}");
+        }
+    }
+
+    #[test]
+    fn l2_misfit_zero_for_identical() {
+        let x = vec![1.0, -2.0, 3.0];
+        assert_eq!(l2_misfit(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn l2_misfit_scales() {
+        let r = vec![1.0, 1.0, 1.0, 1.0];
+        let t = vec![1.1, 1.1, 1.1, 1.1];
+        assert!((l2_misfit(&t, &r) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rss_and_geomean() {
+        let x = vec![3.0, 0.0];
+        let y = vec![4.0, 1.0];
+        assert_eq!(horizontal_rss(&x, &y), vec![5.0, 1.0]);
+        assert!((geometric_mean_peak(&x, &y) - (3.0f64 * 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_abs_handles_negatives() {
+        assert_eq!(peak_abs(&[1.0, -7.0, 3.0]), 7.0);
+        assert_eq!(peak_abs(&[]), 0.0);
+    }
+}

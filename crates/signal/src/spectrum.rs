@@ -1,0 +1,141 @@
+//! Amplitude spectra and spectral peak analysis.
+//!
+//! The paper's M8 analysis identifies that San Bernardino's large PGVHs
+//! "correspond to periods of 2-4 s" via spectral analysis (§VII.C); this
+//! module provides that measurement for synthetic seismograms.
+
+use crate::fft::{next_pow2, rfft};
+use crate::taper::hann;
+
+/// One-sided amplitude spectrum of a real signal.
+///
+/// Returns `(frequencies_hz, amplitudes)` with `n/2 + 1` bins; amplitudes
+/// are scaled so a unit sine at a bin frequency yields amplitude ≈ 1.
+pub fn amplitude_spectrum(signal: &[f64], dt: f64) -> (Vec<f64>, Vec<f64>) {
+    assert!(dt > 0.0);
+    let n_sig = signal.len();
+    if n_sig == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    // Hann window to control leakage; compensate by the window's coherent
+    // gain (mean of the window = 0.5).
+    let w = hann(n_sig);
+    let windowed: Vec<f64> = signal.iter().zip(&w).map(|(s, w)| s * w).collect();
+    let spec = rfft(&windowed);
+    let n = spec.len();
+    let half = n / 2 + 1;
+    let fs = 1.0 / dt;
+    let freqs: Vec<f64> = (0..half).map(|i| i as f64 * fs / n as f64).collect();
+    let gain = 2.0 / (0.5 * n_sig as f64);
+    let amps: Vec<f64> = spec[..half].iter().map(|c| c.norm() * gain).collect();
+    (freqs, amps)
+}
+
+/// Frequency (Hz) of the largest spectral amplitude above `fmin`.
+pub fn dominant_frequency(signal: &[f64], dt: f64, fmin: f64) -> Option<f64> {
+    let (freqs, amps) = amplitude_spectrum(signal, dt);
+    freqs
+        .iter()
+        .zip(&amps)
+        .filter(|(f, _)| **f >= fmin)
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(f, _)| *f)
+}
+
+/// Dominant period (s) above `fmin`; `None` for empty/DC-only signals.
+pub fn dominant_period(signal: &[f64], dt: f64, fmin: f64) -> Option<f64> {
+    dominant_frequency(signal, dt, fmin).filter(|f| *f > 0.0).map(|f| 1.0 / f)
+}
+
+/// Fraction of total spectral energy within a frequency band — used to
+/// check the paper's claim that near-fault pulses carry "a significant
+/// amount of energy between 1 and 2 Hz".
+pub fn band_energy_fraction(signal: &[f64], dt: f64, f_lo: f64, f_hi: f64) -> f64 {
+    let (freqs, amps) = amplitude_spectrum(signal, dt);
+    let total: f64 = amps.iter().map(|a| a * a).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let band: f64 = freqs
+        .iter()
+        .zip(&amps)
+        .filter(|(f, _)| **f >= f_lo && **f <= f_hi)
+        .map(|(_, a)| a * a)
+        .sum();
+    band / total
+}
+
+/// Padded FFT length used for a signal of this many samples.
+pub fn padded_len(n: usize) -> usize {
+    next_pow2(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(f: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin()).collect()
+    }
+
+    #[test]
+    fn tone_peaks_at_its_frequency() {
+        let fs = 100.0;
+        let sig = sine(5.0, fs, 1024);
+        let f = dominant_frequency(&sig, 1.0 / fs, 0.5).unwrap();
+        assert!((f - 5.0).abs() < 0.2, "dominant {f}");
+    }
+
+    #[test]
+    fn tone_amplitude_near_unity() {
+        let fs = 128.0;
+        let sig = sine(8.0, fs, 1024);
+        let (freqs, amps) = amplitude_spectrum(&sig, 1.0 / fs);
+        let (i, _) = freqs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| (a.1 - 8.0).abs().total_cmp(&(b.1 - 8.0).abs()))
+            .unwrap();
+        assert!((amps[i] - 1.0).abs() < 0.15, "amp {}", amps[i]);
+    }
+
+    #[test]
+    fn dominant_period_inverse_of_frequency() {
+        let fs = 50.0;
+        let sig = sine(0.4, fs, 2048); // 2.5 s period
+        let p = dominant_period(&sig, 1.0 / fs, 0.05).unwrap();
+        assert!((p - 2.5).abs() < 0.3, "period {p}");
+    }
+
+    #[test]
+    fn band_energy_concentrated_for_tone() {
+        let fs = 100.0;
+        let sig = sine(1.5, fs, 2048);
+        let inside = band_energy_fraction(&sig, 1.0 / fs, 1.0, 2.0);
+        let outside = band_energy_fraction(&sig, 1.0 / fs, 5.0, 10.0);
+        assert!(inside > 0.9, "inside {inside}");
+        assert!(outside < 0.01, "outside {outside}");
+    }
+
+    #[test]
+    fn empty_signal_yields_empty_spectrum() {
+        let (f, a) = amplitude_spectrum(&[], 0.1);
+        assert!(f.is_empty() && a.is_empty());
+        assert!(dominant_frequency(&[], 0.1, 0.0).is_none());
+    }
+
+    #[test]
+    fn two_tone_picks_larger() {
+        let fs = 100.0;
+        let n = 2048;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                0.3 * (2.0 * std::f64::consts::PI * 3.0 * t).sin()
+                    + 1.0 * (2.0 * std::f64::consts::PI * 9.0 * t).sin()
+            })
+            .collect();
+        let f = dominant_frequency(&sig, 1.0 / fs, 0.5).unwrap();
+        assert!((f - 9.0).abs() < 0.3);
+    }
+}

@@ -1,0 +1,125 @@
+//! Cosine tapers and windows.
+//!
+//! The M8 source model tapers the slip-weakening distance "using a cosine
+//! taper in the top 3 km" and tapers the initial shear stress linearly to
+//! zero at the surface (paper §VII.A). Spectral estimates use Hann windows.
+
+/// Cosine (Tukey-edge) ramp: 0 at `x = 0`, 1 at `x = 1`, smooth (C¹).
+///
+/// Values outside [0, 1] clamp.
+pub fn cosine_ramp(x: f64) -> f64 {
+    let x = x.clamp(0.0, 1.0);
+    0.5 * (1.0 - (std::f64::consts::PI * x).cos())
+}
+
+/// Linear ramp clamped to [0, 1].
+pub fn linear_ramp(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+/// Cosine taper between `a` and `b`: returns 0 for `x ≤ a`, 1 for `x ≥ b`.
+pub fn cosine_taper_between(x: f64, a: f64, b: f64) -> f64 {
+    debug_assert!(b > a);
+    cosine_ramp((x - a) / (b - a))
+}
+
+/// Hann window of length `n`.
+pub fn hann(n: usize) -> Vec<f64> {
+    if n <= 1 {
+        return vec![1.0; n];
+    }
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1) as f64;
+            0.5 * (1.0 - (2.0 * std::f64::consts::PI * t).cos())
+        })
+        .collect()
+}
+
+/// Tukey (tapered-cosine) window: flat middle, cosine edges of fraction
+/// `alpha/2` on each side.
+pub fn tukey(n: usize, alpha: f64) -> Vec<f64> {
+    let alpha = alpha.clamp(0.0, 1.0);
+    if n <= 1 || alpha == 0.0 {
+        return vec![1.0; n];
+    }
+    let edge = alpha * (n - 1) as f64 / 2.0;
+    (0..n)
+        .map(|i| {
+            let i = i as f64;
+            let m = (n - 1) as f64;
+            if i < edge {
+                cosine_ramp(i / edge)
+            } else if i > m - edge {
+                cosine_ramp((m - i) / edge)
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_ramp_endpoints() {
+        assert_eq!(cosine_ramp(0.0), 0.0);
+        assert!((cosine_ramp(1.0) - 1.0).abs() < 1e-12);
+        assert!((cosine_ramp(0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(cosine_ramp(-3.0), 0.0);
+        assert!((cosine_ramp(7.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_ramp_monotone() {
+        let mut prev = -1.0;
+        for i in 0..=100 {
+            let v = cosine_ramp(i as f64 / 100.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn taper_between_maps_interval() {
+        assert_eq!(cosine_taper_between(1.0, 2.0, 3.0), 0.0);
+        assert!((cosine_taper_between(3.5, 2.0, 3.0) - 1.0).abs() < 1e-12);
+        assert!((cosine_taper_between(2.5, 2.0, 3.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hann_is_symmetric_zero_edged() {
+        let w = hann(65);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[64].abs() < 1e-12);
+        assert!((w[32] - 1.0).abs() < 1e-12);
+        for i in 0..65 {
+            assert!((w[i] - w[64 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tukey_alpha_zero_is_boxcar() {
+        assert!(tukey(10, 0.0).iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn tukey_alpha_one_matches_hann() {
+        let t = tukey(33, 1.0);
+        let h = hann(33);
+        for i in 0..33 {
+            assert!((t[i] - h[i]).abs() < 1e-9, "i={i}: {} vs {}", t[i], h[i]);
+        }
+    }
+
+    #[test]
+    fn tukey_has_flat_middle() {
+        let t = tukey(101, 0.2);
+        for v in &t[20..80] {
+            assert_eq!(*v, 1.0);
+        }
+        assert!(t[0] < 1e-12);
+    }
+}

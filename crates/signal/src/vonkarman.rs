@@ -1,0 +1,214 @@
+//! Von Kármán autocorrelated random fields (2-D spectral synthesis).
+//!
+//! The M8 initial shear stress was "a random stress field using a Van Karman
+//! autocorrelation function with lateral and vertical correlation lengths of
+//! 50 km and 10 km" (paper §VII.A). We synthesise such fields by shaping
+//! white Gaussian noise with the von Kármán power spectrum
+//! `P(k) ∝ (1 + (k_x a_x)² + (k_z a_z)²)^{-(H+1)}` (2-D form, Hurst
+//! exponent `H`), then normalising to zero mean and unit variance.
+
+use crate::fft::{fft2, next_pow2, Complex};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a 2-D von Kármán random field.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct VonKarman2D {
+    /// Grid extent along x (e.g. along-strike).
+    pub nx: usize,
+    /// Grid extent along z (e.g. down-dip).
+    pub nz: usize,
+    /// Grid spacing (same units as the correlation lengths).
+    pub dx: f64,
+    /// Correlation length along x.
+    pub ax: f64,
+    /// Correlation length along z.
+    pub az: f64,
+    /// Hurst exponent (0 < H ≤ 1); M8 used smooth large-scale structure,
+    /// H ≈ 0.75 is a common choice for stress heterogeneity.
+    pub hurst: f64,
+}
+
+impl VonKarman2D {
+    /// Synthesize the field for a given RNG seed. Returns `nx*nz` values in
+    /// row-major (x fastest) order, normalised to zero mean, unit variance.
+    pub fn generate(&self, seed: u64) -> Vec<f64> {
+        assert!(self.nx > 0 && self.nz > 0);
+        assert!(self.dx > 0.0 && self.ax > 0.0 && self.az > 0.0);
+        assert!(self.hurst > 0.0 && self.hurst <= 1.0, "Hurst exponent in (0,1]");
+        let px = next_pow2(self.nx.max(2));
+        let pz = next_pow2(self.nz.max(2));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+        // White Gaussian noise (Box–Muller from uniform pairs).
+        let mut data: Vec<Complex> = (0..px * pz)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                Complex::new(g, 0.0)
+            })
+            .collect();
+
+        fft2(&mut data, px, pz, false);
+
+        // Shape by sqrt of the von Kármán spectrum.
+        let exp = -(self.hurst + 1.0) / 2.0;
+        for kz in 0..pz {
+            // Signed wavenumbers (cycles → rad via 2π/L).
+            let fz = if kz <= pz / 2 { kz as f64 } else { kz as f64 - pz as f64 };
+            let wz = 2.0 * std::f64::consts::PI * fz / (pz as f64 * self.dx);
+            for kx in 0..px {
+                let fx = if kx <= px / 2 { kx as f64 } else { kx as f64 - px as f64 };
+                let wx = 2.0 * std::f64::consts::PI * fx / (px as f64 * self.dx);
+                let kr2 = (wx * self.ax).powi(2) + (wz * self.az).powi(2);
+                let shape = (1.0 + kr2).powf(exp);
+                data[kx + px * kz] = data[kx + px * kz].scale(shape);
+            }
+        }
+
+        fft2(&mut data, px, pz, true);
+
+        // Crop to requested size and normalise (real part; imaginary part is
+        // numerically ~0 because the input was real and the filter is
+        // Hermitian-symmetric in magnitude, but we discard it regardless).
+        let mut out = Vec::with_capacity(self.nx * self.nz);
+        for z in 0..self.nz {
+            for x in 0..self.nx {
+                out.push(data[x + px * z].re);
+            }
+        }
+        normalize(&mut out);
+        out
+    }
+}
+
+/// In-place zero-mean, unit-variance normalisation (no-op on constant
+/// fields).
+fn normalize(v: &mut [f64]) {
+    let n = v.len() as f64;
+    if v.is_empty() {
+        return;
+    }
+    let mean = v.iter().sum::<f64>() / n;
+    let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    if sd == 0.0 {
+        for x in v.iter_mut() {
+            *x = 0.0;
+        }
+        return;
+    }
+    for x in v.iter_mut() {
+        *x = (*x - mean) / sd;
+    }
+}
+
+/// Empirical autocorrelation of a row-major field at integer lag along one
+/// axis (`axis` 0 = x, 1 = z). Used by tests and diagnostics.
+pub fn autocorrelation(field: &[f64], nx: usize, nz: usize, axis: usize, lag: usize) -> f64 {
+    assert_eq!(field.len(), nx * nz);
+    let mut num = 0.0;
+    let mut cnt = 0usize;
+    for z in 0..nz {
+        for x in 0..nx {
+            let (x2, z2) = if axis == 0 { (x + lag, z) } else { (x, z + lag) };
+            if x2 < nx && z2 < nz {
+                num += field[x + nx * z] * field[x2 + nx * z2];
+                cnt += 1;
+            }
+        }
+    }
+    let var = field.iter().map(|v| v * v).sum::<f64>() / field.len() as f64;
+    if cnt == 0 || var == 0.0 {
+        0.0
+    } else {
+        (num / cnt as f64) / var
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m8_like() -> VonKarman2D {
+        // 545 km × 16 km fault at 1 km spacing, ax = 50 km, az = 10 km.
+        VonKarman2D { nx: 256, nz: 16, dx: 1000.0, ax: 50_000.0, az: 10_000.0, hurst: 0.75 }
+    }
+
+    #[test]
+    fn normalized_to_zero_mean_unit_variance() {
+        let f = m8_like().generate(42);
+        let n = f.len() as f64;
+        let mean = f.iter().sum::<f64>() / n;
+        let var = f.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let vk = m8_like();
+        assert_eq!(vk.generate(7), vk.generate(7));
+        assert_ne!(vk.generate(7), vk.generate(8));
+    }
+
+    #[test]
+    fn correlated_at_short_lags() {
+        let vk = m8_like();
+        let f = vk.generate(3);
+        // One grid cell = 1 km ≪ ax = 50 km → strong correlation.
+        let r1 = autocorrelation(&f, vk.nx, vk.nz, 0, 1);
+        assert!(r1 > 0.8, "lag-1 x correlation {r1}");
+    }
+
+    #[test]
+    fn anisotropy_follows_correlation_lengths() {
+        // ax ≫ az → correlation decays slower along x than along z at the
+        // same physical lag.
+        let vk = VonKarman2D { nx: 128, nz: 128, dx: 1000.0, ax: 40_000.0, az: 4_000.0, hurst: 0.75 };
+        let f = vk.generate(11);
+        let rx = autocorrelation(&f, vk.nx, vk.nz, 0, 8);
+        let rz = autocorrelation(&f, vk.nx, vk.nz, 1, 8);
+        assert!(rx > rz + 0.1, "rx={rx} rz={rz}");
+    }
+
+    #[test]
+    fn higher_hurst_is_smoother() {
+        let rough = VonKarman2D { nx: 128, nz: 64, dx: 500.0, ax: 5_000.0, az: 5_000.0, hurst: 0.1 };
+        let smooth = VonKarman2D { hurst: 1.0, ..rough };
+        let fr = rough.generate(5);
+        let fs = smooth.generate(5);
+        // Mean squared lag-1 increment (roughness proxy).
+        let inc = |f: &[f64]| -> f64 {
+            let mut s = 0.0;
+            let mut c = 0;
+            for z in 0..64 {
+                for x in 0..127 {
+                    let d = f[x + 1 + 128 * z] - f[x + 128 * z];
+                    s += d * d;
+                    c += 1;
+                }
+            }
+            s / c as f64
+        };
+        assert!(inc(&fs) < inc(&fr), "smooth {} rough {}", inc(&fs), inc(&fr));
+    }
+
+    #[test]
+    fn crop_smaller_than_pow2_works() {
+        let vk = VonKarman2D { nx: 100, nz: 37, dx: 1.0, ax: 10.0, az: 10.0, hurst: 0.5 };
+        let f = vk.generate(1);
+        assert_eq!(f.len(), 100 * 37);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "Hurst")]
+    fn invalid_hurst_rejected() {
+        let vk = VonKarman2D { nx: 8, nz: 8, dx: 1.0, ax: 1.0, az: 1.0, hurst: 0.0 };
+        vk.generate(0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the signal substrate.
+
+use awp_signal::fft::{fft, ifft, Complex};
+use awp_signal::filter::Butterworth;
+use awp_signal::series::{integrate_trapezoid, l2_misfit, peak_abs, resample_linear};
+use proptest::prelude::*;
+
+proptest! {
+    /// FFT followed by IFFT recovers the signal for any power-of-two size.
+    #[test]
+    fn fft_round_trip(log_n in 1u32..9, seed in any::<u64>()) {
+        let n = 1usize << log_n;
+        let orig: Vec<Complex> = (0..n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(seed | 1);
+                Complex::new((x % 1000) as f64 / 500.0 - 1.0, ((x >> 10) % 1000) as f64 / 500.0 - 1.0)
+            })
+            .collect();
+        let mut d = orig.clone();
+        fft(&mut d);
+        ifft(&mut d);
+        for (a, b) in d.iter().zip(&orig) {
+            prop_assert!((a.re - b.re).abs() < 1e-9);
+            prop_assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    /// Parseval's theorem for arbitrary signals.
+    #[test]
+    fn parseval(log_n in 2u32..9, seed in any::<u64>()) {
+        let n = 1usize << log_n;
+        let sig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((((i as u64).wrapping_mul(seed | 1) % 997) as f64) / 997.0, 0.0))
+            .collect();
+        let te: f64 = sig.iter().map(|v| v.norm_sq()).sum();
+        let mut d = sig;
+        fft(&mut d);
+        let fe: f64 = d.iter().map(|v| v.norm_sq()).sum::<f64>() / n as f64;
+        prop_assert!((te - fe).abs() <= 1e-8 * te.max(1.0));
+    }
+
+    /// A stable low-pass filter never blows up on bounded input.
+    #[test]
+    fn butterworth_bibo_stable(fc_frac in 0.05f64..0.45, seed in any::<u64>()) {
+        let fs = 100.0;
+        let filt = Butterworth::lowpass(4, fc_frac * fs, fs);
+        let x: Vec<f64> = (0..512)
+            .map(|i| ((((i as u64).wrapping_mul(seed | 1)) % 2001) as f64) / 1000.0 - 1.0)
+            .collect();
+        let y = filt.filter(&x);
+        prop_assert!(peak_abs(&y) < 10.0, "unstable output {}", peak_abs(&y));
+        prop_assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    /// Trapezoid integration of a non-negative signal is non-decreasing.
+    #[test]
+    fn integral_monotone_for_nonneg(vals in proptest::collection::vec(0.0f64..10.0, 2..200)) {
+        let y = integrate_trapezoid(&vals, 0.01);
+        for w in y.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    /// Misfit is symmetric in magnitude ordering and zero on identity.
+    #[test]
+    fn misfit_identity(vals in proptest::collection::vec(-10.0f64..10.0, 1..100)) {
+        prop_assert_eq!(l2_misfit(&vals, &vals), 0.0);
+    }
+
+    /// Resampling at the same rate reproduces the samples it covers.
+    #[test]
+    fn resample_same_rate_identity(vals in proptest::collection::vec(-5.0f64..5.0, 2..50)) {
+        let y = resample_linear(&vals, 0.2, 0.2, vals.len());
+        for (a, b) in vals.iter().zip(&y) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

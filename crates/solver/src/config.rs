@@ -1,0 +1,277 @@
+//! Solver configuration, optimisation toggles and the Table-2 code-version
+//! presets.
+
+use awp_grid::blocking::BlockSpec;
+use awp_grid::dims::Dims3;
+use awp_vcluster::CommMode;
+use serde::{Deserialize, Serialize};
+
+/// Absorbing boundary selection (paper §II.D).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AbcKind {
+    /// No absorbing boundaries (rigid box) — verification only.
+    None,
+    /// Cerjan sponge layers: unconditionally stable, weaker absorption.
+    Sponge { width: usize, amp: f64 },
+    /// Multi-axial PML (M-PML): strong absorption; `pmax` is the
+    /// cross-coupling ratio stabilising strong media gradients.
+    Mpml { width: usize, pmax: f64 },
+}
+
+impl AbcKind {
+    /// The M8 production choice: "we successfully used M-PMLs with a width
+    /// of 10 grid points" (§II.D). The cross-coupling ratio 0.3 is what our
+    /// long-run probes need to keep the free-surface/PML corner stable —
+    /// exactly the instability M-PML was invented to suppress ("the
+    /// split-equation PMLs … are known to be numerically unstable", §II.D).
+    pub fn m8() -> Self {
+        AbcKind::Mpml { width: 10, pmax: 0.3 }
+    }
+
+    pub fn default_sponge() -> Self {
+        AbcKind::Sponge { width: 20, amp: 0.92 }
+    }
+
+    pub fn width(&self) -> usize {
+        match *self {
+            AbcKind::None => 0,
+            AbcKind::Sponge { width, .. } | AbcKind::Mpml { width, .. } => width,
+        }
+    }
+}
+
+/// Optimisation toggles — each maps to one of the paper's §IV items so
+/// benches can measure them independently (Table 2 / Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverOpts {
+    /// §IV.B: precompute reciprocal densities and harmonic moduli once
+    /// ("we store the reciprocals of mu and lam") instead of dividing in
+    /// the inner loops.
+    pub reciprocal_media: bool,
+    /// §IV.B cache blocking of the (k, j) loop nest.
+    pub block: BlockSpec,
+    /// §IV.A reduced algorithm-level communication (per-field per-axis
+    /// minimal halo widths instead of blanket 2-cell exchanges).
+    pub reduced_comm: bool,
+    /// §IV.C computation/communication overlap (split per component).
+    pub overlap: bool,
+    /// §IV.A synchronous vs asynchronous engine.
+    pub comm_mode: CommModeOpt,
+    /// §IV.D hybrid MPI/OpenMP mode: intra-rank thread parallelism via
+    /// Rayon. "While the hybrid approach reduces the load imbalance, it
+    /// introduced significant idle thread overhead" — off by default, as
+    /// in the paper's production runs.
+    pub hybrid: bool,
+    /// Insert a global barrier every step (the redundant synchronisation
+    /// the paper removes; kept togglable to measure T_sync).
+    pub per_step_barrier: bool,
+}
+
+/// Serializable mirror of [`CommMode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommModeOpt {
+    Synchronous,
+    Asynchronous,
+}
+
+impl From<CommModeOpt> for CommMode {
+    fn from(m: CommModeOpt) -> CommMode {
+        match m {
+            CommModeOpt::Synchronous => CommMode::Synchronous,
+            CommModeOpt::Asynchronous => CommMode::Asynchronous,
+        }
+    }
+}
+
+impl SolverOpts {
+    /// Everything on — AWP-ODC v7.2.
+    pub fn optimized() -> Self {
+        Self {
+            reciprocal_media: true,
+            block: BlockSpec::JAGUAR,
+            reduced_comm: true,
+            overlap: false, // v7.2 dropped overlap in favour of blocking+reduced comm
+            comm_mode: CommModeOpt::Asynchronous,
+            per_step_barrier: false,
+            hybrid: false,
+        }
+    }
+
+    /// Everything off — the original research code.
+    pub fn legacy() -> Self {
+        Self {
+            reciprocal_media: false,
+            block: BlockSpec::UNBLOCKED,
+            reduced_comm: false,
+            overlap: false,
+            comm_mode: CommModeOpt::Synchronous,
+            per_step_barrier: true,
+            hybrid: false,
+        }
+    }
+}
+
+/// Code versions of Table 2, each enabling the optimisations the paper
+/// attributes to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CodeVersion {
+    /// 2004 TeraShake-K: MPI tuning only.
+    V1_0,
+    /// 2005 TeraShake-D: I/O tuning.
+    V2_0,
+    /// 2006: partitioned mesh.
+    V3_0,
+    /// 2007 ShakeOut-K: incorporated SGSN.
+    V4_0,
+    /// 2008 ShakeOut-D: asynchronous communication.
+    V5_0,
+    /// 2009 W2W: single-CPU optimisation (+overlap experiments).
+    V6_0,
+    /// 2010: cache blocking.
+    V7_1,
+    /// 2010 M8: cache blocking + reduced communication.
+    V7_2,
+}
+
+impl CodeVersion {
+    pub const ALL: [CodeVersion; 8] = [
+        CodeVersion::V1_0,
+        CodeVersion::V2_0,
+        CodeVersion::V3_0,
+        CodeVersion::V4_0,
+        CodeVersion::V5_0,
+        CodeVersion::V6_0,
+        CodeVersion::V7_1,
+        CodeVersion::V7_2,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            CodeVersion::V1_0 => "1.0",
+            CodeVersion::V2_0 => "2.0",
+            CodeVersion::V3_0 => "3.0",
+            CodeVersion::V4_0 => "4.0",
+            CodeVersion::V5_0 => "5.0",
+            CodeVersion::V6_0 => "6.0",
+            CodeVersion::V7_1 => "7.1",
+            CodeVersion::V7_2 => "7.2",
+        }
+    }
+
+    /// Solver-level toggles for this version (I/O-side optimisations are
+    /// handled by the pario crate).
+    pub fn opts(&self) -> SolverOpts {
+        let mut o = SolverOpts::legacy();
+        if *self >= CodeVersion::V5_0 {
+            o.comm_mode = CommModeOpt::Asynchronous;
+            o.per_step_barrier = false;
+        }
+        if *self >= CodeVersion::V6_0 {
+            o.reciprocal_media = true;
+        }
+        if *self >= CodeVersion::V7_1 {
+            o.block = BlockSpec::JAGUAR;
+        }
+        if *self >= CodeVersion::V7_2 {
+            o.reduced_comm = true;
+        }
+        o
+    }
+}
+
+// Ordering for the >= comparisons above.
+impl PartialOrd for CodeVersion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CodeVersion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (*self as u8).cmp(&(*other as u8))
+    }
+}
+
+/// Full solver configuration for one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Global grid extent.
+    pub dims: Dims3,
+    /// Grid spacing (m).
+    pub h: f64,
+    /// Time step (s); must satisfy the CFL bound.
+    pub dt: f64,
+    /// Number of time steps.
+    pub steps: usize,
+    /// Absorbing boundary condition on sides and bottom.
+    pub abc: AbcKind,
+    /// Apply the free-surface condition at the top (else ABC there too).
+    pub free_surface: bool,
+    /// Enable anelastic attenuation (coarse-grained memory variables).
+    pub attenuation: bool,
+    /// Frequency band for the constant-Q fit (Hz).
+    pub q_band: (f64, f64),
+    pub opts: SolverOpts,
+}
+
+impl SolverConfig {
+    /// A small default box for tests and examples.
+    pub fn small(dims: Dims3, h: f64, dt: f64, steps: usize) -> Self {
+        Self {
+            dims,
+            h,
+            dt,
+            steps,
+            abc: AbcKind::default_sponge(),
+            free_surface: true,
+            attenuation: false,
+            q_band: (0.1, 2.0),
+            opts: SolverOpts::optimized(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_accumulate_optimisations() {
+        let v1 = CodeVersion::V1_0.opts();
+        assert!(!v1.reciprocal_media && !v1.reduced_comm);
+        assert_eq!(v1.comm_mode, CommModeOpt::Synchronous);
+        let v5 = CodeVersion::V5_0.opts();
+        assert_eq!(v5.comm_mode, CommModeOpt::Asynchronous);
+        assert!(!v5.reciprocal_media);
+        let v6 = CodeVersion::V6_0.opts();
+        assert!(v6.reciprocal_media);
+        assert_eq!(v6.block, BlockSpec::UNBLOCKED);
+        let v72 = CodeVersion::V7_2.opts();
+        assert!(v72.reduced_comm);
+        assert_eq!(v72.block, BlockSpec::JAGUAR);
+    }
+
+    #[test]
+    fn version_ordering_is_chronological() {
+        for w in CodeVersion::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn optimized_differs_from_legacy() {
+        assert_ne!(SolverOpts::optimized(), SolverOpts::legacy());
+        assert_eq!(CodeVersion::V7_2.opts(), {
+            let mut o = SolverOpts::optimized();
+            o.overlap = false;
+            o
+        });
+    }
+
+    #[test]
+    fn abc_widths() {
+        assert_eq!(AbcKind::None.width(), 0);
+        assert_eq!(AbcKind::m8().width(), 10);
+        assert_eq!(AbcKind::default_sponge().width(), 20);
+    }
+}

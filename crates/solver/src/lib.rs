@@ -1,0 +1,54 @@
+//! AWM — the anelastic wave propagation solver of AWP-ODC (paper §II).
+//!
+//! Solves the 3-D velocity–stress elastodynamic system (Eq. 1) with the
+//! explicit staggered-grid finite-difference scheme: fourth-order in space
+//! (Eq. 3, c1 = 9/8, c2 = −1/24), second-order leapfrog in time (Eq. 2).
+//! Components:
+//!
+//! * [`medium`] — per-rank material arrays with the reciprocal-storage
+//!   optimisation of §IV.B and effective-media averaging;
+//! * [`state`] — the nine wavefield arrays plus anelastic memory variables;
+//! * [`kernels`]/[`kernels_mt`] — the hot velocity/stress update loops (single-
+//!   threaded and hybrid OpenMP-style Rayon variants, §IV.D), in *optimised*
+//!   (precomputed reciprocals, cache blocking) and *legacy* (inline
+//!   divisions, unblocked) variants so the paper's §IV.B gains can be
+//!   measured;
+//! * [`attenuation`] — coarse-grained memory-variable constant-Q
+//!   (Day 1998; Day & Bradley 2001), eight relaxation times on a 2×2×2
+//!   pattern;
+//! * [`boundary`] — FS2-style free surface (stress imaging) and Cerjan
+//!   sponge layers;
+//! * [`pml`] — multi-axial PML absorbing boundaries (Marcinkovich & Olsen
+//!   2003; Meza-Fajardo & Papageorgiou 2008);
+//! * [`exchange`] — ghost-cell halo exchange over the virtual cluster with
+//!   full or reduced (§IV.A) communication plans and
+//!   computation/communication overlap (§IV.C);
+//! * [`sourceinj`] — kinematic moment-rate source insertion;
+//! * [`stations`] — seismogram recording and surface-velocity capture;
+//! * [`solver`] — serial and rank-parallel drivers with Eq. (7) phase
+//!   timing;
+//! * [`reference`] — an independent 2nd-order solver used as the Fig. 3
+//!   cross-verification partner;
+//! * [`flops`] — per-point floating-point operation accounting feeding the
+//!   Eq. (8) performance model.
+
+pub mod attenuation;
+pub mod boundary;
+pub mod config;
+pub mod exchange;
+pub mod flops;
+pub mod kernels;
+pub mod kernels_mt;
+pub mod medium;
+pub mod pml;
+pub mod reference;
+pub mod solver;
+pub mod sourceinj;
+pub mod state;
+pub mod stations;
+
+pub use config::{AbcKind, CodeVersion, SolverConfig, SolverOpts};
+pub use medium::Medium;
+pub use solver::{run_parallel, RankResult, Solver};
+pub use state::WaveState;
+pub use stations::{Station, StationRecorder};

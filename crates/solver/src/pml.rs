@@ -1,0 +1,361 @@
+//! Multi-axial PML absorbing boundaries (paper §II.D).
+//!
+//! Implemented as a convolutional PML (recursive-convolution memory
+//! variables; Komatitsch & Martin 2007) with the multi-axial stabilisation
+//! of Meza-Fajardo & Papageorgiou (2008): inside the x-oriented layer the
+//! y/z derivative directions are damped at a fraction `pmax` of the normal
+//! profile, which is what keeps split PMLs stable "in the presence of
+//! strong gradients of the media parameters".
+//!
+//! The implementation is a *correction pass*: the ordinary kernels run
+//! everywhere; inside the PML slabs each directional derivative `D` gains
+//! a convolved memory term `ψ ← b ψ + a D` and the field receives the
+//! `coef·ψ` correction. This keeps the hot kernels untouched (the paper
+//! similarly confines ABC work to edge processors, §III.A).
+
+use crate::medium::Medium;
+use crate::state::WaveState;
+use awp_grid::array3::Array3;
+use awp_grid::decomp::Subdomain;
+use awp_grid::face::Face;
+use awp_grid::{C1, C2};
+
+/// Number of ψ memory arrays (9 velocity-pass + 9 stress-pass terms).
+const N_PSI: usize = 18;
+
+// ψ indices, velocity pass.
+const P_VX_X: usize = 0;
+const P_VX_Y: usize = 1;
+const P_VX_Z: usize = 2;
+const P_VY_X: usize = 3;
+const P_VY_Y: usize = 4;
+const P_VY_Z: usize = 5;
+const P_VZ_X: usize = 6;
+const P_VZ_Y: usize = 7;
+const P_VZ_Z: usize = 8;
+// ψ indices, stress pass.
+const P_EXX: usize = 9;
+const P_EYY: usize = 10;
+const P_EZZ: usize = 11;
+const P_SXY_Y: usize = 12; // ∂y vx
+const P_SXY_X: usize = 13; // ∂x vy
+const P_SXZ_Z: usize = 14; // ∂z vx
+const P_SXZ_X: usize = 15; // ∂x vz
+const P_SYZ_Z: usize = 16; // ∂z vy
+const P_SYZ_Y: usize = 17; // ∂y vz
+
+/// The M-PML state for one rank.
+#[derive(Debug, Clone)]
+pub struct Mpml {
+    /// Damping profiles d(x) (1/s) per local cell along each axis.
+    dx: Vec<f64>,
+    dy: Vec<f64>,
+    dz: Vec<f64>,
+    /// Cross-coupling ratio (M-PML `p^(max)`).
+    pmax: f64,
+    /// CFS frequency-shift parameter α (1/s).
+    alpha: f64,
+    dt: f64,
+    psi: Vec<Array3>,
+}
+
+impl Mpml {
+    /// Build for a subdomain. `width` cells per absorbing face (x lo/hi,
+    /// y lo/hi, z bottom; the top is the free surface), quadratic profile
+    /// with theoretical reflection coefficient `r0`.
+    pub fn new(
+        sub: &Subdomain,
+        med: &Medium,
+        width: usize,
+        pmax: f64,
+        dt: f64,
+        f0: f64,
+        r0: f64,
+    ) -> Self {
+        assert!(width >= 2, "PML width must be at least 2 cells");
+        let vp = med.vp_max();
+        let h = med.h;
+        let l = width as f64 * h;
+        let d0 = -3.0 * vp * r0.ln() / (2.0 * l);
+        let g = sub.decomp.global;
+        let profile = |n: usize, origin: usize, len: usize, lo: bool, hi: bool| -> Vec<f64> {
+            (0..len)
+                .map(|local| {
+                    let gi = origin + local;
+                    let mut d = 0.0;
+                    if lo && gi < width {
+                        let x = (width - gi) as f64 / width as f64;
+                        d += d0 * x * x;
+                    }
+                    if hi && gi + width >= n {
+                        let x = (gi + width + 1 - n) as f64 / width as f64;
+                        d += d0 * x * x;
+                    }
+                    d
+                })
+                .collect()
+        };
+        let dx = profile(g.nx, sub.origin.i, sub.dims.nx, true, true);
+        let dy = profile(g.ny, sub.origin.j, sub.dims.ny, true, true);
+        let dz = profile(g.nz, sub.origin.k, sub.dims.nz, false, true);
+        let psi = (0..N_PSI).map(|_| Array3::new(sub.dims, awp_grid::HALO)).collect();
+        Self { dx, dy, dz, pmax, alpha: std::f64::consts::PI * f0, dt, psi }
+    }
+
+    /// Effective damping for a derivative along `axis` at local cell
+    /// (i, j, k): own-axis profile plus M-PML cross terms.
+    #[inline]
+    fn d_eff(&self, axis: usize, i: usize, j: usize, k: usize) -> f64 {
+        let (dx, dy, dz) = (self.dx[i], self.dy[j], self.dz[k]);
+        match axis {
+            0 => dx + self.pmax * (dy + dz),
+            1 => dy + self.pmax * (dx + dz),
+            _ => dz + self.pmax * (dx + dy),
+        }
+    }
+
+    #[inline]
+    fn in_zone(&self, i: usize, j: usize, k: usize) -> bool {
+        self.dx[i] > 0.0 || self.dy[j] > 0.0 || self.dz[k] > 0.0
+    }
+
+    /// Recursive-convolution coefficients for damping `d`.
+    #[inline]
+    fn coeffs(&self, d: f64) -> (f32, f32) {
+        if d <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let b = (-(d + self.alpha) * self.dt).exp();
+        let a = d / (d + self.alpha) * (b - 1.0);
+        (b as f32, a as f32)
+    }
+
+    /// ψ update + correction value for one derivative term.
+    #[inline]
+    fn convolve(&self, psi_idx: usize, o: usize, axis: usize, i: usize, j: usize, k: usize, bracket: f32) -> f32 {
+        let d = self.d_eff(axis, i, j, k);
+        if d <= 0.0 {
+            return 0.0;
+        }
+        let (b, a) = self.coeffs(d);
+        // Safety: o is an in-bounds padded offset computed by the caller
+        // from the shared layout.
+        let psi = &self.psi[psi_idx];
+        let old = psi.as_slice()[o];
+        let new = b * old + a * bracket;
+        // Interior mutability avoided: caller passes &mut self; see apply_*.
+        new
+    }
+
+    /// Apply the velocity-pass PML correction (after the velocity update).
+    pub fn apply_velocity(&mut self, state: &mut WaveState, med: &Medium, dth: f32) {
+        let d = state.dims;
+        let (sy, sz, base) = crate::kernels::layout(state);
+        let rx = med.rhox_inv.as_ref().expect("precompute() required for PML").as_slice();
+        let ry = med.rhoy_inv.as_ref().unwrap().as_slice();
+        let rz = med.rhoz_inv.as_ref().unwrap().as_slice();
+        let WaveState { vx, vy, vz, sxx, syy, szz, sxy, sxz, syz, .. } = state;
+        let (vx, vy, vz) = (vx.as_mut_slice(), vy.as_mut_slice(), vz.as_mut_slice());
+        let (sxx, syy, szz) = (sxx.as_slice(), syy.as_slice(), szz.as_slice());
+        let (sxy, sxz, syz) = (sxy.as_slice(), sxz.as_slice(), syz.as_slice());
+        for k in 0..d.nz {
+            for j in 0..d.ny {
+                for i in 0..d.nx {
+                    if !self.in_zone(i, j, k) {
+                        continue;
+                    }
+                    let o = base + i + sy * j + sz * k;
+                    // vx terms.
+                    let bx = C1 * (sxx[o + 1] - sxx[o]) + C2 * (sxx[o + 2] - sxx[o - 1]);
+                    let by = C1 * (sxy[o] - sxy[o - sy]) + C2 * (sxy[o + sy] - sxy[o - 2 * sy]);
+                    let bz = C1 * (sxz[o] - sxz[o - sz]) + C2 * (sxz[o + sz] - sxz[o - 2 * sz]);
+                    let px = self.step_psi(P_VX_X, o, 0, i, j, k, bx);
+                    let py = self.step_psi(P_VX_Y, o, 1, i, j, k, by);
+                    let pz = self.step_psi(P_VX_Z, o, 2, i, j, k, bz);
+                    vx[o] += dth * rx[o] * (px + py + pz);
+                    // vy terms.
+                    let bx = C1 * (sxy[o] - sxy[o - 1]) + C2 * (sxy[o + 1] - sxy[o - 2]);
+                    let by = C1 * (syy[o + sy] - syy[o]) + C2 * (syy[o + 2 * sy] - syy[o - sy]);
+                    let bz = C1 * (syz[o] - syz[o - sz]) + C2 * (syz[o + sz] - syz[o - 2 * sz]);
+                    let px = self.step_psi(P_VY_X, o, 0, i, j, k, bx);
+                    let py = self.step_psi(P_VY_Y, o, 1, i, j, k, by);
+                    let pz = self.step_psi(P_VY_Z, o, 2, i, j, k, bz);
+                    vy[o] += dth * ry[o] * (px + py + pz);
+                    // vz terms.
+                    let bx = C1 * (sxz[o] - sxz[o - 1]) + C2 * (sxz[o + 1] - sxz[o - 2]);
+                    let by = C1 * (syz[o] - syz[o - sy]) + C2 * (syz[o + sy] - syz[o - 2 * sy]);
+                    let bz = C1 * (szz[o + sz] - szz[o]) + C2 * (szz[o + 2 * sz] - szz[o - sz]);
+                    let px = self.step_psi(P_VZ_X, o, 0, i, j, k, bx);
+                    let py = self.step_psi(P_VZ_Y, o, 1, i, j, k, by);
+                    let pz = self.step_psi(P_VZ_Z, o, 2, i, j, k, bz);
+                    vz[o] += dth * rz[o] * (px + py + pz);
+                }
+            }
+        }
+    }
+
+    /// Apply the stress-pass PML correction (after the stress update).
+    pub fn apply_stress(&mut self, state: &mut WaveState, med: &Medium, dth: f32) {
+        let d = state.dims;
+        let (sy, sz, base) = crate::kernels::layout(state);
+        let lam = med.lam.as_slice();
+        let mu = med.mu.as_slice();
+        let mxy = med.mu_xy.as_ref().expect("precompute() required for PML").as_slice();
+        let mxz = med.mu_xz.as_ref().unwrap().as_slice();
+        let myz = med.mu_yz.as_ref().unwrap().as_slice();
+        let WaveState { vx, vy, vz, sxx, syy, szz, sxy, sxz, syz, .. } = state;
+        let (vx, vy, vz) = (vx.as_slice(), vy.as_slice(), vz.as_slice());
+        let (sxx, syy, szz) = (sxx.as_mut_slice(), syy.as_mut_slice(), szz.as_mut_slice());
+        let (sxy, sxz, syz) = (sxy.as_mut_slice(), sxz.as_mut_slice(), syz.as_mut_slice());
+        for k in 0..d.nz {
+            for j in 0..d.ny {
+                for i in 0..d.nx {
+                    if !self.in_zone(i, j, k) {
+                        continue;
+                    }
+                    let o = base + i + sy * j + sz * k;
+                    let bexx = C1 * (vx[o] - vx[o - 1]) + C2 * (vx[o + 1] - vx[o - 2]);
+                    let beyy = C1 * (vy[o] - vy[o - sy]) + C2 * (vy[o + sy] - vy[o - 2 * sy]);
+                    let bezz = C1 * (vz[o] - vz[o - sz]) + C2 * (vz[o + sz] - vz[o - 2 * sz]);
+                    let pxx = self.step_psi(P_EXX, o, 0, i, j, k, bexx);
+                    let pyy = self.step_psi(P_EYY, o, 1, i, j, k, beyy);
+                    let pzz = self.step_psi(P_EZZ, o, 2, i, j, k, bezz);
+                    let l = lam[o];
+                    let m2 = 2.0 * mu[o];
+                    let ptr = pxx + pyy + pzz;
+                    sxx[o] += dth * (l * ptr + m2 * pxx);
+                    syy[o] += dth * (l * ptr + m2 * pyy);
+                    szz[o] += dth * (l * ptr + m2 * pzz);
+                    let bvxy = C1 * (vx[o + sy] - vx[o]) + C2 * (vx[o + 2 * sy] - vx[o - sy]);
+                    let bvyx = C1 * (vy[o + 1] - vy[o]) + C2 * (vy[o + 2] - vy[o - 1]);
+                    let p1 = self.step_psi(P_SXY_Y, o, 1, i, j, k, bvxy);
+                    let p2 = self.step_psi(P_SXY_X, o, 0, i, j, k, bvyx);
+                    sxy[o] += dth * mxy[o] * (p1 + p2);
+                    let bvxz = C1 * (vx[o + sz] - vx[o]) + C2 * (vx[o + 2 * sz] - vx[o - sz]);
+                    let bvzx = C1 * (vz[o + 1] - vz[o]) + C2 * (vz[o + 2] - vz[o - 1]);
+                    let p1 = self.step_psi(P_SXZ_Z, o, 2, i, j, k, bvxz);
+                    let p2 = self.step_psi(P_SXZ_X, o, 0, i, j, k, bvzx);
+                    sxz[o] += dth * mxz[o] * (p1 + p2);
+                    let bvyz = C1 * (vy[o + sz] - vy[o]) + C2 * (vy[o + 2 * sz] - vy[o - sz]);
+                    let bvzy = C1 * (vz[o + sy] - vz[o]) + C2 * (vz[o + 2 * sy] - vz[o - sy]);
+                    let p1 = self.step_psi(P_SYZ_Z, o, 2, i, j, k, bvyz);
+                    let p2 = self.step_psi(P_SYZ_Y, o, 1, i, j, k, bvzy);
+                    syz[o] += dth * myz[o] * (p1 + p2);
+                }
+            }
+        }
+    }
+
+    /// Update ψ in place and return its new value (0 outside this term's
+    /// damping zone).
+    #[inline]
+    fn step_psi(&mut self, psi_idx: usize, o: usize, axis: usize, i: usize, j: usize, k: usize, bracket: f32) -> f32 {
+        let new = self.convolve(psi_idx, o, axis, i, j, k, bracket);
+        if new != 0.0 || self.psi[psi_idx].as_slice()[o] != 0.0 {
+            self.psi[psi_idx].as_mut_slice()[o] = new;
+        }
+        new
+    }
+
+    /// Fraction of local cells inside the PML zone (diagnostics).
+    pub fn zone_fraction(&self) -> f64 {
+        let mut inside = 0usize;
+        let (nx, ny, nz) = (self.dx.len(), self.dy.len(), self.dz.len());
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    if self.in_zone(i, j, k) {
+                        inside += 1;
+                    }
+                }
+            }
+        }
+        inside as f64 / (nx * ny * nz) as f64
+    }
+}
+
+/// True when a rank touches any absorbing face (paper §III.A: edge
+/// processors do ABC work).
+pub fn touches_abc(sub: &Subdomain) -> bool {
+    [Face::XLo, Face::XHi, Face::YLo, Face::YHi, Face::ZHi]
+        .iter()
+        .any(|&f| sub.on_boundary(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awp_cvm::mesh::MeshGenerator;
+    use awp_cvm::model::HomogeneousModel;
+    use awp_grid::decomp::Decomp3;
+    use awp_grid::dims::Dims3;
+
+    fn setup(d: Dims3, width: usize) -> (Subdomain, Medium, Mpml) {
+        let sub = Decomp3::new(d, [1, 1, 1]).subdomain(0);
+        let mesh = MeshGenerator::new(&HomogeneousModel::rock(), d, 100.0).generate();
+        let mut med = Medium::from_mesh(&mesh);
+        med.precompute();
+        let pml = Mpml::new(&sub, &med, width, 0.1, 1e-3, 2.0, 1e-4);
+        (sub, med, pml)
+    }
+
+    #[test]
+    fn profiles_cover_expected_zone() {
+        let (_, _, pml) = setup(Dims3::new(40, 40, 40), 10);
+        // x: 10 lo + 10 hi of 40; y same; z: only bottom 10. Union fraction:
+        // 1 − (20/40)·(20/40)·(30/40) = 1 − 0.1875 = 0.8125... zones overlap.
+        let f = pml.zone_fraction();
+        assert!((f - 0.8125).abs() < 1e-9, "zone fraction {f}");
+        assert!(pml.dx[0] > pml.dx[5], "profile decays inward");
+        assert_eq!(pml.dx[20], 0.0);
+        assert_eq!(pml.dz[0], 0.0, "top face is the free surface");
+        assert!(pml.dz[39] > 0.0);
+    }
+
+    #[test]
+    fn mpml_cross_damping_present() {
+        let (_, _, pml) = setup(Dims3::new(40, 40, 40), 10);
+        // Inside the x layer, the y-direction derivative is damped at
+        // pmax × the x profile.
+        let dy_eff = pml.d_eff(1, 0, 20, 20);
+        let dx_eff = pml.d_eff(0, 0, 20, 20);
+        assert!(dx_eff > 0.0);
+        assert!((dy_eff / dx_eff - 0.1).abs() < 1e-9, "{dy_eff} vs {dx_eff}");
+    }
+
+    #[test]
+    fn coeffs_behave() {
+        let (_, _, pml) = setup(Dims3::new(20, 20, 20), 5);
+        let (b, a) = pml.coeffs(1000.0);
+        assert!(b > 0.0 && b < 1.0);
+        assert!(a < 0.0, "correction opposes the derivative");
+        assert_eq!(pml.coeffs(0.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn interior_cells_untouched() {
+        let d = Dims3::new(30, 30, 30);
+        let (_, med, mut pml) = setup(d, 6);
+        let mut st = WaveState::new(d, false);
+        // Put a stress spike dead centre — inside no zone.
+        st.sxx.set(15, 15, 15, 1e6);
+        let before = st.clone();
+        pml.apply_velocity(&mut st, &med, 0.01);
+        // Centre cell and its neighbours are outside every slab → no change.
+        assert_eq!(st.vx.get(15, 15, 15), before.vx.get(15, 15, 15));
+        assert_eq!(st.vx.get(14, 15, 15), 0.0);
+    }
+
+    #[test]
+    fn psi_accumulates_in_zone() {
+        let d = Dims3::new(24, 24, 24);
+        let (_, med, mut pml) = setup(d, 8);
+        let mut st = WaveState::new(d, false);
+        // Stress gradient inside the x-lo layer.
+        st.sxx.set(2, 12, 12, 1e6);
+        pml.apply_velocity(&mut st, &med, 0.01);
+        // The correction must have moved vx near the spike.
+        let v = st.vx.get(2, 12, 12).abs() + st.vx.get(1, 12, 12).abs();
+        assert!(v > 0.0, "PML correction should act in the layer");
+    }
+}

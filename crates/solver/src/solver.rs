@@ -1,0 +1,629 @@
+//! The AWM drivers: serial single-rank runs and rank-parallel runs over
+//! the virtual cluster, following the flow of the paper's Fig. 6 ("wave
+//! mode"): update velocities → share with neighbours → update stresses →
+//! share → repeat, with Eq. (7) phase timing.
+
+use crate::attenuation::Attenuation;
+use crate::boundary::{
+    apply_free_surface_stress, apply_free_surface_stress_group, apply_free_surface_velocity,
+    owns_free_surface, Sponge,
+};
+use crate::config::{AbcKind, SolverConfig};
+use crate::exchange::{
+    exchange, finish_exchange, full_plan, reduced_stress_plan, reduced_velocity_plan,
+    start_exchange, FieldPlan, Phase,
+};
+use crate::flops::FlopCounter;
+use crate::kernels::{
+    update_stress, update_stress_group, update_velocity, update_velocity_component,
+};
+use crate::kernels_mt::{update_stress_mt, update_velocity_mt};
+use crate::medium::Medium;
+use crate::pml::Mpml;
+use crate::sourceinj::SourceInjector;
+use crate::state::WaveState;
+use crate::stations::{Seismogram, Station, StationRecorder};
+use awp_cvm::mesh::Mesh;
+use awp_grid::decomp::{Decomp3, Subdomain};
+use awp_grid::stagger::Component;
+use awp_source::kinematic::KinematicSource;
+use awp_source::partition::partition_spatial;
+use awp_vcluster::cluster::RankCtx;
+use awp_vcluster::{Category, Cluster, TimeLedger};
+
+/// One rank's solver instance.
+pub struct Solver {
+    pub cfg: SolverConfig,
+    pub sub: Subdomain,
+    pub med: Medium,
+    pub state: WaveState,
+    pub atten: Option<Attenuation>,
+    pub sponge: Option<Sponge>,
+    pub mpml: Option<Mpml>,
+    pub injector: SourceInjector,
+    pub recorder: StationRecorder,
+    pub step: usize,
+    pub flops: FlopCounter,
+    vel_plan: Vec<FieldPlan>,
+    str_plan: Vec<FieldPlan>,
+}
+
+/// Output of one rank's run.
+#[derive(Debug)]
+pub struct RankResult {
+    pub rank: usize,
+    pub seismograms: Vec<Seismogram>,
+    pub ledger: TimeLedger,
+    pub flops: u64,
+    pub steps: usize,
+    /// Final surface velocity field (decimated) if requested.
+    pub surface: Option<Vec<f32>>,
+    /// Running per-surface-cell peak |v_horizontal| (PGV map fragment),
+    /// x-fastest over this rank's surface cells (empty off-surface ranks).
+    pub pgv_map: Vec<f32>,
+    pub sub: Subdomain,
+}
+
+impl Solver {
+    /// Build a rank's solver from its local mesh and (rank-local) source.
+    pub fn new(
+        cfg: SolverConfig,
+        sub: Subdomain,
+        mesh: &Mesh,
+        source: &KinematicSource,
+        stations: &[Station],
+    ) -> Self {
+        assert_eq!(mesh.dims, sub.dims, "mesh does not match subdomain");
+        let mut med = Medium::from_mesh(mesh);
+        // CFL guard.
+        let dt_max = 6.0 * cfg.h / (7.0 * 3.0f64.sqrt() * med.vp_max());
+        assert!(
+            cfg.dt <= dt_max * 1.0001,
+            "dt {} violates the CFL bound {dt_max}",
+            cfg.dt
+        );
+        med.precompute();
+        let state = WaveState::new(sub.dims, cfg.attenuation);
+        let atten = cfg.attenuation.then(|| {
+            Attenuation::new(&med, cfg.dt, cfg.q_band.0, cfg.q_band.1, sub.origin)
+        });
+        let sponge = match cfg.abc {
+            AbcKind::Sponge { width, amp } => {
+                Some(Sponge::new(&sub, width, amp, cfg.free_surface))
+            }
+            _ => None,
+        };
+        let mpml = match cfg.abc {
+            AbcKind::Mpml { width, pmax } => Some(Mpml::new(
+                &sub,
+                &med,
+                width,
+                pmax,
+                cfg.dt,
+                cfg.q_band.1.max(0.5),
+                1e-4,
+            )),
+            _ => None,
+        };
+        let injector = SourceInjector::new(source, cfg.h);
+        let recorder = StationRecorder::new(stations, &sub, cfg.dt);
+        let (vel_plan, str_plan) = if cfg.opts.reduced_comm {
+            (reduced_velocity_plan(), reduced_stress_plan())
+        } else {
+            (
+                full_plan(&Component::VELOCITIES),
+                full_plan(&Component::STRESSES),
+            )
+        };
+        Self {
+            cfg,
+            sub,
+            med,
+            state,
+            atten,
+            sponge,
+            mpml,
+            injector,
+            recorder,
+            step: 0,
+            flops: FlopCounter::default(),
+            vel_plan,
+            str_plan,
+        }
+    }
+
+    fn dth(&self) -> f32 {
+        (self.cfg.dt / self.cfg.h) as f32
+    }
+
+    /// Advance one step without communication (serial / interior of the
+    /// parallel step). `ledger` receives phase timings.
+    pub fn step_serial(&mut self, ledger: &mut TimeLedger) {
+        let t = self.step as f64 * self.cfg.dt;
+        let dth = self.dth();
+        let block = self.cfg.opts.block;
+        let optimized = self.cfg.opts.reciprocal_media;
+        let on_surface = self.cfg.free_surface && owns_free_surface(&self.sub);
+
+        let hybrid = self.cfg.opts.hybrid && optimized;
+        ledger.time(Category::Comp, || {
+            if hybrid {
+                update_velocity_mt(&mut self.state, &self.med, dth);
+            } else {
+                update_velocity(&mut self.state, &self.med, dth, block, optimized);
+            }
+            if let Some(p) = &mut self.mpml {
+                p.apply_velocity(&mut self.state, &self.med, dth);
+            }
+        });
+        // (parallel drivers exchange velocity halos here)
+        ledger.time(Category::Comp, || {
+            if on_surface {
+                apply_free_surface_velocity(&mut self.state, &self.med, self.cfg.h as f32);
+            }
+            if hybrid {
+                update_stress_mt(
+                    &mut self.state,
+                    &self.med,
+                    self.atten.as_ref(),
+                    dth,
+                    self.cfg.dt as f32,
+                );
+            } else {
+                update_stress(
+                    &mut self.state,
+                    &self.med,
+                    self.atten.as_ref(),
+                    dth,
+                    self.cfg.dt as f32,
+                    block,
+                    optimized,
+                );
+            }
+            if let Some(p) = &mut self.mpml {
+                p.apply_stress(&mut self.state, &self.med, dth);
+            }
+            self.injector.inject(&mut self.state, t, self.cfg.dt);
+            if on_surface {
+                apply_free_surface_stress(&mut self.state);
+            }
+            if let Some(sp) = &self.sponge {
+                sp.apply(&mut self.state);
+            }
+        });
+        ledger.time(Category::Output, || {
+            self.recorder.record(&self.state);
+        });
+        self.flops.add_step(self.sub.dims.count(), self.cfg.attenuation);
+        self.step += 1;
+    }
+
+    /// Replace the source injector (used by the temporal-partition driver
+    /// when a new source window is loaded).
+    pub fn set_source(&mut self, source: &KinematicSource) {
+        self.injector = SourceInjector::new(source, self.cfg.h);
+    }
+
+    /// Serial run with *temporal source partitioning* (paper §III.D /
+    /// Eq. 7's φT_reinit term): the moment-rate histories are windowed
+    /// into segments of `window` source samples; each segment is loaded
+    /// only when the simulation enters its time range, with the swap cost
+    /// charged to the `Reinit` ledger category. M8 used 36 such loops of
+    /// 3000 steps each.
+    pub fn run_serial_windowed(
+        cfg: SolverConfig,
+        mesh: &Mesh,
+        source: &KinematicSource,
+        stations: &[Station],
+        window: usize,
+    ) -> RankResult {
+        use awp_source::partition::TemporalPartition;
+        let decomp = Decomp3::new(cfg.dims, [1, 1, 1]);
+        let sub = decomp.subdomain(0);
+        let tp = TemporalPartition::new(source, window);
+        let mut solver = Solver::new(cfg.clone(), sub, mesh, &tp.segments[0], stations);
+        let mut current_seg = 0usize;
+        let mut ledger = TimeLedger::new();
+        let mut pgv = vec![0.0f32; cfg.dims.nx * cfg.dims.ny];
+        for step in 0..cfg.steps {
+            let t = step as f64 * cfg.dt;
+            let seg = tp.segment_for(t);
+            if seg != current_seg {
+                ledger.time(Category::Reinit, || {
+                    solver.set_source(&tp.segments[seg]);
+                });
+                current_seg = seg;
+            }
+            solver.step_serial(&mut ledger);
+            update_pgv(&solver.state, &mut pgv);
+        }
+        RankResult {
+            rank: 0,
+            seismograms: solver.recorder.into_seismograms(),
+            ledger,
+            flops: solver.flops.total,
+            steps: cfg.steps,
+            surface: Some(crate::stations::surface_velocities(&solver.state, 1)),
+            pgv_map: pgv,
+            sub,
+        }
+    }
+
+    /// Serial convenience: run the whole configuration on one rank.
+    pub fn run_serial(
+        cfg: SolverConfig,
+        mesh: &Mesh,
+        source: &KinematicSource,
+        stations: &[Station],
+    ) -> RankResult {
+        let decomp = Decomp3::new(cfg.dims, [1, 1, 1]);
+        let sub = decomp.subdomain(0);
+        let mut solver = Solver::new(cfg.clone(), sub, mesh, source, stations);
+        let mut ledger = TimeLedger::new();
+        let mut pgv = vec![0.0f32; cfg.dims.nx * cfg.dims.ny];
+        for _ in 0..cfg.steps {
+            solver.step_serial(&mut ledger);
+            update_pgv(&solver.state, &mut pgv);
+        }
+        RankResult {
+            rank: 0,
+            seismograms: solver.recorder.into_seismograms(),
+            ledger,
+            flops: solver.flops.total,
+            steps: cfg.steps,
+            surface: Some(crate::stations::surface_velocities(&solver.state, 1)),
+            pgv_map: pgv,
+            sub,
+        }
+    }
+
+    /// One full parallel step (velocity → exchange → stress → exchange),
+    /// honouring the configured engine, overlap and barrier options.
+    ///
+    /// With overlap on (§IV.C) the updates are split per component/group
+    /// and each piece's exchange starts as soon as that piece is final:
+    /// "While the value of v is computed, the exchange of u can be
+    /// performed simultaneously". Overlap requires the asynchronous
+    /// engine, the optimized kernels and no PML (PML corrections post-date
+    /// the component updates and would miss the early sends).
+    pub fn step_parallel(&mut self, ctx: &mut RankCtx) {
+        let t = self.step as f64 * self.cfg.dt;
+        let dth = self.dth();
+        let block = self.cfg.opts.block;
+        let optimized = self.cfg.opts.reciprocal_media;
+        let hybrid = self.cfg.opts.hybrid && optimized;
+        let on_surface = self.cfg.free_surface && owns_free_surface(&self.sub);
+        let step_tag = self.step as u64;
+        let use_overlap = self.cfg.opts.overlap
+            && ctx.mode() == awp_vcluster::CommMode::Asynchronous
+            && optimized
+            && !hybrid
+            && self.mpml.is_none();
+
+        // Velocity phase.
+        let vel_plan = std::mem::take(&mut self.vel_plan);
+        if use_overlap {
+            let mut pendings = Vec::new();
+            for comp in 0..3 {
+                ctx.time(Category::Comp, || {
+                    update_velocity_component(&mut self.state, &self.med, dth, block, comp);
+                });
+                let cid = Component::VELOCITIES[comp].id();
+                let plan_c: Vec<FieldPlan> =
+                    vel_plan.iter().filter(|p| p.comp.id() == cid).copied().collect();
+                pendings.push(start_exchange(
+                    &self.state,
+                    &self.sub,
+                    ctx,
+                    &plan_c,
+                    Phase::Velocity,
+                    step_tag,
+                ));
+            }
+            for pending in pendings {
+                finish_exchange(&mut self.state, ctx, pending);
+            }
+        } else {
+            ctx.time(Category::Comp, || {
+                if hybrid {
+                    update_velocity_mt(&mut self.state, &self.med, dth);
+                } else {
+                    update_velocity(&mut self.state, &self.med, dth, block, optimized);
+                }
+                if let Some(p) = &mut self.mpml {
+                    p.apply_velocity(&mut self.state, &self.med, dth);
+                }
+            });
+            exchange(&mut self.state, &self.sub, ctx, &vel_plan, Phase::Velocity, step_tag);
+        }
+        self.vel_plan = vel_plan;
+
+        // Stress phase.
+        let str_plan = std::mem::take(&mut self.str_plan);
+        if use_overlap {
+            const GROUPS: [&[Component]; 4] = [
+                &[Component::Sxx, Component::Syy, Component::Szz],
+                &[Component::Sxy],
+                &[Component::Sxz],
+                &[Component::Syz],
+            ];
+            ctx.time(Category::Comp, || {
+                if on_surface {
+                    apply_free_surface_velocity(&mut self.state, &self.med, self.cfg.h as f32);
+                }
+            });
+            let mut pendings = Vec::new();
+            for (g, comps) in GROUPS.iter().enumerate() {
+                ctx.time(Category::Comp, || {
+                    update_stress_group(
+                        &mut self.state,
+                        &self.med,
+                        self.atten.as_ref(),
+                        dth,
+                        self.cfg.dt as f32,
+                        block,
+                        g,
+                    );
+                    self.injector.inject_group(&mut self.state, t, self.cfg.dt, g);
+                    if on_surface {
+                        apply_free_surface_stress_group(&mut self.state, g);
+                    }
+                    if let Some(sp) = &self.sponge {
+                        sp.apply_components(&mut self.state, comps);
+                    }
+                });
+                let plan_g: Vec<FieldPlan> = str_plan
+                    .iter()
+                    .filter(|p| comps.iter().any(|c| c.id() == p.comp.id()))
+                    .copied()
+                    .collect();
+                pendings.push(start_exchange(
+                    &self.state,
+                    &self.sub,
+                    ctx,
+                    &plan_g,
+                    Phase::Stress,
+                    step_tag,
+                ));
+            }
+            // Velocities are damped after every stress read is done; they
+            // are not part of the stress exchange.
+            ctx.time(Category::Comp, || {
+                if let Some(sp) = &self.sponge {
+                    sp.apply_components(&mut self.state, &Component::VELOCITIES);
+                }
+            });
+            for pending in pendings {
+                finish_exchange(&mut self.state, ctx, pending);
+            }
+        } else {
+            ctx.time(Category::Comp, || {
+                if on_surface {
+                    apply_free_surface_velocity(&mut self.state, &self.med, self.cfg.h as f32);
+                }
+                if hybrid {
+                    update_stress_mt(
+                        &mut self.state,
+                        &self.med,
+                        self.atten.as_ref(),
+                        dth,
+                        self.cfg.dt as f32,
+                    );
+                } else {
+                    update_stress(
+                        &mut self.state,
+                        &self.med,
+                        self.atten.as_ref(),
+                        dth,
+                        self.cfg.dt as f32,
+                        block,
+                        optimized,
+                    );
+                }
+                if let Some(p) = &mut self.mpml {
+                    p.apply_stress(&mut self.state, &self.med, dth);
+                }
+                self.injector.inject(&mut self.state, t, self.cfg.dt);
+                if on_surface {
+                    apply_free_surface_stress(&mut self.state);
+                }
+                if let Some(sp) = &self.sponge {
+                    sp.apply(&mut self.state);
+                }
+            });
+            exchange(&mut self.state, &self.sub, ctx, &str_plan, Phase::Stress, step_tag);
+        }
+        self.str_plan = str_plan;
+
+        if self.cfg.opts.per_step_barrier {
+            ctx.barrier();
+        }
+        ctx.time(Category::Output, || {
+            self.recorder.record(&self.state);
+        });
+        self.flops.add_step(self.sub.dims.count(), self.cfg.attenuation);
+        self.step += 1;
+    }
+}
+
+/// Track per-surface-cell peak horizontal velocity into a local PGV map
+/// (only meaningful on ranks owning the free surface).
+fn update_pgv(state: &WaveState, pgv: &mut [f32]) {
+    let d = state.dims;
+    debug_assert_eq!(pgv.len(), d.nx * d.ny);
+    for j in 0..d.ny {
+        for i in 0..d.nx {
+            let vx = state.vx.get(i as isize, j as isize, 0);
+            let vy = state.vy.get(i as isize, j as isize, 0);
+            let h = (vx * vx + vy * vy).sqrt();
+            let p = &mut pgv[i + d.nx * j];
+            if h > *p {
+                *p = h;
+            }
+        }
+    }
+}
+
+/// Run a configuration across `parts` ranks of the virtual cluster,
+/// partitioning the mesh and source internally. `meshes` must hold one
+/// local mesh per rank (use `awp_pario::partition` or
+/// [`partition_mesh_direct`]).
+pub fn run_parallel(
+    cfg: &SolverConfig,
+    parts: [usize; 3],
+    meshes: &[Mesh],
+    source: &KinematicSource,
+    stations: &[Station],
+) -> Vec<RankResult> {
+    let decomp = Decomp3::new(cfg.dims, parts);
+    let n = decomp.rank_count();
+    assert_eq!(meshes.len(), n, "need one local mesh per rank");
+    let sources = partition_spatial(source, &decomp);
+    let cluster = Cluster::new(n, cfg.opts.comm_mode.into());
+    cluster.run(|ctx| {
+        let rank = ctx.rank();
+        let sub = decomp.subdomain(rank);
+        let mut solver = Solver::new(cfg.clone(), sub, &meshes[rank], &sources[rank], stations);
+        // One-time material halo exchange so seam media match the serial
+        // run exactly.
+        exchange_material_halos(&mut solver.med, &sub, ctx);
+        solver.med.precompute();
+        let mut pgv = if owns_free_surface(&sub) {
+            vec![0.0f32; sub.dims.nx * sub.dims.ny]
+        } else {
+            Vec::new()
+        };
+        for _ in 0..cfg.steps {
+            solver.step_parallel(ctx);
+            if !pgv.is_empty() {
+                update_pgv(&solver.state, &mut pgv);
+            }
+        }
+        RankResult {
+            rank,
+            seismograms: solver.recorder.into_seismograms(),
+            ledger: solver_ledger(ctx),
+            flops: solver.flops.total,
+            steps: cfg.steps,
+            surface: owns_free_surface(&sub)
+                .then(|| crate::stations::surface_velocities(&solver.state, 1)),
+            pgv_map: pgv,
+            sub,
+        }
+    })
+}
+
+fn solver_ledger(ctx: &RankCtx) -> TimeLedger {
+    ctx.ledger.clone()
+}
+
+/// Exchange the raw material halos once at startup (5 arrays), replacing
+/// the clamped placeholders at rank seams with true neighbour values.
+///
+/// Uses parity-ordered blocking sends so it is deadlock-free under both
+/// the eager asynchronous engine and the rendezvous synchronous one.
+pub fn exchange_material_halos(med: &mut Medium, sub: &Subdomain, ctx: &mut RankCtx) {
+    use awp_grid::face::{extract_face, inject_halo, Axis, Face};
+    use awp_vcluster::message::make_tag;
+    // Material phase id 7 (outside Velocity/Stress).
+    const PHASE: u8 = 7;
+    let mut buf = Vec::new();
+    for fid in 0u8..5 {
+        for axis in Axis::ALL {
+            let (f_lo, f_hi) = match axis {
+                Axis::X => (Face::XLo, Face::XHi),
+                Axis::Y => (Face::YLo, Face::YHi),
+                Axis::Z => (Face::ZLo, Face::ZHi),
+            };
+            let even = sub.coords[axis.index()] % 2 == 0;
+            // Direction 1: low → high (fills low halos of the high rank).
+            let send_hi = |med: &Medium, ctx: &mut RankCtx, buf: &mut Vec<f32>| {
+                if let Some(nb) = sub.neighbor(f_hi) {
+                    extract_face(material_array(med, fid), f_hi, 2, buf);
+                    let tag = make_tag(PHASE, fid, f_lo.id() as u8, 0);
+                    ctx.send(nb, tag, buf.clone());
+                }
+            };
+            let recv_lo = |med: &mut Medium, ctx: &mut RankCtx| {
+                if let Some(nb) = sub.neighbor(f_lo) {
+                    let tag = make_tag(PHASE, fid, f_lo.id() as u8, 0);
+                    let data = ctx.recv(nb, tag).into_f32();
+                    inject_halo(material_array_mut(med, fid), f_lo, 2, &data);
+                }
+            };
+            if even {
+                send_hi(med, ctx, &mut buf);
+                recv_lo(med, ctx);
+            } else {
+                recv_lo(med, ctx);
+                send_hi(med, ctx, &mut buf);
+            }
+            // Direction 2: high → low.
+            let send_lo = |med: &Medium, ctx: &mut RankCtx, buf: &mut Vec<f32>| {
+                if let Some(nb) = sub.neighbor(f_lo) {
+                    extract_face(material_array(med, fid), f_lo, 2, buf);
+                    let tag = make_tag(PHASE, fid, f_hi.id() as u8, 0);
+                    ctx.send(nb, tag, buf.clone());
+                }
+            };
+            let recv_hi = |med: &mut Medium, ctx: &mut RankCtx| {
+                if let Some(nb) = sub.neighbor(f_hi) {
+                    let tag = make_tag(PHASE, fid, f_hi.id() as u8, 0);
+                    let data = ctx.recv(nb, tag).into_f32();
+                    inject_halo(material_array_mut(med, fid), f_hi, 2, &data);
+                }
+            };
+            if even {
+                send_lo(med, ctx, &mut buf);
+                recv_hi(med, ctx);
+            } else {
+                recv_hi(med, ctx);
+                send_lo(med, ctx, &mut buf);
+            }
+        }
+    }
+}
+
+fn material_array(med: &Medium, id: u8) -> &awp_grid::array3::Array3 {
+    match id {
+        0 => &med.rho,
+        1 => &med.lam,
+        2 => &med.mu,
+        3 => &med.qs,
+        _ => &med.qp,
+    }
+}
+
+fn material_array_mut(med: &mut Medium, id: u8) -> &mut awp_grid::array3::Array3 {
+    match id {
+        0 => &mut med.rho,
+        1 => &mut med.lam,
+        2 => &mut med.mu,
+        3 => &mut med.qs,
+        _ => &mut med.qp,
+    }
+}
+
+/// Cut a global mesh into per-rank local meshes directly in memory (tests
+/// and examples; production paths go through `awp-pario`).
+pub fn partition_mesh_direct(mesh: &Mesh, decomp: &Decomp3) -> Vec<Mesh> {
+    (0..decomp.rank_count())
+        .map(|r| {
+            let s = decomp.subdomain(r);
+            let mut local = Mesh::zeroed(s.dims, mesh.h);
+            for k in 0..s.dims.nz {
+                for j in 0..s.dims.ny {
+                    for i in 0..s.dims.nx {
+                        local.set_sample(
+                            i,
+                            j,
+                            k,
+                            mesh.sample(s.origin.i + i, s.origin.j + j, s.origin.k + k),
+                        );
+                    }
+                }
+            }
+            local
+        })
+        .collect()
+}

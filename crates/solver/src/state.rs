@@ -1,0 +1,322 @@
+//! Wavefield state: the nine staggered components plus anelastic memory
+//! variables.
+
+use awp_grid::array3::Array3;
+use awp_grid::dims::Dims3;
+use awp_grid::stagger::Component;
+use awp_grid::HALO;
+
+/// Anelastic memory variables: one per stress component (the
+/// coarse-grained scheme needs a single mechanism per cell — "without
+/// sacrificing computational or memory efficiency", paper §II.A).
+#[derive(Debug, Clone)]
+pub struct MemoryVars {
+    pub xx: Array3,
+    pub yy: Array3,
+    pub zz: Array3,
+    pub xy: Array3,
+    pub xz: Array3,
+    pub yz: Array3,
+}
+
+impl MemoryVars {
+    pub fn new(dims: Dims3) -> Self {
+        Self {
+            xx: Array3::new(dims, HALO),
+            yy: Array3::new(dims, HALO),
+            zz: Array3::new(dims, HALO),
+            xy: Array3::new(dims, HALO),
+            xz: Array3::new(dims, HALO),
+            yz: Array3::new(dims, HALO),
+        }
+    }
+}
+
+/// The full wavefield on one rank's subdomain.
+#[derive(Debug, Clone)]
+pub struct WaveState {
+    pub dims: Dims3,
+    pub vx: Array3,
+    pub vy: Array3,
+    pub vz: Array3,
+    pub sxx: Array3,
+    pub syy: Array3,
+    pub szz: Array3,
+    pub sxy: Array3,
+    pub sxz: Array3,
+    pub syz: Array3,
+    /// Present when attenuation is enabled.
+    pub mem: Option<MemoryVars>,
+}
+
+impl WaveState {
+    pub fn new(dims: Dims3, attenuation: bool) -> Self {
+        Self {
+            dims,
+            vx: Array3::new(dims, HALO),
+            vy: Array3::new(dims, HALO),
+            vz: Array3::new(dims, HALO),
+            sxx: Array3::new(dims, HALO),
+            syy: Array3::new(dims, HALO),
+            szz: Array3::new(dims, HALO),
+            sxy: Array3::new(dims, HALO),
+            sxz: Array3::new(dims, HALO),
+            syz: Array3::new(dims, HALO),
+            mem: attenuation.then(|| MemoryVars::new(dims)),
+        }
+    }
+
+    /// Shared immutable access to a component array.
+    pub fn field(&self, c: Component) -> &Array3 {
+        match c {
+            Component::Vx => &self.vx,
+            Component::Vy => &self.vy,
+            Component::Vz => &self.vz,
+            Component::Sxx => &self.sxx,
+            Component::Syy => &self.syy,
+            Component::Szz => &self.szz,
+            Component::Sxy => &self.sxy,
+            Component::Sxz => &self.sxz,
+            Component::Syz => &self.syz,
+        }
+    }
+
+    pub fn field_mut(&mut self, c: Component) -> &mut Array3 {
+        match c {
+            Component::Vx => &mut self.vx,
+            Component::Vy => &mut self.vy,
+            Component::Vz => &mut self.vz,
+            Component::Sxx => &mut self.sxx,
+            Component::Syy => &mut self.syy,
+            Component::Szz => &mut self.szz,
+            Component::Sxy => &mut self.sxy,
+            Component::Sxz => &mut self.sxz,
+            Component::Syz => &mut self.syz,
+        }
+    }
+
+    /// Peak particle speed magnitude over the interior (∞-norm proxy used
+    /// by stability checks).
+    pub fn max_velocity(&self) -> f32 {
+        self.vx.max_abs().max(self.vy.max_abs()).max(self.vz.max_abs())
+    }
+
+    /// Crude kinetic-energy proxy: Σ v² over the interior (mass omitted).
+    pub fn kinetic_energy(&self) -> f64 {
+        self.vx.sumsq() + self.vy.sumsq() + self.vz.sumsq()
+    }
+
+    /// True if any component holds a non-finite value (blow-up detector).
+    pub fn has_nan(&self) -> bool {
+        Component::ALL.iter().any(|&c| self.field(c).as_slice().iter().any(|v| !v.is_finite()))
+    }
+
+    /// Named state fields for checkpointing. Full padded arrays (halos
+    /// included) are stored: the halo layers carry boundary images and
+    /// neighbour data that the next update reads, so restart would not be
+    /// bit-exact without them.
+    pub fn checkpoint_fields(&self) -> Vec<(String, Vec<f32>)> {
+        let mut out: Vec<(String, Vec<f32>)> = Component::ALL
+            .iter()
+            .map(|&c| (format!("{c:?}").to_lowercase(), self.field(c).as_slice().to_vec()))
+            .collect();
+        if let Some(mem) = &self.mem {
+            for (name, arr) in [
+                ("mem_xx", &mem.xx),
+                ("mem_yy", &mem.yy),
+                ("mem_zz", &mem.zz),
+                ("mem_xy", &mem.xy),
+                ("mem_xz", &mem.xz),
+                ("mem_yz", &mem.yz),
+            ] {
+                out.push((name.to_string(), arr.as_slice().to_vec()));
+            }
+        }
+        out
+    }
+
+    /// Restore from checkpoint fields (inverse of
+    /// [`WaveState::checkpoint_fields`]).
+    pub fn restore_fields(&mut self, fields: &[(String, Vec<f32>)]) {
+        for (name, data) in fields {
+            let target: Option<&mut Array3> = match name.as_str() {
+                "vx" => Some(&mut self.vx),
+                "vy" => Some(&mut self.vy),
+                "vz" => Some(&mut self.vz),
+                "sxx" => Some(&mut self.sxx),
+                "syy" => Some(&mut self.syy),
+                "szz" => Some(&mut self.szz),
+                "sxy" => Some(&mut self.sxy),
+                "sxz" => Some(&mut self.sxz),
+                "syz" => Some(&mut self.syz),
+                _ => match (&mut self.mem, name.as_str()) {
+                    (Some(m), "mem_xx") => Some(&mut m.xx),
+                    (Some(m), "mem_yy") => Some(&mut m.yy),
+                    (Some(m), "mem_zz") => Some(&mut m.zz),
+                    (Some(m), "mem_xy") => Some(&mut m.xy),
+                    (Some(m), "mem_xz") => Some(&mut m.xz),
+                    (Some(m), "mem_yz") => Some(&mut m.yz),
+                    _ => None,
+                },
+            };
+            if let Some(arr) = target {
+                arr.as_mut_slice().copy_from_slice(data);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_state_is_quiescent() {
+        let s = WaveState::new(Dims3::new(4, 4, 4), false);
+        assert_eq!(s.max_velocity(), 0.0);
+        assert_eq!(s.kinetic_energy(), 0.0);
+        assert!(!s.has_nan());
+        assert!(s.mem.is_none());
+    }
+
+    #[test]
+    fn attenuation_allocates_memory_vars() {
+        let s = WaveState::new(Dims3::new(2, 2, 2), true);
+        assert!(s.mem.is_some());
+        assert_eq!(s.checkpoint_fields().len(), 15);
+    }
+
+    #[test]
+    fn field_accessors_cover_components() {
+        let mut s = WaveState::new(Dims3::new(2, 2, 2), false);
+        for c in Component::ALL {
+            s.field_mut(c).set(0, 0, 0, c.id() as f32 + 1.0);
+        }
+        for c in Component::ALL {
+            assert_eq!(s.field(c).get(0, 0, 0), c.id() as f32 + 1.0);
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let mut s = WaveState::new(Dims3::new(3, 2, 2), true);
+        s.vx.set(1, 1, 1, 5.0);
+        s.syz.set(2, 0, 1, -3.0);
+        s.mem.as_mut().unwrap().xy.set(0, 0, 0, 0.25);
+        let fields = s.checkpoint_fields();
+        let mut restored = WaveState::new(Dims3::new(3, 2, 2), true);
+        restored.restore_fields(&fields);
+        assert_eq!(restored.vx.get(1, 1, 1), 5.0);
+        assert_eq!(restored.syz.get(2, 0, 1), -3.0);
+        assert_eq!(restored.mem.as_ref().unwrap().xy.get(0, 0, 0), 0.25);
+    }
+
+    #[test]
+    fn nan_detector_fires() {
+        let mut s = WaveState::new(Dims3::new(2, 2, 2), false);
+        assert!(!s.has_nan());
+        s.szz.set(1, 1, 1, f32::NAN);
+        assert!(s.has_nan());
+    }
+}
+
+/// Elastic-energy diagnostics (physics sanity tooling): kinetic energy
+/// `½ρv²` plus strain energy `½σ:ε` summed over the interior. Uses the
+/// isotropic compliance to turn stresses into strains:
+/// `ε_kk-part = (σ_kk − λ/(3λ+2μ)·tr σ)/2μ` etc. Units: Joules per unit
+/// cell volume × h³ applied by the caller.
+pub fn elastic_energy(state: &WaveState, med: &crate::medium::Medium) -> f64 {
+    let d = state.dims;
+    let mut e = 0.0f64;
+    for k in 0..d.nz as isize {
+        for j in 0..d.ny as isize {
+            for i in 0..d.nx as isize {
+                let rho = med.rho.get(i, j, k) as f64;
+                let lam = med.lam.get(i, j, k) as f64;
+                let mu = med.mu.get(i, j, k) as f64;
+                let (vx, vy, vz) = (
+                    state.vx.get(i, j, k) as f64,
+                    state.vy.get(i, j, k) as f64,
+                    state.vz.get(i, j, k) as f64,
+                );
+                e += 0.5 * rho * (vx * vx + vy * vy + vz * vz);
+                let (sxx, syy, szz) = (
+                    state.sxx.get(i, j, k) as f64,
+                    state.syy.get(i, j, k) as f64,
+                    state.szz.get(i, j, k) as f64,
+                );
+                let (sxy, sxz, syz) = (
+                    state.sxy.get(i, j, k) as f64,
+                    state.sxz.get(i, j, k) as f64,
+                    state.syz.get(i, j, k) as f64,
+                );
+                if mu > 0.0 {
+                    let tr = sxx + syy + szz;
+                    let bulk = lam + 2.0 * mu / 3.0;
+                    // Volumetric part: tr²/(18K); deviatoric: s:s/(4μ).
+                    let dev_xx = sxx - tr / 3.0;
+                    let dev_yy = syy - tr / 3.0;
+                    let dev_zz = szz - tr / 3.0;
+                    let dev2 = dev_xx * dev_xx
+                        + dev_yy * dev_yy
+                        + dev_zz * dev_zz
+                        + 2.0 * (sxy * sxy + sxz * sxz + syz * syz);
+                    e += tr * tr / (18.0 * bulk) + dev2 / (4.0 * mu);
+                }
+            }
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod energy_tests {
+    use super::*;
+    use awp_cvm::mesh::MeshGenerator;
+    use awp_cvm::model::HomogeneousModel;
+
+    fn med(d: Dims3) -> crate::medium::Medium {
+        let mesh = MeshGenerator::new(&HomogeneousModel::rock(), d, 100.0).generate();
+        crate::medium::Medium::from_mesh(&mesh)
+    }
+
+    #[test]
+    fn quiescent_state_has_zero_energy() {
+        let d = Dims3::new(4, 4, 4);
+        assert_eq!(elastic_energy(&WaveState::new(d, false), &med(d)), 0.0);
+    }
+
+    #[test]
+    fn kinetic_part_matches_half_rho_v_squared() {
+        let d = Dims3::new(3, 3, 3);
+        let m = med(d);
+        let mut s = WaveState::new(d, false);
+        s.vx.set(1, 1, 1, 2.0);
+        let want = 0.5 * 2700.0 * 4.0;
+        assert!((elastic_energy(&s, &m) - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pure_shear_strain_energy() {
+        let d = Dims3::new(2, 2, 2);
+        let m = med(d);
+        let mut s = WaveState::new(d, false);
+        // σxy = τ everywhere: energy density τ²/(2μ) per cell.
+        let tau = 1.0e6f32;
+        s.sxy.map_interior(|_, _| tau);
+        let mu = 2700.0 * 3464.0f64 * 3464.0;
+        let want = (tau as f64 * tau as f64) / (2.0 * mu) * d.count() as f64;
+        let got = elastic_energy(&s, &m);
+        assert!((got / want - 1.0).abs() < 1e-4, "{got} vs {want}");
+    }
+
+    #[test]
+    fn energy_is_positive_definite() {
+        let d = Dims3::new(3, 3, 3);
+        let m = med(d);
+        let mut s = WaveState::new(d, false);
+        s.szz.set(0, 0, 0, -5.0e5);
+        s.vy.set(2, 2, 2, -1.0);
+        assert!(elastic_energy(&s, &m) > 0.0);
+    }
+}

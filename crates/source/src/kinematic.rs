@@ -1,0 +1,329 @@
+//! dSrcG: the kinematic source generator.
+//!
+//! Produces "moment rate time histories at a finite number of points
+//! (sub-faults)" (paper §III.D). Includes the Haskell-style propagating
+//! rupture with tapered slip used for the TeraShake-K scenario (a smooth,
+//! kinematically parameterised rupture — "relatively smooth in its slip
+//! distribution and rupture characteristics", §VI).
+
+use crate::moment::MomentTensor;
+use crate::stf::Stf;
+use awp_grid::dims::Idx3;
+use serde::{Deserialize, Serialize};
+
+/// One subfault: a grid point releasing moment with a given mechanism and
+/// moment-rate history starting at `t0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subfault {
+    /// Grid cell the source couples into.
+    pub idx: Idx3,
+    /// Unit mechanism (scalar moment 1).
+    pub tensor: MomentTensor,
+    /// Total scalar moment (N·m).
+    pub moment: f64,
+    /// Rupture-time delay: the history starts at this time (s).
+    pub t0: f64,
+    /// Moment-rate samples (N·m/s) at the source sampling interval,
+    /// starting at `t0`.
+    pub rate: Vec<f32>,
+}
+
+impl Subfault {
+    /// Moment rate at absolute time `t` (linear interpolation; zero
+    /// outside the stored history).
+    pub fn moment_rate_at(&self, t: f64, dt: f64) -> f64 {
+        let tl = t - self.t0;
+        if tl < 0.0 || self.rate.is_empty() {
+            return 0.0;
+        }
+        let s = tl / dt;
+        let i = s.floor() as usize;
+        if i + 1 >= self.rate.len() {
+            return if i < self.rate.len() { self.rate[i] as f64 } else { 0.0 };
+        }
+        let f = s - i as f64;
+        self.rate[i] as f64 * (1.0 - f) + self.rate[i + 1] as f64 * f
+    }
+
+    /// Released moment (integral of the stored history).
+    pub fn released_moment(&self, dt: f64) -> f64 {
+        self.rate.iter().map(|&r| r as f64 * dt).sum()
+    }
+}
+
+/// A complete kinematic source: subfaults sharing one sampling interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KinematicSource {
+    /// Sampling interval of the moment-rate histories (s).
+    pub dt: f64,
+    pub subfaults: Vec<Subfault>,
+}
+
+impl KinematicSource {
+    /// Single point source.
+    pub fn point(
+        idx: Idx3,
+        tensor: MomentTensor,
+        moment: f64,
+        stf: Stf,
+        dt: f64,
+    ) -> Self {
+        let n = (stf.duration() / dt).ceil() as usize + 1;
+        let rate = stf.sample(moment, dt, n);
+        Self { dt, subfaults: vec![Subfault { idx, tensor, moment, t0: 0.0, rate }] }
+    }
+
+    /// Total seismic moment (N·m).
+    pub fn total_moment(&self) -> f64 {
+        self.subfaults.iter().map(|s| s.moment).sum()
+    }
+
+    /// Moment magnitude of the whole source.
+    pub fn magnitude(&self) -> f64 {
+        crate::moment::moment_magnitude(self.total_moment())
+    }
+
+    /// Latest time at which any subfault is still releasing moment.
+    pub fn duration(&self) -> f64 {
+        self.subfaults
+            .iter()
+            .map(|s| s.t0 + s.rate.len() as f64 * self.dt)
+            .fold(0.0, f64::max)
+    }
+
+    /// Uniformly rescale every subfault's moment (and history) by a
+    /// factor.
+    pub fn scale_moment(&mut self, factor: f64) {
+        assert!(factor > 0.0, "scale factor must be positive");
+        for sf in &mut self.subfaults {
+            sf.moment *= factor;
+            for r in &mut sf.rate {
+                *r = (*r as f64 * factor) as f32;
+            }
+        }
+    }
+
+    /// Rescale the whole source to a target moment magnitude.
+    pub fn scale_to_magnitude(&mut self, mw: f64) {
+        let current = self.total_moment();
+        assert!(current > 0.0, "cannot rescale a momentless source");
+        self.scale_moment(crate::moment::moment_of_magnitude(mw) / current);
+    }
+}
+
+/// Parameters of a Haskell-style kinematic rupture on a vertical planar
+/// fault in the x–z plane at `j = j0`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HaskellParams {
+    /// Along-strike subfault index range.
+    pub i0: usize,
+    pub i1: usize,
+    /// Down-dip subfault index range (k is depth).
+    pub k0: usize,
+    pub k1: usize,
+    /// Fault-normal grid index.
+    pub j0: usize,
+    /// Grid spacing (m).
+    pub h: f64,
+    /// Rigidity at the fault (Pa).
+    pub mu: f64,
+    /// Peak slip (m).
+    pub slip_max: f64,
+    /// Hypocentre (along-strike, down-dip) subfault index.
+    pub hypo: (usize, usize),
+    /// Rupture speed (m/s).
+    pub vr: f64,
+    /// Rise time (s) of the triangle STF.
+    pub rise_time: f64,
+    /// Strike angle (rad) for the mechanism.
+    pub strike: f64,
+    /// Edge-taper width in subfaults (slip tapers to 0 at the edges).
+    pub taper_cells: usize,
+}
+
+/// Build a Haskell rupture: slip tapered at the fault edges, rupture time
+/// = distance from hypocentre / vr, constant rise time.
+pub fn haskell_rupture(p: &HaskellParams, dt: f64) -> KinematicSource {
+    assert!(p.i1 > p.i0 && p.k1 > p.k0, "empty fault plane");
+    assert!(p.vr > 0.0 && p.rise_time > 0.0 && p.h > 0.0);
+    let stf = Stf::Triangle { rise_time: p.rise_time };
+    let n = (stf.duration() / dt).ceil() as usize + 1;
+    let tensor = MomentTensor::strike_slip(p.strike);
+    let area = p.h * p.h;
+    let taper = p.taper_cells.max(1) as f64;
+    let mut subfaults = Vec::with_capacity((p.i1 - p.i0) * (p.k1 - p.k0));
+    for k in p.k0..p.k1 {
+        for i in p.i0..p.i1 {
+            // Cosine edge taper (all four edges).
+            let di = ((i - p.i0).min(p.i1 - 1 - i)) as f64;
+            let dk = ((k - p.k0).min(p.k1 - 1 - k)) as f64;
+            let wi = awp_signal::taper::cosine_ramp((di + 0.5) / taper);
+            let wk = awp_signal::taper::cosine_ramp((dk + 0.5) / taper);
+            let slip = p.slip_max * wi * wk;
+            if slip <= 0.0 {
+                continue;
+            }
+            let moment = p.mu * area * slip;
+            let dx = (i as f64 - p.hypo.0 as f64) * p.h;
+            let dz = (k as f64 - p.hypo.1 as f64) * p.h;
+            let t0 = (dx * dx + dz * dz).sqrt() / p.vr;
+            subfaults.push(Subfault {
+                idx: Idx3::new(i, p.j0, k),
+                tensor,
+                moment,
+                t0,
+                rate: stf.sample(moment, dt, n),
+            });
+        }
+    }
+    KinematicSource { dt, subfaults }
+}
+
+/// Build a kinematic source from externally computed slip-rate histories
+/// (the dynamic-rupture → kinematic conversion of the M8 two-step method,
+/// §VII.B). `slip_rates` holds (grid index, t0, slip-rate samples in m/s);
+/// moment rate = μ·A·slip-rate.
+pub fn from_slip_rates(
+    entries: Vec<(Idx3, f64, Vec<f32>)>,
+    mu: f64,
+    area: f64,
+    strike: f64,
+    dt: f64,
+) -> KinematicSource {
+    let tensor = MomentTensor::strike_slip(strike);
+    let subfaults = entries
+        .into_iter()
+        .map(|(idx, t0, sr)| {
+            let rate: Vec<f32> = sr.iter().map(|&v| (mu * area * v as f64) as f32).collect();
+            let moment = rate.iter().map(|&r| r as f64 * dt).sum();
+            Subfault { idx, tensor, moment, t0, rate }
+        })
+        .collect();
+    KinematicSource { dt, subfaults }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moment::moment_of_magnitude;
+
+    fn params() -> HaskellParams {
+        HaskellParams {
+            i0: 10,
+            i1: 60,
+            k0: 0,
+            k1: 16,
+            j0: 32,
+            h: 1000.0,
+            mu: 3.0e10,
+            slip_max: 5.0,
+            hypo: (15, 8),
+            vr: 2800.0,
+            rise_time: 2.0,
+            strike: 0.0,
+            taper_cells: 4,
+        }
+    }
+
+    #[test]
+    fn point_source_releases_full_moment() {
+        let m0 = moment_of_magnitude(6.0);
+        let src = KinematicSource::point(
+            Idx3::new(5, 5, 5),
+            MomentTensor::strike_slip(0.0),
+            m0,
+            Stf::Triangle { rise_time: 1.0 },
+            0.01,
+        );
+        assert_eq!(src.subfaults.len(), 1);
+        let released = src.subfaults[0].released_moment(src.dt);
+        assert!((released / m0 - 1.0).abs() < 0.01, "released {released} of {m0}");
+        assert!((src.magnitude() - 6.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn haskell_moment_consistent_with_slip() {
+        let p = params();
+        let src = haskell_rupture(&p, 0.05);
+        // Upper bound: every subfault at peak slip.
+        let n_sub = src.subfaults.len() as f64;
+        let upper = p.mu * p.h * p.h * p.slip_max * n_sub;
+        let m0 = src.total_moment();
+        assert!(m0 > 0.2 * upper && m0 < upper, "moment {m0} vs bound {upper}");
+        // Per-subfault histories integrate to their stated moment.
+        for s in src.subfaults.iter().step_by(97) {
+            let rel = s.released_moment(src.dt);
+            assert!((rel / s.moment - 1.0).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn rupture_delay_grows_with_distance() {
+        let p = params();
+        let src = haskell_rupture(&p, 0.05);
+        let find = |i: usize, k: usize| {
+            src.subfaults.iter().find(|s| s.idx.i == i && s.idx.k == k).unwrap()
+        };
+        let near = find(16, 8);
+        let far = find(55, 8);
+        assert!(near.t0 < far.t0);
+        // Delay equals distance / vr.
+        let want = (55.0f64 - 15.0).abs() * p.h / p.vr;
+        assert!((far.t0 - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn taper_reduces_edge_slip() {
+        let p = params();
+        let src = haskell_rupture(&p, 0.05);
+        let find = |i: usize, k: usize| {
+            src.subfaults.iter().find(|s| s.idx.i == i && s.idx.k == k).map(|s| s.moment)
+        };
+        let centre = find(35, 8).unwrap();
+        let edge = find(11, 8).unwrap();
+        assert!(edge < centre * 0.5, "edge {edge} centre {centre}");
+    }
+
+    #[test]
+    fn moment_rate_interpolates() {
+        let sf = Subfault {
+            idx: Idx3::new(0, 0, 0),
+            tensor: MomentTensor::strike_slip(0.0),
+            moment: 1.0,
+            t0: 1.0,
+            rate: vec![0.0, 2.0, 0.0],
+        };
+        assert_eq!(sf.moment_rate_at(0.5, 0.1), 0.0, "before onset");
+        assert!((sf.moment_rate_at(1.05, 0.1) - 1.0).abs() < 1e-9, "midpoint");
+        assert!((sf.moment_rate_at(1.1, 0.1) - 2.0).abs() < 1e-9);
+        assert_eq!(sf.moment_rate_at(5.0, 0.1), 0.0, "after history");
+    }
+
+    #[test]
+    fn duration_covers_last_subfault() {
+        let p = params();
+        let src = haskell_rupture(&p, 0.05);
+        let max_t0 = src.subfaults.iter().map(|s| s.t0).fold(0.0, f64::max);
+        assert!(src.duration() >= max_t0 + p.rise_time);
+    }
+
+    #[test]
+    fn scale_to_magnitude_hits_target() {
+        let mut src = haskell_rupture(&params(), 0.05);
+        src.scale_to_magnitude(7.7);
+        assert!((src.magnitude() - 7.7).abs() < 1e-6);
+        // Histories rescaled consistently.
+        let sf = &src.subfaults[0];
+        let rel = sf.released_moment(src.dt);
+        assert!((rel / sf.moment - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn from_slip_rates_scales_by_mu_area() {
+        let entries = vec![(Idx3::new(1, 2, 3), 0.5, vec![1.0f32, 1.0, 0.0])];
+        let src = from_slip_rates(entries, 3.0e10, 100.0 * 100.0, 0.0, 0.1);
+        // moment = μ A ∫ ṡ dt = 3e10 * 1e4 * 0.2.
+        let want = 3.0e10 * 1.0e4 * 0.2;
+        assert!((src.total_moment() - want).abs() / want < 1e-6);
+    }
+}

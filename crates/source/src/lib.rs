@@ -1,0 +1,33 @@
+//! Earthquake source description for the AWP-ODC reproduction.
+//!
+//! The wave-propagation solver (AWM) "requires a kinematic source
+//! description formulated as moment rate time histories at a finite number
+//! of points (sub-faults)" (paper §III.D). This crate provides:
+//!
+//! * [`stf`] — source time functions (triangle, Brune, cosine);
+//! * [`moment`] — moment tensors, strike rotation, and the
+//!   moment–magnitude relation;
+//! * [`kinematic`] — the dSrcG kinematic source generator: point sources,
+//!   Haskell-style propagating ruptures with tapered slip (the TeraShake-K
+//!   "Denali-style" parameterisation), and conversion from dynamic-rupture
+//!   output;
+//! * [`segments`] — the segmented fault-trace mapping used to insert a
+//!   planar dynamic rupture "onto a 47-segment approximation of the
+//!   southern SAF" (§VII.B);
+//! * [`srcfile`] — the moment-rate file written by dSrcG;
+//! * [`partition`] — PetaSrcP: spatial partitioning to owning ranks plus
+//!   temporal partitioning ("we further decompose the spatially partitioned
+//!   source files by time", §III.D — M8 used 36 temporal segments).
+
+pub mod kinematic;
+pub mod moment;
+pub mod partition;
+pub mod segments;
+pub mod srcfile;
+pub mod stf;
+
+pub use kinematic::{KinematicSource, Subfault};
+pub use moment::{moment_magnitude, MomentTensor};
+pub use partition::{partition_spatial, TemporalPartition};
+pub use segments::SegmentedTrace;
+pub use stf::Stf;

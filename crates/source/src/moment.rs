@@ -1,0 +1,134 @@
+//! Moment tensors and magnitude accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric moment tensor (N·m per unit of the subfault's moment-rate
+/// history — i.e. a unit-normalised mechanism that multiplies the scalar
+/// moment rate).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MomentTensor {
+    pub mxx: f64,
+    pub myy: f64,
+    pub mzz: f64,
+    pub mxy: f64,
+    pub mxz: f64,
+    pub myz: f64,
+}
+
+impl MomentTensor {
+    pub const ZERO: MomentTensor =
+        MomentTensor { mxx: 0.0, myy: 0.0, mzz: 0.0, mxy: 0.0, mxz: 0.0, myz: 0.0 };
+
+    /// Double couple for a vertical strike-slip fault whose strike makes
+    /// angle `strike_rad` with the +x axis (slip along strike, fault normal
+    /// horizontal): `M = u⊗n + n⊗u` with `u = (cosθ, sinθ, 0)`,
+    /// `n = (−sinθ, cosθ, 0)`.
+    pub fn strike_slip(strike_rad: f64) -> Self {
+        let two = 2.0 * strike_rad;
+        MomentTensor {
+            mxx: -two.sin(),
+            myy: two.sin(),
+            mzz: 0.0,
+            mxy: two.cos(),
+            mxz: 0.0,
+            myz: 0.0,
+        }
+    }
+
+    /// Isotropic explosion (used in verification tests — a pure P
+    /// radiator).
+    pub fn explosion() -> Self {
+        MomentTensor { mxx: 1.0, myy: 1.0, mzz: 1.0, mxy: 0.0, mxz: 0.0, myz: 0.0 }
+    }
+
+    /// Scalar moment of a double couple: `M0 = max eigen-ish norm`; for the
+    /// tensors built here (unit slip/normal vectors) this is
+    /// `√(Σ M_ij² / 2)`.
+    pub fn scalar_moment(&self) -> f64 {
+        let ss = self.mxx * self.mxx
+            + self.myy * self.myy
+            + self.mzz * self.mzz
+            + 2.0 * (self.mxy * self.mxy + self.mxz * self.mxz + self.myz * self.myz);
+        (ss / 2.0).sqrt()
+    }
+
+    pub fn scaled(&self, s: f64) -> Self {
+        MomentTensor {
+            mxx: self.mxx * s,
+            myy: self.myy * s,
+            mzz: self.mzz * s,
+            mxy: self.mxy * s,
+            mxz: self.mxz * s,
+            myz: self.myz * s,
+        }
+    }
+}
+
+/// Moment magnitude from seismic moment (N·m): `Mw = (log₁₀ M0 − 9.05)/1.5`
+/// (Hanks & Kanamori). M8's 1.0 × 10²¹ N·m gives Mw 8.0 (paper §VII.A).
+pub fn moment_magnitude(m0: f64) -> f64 {
+    assert!(m0 > 0.0, "moment must be positive");
+    (m0.log10() - 9.05) / 1.5
+}
+
+/// Inverse: seismic moment (N·m) of a moment magnitude.
+pub fn moment_of_magnitude(mw: f64) -> f64 {
+    10f64.powf(1.5 * mw + 9.05)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m8_moment_gives_mw8() {
+        // The paper: "a total seismic moment of 1.0 × 10²¹ Nm (Mw = 8.0)".
+        let mw = moment_magnitude(1.0e21);
+        assert!((mw - 7.97).abs() < 0.05, "Mw {mw}");
+    }
+
+    #[test]
+    fn magnitude_round_trip() {
+        for mw in [5.0, 6.5, 7.7, 8.0, 9.0] {
+            assert!((moment_magnitude(moment_of_magnitude(mw)) - mw).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn strike_slip_along_x_is_pure_mxy() {
+        let m = MomentTensor::strike_slip(0.0);
+        assert!((m.mxy - 1.0).abs() < 1e-12);
+        assert!(m.mxx.abs() < 1e-12 && m.myy.abs() < 1e-12);
+        assert_eq!(m.mzz, 0.0);
+    }
+
+    #[test]
+    fn strike_slip_at_45deg_is_diagonal() {
+        let m = MomentTensor::strike_slip(std::f64::consts::FRAC_PI_4);
+        assert!((m.mxx + 1.0).abs() < 1e-12);
+        assert!((m.myy - 1.0).abs() < 1e-12);
+        assert!(m.mxy.abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_moment_invariant_under_strike_rotation() {
+        let m0 = MomentTensor::strike_slip(0.0).scalar_moment();
+        for deg in [10.0, 33.0, 75.0, 120.0] {
+            let m = MomentTensor::strike_slip(deg * std::f64::consts::PI / 180.0);
+            assert!((m.scalar_moment() - m0).abs() < 1e-12, "strike {deg}");
+        }
+        assert!((m0 - 1.0).abs() < 1e-12, "unit double couple has unit moment");
+    }
+
+    #[test]
+    fn scaling_scales_moment() {
+        let m = MomentTensor::strike_slip(0.3).scaled(2.5e19);
+        assert!((m.scalar_moment() - 2.5e19).abs() / 2.5e19 < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_moment_rejected() {
+        moment_magnitude(0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! PetaSrcP: spatial + temporal source partitioning (paper §III.D).
+//!
+//! "Once the moment-rate file is created, the Source Partitioner (PetaSrcP)
+//! distributes the source description to the associated processors. …
+//! sources are highly clustered, and tens of thousands of sources can be
+//! concentrated in a given grid area … To fit the large data into the
+//! processor memory, we further decompose the spatially partitioned source
+//! files by time." M8 split its source into 36 temporal loops of 3000
+//! steps each (§VII.B).
+
+use crate::kinematic::{KinematicSource, Subfault};
+use awp_grid::decomp::Decomp3;
+use serde::{Deserialize, Serialize};
+
+/// Distribute subfaults to the ranks owning their grid cell; subfault
+/// indices are translated to each rank's local frame. Returns one source
+/// per rank (empty where no subfaults land).
+pub fn partition_spatial(src: &KinematicSource, decomp: &Decomp3) -> Vec<KinematicSource> {
+    let mut per_rank: Vec<Vec<Subfault>> = (0..decomp.rank_count()).map(|_| Vec::new()).collect();
+    for sf in &src.subfaults {
+        assert!(
+            decomp.global.contains(sf.idx),
+            "subfault {:?} outside global grid {:?}",
+            sf.idx,
+            decomp.global
+        );
+        let rank = decomp.owner_of(sf.idx);
+        let sub = decomp.subdomain(rank);
+        let local = sub.global_to_local(sf.idx).expect("owner contains its cell");
+        let mut moved = sf.clone();
+        moved.idx = local;
+        per_rank[rank].push(moved);
+    }
+    per_rank
+        .into_iter()
+        .map(|subfaults| KinematicSource { dt: src.dt, subfaults })
+        .collect()
+}
+
+/// A temporally partitioned source: segment `s` holds the samples needed
+/// for solver steps in `[s·window, (s+1)·window)` of source time, with a
+/// one-sample overlap so boundary interpolation matches the full history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TemporalPartition {
+    pub dt: f64,
+    /// Window length in source samples.
+    pub window: usize,
+    pub segments: Vec<KinematicSource>,
+}
+
+impl TemporalPartition {
+    /// Split a source into fixed-length time windows. `n_windows` is
+    /// derived from the source duration.
+    pub fn new(src: &KinematicSource, window: usize) -> Self {
+        assert!(window >= 2, "window must hold at least two samples");
+        let total_steps = (src.duration() / src.dt).ceil() as usize + 1;
+        let n_windows = total_steps.div_ceil(window).max(1);
+        let mut segments = Vec::with_capacity(n_windows);
+        for w in 0..n_windows {
+            let t_lo = (w * window) as f64 * src.dt;
+            let t_hi = ((w + 1) * window) as f64 * src.dt;
+            let mut subfaults = Vec::new();
+            for sf in &src.subfaults {
+                let sf_end = sf.t0 + sf.rate.len() as f64 * src.dt;
+                if sf_end <= t_lo || sf.t0 >= t_hi {
+                    continue;
+                }
+                // Sample indices (in the subfault's own frame) overlapping
+                // the window, padded by one for interpolation.
+                let s_lo = (((t_lo - sf.t0) / src.dt).floor().max(0.0)) as usize;
+                let s_hi = ((((t_hi - sf.t0) / src.dt).ceil() as usize) + 1).min(sf.rate.len());
+                if s_lo >= s_hi {
+                    continue;
+                }
+                subfaults.push(Subfault {
+                    idx: sf.idx,
+                    tensor: sf.tensor,
+                    moment: sf.moment,
+                    t0: sf.t0 + s_lo as f64 * src.dt,
+                    rate: sf.rate[s_lo..s_hi].to_vec(),
+                });
+            }
+            segments.push(KinematicSource { dt: src.dt, subfaults });
+        }
+        Self { dt: src.dt, window, segments }
+    }
+
+    /// Segment responsible for absolute time `t`.
+    pub fn segment_for(&self, t: f64) -> usize {
+        ((t / (self.window as f64 * self.dt)).floor() as usize).min(self.segments.len() - 1)
+    }
+
+    /// Peak resident bytes (largest single segment) — the quantity the M8
+    /// temporal split reduced ("lowering the memory high water mark into 36
+    /// segments", §VII.B).
+    pub fn peak_bytes(&self) -> usize {
+        self.segments.iter().map(segment_bytes).max().unwrap_or(0)
+    }
+
+    /// Total bytes across all segments.
+    pub fn total_bytes(&self) -> usize {
+        self.segments.iter().map(segment_bytes).sum()
+    }
+}
+
+fn segment_bytes(s: &KinematicSource) -> usize {
+    s.subfaults.iter().map(|sf| sf.rate.len() * 4 + std::mem::size_of::<Subfault>()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awp_grid::dims::Idx3;
+    use crate::kinematic::{haskell_rupture, HaskellParams};
+    use awp_grid::dims::Dims3;
+
+    fn source() -> KinematicSource {
+        haskell_rupture(
+            &HaskellParams {
+                i0: 2,
+                i1: 30,
+                k0: 0,
+                k1: 8,
+                j0: 5,
+                h: 1000.0,
+                mu: 3.0e10,
+                slip_max: 4.0,
+                hypo: (4, 4),
+                vr: 2800.0,
+                rise_time: 2.0,
+                strike: 0.0,
+                taper_cells: 2,
+            },
+            0.05,
+        )
+    }
+
+    #[test]
+    fn spatial_partition_conserves_subfaults_and_moment() {
+        let src = source();
+        let decomp = Decomp3::new(Dims3::new(32, 12, 10), [2, 2, 1]);
+        let parts = partition_spatial(&src, &decomp);
+        assert_eq!(parts.len(), 4);
+        let total: usize = parts.iter().map(|p| p.subfaults.len()).sum();
+        assert_eq!(total, src.subfaults.len());
+        let m: f64 = parts.iter().map(|p| p.total_moment()).sum();
+        assert!((m - src.total_moment()).abs() / src.total_moment() < 1e-12);
+    }
+
+    #[test]
+    fn spatial_partition_localises_indices() {
+        let src = source();
+        let decomp = Decomp3::new(Dims3::new(32, 12, 10), [2, 2, 1]);
+        let parts = partition_spatial(&src, &decomp);
+        for (rank, part) in parts.iter().enumerate() {
+            let sub = decomp.subdomain(rank);
+            for sf in &part.subfaults {
+                assert!(sub.dims.contains(sf.idx), "rank {rank} idx {:?}", sf.idx);
+                // Round-trip to global matches an original subfault.
+                let g = sub.local_to_global(sf.idx);
+                assert!(src.subfaults.iter().any(|o| o.idx == g));
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_windows_reproduce_rates() {
+        let src = source();
+        let tp = TemporalPartition::new(&src, 16);
+        assert!(tp.segments.len() > 1, "source should span multiple windows");
+        // At many probe times, the owning segment's interpolated rate
+        // matches the full source.
+        for sf_i in [0usize, 7, 50] {
+            let full = &src.subfaults[sf_i];
+            for step in 0..((src.duration() / src.dt) as usize) {
+                let t = step as f64 * src.dt;
+                let want = full.moment_rate_at(t, src.dt);
+                let seg = &tp.segments[tp.segment_for(t)];
+                let got: f64 = seg
+                    .subfaults
+                    .iter()
+                    .filter(|s| s.idx == full.idx)
+                    .map(|s| s.moment_rate_at(t, src.dt))
+                    .sum();
+                assert!(
+                    (got - want).abs() <= 1e-6 * want.abs().max(1.0),
+                    "sf {sf_i} t {t}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_split_reduces_peak_memory() {
+        let src = source();
+        let tp = TemporalPartition::new(&src, 8);
+        assert!(
+            tp.peak_bytes() * 2 < tp.total_bytes(),
+            "peak {} vs total {} — windows should cut the high-water mark",
+            tp.peak_bytes(),
+            tp.total_bytes()
+        );
+    }
+
+    #[test]
+    fn segment_for_covers_all_times() {
+        let src = source();
+        let tp = TemporalPartition::new(&src, 10);
+        assert_eq!(tp.segment_for(0.0), 0);
+        let last = tp.segment_for(1e9);
+        assert_eq!(last, tp.segments.len() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside global grid")]
+    fn out_of_grid_subfault_rejected() {
+        let mut src = source();
+        src.subfaults[0].idx = Idx3::new(1000, 0, 0);
+        let decomp = Decomp3::new(Dims3::new(32, 12, 10), [2, 2, 1]);
+        partition_spatial(&src, &decomp);
+    }
+}

@@ -1,0 +1,226 @@
+//! Segmented fault-trace geometry.
+//!
+//! The M8 two-step method simulates rupture on a *planar* fault, then
+//! transfers the source time histories "onto a 47-segment approximation of
+//! the southern SAF" (paper §VII.B). [`SegmentedTrace`] is that polyline:
+//! it maps along-strike distance to map position and local strike, and
+//! [`map_planar_source`] re-homes planar subfaults onto it with
+//! strike-rotated mechanisms.
+
+use crate::kinematic::KinematicSource;
+use crate::moment::MomentTensor;
+use awp_grid::dims::Idx3;
+use serde::{Deserialize, Serialize};
+
+/// A fault trace as a polyline of map points (m).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SegmentedTrace {
+    /// Vertex positions; `points.len() - 1` segments.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl SegmentedTrace {
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "a trace needs at least one segment");
+        Self { points }
+    }
+
+    /// A straight trace along +x starting at `(x0, y0)`.
+    pub fn straight(x0: f64, y0: f64, length: f64, n_segments: usize) -> Self {
+        assert!(n_segments >= 1);
+        let pts = (0..=n_segments)
+            .map(|i| (x0 + length * i as f64 / n_segments as f64, y0))
+            .collect();
+        Self::new(pts)
+    }
+
+    /// A southern-SAF-like trace: overall along +x with a "Big Bend" —
+    /// the strike rotates by `bend_rad` over the middle of the trace. With
+    /// the paper's geometry the default is 47 segments.
+    pub fn saf_like(x0: f64, y0: f64, length: f64, bend_rad: f64, n_segments: usize) -> Self {
+        assert!(n_segments >= 2);
+        let ds = length / n_segments as f64;
+        let mut pts = Vec::with_capacity(n_segments + 1);
+        let (mut x, mut y) = (x0, y0);
+        pts.push((x, y));
+        for i in 0..n_segments {
+            let s_mid = (i as f64 + 0.5) / n_segments as f64;
+            // Strike swings from −bend/2 to +bend/2 through the bend zone
+            // (fraction 0.3–0.6 of the trace, the Big Bend's position
+            // relative to Cholame→Bombay Beach).
+            let w = awp_signal::taper::cosine_taper_between(s_mid, 0.3, 0.6);
+            let strike = -bend_rad / 2.0 + bend_rad * w;
+            x += ds * strike.cos();
+            y += ds * strike.sin();
+            pts.push((x, y));
+        }
+        Self::new(pts)
+    }
+
+    pub fn segment_count(&self) -> usize {
+        self.points.len() - 1
+    }
+
+    /// Total arc length.
+    pub fn length(&self) -> f64 {
+        self.points.windows(2).map(|w| hypot(w[0], w[1])).sum()
+    }
+
+    /// Position and strike angle at along-trace distance `s` (clamped to
+    /// the trace extent).
+    pub fn point_at(&self, s: f64) -> (f64, f64, f64) {
+        let mut remaining = s.max(0.0);
+        for w in self.points.windows(2) {
+            let len = hypot(w[0], w[1]);
+            let strike = (w[1].1 - w[0].1).atan2(w[1].0 - w[0].0);
+            if remaining <= len || w[1] == *self.points.last().unwrap() {
+                let f = (remaining / len).min(1.0);
+                return (
+                    w[0].0 + f * (w[1].0 - w[0].0),
+                    w[0].1 + f * (w[1].1 - w[0].1),
+                    strike,
+                );
+            }
+            remaining -= len;
+        }
+        unreachable!("trace has at least one segment");
+    }
+}
+
+fn hypot(a: (f64, f64), b: (f64, f64)) -> f64 {
+    (b.0 - a.0).hypot(b.1 - a.1)
+}
+
+/// Re-home a planar-fault source onto a segmented trace.
+///
+/// Planar subfaults live at grid indices `(i, j0, k)` with along-strike
+/// coordinate `(i − i_origin)·h`. Each is moved to the trace position at
+/// that arc distance, snapped to the grid, and its mechanism rotated to the
+/// local strike. `h` is the target grid spacing.
+pub fn map_planar_source(
+    src: &KinematicSource,
+    trace: &SegmentedTrace,
+    i_origin: usize,
+    h: f64,
+    grid: awp_grid::dims::Dims3,
+) -> KinematicSource {
+    let subfaults = src
+        .subfaults
+        .iter()
+        .map(|sf| {
+            let s = (sf.idx.i as f64 - i_origin as f64) * h;
+            let (x, y, strike) = trace.point_at(s);
+            let i = ((x / h).round().max(0.0) as usize).min(grid.nx - 1);
+            let j = ((y / h).round().max(0.0) as usize).min(grid.ny - 1);
+            let mut out = sf.clone();
+            out.idx = Idx3::new(i, j, sf.idx.k);
+            out.tensor = MomentTensor::strike_slip(strike);
+            out
+        })
+        .collect();
+    KinematicSource { dt: src.dt, subfaults }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinematic::{haskell_rupture, HaskellParams};
+    use awp_grid::dims::Dims3;
+
+    #[test]
+    fn straight_trace_geometry() {
+        let t = SegmentedTrace::straight(1000.0, 2000.0, 10_000.0, 5);
+        assert_eq!(t.segment_count(), 5);
+        assert!((t.length() - 10_000.0).abs() < 1e-9);
+        let (x, y, strike) = t.point_at(2500.0);
+        assert!((x - 3500.0).abs() < 1e-9);
+        assert!((y - 2000.0).abs() < 1e-9);
+        assert!(strike.abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_at_clamps_to_ends() {
+        let t = SegmentedTrace::straight(0.0, 0.0, 100.0, 4);
+        let (x0, ..) = t.point_at(-5.0);
+        assert_eq!(x0, 0.0);
+        let (x1, ..) = t.point_at(500.0);
+        assert!((x1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saf_like_has_bend() {
+        let t = SegmentedTrace::saf_like(0.0, 0.0, 545_000.0, 0.35, 47);
+        assert_eq!(t.segment_count(), 47);
+        // Strike before the bend differs from after by ~bend_rad.
+        let (.., s_early) = t.point_at(50_000.0);
+        let (.., s_late) = t.point_at(500_000.0);
+        assert!((s_late - s_early - 0.35).abs() < 0.05, "early {s_early} late {s_late}");
+        // Arc length preserved (each segment has length ds).
+        assert!((t.length() - 545_000.0).abs() / 545_000.0 < 1e-9);
+    }
+
+    #[test]
+    fn mapping_preserves_moment_and_count() {
+        let p = HaskellParams {
+            i0: 0,
+            i1: 40,
+            k0: 0,
+            k1: 8,
+            j0: 0,
+            h: 1000.0,
+            mu: 3.0e10,
+            slip_max: 3.0,
+            hypo: (5, 4),
+            vr: 2800.0,
+            rise_time: 1.5,
+            strike: 0.0,
+            taper_cells: 3,
+        };
+        let planar = haskell_rupture(&p, 0.05);
+        let trace = SegmentedTrace::saf_like(0.0, 20_000.0, 40_000.0, 0.3, 8);
+        let grid = Dims3::new(64, 64, 16);
+        let mapped = map_planar_source(&planar, &trace, 0, 1000.0, grid);
+        assert_eq!(mapped.subfaults.len(), planar.subfaults.len());
+        assert!((mapped.total_moment() - planar.total_moment()).abs() < 1e-3);
+        // Depths unchanged; map positions follow the trace (y varies).
+        let ys: std::collections::HashSet<usize> =
+            mapped.subfaults.iter().map(|s| s.idx.j).collect();
+        assert!(ys.len() > 1, "bent trace must spread j indices");
+    }
+
+    #[test]
+    fn mapped_mechanisms_follow_local_strike() {
+        let planar = KinematicSource {
+            dt: 0.1,
+            subfaults: vec![
+                crate::kinematic::Subfault {
+                    idx: Idx3::new(0, 0, 0),
+                    tensor: MomentTensor::strike_slip(0.0),
+                    moment: 1.0,
+                    t0: 0.0,
+                    rate: vec![1.0],
+                },
+                crate::kinematic::Subfault {
+                    idx: Idx3::new(30, 0, 0),
+                    tensor: MomentTensor::strike_slip(0.0),
+                    moment: 1.0,
+                    t0: 0.0,
+                    rate: vec![1.0],
+                },
+            ],
+        };
+        // 90° bend halfway.
+        let trace = SegmentedTrace::new(vec![(0.0, 0.0), (15_000.0, 0.0), (15_000.0, 15_000.0)]);
+        let mapped = map_planar_source(&planar, &trace, 0, 1000.0, Dims3::new(32, 32, 4));
+        // First subfault on the x-leg: pure Mxy. Second on the y-leg:
+        // strike π/2 → Mxy = cos(π) = −1.
+        assert!((mapped.subfaults[0].tensor.mxy - 1.0).abs() < 1e-9);
+        assert!((mapped.subfaults[1].tensor.mxy + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn degenerate_trace_rejected() {
+        SegmentedTrace::new(vec![(0.0, 0.0)]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Source time functions (moment-rate shapes), all normalised to unit
+//! integral so multiplying by a seismic moment M₀ gives a moment-rate
+//! history releasing exactly M₀.
+
+use serde::{Deserialize, Serialize};
+
+/// Supported moment-rate shapes.
+///
+/// ```
+/// use awp_source::stf::Stf;
+/// let stf = Stf::Triangle { rise_time: 2.0 };
+/// // Unit time-integral: multiplying by M0 releases exactly M0.
+/// let total: f64 = (0..40_000).map(|i| stf.rate(i as f64 * 1e-4) * 1e-4).sum();
+/// assert!((total - 1.0).abs() < 1e-2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Stf {
+    /// Isosceles triangle of total duration `rise_time`.
+    Triangle { rise_time: f64 },
+    /// Brune (1970) ω⁻² pulse with corner time τ: `ṡ(t) = (t/τ²)e^{−t/τ}`.
+    Brune { tau: f64 },
+    /// Raised-cosine pulse of duration `rise_time`.
+    Cosine { rise_time: f64 },
+}
+
+impl Stf {
+    /// Moment-rate density at time `t` (zero before 0; unit time-integral).
+    pub fn rate(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        match *self {
+            Stf::Triangle { rise_time } => {
+                let h = rise_time / 2.0;
+                let peak = 1.0 / h; // area = rise_time * peak / 2 = 1
+                if t < h {
+                    peak * t / h
+                } else if t < rise_time {
+                    peak * (rise_time - t) / h
+                } else {
+                    0.0
+                }
+            }
+            Stf::Brune { tau } => (t / (tau * tau)) * (-t / tau).exp(),
+            Stf::Cosine { rise_time } => {
+                if t < rise_time {
+                    (1.0 - (2.0 * std::f64::consts::PI * t / rise_time).cos()) / rise_time
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Effective duration (time by which ≥ ~99.9% of moment is released).
+    pub fn duration(&self) -> f64 {
+        match *self {
+            Stf::Triangle { rise_time } | Stf::Cosine { rise_time } => rise_time,
+            Stf::Brune { tau } => 10.0 * tau,
+        }
+    }
+
+    /// Sample the moment-rate history: `n` samples at spacing `dt`,
+    /// scaled by `moment` (N·m), as f32 (the solver's working precision).
+    pub fn sample(&self, moment: f64, dt: f64, n: usize) -> Vec<f32> {
+        (0..n).map(|i| (moment * self.rate(i as f64 * dt)) as f32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn integral(stf: &Stf, dt: f64, n: usize) -> f64 {
+        (0..n).map(|i| stf.rate(i as f64 * dt) * dt).sum()
+    }
+
+    #[test]
+    fn triangle_integrates_to_one() {
+        let s = Stf::Triangle { rise_time: 2.0 };
+        assert!((integral(&s, 1e-4, 30_000) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn brune_integrates_to_one() {
+        let s = Stf::Brune { tau: 0.5 };
+        assert!((integral(&s, 1e-4, 200_000) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cosine_integrates_to_one() {
+        let s = Stf::Cosine { rise_time: 1.5 };
+        assert!((integral(&s, 1e-4, 20_000) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rates_are_nonnegative_and_causal() {
+        for s in [
+            Stf::Triangle { rise_time: 1.0 },
+            Stf::Brune { tau: 0.3 },
+            Stf::Cosine { rise_time: 1.0 },
+        ] {
+            assert_eq!(s.rate(-0.1), 0.0, "causality");
+            for i in 0..1000 {
+                assert!(s.rate(i as f64 * 0.01) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_peaks_at_half_rise() {
+        let s = Stf::Triangle { rise_time: 2.0 };
+        assert!((s.rate(1.0) - 1.0).abs() < 1e-12, "peak 2/rise at t = rise/2");
+        assert_eq!(s.rate(2.0), 0.0);
+        assert!(s.rate(0.5) < s.rate(1.0));
+    }
+
+    #[test]
+    fn brune_peaks_at_tau() {
+        let s = Stf::Brune { tau: 0.4 };
+        let p = s.rate(0.4);
+        assert!(s.rate(0.2) < p && s.rate(0.8) < p);
+    }
+
+    #[test]
+    fn sample_scales_by_moment() {
+        let s = Stf::Triangle { rise_time: 1.0 };
+        let m0 = 1e18;
+        let v = s.sample(m0, 0.01, 200);
+        let released: f64 = v.iter().map(|&r| r as f64 * 0.01).sum();
+        assert!((released / m0 - 1.0).abs() < 0.01, "released {released}");
+    }
+
+    #[test]
+    fn durations_cover_pulses() {
+        for s in [
+            Stf::Triangle { rise_time: 1.0 },
+            Stf::Brune { tau: 0.3 },
+            Stf::Cosine { rise_time: 1.0 },
+        ] {
+            assert!(s.rate(s.duration() * 1.01) < 0.02, "{s:?}");
+        }
+    }
+}

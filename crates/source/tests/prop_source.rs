@@ -1,0 +1,109 @@
+//! Property-based tests for source generation and partitioning.
+
+use awp_grid::decomp::Decomp3;
+use awp_grid::dims::Dims3;
+use awp_source::kinematic::{haskell_rupture, HaskellParams};
+use awp_source::moment::{moment_magnitude, moment_of_magnitude, MomentTensor};
+use awp_source::partition::{partition_spatial, TemporalPartition};
+use awp_source::stf::Stf;
+use proptest::prelude::*;
+
+fn stf_strategy() -> impl Strategy<Value = Stf> {
+    prop_oneof![
+        (0.2f64..3.0).prop_map(|rise_time| Stf::Triangle { rise_time }),
+        (0.05f64..1.0).prop_map(|tau| Stf::Brune { tau }),
+        (0.2f64..3.0).prop_map(|rise_time| Stf::Cosine { rise_time }),
+    ]
+}
+
+proptest! {
+    /// Every STF is causal, non-negative, and integrates to ≈ 1.
+    #[test]
+    fn stf_unit_integral(stf in stf_strategy()) {
+        prop_assert_eq!(stf.rate(-1.0), 0.0);
+        let dt = stf.duration() / 20_000.0;
+        let mut integral = 0.0;
+        for i in 0..20_000 {
+            let r = stf.rate(i as f64 * dt);
+            prop_assert!(r >= 0.0);
+            integral += r * dt;
+        }
+        prop_assert!((integral - 1.0).abs() < 0.02, "integral {integral} for {stf:?}");
+    }
+
+    /// Magnitude ↔ moment round-trips across the seismic range.
+    #[test]
+    fn magnitude_roundtrip(mw in 3.0f64..9.5) {
+        prop_assert!((moment_magnitude(moment_of_magnitude(mw)) - mw).abs() < 1e-9);
+    }
+
+    /// Strike-slip mechanisms keep unit scalar moment at any strike.
+    #[test]
+    fn strike_rotation_preserves_moment(strike in -10.0f64..10.0) {
+        let m = MomentTensor::strike_slip(strike);
+        prop_assert!((m.scalar_moment() - 1.0).abs() < 1e-9);
+        prop_assert_eq!(m.mzz, 0.0);
+    }
+
+    /// Spatial partitioning conserves subfault count and total moment for
+    /// any decomposition.
+    #[test]
+    fn spatial_partition_conserves(px in 1usize..4, py in 1usize..3, pz in 1usize..3,
+                                   seedi in 0usize..3) {
+        let src = haskell_rupture(
+            &HaskellParams {
+                i0: 2, i1: 26, k0: 0, k1: 8, j0: 4 + seedi, h: 500.0, mu: 3e10,
+                slip_max: 2.0, hypo: (4, 4), vr: 2500.0, rise_time: 1.0,
+                strike: 0.2, taper_cells: 2,
+            },
+            0.05,
+        );
+        let decomp = Decomp3::new(Dims3::new(32, 12, 10), [px, py, pz]);
+        let parts = partition_spatial(&src, &decomp);
+        let n: usize = parts.iter().map(|p| p.subfaults.len()).sum();
+        prop_assert_eq!(n, src.subfaults.len());
+        let m: f64 = parts.iter().map(|p| p.total_moment()).sum();
+        prop_assert!((m - src.total_moment()).abs() <= 1e-9 * src.total_moment());
+    }
+
+    /// Temporal windows reproduce the full moment-rate at arbitrary probe
+    /// times for arbitrary window lengths.
+    #[test]
+    fn temporal_partition_reproduces(window in 2usize..40, probe in 0.0f64..1.0) {
+        let src = haskell_rupture(
+            &HaskellParams {
+                i0: 0, i1: 12, k0: 0, k1: 4, j0: 3, h: 800.0, mu: 3e10,
+                slip_max: 3.0, hypo: (2, 2), vr: 2800.0, rise_time: 1.5,
+                strike: 0.0, taper_cells: 1,
+            },
+            0.05,
+        );
+        let tp = TemporalPartition::new(&src, window);
+        let t = probe * src.duration();
+        let sf = &src.subfaults[src.subfaults.len() / 2];
+        let want = sf.moment_rate_at(t, src.dt);
+        let seg = &tp.segments[tp.segment_for(t)];
+        let got: f64 = seg
+            .subfaults
+            .iter()
+            .filter(|s| s.idx == sf.idx)
+            .map(|s| s.moment_rate_at(t, src.dt))
+            .sum();
+        prop_assert!((got - want).abs() <= 1e-6 * want.abs().max(1.0));
+    }
+
+    /// Moment rescaling hits any target magnitude exactly.
+    #[test]
+    fn rescaling_hits_target(mw in 5.0f64..9.0) {
+        let mut src = haskell_rupture(
+            &HaskellParams {
+                i0: 0, i1: 10, k0: 0, k1: 4, j0: 3, h: 1000.0, mu: 3e10,
+                slip_max: 2.0, hypo: (2, 2), vr: 2800.0, rise_time: 1.0,
+                strike: 0.0, taper_cells: 1,
+            },
+            0.05,
+        );
+        src.scale_to_magnitude(mw);
+        prop_assert!((src.magnitude() - mw).abs() < 1e-6);
+    }
+}

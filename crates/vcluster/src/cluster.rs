@@ -1,0 +1,385 @@
+//! Rank runtime: spawn N ranks as threads and give each a communicator.
+
+use crate::ledger::{Category, TimeLedger};
+use crate::mailbox::Mailbox;
+use crate::message::{Message, Payload, Tag};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Communication engine selection (paper §IV.A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommMode {
+    /// Rendezvous sends: the sender blocks until the receiver matches the
+    /// message. Mirrors the original cascaded `mpi_send/mpi_recv` model
+    /// whose "latency is accumulated along the path".
+    Synchronous,
+    /// Eager buffered sends with out-of-order completion — the redesigned
+    /// model that "effectively removes the interdependency among nodes".
+    Asynchronous,
+}
+
+/// Cluster-wide message statistics.
+#[derive(Debug, Default)]
+pub struct ClusterStats {
+    pub messages: AtomicU64,
+    pub bytes: AtomicU64,
+    pub barriers: AtomicU64,
+}
+
+impl ClusterStats {
+    pub fn messages_sent(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn barriers_passed(&self) -> u64 {
+        self.barriers.load(Ordering::Relaxed)
+    }
+}
+
+struct Shared {
+    mailboxes: Vec<Mailbox>,
+    barrier: Barrier,
+    stats: ClusterStats,
+}
+
+/// A virtual cluster of `n` ranks.
+///
+/// ```
+/// use awp_vcluster::{Cluster, CommMode};
+/// let cluster = Cluster::new(3, CommMode::Asynchronous);
+/// let sums = cluster.run(|ctx| {
+///     let next = (ctx.rank() + 1) % ctx.size();
+///     let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+///     ctx.send(next, 7, vec![ctx.rank() as f32]);
+///     ctx.recv(prev, 7).into_f32()[0]
+/// });
+/// assert_eq!(sums, vec![2.0, 0.0, 1.0]);
+/// ```
+pub struct Cluster {
+    shared: Arc<Shared>,
+    size: usize,
+    mode: CommMode,
+}
+
+/// Handle to a posted non-blocking receive.
+#[derive(Debug, Clone, Copy)]
+pub struct RecvReq {
+    pub src: usize,
+    pub tag: Tag,
+}
+
+impl Cluster {
+    pub fn new(size: usize, mode: CommMode) -> Self {
+        assert!(size > 0, "cluster needs at least one rank");
+        let shared = Arc::new(Shared {
+            mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
+            barrier: Barrier::new(size),
+            stats: ClusterStats::default(),
+        });
+        Self { shared, size, mode }
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    pub fn stats(&self) -> &ClusterStats {
+        &self.shared.stats
+    }
+
+    /// Run `body(rank_ctx)` on every rank concurrently and collect the
+    /// per-rank results in rank order. Panics in any rank propagate.
+    pub fn run<T, F>(&self, body: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Sync,
+    {
+        let shared = &self.shared;
+        let mode = self.mode;
+        let size = self.size;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..size)
+                .map(|rank| {
+                    let shared = Arc::clone(shared);
+                    let body = &body;
+                    scope.spawn(move || {
+                        let mut ctx = RankCtx { rank, size, mode, shared, ledger: TimeLedger::new() };
+                        body(&mut ctx)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        })
+    }
+}
+
+/// Per-rank communicator handle (lives on the rank's thread).
+pub struct RankCtx {
+    rank: usize,
+    size: usize,
+    mode: CommMode,
+    shared: Arc<Shared>,
+    /// Wall-time ledger; solvers charge phases through
+    /// [`RankCtx::time`]. Communication calls charge themselves.
+    pub ledger: TimeLedger,
+}
+
+impl RankCtx {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    pub fn mode(&self) -> CommMode {
+        self.mode
+    }
+
+    fn count(&self, payload: &Payload) {
+        self.shared.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.bytes.fetch_add(payload.byte_len() as u64, Ordering::Relaxed);
+    }
+
+    /// Mode-dispatching send: rendezvous in synchronous mode, eager in
+    /// asynchronous mode. Time is charged to `Comm`.
+    pub fn send(&mut self, dst: usize, tag: Tag, payload: impl Into<Payload>) {
+        let payload = payload.into();
+        self.count(&payload);
+        assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        assert_ne!(dst, self.rank, "self-sends are not supported");
+        let t0 = std::time::Instant::now();
+        match self.mode {
+            CommMode::Asynchronous => {
+                self.shared.mailboxes[dst].deliver(Message {
+                    src: self.rank,
+                    tag,
+                    payload,
+                    ack: None,
+                });
+            }
+            CommMode::Synchronous => {
+                let (ack_tx, ack_rx) = crossbeam::channel::bounded(1);
+                self.shared.mailboxes[dst].deliver(Message {
+                    src: self.rank,
+                    tag,
+                    payload,
+                    ack: Some(ack_tx),
+                });
+                // Rendezvous: block until the receiver matches.
+                ack_rx.recv().expect("receiver vanished during rendezvous");
+            }
+        }
+        self.ledger.add(Category::Comm, t0.elapsed());
+    }
+
+    /// Blocking matched receive.
+    pub fn recv(&mut self, src: usize, tag: Tag) -> Payload {
+        let t0 = std::time::Instant::now();
+        let p = self.shared.mailboxes[self.rank].recv(src, tag);
+        self.ledger.add(Category::Comm, t0.elapsed());
+        p
+    }
+
+    /// Blocking receive with a deadline (returns `None` on timeout) — used
+    /// by deadlock-sensitive tests.
+    pub fn recv_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Payload> {
+        let t0 = std::time::Instant::now();
+        let p = self.shared.mailboxes[self.rank].recv_timeout(src, tag, timeout);
+        self.ledger.add(Category::Comm, t0.elapsed());
+        p
+    }
+
+    /// Post a non-blocking receive (returns a handle for
+    /// [`RankCtx::wait`] / [`RankCtx::wait_all`]).
+    pub fn irecv(&self, src: usize, tag: Tag) -> RecvReq {
+        RecvReq { src, tag }
+    }
+
+    /// Complete one posted receive.
+    pub fn wait(&mut self, req: RecvReq) -> Payload {
+        self.recv(req.src, req.tag)
+    }
+
+    /// Complete all posted receives, in any arrival order (MPI_Waitall);
+    /// results are returned in request order.
+    pub fn wait_all(&mut self, reqs: &[RecvReq]) -> Vec<Payload> {
+        let t0 = std::time::Instant::now();
+        let mut out: Vec<Option<Payload>> = (0..reqs.len()).map(|_| None).collect();
+        let mut remaining: Vec<usize> = (0..reqs.len()).collect();
+        // Poll for whichever arrives first; fall back to a blocking wait on
+        // the first outstanding request when nothing is ready.
+        while !remaining.is_empty() {
+            let mut progressed = false;
+            remaining.retain(|&i| {
+                if let Some(p) = self.shared.mailboxes[self.rank].try_recv(reqs[i].src, reqs[i].tag)
+                {
+                    out[i] = Some(p);
+                    progressed = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            if !progressed {
+                if let Some(&i) = remaining.first() {
+                    let p = self.shared.mailboxes[self.rank].recv(reqs[i].src, reqs[i].tag);
+                    out[i] = Some(p);
+                    remaining.remove(0);
+                }
+            }
+        }
+        self.ledger.add(Category::Comm, t0.elapsed());
+        out.into_iter().map(|p| p.expect("all requests completed")).collect()
+    }
+
+    /// Global barrier; time charged to `Sync` (the paper's T_sync is
+    /// "mostly composed of a single MPI_Barrier call per iteration").
+    pub fn barrier(&mut self) {
+        let t0 = std::time::Instant::now();
+        self.shared.barrier.wait();
+        self.ledger.add(Category::Sync, t0.elapsed());
+        if self.rank == 0 {
+            self.shared.stats.barriers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Charge a closure's duration to a ledger category.
+    pub fn time<T>(&mut self, cat: Category, f: impl FnOnce() -> T) -> T {
+        let t0 = std::time::Instant::now();
+        let out = f();
+        self.ledger.add(cat, t0.elapsed());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let c = Cluster::new(4, CommMode::Asynchronous);
+        let ids = c.run(|ctx| ctx.rank());
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ring_pass_async() {
+        let n = 6;
+        let c = Cluster::new(n, CommMode::Asynchronous);
+        let sums = c.run(|ctx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            ctx.send(next, 1, vec![ctx.rank() as f32]);
+            let got = ctx.recv(prev, 1).into_f32();
+            got[0]
+        });
+        for (r, v) in sums.iter().enumerate() {
+            let prev = (r + n - 1) % n;
+            assert_eq!(*v, prev as f32);
+        }
+    }
+
+    #[test]
+    fn ring_pass_sync_rendezvous() {
+        // Rendezvous sends in a ring must still complete because every rank
+        // posts its receive eventually; but ordering matters: post sends to
+        // even/odd phases to avoid deadlock, as real sync-mode codes do.
+        let n = 4;
+        let c = Cluster::new(n, CommMode::Synchronous);
+        let out = c.run(|ctx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            if ctx.rank() % 2 == 0 {
+                ctx.send(next, 9, vec![ctx.rank() as f32]);
+                ctx.recv(prev, 9).into_f32()[0]
+            } else {
+                let v = ctx.recv(prev, 9).into_f32()[0];
+                ctx.send(next, 9, vec![ctx.rank() as f32]);
+                v
+            }
+        });
+        assert_eq!(out, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn waitall_completes_out_of_order() {
+        let c = Cluster::new(3, CommMode::Asynchronous);
+        let got = c.run(|ctx| {
+            if ctx.rank() == 0 {
+                // Post receives from both peers before any arrives.
+                let reqs = vec![ctx.irecv(1, 100), ctx.irecv(2, 200)];
+                let ps = ctx.wait_all(&reqs);
+                (ps[0].clone().into_f32()[0], ps[1].clone().into_f32()[0])
+            } else if ctx.rank() == 1 {
+                std::thread::sleep(Duration::from_millis(30));
+                ctx.send(0, 100, vec![1.0f32]);
+                (0.0, 0.0)
+            } else {
+                ctx.send(0, 200, vec![2.0f32]);
+                (0.0, 0.0)
+            }
+        });
+        assert_eq!(got[0], (1.0, 2.0));
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::AtomicUsize;
+        let c = Cluster::new(5, CommMode::Asynchronous);
+        let counter = AtomicUsize::new(0);
+        c.run(|ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier every rank must observe all increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 5);
+        });
+        assert_eq!(c.stats().barriers_passed(), 1);
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let c = Cluster::new(2, CommMode::Asynchronous);
+        c.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, vec![0.0f32; 10]);
+            } else {
+                ctx.recv(0, 1);
+            }
+        });
+        assert_eq!(c.stats().messages_sent(), 1);
+        assert_eq!(c.stats().bytes_sent(), 40);
+    }
+
+    #[test]
+    fn ledger_records_comm_time() {
+        let c = Cluster::new(2, CommMode::Asynchronous);
+        let ledgers = c.run(|ctx| {
+            if ctx.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(20));
+                ctx.send(1, 5, vec![1.0f32]);
+            } else {
+                ctx.recv(0, 5);
+            }
+            ctx.ledger.clone()
+        });
+        // Rank 1 blocked ~20ms in recv.
+        assert!(ledgers[1].seconds(Category::Comm) >= 0.015);
+    }
+
+    #[test]
+    // The assertion fires on the rank thread; the harness surfaces it as a
+    // "rank panicked" join failure.
+    #[should_panic(expected = "rank panicked")]
+    fn self_send_rejected() {
+        let c = Cluster::new(1, CommMode::Asynchronous);
+        c.run(|ctx| ctx.send(0, 0, vec![1.0f32]));
+    }
+}

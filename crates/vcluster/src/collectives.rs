@@ -1,0 +1,179 @@
+//! Collective operations over the rank communicator.
+//!
+//! AWP-ODC itself needs only nearest-neighbour exchanges plus a barrier,
+//! but its tooling uses collectives (mesh statistics, checksum gathering,
+//! the Fig. 12 timing reductions). These are built on the same tagged
+//! point-to-point layer: gather/broadcast as root-centred fan-in/fan-out,
+//! allreduce as reduce + broadcast.
+
+use crate::cluster::RankCtx;
+use crate::message::make_tag;
+
+/// Phase id reserved for collective traffic.
+const PHASE: u8 = 9;
+
+/// A monotonically increasing per-call collective id would require shared
+/// state; instead callers pass an `epoch` that must be unique per
+/// collective call site and iteration (like the solver's step counter).
+fn tag(kind: u8, epoch: u64) -> u64 {
+    make_tag(PHASE, kind, 0, epoch.wrapping_mul(8).wrapping_add(kind as u64))
+}
+
+/// Gather each rank's f64 vector at `root` (rank order). Non-root ranks
+/// receive an empty vec.
+pub fn gather_f64(ctx: &mut RankCtx, root: usize, data: &[f64], epoch: u64) -> Vec<Vec<f64>> {
+    let me = ctx.rank();
+    let n = ctx.size();
+    if me == root {
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); n];
+        out[root] = data.to_vec();
+        for src in 0..n {
+            if src != root {
+                out[src] = ctx.recv(src, tag(0, epoch)).into_f64();
+            }
+        }
+        out
+    } else {
+        ctx.send(root, tag(0, epoch), data.to_vec());
+        Vec::new()
+    }
+}
+
+/// Broadcast a f64 vector from `root` to every rank.
+pub fn broadcast_f64(ctx: &mut RankCtx, root: usize, data: Vec<f64>, epoch: u64) -> Vec<f64> {
+    let me = ctx.rank();
+    let n = ctx.size();
+    if me == root {
+        for dst in 0..n {
+            if dst != root {
+                ctx.send(dst, tag(1, epoch), data.clone());
+            }
+        }
+        data
+    } else {
+        ctx.recv(root, tag(1, epoch)).into_f64()
+    }
+}
+
+/// Element-wise reduction at `root` with `op` (e.g. `f64::max`, `+`).
+pub fn reduce_f64(
+    ctx: &mut RankCtx,
+    root: usize,
+    data: &[f64],
+    op: impl Fn(f64, f64) -> f64,
+    epoch: u64,
+) -> Vec<f64> {
+    let gathered = gather_f64(ctx, root, data, epoch);
+    if ctx.rank() != root {
+        return Vec::new();
+    }
+    let mut acc = gathered[0].clone();
+    for v in gathered.iter().skip(1) {
+        assert_eq!(v.len(), acc.len(), "reduce length mismatch");
+        for (a, b) in acc.iter_mut().zip(v) {
+            *a = op(*a, *b);
+        }
+    }
+    acc
+}
+
+/// Allreduce: every rank ends with the reduction.
+pub fn allreduce_f64(
+    ctx: &mut RankCtx,
+    data: &[f64],
+    op: impl Fn(f64, f64) -> f64,
+    epoch: u64,
+) -> Vec<f64> {
+    let reduced = reduce_f64(ctx, 0, data, op, epoch);
+    broadcast_f64(ctx, 0, reduced, epoch.wrapping_add(1_000_000))
+}
+
+/// Gather variable-length byte blobs (checksum strings etc.) at root.
+pub fn gather_bytes(ctx: &mut RankCtx, root: usize, data: &[u8], epoch: u64) -> Vec<Vec<u8>> {
+    let me = ctx.rank();
+    let n = ctx.size();
+    if me == root {
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+        out[root] = data.to_vec();
+        for src in 0..n {
+            if src != root {
+                out[src] = ctx
+                    .recv(src, tag(2, epoch))
+                    .into_bytes();
+            }
+        }
+        out
+    } else {
+        ctx.send(root, tag(2, epoch), crate::message::Payload::Bytes(data.to_vec()));
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, CommMode};
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let c = Cluster::new(4, CommMode::Asynchronous);
+        let out = c.run(|ctx| gather_f64(ctx, 0, &[ctx.rank() as f64 * 2.0], 0));
+        assert_eq!(out[0], vec![vec![0.0], vec![2.0], vec![4.0], vec![6.0]]);
+        assert!(out[1].is_empty() && out[3].is_empty());
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let c = Cluster::new(5, CommMode::Asynchronous);
+        let out = c.run(|ctx| {
+            let data = if ctx.rank() == 2 { vec![7.0, 8.0] } else { Vec::new() };
+            broadcast_f64(ctx, 2, data, 3)
+        });
+        assert!(out.iter().all(|v| v == &vec![7.0, 8.0]));
+    }
+
+    #[test]
+    fn reduce_applies_op() {
+        let c = Cluster::new(4, CommMode::Asynchronous);
+        let out = c.run(|ctx| {
+            reduce_f64(ctx, 0, &[ctx.rank() as f64, 1.0], |a, b| a + b, 9)
+        });
+        assert_eq!(out[0], vec![6.0, 4.0]);
+    }
+
+    #[test]
+    fn allreduce_max_everywhere() {
+        let c = Cluster::new(3, CommMode::Asynchronous);
+        let out = c.run(|ctx| {
+            allreduce_f64(ctx, &[ctx.rank() as f64, -(ctx.rank() as f64)], f64::max, 11)
+        });
+        assert!(out.iter().all(|v| v == &vec![2.0, 0.0]));
+    }
+
+    #[test]
+    fn repeated_epochs_do_not_cross_talk() {
+        let c = Cluster::new(3, CommMode::Asynchronous);
+        let out = c.run(|ctx| {
+            let mut acc = Vec::new();
+            for e in 0..5u64 {
+                let r = allreduce_f64(ctx, &[e as f64 + ctx.rank() as f64], |a, b| a + b, 100 + e);
+                acc.push(r[0]);
+            }
+            acc
+        });
+        // Σ ranks = 3 + 3e per epoch.
+        for v in out {
+            assert_eq!(v, vec![3.0, 6.0, 9.0, 12.0, 15.0]);
+        }
+    }
+
+    #[test]
+    fn gather_bytes_round_trips() {
+        let c = Cluster::new(3, CommMode::Asynchronous);
+        let out = c.run(|ctx| {
+            let digest = format!("digest-{}", ctx.rank());
+            gather_bytes(ctx, 0, digest.as_bytes(), 42)
+        });
+        assert_eq!(out[0][2], b"digest-2".to_vec());
+    }
+}

@@ -1,0 +1,154 @@
+//! Per-rank mailboxes with `(source, tag)` matching.
+
+use crate::message::{Message, Payload, Tag};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Unexpected-message queue plus wakeup for blocked receivers.
+#[derive(Default)]
+pub struct Mailbox {
+    queue: Mutex<VecDeque<Message>>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deliver a message (eager/buffered path): enqueue and wake receivers.
+    pub fn deliver(&self, msg: Message) {
+        let mut q = self.queue.lock();
+        q.push_back(msg);
+        self.cv.notify_all();
+    }
+
+    /// Blocking matched receive: waits until a message from `src` with `tag`
+    /// is available, removes it, acknowledges rendezvous senders, and
+    /// returns the payload.
+    pub fn recv(&self, src: usize, tag: Tag) -> Payload {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
+                let msg = q.remove(pos).expect("position just found");
+                drop(q);
+                if let Some(ack) = msg.ack {
+                    // Receiver matched: release the rendezvous sender. The
+                    // sender may have timed-out only on cluster teardown, so
+                    // a closed channel is fine to ignore.
+                    let _ = ack.send(());
+                }
+                return msg.payload;
+            }
+            self.cv.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking matched receive.
+    pub fn try_recv(&self, src: usize, tag: Tag) -> Option<Payload> {
+        let mut q = self.queue.lock();
+        let pos = q.iter().position(|m| m.src == src && m.tag == tag)?;
+        let msg = q.remove(pos).expect("position just found");
+        drop(q);
+        if let Some(ack) = msg.ack {
+            let _ = ack.send(());
+        }
+        Some(msg.payload)
+    }
+
+    /// Blocking matched receive with timeout (deadlock diagnostics).
+    pub fn recv_timeout(&self, src: usize, tag: Tag, timeout: Duration) -> Option<Payload> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
+                let msg = q.remove(pos).expect("position just found");
+                drop(q);
+                if let Some(ack) = msg.ack {
+                    let _ = ack.send(());
+                }
+                return Some(msg.payload);
+            }
+            if self.cv.wait_until(&mut q, deadline).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Number of queued (unmatched) messages.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn msg(src: usize, tag: Tag, v: Vec<f32>) -> Message {
+        Message { src, tag, payload: Payload::F32(v), ack: None }
+    }
+
+    #[test]
+    fn matches_by_src_and_tag() {
+        let mb = Mailbox::new();
+        mb.deliver(msg(1, 10, vec![1.0]));
+        mb.deliver(msg(2, 10, vec![2.0]));
+        mb.deliver(msg(1, 11, vec![3.0]));
+        assert_eq!(mb.recv(2, 10).into_f32(), vec![2.0]);
+        assert_eq!(mb.recv(1, 11).into_f32(), vec![3.0]);
+        assert_eq!(mb.recv(1, 10).into_f32(), vec![1.0]);
+        assert_eq!(mb.pending(), 0);
+    }
+
+    #[test]
+    fn out_of_order_arrival_is_matched() {
+        // The asynchronous model's key property: arrival order ≠ receive
+        // order, tags keep integrity.
+        let mb = Mailbox::new();
+        for t in (0..10u64).rev() {
+            mb.deliver(msg(0, t, vec![t as f32]));
+        }
+        for t in 0..10u64 {
+            assert_eq!(mb.recv(0, t).into_f32(), vec![t as f32]);
+        }
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_absent() {
+        let mb = Mailbox::new();
+        mb.deliver(msg(0, 1, vec![]));
+        assert!(mb.try_recv(0, 2).is_none());
+        assert!(mb.try_recv(1, 1).is_none());
+        assert!(mb.try_recv(0, 1).is_some());
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_delivery() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || mb2.recv(3, 7).into_f32());
+        std::thread::sleep(Duration::from_millis(20));
+        mb.deliver(msg(3, 7, vec![9.0]));
+        assert_eq!(h.join().unwrap(), vec![9.0]);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let mb = Mailbox::new();
+        let got = mb.recv_timeout(0, 0, Duration::from_millis(10));
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn rendezvous_ack_fires_on_match() {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let mb = Mailbox::new();
+        mb.deliver(Message { src: 0, tag: 5, payload: Payload::Empty, ack: Some(tx) });
+        assert!(rx.try_recv().is_err(), "ack must not fire before match");
+        let _ = mb.recv(0, 5);
+        assert!(rx.try_recv().is_ok(), "ack must fire on match");
+    }
+}

@@ -1,0 +1,151 @@
+//! Message envelopes and payloads.
+
+use serde::{Deserialize, Serialize};
+
+/// Message tag. AWP-ODC's asynchronous model gives every in-flight transfer
+/// a unique tag so out-of-order arrivals stay unambiguous (paper §IV.A).
+pub type Tag = u64;
+
+/// Build a tag from small structured parts: a phase (velocity/stress/IO…),
+/// a field id, a face id and a step counter. Layout (low → high bits):
+/// face (4) | field (8) | phase (8) | step (44).
+pub fn make_tag(phase: u8, field: u8, face: u8, step: u64) -> Tag {
+    debug_assert!(face < 16);
+    (face as u64) | ((field as u64) << 4) | ((phase as u64) << 12) | (step << 20)
+}
+
+/// Typed message payload. Wavefield halos travel as `F32`; partitioned
+/// mesh/source data as `F32`/`F64`; control traffic as `U64` or raw bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    Empty,
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+    U64(Vec<u64>),
+    Bytes(Vec<u8>),
+}
+
+impl Payload {
+    /// Approximate wire size in bytes (used by byte counters and the
+    /// performance model).
+    pub fn byte_len(&self) -> usize {
+        match self {
+            Payload::Empty => 0,
+            Payload::F32(v) => v.len() * 4,
+            Payload::F64(v) => v.len() * 8,
+            Payload::U64(v) => v.len() * 8,
+            Payload::Bytes(v) => v.len(),
+        }
+    }
+
+    pub fn into_f32(self) -> Vec<f32> {
+        match self {
+            Payload::F32(v) => v,
+            other => panic!("expected F32 payload, got {}", other.kind()),
+        }
+    }
+
+    pub fn into_f64(self) -> Vec<f64> {
+        match self {
+            Payload::F64(v) => v,
+            other => panic!("expected F64 payload, got {}", other.kind()),
+        }
+    }
+
+    pub fn into_u64(self) -> Vec<u64> {
+        match self {
+            Payload::U64(v) => v,
+            other => panic!("expected U64 payload, got {}", other.kind()),
+        }
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            Payload::Bytes(v) => v,
+            other => panic!("expected Bytes payload, got {}", other.kind()),
+        }
+    }
+
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::Empty => "Empty",
+            Payload::F32(_) => "F32",
+            Payload::F64(_) => "F64",
+            Payload::U64(_) => "U64",
+            Payload::Bytes(_) => "Bytes",
+        }
+    }
+}
+
+impl From<Vec<f32>> for Payload {
+    fn from(v: Vec<f32>) -> Self {
+        Payload::F32(v)
+    }
+}
+
+impl From<Vec<f64>> for Payload {
+    fn from(v: Vec<f64>) -> Self {
+        Payload::F64(v)
+    }
+}
+
+impl From<Vec<u64>> for Payload {
+    fn from(v: Vec<u64>) -> Self {
+        Payload::U64(v)
+    }
+}
+
+/// An in-flight message.
+#[derive(Debug)]
+pub struct Message {
+    pub src: usize,
+    pub tag: Tag,
+    pub payload: Payload,
+    /// Rendezvous acknowledgement: present for synchronous-mode sends; the
+    /// receiver drops it on match, unblocking the sender.
+    pub ack: Option<crossbeam::channel::Sender<()>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_distinguish_all_fields() {
+        let base = make_tag(1, 2, 3, 4);
+        assert_ne!(base, make_tag(2, 2, 3, 4));
+        assert_ne!(base, make_tag(1, 3, 3, 4));
+        assert_ne!(base, make_tag(1, 2, 4, 4));
+        assert_ne!(base, make_tag(1, 2, 3, 5));
+    }
+
+    #[test]
+    fn tag_steps_do_not_collide_across_faces() {
+        // A full exchange epoch uses ≤ 16 faces × 256 fields; consecutive
+        // steps must never alias.
+        let a = make_tag(0, 255, 15, 7);
+        let b = make_tag(0, 0, 0, 8);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn byte_lens() {
+        assert_eq!(Payload::Empty.byte_len(), 0);
+        assert_eq!(Payload::F32(vec![0.0; 3]).byte_len(), 12);
+        assert_eq!(Payload::F64(vec![0.0; 3]).byte_len(), 24);
+        assert_eq!(Payload::U64(vec![0; 2]).byte_len(), 16);
+        assert_eq!(Payload::Bytes(vec![0; 5]).byte_len(), 5);
+    }
+
+    #[test]
+    fn into_f32_round_trip() {
+        let p: Payload = vec![1.0f32, 2.0].into();
+        assert_eq!(p.into_f32(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F32")]
+    fn wrong_kind_panics() {
+        Payload::U64(vec![1]).into_f32();
+    }
+}

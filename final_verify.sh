@@ -1,0 +1,17 @@
+#!/bin/bash
+# Final verification sequence (run from /root/repo).
+set -x
+cd /root/repo
+cargo build --workspace --release 2>&1 | grep -E "^(error|warning)" | head -20
+echo "=== BUILD DONE ==="
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt | grep -E "test result|FAILED|error\[" | tail -60
+echo "=== TESTS DONE ==="
+# Smoke-run the examples and CLI.
+timeout 600 ./target/release/examples/quickstart > results/logs/example_quickstart.log 2>&1; echo "quickstart exit $?"
+timeout 900 ./target/release/examples/cluster_scaling > results/logs/example_cluster_scaling.log 2>&1; echo "cluster_scaling exit $?"
+timeout 1800 ./target/release/examples/m8_dynamic > results/logs/example_m8_dynamic.log 2>&1; echo "m8_dynamic exit $?"
+timeout 1800 ./target/release/examples/shakeout_scenario > results/logs/example_shakeout.log 2>&1; echo "shakeout exit $?"
+./target/release/awp scenarios > results/logs/cli_scenarios.log 2>&1; echo "cli exit $?"
+./target/release/awp efficiency >> results/logs/cli_scenarios.log 2>&1; echo "cli2 exit $?"
+timeout 600 ./target/release/s7b_memory > results/logs/s7b_memory.log 2>&1; echo "s7b exit $?"
+echo "=== EXAMPLES DONE ==="

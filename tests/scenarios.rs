@@ -1,0 +1,118 @@
+//! Scenario-catalogue integration tests (paper Table 3's milestones in
+//! miniature).
+
+use awp_odc::scenario::{RuptureDirection, Scenario, SourceSpec};
+
+#[test]
+fn catalogue_covers_the_milestones() {
+    let scenarios = vec![
+        Scenario::terashake_k(32, RuptureDirection::SeToNw),
+        Scenario::terashake_d(32, 1),
+        Scenario::shakeout_k(32, 0.3),
+        Scenario::shakeout_d(32, 2),
+        Scenario::wall_to_wall(40),
+        Scenario::m8(40, 3),
+    ];
+    for sc in &scenarios {
+        let d = sc.dims();
+        assert!(d.count() > 0);
+        assert!(sc.h() > 0.0);
+        assert!(!sc.stations().is_empty());
+        assert!(sc.trace().length() > 0.0);
+    }
+    // Wall-to-wall/M8 use the 545 km fault; TeraShake a 200 km stretch.
+    let w2w = &scenarios[4];
+    let ts = &scenarios[0];
+    assert!(w2w.trace().length() > 2.0 * ts.trace().length());
+}
+
+#[test]
+fn m8_is_dynamic_and_attenuating() {
+    let m8 = Scenario::m8(48, 9);
+    assert!(m8.attenuation, "M8 includes anelastic attenuation");
+    assert!(matches!(m8.source, SourceSpec::Dynamic { .. }));
+    assert_eq!(m8.fault_segments, 47, "the 47-segment SAF approximation");
+}
+
+#[test]
+fn kinematic_sources_respect_magnitude_targets() {
+    for (sc, mw) in [
+        (Scenario::terashake_k(40, RuptureDirection::SeToNw), 7.7),
+        (Scenario::shakeout_k(40, 0.3), 7.8),
+        (Scenario::wall_to_wall(48), 8.0),
+    ] {
+        let run = sc.with_duration(1.0).prepare();
+        assert!((run.source.magnitude() - mw).abs() < 0.01, "{mw}");
+        assert!(!run.source.subfaults.is_empty());
+    }
+}
+
+#[test]
+fn dynamic_seeds_produce_distinct_slip() {
+    // The ShakeOut-D ensemble (Fig. 18): different stress seeds give
+    // different slip distributions.
+    let a = Scenario::shakeout_d(40, 100).with_duration(1.0).prepare();
+    let b = Scenario::shakeout_d(40, 200).with_duration(1.0).prepare();
+    let ra = a.rupture.unwrap();
+    let rb = b.rupture.unwrap();
+    assert_ne!(ra.slip, rb.slip, "ensemble members must differ");
+    assert!(ra.max_slip() > 0.0 && rb.max_slip() > 0.0);
+}
+
+#[test]
+fn report_fields_are_consistent() {
+    let rep = Scenario::shakeout_k(32, 0.3).with_duration(8.0).prepare().run_serial();
+    assert!(rep.steps > 0);
+    assert!(rep.flops > 0);
+    assert!(rep.elapsed_s > 0.0);
+    assert!(rep.sustained_flops() > 0.0);
+    let fr: f64 = rep.time_fractions.iter().sum();
+    assert!((fr - 1.0).abs() < 1e-6, "fractions sum to 1: {fr}");
+    assert_eq!(rep.seismograms.len(), 7, "all city stations recorded");
+    for s in &rep.seismograms {
+        assert_eq!(s.vx.len(), rep.steps);
+    }
+}
+
+#[test]
+fn scenario_pgv_scales_with_magnitude() {
+    // A Mw 7.8 source shakes harder than a Mw 6.8 one, other things equal.
+    let big = Scenario::shakeout_k(48, 0.3).with_duration(25.0);
+    let mut small = big.clone();
+    small.source = SourceSpec::Kinematic {
+        mw: 6.8,
+        direction: RuptureDirection::SeToNw,
+        vr: 2800.0,
+        rise_time: 3.0,
+    };
+    let rb = big.prepare().run_serial();
+    let rs = small.prepare().run_serial();
+    // One magnitude unit = 10^1.5 ≈ 31.6× moment; PGV grows strongly.
+    assert!(
+        rb.pgv.max() > 5.0 * rs.pgv.max(),
+        "Mw7.8 {} vs Mw6.8 {}",
+        rb.pgv.max(),
+        rs.pgv.max()
+    );
+}
+
+#[test]
+fn pacific_northwest_megathrust_runs() {
+    // The Table-3 Cascadia milestone: long rupture, long durations.
+    let sc = Scenario::pacific_northwest(48, 9.0).with_duration(30.0);
+    let run = sc.prepare();
+    assert!((run.source.magnitude() - 9.0).abs() < 0.01);
+    // The megathrust trace is much longer than TeraShake's 200 km stretch.
+    assert!(sc.trace().length() > 700_000.0);
+    let rep = run.run_serial();
+    assert!(rep.pgv.max() > 0.0);
+    // Long rise time → long-period shaking at the stations.
+    let s = &rep.seismograms[0];
+    assert!(s.vx.len() == rep.steps);
+}
+
+#[test]
+#[should_panic(expected = "Mw 8.5")]
+fn pacific_northwest_rejects_small_magnitudes() {
+    Scenario::pacific_northwest(32, 7.0);
+}
