@@ -171,10 +171,10 @@ mod tests {
         let mut t = vec![0.0; nx * nz];
         let mut acc: f64 = 0.0;
         let mut col_time = vec![0.0f64; nx];
-        for i in 1..nx {
+        for (i, ct) in col_time.iter_mut().enumerate().skip(1) {
             let v = if i < 20 { 2500.0 } else { 5000.0 };
             acc += h / v;
-            col_time[i] = acc;
+            *ct = acc;
         }
         for k in 0..nz {
             for i in 0..nx {
@@ -185,7 +185,7 @@ mod tests {
         let patches = f.supershear_patches(|_, _| 3464.0);
         assert_eq!(patches.len(), 1, "{patches:?}");
         let (s, e) = patches[0];
-        assert!(s >= 19 && s <= 22, "patch start {s}");
+        assert!((19..=22).contains(&s), "patch start {s}");
         assert!(e >= nx - 1, "patch extends to the end: {e}");
     }
 

@@ -44,7 +44,8 @@ fn bench_step_ablation(c: &mut Criterion) {
     let d = Dims3::new(56, 56, 48);
     let mut group = c.benchmark_group("solver_step_ablation");
     group.sample_size(15);
-    let variants: Vec<(&str, Box<dyn Fn(&mut SolverConfig)>)> = vec![
+    type Variant<'a> = (&'a str, Box<dyn Fn(&mut SolverConfig)>);
+    let variants: Vec<Variant> = vec![
         ("v72_baseline", Box::new(|_c: &mut SolverConfig| {})),
         ("no_reciprocal_media", Box::new(|c| c.opts.reciprocal_media = false)),
         ("no_cache_blocking", Box::new(|c| c.opts.block = awp_grid::blocking::BlockSpec::UNBLOCKED)),

@@ -6,16 +6,22 @@
 //! awp workflow <name> [nx] [seconds]    run the full E2E workflow (4 ranks)
 //! awp efficiency                        print the Eq. (8) M8 numbers
 //! awp machines                          print the Table-1 registry
+//! awp chaos --chaos-seed <n> [name]     seeded fault-injection soak: the
+//!                                       chaos run must reproduce the clean
+//!                                       run bit-for-bit or exit nonzero
 //! ```
 
 use awp_odc::perfmodel::machines::Machine;
 use awp_odc::perfmodel::speedup::{efficiency, m8_mesh, m8_parts, speedup, ModelInput, PAPER_C};
 use awp_odc::scenario::{RuptureDirection, Scenario};
+use awp_odc::vcluster::fault::{FaultPlan, WatchdogConfig};
 use awp_odc::workflow::{scratch_dir, E2EWorkflow};
+use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  awp scenarios\n  awp run <name> [nx] [seconds]\n  awp workflow <name> [nx] [seconds]\n  awp efficiency\n  awp machines\n\nscenario names: terashake-k | terashake-d | shakeout-k | shakeout-d |\n                wall-to-wall | m8 | pnw"
+        "usage:\n  awp scenarios\n  awp run <name> [nx] [seconds]\n  awp workflow <name> [nx] [seconds]\n  awp efficiency\n  awp machines\n  awp chaos --chaos-seed <n> [name] [nx] [seconds]\n\nscenario names: terashake-k | terashake-d | shakeout-k | shakeout-d |\n                wall-to-wall | m8 | pnw"
     );
     std::process::exit(2);
 }
@@ -125,6 +131,69 @@ fn main() {
                 efficiency(&inp) * 100.0
             );
             println!("paper §V.A: 2.20e5 / 98.6%");
+        }
+        Some("chaos") => {
+            // Flag-style seed so the verify script reads naturally:
+            // `awp chaos --chaos-seed 3405691582 shakeout-k`.
+            let mut rest: Vec<&str> = args[1..].iter().map(String::as_str).collect();
+            let mut seed: u64 = 0xC4A0_5EED;
+            if let Some(i) = rest.iter().position(|a| *a == "--chaos-seed") {
+                seed = rest
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                rest.drain(i..=i + 1);
+            }
+            let name = rest.first().copied().unwrap_or("shakeout-k");
+            let nx: usize = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+            let secs: f64 = rest.get(2).and_then(|s| s.parse().ok()).unwrap_or(20.0);
+            let sc = build_scenario(name, nx).with_duration(secs);
+
+            let clean_dir = scratch_dir("awp-chaos-clean");
+            let rep_clean = E2EWorkflow::new(sc.prepare(), [2, 1, 1], &clean_dir)
+                .execute()
+                .expect("clean reference run failed");
+
+            let run = sc.prepare();
+            let steps = run.cfg.steps as u64;
+            let plan = Arc::new(FaultPlan::random(seed, 2, steps));
+            println!(
+                "{} → chaos soak, seed {seed:#x}, schedule: {}",
+                sc.name,
+                plan.schedule_digest()
+            );
+            let chaos_dir = scratch_dir("awp-chaos");
+            let mut wf = E2EWorkflow::new(run, [2, 1, 1], &chaos_dir);
+            wf.checkpoint_every = Some(4);
+            wf.max_restarts = 6;
+            wf = wf.with_chaos(
+                plan,
+                WatchdogConfig {
+                    timeout: Duration::from_secs(5),
+                    poll: Duration::from_millis(50),
+                },
+            );
+            let rep = wf.execute().expect("chaos run failed to converge");
+            for f in &rep.faults {
+                println!("  injected: {f}");
+            }
+            println!("  restarts: {}", rep.restarts);
+
+            let clean_md5 =
+                awp_odc::pario::Md5::digest_hex(&std::fs::read(&rep_clean.surface_file).unwrap());
+            let chaos_md5 =
+                awp_odc::pario::Md5::digest_hex(&std::fs::read(&rep.surface_file).unwrap());
+            let pgv_ok = rep_clean.pgv.data == rep.pgv.data;
+            let _ = std::fs::remove_dir_all(&clean_dir);
+            let _ = std::fs::remove_dir_all(&chaos_dir);
+            if pgv_ok && clean_md5 == chaos_md5 {
+                println!("chaos run bit-identical to clean run (surface MD5 {clean_md5})");
+            } else {
+                eprintln!(
+                    "MISMATCH: pgv_ok={pgv_ok} clean_md5={clean_md5} chaos_md5={chaos_md5}"
+                );
+                std::process::exit(1);
+            }
         }
         Some("machines") => {
             for m in Machine::ALL {

@@ -20,7 +20,8 @@ use crate::scenario::ScenarioRun;
 use awp_analysis::pgv::PgvMap;
 use awp_cvm::mesh::Mesh;
 use awp_grid::decomp::Decomp3;
-use awp_pario::checkpoint::{checkpoint_file_name, read_checkpoint, write_checkpoint, CheckpointData};
+use awp_pario::checkpoint::CheckpointData;
+use awp_pario::epochs::{consistent_epoch, CheckpointStore};
 use awp_pario::output::{OutputAggregator, OutputPlan, SharedFileWriter};
 use awp_pario::partition::{partition_ondemand, prepartition, read_prepartitioned};
 use awp_pario::throttle::OpenThrottle;
@@ -30,6 +31,7 @@ use awp_solver::config::SolverConfig;
 use awp_solver::solver::{exchange_material_halos, Solver};
 use awp_solver::stations::{surface_velocities, Station};
 use awp_source::kinematic::KinematicSource;
+use awp_vcluster::fault::{FaultPlan, FaultReport, WatchdogConfig};
 use awp_vcluster::Cluster;
 use serde::Serialize;
 use std::io;
@@ -74,6 +76,10 @@ pub struct WorkflowReport {
     pub failed_at: Option<usize>,
     /// Whether a restart pass ran.
     pub restarted: bool,
+    /// Structured fault reports collected across all aborted passes.
+    pub faults: Vec<FaultReport>,
+    /// Number of restart passes that were needed.
+    pub restarts: usize,
 }
 
 /// Mesh-input scheme — the paper's two PetaMeshP I/O models (§III.C):
@@ -105,6 +111,23 @@ pub struct E2EWorkflow {
     /// Failure injection: abort the solve at this step; the workflow then
     /// restarts from the latest checkpoints (§III.F restart capability).
     pub fail_at_step: Option<usize>,
+    /// Checkpoint-epoch retention depth (keep-last-K rotation).
+    pub keep_checkpoints: usize,
+    /// Seeded chaos schedule: injected rank crashes/stalls and message
+    /// faults. A faulted pass triggers teardown and restart from the
+    /// newest globally consistent checkpoint epoch.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Heartbeat watchdog for the solve cluster (converts hangs into
+    /// structured faults; required for drop/stall chaos to terminate).
+    pub watchdog: Option<WatchdogConfig>,
+    /// Give up after this many restart passes.
+    pub max_restarts: usize,
+    /// Resume a previously failed run: the first solve pass starts from
+    /// the newest globally consistent checkpoint epoch in `workdir` (and
+    /// the surface file is reopened, not truncated). This is the §III.F
+    /// "restart in the case of unexpected termination" entry point for a
+    /// *new* process picking up a dead run's scratch directory.
+    pub resume: bool,
 }
 
 /// Per-rank solve outcome.
@@ -122,7 +145,19 @@ impl E2EWorkflow {
             input: InputMode::Prepartitioned,
             checkpoint_every: None,
             fail_at_step: None,
+            keep_checkpoints: 3,
+            fault_plan: None,
+            watchdog: None,
+            max_restarts: 3,
+            resume: false,
         }
+    }
+
+    /// Enable seeded chaos: fault plan plus watchdog in one call.
+    pub fn with_chaos(mut self, plan: Arc<FaultPlan>, watchdog: WatchdogConfig) -> Self {
+        self.fault_plan = Some(plan);
+        self.watchdog = Some(watchdog);
+        self
     }
 
     /// Execute all stages.
@@ -188,7 +223,11 @@ impl E2EWorkflow {
         // 4. AWM with run-time output aggregation (+ optional checkpoints
         // and failure-injected restart).
         let surface_file = self.workdir.join("surface.bin");
-        let writer = Arc::new(SharedFileWriter::create(&surface_file)?);
+        let writer = Arc::new(if self.resume {
+            SharedFileWriter::open_existing(&surface_file)?
+        } else {
+            SharedFileWriter::create(&surface_file)?
+        });
         let surface_ranks: Vec<usize> =
             (0..n_ranks).filter(|&r| owns_free_surface(&decomp.subdomain(r))).collect();
         let rank_len = surface_ranks
@@ -222,22 +261,60 @@ impl E2EWorkflow {
             surface_ranks: &surface_ranks,
             ckpt_dir: &ckpt_dir,
             checkpoint_every: self.checkpoint_every,
+            keep_checkpoints: self.keep_checkpoints,
+            fault_plan: self.fault_plan.clone(),
+            watchdog: self.watchdog,
         };
         let t = Instant::now();
-        let first = solve_ranks(&env, false, self.fail_at_step)?;
-        let failed_at = self.fail_at_step.filter(|&s| s < cfg.steps);
+        let legacy_stop = self.fail_at_step.filter(|&s| s < cfg.steps);
+        if legacy_stop.is_some() || self.fault_plan.is_some() {
+            assert!(self.checkpoint_every.is_some(), "failure injection requires checkpointing");
+        }
+        let mut failed_at: Option<usize> = legacy_stop;
         let mut restarted = false;
-        let results = if failed_at.is_some() {
-            assert!(
-                self.checkpoint_every.is_some(),
-                "failure injection requires checkpointing"
-            );
-            // "This approach helps restart in the case of unexpected
-            // termination" — resume every rank from its latest checkpoint.
+        let mut restarts = 0usize;
+        let mut faults: Vec<FaultReport> = Vec::new();
+        // Solve / restart loop: a faulted pass tears the cluster down, the
+        // newest epoch that is MD5-valid on *every* rank becomes the
+        // globally consistent restart line, and the next pass resumes from
+        // it. "This approach helps restart in the case of unexpected
+        // termination" (§III.F).
+        let results = loop {
+            let resume_epoch = if restarts == 0 && !self.resume {
+                None
+            } else {
+                consistent_epoch(&ckpt_dir, n_ranks)?
+            };
+            let stop_at = if restarts == 0 { legacy_stop } else { None };
+            let outcomes = solve_ranks(&env, resume_epoch, stop_at)?;
+            let pass_faults: Vec<FaultReport> =
+                outcomes.iter().filter_map(|r| r.as_ref().err().cloned()).collect();
+            if pass_faults.is_empty() && stop_at.is_none() {
+                break outcomes
+                    .into_iter()
+                    .map(|r| r.expect("no faults in this pass"))
+                    .collect::<Vec<_>>();
+            }
+            if let Some(first_fault_step) =
+                pass_faults.iter().filter_map(|f| f.step).min()
+            {
+                failed_at.get_or_insert(first_fault_step as usize);
+            }
+            faults.extend(pass_faults);
             restarted = true;
-            solve_ranks(&env, true, None)?
-        } else {
-            first
+            restarts += 1;
+            if restarts > self.max_restarts {
+                return Err(io::Error::other(format!(
+                    "solve did not complete after {} restarts; last faults: {}",
+                    self.max_restarts,
+                    faults.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("; "),
+                )));
+            }
+            // Reshuffle probabilistic message faults so a retry is not
+            // deterministically re-broken (step faults are one-shot).
+            if let Some(p) = &self.fault_plan {
+                p.next_generation();
+            }
         };
         let solve_seconds = t.elapsed().as_secs_f64();
 
@@ -298,6 +375,8 @@ impl E2EWorkflow {
             output_transactions,
             failed_at,
             restarted,
+            faults,
+            restarts,
         })
     }
 }
@@ -317,19 +396,31 @@ struct SolveEnv<'a> {
     surface_ranks: &'a [usize],
     ckpt_dir: &'a Path,
     checkpoint_every: Option<usize>,
+    keep_checkpoints: usize,
+    fault_plan: Option<Arc<FaultPlan>>,
+    watchdog: Option<WatchdogConfig>,
 }
 
-/// Run all ranks from step 0 (or from their checkpoints when `resume`)
-/// until `stop_at` (exclusive) or completion.
+/// Run all ranks from step 0 (or from the given checkpoint epoch) until
+/// `stop_at` (exclusive) or completion. Ranks execute behind the cluster's
+/// fault boundary: the returned vector carries one `Ok(outcome)` or
+/// `Err(fault report)` per rank; rank-local I/O errors abort the whole
+/// pass as before.
 fn solve_ranks(
     env: &SolveEnv<'_>,
-    resume: bool,
+    resume_epoch: Option<u64>,
     stop_at: Option<usize>,
-) -> io::Result<Vec<RankOutcome>> {
+) -> io::Result<Vec<Result<RankOutcome, FaultReport>>> {
     let cfg = env.cfg;
     let n_ranks = env.decomp.rank_count();
-    let cluster = Cluster::new(n_ranks, cfg.opts.comm_mode.into());
-    let results: Vec<io::Result<RankOutcome>> = cluster.run(|ctx| {
+    let mut cluster = Cluster::new(n_ranks, cfg.opts.comm_mode.into());
+    if let Some(plan) = &env.fault_plan {
+        cluster = cluster.with_fault_plan(Arc::clone(plan));
+    }
+    if let Some(wd) = env.watchdog {
+        cluster = cluster.with_watchdog(wd);
+    }
+    let outcomes = cluster.try_run(|ctx| -> io::Result<RankOutcome> {
         let rank = ctx.rank();
         let sub = env.decomp.subdomain(rank);
         // Each rank obtains its sub-mesh per the configured input scheme.
@@ -348,9 +439,12 @@ fn solve_ranks(
         } else {
             Vec::new()
         };
+        let store = CheckpointStore::new(env.ckpt_dir, rank, env.keep_checkpoints);
         let mut start_step = 0usize;
-        if resume {
-            let ckpt = read_checkpoint(&env.ckpt_dir.join(checkpoint_file_name(rank)))?;
+        if let Some(epoch) = resume_epoch {
+            // Every rank resumes from the same globally consistent epoch
+            // (selected by `consistent_epoch` before this pass started).
+            let ckpt = store.load(epoch)?;
             start_step = ckpt.step as usize;
             solver.state.restore_fields(&ckpt.fields);
             solver.step = start_step;
@@ -360,6 +454,7 @@ fn solve_ranks(
         }
         let end = stop_at.unwrap_or(cfg.steps).min(cfg.steps);
         for step in start_step..end {
+            ctx.tick(step as u64);
             solver.step_parallel(ctx);
             if let Some(agg) = agg.as_mut() {
                 let mut rec = surface_velocities(&solver.state, 1);
@@ -380,12 +475,18 @@ fn solve_ranks(
             if let Some(every) = env.checkpoint_every {
                 let done = step + 1;
                 if done % every == 0 && done < cfg.steps {
+                    // Make every output record older than this epoch
+                    // durable *before* the epoch exists: a restart from
+                    // epoch E rewrites records ≥ E at their explicit
+                    // displacements, so flush-then-checkpoint ordering is
+                    // what keeps the surface file bit-exact across faults.
+                    if let Some(agg) = agg.as_mut() {
+                        agg.flush(env.writer)?;
+                    }
+                    env.writer.sync()?;
                     let mut fields = solver.state.checkpoint_fields();
                     fields.push(("workflow_pgv".to_string(), pgv.clone()));
-                    write_checkpoint(
-                        &env.ckpt_dir.join(checkpoint_file_name(rank)),
-                        &CheckpointData { step: done as u64, fields },
-                    )?;
+                    store.save(&CheckpointData { step: done as u64, fields })?;
                 }
             }
         }
@@ -411,7 +512,16 @@ fn solve_ranks(
         };
         Ok((rank, sub, pgv, digest, solver.flops.total))
     });
-    results.into_iter().collect()
+    // Transpose: a rank-local I/O error fails the whole pass (as the
+    // pre-resilience code did); a fault report stays per-rank.
+    outcomes
+        .into_iter()
+        .map(|r| match r {
+            Ok(Ok(outcome)) => Ok(Ok(outcome)),
+            Ok(Err(io_err)) => Err(io_err),
+            Err(fault) => Ok(Err(fault)),
+        })
+        .collect()
 }
 
 /// Convenience: locate a stage by name.

@@ -31,11 +31,11 @@ pub struct Decomp3 {
 impl Decomp3 {
     pub fn new(global: Dims3, parts: [usize; 3]) -> Self {
         assert!(parts.iter().all(|&p| p > 0), "parts must be positive");
-        for a in 0..3 {
+        for (a, &p) in parts.iter().enumerate() {
             assert!(
-                parts[a] <= global.axis(a),
+                p <= global.axis(a),
                 "more parts than cells on axis {a}: {} > {}",
-                parts[a],
+                p,
                 global.axis(a)
             );
         }
@@ -70,7 +70,7 @@ impl Decomp3 {
                 let surf = 2.0 * (sx * sy + sy * sz + sx * sz);
                 let vol = sx * sy * sz;
                 let score = surf / vol;
-                if best.map_or(true, |(_, s)| score < s) {
+                if best.is_none_or(|(_, s)| score < s) {
                     best = Some(([px, py, pz], score));
                 }
             }
@@ -128,7 +128,7 @@ impl Decomp3 {
     pub fn owner_of(&self, idx: Idx3) -> usize {
         debug_assert!(self.global.contains(idx));
         let mut coords = [0usize; 3];
-        for a in 0..3 {
+        for (a, coord) in coords.iter_mut().enumerate() {
             let n = self.global.axis(a);
             let parts = self.parts[a];
             let base = n / parts;
@@ -136,7 +136,7 @@ impl Decomp3 {
             let x = idx.axis(a);
             // First `rem` parts have length base+1.
             let split = rem * (base + 1);
-            coords[a] = if x < split {
+            *coord = if x < split {
                 x / (base + 1)
             } else {
                 rem + (x - split) / base.max(1)

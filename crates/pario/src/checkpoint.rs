@@ -61,7 +61,9 @@ pub fn write_checkpoint(path: &Path, data: &CheckpointData) -> io::Result<()> {
 
 /// Read and verify a checkpoint file; fails on magic/checksum mismatch.
 pub fn read_checkpoint(path: &Path) -> io::Result<CheckpointData> {
-    let mut r = BufReader::new(File::open(path)?);
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut r = BufReader::new(file);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -90,7 +92,20 @@ pub fn read_checkpoint(path: &Path) -> io::Result<CheckpointData> {
         let name = String::from_utf8(name_bytes)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "field name not UTF-8"))?;
         r.read_exact(&mut b8)?;
-        let len = u64::from_le_bytes(b8) as usize;
+        let len64 = u64::from_le_bytes(b8);
+        // Cap the allocation at what the file could possibly hold: a
+        // corrupted length field must fail cleanly, not request len*4
+        // bytes of memory (or overflow the multiplication).
+        match len64.checked_mul(4) {
+            Some(bytes64) if bytes64 <= file_len => {}
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "field length exceeds file size",
+                ));
+            }
+        }
+        let len = len64 as usize;
         let mut bytes = vec![0u8; len * 4];
         r.read_exact(&mut bytes)?;
         let values: Vec<f32> =
@@ -175,6 +190,24 @@ mod tests {
         let path = dir.path().join("c.bin");
         std::fs::write(&path, b"JUNKJUNKmorejunkmorejunk").unwrap();
         assert!(read_checkpoint(&path).is_err());
+    }
+
+    #[test]
+    fn absurd_field_length_rejected_without_allocation() {
+        // Corrupt the first field's length to u64::MAX/8: the reader must
+        // reject it against the file size instead of attempting a huge
+        // allocation. Field-length offset: 8 magic + 8 step + 8 n_fields +
+        // 8 name_len + 2 name ("vx").
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("c.bin");
+        write_checkpoint(&path, &sample()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let off = 8 + 8 + 8 + 8 + 2;
+        bytes[off..off + 8].copy_from_slice(&(u64::MAX / 8).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_checkpoint(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds file size"), "{err}");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!   time series and file-derived PGV maps (the dPDA products).
 
 pub mod checkpoint;
+pub mod epochs;
 pub mod md5;
 pub mod output;
 pub mod partition;
@@ -28,6 +29,7 @@ pub mod surface;
 pub mod throttle;
 
 pub use checkpoint::{read_checkpoint, write_checkpoint, CheckpointData};
+pub use epochs::{consistent_epoch, epoch_file_name, retry_io, CheckpointStore};
 pub use md5::Md5;
 pub use output::{OutputAggregator, SharedFileWriter};
 pub use surface::SurfaceReader;

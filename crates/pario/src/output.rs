@@ -30,6 +30,15 @@ impl SharedFileWriter {
         Ok(Self { file, transactions: AtomicU64::new(0), bytes: AtomicU64::new(0) })
     }
 
+    /// Re-open an existing shared file *without* truncating it — used when
+    /// a fresh process resumes a checkpointed run and must preserve the
+    /// records flushed before the failure.
+    pub fn open_existing(path: &Path) -> io::Result<Self> {
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        Ok(Self { file, transactions: AtomicU64::new(0), bytes: AtomicU64::new(0) })
+    }
+
     /// Write f32 values at an explicit byte displacement (thread-safe; one
     /// I/O transaction).
     pub fn write_f32_at(&self, byte_offset: u64, data: &[f32]) -> io::Result<()> {

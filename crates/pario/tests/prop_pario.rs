@@ -1,11 +1,53 @@
 //! Property-based tests for the parallel I/O substrate.
 
 use awp_pario::checkpoint::{read_checkpoint, write_checkpoint, CheckpointData};
+use awp_pario::epochs::{epoch_file_name, CheckpointStore};
 use awp_pario::output::OutputPlan;
 use awp_pario::Md5;
 use proptest::prelude::*;
 
 proptest! {
+    /// Flipping any single byte of any epoch file never breaks recovery:
+    /// `latest_valid` either lands on an intact (possibly earlier) epoch
+    /// or reports a clean "no valid checkpoint" `None` — it must never
+    /// return corrupted state or panic.
+    #[test]
+    fn epoch_fallback_survives_any_byte_flip(n_epochs in 1usize..4,
+                                             which in any::<usize>(),
+                                             pos in any::<usize>(),
+                                             bit in 0u8..8) {
+        let dir = tempfile::tempdir().unwrap();
+        let store = CheckpointStore::new(dir.path(), 0, 8);
+        for e in 0..n_epochs {
+            let step = (e as u64 + 1) * 100;
+            store.save(&CheckpointData {
+                step,
+                fields: vec![("vx".into(), (0..32).map(|i| i as f32 + step as f32).collect())],
+            }).unwrap();
+        }
+        let victim_epoch = ((which % n_epochs) as u64 + 1) * 100;
+        let victim = dir.path().join(epoch_file_name(0, victim_epoch));
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let p = pos % bytes.len();
+        bytes[p] ^= 1 << bit;
+        std::fs::write(&victim, &bytes).unwrap();
+        match store.latest_valid().unwrap() {
+            Some((epoch, data)) => {
+                // Whatever epoch survives must be internally consistent…
+                prop_assert_eq!(data.step, epoch);
+                prop_assert_eq!(data.field("vx").unwrap()[0], epoch as f32);
+                // …and corruption of the newest epoch must fall back.
+                if victim_epoch == n_epochs as u64 * 100 {
+                    prop_assert!(epoch < victim_epoch, "corrupt newest epoch not skipped");
+                }
+            }
+            None => {
+                // Only acceptable when the sole epoch was the victim.
+                prop_assert_eq!(n_epochs, 1);
+            }
+        }
+    }
+
     /// Incremental MD5 over arbitrary chunk boundaries equals one-shot.
     #[test]
     fn md5_chunking_invariance(data in proptest::collection::vec(any::<u8>(), 0..2000),

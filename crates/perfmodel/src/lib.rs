@@ -11,6 +11,8 @@
 //! * [`evolution`] — Table 2's code-version ladder with the paper's
 //!   per-optimisation gains, used to model Fig. 13's time-to-solution
 //!   steps and Fig. 12's execution-time breakdown;
+//! * [`resilience`] — Young/Daly optimal checkpoint-interval model
+//!   driving the fault-tolerance layer's epoch cadence;
 //! * [`scaling`] — strong/weak scaling projections (Fig. 14);
 //! * [`memory`] — the §VII.B per-core memory budget (581 MB/core for M8,
 //!   reproduced line by line).
@@ -18,8 +20,10 @@
 pub mod evolution;
 pub mod machines;
 pub mod memory;
+pub mod resilience;
 pub mod scaling;
 pub mod speedup;
 
 pub use machines::{Machine, MachineProfile};
+pub use resilience::{daly_interval, young_interval, ResilienceInput};
 pub use speedup::{efficiency, speedup, CommCost, ModelInput, PAPER_C};

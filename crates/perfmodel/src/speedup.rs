@@ -102,7 +102,7 @@ pub fn best_parts(n: Dims3, p: usize, machine: &MachineProfile, c: f64) -> [usiz
                             c,
                         };
                         let cost = per_step_costs(&inp).comm;
-                        if best.map_or(true, |(_, b)| cost < b) {
+                        if best.is_none_or(|(_, b)| cost < b) {
                             best = Some(([px, py, pz], cost));
                         }
                     }

@@ -132,6 +132,7 @@ impl Mpml {
 
     /// ψ update + correction value for one derivative term.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     fn convolve(&self, psi_idx: usize, o: usize, axis: usize, i: usize, j: usize, k: usize, bracket: f32) -> f32 {
         let d = self.d_eff(axis, i, j, k);
         if d <= 0.0 {
@@ -249,6 +250,7 @@ impl Mpml {
     /// Update ψ in place and return its new value (0 outside this term's
     /// damping zone).
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     fn step_psi(&mut self, psi_idx: usize, o: usize, axis: usize, i: usize, j: usize, k: usize, bracket: f32) -> f32 {
         let new = self.convolve(psi_idx, o, axis, i, j, k, bracket);
         if new != 0.0 || self.psi[psi_idx].as_slice()[o] != 0.0 {

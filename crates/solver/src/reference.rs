@@ -330,7 +330,8 @@ impl ReferenceSolver {
         source: &KinematicSource,
         stations: &[Station],
     ) -> Vec<Seismogram> {
-        let mut traces: Vec<(Station, Vec<f64>, Vec<f64>, Vec<f64>)> =
+        type Trace = (Station, Vec<f64>, Vec<f64>, Vec<f64>);
+        let mut traces: Vec<Trace> =
             stations.iter().map(|st| (st.clone(), vec![], vec![], vec![])).collect();
         for _ in 0..steps {
             self.step(source);

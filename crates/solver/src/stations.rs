@@ -60,11 +60,13 @@ impl Seismogram {
 
 /// Per-rank recorder: keeps only the stations inside this rank's
 /// subdomain and appends one sample per step.
+/// (station, local index, vx/vy/vz traces).
+type StationSlot = (Station, Idx3, Vec<f64>, Vec<f64>, Vec<f64>);
+
 #[derive(Debug, Clone)]
 pub struct StationRecorder {
     dt: f64,
-    /// (station, local index, traces).
-    slots: Vec<(Station, Idx3, Vec<f64>, Vec<f64>, Vec<f64>)>,
+    slots: Vec<StationSlot>,
 }
 
 impl StationRecorder {

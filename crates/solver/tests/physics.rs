@@ -4,7 +4,7 @@
 use awp_cvm::mesh::{Mesh, MeshGenerator};
 use awp_cvm::model::HomogeneousModel;
 use awp_grid::dims::{Dims3, Idx3};
-use awp_solver::config::{AbcKind, SolverConfig, SolverOpts};
+use awp_solver::config::{AbcKind, SolverConfig};
 use awp_solver::solver::{partition_mesh_direct, run_parallel, Solver};
 use awp_solver::stations::Station;
 use awp_source::kinematic::KinematicSource;

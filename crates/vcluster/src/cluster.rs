@@ -1,11 +1,22 @@
 //! Rank runtime: spawn N ranks as threads and give each a communicator.
+//!
+//! Resilience layer: ranks run behind a panic boundary so one rank's
+//! failure (injected crash, genuine bug, or watchdog-detected hang) tears
+//! the cluster down in a controlled way — [`Cluster::try_run`] returns a
+//! per-rank `Result` with a structured [`FaultReport`] instead of
+//! propagating a bare panic, and a heartbeat watchdog converts silent
+//! hangs into reportable faults.
 
+use crate::fault::{
+    AbortUnwind, FaultKind, FaultPlan, FaultReport, FaultUnwind, MsgFault, WatchdogConfig,
+};
 use crate::ledger::{Category, TimeLedger};
 use crate::mailbox::Mailbox;
 use crate::message::{Message, Payload, Tag};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
-use std::time::Duration;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Communication engine selection (paper §IV.A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,10 +52,138 @@ impl ClusterStats {
     }
 }
 
+/// Outcome of an abortable barrier wait.
+enum BarrierWait {
+    Passed,
+    TimedOut,
+    Poisoned,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+/// Re-usable counting barrier that, unlike `std::sync::Barrier`, can be
+/// poisoned (waking every waiter so it can unwind during teardown) and
+/// supports per-wait deadlines.
+struct SyncBarrier {
+    n: usize,
+    state: parking_lot::Mutex<BarrierState>,
+    cv: parking_lot::Condvar,
+}
+
+impl SyncBarrier {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            state: parking_lot::Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: parking_lot::Condvar::new(),
+        }
+    }
+
+    /// Wait for all ranks, beating the caller's heartbeat periodically via
+    /// `on_tick` (a rank parked at a barrier is waiting, not hung). With a
+    /// deadline, a timed-out waiter withdraws its contribution so the
+    /// remaining ranks still form a coherent group.
+    fn wait(&self, deadline: Option<Instant>, on_tick: &dyn Fn()) -> BarrierWait {
+        let mut s = self.state.lock();
+        if s.poisoned {
+            return BarrierWait::Poisoned;
+        }
+        s.arrived += 1;
+        if s.arrived == self.n {
+            s.arrived = 0;
+            s.generation = s.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return BarrierWait::Passed;
+        }
+        let gen = s.generation;
+        loop {
+            self.cv.wait_for(&mut s, Duration::from_millis(50));
+            on_tick();
+            if s.generation != gen {
+                return BarrierWait::Passed;
+            }
+            if s.poisoned {
+                return BarrierWait::Poisoned;
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    s.arrived -= 1;
+                    return BarrierWait::TimedOut;
+                }
+            }
+        }
+    }
+
+    fn poison(&self) {
+        let mut s = self.state.lock();
+        s.poisoned = true;
+        self.cv.notify_all();
+    }
+
+    fn unpoison(&self) {
+        let mut s = self.state.lock();
+        s.poisoned = false;
+        s.arrived = 0;
+    }
+}
+
+/// Heartbeat sentinel meaning "no step reported yet".
+const NO_STEP: u64 = u64::MAX;
+
 struct Shared {
     mailboxes: Vec<Mailbox>,
-    barrier: Barrier,
+    barrier: SyncBarrier,
     stats: ClusterStats,
+    /// Epoch for heartbeat timestamps.
+    start: Instant,
+    /// Millis-since-start of each rank's last sign of life.
+    heartbeats: Vec<AtomicU64>,
+    /// Last solver step each rank reported via [`RankCtx::tick`].
+    steps: Vec<AtomicU64>,
+    /// Ranks whose body returned (or unwound) — exempt from the watchdog.
+    done: Vec<AtomicBool>,
+    /// Watchdog verdicts, recorded before poisoning for fault attribution.
+    hung: Vec<AtomicBool>,
+    /// Set once on teardown; blocks all further blocking communication.
+    aborted: AtomicBool,
+    fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl Shared {
+    fn beat(&self, rank: usize) {
+        self.heartbeats[rank].store(self.start.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
+    fn last_step(&self, rank: usize) -> Option<u64> {
+        match self.steps[rank].load(Ordering::Relaxed) {
+            NO_STEP => None,
+            s => Some(s),
+        }
+    }
+
+    /// Tear the cluster down: wake and unwind every blocked rank.
+    fn poison(&self) {
+        if !self.aborted.swap(true, Ordering::SeqCst) {
+            for mb in &self.mailboxes {
+                mb.poison();
+            }
+            self.barrier.poison();
+        }
+    }
+
+    fn check_abort(&self) {
+        if self.aborted.load(Ordering::SeqCst) {
+            panic::panic_any(AbortUnwind);
+        }
+    }
 }
 
 /// A virtual cluster of `n` ranks.
@@ -64,6 +203,7 @@ pub struct Cluster {
     shared: Arc<Shared>,
     size: usize,
     mode: CommMode,
+    watchdog: Option<WatchdogConfig>,
 }
 
 /// Handle to a posted non-blocking receive.
@@ -73,15 +213,116 @@ pub struct RecvReq {
     pub tag: Tag,
 }
 
+/// Silence the panic-hook output for cluster-internal unwind payloads
+/// (injected faults and teardown aborts); genuine rank panics keep the
+/// default report.
+fn install_fault_hook() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            if p.is::<AbortUnwind>() || p.is::<FaultUnwind>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Convert a caught rank-thread panic payload into a structured report.
+fn classify_panic(
+    rank: usize,
+    payload: Box<dyn std::any::Any + Send>,
+    shared: &Shared,
+) -> FaultReport {
+    let step = shared.last_step(rank);
+    if let Some(fu) = payload.downcast_ref::<FaultUnwind>() {
+        return fu.0.clone();
+    }
+    if payload.is::<AbortUnwind>() {
+        if shared.hung[rank].load(Ordering::SeqCst) {
+            return FaultReport {
+                rank,
+                step,
+                kind: FaultKind::Hang,
+                detail: "no heartbeat within watchdog timeout".into(),
+            };
+        }
+        return FaultReport {
+            rank,
+            step,
+            kind: FaultKind::Aborted,
+            detail: "torn down after a peer fault".into(),
+        };
+    }
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into());
+    FaultReport { rank, step, kind: FaultKind::Panic, detail: msg }
+}
+
+fn watchdog_loop(shared: &Shared, cfg: WatchdogConfig, shutdown: &AtomicBool) {
+    let timeout_ms = cfg.timeout.as_millis() as u64;
+    loop {
+        std::thread::sleep(cfg.poll);
+        if shutdown.load(Ordering::SeqCst) || shared.aborted.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = shared.start.elapsed().as_millis() as u64;
+        let mut any_hung = false;
+        for rank in 0..shared.heartbeats.len() {
+            if shared.done[rank].load(Ordering::SeqCst) {
+                continue;
+            }
+            let last = shared.heartbeats[rank].load(Ordering::Relaxed);
+            if now.saturating_sub(last) > timeout_ms {
+                shared.hung[rank].store(true, Ordering::SeqCst);
+                any_hung = true;
+            }
+        }
+        if any_hung {
+            shared.poison();
+            return;
+        }
+    }
+}
+
 impl Cluster {
     pub fn new(size: usize, mode: CommMode) -> Self {
         assert!(size > 0, "cluster needs at least one rank");
         let shared = Arc::new(Shared {
             mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
-            barrier: Barrier::new(size),
+            barrier: SyncBarrier::new(size),
             stats: ClusterStats::default(),
+            start: Instant::now(),
+            heartbeats: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            steps: (0..size).map(|_| AtomicU64::new(NO_STEP)).collect(),
+            done: (0..size).map(|_| AtomicBool::new(false)).collect(),
+            hung: (0..size).map(|_| AtomicBool::new(false)).collect(),
+            aborted: AtomicBool::new(false),
+            fault_plan: None,
         });
-        Self { shared, size, mode }
+        Self { shared, size, mode, watchdog: None }
+    }
+
+    /// Attach a deterministic fault-injection plan (builder style; call
+    /// before the first `run`/`try_run`).
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        Arc::get_mut(&mut self.shared)
+            .expect("attach the fault plan before running the cluster")
+            .fault_plan = Some(plan);
+        self
+    }
+
+    /// Enable the heartbeat watchdog: ranks that go silent longer than the
+    /// configured timeout are declared hung and the cluster is torn down
+    /// with structured [`FaultReport`]s instead of hanging forever.
+    pub fn with_watchdog(mut self, cfg: WatchdogConfig) -> Self {
+        self.watchdog = Some(cfg);
+        self
     }
 
     pub fn size(&self) -> usize {
@@ -92,29 +333,105 @@ impl Cluster {
         &self.shared.stats
     }
 
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.shared.fault_plan.as_ref()
+    }
+
     /// Run `body(rank_ctx)` on every rank concurrently and collect the
-    /// per-rank results in rank order. Panics in any rank propagate.
+    /// per-rank results in rank order. Panics in any rank propagate (with
+    /// a `rank panicked` message, as before the resilience layer).
     pub fn run<T, F>(&self, body: F) -> Vec<T>
     where
         T: Send,
         F: Fn(&mut RankCtx) -> T + Sync,
     {
+        self.try_run(body)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(report) => panic!("rank panicked: {report}"),
+            })
+            .collect()
+    }
+
+    /// Fault-isolating run: every rank executes behind a panic boundary and
+    /// yields `Ok(T)` or a structured [`FaultReport`]. The first failing
+    /// rank poisons the cluster, so peers blocked in communication unwind
+    /// with [`FaultKind::Aborted`] instead of deadlocking; ranks that
+    /// already finished keep their `Ok` results. With a watchdog attached,
+    /// silent hangs become [`FaultKind::Hang`] reports.
+    pub fn try_run<T, F>(&self, body: F) -> Vec<Result<T, FaultReport>>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Sync,
+    {
+        install_fault_hook();
+        self.reset_run_state();
         let shared = &self.shared;
         let mode = self.mode;
         let size = self.size;
+        let shutdown = AtomicBool::new(false);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..size)
                 .map(|rank| {
                     let shared = Arc::clone(shared);
                     let body = &body;
                     scope.spawn(move || {
-                        let mut ctx = RankCtx { rank, size, mode, shared, ledger: TimeLedger::new() };
-                        body(&mut ctx)
+                        shared.beat(rank);
+                        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                            let mut ctx = RankCtx {
+                                rank,
+                                size,
+                                mode,
+                                shared: Arc::clone(&shared),
+                                ledger: TimeLedger::new(),
+                            };
+                            body(&mut ctx)
+                        }));
+                        shared.done[rank].store(true, Ordering::SeqCst);
+                        match result {
+                            Ok(v) => Ok(v),
+                            Err(payload) => {
+                                let report = classify_panic(rank, payload, &shared);
+                                shared.poison();
+                                Err(report)
+                            }
+                        }
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+            let wd = self.watchdog.map(|cfg| {
+                let shared = Arc::clone(shared);
+                let shutdown = &shutdown;
+                scope.spawn(move || watchdog_loop(&shared, cfg, shutdown))
+            });
+            let results: Vec<_> = handles
+                .into_iter()
+                .map(|h| h.join().expect("rank boundary must not panic"))
+                .collect();
+            shutdown.store(true, Ordering::SeqCst);
+            if let Some(h) = wd {
+                let _ = h.join();
+            }
+            results
         })
+    }
+
+    /// Clear teardown state so a cluster object can host another pass
+    /// (e.g. a restart after a fault).
+    fn reset_run_state(&self) {
+        let shared = &self.shared;
+        shared.aborted.store(false, Ordering::SeqCst);
+        shared.barrier.unpoison();
+        for mb in &shared.mailboxes {
+            mb.unpoison();
+        }
+        for rank in 0..self.size {
+            shared.done[rank].store(false, Ordering::SeqCst);
+            shared.hung[rank].store(false, Ordering::SeqCst);
+            shared.steps[rank].store(NO_STEP, Ordering::Relaxed);
+            shared.beat(rank);
+        }
     }
 }
 
@@ -147,16 +464,112 @@ impl RankCtx {
         self.shared.stats.bytes.fetch_add(payload.byte_len() as u64, Ordering::Relaxed);
     }
 
+    /// Report liveness to the watchdog. Communication calls do this
+    /// implicitly; compute-heavy loops should call [`RankCtx::tick`].
+    pub fn heartbeat(&self) {
+        self.shared.beat(self.rank);
+    }
+
+    /// Per-step progress report: beats the heartbeat, fires any injected
+    /// step fault scheduled for this rank/step, and aborts promptly when
+    /// the cluster is being torn down. Solver loops call this once per
+    /// timestep.
+    pub fn tick(&mut self, step: u64) {
+        self.shared.beat(self.rank);
+        self.shared.steps[self.rank].store(step, Ordering::Relaxed);
+        self.shared.check_abort();
+        let Some(plan) = self.shared.fault_plan.clone() else { return };
+        match plan.step_fault(self.rank, step) {
+            Some(FaultKind::Crash) => {
+                panic::panic_any(FaultUnwind(FaultReport {
+                    rank: self.rank,
+                    step: Some(step),
+                    kind: FaultKind::Crash,
+                    detail: "injected fail-stop crash".into(),
+                }));
+            }
+            Some(FaultKind::Stall { secs }) => {
+                // Stall without beating: the watchdog sees exactly what a
+                // wedged rank looks like. Abort checks keep teardown fast.
+                let deadline = Instant::now() + Duration::from_secs_f64(secs);
+                while Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(10));
+                    self.shared.check_abort();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Block on a rendezvous ack, surviving teardown: a poisoned cluster
+    /// unwinds, a dropped ack channel becomes a `PeerVanished` fault.
+    fn await_ack(&self, ack_rx: &crossbeam::channel::Receiver<()>, dst: usize) {
+        use crossbeam::channel::RecvTimeoutError;
+        loop {
+            match ack_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(()) => return,
+                Err(RecvTimeoutError::Timeout) => {
+                    self.shared.check_abort();
+                    self.shared.beat(self.rank);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.shared.check_abort();
+                    panic::panic_any(FaultUnwind(FaultReport {
+                        rank: self.rank,
+                        step: self.shared.last_step(self.rank),
+                        kind: FaultKind::PeerVanished,
+                        detail: format!("rendezvous ack channel to rank {dst} closed"),
+                    }));
+                }
+            }
+        }
+    }
+
     /// Mode-dispatching send: rendezvous in synchronous mode, eager in
-    /// asynchronous mode. Time is charged to `Comm`.
+    /// asynchronous mode. Time is charged to `Comm`. With a fault plan
+    /// attached, the message may be deterministically dropped, delayed or
+    /// duplicated.
     pub fn send(&mut self, dst: usize, tag: Tag, payload: impl Into<Payload>) {
         let payload = payload.into();
         self.count(&payload);
         assert!(dst < self.size, "send to rank {dst} of {}", self.size);
         assert_ne!(dst, self.rank, "self-sends are not supported");
         let t0 = std::time::Instant::now();
+        self.shared.beat(self.rank);
+        let fault = self
+            .shared
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.msg_fault(self.rank, dst, tag));
+        let mut duplicate = false;
+        match fault {
+            Some(MsgFault::Drop) => {
+                // The network ate the message. An eager sender never
+                // notices; a rendezvous sender blocks on an ack that can
+                // only come from the watchdog tearing the run down.
+                if self.mode == CommMode::Synchronous {
+                    let (_ack_tx, ack_rx) = crossbeam::channel::bounded::<()>(1);
+                    self.await_ack(&ack_rx, dst);
+                }
+                self.ledger.add(Category::Comm, t0.elapsed());
+                return;
+            }
+            Some(MsgFault::Delay { micros }) => {
+                std::thread::sleep(Duration::from_micros(micros));
+            }
+            Some(MsgFault::Duplicate) => duplicate = true,
+            None => {}
+        }
         match self.mode {
             CommMode::Asynchronous => {
+                if duplicate {
+                    self.shared.mailboxes[dst].deliver(Message {
+                        src: self.rank,
+                        tag,
+                        payload: payload.clone(),
+                        ack: None,
+                    });
+                }
                 self.shared.mailboxes[dst].deliver(Message {
                     src: self.rank,
                     tag,
@@ -166,14 +579,26 @@ impl RankCtx {
             }
             CommMode::Synchronous => {
                 let (ack_tx, ack_rx) = crossbeam::channel::bounded(1);
+                let dup_payload = duplicate.then(|| payload.clone());
                 self.shared.mailboxes[dst].deliver(Message {
                     src: self.rank,
                     tag,
                     payload,
                     ack: Some(ack_tx),
                 });
+                if let Some(p) = dup_payload {
+                    // The spurious copy is delivered after (and without)
+                    // the acked one, so FIFO matching always completes the
+                    // rendezvous on the real copy.
+                    self.shared.mailboxes[dst].deliver(Message {
+                        src: self.rank,
+                        tag,
+                        payload: p,
+                        ack: None,
+                    });
+                }
                 // Rendezvous: block until the receiver matches.
-                ack_rx.recv().expect("receiver vanished during rendezvous");
+                self.await_ack(&ack_rx, dst);
             }
         }
         self.ledger.add(Category::Comm, t0.elapsed());
@@ -182,6 +607,7 @@ impl RankCtx {
     /// Blocking matched receive.
     pub fn recv(&mut self, src: usize, tag: Tag) -> Payload {
         let t0 = std::time::Instant::now();
+        self.shared.beat(self.rank);
         let p = self.shared.mailboxes[self.rank].recv(src, tag);
         self.ledger.add(Category::Comm, t0.elapsed());
         p
@@ -191,6 +617,7 @@ impl RankCtx {
     /// by deadlock-sensitive tests.
     pub fn recv_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Payload> {
         let t0 = std::time::Instant::now();
+        self.shared.beat(self.rank);
         let p = self.shared.mailboxes[self.rank].recv_timeout(src, tag, timeout);
         self.ledger.add(Category::Comm, t0.elapsed());
         p
@@ -210,7 +637,23 @@ impl RankCtx {
     /// Complete all posted receives, in any arrival order (MPI_Waitall);
     /// results are returned in request order.
     pub fn wait_all(&mut self, reqs: &[RecvReq]) -> Vec<Payload> {
+        self.wait_all_deadline(reqs, None).expect("deadline-free wait_all cannot time out")
+    }
+
+    /// `wait_all` with a deadline: returns `None` (discarding any partial
+    /// arrivals) if the full set has not completed within `timeout`.
+    /// Lets halo exchanges detect lost messages instead of deadlocking.
+    pub fn wait_all_timeout(&mut self, reqs: &[RecvReq], timeout: Duration) -> Option<Vec<Payload>> {
+        self.wait_all_deadline(reqs, Some(Instant::now() + timeout))
+    }
+
+    fn wait_all_deadline(
+        &mut self,
+        reqs: &[RecvReq],
+        deadline: Option<Instant>,
+    ) -> Option<Vec<Payload>> {
         let t0 = std::time::Instant::now();
+        self.shared.beat(self.rank);
         let mut out: Vec<Option<Payload>> = (0..reqs.len()).map(|_| None).collect();
         let mut remaining: Vec<usize> = (0..reqs.len()).collect();
         // Poll for whichever arrives first; fall back to a blocking wait on
@@ -229,24 +672,79 @@ impl RankCtx {
             });
             if !progressed {
                 if let Some(&i) = remaining.first() {
-                    let p = self.shared.mailboxes[self.rank].recv(reqs[i].src, reqs[i].tag);
-                    out[i] = Some(p);
-                    remaining.remove(0);
+                    match deadline {
+                        None => {
+                            let p = self.shared.mailboxes[self.rank].recv(reqs[i].src, reqs[i].tag);
+                            out[i] = Some(p);
+                            remaining.remove(0);
+                        }
+                        Some(d) => {
+                            let budget = d.saturating_duration_since(Instant::now());
+                            if budget.is_zero() {
+                                self.ledger.add(Category::Comm, t0.elapsed());
+                                return None;
+                            }
+                            match self.shared.mailboxes[self.rank].recv_timeout(
+                                reqs[i].src,
+                                reqs[i].tag,
+                                budget.min(Duration::from_millis(50)),
+                            ) {
+                                Some(p) => {
+                                    out[i] = Some(p);
+                                    remaining.remove(0);
+                                }
+                                None => {
+                                    if Instant::now() >= d {
+                                        self.ledger.add(Category::Comm, t0.elapsed());
+                                        return None;
+                                    }
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }
         self.ledger.add(Category::Comm, t0.elapsed());
-        out.into_iter().map(|p| p.expect("all requests completed")).collect()
+        Some(out.into_iter().map(|p| p.expect("all requests completed")).collect())
     }
 
     /// Global barrier; time charged to `Sync` (the paper's T_sync is
     /// "mostly composed of a single MPI_Barrier call per iteration").
     pub fn barrier(&mut self) {
         let t0 = std::time::Instant::now();
-        self.shared.barrier.wait();
+        let shared = Arc::clone(&self.shared);
+        let rank = self.rank;
+        match self.shared.barrier.wait(None, &|| shared.beat(rank)) {
+            BarrierWait::Passed => {}
+            BarrierWait::Poisoned => panic::panic_any(AbortUnwind),
+            BarrierWait::TimedOut => unreachable!("deadline-free barrier cannot time out"),
+        }
         self.ledger.add(Category::Sync, t0.elapsed());
         if self.rank == 0 {
             self.shared.stats.barriers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Barrier with a deadline: returns `false` (after withdrawing this
+    /// rank's arrival) if the group did not form in time — the caller can
+    /// then report or escalate instead of deadlocking.
+    pub fn barrier_timeout(&mut self, timeout: Duration) -> bool {
+        let t0 = std::time::Instant::now();
+        let shared = Arc::clone(&self.shared);
+        let rank = self.rank;
+        let outcome =
+            self.shared.barrier.wait(Some(Instant::now() + timeout), &|| shared.beat(rank));
+        self.ledger.add(Category::Sync, t0.elapsed());
+        match outcome {
+            BarrierWait::Passed => {
+                if self.rank == 0 {
+                    self.shared.stats.barriers.fetch_add(1, Ordering::Relaxed);
+                }
+                true
+            }
+            BarrierWait::TimedOut => false,
+            BarrierWait::Poisoned => panic::panic_any(AbortUnwind),
         }
     }
 
@@ -381,5 +879,229 @@ mod tests {
     fn self_send_rejected() {
         let c = Cluster::new(1, CommMode::Asynchronous);
         c.run(|ctx| ctx.send(0, 0, vec![1.0f32]));
+    }
+
+    #[test]
+    fn try_run_reports_injected_crash() {
+        let plan = Arc::new(FaultPlan::new(1).with_crash(1, 5));
+        let c = Cluster::new(3, CommMode::Asynchronous).with_fault_plan(plan);
+        let out = c.try_run(|ctx| {
+            for step in 0..20u64 {
+                ctx.tick(step);
+                ctx.barrier();
+            }
+            ctx.rank()
+        });
+        let err = out[1].as_ref().expect_err("rank 1 must crash");
+        assert_eq!(err.rank, 1);
+        assert_eq!(err.step, Some(5));
+        assert_eq!(err.kind, FaultKind::Crash);
+        // Peers were torn down (blocked at the barrier), not deadlocked.
+        for r in [0, 2] {
+            let err = out[r].as_ref().expect_err("peers must abort");
+            assert_eq!(err.kind, FaultKind::Aborted);
+        }
+    }
+
+    #[test]
+    fn try_run_keeps_finished_ranks_ok() {
+        // Rank 1 crashes after rank 0 already returned: rank 0 keeps Ok.
+        let plan = Arc::new(FaultPlan::new(2).with_crash(1, 0));
+        let c = Cluster::new(2, CommMode::Asynchronous).with_fault_plan(plan);
+        let out = c.try_run(|ctx| {
+            if ctx.rank() == 1 {
+                std::thread::sleep(Duration::from_millis(30));
+                ctx.tick(0);
+            }
+            ctx.rank() * 10
+        });
+        assert_eq!(out[0].as_ref().unwrap(), &0);
+        assert!(out[1].is_err());
+    }
+
+    #[test]
+    fn try_run_reports_genuine_panic() {
+        let c = Cluster::new(2, CommMode::Asynchronous);
+        let out = c.try_run(|ctx| {
+            if ctx.rank() == 1 {
+                panic!("numerical instability at cell 42");
+            }
+            ctx.recv_timeout(1, 1, Duration::from_secs(5));
+        });
+        let err = out[1].as_ref().expect_err("rank 1 panicked");
+        assert_eq!(err.kind, FaultKind::Panic);
+        assert!(err.detail.contains("numerical instability"));
+    }
+
+    #[test]
+    fn watchdog_flags_stalled_rank_as_hang() {
+        let plan = Arc::new(FaultPlan::new(3).with_stall(2, 3, 30.0));
+        let c = Cluster::new(3, CommMode::Asynchronous)
+            .with_fault_plan(plan)
+            .with_watchdog(WatchdogConfig {
+                timeout: Duration::from_millis(300),
+                poll: Duration::from_millis(25),
+            });
+        let out = c.try_run(|ctx| {
+            for step in 0..10u64 {
+                ctx.tick(step);
+                ctx.barrier();
+            }
+        });
+        let err = out[2].as_ref().expect_err("stalled rank must be flagged");
+        assert_eq!(err.kind, FaultKind::Hang, "got {err}");
+        for r in [0, 1] {
+            let err = out[r].as_ref().expect_err("peers must abort");
+            assert!(
+                matches!(err.kind, FaultKind::Aborted | FaultKind::Hang),
+                "rank {r}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn watchdog_catches_dropped_message_hang() {
+        // Drop every message: the receiver blocks forever; the watchdog
+        // converts the silent hang into a structured teardown.
+        let plan = Arc::new(FaultPlan::new(4).with_msg_faults(1.0, 0.0, 0.0, 0));
+        let c = Cluster::new(2, CommMode::Asynchronous)
+            .with_fault_plan(plan)
+            .with_watchdog(WatchdogConfig {
+                timeout: Duration::from_millis(250),
+                poll: Duration::from_millis(25),
+            });
+        let out = c.try_run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, vec![1.0f32]);
+            } else {
+                ctx.recv(0, 7);
+            }
+        });
+        assert!(out[1].is_err(), "receiver of a dropped message must not succeed");
+        let err = out[1].as_ref().unwrap_err();
+        assert!(matches!(err.kind, FaultKind::Hang | FaultKind::Aborted), "{err}");
+    }
+
+    #[test]
+    fn rendezvous_sender_survives_peer_crash() {
+        // Rank 1 crashes before matching rank 0's rendezvous send. The
+        // teardown must surface a structured fault on rank 0 — previously
+        // this path was `expect("receiver vanished during rendezvous")`.
+        let plan = Arc::new(FaultPlan::new(5).with_crash(1, 0));
+        let c = Cluster::new(2, CommMode::Synchronous).with_fault_plan(plan);
+        let out = c.try_run(|ctx| {
+            if ctx.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(20));
+                ctx.send(1, 3, vec![1.0f32]);
+            } else {
+                ctx.tick(0); // crashes here
+            }
+        });
+        let err = out[0].as_ref().expect_err("sender must observe the vanished peer");
+        assert!(
+            matches!(err.kind, FaultKind::PeerVanished | FaultKind::Aborted),
+            "got {err}"
+        );
+        assert!(out[1].is_err());
+    }
+
+    #[test]
+    fn message_dup_and_delay_keep_results_correct() {
+        // Duplication and delay must be invisible to a tag-matched exchange.
+        let plan = Arc::new(FaultPlan::new(6).with_msg_faults(0.0, 0.3, 0.3, 200));
+        let c = Cluster::new(4, CommMode::Asynchronous).with_fault_plan(plan);
+        let sums = c.run(|ctx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            for step in 0..20u64 {
+                ctx.send(next, 100 + step, vec![ctx.rank() as f32 + step as f32]);
+            }
+            (0..20u64).map(|s| ctx.recv(prev, 100 + s).into_f32()[0]).sum::<f32>()
+        });
+        for (r, v) in sums.iter().enumerate() {
+            let prev = (r + 3) % 4;
+            let expect: f32 = (0..20).map(|s| prev as f32 + s as f32).sum();
+            assert_eq!(*v, expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn barrier_timeout_detects_missing_rank() {
+        let c = Cluster::new(2, CommMode::Asynchronous);
+        let out = c.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.barrier_timeout(Duration::from_millis(100))
+            } else {
+                // Never joins the first barrier window.
+                std::thread::sleep(Duration::from_millis(300));
+                true
+            }
+        });
+        assert!(!out[0], "lone rank must time out of the barrier");
+    }
+
+    #[test]
+    fn barrier_timeout_passes_when_all_arrive() {
+        let c = Cluster::new(3, CommMode::Asynchronous);
+        let out = c.run(|ctx| ctx.barrier_timeout(Duration::from_secs(5)));
+        assert_eq!(out, vec![true, true, true]);
+    }
+
+    #[test]
+    fn wait_all_timeout_times_out_on_missing_message() {
+        let c = Cluster::new(2, CommMode::Asynchronous);
+        let out = c.run(|ctx| {
+            if ctx.rank() == 0 {
+                let reqs = vec![ctx.irecv(1, 1), ctx.irecv(1, 2)];
+                ctx.wait_all_timeout(&reqs, Duration::from_millis(100)).is_some()
+            } else {
+                ctx.send(0, 1, vec![1.0f32]);
+                // Tag 2 is never sent.
+                true
+            }
+        });
+        assert!(!out[0], "missing message must time out");
+    }
+
+    #[test]
+    fn wait_all_timeout_completes_when_all_arrive() {
+        let c = Cluster::new(2, CommMode::Asynchronous);
+        let out = c.run(|ctx| {
+            if ctx.rank() == 0 {
+                let reqs = vec![ctx.irecv(1, 1), ctx.irecv(1, 2)];
+                ctx.wait_all_timeout(&reqs, Duration::from_secs(5))
+                    .map(|ps| ps.iter().map(|p| p.clone().into_f32()[0]).sum::<f32>())
+            } else {
+                ctx.send(0, 2, vec![2.0f32]);
+                ctx.send(0, 1, vec![1.0f32]);
+                None
+            }
+        });
+        assert_eq!(out[0], Some(3.0));
+    }
+
+    #[test]
+    fn cluster_is_reusable_after_fault() {
+        // A poisoned cluster must support a fresh pass (restart semantics).
+        let plan = Arc::new(FaultPlan::new(7).with_crash(0, 2));
+        let c = Cluster::new(2, CommMode::Asynchronous).with_fault_plan(plan);
+        let first = c.try_run(|ctx| {
+            for step in 0..5u64 {
+                ctx.tick(step);
+                ctx.barrier();
+            }
+            ctx.rank()
+        });
+        assert!(first[0].is_err());
+        // Second pass: the crash is one-shot, so the same body succeeds.
+        let second = c.try_run(|ctx| {
+            for step in 0..5u64 {
+                ctx.tick(step);
+                ctx.barrier();
+            }
+            ctx.rank()
+        });
+        assert_eq!(second[0].as_ref().unwrap(), &0);
+        assert_eq!(second[1].as_ref().unwrap(), &1);
     }
 }

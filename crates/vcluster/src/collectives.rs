@@ -27,9 +27,9 @@ pub fn gather_f64(ctx: &mut RankCtx, root: usize, data: &[f64], epoch: u64) -> V
     if me == root {
         let mut out: Vec<Vec<f64>> = vec![Vec::new(); n];
         out[root] = data.to_vec();
-        for src in 0..n {
+        for (src, slot) in out.iter_mut().enumerate() {
             if src != root {
-                out[src] = ctx.recv(src, tag(0, epoch)).into_f64();
+                *slot = ctx.recv(src, tag(0, epoch)).into_f64();
             }
         }
         out
@@ -95,9 +95,9 @@ pub fn gather_bytes(ctx: &mut RankCtx, root: usize, data: &[u8], epoch: u64) -> 
     if me == root {
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
         out[root] = data.to_vec();
-        for src in 0..n {
+        for (src, slot) in out.iter_mut().enumerate() {
             if src != root {
-                out[src] = ctx
+                *slot = ctx
                     .recv(src, tag(2, epoch))
                     .into_bytes();
             }

@@ -1,14 +1,23 @@
 //! Per-rank mailboxes with `(source, tag)` matching.
 
+use crate::fault::AbortUnwind;
 use crate::message::{Message, Payload, Tag};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::time::Duration;
 
+#[derive(Default)]
+struct State {
+    queue: VecDeque<Message>,
+    /// Set on cluster teardown: receivers unwind instead of blocking
+    /// forever, new deliveries are discarded.
+    poisoned: bool,
+}
+
 /// Unexpected-message queue plus wakeup for blocked receivers.
 #[derive(Default)]
 pub struct Mailbox {
-    queue: Mutex<VecDeque<Message>>,
+    state: Mutex<State>,
     cv: Condvar,
 }
 
@@ -18,21 +27,27 @@ impl Mailbox {
     }
 
     /// Deliver a message (eager/buffered path): enqueue and wake receivers.
+    /// Messages delivered to a poisoned mailbox are dropped (their
+    /// rendezvous ack channel closes, unblocking the sender with an error).
     pub fn deliver(&self, msg: Message) {
-        let mut q = self.queue.lock();
-        q.push_back(msg);
+        let mut s = self.state.lock();
+        if s.poisoned {
+            return;
+        }
+        s.queue.push_back(msg);
         self.cv.notify_all();
     }
 
     /// Blocking matched receive: waits until a message from `src` with `tag`
     /// is available, removes it, acknowledges rendezvous senders, and
-    /// returns the payload.
+    /// returns the payload. Unwinds (cluster-internal abort payload) if the
+    /// mailbox is poisoned while waiting.
     pub fn recv(&self, src: usize, tag: Tag) -> Payload {
-        let mut q = self.queue.lock();
+        let mut s = self.state.lock();
         loop {
-            if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
-                let msg = q.remove(pos).expect("position just found");
-                drop(q);
+            if let Some(pos) = s.queue.iter().position(|m| m.src == src && m.tag == tag) {
+                let msg = s.queue.remove(pos).expect("position just found");
+                drop(s);
                 if let Some(ack) = msg.ack {
                     // Receiver matched: release the rendezvous sender. The
                     // sender may have timed-out only on cluster teardown, so
@@ -41,16 +56,20 @@ impl Mailbox {
                 }
                 return msg.payload;
             }
-            self.cv.wait(&mut q);
+            if s.poisoned {
+                drop(s);
+                std::panic::panic_any(AbortUnwind);
+            }
+            self.cv.wait(&mut s);
         }
     }
 
     /// Non-blocking matched receive.
     pub fn try_recv(&self, src: usize, tag: Tag) -> Option<Payload> {
-        let mut q = self.queue.lock();
-        let pos = q.iter().position(|m| m.src == src && m.tag == tag)?;
-        let msg = q.remove(pos).expect("position just found");
-        drop(q);
+        let mut s = self.state.lock();
+        let pos = s.queue.iter().position(|m| m.src == src && m.tag == tag)?;
+        let msg = s.queue.remove(pos).expect("position just found");
+        drop(s);
         if let Some(ack) = msg.ack {
             let _ = ack.send(());
         }
@@ -60,25 +79,45 @@ impl Mailbox {
     /// Blocking matched receive with timeout (deadlock diagnostics).
     pub fn recv_timeout(&self, src: usize, tag: Tag, timeout: Duration) -> Option<Payload> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut q = self.queue.lock();
+        let mut s = self.state.lock();
         loop {
-            if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
-                let msg = q.remove(pos).expect("position just found");
-                drop(q);
+            if let Some(pos) = s.queue.iter().position(|m| m.src == src && m.tag == tag) {
+                let msg = s.queue.remove(pos).expect("position just found");
+                drop(s);
                 if let Some(ack) = msg.ack {
                     let _ = ack.send(());
                 }
                 return Some(msg.payload);
             }
-            if self.cv.wait_until(&mut q, deadline).timed_out() {
+            if s.poisoned {
+                drop(s);
+                std::panic::panic_any(AbortUnwind);
+            }
+            if self.cv.wait_until(&mut s, deadline).timed_out() {
                 return None;
             }
         }
     }
 
+    /// Tear the mailbox down: drop all queued messages (closing their
+    /// rendezvous ack channels) and wake every blocked receiver so it can
+    /// unwind.
+    pub(crate) fn poison(&self) {
+        let mut s = self.state.lock();
+        s.poisoned = true;
+        s.queue.clear();
+        self.cv.notify_all();
+    }
+
+    /// Clear the poison flag so the mailbox can serve a fresh pass
+    /// (restart after a fault). The queue was already drained by `poison`.
+    pub(crate) fn unpoison(&self) {
+        self.state.lock().poisoned = false;
+    }
+
     /// Number of queued (unmatched) messages.
     pub fn pending(&self) -> usize {
-        self.queue.lock().len()
+        self.state.lock().queue.len()
     }
 }
 
@@ -150,5 +189,32 @@ mod tests {
         assert!(rx.try_recv().is_err(), "ack must not fire before match");
         let _ = mb.recv(0, 5);
         assert!(rx.try_recv().is_ok(), "ack must fire on match");
+    }
+
+    #[test]
+    fn poison_wakes_blocked_receiver() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| mb2.recv(0, 1))).is_err()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.poison();
+        assert!(h.join().unwrap(), "poison must unwind a blocked receiver");
+    }
+
+    #[test]
+    fn poison_closes_rendezvous_acks_and_discards() {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let mb = Mailbox::new();
+        mb.deliver(Message { src: 0, tag: 5, payload: Payload::Empty, ack: Some(tx) });
+        mb.poison();
+        assert_eq!(mb.pending(), 0);
+        // The queued message (and its ack sender) is gone: a rendezvous
+        // sender blocked on this channel now observes disconnection.
+        assert!(matches!(rx.recv(), Err(crossbeam::channel::RecvError)));
+        // Post-poison deliveries are discarded.
+        mb.deliver(Message { src: 1, tag: 6, payload: Payload::Empty, ack: None });
+        assert_eq!(mb.pending(), 0);
     }
 }

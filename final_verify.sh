@@ -4,6 +4,9 @@ set -x
 cd /root/repo
 cargo build --workspace --release 2>&1 | grep -E "^(error|warning)" | head -20
 echo "=== BUILD DONE ==="
+cargo clippy --workspace -- -D warnings 2>&1 | grep -E "^(error|warning)" | head -20
+echo "clippy exit ${PIPESTATUS[0]}"
+echo "=== CLIPPY DONE ==="
 cargo test --workspace 2>&1 | tee /root/repo/test_output.txt | grep -E "test result|FAILED|error\[" | tail -60
 echo "=== TESTS DONE ==="
 # Smoke-run the examples and CLI.
@@ -13,5 +16,9 @@ timeout 1800 ./target/release/examples/m8_dynamic > results/logs/example_m8_dyna
 timeout 1800 ./target/release/examples/shakeout_scenario > results/logs/example_shakeout.log 2>&1; echo "shakeout exit $?"
 ./target/release/awp scenarios > results/logs/cli_scenarios.log 2>&1; echo "cli exit $?"
 ./target/release/awp efficiency >> results/logs/cli_scenarios.log 2>&1; echo "cli2 exit $?"
+# Fixed-seed chaos soak: injected faults + epoch-fallback restart must
+# reproduce the clean run bit-for-bit (nonzero exit on any mismatch).
+timeout 900 ./target/release/awp chaos --chaos-seed 3405691582 > results/logs/cli_chaos.log 2>&1; echo "chaos exit $?"
 timeout 600 ./target/release/s7b_memory > results/logs/s7b_memory.log 2>&1; echo "s7b exit $?"
+timeout 600 ./target/release/s7c_resilience > results/logs/s7c_resilience.log 2>&1; echo "s7c exit $?"
 echo "=== EXAMPLES DONE ==="

@@ -1,0 +1,185 @@
+//! Chaos-soak integration tests: seeded fault injection against the full
+//! end-to-end workflow (crash, teardown, epoch fallback, bit-exact
+//! restart).
+
+use awp_odc::pario::epochs::{consistent_epoch, epoch_file_name};
+use awp_odc::pario::Md5;
+use awp_odc::scenario::Scenario;
+use awp_odc::vcluster::fault::{FaultKind, FaultPlan, WatchdogConfig};
+use awp_odc::workflow::{scratch_dir, E2EWorkflow};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn surface_md5(report: &awp_odc::workflow::WorkflowReport) -> String {
+    Md5::digest_hex(&std::fs::read(&report.surface_file).unwrap())
+}
+
+/// Reference clean run: same scenario/decomposition, no faults.
+fn clean_reference(tag: &str) -> awp_odc::workflow::WorkflowReport {
+    let sc = Scenario::shakeout_k(20, 0.3).with_duration(20.0);
+    let dir = scratch_dir(tag);
+    E2EWorkflow::new(sc.prepare(), [2, 1, 1], &dir).execute().unwrap()
+}
+
+#[test]
+fn chaos_crash_recovers_bit_exact() {
+    // Acceptance: an injected rank crash at step N must trigger automatic
+    // teardown + restart from the newest consistent epoch, and the final
+    // wavefield must be bit-for-bit identical to an uninterrupted run.
+    let rep_clean = clean_reference("chaos-clean");
+
+    let sc = Scenario::shakeout_k(20, 0.3).with_duration(20.0);
+    let run = sc.prepare();
+    let steps = run.cfg.steps;
+    let crash_step = (steps * 3 / 5) as u64;
+    let dir = scratch_dir("chaos-crash");
+    let mut wf = E2EWorkflow::new(run, [2, 1, 1], &dir);
+    wf.checkpoint_every = Some(4);
+    wf = wf.with_chaos(
+        Arc::new(FaultPlan::new(0xC4A0_5EED).with_crash(1, crash_step)),
+        WatchdogConfig::with_timeout(Duration::from_secs(20)),
+    );
+    let rep = wf.execute().expect("chaos run must self-heal");
+
+    assert!(rep.restarted, "a restart pass must have run");
+    assert_eq!(rep.restarts, 1);
+    assert!(rep.failed_at.is_some());
+    let crash = rep
+        .faults
+        .iter()
+        .find(|f| f.kind == FaultKind::Crash)
+        .expect("the injected crash must be reported");
+    assert_eq!(crash.rank, 1);
+    assert_eq!(crash.step, Some(crash_step));
+    // Bit-for-bit identical physics and output file.
+    assert_eq!(rep_clean.pgv.data, rep.pgv.data, "PGV must match bitwise");
+    assert_eq!(
+        surface_md5(&rep_clean),
+        surface_md5(&rep),
+        "surface output must be bit-identical"
+    );
+    assert!(rep.archive_verified);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_corrupt_epoch_falls_back_and_recovers() {
+    // Acceptance: crash + corrupted newest checkpoint epoch → recovery
+    // falls back to an older MD5-valid epoch and still reproduces the
+    // clean wavefield bit-for-bit.
+    let rep_clean = clean_reference("chaos-fb-clean");
+
+    let sc = Scenario::shakeout_k(20, 0.3).with_duration(20.0);
+    let run = sc.prepare();
+    let steps = run.cfg.steps;
+    let crash_step = (steps * 3 / 5) as u64;
+    let dir = scratch_dir("chaos-fallback");
+    // Phase 1: the run dies (no restart budget), leaving epochs behind.
+    let run_b = sc.prepare();
+    let mut wf = E2EWorkflow::new(run_b, [2, 1, 1], &dir);
+    wf.checkpoint_every = Some(2);
+    wf.max_restarts = 0;
+    wf = wf.with_chaos(
+        Arc::new(FaultPlan::new(7).with_crash(0, crash_step)),
+        WatchdogConfig::with_timeout(Duration::from_secs(20)),
+    );
+    wf.execute().expect_err("restart budget of zero must surface the fault");
+
+    // Phase 2: corrupt the newest consistent epoch on every rank.
+    let ckpt_dir = dir.join("ckpt");
+    let newest = consistent_epoch(&ckpt_dir, 2).unwrap().expect("epochs were written");
+    assert!(newest >= 4, "need an older epoch to fall back to (newest {newest})");
+    for rank in 0..2 {
+        let victim = ckpt_dir.join(epoch_file_name(rank, newest));
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&victim, &bytes).unwrap();
+    }
+    let fallback = consistent_epoch(&ckpt_dir, 2).unwrap().expect("older epochs survive");
+    assert!(fallback < newest, "corruption must push the restart line back");
+
+    // Phase 3: a fresh process resumes the dead run's scratch directory.
+    let mut wf2 = E2EWorkflow::new(sc.prepare(), [2, 1, 1], &dir);
+    wf2.checkpoint_every = Some(2);
+    wf2.resume = true;
+    let rep = wf2.execute().expect("resume must recover from the fallback epoch");
+
+    assert_eq!(rep_clean.pgv.data, rep.pgv.data, "PGV must match bitwise after fallback");
+    assert_eq!(
+        surface_md5(&rep_clean),
+        surface_md5(&rep),
+        "surface output must be bit-identical after fallback"
+    );
+    assert!(rep.archive_verified);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_soak_random_plan_converges() {
+    // Soak: a seed-derived schedule (crash + stall + message perturbation)
+    // against a watchdog-guarded run must converge within the restart
+    // budget and stay bit-exact.
+    let rep_clean = clean_reference("chaos-soak-clean");
+
+    let sc = Scenario::shakeout_k(20, 0.3).with_duration(20.0);
+    let run = sc.prepare();
+    let steps = run.cfg.steps as u64;
+    let dir = scratch_dir("chaos-soak");
+    let mut wf = E2EWorkflow::new(run, [2, 1, 1], &dir);
+    wf.checkpoint_every = Some(4);
+    wf.max_restarts = 4;
+    wf = wf.with_chaos(
+        Arc::new(FaultPlan::random(0xD00D, 2, steps)),
+        WatchdogConfig {
+            timeout: Duration::from_secs(3),
+            poll: Duration::from_millis(50),
+        },
+    );
+    let rep = wf.execute().expect("soak run must converge");
+    assert!(!rep.faults.is_empty(), "the random plan must have injected something");
+    assert_eq!(rep_clean.pgv.data, rep.pgv.data, "PGV must match bitwise");
+    assert_eq!(surface_md5(&rep_clean), surface_md5(&rep));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_same_seed_is_byte_identical_schedule() {
+    // Regression: the same --chaos-seed must produce the byte-identical
+    // fault schedule, independent of thread interleaving.
+    let steps = 1000;
+    let a = FaultPlan::random(0xFEED, 8, steps);
+    let b = FaultPlan::random(0xFEED, 8, steps);
+    assert_eq!(a.schedule_digest(), b.schedule_digest());
+    assert_ne!(
+        a.schedule_digest(),
+        FaultPlan::random(0xFEED + 1, 8, steps).schedule_digest()
+    );
+
+    // And observed end-to-end: two identical chaos runs report the same
+    // injected faults at the same (rank, step).
+    let sc = Scenario::shakeout_k(20, 0.3).with_duration(20.0);
+    let mut observed = Vec::new();
+    for pass in 0..2 {
+        let run = sc.prepare();
+        let n_steps = run.cfg.steps as u64;
+        let dir = scratch_dir(&format!("chaos-det-{pass}"));
+        let mut wf = E2EWorkflow::new(run, [2, 1, 1], &dir);
+        wf.checkpoint_every = Some(4);
+        wf = wf.with_chaos(
+            Arc::new(FaultPlan::new(0xABCD).with_crash(1, n_steps * 3 / 5)),
+            WatchdogConfig::with_timeout(Duration::from_secs(20)),
+        );
+        let rep = wf.execute().unwrap();
+        let mut injected: Vec<(usize, Option<u64>)> = rep
+            .faults
+            .iter()
+            .filter(|f| f.kind == FaultKind::Crash)
+            .map(|f| (f.rank, f.step))
+            .collect();
+        injected.sort();
+        observed.push(injected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(observed[0], observed[1], "same seed ⇒ same injected fault sequence");
+}
