@@ -1,0 +1,139 @@
+#!/bin/bash
+# Toggle the workspace between registry dependencies (canonical, what gets
+# committed) and local shim crates under tools/shims/ (for network-less dev
+# containers where crates.io is unreachable).
+#
+#   tools/offline-dev.sh on      # point external deps at tools/shims/
+#   tools/offline-dev.sh off     # restore canonical registry deps
+#   tools/offline-dev.sh status
+#
+# Lockfile handling: the two dependency graphs differ, so the working-tree
+# Cargo.lock is swapped, not destroyed. The canonical registry-graph pin is
+# tools/Cargo.lock.registry — generate it once on a networked machine
+# (`offline-dev.sh off && cargo generate-lockfile && cp Cargo.lock
+# tools/Cargo.lock.registry`) and commit it; `off` restores it so registry
+# builds stay pinned. `on` likewise parks/restores a shim-graph lockfile at
+# tools/Cargo.lock.shim so repeated toggles don't re-resolve.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REGISTRY_LOCK=tools/Cargo.lock.registry
+SHIM_LOCK=tools/Cargo.lock.shim
+
+# One external dependency per line: name|registry spec|shim spec. Matching
+# is per-dependency (on the `name = ...` line anchored at column 0 inside
+# [workspace.dependencies]), so a version bump or reformat of one dep does
+# not break toggling of the others.
+DEPS='rand|rand = { version = "0.8", features = ["small_rng"] }|rand = { path = "tools/shims/rand", features = ["small_rng"] }
+rand_chacha|rand_chacha = "0.3"|rand_chacha = { path = "tools/shims/rand_chacha" }
+crossbeam|crossbeam = "0.8"|crossbeam = { path = "tools/shims/crossbeam" }
+parking_lot|parking_lot = "0.12"|parking_lot = { path = "tools/shims/parking_lot" }
+rayon|rayon = "1.10"|rayon = { path = "tools/shims/rayon" }
+serde|serde = { version = "1", features = ["derive"] }|serde = { path = "tools/shims/serde", features = ["derive"] }
+serde_json|serde_json = "1"|serde_json = { path = "tools/shims/serde_json" }
+proptest|proptest = "1"|proptest = { path = "tools/shims/proptest" }
+criterion|criterion = "0.5"|criterion = { path = "tools/shims/criterion" }
+tempfile|tempfile = "3"|tempfile = { path = "tools/shims/tempfile" }'
+
+# rewrite <to-mode>: repoint each dependency line. A dep already in the
+# target mode is left alone; a dep line that cannot be found at all is an
+# error (the file was edited beyond recognition — fix it by hand).
+rewrite() {
+    python3 - "$1" "$DEPS" <<'EOF'
+import re
+import sys
+
+to_mode, deps = sys.argv[1], sys.argv[2]
+lines = open("Cargo.toml").read().splitlines(keepends=True)
+missing = []
+for entry in deps.splitlines():
+    name, registry, shim = entry.split("|")
+    target = shim if to_mode == "shim" else registry
+    pat = re.compile(r"^%s\s*=" % re.escape(name))
+    hits = [i for i, ln in enumerate(lines) if pat.match(ln)]
+    if not hits:
+        missing.append(name)
+        continue
+    if len(hits) > 1:
+        sys.exit("offline-dev: dependency %r appears %d times in Cargo.toml"
+                 % (name, len(hits)))
+    lines[hits[0]] = target + "\n"
+if missing:
+    sys.exit("offline-dev: dependency lines not found in Cargo.toml: %s"
+             % ", ".join(missing))
+open("Cargo.toml", "w").write("".join(lines))
+EOF
+}
+
+# mode_now: inspect every dependency line, not just one. Prints shim,
+# registry, or mixed (mixed ⇒ a half-edited file; both on and off refuse).
+mode_now() {
+    python3 - "$DEPS" <<'EOF'
+import re
+import sys
+
+deps = sys.argv[1]
+text = open("Cargo.toml").read()
+shim = registry = other = 0
+for entry in deps.splitlines():
+    name, _, _ = entry.split("|")
+    m = re.search(r"^%s\s*=.*$" % re.escape(name), text, re.M)
+    if m is None:
+        other += 1
+    elif 'path = "tools/shims/' in m.group(0):
+        shim += 1
+    else:
+        registry += 1
+if shim and not registry and not other:
+    print("shim")
+elif registry and not shim and not other:
+    print("registry")
+else:
+    print("mixed")
+EOF
+}
+
+# park_lock <file>: stash the current Cargo.lock (if any) for the mode we
+# are leaving. restore_lock <file>: bring back the lock for the mode we are
+# entering, or warn that the build is unpinned.
+park_lock() {
+    [ -f Cargo.lock ] && mv Cargo.lock "$1"
+    return 0
+}
+
+restore_lock() {
+    if [ -f "$1" ]; then
+        cp "$1" Cargo.lock
+    else
+        rm -f Cargo.lock
+        echo "offline-dev: warning: $1 missing — next build re-resolves (unpinned)" >&2
+    fi
+}
+
+MODE=$(mode_now)
+
+case "${1:-status}" in
+    on)
+        [ "$MODE" = shim ] && { echo "already in shim mode"; exit 0; }
+        [ "$MODE" = mixed ] && { echo "offline-dev: Cargo.toml is half-edited (mixed mode); fix it by hand" >&2; exit 1; }
+        rewrite shim
+        park_lock "$REGISTRY_LOCK"
+        restore_lock "$SHIM_LOCK"
+        echo "Cargo.toml now uses tools/shims/ (DO NOT COMMIT in this state)"
+        ;;
+    off)
+        [ "$MODE" = registry ] && { echo "already in registry mode"; exit 0; }
+        [ "$MODE" = mixed ] && { echo "offline-dev: Cargo.toml is half-edited (mixed mode); fix it by hand" >&2; exit 1; }
+        rewrite registry
+        park_lock "$SHIM_LOCK"
+        restore_lock "$REGISTRY_LOCK"
+        echo "Cargo.toml restored to registry dependencies"
+        ;;
+    status)
+        echo "mode: $MODE"
+        ;;
+    *)
+        echo "usage: $0 on|off|status" >&2
+        exit 2
+        ;;
+esac

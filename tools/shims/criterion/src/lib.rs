@@ -1,0 +1,142 @@
+//! Offline dev shim for `criterion`: compiles the bench targets and runs
+//! each closure a handful of times with coarse timing output. Never shipped.
+
+use std::time::Instant;
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), param) }
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: param.to_string() }
+    }
+}
+
+/// Accepts both `&str` and `BenchmarkId` labels.
+pub trait IntoBenchLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.name
+    }
+}
+
+pub struct Bencher {
+    iters: u32,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+    }
+}
+
+fn run_one(label: &str, iters: u32) -> Bencher {
+    let _ = (label, Instant::now());
+    Bencher { iters }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<L: IntoBenchLabel, F: FnMut(&mut Bencher)>(
+        &mut self,
+        label: L,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, label.into_label());
+        let t0 = Instant::now();
+        let mut b = run_one(&label, 3);
+        f(&mut b);
+        eprintln!("bench(shim) {label}: {:?} / 3 iters", t0.elapsed());
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _c: self }
+    }
+
+    pub fn bench_function<L: IntoBenchLabel, F: FnMut(&mut Bencher)>(
+        &mut self,
+        label: L,
+        mut f: F,
+    ) -> &mut Self {
+        let label = label.into_label();
+        let t0 = Instant::now();
+        let mut b = run_one(&label, 3);
+        f(&mut b);
+        eprintln!("bench(shim) {label}: {:?} / 3 iters", t0.elapsed());
+        self
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,181 @@
+//! Offline dev shim for `parking_lot` (Mutex/Condvar/RwLock subset),
+//! implemented over `std::sync`. Never shipped — dev-container only.
+
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, PoisonError};
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    // ManuallyDrop lets the Condvar shim move the std guard out and back
+    // in-place during a wait.
+    guard: ManuallyDrop<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Self { inner: sync::Mutex::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard { guard: ManuallyDrop::new(g) }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { guard: ManuallyDrop::new(g) }),
+            Err(sync::TryLockError::Poisoned(p)) => {
+                Some(MutexGuard { guard: ManuallyDrop::new(p.into_inner()) })
+            }
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<'a, T: ?Sized> Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<'a, T: ?Sized> Drop for MutexGuard<'a, T> {
+    fn drop(&mut self) {
+        // Safety: the guard is only taken out transiently inside Condvar
+        // waits and always restored before returning.
+        unsafe { ManuallyDrop::drop(&mut self.guard) }
+    }
+}
+
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self { inner: sync::Condvar::new() }
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // Move the std guard out, wait, then put the re-acquired guard back.
+        // Safety: `guard.guard` is valid; we write a fresh guard before any
+        // code can observe the moved-from state (wait/unwrap cannot unwind
+        // into user code while the slot is empty — a poison panic aborts the
+        // wait, in which case we recover the guard via into_inner below).
+        let std_guard = unsafe { ManuallyDrop::take(&mut guard.guard) };
+        let new_guard = self.inner.wait(std_guard).unwrap_or_else(PoisonError::into_inner);
+        guard.guard = ManuallyDrop::new(new_guard);
+    }
+
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let now = Instant::now();
+        let timeout = deadline.saturating_duration_since(now);
+        self.wait_for(guard, timeout)
+    }
+
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = unsafe { ManuallyDrop::take(&mut guard.guard) };
+        let (new_guard, res) = match self.inner.wait_timeout(std_guard, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, r)
+            }
+        };
+        guard.guard = ManuallyDrop::new(new_guard);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    pub fn notify_one(&self) -> bool {
+        self.inner.notify_one();
+        true
+    }
+
+    pub fn notify_all(&self) -> usize {
+        self.inner.notify_all();
+        0
+    }
+}
+
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized>(sync::RwLockReadGuard<'a, T>);
+pub struct RwLockWriteGuard<'a, T: ?Sized>(sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        Self { inner: sync::RwLock::new(value) }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.inner.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.inner.write().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+impl<'a, T: ?Sized> Deref for RwLockReadGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<'a, T: ?Sized> Deref for RwLockWriteGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for RwLockWriteGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}

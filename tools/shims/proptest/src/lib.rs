@@ -1,0 +1,390 @@
+//! Offline dev shim for `proptest`: a functional random-testing core that
+//! supports the strategy surface this workspace uses (ranges, tuples,
+//! `any`, `collection::vec`, `prop_map`, `prop_oneof`, `Just`) without
+//! shrinking. Deterministic per test-fn name. Never shipped.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 — the shim's only entropy source.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub trait Strategy {
+    type Value;
+
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("proptest shim: filter rejected 1000 consecutive samples");
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample_value(rng)
+    }
+}
+
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    lo + (hi - lo) * rng.unit_f64() as $t
+                }
+            }
+        )*
+    };
+}
+
+float_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0 0);
+tuple_strategy!(S0 0, S1 1);
+tuple_strategy!(S0 0, S1 1, S2 2);
+tuple_strategy!(S0 0, S1 1, S2 2, S3 3);
+tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4);
+tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Raw bit patterns: exercises NaN/inf payloads like real proptest.
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications accepted by `vec`.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec length range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + (rng.next_u64() as usize) % (hi - lo + 1)
+        }
+    }
+
+    pub struct VecStrategy<S, R> {
+        elem: S,
+        len: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn sample_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.elem.sample_value(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy, R: SizeRange>(elem: S, len: R) -> VecStrategy<S, R> {
+        VecStrategy { elem, len }
+    }
+}
+
+pub mod strategy {
+    pub use super::{Just, Strategy};
+}
+
+pub mod test_runner {
+    /// Subset of proptest's `Config`.
+    #[derive(Clone, Copy)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Reject a sample: the expansion site is inside the per-case loop, so a
+/// plain `continue` moves on to the next case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let arms: Vec<Box<dyn $crate::Strategy<Value = _>>> = vec![
+            $(Box::new($arm) as Box<dyn $crate::Strategy<Value = _>>),+
+        ];
+        $crate::OneOf(arms)
+    }};
+}
+
+pub struct OneOf<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() as usize) % self.0.len();
+        self.0[i].sample_value(rng)
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest_fns!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample_value(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::proptest_fns!(($cfg) $($rest)*);
+    };
+}

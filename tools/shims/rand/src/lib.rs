@@ -1,0 +1,215 @@
+//! Offline dev shim for `rand` 0.8 (core trait subset). Never shipped.
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let w = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// PCG32-filled seed expansion (matches rand_core's default).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable by `Rng::gen`.
+pub trait ShimStandard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl ShimStandard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl ShimStandard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl ShimStandard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl ShimStandard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl ShimStandard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Ranges usable with `Rng::gen_range`.
+pub trait ShimSampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {
+        $(
+            impl ShimSampleRange<$t> for std::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let u = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                    self.start + (self.end - self.start) * u
+                }
+            }
+        )*
+    };
+}
+
+impl_float_range!(f32, f64);
+
+/// Unbiased integer sampling in `[lo, lo + span)` via rejection: draws are
+/// accepted only below the largest multiple of `span` that fits in 2^64,
+/// so no residue class is over-represented (plain modulo would bias small
+/// values). `span` ≤ 2^64 always fits in u128, so a full-domain inclusive
+/// range (e.g. `i64::MIN..=i64::MAX`, span exactly 2^64) is handled
+/// instead of wrapping to a mod-by-zero.
+fn sample_span<R: RngCore + ?Sized>(rng: &mut R, lo: i128, span: u128) -> i128 {
+    debug_assert!(span > 0 && span <= 1u128 << 64);
+    let zone = {
+        let limit = 1u128 << 64;
+        limit - limit % span
+    };
+    loop {
+        let x = rng.next_u64() as u128;
+        if x < zone {
+            return lo + (x % span) as i128;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {
+        $(
+            impl ShimSampleRange<$t> for std::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let (lo, hi) = (self.start as i128, self.end as i128);
+                    sample_span(rng, lo, (hi - lo) as u128) as $t
+                }
+            }
+            impl ShimSampleRange<$t> for std::ops::RangeInclusive<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "gen_range: empty range");
+                    sample_span(rng, lo, (hi - lo) as u128 + 1) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+pub trait Rng: RngCore {
+    fn gen<T: ShimStandard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, S: ShimSampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Minimal xoshiro-style small RNG (not bit-compatible with rand's).
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 step.
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 8];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            SmallRng { state: u64::from_le_bytes(seed) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn full_domain_inclusive_ranges_do_not_panic() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let _: i64 = rng.gen_range(i64::MIN..=i64::MAX);
+        let _: u64 = rng.gen_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn integer_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u8 = rng.gen_range(10u8..20);
+            assert!((10..20).contains(&v));
+            let w: i32 = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let draw = || {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (0..32).map(|_| rng.gen_range(0u32..1000)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+}

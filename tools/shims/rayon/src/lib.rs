@@ -1,0 +1,83 @@
+//! Offline dev shim for `rayon`: the "parallel" iterators are the plain
+//! sequential std iterators, which keeps results identical (the real crate
+//! only changes scheduling). Never shipped — dev-container only.
+
+pub mod prelude {
+    /// `par_iter` → sequential `iter`.
+    pub trait ShimParIter {
+        type Iter;
+        fn par_iter(self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> ShimParIter for &'a [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> ShimParIter for &'a Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `par_iter_mut` → sequential `iter_mut`.
+    pub trait ShimParIterMut {
+        type Iter;
+        fn par_iter_mut(self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> ShimParIterMut for &'a mut [T] {
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'a, T: 'a> ShimParIterMut for &'a mut Vec<T> {
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// `into_par_iter` → `into_iter`.
+    pub trait ShimIntoParIter: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> ShimIntoParIter for T {}
+
+    /// `par_chunks` / `par_chunks_mut` → sequential chunking.
+    pub trait ShimParChunks {
+        type Chunks;
+        type ChunksMut;
+        fn par_chunks(self) -> Self::Chunks
+        where
+            Self: Sized;
+    }
+
+    pub trait ShimParChunksSlice<'a, T> {
+        fn par_chunks(self, size: usize) -> std::slice::Chunks<'a, T>;
+    }
+
+    impl<'a, T> ShimParChunksSlice<'a, T> for &'a [T] {
+        fn par_chunks(self, size: usize) -> std::slice::Chunks<'a, T> {
+            self.chunks(size)
+        }
+    }
+
+    pub trait ShimParChunksMutSlice<'a, T> {
+        fn par_chunks_mut(self, size: usize) -> std::slice::ChunksMut<'a, T>;
+    }
+
+    impl<'a, T> ShimParChunksMutSlice<'a, T> for &'a mut [T] {
+        fn par_chunks_mut(self, size: usize) -> std::slice::ChunksMut<'a, T> {
+            self.chunks_mut(size)
+        }
+    }
+}

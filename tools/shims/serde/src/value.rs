@@ -1,0 +1,170 @@
+//! Minimal JSON tree + parser used by the shim's derived `Deserialize`
+//! impls (and by the shim `serde_json`). Char-based so multi-byte UTF-8
+//! survives a round-trip.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShimValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<ShimValue>),
+    Object(BTreeMap<String, ShimValue>),
+}
+
+impl ShimValue {
+    pub fn get(&self, key: &str) -> Option<&ShimValue> {
+        match self {
+            ShimValue::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<ShimValue, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0;
+    let v = value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos < chars.len() {
+        return Err(format!("trailing characters at offset {}", pos));
+    }
+    Ok(v)
+}
+
+fn skip_ws(c: &[char], pos: &mut usize) {
+    while *pos < c.len() && c[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn peek(c: &[char], pos: &mut usize) -> Option<char> {
+    skip_ws(c, pos);
+    c.get(*pos).copied()
+}
+
+fn eat(c: &[char], pos: &mut usize, lit: &str) -> bool {
+    skip_ws(c, pos);
+    let lit: Vec<char> = lit.chars().collect();
+    if c[*pos..].starts_with(&lit) {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn string(c: &[char], pos: &mut usize) -> Result<String, String> {
+    skip_ws(c, pos);
+    if c.get(*pos) != Some(&'"') {
+        return Err("expected string".into());
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match c.get(*pos).copied() {
+            Some('"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some('\\') => {
+                *pos += 1;
+                match c.get(*pos).copied() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let hex: String = c
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("bad \\u escape")?
+                            .iter()
+                            .collect();
+                        let code =
+                            u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    Some(ch) => out.push(ch),
+                    None => return Err("bad escape".into()),
+                }
+                *pos += 1;
+            }
+            Some(ch) => {
+                out.push(ch);
+                *pos += 1;
+            }
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn value(c: &[char], pos: &mut usize) -> Result<ShimValue, String> {
+    match peek(c, pos) {
+        Some('n') if eat(c, pos, "null") => Ok(ShimValue::Null),
+        Some('t') if eat(c, pos, "true") => Ok(ShimValue::Bool(true)),
+        Some('f') if eat(c, pos, "false") => Ok(ShimValue::Bool(false)),
+        Some('"') => Ok(ShimValue::String(string(c, pos)?)),
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            if peek(c, pos) == Some(']') {
+                *pos += 1;
+                return Ok(ShimValue::Array(items));
+            }
+            loop {
+                items.push(value(c, pos)?);
+                match peek(c, pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(ShimValue::Array(items));
+                    }
+                    _ => return Err("bad array".into()),
+                }
+            }
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            if peek(c, pos) == Some('}') {
+                *pos += 1;
+                return Ok(ShimValue::Object(map));
+            }
+            loop {
+                let k = string(c, pos)?;
+                if peek(c, pos) != Some(':') {
+                    return Err("expected colon".into());
+                }
+                *pos += 1;
+                map.insert(k, value(c, pos)?);
+                match peek(c, pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(ShimValue::Object(map));
+                    }
+                    _ => return Err("bad object".into()),
+                }
+            }
+        }
+        Some(_) => {
+            skip_ws(c, pos);
+            let start = *pos;
+            while *pos < c.len()
+                && matches!(c[*pos], '0'..='9' | '-' | '+' | '.' | 'e' | 'E')
+            {
+                *pos += 1;
+            }
+            let text: String = c[start..*pos].iter().collect();
+            text.parse()
+                .map(ShimValue::Number)
+                .map_err(|_| "bad number".to_string())
+        }
+        None => Err("empty input".into()),
+    }
+}

@@ -1,0 +1,310 @@
+//! Offline dev shim for `serde_json`: a small JSON value type plus the
+//! `json!` macro and string (de)serialisation entry points. Derived types
+//! serialise field-wise via the shim `serde::Serialize` hook; unsupported
+//! shapes fail loudly there instead of producing placeholders. Never
+//! shipped.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad1 = "  ".repeat(indent + 1);
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{}", n));
+                }
+            }
+            Value::String(s) => out.push_str(&format!("{:?}", s)),
+            Value::Array(a) => {
+                if a.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, v) in a.iter().enumerate() {
+                    out.push_str(&pad1);
+                    v.write_pretty(out, indent + 1);
+                    if i + 1 < a.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Object(m) => {
+                if m.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in m.iter().enumerate() {
+                    out.push_str(&pad1);
+                    out.push_str(&format!("{:?}: ", k));
+                    v.write_pretty(out, indent + 1);
+                    if i + 1 < m.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_pretty(&mut s, 0);
+        f.write_str(&s)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Object(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl serde::Serialize for Value {
+    fn shim_json(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn shim_from_value(v: &serde::value::ShimValue) -> std::result::Result<Self, String> {
+        use serde::value::ShimValue;
+        Ok(match v {
+            ShimValue::Null => Value::Null,
+            ShimValue::Bool(b) => Value::Bool(*b),
+            ShimValue::Number(n) => Value::Number(*n),
+            ShimValue::String(s) => Value::String(s.clone()),
+            ShimValue::Array(a) => Value::Array(
+                a.iter()
+                    .map(Self::shim_from_value)
+                    .collect::<std::result::Result<_, _>>()?,
+            ),
+            ShimValue::Object(m) => Value::Object(
+                m.iter()
+                    .map(|(k, x)| Ok((k.clone(), Self::shim_from_value(x)?)))
+                    .collect::<std::result::Result<_, String>>()?,
+            ),
+        })
+    }
+}
+
+macro_rules! from_num {
+    ($($t:ty),*) => {
+        $(impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(v as f64) }
+        })*
+    };
+}
+
+from_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Value {
+        v.clone()
+    }
+}
+
+/// `json!` fallback: serialize any `Serialize` by reference (mirrors the
+/// real macro's `to_value(&expr)` so value exprs are not moved).
+pub fn shim_to_value<T: serde::Serialize + ?Sized>(v: &T) -> Value {
+    from_str::<Value>(&v.shim_json()).unwrap_or(Value::Null)
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    // Derived impls emit compact JSON; round-trip through `Value` for the
+    // indented form. Raw output is already pretty when `T` is `Value`.
+    let raw = value.shim_json();
+    match from_str::<Value>(&raw) {
+        Ok(v) => Ok(v.to_string()),
+        Err(_) => Ok(raw),
+    }
+}
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.shim_json())
+}
+
+pub fn from_str<T: for<'de> serde::Deserialize<'de>>(text: &str) -> Result<T> {
+    T::shim_from_json(text).map_err(Error)
+}
+
+/// Simplified `json!` macro: objects with literal-string keys, arrays,
+/// `null`, and arbitrary `Into<Value>` expressions (TT-munched so values
+/// may span multiple tokens, e.g. `a.mean / b.mean`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        let mut vec = ::std::vec::Vec::<$crate::Value>::new();
+        $crate::shim_json_array!(vec [] $($tt)+);
+        $crate::Value::Array(vec)
+    }};
+    ({}) => { $crate::Value::Object(::std::collections::BTreeMap::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut map = ::std::collections::BTreeMap::<String, $crate::Value>::new();
+        $crate::shim_json_object!(map $($tt)+);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::shim_to_value(&$other) };
+}
+
+/// Object-body muncher: `key : value , ...` (helper, not public API).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! shim_json_object {
+    ($map:ident) => {};
+    ($map:ident $key:literal : $($rest:tt)+) => {
+        $crate::shim_json_value!($map [$key] [] $($rest)+);
+    };
+}
+
+/// Value accumulator: collects tokens until a top-level comma (helper).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! shim_json_value {
+    ($map:ident [$key:literal] [$($val:tt)+] , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!($($val)+));
+        $crate::shim_json_object!($map $($rest)*);
+    };
+    ($map:ident [$key:literal] [$($val:tt)+]) => {
+        $map.insert($key.to_string(), $crate::json!($($val)+));
+    };
+    ($map:ident [$key:literal] [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::shim_json_value!($map [$key] [$($val)* $next] $($rest)*);
+    };
+}
+
+/// Array-element muncher (helper, not public API).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! shim_json_array {
+    ($vec:ident []) => {};
+    ($vec:ident [$($val:tt)+] , $($rest:tt)*) => {
+        $vec.push($crate::json!($($val)+));
+        $crate::shim_json_array!($vec [] $($rest)*);
+    };
+    ($vec:ident [$($val:tt)+]) => {
+        $vec.push($crate::json!($($val)+));
+    };
+    ($vec:ident [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::shim_json_array!($vec [$($val)* $next] $($rest)*);
+    };
+}

@@ -1,0 +1,40 @@
+//! Offline dev shim for `tempfile` (tempdir subset). Never shipped.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    pub fn into_path(self) -> PathBuf {
+        let p = self.path.clone();
+        std::mem::forget(self);
+        p
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+pub fn tempdir() -> std::io::Result<TempDir> {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!(
+        "shim-tmp-{}-{}-{n}",
+        std::process::id(),
+        // Thread id keeps concurrent test threads collision-free.
+        format!("{:?}", std::thread::current().id()).replace(['(', ')'], "")
+    ));
+    std::fs::create_dir_all(&path)?;
+    Ok(TempDir { path })
+}
