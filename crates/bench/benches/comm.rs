@@ -4,6 +4,7 @@
 use awp_grid::decomp::Decomp3;
 use awp_grid::dims::Dims3;
 use awp_grid::stagger::Component;
+use awp_solver::arena::HaloArena;
 use awp_solver::exchange::{exchange, full_plan, reduced_stress_plan, reduced_velocity_plan, Phase};
 use awp_solver::state::WaveState;
 use awp_vcluster::probe::{cascade, ping_pong};
@@ -53,8 +54,9 @@ fn bench_halo_exchange(c: &mut Criterion) {
                     } else {
                         full_plan(&Component::ALL)
                     };
+                    let mut arena = HaloArena::new();
                     for step in 0..5u64 {
-                        exchange(&mut st, &sub, ctx, &plan, Phase::Velocity, step);
+                        exchange(&mut st, &sub, ctx, &plan, Phase::Velocity, step, &mut arena);
                     }
                 });
             });

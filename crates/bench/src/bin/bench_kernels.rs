@@ -1,0 +1,262 @@
+//! Kernel-throughput and halo-bandwidth regression bench.
+//!
+//! Measures the hot path along both axes the repo optimises:
+//!
+//! * **kernels** — velocity+stress GFLOPS for scalar vs explicit-SIMD
+//!   backends × unblocked vs JAGUAR cache blocking (flop counts from
+//!   `awp_solver::flops`);
+//! * **exchange** — halo bytes/sec over 4 virtual ranks for the full vs
+//!   reduced (§IV.A) plans, plus the staging-arena allocation ledger
+//!   across steady-state steps.
+//!
+//! Flags: `--smoke` shrinks dims/iterations for CI; `--gate` exits
+//! nonzero when SIMD is slower than scalar on the blocked config or the
+//! steady-state exchange touched the heap. Writes `BENCH_kernels.json`
+//! in the working directory (full matrix, SIMD backend named) and
+//! `results/bench_kernels_baseline.json` (the scalar subset).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use awp_bench::section;
+use awp_cvm::mesh::MeshGenerator;
+use awp_cvm::model::LayeredModel;
+use awp_grid::blocking::BlockSpec;
+use awp_grid::decomp::Decomp3;
+use awp_grid::dims::Dims3;
+use awp_grid::face::{face_len, Axis, Face};
+use awp_grid::stagger::Component;
+use awp_solver::arena::HaloArena;
+use awp_solver::exchange::{
+    exchange, full_plan, reduced_stress_plan, reduced_velocity_plan, FieldPlan, Phase,
+};
+use awp_solver::flops::per_point;
+use awp_solver::kernels::{update_stress, update_velocity};
+use awp_solver::medium::Medium;
+use awp_solver::simd::{detect, update_stress_simd, update_velocity_simd, SimdBackend};
+use awp_solver::state::WaveState;
+use awp_vcluster::{Cluster, CommMode};
+use serde_json::json;
+
+struct Opts {
+    smoke: bool,
+    gate: bool,
+}
+
+fn setup(d: Dims3) -> (Medium, WaveState) {
+    let model = LayeredModel::loh1();
+    let mesh = MeshGenerator::new(&model, d, 150.0).generate();
+    let mut med = Medium::from_mesh(&mesh);
+    med.precompute();
+    let mut st = WaveState::new(d, false);
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for c in Component::ALL {
+        for v in st.field_mut(c).as_mut_slice() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *v = ((x % 2000) as f32 / 1000.0 - 1.0) * 1e3;
+        }
+    }
+    (med, st)
+}
+
+/// Time `iters` full leapfrog kernel sweeps; best of `reps` runs.
+fn time_kernels(
+    d: Dims3,
+    simd: bool,
+    block: BlockSpec,
+    iters: usize,
+    reps: usize,
+) -> (f64, f64) {
+    let (med, mut st) = setup(d);
+    let (dth, dt) = (1e-4f32, 1e-2f32);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        // One untimed sweep warms caches and the branch predictor.
+        step_once(&mut st, &med, simd, block, dth, dt);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            step_once(&mut st, &med, simd, block, dth, dt);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    black_box(st.vx.as_slice()[st.vx.as_slice().len() / 2]);
+    let flops = (d.count() as u64 * per_point(false) * iters as u64) as f64;
+    (best, flops / best / 1e9)
+}
+
+fn step_once(st: &mut WaveState, med: &Medium, simd: bool, block: BlockSpec, dth: f32, dt: f32) {
+    if simd {
+        update_velocity_simd(st, med, dth, block);
+        update_stress_simd(st, med, None, dth, dt, block);
+    } else {
+        update_velocity(st, med, dth, block, true);
+        update_stress(st, med, None, dth, dt, block, true);
+    }
+}
+
+/// Run `steps` exchanges on 4 ranks; returns (secs, bytes moved per step,
+/// total arena allocations after warmup minus at warmup).
+fn time_exchange(global: Dims3, plan: &[FieldPlan], steps: u64) -> (f64, u64, u64) {
+    let decomp = Decomp3::new(global, [2, 2, 1]);
+    let cluster = Cluster::new(4, CommMode::Asynchronous);
+    let warmup = 3u64;
+    let out = cluster.run(|ctx| {
+        let sub = decomp.subdomain(ctx.rank());
+        let mut st = WaveState::new(sub.dims, false);
+        let mut arena = HaloArena::new();
+        for step in 0..warmup {
+            exchange(&mut st, &sub, ctx, plan, Phase::Velocity, step, &mut arena);
+        }
+        ctx.barrier();
+        let warm = arena.allocations();
+        let t0 = Instant::now();
+        for step in warmup..warmup + steps {
+            exchange(&mut st, &sub, ctx, plan, Phase::Velocity, step, &mut arena);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        // Bytes this rank sent in one step (each message is counted once
+        // cluster-wide at its sender).
+        let mut sent = 0u64;
+        for p in plan {
+            let field = st.field(p.comp);
+            let (f_lo, f_hi) = match p.axis {
+                Axis::X => (Face::XLo, Face::XHi),
+                Axis::Y => (Face::YLo, Face::YHi),
+                Axis::Z => (Face::ZLo, Face::ZHi),
+            };
+            if sub.neighbor(f_lo).is_some() {
+                sent += 4 * face_len(field, f_lo, p.recv_hi) as u64;
+            }
+            if sub.neighbor(f_hi).is_some() {
+                sent += 4 * face_len(field, f_hi, p.recv_lo) as u64;
+            }
+        }
+        (secs, sent, arena.allocations() - warm)
+    });
+    let secs = out.iter().map(|r| r.0).fold(0.0f64, f64::max);
+    let bytes_per_step: u64 = out.iter().map(|r| r.1).sum();
+    let alloc_delta: u64 = out.iter().map(|r| r.2).sum();
+    (secs, bytes_per_step, alloc_delta)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let opts = Opts {
+        smoke: args.iter().any(|a| a == "--smoke"),
+        gate: args.iter().any(|a| a == "--gate"),
+    };
+    let mode = if opts.smoke { "smoke" } else { "full" };
+    let backend = detect();
+    section(&format!(
+        "kernel/exchange throughput — backend {}, {mode} mode",
+        backend.name()
+    ));
+
+    let (kd, iters, reps) = if opts.smoke {
+        (Dims3::new(48, 40, 32), 3, 2)
+    } else {
+        (Dims3::new(128, 96, 64), 8, 3)
+    };
+    let mut kernels = Vec::new();
+    println!("{:<10} {:<10} {:>12} {:>10}", "backend", "block", "time/iter", "GFLOPS");
+    for (bname, simd) in [("scalar", false), (backend.name(), true)] {
+        for (blname, block) in [("unblocked", BlockSpec::UNBLOCKED), ("jaguar", BlockSpec::JAGUAR)] {
+            let (secs, gflops) = time_kernels(kd, simd, block, iters, reps);
+            println!(
+                "{:<10} {:<10} {:>9.3} ms {:>10.2}",
+                bname,
+                blname,
+                secs / iters as f64 * 1e3,
+                gflops
+            );
+            kernels.push(json!({
+                "backend": bname, "simd": simd, "block": blname,
+                "dims": [kd.nx, kd.ny, kd.nz], "iters": iters,
+                "secs": secs, "gflops": gflops,
+            }));
+        }
+    }
+
+    let (xd, steps) = if opts.smoke {
+        (Dims3::new(32, 32, 16), 8u64)
+    } else {
+        (Dims3::new(64, 64, 32), 20u64)
+    };
+    let mut exchanges = Vec::new();
+    let mut alloc_delta_total = 0u64;
+    println!("\n{:<14} {:>12} {:>12} {:>12}", "plan", "step bytes", "GB/s", "allocs Δ");
+    for (pname, plan) in [
+        ("full", full_plan(&Component::ALL)),
+        ("reduced", {
+            let mut p = reduced_velocity_plan();
+            p.extend(reduced_stress_plan());
+            p
+        }),
+    ] {
+        let (secs, bytes_per_step, alloc_delta) = time_exchange(xd, &plan, steps);
+        let rate = bytes_per_step as f64 * steps as f64 / secs / 1e9;
+        alloc_delta_total += alloc_delta;
+        println!("{pname:<14} {bytes_per_step:>12} {rate:>12.3} {alloc_delta:>12}");
+        exchanges.push(json!({
+            "plan": pname, "ranks": 4, "dims": [xd.nx, xd.ny, xd.nz],
+            "steps": steps, "secs": secs, "bytes_per_step": bytes_per_step,
+            "gbytes_per_sec": rate, "arena_allocs_delta": alloc_delta,
+        }));
+    }
+
+    // Gate inputs: blocked configs are what the solver actually runs.
+    let gf = |simd: bool| {
+        kernels
+            .iter()
+            .find(|k| k["simd"].as_bool() == Some(simd) && k["block"].as_str() == Some("jaguar"))
+            .and_then(|k| k["gflops"].as_f64())
+            .unwrap_or(0.0)
+    };
+    let (scalar_gf, simd_gf) = (gf(false), gf(true));
+    let ratio = simd_gf / scalar_gf;
+    let simd_ok = backend == SimdBackend::Scalar || ratio >= 1.0;
+    let alloc_ok = alloc_delta_total == 0;
+    println!("\nSIMD/scalar (blocked): {ratio:.2}x   steady-state allocations: {alloc_delta_total}");
+
+    let report = json!({
+        "backend": backend.name(),
+        "mode": mode,
+        "kernels": kernels,
+        "exchange": exchanges,
+        "gate": {
+            "simd_over_scalar": ratio,
+            "simd_not_slower": simd_ok,
+            "steady_state_alloc_free": alloc_ok,
+            "passed": simd_ok && alloc_ok,
+        },
+    });
+    // Smoke mode is the CI gate: it must not clobber the committed
+    // full-mode artifacts with shrunk-problem numbers.
+    if !opts.smoke {
+        let pretty = serde_json::to_string_pretty(&report).expect("serialize report");
+        std::fs::write("BENCH_kernels.json", &pretty).expect("write BENCH_kernels.json");
+        println!("[record] BENCH_kernels.json");
+
+        let baseline = json!({
+            "backend": "scalar",
+            "mode": mode,
+            "kernels": kernels.iter().filter(|k| k["simd"].as_bool() == Some(false)).collect::<Vec<_>>(),
+            "exchange": exchanges,
+        });
+        std::fs::create_dir_all("results").ok();
+        let pretty = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
+        std::fs::write("results/bench_kernels_baseline.json", &pretty)
+            .expect("write results/bench_kernels_baseline.json");
+        println!("[record] results/bench_kernels_baseline.json");
+    }
+
+    if opts.gate && !(simd_ok && alloc_ok) {
+        eprintln!(
+            "GATE FAILED: simd_not_slower={simd_ok} (ratio {ratio:.3}), \
+             steady_state_alloc_free={alloc_ok} (delta {alloc_delta_total})"
+        );
+        std::process::exit(1);
+    }
+}

@@ -121,4 +121,52 @@ mod tests {
     fn zero_block_rejected() {
         BlockSpec::new(0, 8);
     }
+
+    /// Degenerate specs the SIMD loops now sit on top of: `usize::MAX`
+    /// blocks (UNBLOCKED and half-unblocked), single-cell blocks, and
+    /// blocks larger than the loop length must all tile exactly once
+    /// without overflowing.
+    #[test]
+    fn degenerate_specs_cover_exactly_once() {
+        for (nj, nk, spec) in [
+            (7, 5, BlockSpec { kblock: usize::MAX, jblock: usize::MAX }),
+            (7, 5, BlockSpec { kblock: usize::MAX, jblock: 2 }),
+            (7, 5, BlockSpec { kblock: 2, jblock: usize::MAX }),
+            (7, 5, BlockSpec::new(1, 1)),
+            (7, 5, BlockSpec::new(100, 100)),
+            (1, 1, BlockSpec::new(1, 1)),
+            (1, 1, BlockSpec::UNBLOCKED),
+        ] {
+            let mut seen = HashSet::new();
+            for_each_blocked(nj, nk, spec, |j, k| {
+                assert!(j < nj && k < nk, "({j},{k}) out of range for {spec:?}");
+                assert!(seen.insert((j, k)), "({j},{k}) visited twice for {spec:?}");
+            });
+            assert_eq!(seen.len(), nj * nk, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_block_is_single_tile() {
+        // kblock/jblock beyond the loop length clamp to one tile, exactly
+        // like UNBLOCKED.
+        let tiles = blocked_tiles(6, 3, BlockSpec::new(50, 50));
+        assert_eq!(tiles, blocked_tiles(6, 3, BlockSpec::UNBLOCKED));
+    }
+
+    #[test]
+    fn unit_blocks_enumerate_every_cell() {
+        let tiles = blocked_tiles(3, 2, BlockSpec::new(1, 1));
+        assert_eq!(tiles.len(), 6);
+        for (jr, kr) in &tiles {
+            assert_eq!(jr.len(), 1);
+            assert_eq!(kr.len(), 1);
+        }
+    }
+
+    #[test]
+    fn empty_loop_produces_no_tiles() {
+        assert!(blocked_tiles(0, 4, BlockSpec::JAGUAR).is_empty());
+        assert!(blocked_tiles(4, 0, BlockSpec::JAGUAR).is_empty());
+    }
 }

@@ -119,19 +119,24 @@ fn layers(face: Face, n: usize, width: usize, l: usize) -> isize {
 
 /// Extract the `width` interior layers adjacent to `face` into `buf`
 /// (cleared first). Tangential extent is the interior only.
+///
+/// The Y/Z cases copy whole x-rows at a time (`extend_from_slice` lowers to
+/// a vectorized memcpy); the X case gathers a strided column per (k, l)
+/// pair through the raw slice so no per-element offset arithmetic remains.
 pub fn extract_face(a: &Array3, face: Face, width: usize, buf: &mut Vec<f32>) {
     buf.clear();
     buf.reserve(face_len(a, face, width));
     let d = a.interior();
+    let (sy, _) = a.strides();
+    let data = a.as_slice();
     match face.axis() {
         Axis::X => {
             let n = d.nx;
             for l in 0..width {
                 let i = layers(face, n, width, l);
                 for k in 0..d.nz {
-                    for j in 0..d.ny {
-                        buf.push(a.get(i, j as isize, k as isize));
-                    }
+                    let col = a.offset(i, 0, k as isize);
+                    buf.extend((0..d.ny).map(|j| data[col + sy * j]));
                 }
             }
         }
@@ -140,9 +145,8 @@ pub fn extract_face(a: &Array3, face: Face, width: usize, buf: &mut Vec<f32>) {
             for l in 0..width {
                 let j = layers(face, n, width, l);
                 for k in 0..d.nz {
-                    for i in 0..d.nx {
-                        buf.push(a.get(i as isize, j, k as isize));
-                    }
+                    let row = a.offset(0, j, k as isize);
+                    buf.extend_from_slice(&data[row..row + d.nx]);
                 }
             }
         }
@@ -151,9 +155,8 @@ pub fn extract_face(a: &Array3, face: Face, width: usize, buf: &mut Vec<f32>) {
             for l in 0..width {
                 let k = layers(face, n, width, l);
                 for j in 0..d.ny {
-                    for i in 0..d.nx {
-                        buf.push(a.get(i as isize, j as isize, k));
-                    }
+                    let row = a.offset(0, j as isize, k);
+                    buf.extend_from_slice(&data[row..row + d.nx]);
                 }
             }
         }
@@ -167,7 +170,8 @@ pub fn extract_face(a: &Array3, face: Face, width: usize, buf: &mut Vec<f32>) {
 pub fn inject_halo(a: &mut Array3, face: Face, width: usize, buf: &[f32]) {
     assert_eq!(buf.len(), face_len(a, face, width), "halo slab size mismatch");
     let d = a.interior();
-    let mut it = buf.iter();
+    let (sy, _) = a.strides();
+    let mut src = buf;
     match face.axis() {
         Axis::X => {
             for l in 0..width {
@@ -180,8 +184,12 @@ pub fn inject_halo(a: &mut Array3, face: Face, width: usize, buf: &[f32]) {
                     (d.nx + l) as isize
                 };
                 for k in 0..d.nz {
-                    for j in 0..d.ny {
-                        a.set(i, j as isize, k as isize, *it.next().unwrap());
+                    let col = a.offset(i, 0, k as isize);
+                    let (layer, rest) = src.split_at(d.ny);
+                    src = rest;
+                    let data = a.as_mut_slice();
+                    for (j, v) in layer.iter().enumerate() {
+                        data[col + sy * j] = *v;
                     }
                 }
             }
@@ -194,9 +202,10 @@ pub fn inject_halo(a: &mut Array3, face: Face, width: usize, buf: &[f32]) {
                     (d.ny + l) as isize
                 };
                 for k in 0..d.nz {
-                    for i in 0..d.nx {
-                        a.set(i as isize, j, k as isize, *it.next().unwrap());
-                    }
+                    let row = a.offset(0, j, k as isize);
+                    let (line, rest) = src.split_at(d.nx);
+                    src = rest;
+                    a.as_mut_slice()[row..row + d.nx].copy_from_slice(line);
                 }
             }
         }
@@ -208,9 +217,10 @@ pub fn inject_halo(a: &mut Array3, face: Face, width: usize, buf: &[f32]) {
                     (d.nz + l) as isize
                 };
                 for j in 0..d.ny {
-                    for i in 0..d.nx {
-                        a.set(i as isize, j as isize, k, *it.next().unwrap());
-                    }
+                    let row = a.offset(0, j as isize, k);
+                    let (line, rest) = src.split_at(d.nx);
+                    src = rest;
+                    a.as_mut_slice()[row..row + d.nx].copy_from_slice(line);
                 }
             }
         }

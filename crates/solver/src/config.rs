@@ -53,6 +53,11 @@ pub struct SolverOpts {
     /// §IV.A reduced algorithm-level communication (per-field per-axis
     /// minimal halo widths instead of blanket 2-cell exchanges).
     pub reduced_comm: bool,
+    /// Explicit-SIMD kernel backend (runtime-dispatched AVX2/SSE2 with a
+    /// portable scalar fallback). Requires `reciprocal_media`; bit-exact
+    /// with the scalar optimized kernels, so it composes freely with every
+    /// equivalence test. Ignored by the `hybrid` and overlap split paths.
+    pub simd: bool,
     /// §IV.C computation/communication overlap (split per component).
     pub overlap: bool,
     /// §IV.A synchronous vs asynchronous engine.
@@ -90,6 +95,7 @@ impl SolverOpts {
             reciprocal_media: true,
             block: BlockSpec::JAGUAR,
             reduced_comm: true,
+            simd: true,
             overlap: false, // v7.2 dropped overlap in favour of blocking+reduced comm
             comm_mode: CommModeOpt::Asynchronous,
             per_step_barrier: false,
@@ -103,6 +109,7 @@ impl SolverOpts {
             reciprocal_media: false,
             block: BlockSpec::UNBLOCKED,
             reduced_comm: false,
+            simd: false,
             overlap: false,
             comm_mode: CommModeOpt::Synchronous,
             per_step_barrier: true,
@@ -264,6 +271,9 @@ mod tests {
         assert_eq!(CodeVersion::V7_2.opts(), {
             let mut o = SolverOpts::optimized();
             o.overlap = false;
+            // The explicit-SIMD backend postdates the paper's v7.2; the
+            // Table-2 presets stay scalar so version contrasts are honest.
+            o.simd = false;
             o
         });
     }

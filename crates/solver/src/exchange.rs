@@ -15,13 +15,21 @@
 //!
 //! Widths are *receiver-centric*: `(recv_lo, recv_hi)` layers land in this
 //! rank's low/high halo; the matching sends are derived symmetrically.
+//!
+//! The data path is zero-copy: outgoing slabs are extracted into buffers
+//! pooled in a [`HaloArena`] and *moved* into the mailbox (`Payload::F32`
+//! carries the allocation); the receiver injects straight from the arrived
+//! vector and pools it for its own next send. Steady-state stepping
+//! performs no per-message heap allocation — the arena's debug ledger
+//! asserts this.
 
+use crate::arena::HaloArena;
 use crate::state::WaveState;
 use awp_grid::decomp::Subdomain;
-use awp_grid::face::{extract_face, inject_halo, Axis, Face};
+use awp_grid::face::{extract_face, face_len, inject_halo, Axis, Face};
 use awp_grid::stagger::Component;
-use awp_vcluster::cluster::{CommMode, RankCtx, RecvReq};
-use awp_vcluster::message::make_tag;
+use awp_vcluster::cluster::{CommMode, RankCtx};
+use awp_vcluster::message::{make_tag, Tag};
 
 /// One component-axis exchange rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,13 +115,27 @@ fn faces_of(axis: Axis) -> (Face, Face) {
     }
 }
 
-/// A started (asynchronous) exchange awaiting completion.
+/// One outstanding receive of a started exchange: where the message comes
+/// from and where its slab goes. Stored contiguously so completion needs no
+/// scratch vector (MPI_Waitall used to force a second request array here).
+#[derive(Debug, Clone, Copy)]
+pub struct PendingRecv {
+    src: usize,
+    tag: Tag,
+    comp: Component,
+    face: Face,
+    width: usize,
+    done: bool,
+}
+
+/// A started (asynchronous) exchange awaiting completion. The request list
+/// is borrowed from the [`HaloArena`] and returned on finish.
 pub struct PendingExchange {
-    /// (request, component, face to inject at, width).
-    reqs: Vec<(RecvReq, Component, Face, usize)>,
+    reqs: Vec<PendingRecv>,
 }
 
 /// Post receives and eager sends for a plan (asynchronous engine only).
+/// Outgoing slabs are staged in arena buffers and moved into the mailbox.
 pub fn start_exchange(
     state: &WaveState,
     sub: &Subdomain,
@@ -121,23 +143,37 @@ pub fn start_exchange(
     plan: &[FieldPlan],
     phase: Phase,
     step: u64,
+    arena: &mut HaloArena,
 ) -> PendingExchange {
     assert_eq!(ctx.mode(), CommMode::Asynchronous, "overlapped exchange needs the async engine");
-    let mut reqs = Vec::new();
-    let mut buf = Vec::new();
+    let mut reqs = arena.take_reqs();
     for p in plan {
         let (f_lo, f_hi) = faces_of(p.axis);
         // Post receives first.
         if let Some(nb) = sub.neighbor(f_lo) {
             if p.recv_lo > 0 {
                 let tag = make_tag(phase as u8, p.comp.id() as u8, f_lo.id() as u8, step);
-                reqs.push((ctx.irecv(nb, tag), p.comp, f_lo, p.recv_lo));
+                reqs.push(PendingRecv {
+                    src: nb,
+                    tag,
+                    comp: p.comp,
+                    face: f_lo,
+                    width: p.recv_lo,
+                    done: false,
+                });
             }
         }
         if let Some(nb) = sub.neighbor(f_hi) {
             if p.recv_hi > 0 {
                 let tag = make_tag(phase as u8, p.comp.id() as u8, f_hi.id() as u8, step);
-                reqs.push((ctx.irecv(nb, tag), p.comp, f_hi, p.recv_hi));
+                reqs.push(PendingRecv {
+                    src: nb,
+                    tag,
+                    comp: p.comp,
+                    face: f_hi,
+                    width: p.recv_hi,
+                    done: false,
+                });
             }
         }
         // Send to the low neighbour: our low-side layers land in its *high*
@@ -145,35 +181,66 @@ pub fn start_exchange(
         // the matching irecv with its f_hi face id.
         if let Some(nb) = sub.neighbor(f_lo) {
             if p.recv_hi > 0 {
-                extract_face(state.field(p.comp), f_lo, p.recv_hi, &mut buf);
+                let field = state.field(p.comp);
+                let mut buf = arena.take_buf(face_len(field, f_lo, p.recv_hi));
+                extract_face(field, f_lo, p.recv_hi, &mut buf);
                 let tag = make_tag(phase as u8, p.comp.id() as u8, f_hi.id() as u8, step);
-                ctx.send(nb, tag, buf.clone());
+                ctx.send(nb, tag, buf);
             }
         }
         // Send to the high neighbour: our high-side layers fill its low halo.
         if let Some(nb) = sub.neighbor(f_hi) {
             if p.recv_lo > 0 {
-                extract_face(state.field(p.comp), f_hi, p.recv_lo, &mut buf);
+                let field = state.field(p.comp);
+                let mut buf = arena.take_buf(face_len(field, f_hi, p.recv_lo));
+                extract_face(field, f_hi, p.recv_lo, &mut buf);
                 let tag = make_tag(phase as u8, p.comp.id() as u8, f_lo.id() as u8, step);
-                ctx.send(nb, tag, buf.clone());
+                ctx.send(nb, tag, buf);
             }
         }
     }
     PendingExchange { reqs }
 }
 
-/// Complete a started exchange: wait on all receives (MPI_Waitall) and
-/// inject the halos.
+/// Complete a started exchange: drain every posted receive (MPI_Waitall)
+/// and inject the halos. Ready messages are absorbed in arrival order via
+/// `try_recv`; when nothing is ready the first outstanding request blocks.
+/// Received slabs are pooled in the arena after injection — the completion
+/// loop allocates nothing.
 pub fn finish_exchange(
     state: &mut WaveState,
     ctx: &mut RankCtx,
     pending: PendingExchange,
+    arena: &mut HaloArena,
 ) {
-    let reqs: Vec<RecvReq> = pending.reqs.iter().map(|(r, ..)| *r).collect();
-    let payloads = ctx.wait_all(&reqs);
-    for ((_, comp, face, width), payload) in pending.reqs.into_iter().zip(payloads) {
-        inject_halo(state.field_mut(comp), face, width, &payload.into_f32());
+    let PendingExchange { mut reqs } = pending;
+    let mut remaining = reqs.len();
+    while remaining > 0 {
+        let mut progressed = false;
+        for r in reqs.iter_mut() {
+            if r.done {
+                continue;
+            }
+            if let Some(payload) = ctx.try_recv(r.src, r.tag) {
+                let data = payload.into_f32();
+                inject_halo(state.field_mut(r.comp), r.face, r.width, &data);
+                arena.put_buf(data);
+                r.done = true;
+                remaining -= 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            if let Some(r) = reqs.iter_mut().find(|r| !r.done) {
+                let data = ctx.recv(r.src, r.tag).into_f32();
+                inject_halo(state.field_mut(r.comp), r.face, r.width, &data);
+                arena.put_buf(data);
+                r.done = true;
+                remaining -= 1;
+            }
+        }
     }
+    arena.put_reqs(reqs);
 }
 
 /// Full exchange of a plan, dispatching on the engine:
@@ -189,13 +256,14 @@ pub fn exchange(
     plan: &[FieldPlan],
     phase: Phase,
     step: u64,
+    arena: &mut HaloArena,
 ) {
     match ctx.mode() {
         CommMode::Asynchronous => {
-            let pending = start_exchange(state, sub, ctx, plan, phase, step);
-            finish_exchange(state, ctx, pending);
+            let pending = start_exchange(state, sub, ctx, plan, phase, step, arena);
+            finish_exchange(state, ctx, pending, arena);
         }
-        CommMode::Synchronous => exchange_sync(state, sub, ctx, plan, phase, step),
+        CommMode::Synchronous => exchange_sync(state, sub, ctx, plan, phase, step, arena),
     }
 }
 
@@ -206,63 +274,69 @@ fn exchange_sync(
     plan: &[FieldPlan],
     phase: Phase,
     step: u64,
+    arena: &mut HaloArena,
 ) {
-    let mut buf = Vec::new();
     for p in plan {
         let (f_lo, f_hi) = faces_of(p.axis);
         let even = sub.coords[p.axis.index()] % 2 == 0;
         // Two half-phases per direction keep rendezvous sends deadlock-free.
         // Direction 1: data flows low → high (fills low halos).
-        let send_hi = |state: &WaveState, ctx: &mut RankCtx, buf: &mut Vec<f32>| {
+        let send_hi = |state: &WaveState, ctx: &mut RankCtx, arena: &mut HaloArena| {
             if let Some(nb) = sub.neighbor(f_hi) {
                 if p.recv_lo > 0 {
-                    extract_face(state.field(p.comp), f_hi, p.recv_lo, buf);
+                    let field = state.field(p.comp);
+                    let mut buf = arena.take_buf(face_len(field, f_hi, p.recv_lo));
+                    extract_face(field, f_hi, p.recv_lo, &mut buf);
                     let tag = make_tag(phase as u8, p.comp.id() as u8, f_lo.id() as u8, step);
-                    ctx.send(nb, tag, buf.clone());
+                    ctx.send(nb, tag, buf);
                 }
             }
         };
-        let recv_lo = |state: &mut WaveState, ctx: &mut RankCtx| {
+        let recv_lo = |state: &mut WaveState, ctx: &mut RankCtx, arena: &mut HaloArena| {
             if let Some(nb) = sub.neighbor(f_lo) {
                 if p.recv_lo > 0 {
                     let tag = make_tag(phase as u8, p.comp.id() as u8, f_lo.id() as u8, step);
                     let data = ctx.recv(nb, tag).into_f32();
                     inject_halo(state.field_mut(p.comp), f_lo, p.recv_lo, &data);
+                    arena.put_buf(data);
                 }
             }
         };
         if even {
-            send_hi(state, ctx, &mut buf);
-            recv_lo(state, ctx);
+            send_hi(state, ctx, arena);
+            recv_lo(state, ctx, arena);
         } else {
-            recv_lo(state, ctx);
-            send_hi(state, ctx, &mut buf);
+            recv_lo(state, ctx, arena);
+            send_hi(state, ctx, arena);
         }
         // Direction 2: high → low (fills high halos).
-        let send_lo = |state: &WaveState, ctx: &mut RankCtx, buf: &mut Vec<f32>| {
+        let send_lo = |state: &WaveState, ctx: &mut RankCtx, arena: &mut HaloArena| {
             if let Some(nb) = sub.neighbor(f_lo) {
                 if p.recv_hi > 0 {
-                    extract_face(state.field(p.comp), f_lo, p.recv_hi, buf);
+                    let field = state.field(p.comp);
+                    let mut buf = arena.take_buf(face_len(field, f_lo, p.recv_hi));
+                    extract_face(field, f_lo, p.recv_hi, &mut buf);
                     let tag = make_tag(phase as u8, p.comp.id() as u8, f_hi.id() as u8, step);
-                    ctx.send(nb, tag, buf.clone());
+                    ctx.send(nb, tag, buf);
                 }
             }
         };
-        let recv_hi = |state: &mut WaveState, ctx: &mut RankCtx| {
+        let recv_hi = |state: &mut WaveState, ctx: &mut RankCtx, arena: &mut HaloArena| {
             if let Some(nb) = sub.neighbor(f_hi) {
                 if p.recv_hi > 0 {
                     let tag = make_tag(phase as u8, p.comp.id() as u8, f_hi.id() as u8, step);
                     let data = ctx.recv(nb, tag).into_f32();
                     inject_halo(state.field_mut(p.comp), f_hi, p.recv_hi, &data);
+                    arena.put_buf(data);
                 }
             }
         };
         if even {
-            send_lo(state, ctx, &mut buf);
-            recv_hi(state, ctx);
+            send_lo(state, ctx, arena);
+            recv_hi(state, ctx, arena);
         } else {
-            recv_hi(state, ctx);
-            send_lo(state, ctx, &mut buf);
+            recv_hi(state, ctx, arena);
+            send_lo(state, ctx, arena);
         }
     }
 }
@@ -331,6 +405,7 @@ mod tests {
                 let checks: Vec<bool> = cluster.run(|ctx| {
                     let sub = decomp.subdomain(ctx.rank());
                     let mut st = WaveState::new(sub.dims, false);
+                    let mut arena = HaloArena::new();
                     // Value encodes (global i, rank-independent).
                     for c in Component::ALL {
                         let f = st.field_mut(c);
@@ -355,7 +430,7 @@ mod tests {
                     } else {
                         full_plan(&Component::ALL)
                     };
-                    exchange(&mut st, &sub, ctx, &plan, Phase::Velocity, 0);
+                    exchange(&mut st, &sub, ctx, &plan, Phase::Velocity, 0, &mut arena);
                     // Verify: rank 0's high halo along x holds global i = 4
                     // (width ≥ 1 in every plan for the receiving side).
                     let mut ok = true;
@@ -387,6 +462,7 @@ mod tests {
         let maxdiff: Vec<f32> = cluster.run(|ctx| {
             let sub = decomp.subdomain(ctx.rank());
             let mut st = WaveState::new(sub.dims, false);
+            let mut arena = HaloArena::new();
             st.vx.map_interior(|idx, _| {
                 let g = sub.local_to_global(idx);
                 (g.i + 10 * g.j) as f32
@@ -395,8 +471,8 @@ mod tests {
                 .into_iter()
                 .filter(|p| p.comp == Component::Vx)
                 .collect();
-            let pending = start_exchange(&st, &sub, ctx, &plan, Phase::Velocity, 7);
-            finish_exchange(&mut st, ctx, pending);
+            let pending = start_exchange(&st, &sub, ctx, &plan, Phase::Velocity, 7, &mut arena);
+            finish_exchange(&mut st, ctx, pending, &mut arena);
             // Check one halo value against the global function.
             let mut err: f32 = 0.0;
             if sub.neighbor(Face::XHi).is_some() {
@@ -412,5 +488,34 @@ mod tests {
             err
         });
         assert!(maxdiff.iter().all(|&e| e == 0.0), "{maxdiff:?}");
+    }
+
+    /// The tentpole's zero-allocation guarantee: after a warmup step has
+    /// sized every pooled buffer, further steady-state exchanges must not
+    /// touch the heap (the arena ledger stays flat).
+    #[test]
+    fn steady_state_exchange_is_allocation_free() {
+        let global = Dims3::new(8, 8, 8);
+        let decomp = Decomp3::new(global, [2, 2, 2]);
+        let cluster = Cluster::new(8, CommMode::Asynchronous);
+        let flats: Vec<bool> = cluster.run(|ctx| {
+            let sub = decomp.subdomain(ctx.rank());
+            let mut st = WaveState::new(sub.dims, false);
+            let mut arena = HaloArena::new();
+            let mut plan = reduced_velocity_plan();
+            plan.extend(reduced_stress_plan());
+            // Warmup: pools fill and buffers grow to the largest slab.
+            for step in 0..3 {
+                exchange(&mut st, &sub, ctx, &plan, Phase::Velocity, step, &mut arena);
+            }
+            ctx.barrier();
+            let warm = arena.allocations();
+            for step in 3..13 {
+                exchange(&mut st, &sub, ctx, &plan, Phase::Velocity, step, &mut arena);
+            }
+            ctx.barrier();
+            arena.allocations() == warm
+        });
+        assert!(flats.iter().all(|&f| f), "{flats:?}");
     }
 }

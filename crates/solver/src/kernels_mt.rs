@@ -22,9 +22,9 @@ use rayon::prelude::*;
 pub fn update_velocity_mt(state: &mut WaveState, med: &Medium, dth: f32) {
     let d = state.dims;
     let (sy, sz, _) = layout(state);
-    let rx = med.rhox_inv.as_ref().expect("precompute() required").as_slice();
-    let ry = med.rhoy_inv.as_ref().unwrap().as_slice();
-    let rz = med.rhoz_inv.as_ref().unwrap().as_slice();
+    let rx = med.rhox_inv.as_ref().expect("precompute() not called").as_slice();
+    let ry = med.rhoy_inv.as_ref().expect("precompute() not called").as_slice();
+    let rz = med.rhoz_inv.as_ref().expect("precompute() not called").as_slice();
     let WaveState { vx, vy, vz, sxx, syy, szz, sxy, sxz, syz, .. } = state;
     let (sxx, syy, szz) = (sxx.as_slice(), syy.as_slice(), szz.as_slice());
     let (sxy, sxz_s, syz_s) = (sxy.as_slice(), sxz.as_slice(), syz.as_slice());
@@ -109,9 +109,9 @@ pub fn update_stress_mt(
     let (sy, sz, _) = layout(state);
     let lam = med.lam.as_slice();
     let mu = med.mu.as_slice();
-    let mxy = med.mu_xy.as_ref().expect("precompute() required").as_slice();
-    let mxz = med.mu_xz.as_ref().unwrap().as_slice();
-    let myz = med.mu_yz.as_ref().unwrap().as_slice();
+    let mxy = med.mu_xy.as_ref().expect("precompute() not called").as_slice();
+    let mxz = med.mu_xz.as_ref().expect("precompute() not called").as_slice();
+    let myz = med.mu_yz.as_ref().expect("precompute() not called").as_slice();
     let WaveState { vx, vy, vz, sxx, syy, szz, sxy, sxz, syz, mem, .. } = state;
     let (vx, vy, vz) = (vx.as_slice(), vy.as_slice(), vz.as_slice());
     let at = atten.map(|a| (a.decay.as_slice(), a.cs.as_slice(), a.cp.as_slice()));

@@ -8,11 +8,14 @@
 //! * [`medium`] — per-rank material arrays with the reciprocal-storage
 //!   optimisation of §IV.B and effective-media averaging;
 //! * [`state`] — the nine wavefield arrays plus anelastic memory variables;
-//! * [`kernels`]/[`kernels_mt`] — the hot velocity/stress update loops (single-
-//!   threaded and hybrid OpenMP-style Rayon variants, §IV.D), in *optimised*
+//! * [`kernels`]/[`kernels_mt`]/[`simd`] — the hot velocity/stress update
+//!   loops (single-threaded, hybrid OpenMP-style Rayon §IV.D, and
+//!   runtime-dispatched explicit-SIMD variants), in *optimised*
 //!   (precomputed reciprocals, cache blocking) and *legacy* (inline
 //!   divisions, unblocked) variants so the paper's §IV.B gains can be
 //!   measured;
+//! * [`arena`] — the pooled staging buffers making the halo exchange
+//!   allocation-free in steady state;
 //! * [`attenuation`] — coarse-grained memory-variable constant-Q
 //!   (Day 1998; Day & Bradley 2001), eight relaxation times on a 2×2×2
 //!   pattern;
@@ -32,6 +35,7 @@
 //! * [`flops`] — per-point floating-point operation accounting feeding the
 //!   Eq. (8) performance model.
 
+pub mod arena;
 pub mod attenuation;
 pub mod boundary;
 pub mod config;
@@ -42,13 +46,16 @@ pub mod kernels_mt;
 pub mod medium;
 pub mod pml;
 pub mod reference;
+pub mod simd;
 pub mod solver;
 pub mod sourceinj;
 pub mod state;
 pub mod stations;
 
+pub use arena::HaloArena;
 pub use config::{AbcKind, CodeVersion, SolverConfig, SolverOpts};
 pub use medium::Medium;
+pub use simd::SimdBackend;
 pub use solver::{run_parallel, RankResult, Solver};
 pub use state::WaveState;
 pub use stations::{Station, StationRecorder};

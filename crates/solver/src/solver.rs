@@ -3,6 +3,7 @@
 //! mode"): update velocities → share with neighbours → update stresses →
 //! share → repeat, with Eq. (7) phase timing.
 
+use crate::arena::HaloArena;
 use crate::attenuation::Attenuation;
 use crate::boundary::{
     apply_free_surface_stress, apply_free_surface_stress_group, apply_free_surface_velocity,
@@ -11,13 +12,14 @@ use crate::boundary::{
 use crate::config::{AbcKind, SolverConfig};
 use crate::exchange::{
     exchange, finish_exchange, full_plan, reduced_stress_plan, reduced_velocity_plan,
-    start_exchange, FieldPlan, Phase,
+    start_exchange, FieldPlan, PendingExchange, Phase,
 };
 use crate::flops::FlopCounter;
 use crate::kernels::{
     update_stress, update_stress_group, update_velocity, update_velocity_component,
 };
 use crate::kernels_mt::{update_stress_mt, update_velocity_mt};
+use crate::simd::{update_stress_simd, update_velocity_simd};
 use crate::medium::Medium;
 use crate::pml::Mpml;
 use crate::sourceinj::SourceInjector;
@@ -30,6 +32,15 @@ use awp_source::kinematic::KinematicSource;
 use awp_source::partition::partition_spatial;
 use awp_vcluster::cluster::RankCtx;
 use awp_vcluster::{Category, Cluster, TimeLedger};
+
+/// Overlap-path stress exchange groups (§IV.C): the normal components
+/// finalise together, each shear component on its own.
+const STRESS_GROUPS: [&[Component]; 4] = [
+    &[Component::Sxx, Component::Syy, Component::Szz],
+    &[Component::Sxy],
+    &[Component::Sxz],
+    &[Component::Syz],
+];
 
 /// One rank's solver instance.
 pub struct Solver {
@@ -46,6 +57,12 @@ pub struct Solver {
     pub flops: FlopCounter,
     vel_plan: Vec<FieldPlan>,
     str_plan: Vec<FieldPlan>,
+    /// Per-component / per-group plan slices, precomputed so the overlap
+    /// path filters nothing per step.
+    vel_plan_by_comp: [Vec<FieldPlan>; 3],
+    str_plan_by_group: [Vec<FieldPlan>; 4],
+    /// Pooled halo staging buffers (zero-copy exchange path).
+    arena: HaloArena,
 }
 
 /// Output of one rank's run.
@@ -115,6 +132,17 @@ impl Solver {
                 full_plan(&Component::STRESSES),
             )
         };
+        let vel_plan_by_comp = std::array::from_fn(|c| {
+            let cid = Component::VELOCITIES[c].id();
+            vel_plan.iter().filter(|p| p.comp.id() == cid).copied().collect()
+        });
+        let str_plan_by_group = std::array::from_fn(|g| {
+            str_plan
+                .iter()
+                .filter(|p| STRESS_GROUPS[g].iter().any(|c| c.id() == p.comp.id()))
+                .copied()
+                .collect()
+        });
         Self {
             cfg,
             sub,
@@ -129,7 +157,16 @@ impl Solver {
             flops: FlopCounter::default(),
             vel_plan,
             str_plan,
+            vel_plan_by_comp,
+            str_plan_by_group,
+            arena: HaloArena::new(),
         }
+    }
+
+    /// Heap-touching events in the exchange staging arena (flat across
+    /// steady-state steps ⇔ the halo pipeline is allocation-free).
+    pub fn arena_allocations(&self) -> u64 {
+        self.arena.allocations()
     }
 
     fn dth(&self) -> f32 {
@@ -146,9 +183,14 @@ impl Solver {
         let on_surface = self.cfg.free_surface && owns_free_surface(&self.sub);
 
         let hybrid = self.cfg.opts.hybrid && optimized;
+        // SIMD rides on the optimized (reciprocal-media) data layout; the
+        // hybrid path keeps its own Rayon kernels.
+        let simd = self.cfg.opts.simd && optimized && !hybrid;
         ledger.time(Category::Comp, || {
             if hybrid {
                 update_velocity_mt(&mut self.state, &self.med, dth);
+            } else if simd {
+                update_velocity_simd(&mut self.state, &self.med, dth, block);
             } else {
                 update_velocity(&mut self.state, &self.med, dth, block, optimized);
             }
@@ -168,6 +210,15 @@ impl Solver {
                     self.atten.as_ref(),
                     dth,
                     self.cfg.dt as f32,
+                );
+            } else if simd {
+                update_stress_simd(
+                    &mut self.state,
+                    &self.med,
+                    self.atten.as_ref(),
+                    dth,
+                    self.cfg.dt as f32,
+                    block,
                 );
             } else {
                 update_stress(
@@ -292,8 +343,13 @@ impl Solver {
         let block = self.cfg.opts.block;
         let optimized = self.cfg.opts.reciprocal_media;
         let hybrid = self.cfg.opts.hybrid && optimized;
+        let simd = self.cfg.opts.simd && optimized && !hybrid;
         let on_surface = self.cfg.free_surface && owns_free_surface(&self.sub);
         let step_tag = self.step as u64;
+        // The overlap path stays on the scalar split kernels: it trades
+        // fused-loop throughput for earlier sends by design, and the split
+        // kernels are pinned bit-exact to the fused ones (which SIMD also
+        // is), so all four paths agree.
         let use_overlap = self.cfg.opts.overlap
             && ctx.mode() == awp_vcluster::CommMode::Asynchronous
             && optimized
@@ -301,32 +357,33 @@ impl Solver {
             && self.mpml.is_none();
 
         // Velocity phase.
-        let vel_plan = std::mem::take(&mut self.vel_plan);
         if use_overlap {
-            let mut pendings = Vec::new();
-            for comp in 0..3 {
+            let mut pendings: [Option<PendingExchange>; 3] = [None, None, None];
+            for (comp, pending) in pendings.iter_mut().enumerate() {
                 ctx.time(Category::Comp, || {
                     update_velocity_component(&mut self.state, &self.med, dth, block, comp);
                 });
-                let cid = Component::VELOCITIES[comp].id();
-                let plan_c: Vec<FieldPlan> =
-                    vel_plan.iter().filter(|p| p.comp.id() == cid).copied().collect();
-                pendings.push(start_exchange(
+                *pending = Some(start_exchange(
                     &self.state,
                     &self.sub,
                     ctx,
-                    &plan_c,
+                    &self.vel_plan_by_comp[comp],
                     Phase::Velocity,
                     step_tag,
+                    &mut self.arena,
                 ));
             }
-            for pending in pendings {
-                finish_exchange(&mut self.state, ctx, pending);
+            for pending in &mut pendings {
+                if let Some(pending) = pending.take() {
+                    finish_exchange(&mut self.state, ctx, pending, &mut self.arena);
+                }
             }
         } else {
             ctx.time(Category::Comp, || {
                 if hybrid {
                     update_velocity_mt(&mut self.state, &self.med, dth);
+                } else if simd {
+                    update_velocity_simd(&mut self.state, &self.med, dth, block);
                 } else {
                     update_velocity(&mut self.state, &self.med, dth, block, optimized);
                 }
@@ -334,26 +391,26 @@ impl Solver {
                     p.apply_velocity(&mut self.state, &self.med, dth);
                 }
             });
-            exchange(&mut self.state, &self.sub, ctx, &vel_plan, Phase::Velocity, step_tag);
+            exchange(
+                &mut self.state,
+                &self.sub,
+                ctx,
+                &self.vel_plan,
+                Phase::Velocity,
+                step_tag,
+                &mut self.arena,
+            );
         }
-        self.vel_plan = vel_plan;
 
         // Stress phase.
-        let str_plan = std::mem::take(&mut self.str_plan);
         if use_overlap {
-            const GROUPS: [&[Component]; 4] = [
-                &[Component::Sxx, Component::Syy, Component::Szz],
-                &[Component::Sxy],
-                &[Component::Sxz],
-                &[Component::Syz],
-            ];
             ctx.time(Category::Comp, || {
                 if on_surface {
                     apply_free_surface_velocity(&mut self.state, &self.med, self.cfg.h as f32);
                 }
             });
-            let mut pendings = Vec::new();
-            for (g, comps) in GROUPS.iter().enumerate() {
+            let mut pendings: [Option<PendingExchange>; 4] = [None, None, None, None];
+            for (g, comps) in STRESS_GROUPS.iter().enumerate() {
                 ctx.time(Category::Comp, || {
                     update_stress_group(
                         &mut self.state,
@@ -372,18 +429,14 @@ impl Solver {
                         sp.apply_components(&mut self.state, comps);
                     }
                 });
-                let plan_g: Vec<FieldPlan> = str_plan
-                    .iter()
-                    .filter(|p| comps.iter().any(|c| c.id() == p.comp.id()))
-                    .copied()
-                    .collect();
-                pendings.push(start_exchange(
+                pendings[g] = Some(start_exchange(
                     &self.state,
                     &self.sub,
                     ctx,
-                    &plan_g,
+                    &self.str_plan_by_group[g],
                     Phase::Stress,
                     step_tag,
+                    &mut self.arena,
                 ));
             }
             // Velocities are damped after every stress read is done; they
@@ -393,8 +446,10 @@ impl Solver {
                     sp.apply_components(&mut self.state, &Component::VELOCITIES);
                 }
             });
-            for pending in pendings {
-                finish_exchange(&mut self.state, ctx, pending);
+            for pending in &mut pendings {
+                if let Some(pending) = pending.take() {
+                    finish_exchange(&mut self.state, ctx, pending, &mut self.arena);
+                }
             }
         } else {
             ctx.time(Category::Comp, || {
@@ -408,6 +463,15 @@ impl Solver {
                         self.atten.as_ref(),
                         dth,
                         self.cfg.dt as f32,
+                    );
+                } else if simd {
+                    update_stress_simd(
+                        &mut self.state,
+                        &self.med,
+                        self.atten.as_ref(),
+                        dth,
+                        self.cfg.dt as f32,
+                        block,
                     );
                 } else {
                     update_stress(
@@ -431,9 +495,16 @@ impl Solver {
                     sp.apply(&mut self.state);
                 }
             });
-            exchange(&mut self.state, &self.sub, ctx, &str_plan, Phase::Stress, step_tag);
+            exchange(
+                &mut self.state,
+                &self.sub,
+                ctx,
+                &self.str_plan,
+                Phase::Stress,
+                step_tag,
+                &mut self.arena,
+            );
         }
-        self.str_plan = str_plan;
 
         if self.cfg.opts.per_step_barrier {
             ctx.barrier();
@@ -523,11 +594,13 @@ fn solver_ledger(ctx: &RankCtx) -> TimeLedger {
 /// Uses parity-ordered blocking sends so it is deadlock-free under both
 /// the eager asynchronous engine and the rendezvous synchronous one.
 pub fn exchange_material_halos(med: &mut Medium, sub: &Subdomain, ctx: &mut RankCtx) {
-    use awp_grid::face::{extract_face, inject_halo, Axis, Face};
+    use awp_grid::face::{extract_face, face_len, inject_halo, Axis, Face};
     use awp_vcluster::message::make_tag;
     // Material phase id 7 (outside Velocity/Stress).
     const PHASE: u8 = 7;
-    let mut buf = Vec::new();
+    // One-shot startup exchange, but it rides the same zero-copy protocol
+    // as the per-step path: pooled staged sends, received vectors recycled.
+    let mut arena = HaloArena::new();
     for fid in 0u8..5 {
         for axis in Axis::ALL {
             let (f_lo, f_hi) = match axis {
@@ -537,48 +610,54 @@ pub fn exchange_material_halos(med: &mut Medium, sub: &Subdomain, ctx: &mut Rank
             };
             let even = sub.coords[axis.index()] % 2 == 0;
             // Direction 1: low → high (fills low halos of the high rank).
-            let send_hi = |med: &Medium, ctx: &mut RankCtx, buf: &mut Vec<f32>| {
+            let send_hi = |med: &Medium, ctx: &mut RankCtx, arena: &mut HaloArena| {
                 if let Some(nb) = sub.neighbor(f_hi) {
-                    extract_face(material_array(med, fid), f_hi, 2, buf);
+                    let field = material_array(med, fid);
+                    let mut buf = arena.take_buf(face_len(field, f_hi, 2));
+                    extract_face(field, f_hi, 2, &mut buf);
                     let tag = make_tag(PHASE, fid, f_lo.id() as u8, 0);
-                    ctx.send(nb, tag, buf.clone());
+                    ctx.send(nb, tag, buf);
                 }
             };
-            let recv_lo = |med: &mut Medium, ctx: &mut RankCtx| {
+            let recv_lo = |med: &mut Medium, ctx: &mut RankCtx, arena: &mut HaloArena| {
                 if let Some(nb) = sub.neighbor(f_lo) {
                     let tag = make_tag(PHASE, fid, f_lo.id() as u8, 0);
                     let data = ctx.recv(nb, tag).into_f32();
                     inject_halo(material_array_mut(med, fid), f_lo, 2, &data);
+                    arena.put_buf(data);
                 }
             };
             if even {
-                send_hi(med, ctx, &mut buf);
-                recv_lo(med, ctx);
+                send_hi(med, ctx, &mut arena);
+                recv_lo(med, ctx, &mut arena);
             } else {
-                recv_lo(med, ctx);
-                send_hi(med, ctx, &mut buf);
+                recv_lo(med, ctx, &mut arena);
+                send_hi(med, ctx, &mut arena);
             }
             // Direction 2: high → low.
-            let send_lo = |med: &Medium, ctx: &mut RankCtx, buf: &mut Vec<f32>| {
+            let send_lo = |med: &Medium, ctx: &mut RankCtx, arena: &mut HaloArena| {
                 if let Some(nb) = sub.neighbor(f_lo) {
-                    extract_face(material_array(med, fid), f_lo, 2, buf);
+                    let field = material_array(med, fid);
+                    let mut buf = arena.take_buf(face_len(field, f_lo, 2));
+                    extract_face(field, f_lo, 2, &mut buf);
                     let tag = make_tag(PHASE, fid, f_hi.id() as u8, 0);
-                    ctx.send(nb, tag, buf.clone());
+                    ctx.send(nb, tag, buf);
                 }
             };
-            let recv_hi = |med: &mut Medium, ctx: &mut RankCtx| {
+            let recv_hi = |med: &mut Medium, ctx: &mut RankCtx, arena: &mut HaloArena| {
                 if let Some(nb) = sub.neighbor(f_hi) {
                     let tag = make_tag(PHASE, fid, f_hi.id() as u8, 0);
                     let data = ctx.recv(nb, tag).into_f32();
                     inject_halo(material_array_mut(med, fid), f_hi, 2, &data);
+                    arena.put_buf(data);
                 }
             };
             if even {
-                send_lo(med, ctx, &mut buf);
-                recv_hi(med, ctx);
+                send_lo(med, ctx, &mut arena);
+                recv_hi(med, ctx, &mut arena);
             } else {
-                recv_hi(med, ctx);
-                send_lo(med, ctx, &mut buf);
+                recv_hi(med, ctx, &mut arena);
+                send_lo(med, ctx, &mut arena);
             }
         }
     }

@@ -613,6 +613,15 @@ impl RankCtx {
         p
     }
 
+    /// Non-blocking matched receive: returns the payload if a message from
+    /// `src` with `tag` has already arrived. Lets completion loops drain
+    /// whichever request is ready without staging the full request set in a
+    /// fresh vector (the zero-copy halo pipeline polls with this).
+    pub fn try_recv(&mut self, src: usize, tag: Tag) -> Option<Payload> {
+        self.shared.beat(self.rank);
+        self.shared.mailboxes[self.rank].try_recv(src, tag)
+    }
+
     /// Blocking receive with a deadline (returns `None` on timeout) — used
     /// by deadlock-sensitive tests.
     pub fn recv_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Payload> {

@@ -148,4 +148,52 @@ mod tests {
     fn wrong_kind_panics() {
         Payload::U64(vec![1]).into_f32();
     }
+
+    #[test]
+    fn empty_vectors_have_zero_byte_len() {
+        assert_eq!(Payload::F32(Vec::new()).byte_len(), 0);
+        assert_eq!(Payload::F64(Vec::new()).byte_len(), 0);
+        assert_eq!(Payload::U64(Vec::new()).byte_len(), 0);
+        assert_eq!(Payload::Bytes(Vec::new()).byte_len(), 0);
+    }
+
+    /// `into_f32` must move the underlying vector, not copy it — the
+    /// zero-copy halo pipeline recycles the exact allocation the sender
+    /// pooled.
+    #[test]
+    fn into_f32_preserves_allocation() {
+        let mut v = Vec::with_capacity(64);
+        v.extend_from_slice(&[1.0f32, 2.0]);
+        let ptr = v.as_ptr();
+        let cap = v.capacity();
+        let out = Payload::F32(v).into_f32();
+        assert_eq!(out.as_ptr(), ptr, "into_f32 must not reallocate");
+        assert_eq!(out.capacity(), cap);
+    }
+
+    #[test]
+    fn into_f32_round_trips_non_finite_values() {
+        let v = vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0];
+        let out = Payload::F32(v.clone()).into_f32();
+        assert_eq!(out.len(), 4);
+        assert!(out[0].is_nan());
+        assert_eq!(out[1], f32::INFINITY);
+        assert_eq!(out[2], f32::NEG_INFINITY);
+        assert_eq!(out[3].to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F32")]
+    fn empty_payload_is_not_f32() {
+        Payload::Empty.into_f32();
+    }
+
+    #[test]
+    fn kind_names_match_variants() {
+        assert_eq!(Payload::Empty.kind(), "Empty");
+        assert_eq!(Payload::F32(Vec::new()).kind(), "F32");
+        assert_eq!(Payload::F64(Vec::new()).kind(), "F64");
+        assert_eq!(Payload::U64(Vec::new()).kind(), "U64");
+        assert_eq!(Payload::Bytes(Vec::new()).kind(), "Bytes");
+    }
 }
