@@ -7,13 +7,19 @@
 //!   `awp_solver::flops`);
 //! * **exchange** — halo bytes/sec over 4 virtual ranks for the full vs
 //!   reduced (§IV.A) plans, plus the staging-arena allocation ledger
-//!   across steady-state steps.
+//!   across steady-state steps;
+//! * **overlap** — full 4-rank solver steps with the shell/interior split
+//!   (§IV.C) on vs off, with a per-phase breakdown (compute / send /
+//!   wait / inject) and the hidden-communication fraction (how much of
+//!   the non-overlap wait the split hid behind interior compute).
 //!
 //! Flags: `--smoke` shrinks dims/iterations for CI; `--gate` exits
-//! nonzero when SIMD is slower than scalar on the blocked config or the
-//! steady-state exchange touched the heap. Writes `BENCH_kernels.json`
-//! in the working directory (full matrix, SIMD backend named) and
-//! `results/bench_kernels_baseline.json` (the scalar subset).
+//! nonzero when SIMD is slower than scalar on the blocked config, the
+//! steady-state exchange touched the heap, or the overlap run is slower
+//! than the plain run. Writes `BENCH_kernels.json` in the working
+//! directory (full matrix, SIMD backend named) and
+//! `results/bench_kernels_baseline.json` (the scalar subset plus the
+//! overlap rows).
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -23,10 +29,10 @@ use awp_cvm::mesh::MeshGenerator;
 use awp_cvm::model::LayeredModel;
 use awp_grid::blocking::BlockSpec;
 use awp_grid::decomp::Decomp3;
-use awp_grid::dims::Dims3;
+use awp_grid::dims::{Dims3, Idx3};
 use awp_grid::face::{face_len, Axis, Face};
 use awp_grid::stagger::Component;
-use awp_solver::arena::HaloArena;
+use awp_solver::arena::{ExchangeStats, HaloArena};
 use awp_solver::exchange::{
     exchange, full_plan, reduced_stress_plan, reduced_velocity_plan, FieldPlan, Phase,
 };
@@ -34,8 +40,13 @@ use awp_solver::flops::per_point;
 use awp_solver::kernels::{update_stress, update_velocity};
 use awp_solver::medium::Medium;
 use awp_solver::simd::{detect, update_stress_simd, update_velocity_simd, SimdBackend};
+use awp_solver::solver::partition_mesh_direct;
 use awp_solver::state::WaveState;
-use awp_vcluster::{Cluster, CommMode};
+use awp_solver::{run_parallel, SolverConfig};
+use awp_source::kinematic::KinematicSource;
+use awp_source::moment::MomentTensor;
+use awp_source::stf::Stf;
+use awp_vcluster::{Category, Cluster, CommMode};
 use serde_json::json;
 
 struct Opts {
@@ -141,6 +152,56 @@ fn time_exchange(global: Dims3, plan: &[FieldPlan], steps: u64) -> (f64, u64, u6
     (secs, bytes_per_step, alloc_delta)
 }
 
+/// Run the full 4-rank SIMD solver with the shell/interior overlap on or
+/// off; best-of-`reps` wall time plus, for the best rep, the max per-rank
+/// compute seconds and the summed per-phase exchange stats.
+fn time_overlap(
+    global: Dims3,
+    overlap: bool,
+    steps: usize,
+    reps: usize,
+) -> (f64, f64, ExchangeStats) {
+    let model = LayeredModel::loh1();
+    let h = 150.0;
+    let dt = 0.009;
+    let mesh = MeshGenerator::new(&model, global, h).generate();
+    let parts = [2, 2, 1];
+    let decomp = Decomp3::new(global, parts);
+    let meshes = partition_mesh_direct(&mesh, &decomp);
+    let src = KinematicSource::point(
+        Idx3::new(global.nx / 2, global.ny / 2, global.nz / 2),
+        MomentTensor::strike_slip(0.3),
+        5.0e16,
+        Stf::Brune { tau: 0.1 },
+        dt,
+    );
+    let mut cfg = SolverConfig::small(global, h, dt, steps);
+    cfg.opts.overlap = overlap;
+    let mut best = f64::INFINITY;
+    let mut comp = 0.0f64;
+    let mut stats = ExchangeStats::default();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let results = run_parallel(&cfg, parts, &meshes, &src, &[]);
+        let wall = t0.elapsed().as_secs_f64();
+        black_box(&results);
+        if wall < best {
+            best = wall;
+            comp = results
+                .iter()
+                .map(|r| r.ledger.seconds(Category::Comp))
+                .fold(0.0f64, f64::max);
+            stats = ExchangeStats::default();
+            for r in &results {
+                stats.send_ns += r.exchange.send_ns;
+                stats.wait_ns += r.exchange.wait_ns;
+                stats.inject_ns += r.exchange.inject_ns;
+            }
+        }
+    }
+    (best, comp, stats)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let opts = Opts {
@@ -206,6 +267,54 @@ fn main() {
         }));
     }
 
+    // Overlap: the same 4-rank layout, now running the full solver step
+    // with the shell/interior split on vs off (both SIMD + reduced comm).
+    let (od, osteps, oreps) = if opts.smoke {
+        (Dims3::new(36, 32, 24), 24usize, 3usize)
+    } else {
+        (Dims3::new(72, 64, 48), 30usize, 3usize)
+    };
+    let (plain_wall, plain_comp, plain_x) = time_overlap(od, false, osteps, oreps);
+    let (ov_wall, ov_comp, ov_x) = time_overlap(od, true, osteps, oreps);
+    let s = |ns: u64| ns as f64 / 1e9;
+    // Fraction of the non-overlap wait that the split hid behind interior
+    // compute. Clamped: timing noise can make either wait the larger one.
+    let hidden_comm_fraction = if plain_x.wait_ns > 0 {
+        (1.0 - s(ov_x.wait_ns) / s(plain_x.wait_ns)).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    println!(
+        "\n{:<10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "overlap", "wall ms", "comp ms", "send ms", "wait ms", "inject ms"
+    );
+    let mut overlaps = Vec::new();
+    for (name, wall, comp, x) in [
+        ("off", plain_wall, plain_comp, plain_x),
+        ("on", ov_wall, ov_comp, ov_x),
+    ] {
+        println!(
+            "{:<10} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            name,
+            wall * 1e3,
+            comp * 1e3,
+            s(x.send_ns) * 1e3,
+            s(x.wait_ns) * 1e3,
+            s(x.inject_ns) * 1e3
+        );
+        overlaps.push(json!({
+            "overlap": name == "on", "ranks": 4, "dims": [od.nx, od.ny, od.nz],
+            "steps": osteps, "wall_secs": wall, "comp_secs": comp,
+            "send_secs": s(x.send_ns), "wait_secs": s(x.wait_ns),
+            "inject_secs": s(x.inject_ns),
+        }));
+    }
+    println!(
+        "overlap/plain wall: {:.2}x   hidden-comm fraction: {:.2}",
+        ov_wall / plain_wall,
+        hidden_comm_fraction
+    );
+
     // Gate inputs: blocked configs are what the solver actually runs.
     let gf = |simd: bool| {
         kernels
@@ -218,6 +327,16 @@ fn main() {
     let ratio = simd_gf / scalar_gf;
     let simd_ok = backend == SimdBackend::Scalar || ratio >= 1.0;
     let alloc_ok = alloc_delta_total == 0;
+    // The split must pay for itself: overlap+SIMD may not lose to plain
+    // SIMD on the multi-rank config (5% tolerance for scheduler noise).
+    // Overlap can only hide communication when another core makes progress
+    // while this rank computes its interior; on a single-core host (CI
+    // smoke containers) the rank threads are timesliced, the wait term is
+    // scheduler noise, and the strict bound is unmeasurable — the gate
+    // degrades to a coarse broken-split guard there.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let overlap_tol = if cores >= 2 { 1.05 } else { 1.5 };
+    let overlap_ok = ov_wall <= plain_wall * overlap_tol;
     println!("\nSIMD/scalar (blocked): {ratio:.2}x   steady-state allocations: {alloc_delta_total}");
 
     let report = json!({
@@ -225,11 +344,17 @@ fn main() {
         "mode": mode,
         "kernels": kernels,
         "exchange": exchanges,
+        "overlap": overlaps,
+        "hidden_comm_fraction": hidden_comm_fraction,
         "gate": {
             "simd_over_scalar": ratio,
             "simd_not_slower": simd_ok,
             "steady_state_alloc_free": alloc_ok,
-            "passed": simd_ok && alloc_ok,
+            "overlap_over_plain_wall": ov_wall / plain_wall,
+            "overlap_tolerance": overlap_tol,
+            "cores": cores,
+            "overlap_not_slower": overlap_ok,
+            "passed": simd_ok && alloc_ok && overlap_ok,
         },
     });
     // Smoke mode is the CI gate: it must not clobber the committed
@@ -244,6 +369,8 @@ fn main() {
             "mode": mode,
             "kernels": kernels.iter().filter(|k| k["simd"].as_bool() == Some(false)).collect::<Vec<_>>(),
             "exchange": exchanges,
+            "overlap": overlaps,
+            "hidden_comm_fraction": hidden_comm_fraction,
         });
         std::fs::create_dir_all("results").ok();
         let pretty = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
@@ -252,10 +379,12 @@ fn main() {
         println!("[record] results/bench_kernels_baseline.json");
     }
 
-    if opts.gate && !(simd_ok && alloc_ok) {
+    if opts.gate && !(simd_ok && alloc_ok && overlap_ok) {
         eprintln!(
             "GATE FAILED: simd_not_slower={simd_ok} (ratio {ratio:.3}), \
-             steady_state_alloc_free={alloc_ok} (delta {alloc_delta_total})"
+             steady_state_alloc_free={alloc_ok} (delta {alloc_delta_total}), \
+             overlap_not_slower={overlap_ok} (ratio {:.3}, tol {overlap_tol} on {cores} cores)",
+            ov_wall / plain_wall
         );
         std::process::exit(1);
     }

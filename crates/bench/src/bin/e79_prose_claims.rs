@@ -47,6 +47,8 @@ fn main() {
     for mode in [CommModeOpt::Synchronous, CommModeOpt::Asynchronous] {
         let mut cfg = SolverConfig::small(dims, h, dt, steps);
         cfg.opts.comm_mode = mode;
+        // Comparing bare engines: overlap is async-only, keep it out.
+        cfg.opts.overlap = false;
         cfg.opts.per_step_barrier = mode == CommModeOpt::Synchronous;
         let t0 = std::time::Instant::now();
         let _ = run_parallel(&cfg, parts, &meshes, &source, &stations);
@@ -71,6 +73,7 @@ fn main() {
     for mode in [CommModeOpt::Synchronous, CommModeOpt::Asynchronous] {
         let mut cfg = SolverConfig::small(small, h, dt, 400);
         cfg.opts.comm_mode = mode;
+        cfg.opts.overlap = false;
         cfg.opts.per_step_barrier = mode == CommModeOpt::Synchronous;
         let t0 = std::time::Instant::now();
         let _ = run_parallel(&cfg, [2, 2, 2], &small_meshes, &small_src, &stations);

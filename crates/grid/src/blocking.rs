@@ -67,6 +67,55 @@ pub fn for_each_blocked(nj: usize, nk: usize, spec: BlockSpec, mut body: impl Fn
     }
 }
 
+/// Tile an arbitrary sub-rectangle `j0..j1` × `k0..k1` into (j-range,
+/// k-range) blocks, k-block outermost. The windowed analogue of
+/// [`blocked_tiles`] used by the shell/interior split timestep: blocks are
+/// anchored at the window origin, so the per-cell visit set is exactly the
+/// window regardless of spec (per-cell updates are order-independent).
+pub fn blocked_tiles_range(
+    j0: usize,
+    j1: usize,
+    k0: usize,
+    k1: usize,
+    spec: BlockSpec,
+) -> Vec<(Range<usize>, Range<usize>)> {
+    let kb = spec.kblock.max(1);
+    let jb = spec.jblock.max(1);
+    let mut tiles = Vec::new();
+    let mut kk = k0;
+    while kk < k1 {
+        let ke = (kk.saturating_add(kb)).min(k1);
+        let mut jj = j0;
+        while jj < j1 {
+            let je = (jj.saturating_add(jb)).min(j1);
+            tiles.push((jj..je, kk..ke));
+            jj = je;
+        }
+        kk = ke;
+    }
+    tiles
+}
+
+/// Run `body(j, k)` over every (j, k) pair of a sub-rectangle in blocked
+/// order.
+#[inline]
+pub fn for_each_blocked_range(
+    j0: usize,
+    j1: usize,
+    k0: usize,
+    k1: usize,
+    spec: BlockSpec,
+    mut body: impl FnMut(usize, usize),
+) {
+    for (jr, kr) in blocked_tiles_range(j0, j1, k0, k1, spec) {
+        for k in kr.clone() {
+            for j in jr.clone() {
+                body(j, k);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +217,32 @@ mod tests {
     fn empty_loop_produces_no_tiles() {
         assert!(blocked_tiles(0, 4, BlockSpec::JAGUAR).is_empty());
         assert!(blocked_tiles(4, 0, BlockSpec::JAGUAR).is_empty());
+    }
+
+    #[test]
+    fn range_tiles_cover_window_exactly_once() {
+        for (j0, j1, k0, k1, spec) in [
+            (0, 10, 0, 10, BlockSpec::new(3, 4)),
+            (2, 9, 5, 17, BlockSpec::JAGUAR),
+            (3, 4, 0, 25, BlockSpec::new(16, 8)),
+            (1, 6, 2, 3, BlockSpec::UNBLOCKED),
+            (4, 4, 0, 9, BlockSpec::JAGUAR), // empty j window
+            (0, 9, 7, 7, BlockSpec::JAGUAR), // empty k window
+        ] {
+            let mut seen = HashSet::new();
+            for_each_blocked_range(j0, j1, k0, k1, spec, |j, k| {
+                assert!((j0..j1).contains(&j) && (k0..k1).contains(&k));
+                assert!(seen.insert((j, k)), "({j},{k}) visited twice");
+            });
+            assert_eq!(seen.len(), (j1 - j0) * (k1 - k0));
+        }
+    }
+
+    #[test]
+    fn full_range_matches_blocked_tiles() {
+        assert_eq!(
+            blocked_tiles_range(0, 125, 0, 125, BlockSpec::JAGUAR),
+            blocked_tiles(125, 125, BlockSpec::JAGUAR)
+        );
     }
 }

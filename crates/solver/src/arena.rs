@@ -21,12 +21,26 @@
 
 use crate::exchange::PendingRecv;
 
-/// Per-rank pool of reusable exchange buffers with an allocation ledger.
+/// Per-phase exchange timing (nanoseconds, accumulated across steps):
+/// how long this rank spent extracting/posting sends, blocked waiting for
+/// neighbour messages, and injecting received halos. `wait_ns` is the
+/// overlap-sensitive term — the shell/interior split exists to shrink it.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExchangeStats {
+    pub send_ns: u64,
+    pub wait_ns: u64,
+    pub inject_ns: u64,
+}
+
+/// Per-rank pool of reusable exchange buffers with an allocation ledger
+/// and per-phase timing counters.
 #[derive(Debug, Default)]
 pub struct HaloArena {
     bufs: Vec<Vec<f32>>,
     req_lists: Vec<Vec<PendingRecv>>,
     allocs: u64,
+    /// Cumulative send/wait/inject timing, filled in by `exchange`.
+    pub stats: ExchangeStats,
 }
 
 impl HaloArena {

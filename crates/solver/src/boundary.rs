@@ -13,6 +13,7 @@
 //! stable [but] the ability … to absorb reflections is poorer than PMLs".
 
 use crate::medium::Medium;
+use crate::shell::Win;
 use crate::state::WaveState;
 use awp_grid::decomp::Subdomain;
 use awp_grid::face::Face;
@@ -22,6 +23,34 @@ use awp_grid::face::Face;
 pub fn apply_free_surface_stress(state: &mut WaveState) {
     for group in [0usize, 2, 3] {
         apply_free_surface_stress_group(state, group);
+    }
+}
+
+/// Free-surface stress imaging over a window's (i, j) footprint only (the
+/// shell/interior split images each surface-touching window right after
+/// its stress update; footprints partition the plane, so the union equals
+/// the fused full-plane pass). Reads stay within the window's own columns
+/// (k ≤ 2 — guaranteed by the shell plan's fold rule).
+pub fn apply_free_surface_stress_win(state: &mut WaveState, win: Win) {
+    let d = state.dims;
+    for j in win.j0 as isize..win.j1 as isize {
+        for i in win.i0 as isize..win.i1 as isize {
+            state.szz.set(i, j, 0, 0.0);
+            let s1 = state.szz.get(i, j, 1);
+            state.szz.set(i, j, -1, -s1);
+            if d.nz > 2 {
+                let s2 = state.szz.get(i, j, 2);
+                state.szz.set(i, j, -2, -s2);
+            }
+            let x0 = state.sxz.get(i, j, 0);
+            state.sxz.set(i, j, -1, -x0);
+            let x1 = state.sxz.get(i, j, 1);
+            state.sxz.set(i, j, -2, -x1);
+            let y0 = state.syz.get(i, j, 0);
+            state.syz.set(i, j, -1, -y0);
+            let y1 = state.syz.get(i, j, 1);
+            state.syz.set(i, j, -2, -y1);
+        }
     }
 }
 
@@ -147,20 +176,35 @@ impl Sponge {
     /// Damp a subset of components (the overlap path damps each stress
     /// group before its exchange starts).
     pub fn apply_components(&self, state: &mut WaveState, comps: &[awp_grid::stagger::Component]) {
-        let d = state.dims;
-        for k in 0..d.nz {
+        let win = Win::full(state.dims);
+        self.apply_components_win(state, comps, win);
+    }
+
+    /// Windowed sponge pass (shell/interior split). Per-cell multiplicative
+    /// damping, so restricting to a window is bit-exact: the row fast-path
+    /// skip only skips multiplications by exactly 1.0 (an IEEE identity).
+    pub fn apply_components_win(
+        &self,
+        state: &mut WaveState,
+        comps: &[awp_grid::stagger::Component],
+        win: Win,
+    ) {
+        if win.is_empty() {
+            return;
+        }
+        for k in win.k0..win.k1 {
             let gk = self.gz[k];
-            for j in 0..d.ny {
+            for j in win.j0..win.j1 {
                 let gjk = self.gy[j] * gk;
-                if gjk == 1.0 && self.gx.iter().all(|&g| g == 1.0) {
+                if gjk == 1.0 && self.gx[win.i0..win.i1].iter().all(|&g| g == 1.0) {
                     continue;
                 }
                 for &c in comps {
                     let arr = state.field_mut(c);
                     let base = arr.offset(0, j as isize, k as isize);
-                    let row = &mut arr.as_mut_slice()[base..base + d.nx];
+                    let row = &mut arr.as_mut_slice()[base + win.i0..base + win.i1];
                     for (i, v) in row.iter_mut().enumerate() {
-                        *v *= self.gx[i] * gjk;
+                        *v *= self.gx[win.i0 + i] * gjk;
                     }
                 }
             }

@@ -56,9 +56,13 @@ pub struct SolverOpts {
     /// Explicit-SIMD kernel backend (runtime-dispatched AVX2/SSE2 with a
     /// portable scalar fallback). Requires `reciprocal_media`; bit-exact
     /// with the scalar optimized kernels, so it composes freely with every
-    /// equivalence test. Ignored by the `hybrid` and overlap split paths.
+    /// equivalence test — including the shell/interior overlap split.
     pub simd: bool,
-    /// §IV.C computation/communication overlap (split per component).
+    /// §IV.C computation/communication overlap via the shell/interior
+    /// split timestep: boundary slabs update first, halo sends launch, the
+    /// interior updates while messages fly. Composes with `simd`, `hybrid`
+    /// and M-PML; requires the asynchronous engine
+    /// (`SolverConfig::validate` rejects the combination otherwise).
     pub overlap: bool,
     /// §IV.A synchronous vs asynchronous engine.
     pub comm_mode: CommModeOpt,
@@ -67,6 +71,11 @@ pub struct SolverOpts {
     /// introduced significant idle thread overhead" — off by default, as
     /// in the paper's production runs.
     pub hybrid: bool,
+    /// Worker count for the hybrid path: 0 uses rayon's global pool, any
+    /// other value runs the kernels on a dedicated pool of exactly that
+    /// many threads (deterministic on 1-core CI).
+    #[serde(default)]
+    pub threads: usize,
     /// Insert a global barrier every step (the redundant synchronisation
     /// the paper removes; kept togglable to measure T_sync).
     pub per_step_barrier: bool,
@@ -96,10 +105,11 @@ impl SolverOpts {
             block: BlockSpec::JAGUAR,
             reduced_comm: true,
             simd: true,
-            overlap: false, // v7.2 dropped overlap in favour of blocking+reduced comm
+            overlap: true, // shell/interior split: overlap composes with simd/hybrid/M-PML
             comm_mode: CommModeOpt::Asynchronous,
             per_step_barrier: false,
             hybrid: false,
+            threads: 0,
         }
     }
 
@@ -114,9 +124,34 @@ impl SolverOpts {
             comm_mode: CommModeOpt::Synchronous,
             per_step_barrier: true,
             hybrid: false,
+            threads: 0,
         }
     }
 }
+
+/// A configuration rejected at solver construction — before any rank
+/// thread spawns — instead of panicking mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `opts.overlap` requires the asynchronous engine: the split timestep
+    /// posts sends early and completes receives late, which the ordered
+    /// synchronous rendezvous cannot express.
+    OverlapNeedsAsyncEngine,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::OverlapNeedsAsyncEngine => write!(
+                f,
+                "opts.overlap requires the asynchronous engine \
+                 (set opts.comm_mode = Asynchronous or disable overlap)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Code versions of Table 2, each enabling the optimisations the paper
 /// attributes to it.
@@ -222,6 +257,16 @@ pub struct SolverConfig {
 }
 
 impl SolverConfig {
+    /// Check option consistency. Called by `Solver::try_new` and
+    /// `try_run_parallel` so invalid combinations fail the run gracefully
+    /// instead of panicking a rank thread.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.opts.overlap && self.opts.comm_mode == CommModeOpt::Synchronous {
+            return Err(ConfigError::OverlapNeedsAsyncEngine);
+        }
+        Ok(())
+    }
+
     /// A small default box for tests and examples.
     pub fn small(dims: Dims3, h: f64, dt: f64, steps: usize) -> Self {
         Self {
@@ -276,6 +321,26 @@ mod tests {
             o.simd = false;
             o
         });
+    }
+
+    #[test]
+    fn validate_rejects_overlap_on_sync_engine() {
+        let mut cfg = SolverConfig::small(Dims3::new(8, 8, 8), 100.0, 1e-3, 4);
+        assert!(cfg.validate().is_ok());
+        cfg.opts.overlap = true;
+        cfg.opts.comm_mode = CommModeOpt::Synchronous;
+        assert_eq!(cfg.validate(), Err(ConfigError::OverlapNeedsAsyncEngine));
+        cfg.opts.overlap = false;
+        assert!(cfg.validate().is_ok(), "sync engine without overlap is fine");
+        let msg = ConfigError::OverlapNeedsAsyncEngine.to_string();
+        assert!(msg.contains("asynchronous"), "{msg}");
+    }
+
+    #[test]
+    fn optimized_enables_overlap_split() {
+        let o = SolverOpts::optimized();
+        assert!(o.overlap && o.simd, "v-next default: overlap composes with simd");
+        assert_eq!(o.threads, 0, "global pool unless pinned");
     }
 
     #[test]

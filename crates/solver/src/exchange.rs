@@ -145,7 +145,15 @@ pub fn start_exchange(
     step: u64,
     arena: &mut HaloArena,
 ) -> PendingExchange {
-    assert_eq!(ctx.mode(), CommMode::Asynchronous, "overlapped exchange needs the async engine");
+    // Guarded at solver construction (`SolverConfig::validate`): a bad
+    // engine/overlap combination is a ConfigError before any rank thread
+    // spawns, so this cannot fire on a validated configuration.
+    debug_assert_eq!(
+        ctx.mode(),
+        CommMode::Asynchronous,
+        "overlapped exchange needs the async engine"
+    );
+    let t_send = std::time::Instant::now();
     let mut reqs = arena.take_reqs();
     for p in plan {
         let (f_lo, f_hi) = faces_of(p.axis);
@@ -199,6 +207,7 @@ pub fn start_exchange(
             }
         }
     }
+    arena.stats.send_ns += t_send.elapsed().as_nanos() as u64;
     PendingExchange { reqs }
 }
 
@@ -213,6 +222,8 @@ pub fn finish_exchange(
     pending: PendingExchange,
     arena: &mut HaloArena,
 ) {
+    let t_all = std::time::Instant::now();
+    let mut inject_ns = 0u64;
     let PendingExchange { mut reqs } = pending;
     let mut remaining = reqs.len();
     while remaining > 0 {
@@ -223,7 +234,9 @@ pub fn finish_exchange(
             }
             if let Some(payload) = ctx.try_recv(r.src, r.tag) {
                 let data = payload.into_f32();
+                let t = std::time::Instant::now();
                 inject_halo(state.field_mut(r.comp), r.face, r.width, &data);
+                inject_ns += t.elapsed().as_nanos() as u64;
                 arena.put_buf(data);
                 r.done = true;
                 remaining -= 1;
@@ -233,7 +246,9 @@ pub fn finish_exchange(
         if !progressed {
             if let Some(r) = reqs.iter_mut().find(|r| !r.done) {
                 let data = ctx.recv(r.src, r.tag).into_f32();
+                let t = std::time::Instant::now();
                 inject_halo(state.field_mut(r.comp), r.face, r.width, &data);
+                inject_ns += t.elapsed().as_nanos() as u64;
                 arena.put_buf(data);
                 r.done = true;
                 remaining -= 1;
@@ -241,6 +256,8 @@ pub fn finish_exchange(
         }
     }
     arena.put_reqs(reqs);
+    arena.stats.inject_ns += inject_ns;
+    arena.stats.wait_ns += (t_all.elapsed().as_nanos() as u64).saturating_sub(inject_ns);
 }
 
 /// Full exchange of a plan, dispatching on the engine:

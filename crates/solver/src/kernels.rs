@@ -13,8 +13,9 @@
 
 use crate::attenuation::Attenuation;
 use crate::medium::Medium;
+use crate::shell::Win;
 use crate::state::WaveState;
-use awp_grid::blocking::{for_each_blocked, BlockSpec};
+use awp_grid::blocking::{for_each_blocked, for_each_blocked_range, BlockSpec};
 use awp_grid::{C1, C2};
 
 /// Shared padded-layout strides: `(sy, sz, base)` with `base` the offset of
@@ -35,47 +36,20 @@ pub fn update_velocity(
     optimized: bool,
 ) {
     let d = state.dims;
+    if optimized {
+        // The fused optimized pass is the windowed pass over the whole
+        // grid — one loop body, so shell/interior splits are bit-exact to
+        // the fused sweep by construction.
+        update_velocity_win(state, med, dth, block, Win::full(d));
+        return;
+    }
     let (sy, sz, base) = layout(state);
     let WaveState { vx, vy, vz, sxx, syy, szz, sxy, sxz, syz, .. } = state;
     let (vx, vy, vz) = (vx.as_mut_slice(), vy.as_mut_slice(), vz.as_mut_slice());
     let (sxx, syy, szz) = (sxx.as_slice(), syy.as_slice(), szz.as_slice());
     let (sxy, sxz, syz) = (sxy.as_slice(), sxz.as_slice(), syz.as_slice());
 
-    if optimized {
-        let rx = med.rhox_inv.as_ref().expect("precompute() not called").as_slice();
-        let ry = med.rhoy_inv.as_ref().expect("precompute() not called").as_slice();
-        let rz = med.rhoz_inv.as_ref().expect("precompute() not called").as_slice();
-        for_each_blocked(d.ny, d.nz, block, |j, k| {
-            let row = base + sy * j + sz * k;
-            for i in 0..d.nx {
-                let o = row + i;
-                vx[o] += dth
-                    * rx[o]
-                    * (C1 * (sxx[o + 1] - sxx[o])
-                        + C2 * (sxx[o + 2] - sxx[o - 1])
-                        + C1 * (sxy[o] - sxy[o - sy])
-                        + C2 * (sxy[o + sy] - sxy[o - 2 * sy])
-                        + C1 * (sxz[o] - sxz[o - sz])
-                        + C2 * (sxz[o + sz] - sxz[o - 2 * sz]));
-                vy[o] += dth
-                    * ry[o]
-                    * (C1 * (sxy[o] - sxy[o - 1])
-                        + C2 * (sxy[o + 1] - sxy[o - 2])
-                        + C1 * (syy[o + sy] - syy[o])
-                        + C2 * (syy[o + 2 * sy] - syy[o - sy])
-                        + C1 * (syz[o] - syz[o - sz])
-                        + C2 * (syz[o + sz] - syz[o - 2 * sz]));
-                vz[o] += dth
-                    * rz[o]
-                    * (C1 * (sxz[o] - sxz[o - 1])
-                        + C2 * (sxz[o + 1] - sxz[o - 2])
-                        + C1 * (syz[o] - syz[o - sy])
-                        + C2 * (syz[o + sy] - syz[o - 2 * sy])
-                        + C1 * (szz[o + sz] - szz[o])
-                        + C2 * (szz[o + 2 * sz] - szz[o - sz]));
-            }
-        });
-    } else {
+    {
         let rho = med.rho.as_slice();
         // Legacy path: unblocked, per-point divisions (the pre-§IV.B code).
         for_each_blocked(d.ny, d.nz, BlockSpec::UNBLOCKED, |j, k| {
@@ -114,6 +88,61 @@ pub fn update_velocity(
     }
 }
 
+/// Windowed velocity update: the optimized loop body of
+/// [`update_velocity`] restricted to `win` (half-open local ranges). The
+/// §IV.C shell/interior split runs this over each shell slab, then the
+/// interior; because every cell's update reads only (frozen) stresses, any
+/// disjoint cover of the grid produces bits identical to the fused sweep.
+pub fn update_velocity_win(
+    state: &mut WaveState,
+    med: &Medium,
+    dth: f32,
+    block: BlockSpec,
+    win: Win,
+) {
+    if win.is_empty() {
+        return;
+    }
+    let (sy, sz, base) = layout(state);
+    let WaveState { vx, vy, vz, sxx, syy, szz, sxy, sxz, syz, .. } = state;
+    let (vx, vy, vz) = (vx.as_mut_slice(), vy.as_mut_slice(), vz.as_mut_slice());
+    let (sxx, syy, szz) = (sxx.as_slice(), syy.as_slice(), szz.as_slice());
+    let (sxy, sxz, syz) = (sxy.as_slice(), sxz.as_slice(), syz.as_slice());
+    let rx = med.rhox_inv.as_ref().expect("precompute() not called").as_slice();
+    let ry = med.rhoy_inv.as_ref().expect("precompute() not called").as_slice();
+    let rz = med.rhoz_inv.as_ref().expect("precompute() not called").as_slice();
+    for_each_blocked_range(win.j0, win.j1, win.k0, win.k1, block, |j, k| {
+        let row = base + sy * j + sz * k;
+        for i in win.i0..win.i1 {
+            let o = row + i;
+            vx[o] += dth
+                * rx[o]
+                * (C1 * (sxx[o + 1] - sxx[o])
+                    + C2 * (sxx[o + 2] - sxx[o - 1])
+                    + C1 * (sxy[o] - sxy[o - sy])
+                    + C2 * (sxy[o + sy] - sxy[o - 2 * sy])
+                    + C1 * (sxz[o] - sxz[o - sz])
+                    + C2 * (sxz[o + sz] - sxz[o - 2 * sz]));
+            vy[o] += dth
+                * ry[o]
+                * (C1 * (sxy[o] - sxy[o - 1])
+                    + C2 * (sxy[o + 1] - sxy[o - 2])
+                    + C1 * (syy[o + sy] - syy[o])
+                    + C2 * (syy[o + 2 * sy] - syy[o - sy])
+                    + C1 * (syz[o] - syz[o - sz])
+                    + C2 * (syz[o + sz] - syz[o - 2 * sz]));
+            vz[o] += dth
+                * rz[o]
+                * (C1 * (sxz[o] - sxz[o - 1])
+                    + C2 * (sxz[o + 1] - sxz[o - 2])
+                    + C1 * (syz[o] - syz[o - sy])
+                    + C2 * (syz[o + sy] - syz[o - 2 * sy])
+                    + C1 * (szz[o + sz] - szz[o])
+                    + C2 * (szz[o + 2 * sz] - szz[o - sz]));
+        }
+    });
+}
+
 /// Update the six stress components one step: `σ += Δt·(λ(∇·v)I + μ(∇v +
 /// ∇vᵀ))` (Eq. 1b), with optional memory-variable anelasticity.
 pub fn update_stress(
@@ -126,6 +155,12 @@ pub fn update_stress(
     optimized: bool,
 ) {
     let d = state.dims;
+    if optimized {
+        // Fused optimized = windowed over the whole grid (see
+        // `update_velocity`).
+        update_stress_win(state, med, atten, dth, dt, block, Win::full(d));
+        return;
+    }
     let (sy, sz, base) = layout(state);
     let WaveState { vx, vy, vz, sxx, syy, szz, sxy, sxz, syz, mem, .. } = state;
     let (vx, vy, vz) = (vx.as_slice(), vy.as_slice(), vz.as_slice());
@@ -147,71 +182,8 @@ pub fn update_stress(
     });
     let at = atten.map(|a| (a.decay.as_slice(), a.cs.as_slice(), a.cp.as_slice()));
 
-    // Anelastic correction: given elastic increment `delta`, update memory
-    // variable ζ and return the corrected increment.
-    #[inline(always)]
-    fn anelastic(delta: f32, zeta: &mut f32, a: f32, c: f32, dt: f32) -> f32 {
-        let z = a * *zeta + (1.0 - a) * c * (delta / dt);
-        *zeta = z;
-        delta - dt * z
-    }
-
-    let run_block = if optimized { block } else { BlockSpec::UNBLOCKED };
-    if optimized {
-        let mxy = med.mu_xy.as_ref().expect("precompute() not called").as_slice();
-        let mxz = med.mu_xz.as_ref().expect("precompute() not called").as_slice();
-        let myz = med.mu_yz.as_ref().expect("precompute() not called").as_slice();
-        for_each_blocked(d.ny, d.nz, run_block, |j, k| {
-            let row = base + sy * j + sz * k;
-            for i in 0..d.nx {
-                let o = row + i;
-                let exx = C1 * (vx[o] - vx[o - 1]) + C2 * (vx[o + 1] - vx[o - 2]);
-                let eyy = C1 * (vy[o] - vy[o - sy]) + C2 * (vy[o + sy] - vy[o - 2 * sy]);
-                let ezz = C1 * (vz[o] - vz[o - sz]) + C2 * (vz[o + sz] - vz[o - 2 * sz]);
-                let tr = exx + eyy + ezz;
-                let l = lam[o];
-                let m2 = 2.0 * mu[o];
-                let dxy = dth
-                    * mxy[o]
-                    * (C1 * (vx[o + sy] - vx[o])
-                        + C2 * (vx[o + 2 * sy] - vx[o - sy])
-                        + C1 * (vy[o + 1] - vy[o])
-                        + C2 * (vy[o + 2] - vy[o - 1]));
-                let dxz = dth
-                    * mxz[o]
-                    * (C1 * (vx[o + sz] - vx[o])
-                        + C2 * (vx[o + 2 * sz] - vx[o - sz])
-                        + C1 * (vz[o + 1] - vz[o])
-                        + C2 * (vz[o + 2] - vz[o - 1]));
-                let dyz = dth
-                    * myz[o]
-                    * (C1 * (vy[o + sz] - vy[o])
-                        + C2 * (vy[o + 2 * sz] - vy[o - sz])
-                        + C1 * (vz[o + sy] - vz[o])
-                        + C2 * (vz[o + 2 * sy] - vz[o - sy]));
-                let dxx = dth * (l * tr + m2 * exx);
-                let dyy = dth * (l * tr + m2 * eyy);
-                let dzz = dth * (l * tr + m2 * ezz);
-                if let (Some((zxx, zyy, zzz, zxy, zxz, zyz)), Some((a, cs, cp))) =
-                    (&mut mem_slices, &at)
-                {
-                    sxx[o] += anelastic(dxx, &mut zxx[o], a[o], cp[o], dt);
-                    syy[o] += anelastic(dyy, &mut zyy[o], a[o], cp[o], dt);
-                    szz[o] += anelastic(dzz, &mut zzz[o], a[o], cp[o], dt);
-                    sxy[o] += anelastic(dxy, &mut zxy[o], a[o], cs[o], dt);
-                    sxz[o] += anelastic(dxz, &mut zxz[o], a[o], cs[o], dt);
-                    syz[o] += anelastic(dyz, &mut zyz[o], a[o], cs[o], dt);
-                } else {
-                    sxx[o] += dxx;
-                    syy[o] += dyy;
-                    szz[o] += dzz;
-                    sxy[o] += dxy;
-                    sxz[o] += dxz;
-                    syz[o] += dyz;
-                }
-            }
-        });
-    } else {
+    let run_block = BlockSpec::UNBLOCKED;
+    {
         for_each_blocked(d.ny, d.nz, run_block, |j, k| {
             let row = base + sy * j + sz * k;
             for i in 0..d.nx {
@@ -275,6 +247,104 @@ pub fn update_stress(
             }
         });
     }
+}
+
+/// Anelastic correction: given elastic increment `delta`, update memory
+/// variable ζ and return the corrected increment.
+#[inline(always)]
+fn anelastic(delta: f32, zeta: &mut f32, a: f32, c: f32, dt: f32) -> f32 {
+    let z = a * *zeta + (1.0 - a) * c * (delta / dt);
+    *zeta = z;
+    delta - dt * z
+}
+
+/// Windowed stress update: the optimized loop body of [`update_stress`]
+/// restricted to `win`. Reads only (frozen) velocities and each cell's own
+/// memory variables, so disjoint windows compose bit-exactly with the
+/// fused sweep in any order.
+pub fn update_stress_win(
+    state: &mut WaveState,
+    med: &Medium,
+    atten: Option<&Attenuation>,
+    dth: f32,
+    dt: f32,
+    block: BlockSpec,
+    win: Win,
+) {
+    if win.is_empty() {
+        return;
+    }
+    let (sy, sz, base) = layout(state);
+    let WaveState { vx, vy, vz, sxx, syy, szz, sxy, sxz, syz, mem, .. } = state;
+    let (vx, vy, vz) = (vx.as_slice(), vy.as_slice(), vz.as_slice());
+    let (sxx, syy, szz) = (sxx.as_mut_slice(), syy.as_mut_slice(), szz.as_mut_slice());
+    let (sxy, sxz, syz) = (sxy.as_mut_slice(), sxz.as_mut_slice(), syz.as_mut_slice());
+    let lam = med.lam.as_slice();
+    let mu = med.mu.as_slice();
+    let mut mem_slices = mem.as_mut().map(|m| {
+        (
+            m.xx.as_mut_slice(),
+            m.yy.as_mut_slice(),
+            m.zz.as_mut_slice(),
+            m.xy.as_mut_slice(),
+            m.xz.as_mut_slice(),
+            m.yz.as_mut_slice(),
+        )
+    });
+    let at = atten.map(|a| (a.decay.as_slice(), a.cs.as_slice(), a.cp.as_slice()));
+    let mxy_ = med.mu_xy.as_ref().expect("precompute() not called").as_slice();
+    let mxz_ = med.mu_xz.as_ref().expect("precompute() not called").as_slice();
+    let myz_ = med.mu_yz.as_ref().expect("precompute() not called").as_slice();
+    for_each_blocked_range(win.j0, win.j1, win.k0, win.k1, block, |j, k| {
+        let row = base + sy * j + sz * k;
+        for i in win.i0..win.i1 {
+            let o = row + i;
+            let exx = C1 * (vx[o] - vx[o - 1]) + C2 * (vx[o + 1] - vx[o - 2]);
+            let eyy = C1 * (vy[o] - vy[o - sy]) + C2 * (vy[o + sy] - vy[o - 2 * sy]);
+            let ezz = C1 * (vz[o] - vz[o - sz]) + C2 * (vz[o + sz] - vz[o - 2 * sz]);
+            let tr = exx + eyy + ezz;
+            let l = lam[o];
+            let m2 = 2.0 * mu[o];
+            let dxy = dth
+                * mxy_[o]
+                * (C1 * (vx[o + sy] - vx[o])
+                    + C2 * (vx[o + 2 * sy] - vx[o - sy])
+                    + C1 * (vy[o + 1] - vy[o])
+                    + C2 * (vy[o + 2] - vy[o - 1]));
+            let dxz = dth
+                * mxz_[o]
+                * (C1 * (vx[o + sz] - vx[o])
+                    + C2 * (vx[o + 2 * sz] - vx[o - sz])
+                    + C1 * (vz[o + 1] - vz[o])
+                    + C2 * (vz[o + 2] - vz[o - 1]));
+            let dyz = dth
+                * myz_[o]
+                * (C1 * (vy[o + sz] - vy[o])
+                    + C2 * (vy[o + 2 * sz] - vy[o - sz])
+                    + C1 * (vz[o + sy] - vz[o])
+                    + C2 * (vz[o + 2 * sy] - vz[o - sy]));
+            let dxx = dth * (l * tr + m2 * exx);
+            let dyy = dth * (l * tr + m2 * eyy);
+            let dzz = dth * (l * tr + m2 * ezz);
+            if let (Some((zxx, zyy, zzz, zxy, zxz, zyz)), Some((a, cs, cp))) =
+                (&mut mem_slices, &at)
+            {
+                sxx[o] += anelastic(dxx, &mut zxx[o], a[o], cp[o], dt);
+                syy[o] += anelastic(dyy, &mut zyy[o], a[o], cp[o], dt);
+                szz[o] += anelastic(dzz, &mut zzz[o], a[o], cp[o], dt);
+                sxy[o] += anelastic(dxy, &mut zxy[o], a[o], cs[o], dt);
+                sxz[o] += anelastic(dxz, &mut zxz[o], a[o], cs[o], dt);
+                syz[o] += anelastic(dyz, &mut zyz[o], a[o], cs[o], dt);
+            } else {
+                sxx[o] += dxx;
+                syy[o] += dyy;
+                szz[o] += dzz;
+                sxy[o] += dxy;
+                sxz[o] += dxz;
+                syz[o] += dyz;
+            }
+        }
+    });
 }
 
 #[cfg(test)]
@@ -458,288 +528,5 @@ mod tests {
         let c = s.vy.get(5, 5, 5);
         let e = s.vz.get(5, 5, 5);
         assert!((b - c).abs() < 1e-9 && (b - e).abs() < 1e-9);
-    }
-}
-
-/// Per-component velocity update (optimized path) — the §IV.C overlap
-/// splits "computation and communication per component and interleave[s]
-/// them with each other": vx can be exchanged while vy computes.
-/// `comp` ∈ 0..3 for vx, vy, vz. Computes exactly the fused kernel's
-/// expression for that component.
-pub fn update_velocity_component(
-    state: &mut WaveState,
-    med: &Medium,
-    dth: f32,
-    block: BlockSpec,
-    comp: usize,
-) {
-    let d = state.dims;
-    let (sy, sz, base) = layout(state);
-    let WaveState { vx, vy, vz, sxx, syy, szz, sxy, sxz, syz, .. } = state;
-    let (sxx, syy, szz) = (sxx.as_slice(), syy.as_slice(), szz.as_slice());
-    let (sxy, sxz, syz) = (sxy.as_slice(), sxz.as_slice(), syz.as_slice());
-    match comp {
-        0 => {
-            let rx = med.rhox_inv.as_ref().expect("precompute() not called").as_slice();
-            let vx = vx.as_mut_slice();
-            for_each_blocked(d.ny, d.nz, block, |j, k| {
-                let row = base + sy * j + sz * k;
-                for i in 0..d.nx {
-                    let o = row + i;
-                    vx[o] += dth
-                        * rx[o]
-                        * (C1 * (sxx[o + 1] - sxx[o])
-                            + C2 * (sxx[o + 2] - sxx[o - 1])
-                            + C1 * (sxy[o] - sxy[o - sy])
-                            + C2 * (sxy[o + sy] - sxy[o - 2 * sy])
-                            + C1 * (sxz[o] - sxz[o - sz])
-                            + C2 * (sxz[o + sz] - sxz[o - 2 * sz]));
-                }
-            });
-        }
-        1 => {
-            let ry = med.rhoy_inv.as_ref().expect("precompute() not called").as_slice();
-            let vy = vy.as_mut_slice();
-            for_each_blocked(d.ny, d.nz, block, |j, k| {
-                let row = base + sy * j + sz * k;
-                for i in 0..d.nx {
-                    let o = row + i;
-                    vy[o] += dth
-                        * ry[o]
-                        * (C1 * (sxy[o] - sxy[o - 1])
-                            + C2 * (sxy[o + 1] - sxy[o - 2])
-                            + C1 * (syy[o + sy] - syy[o])
-                            + C2 * (syy[o + 2 * sy] - syy[o - sy])
-                            + C1 * (syz[o] - syz[o - sz])
-                            + C2 * (syz[o + sz] - syz[o - 2 * sz]));
-                }
-            });
-        }
-        _ => {
-            let rz = med.rhoz_inv.as_ref().expect("precompute() not called").as_slice();
-            let vz = vz.as_mut_slice();
-            for_each_blocked(d.ny, d.nz, block, |j, k| {
-                let row = base + sy * j + sz * k;
-                for i in 0..d.nx {
-                    let o = row + i;
-                    vz[o] += dth
-                        * rz[o]
-                        * (C1 * (sxz[o] - sxz[o - 1])
-                            + C2 * (sxz[o + 1] - sxz[o - 2])
-                            + C1 * (syz[o] - syz[o - sy])
-                            + C2 * (syz[o + sy] - syz[o - 2 * sy])
-                            + C1 * (szz[o + sz] - szz[o])
-                            + C2 * (szz[o + 2 * sz] - szz[o - sz]));
-                }
-            });
-        }
-    }
-}
-
-/// Per-group stress update for the overlap path (optimized; optional
-/// attenuation). `group` 0 = the three normal components, 1 = σxy,
-/// 2 = σxz, 3 = σyz ("a similar process is employed for the stress tensor
-/// components", §IV.C).
-pub fn update_stress_group(
-    state: &mut WaveState,
-    med: &Medium,
-    atten: Option<&Attenuation>,
-    dth: f32,
-    dt: f32,
-    block: BlockSpec,
-    group: usize,
-) {
-    let d = state.dims;
-    let (sy, sz, base) = layout(state);
-    let WaveState { vx, vy, vz, sxx, syy, szz, sxy, sxz, syz, mem, .. } = state;
-    let (vx, vy, vz) = (vx.as_slice(), vy.as_slice(), vz.as_slice());
-    let lam = med.lam.as_slice();
-    let mu = med.mu.as_slice();
-    let at = atten.map(|a| (a.decay.as_slice(), a.cs.as_slice(), a.cp.as_slice()));
-
-    #[inline(always)]
-    fn anelastic(delta: f32, zeta: &mut f32, a: f32, c: f32, dt: f32) -> f32 {
-        let z = a * *zeta + (1.0 - a) * c * (delta / dt);
-        *zeta = z;
-        delta - dt * z
-    }
-
-    match group {
-        0 => {
-            let (sxx, syy, szz) = (sxx.as_mut_slice(), syy.as_mut_slice(), szz.as_mut_slice());
-            let mut zs = mem
-                .as_mut()
-                .map(|m| (m.xx.as_mut_slice(), m.yy.as_mut_slice(), m.zz.as_mut_slice()));
-            for_each_blocked(d.ny, d.nz, block, |j, k| {
-                let row = base + sy * j + sz * k;
-                for i in 0..d.nx {
-                    let o = row + i;
-                    let exx = C1 * (vx[o] - vx[o - 1]) + C2 * (vx[o + 1] - vx[o - 2]);
-                    let eyy = C1 * (vy[o] - vy[o - sy]) + C2 * (vy[o + sy] - vy[o - 2 * sy]);
-                    let ezz = C1 * (vz[o] - vz[o - sz]) + C2 * (vz[o + sz] - vz[o - 2 * sz]);
-                    let tr = exx + eyy + ezz;
-                    let l = lam[o];
-                    let m2 = 2.0 * mu[o];
-                    let dxx = dth * (l * tr + m2 * exx);
-                    let dyy = dth * (l * tr + m2 * eyy);
-                    let dzz = dth * (l * tr + m2 * ezz);
-                    if let (Some((zxx, zyy, zzz)), Some((a, _, cp))) = (&mut zs, &at) {
-                        sxx[o] += anelastic(dxx, &mut zxx[o], a[o], cp[o], dt);
-                        syy[o] += anelastic(dyy, &mut zyy[o], a[o], cp[o], dt);
-                        szz[o] += anelastic(dzz, &mut zzz[o], a[o], cp[o], dt);
-                    } else {
-                        sxx[o] += dxx;
-                        syy[o] += dyy;
-                        szz[o] += dzz;
-                    }
-                }
-            });
-        }
-        1 => {
-            let mxy = med.mu_xy.as_ref().expect("precompute() not called").as_slice();
-            let sxy = sxy.as_mut_slice();
-            let mut z = mem.as_mut().map(|m| m.xy.as_mut_slice());
-            for_each_blocked(d.ny, d.nz, block, |j, k| {
-                let row = base + sy * j + sz * k;
-                for i in 0..d.nx {
-                    let o = row + i;
-                    let dxy = dth
-                        * mxy[o]
-                        * (C1 * (vx[o + sy] - vx[o])
-                            + C2 * (vx[o + 2 * sy] - vx[o - sy])
-                            + C1 * (vy[o + 1] - vy[o])
-                            + C2 * (vy[o + 2] - vy[o - 1]));
-                    if let (Some(zr), Some((a, cs, _))) = (&mut z, &at) {
-                        sxy[o] += anelastic(dxy, &mut zr[o], a[o], cs[o], dt);
-                    } else {
-                        sxy[o] += dxy;
-                    }
-                }
-            });
-        }
-        2 => {
-            let mxz = med.mu_xz.as_ref().expect("precompute() not called").as_slice();
-            let sxz = sxz.as_mut_slice();
-            let mut z = mem.as_mut().map(|m| m.xz.as_mut_slice());
-            for_each_blocked(d.ny, d.nz, block, |j, k| {
-                let row = base + sy * j + sz * k;
-                for i in 0..d.nx {
-                    let o = row + i;
-                    let dxz = dth
-                        * mxz[o]
-                        * (C1 * (vx[o + sz] - vx[o])
-                            + C2 * (vx[o + 2 * sz] - vx[o - sz])
-                            + C1 * (vz[o + 1] - vz[o])
-                            + C2 * (vz[o + 2] - vz[o - 1]));
-                    if let (Some(zr), Some((a, cs, _))) = (&mut z, &at) {
-                        sxz[o] += anelastic(dxz, &mut zr[o], a[o], cs[o], dt);
-                    } else {
-                        sxz[o] += dxz;
-                    }
-                }
-            });
-        }
-        _ => {
-            let myz = med.mu_yz.as_ref().expect("precompute() not called").as_slice();
-            let syz = syz.as_mut_slice();
-            let mut z = mem.as_mut().map(|m| m.yz.as_mut_slice());
-            for_each_blocked(d.ny, d.nz, block, |j, k| {
-                let row = base + sy * j + sz * k;
-                for i in 0..d.nx {
-                    let o = row + i;
-                    let dyz = dth
-                        * myz[o]
-                        * (C1 * (vy[o + sz] - vy[o])
-                            + C2 * (vy[o + 2 * sz] - vy[o - sz])
-                            + C1 * (vz[o + sy] - vz[o])
-                            + C2 * (vz[o + 2 * sy] - vz[o - sy]));
-                    if let (Some(zr), Some((a, cs, _))) = (&mut z, &at) {
-                        syz[o] += anelastic(dyz, &mut zr[o], a[o], cs[o], dt);
-                    } else {
-                        syz[o] += dyz;
-                    }
-                }
-            });
-        }
-    }
-}
-
-#[cfg(test)]
-mod split_tests {
-    use super::*;
-    use awp_cvm::mesh::MeshGenerator;
-    use awp_cvm::model::LayeredModel;
-    use awp_grid::dims::{Dims3, Idx3};
-    use awp_grid::stagger::Component;
-
-    fn setup(d: Dims3) -> (Medium, WaveState) {
-        let m = LayeredModel::loh1();
-        let mesh = MeshGenerator::new(&m, d, 150.0).generate();
-        let mut med = Medium::from_mesh(&mesh);
-        med.precompute();
-        let mut st = WaveState::new(d, false);
-        let mut x = 777u64;
-        for c in Component::ALL {
-            let f = st.field_mut(c);
-            for v in f.as_mut_slice() {
-                x ^= x << 13;
-                x ^= x >> 7;
-                x ^= x << 17;
-                *v = ((x % 2000) as f32 / 1000.0 - 1.0) * 1e4;
-            }
-        }
-        (med, st)
-    }
-
-    #[test]
-    fn split_velocity_components_match_fused() {
-        let d = Dims3::new(14, 12, 10);
-        let (med, st) = setup(d);
-        let mut fused = st.clone();
-        let mut split = st;
-        update_velocity(&mut fused, &med, 0.01, BlockSpec::JAGUAR, true);
-        for c in 0..3 {
-            update_velocity_component(&mut split, &med, 0.01, BlockSpec::JAGUAR, c);
-        }
-        assert_eq!(fused.vx, split.vx);
-        assert_eq!(fused.vy, split.vy);
-        assert_eq!(fused.vz, split.vz);
-    }
-
-    #[test]
-    fn split_stress_groups_match_fused() {
-        let d = Dims3::new(12, 11, 9);
-        let (med, st) = setup(d);
-        let mut fused = st.clone();
-        let mut split = st;
-        update_stress(&mut fused, &med, None, 0.01, 1e-3, BlockSpec::JAGUAR, true);
-        for g in 0..4 {
-            update_stress_group(&mut split, &med, None, 0.01, 1e-3, BlockSpec::JAGUAR, g);
-        }
-        for c in Component::STRESSES {
-            assert_eq!(fused.field(c), split.field(c), "{c:?}");
-        }
-    }
-
-    #[test]
-    fn split_stress_groups_match_fused_anelastic() {
-        let d = Dims3::new(10, 10, 8);
-        let (med, st) = setup(d);
-        let at = crate::attenuation::Attenuation::new(&med, 1e-3, 0.1, 3.0, Idx3::new(0, 0, 0));
-        let mut fused = st.clone();
-        fused.mem = Some(crate::state::MemoryVars::new(d));
-        let mut split = fused.clone();
-        for _ in 0..2 {
-            update_stress(&mut fused, &med, Some(&at), 0.01, 1e-3, BlockSpec::JAGUAR, true);
-            for g in 0..4 {
-                update_stress_group(&mut split, &med, Some(&at), 0.01, 1e-3, BlockSpec::JAGUAR, g);
-            }
-        }
-        for c in Component::STRESSES {
-            assert_eq!(fused.field(c), split.field(c), "{c:?}");
-        }
-        let (mf, ms) = (fused.mem.unwrap(), split.mem.unwrap());
-        assert_eq!(mf.xx, ms.xx);
-        assert_eq!(mf.yz, ms.yz);
     }
 }

@@ -13,14 +13,67 @@
 use crate::attenuation::Attenuation;
 use crate::kernels::layout;
 use crate::medium::Medium;
+use crate::shell::Win;
 use crate::state::WaveState;
 use awp_grid::{C1, C2};
 use rayon::prelude::*;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Run `f` on a dedicated pool of `threads` workers (0 = rayon's global
+/// pool). Pools are built once per distinct size and cached, so hybrid
+/// runs pinned to an explicit thread count (`SolverOpts::threads`, for
+/// deterministic CI on small machines) pay the spawn cost only once.
+fn with_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    if threads == 0 {
+        return f();
+    }
+    type PoolCache = Mutex<Vec<(usize, Arc<rayon::ThreadPool>)>>;
+    static POOLS: OnceLock<PoolCache> = OnceLock::new();
+    let pool = {
+        let mut pools = POOLS.get_or_init(Default::default).lock().unwrap();
+        match pools.iter().find(|(n, _)| *n == threads) {
+            Some((_, p)) => Arc::clone(p),
+            None => {
+                let p = Arc::new(
+                    rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads)
+                        .build()
+                        .expect("hybrid thread pool"),
+                );
+                pools.push((threads, Arc::clone(&p)));
+                p
+            }
+        }
+    };
+    pool.install(f)
+}
 
 /// Multithreaded velocity update (optimized path only: precomputed
-/// reciprocal media required).
-pub fn update_velocity_mt(state: &mut WaveState, med: &Medium, dth: f32) {
-    let d = state.dims;
+/// reciprocal media required). `threads` pins the worker count (0 = global
+/// pool).
+pub fn update_velocity_mt(state: &mut WaveState, med: &Medium, dth: f32, threads: usize) {
+    let win = Win::full(state.dims);
+    update_velocity_mt_win(state, med, dth, win, threads);
+}
+
+/// Windowed multithreaded velocity update (shell/interior split): planes
+/// outside `win.k0..win.k1` are skipped, rows clipped to the window. Same
+/// per-cell expression as the fused pass, hence bit-identical on the
+/// window.
+pub fn update_velocity_mt_win(
+    state: &mut WaveState,
+    med: &Medium,
+    dth: f32,
+    win: Win,
+    threads: usize,
+) {
+    if win.is_empty() {
+        return;
+    }
+    with_pool(threads, || velocity_mt_body(state, med, dth, win));
+}
+
+fn velocity_mt_body(state: &mut WaveState, med: &Medium, dth: f32, win: Win) {
     let (sy, sz, _) = layout(state);
     let rx = med.rhox_inv.as_ref().expect("precompute() not called").as_slice();
     let ry = med.rhoy_inv.as_ref().expect("precompute() not called").as_slice();
@@ -31,13 +84,13 @@ pub fn update_velocity_mt(state: &mut WaveState, med: &Medium, dth: f32) {
 
     // vx pass.
     vx.as_mut_slice().par_chunks_mut(sz).enumerate().for_each(|(kp, plane)| {
-        if kp < 2 || kp >= d.nz + 2 {
+        if kp < 2 + win.k0 || kp >= 2 + win.k1 {
             return;
         }
         let zoff = kp * sz;
-        for j in 0..d.ny {
+        for j in win.j0..win.j1 {
             let row = 2 + sy * (j + 2);
-            for i in 0..d.nx {
+            for i in win.i0..win.i1 {
                 let ol = row + i;
                 let o = zoff + ol;
                 plane[ol] += dth
@@ -53,13 +106,13 @@ pub fn update_velocity_mt(state: &mut WaveState, med: &Medium, dth: f32) {
     });
     // vy pass.
     vy.as_mut_slice().par_chunks_mut(sz).enumerate().for_each(|(kp, plane)| {
-        if kp < 2 || kp >= d.nz + 2 {
+        if kp < 2 + win.k0 || kp >= 2 + win.k1 {
             return;
         }
         let zoff = kp * sz;
-        for j in 0..d.ny {
+        for j in win.j0..win.j1 {
             let row = 2 + sy * (j + 2);
-            for i in 0..d.nx {
+            for i in win.i0..win.i1 {
                 let ol = row + i;
                 let o = zoff + ol;
                 plane[ol] += dth
@@ -75,13 +128,13 @@ pub fn update_velocity_mt(state: &mut WaveState, med: &Medium, dth: f32) {
     });
     // vz pass.
     vz.as_mut_slice().par_chunks_mut(sz).enumerate().for_each(|(kp, plane)| {
-        if kp < 2 || kp >= d.nz + 2 {
+        if kp < 2 + win.k0 || kp >= 2 + win.k1 {
             return;
         }
         let zoff = kp * sz;
-        for j in 0..d.ny {
+        for j in win.j0..win.j1 {
             let row = 2 + sy * (j + 2);
-            for i in 0..d.nx {
+            for i in win.i0..win.i1 {
                 let ol = row + i;
                 let o = zoff + ol;
                 plane[ol] += dth
@@ -98,14 +151,43 @@ pub fn update_velocity_mt(state: &mut WaveState, med: &Medium, dth: f32) {
 }
 
 /// Multithreaded stress update (optimized path; optional attenuation).
+/// `threads` pins the worker count (0 = global pool).
 pub fn update_stress_mt(
     state: &mut WaveState,
     med: &Medium,
     atten: Option<&Attenuation>,
     dth: f32,
     dt: f32,
+    threads: usize,
 ) {
-    let d = state.dims;
+    let win = Win::full(state.dims);
+    update_stress_mt_win(state, med, atten, dth, dt, win, threads);
+}
+
+/// Windowed multithreaded stress update — see [`update_velocity_mt_win`].
+pub fn update_stress_mt_win(
+    state: &mut WaveState,
+    med: &Medium,
+    atten: Option<&Attenuation>,
+    dth: f32,
+    dt: f32,
+    win: Win,
+    threads: usize,
+) {
+    if win.is_empty() {
+        return;
+    }
+    with_pool(threads, || stress_mt_body(state, med, atten, dth, dt, win));
+}
+
+fn stress_mt_body(
+    state: &mut WaveState,
+    med: &Medium,
+    atten: Option<&Attenuation>,
+    dth: f32,
+    dt: f32,
+    win: Win,
+) {
     let (sy, sz, _) = layout(state);
     let lam = med.lam.as_slice();
     let mu = med.mu.as_slice();
@@ -137,13 +219,13 @@ pub fn update_stress_mt(
                         .zip(zarr.par_chunks_mut(sz))
                         .enumerate()
                         .for_each(|(kp, (plane, zplane))| {
-                            if kp < 2 || kp >= d.nz + 2 {
+                            if kp < 2 + win.k0 || kp >= 2 + win.k1 {
                                 return;
                             }
                             let zoff = kp * sz;
-                            for j in 0..d.ny {
+                            for j in win.j0..win.j1 {
                                 let row = 2 + sy * (j + 2);
-                                for i in 0..d.nx {
+                                for i in win.i0..win.i1 {
                                     let ol = row + i;
                                     let o = zoff + ol;
                                     let delta: f32 = $expr(o);
@@ -156,13 +238,13 @@ pub fn update_stress_mt(
                 _ => {
                     $field.as_mut_slice().par_chunks_mut(sz).enumerate().for_each(
                         |(kp, plane)| {
-                            if kp < 2 || kp >= d.nz + 2 {
+                            if kp < 2 + win.k0 || kp >= 2 + win.k1 {
                                 return;
                             }
                             let zoff = kp * sz;
-                            for j in 0..d.ny {
+                            for j in win.j0..win.j1 {
                                 let row = 2 + sy * (j + 2);
-                                for i in 0..d.nx {
+                                for i in win.i0..win.i1 {
                                     let ol = row + i;
                                     let o = zoff + ol;
                                     plane[ol] += $expr(o);
@@ -278,7 +360,7 @@ mod tests {
         let mut a = st.clone();
         let mut b = st;
         update_velocity(&mut a, &med, 0.01, BlockSpec::JAGUAR, true);
-        update_velocity_mt(&mut b, &med, 0.01);
+        update_velocity_mt(&mut b, &med, 0.01, 0);
         assert_eq!(a.vx, b.vx);
         assert_eq!(a.vy, b.vy);
         assert_eq!(a.vz, b.vz);
@@ -291,7 +373,7 @@ mod tests {
         let mut a = st.clone();
         let mut b = st;
         update_stress(&mut a, &med, None, 0.01, 1e-3, BlockSpec::JAGUAR, true);
-        update_stress_mt(&mut b, &med, None, 0.01, 1e-3);
+        update_stress_mt(&mut b, &med, None, 0.01, 1e-3, 2);
         for c in Component::STRESSES {
             assert_eq!(a.field(c), b.field(c), "{c:?}");
         }
@@ -308,7 +390,7 @@ mod tests {
         // Two steps so memory-variable state feeds back.
         for _ in 0..2 {
             update_stress(&mut a, &med, Some(&at), 0.01, 1e-3, BlockSpec::JAGUAR, true);
-            update_stress_mt(&mut b, &med, Some(&at), 0.01, 1e-3);
+            update_stress_mt(&mut b, &med, Some(&at), 0.01, 1e-3, 2);
         }
         for c in Component::STRESSES {
             assert_eq!(a.field(c), b.field(c), "{c:?}");
@@ -326,10 +408,39 @@ mod tests {
         st.sxx.set(8, 8, 8, 1e6);
         // dth = dt/h with dt = 0.0075 s, h = 150 m — inside the CFL bound.
         for _ in 0..20 {
-            update_velocity_mt(&mut st, &med, 5e-5);
-            update_stress_mt(&mut st, &med, None, 5e-5, 0.0075);
+            update_velocity_mt(&mut st, &med, 5e-5, 2);
+            update_stress_mt(&mut st, &med, None, 5e-5, 0.0075, 2);
         }
         assert!(!st.has_nan());
         assert!(st.max_velocity() > 0.0);
+    }
+
+    #[test]
+    fn mt_windowed_union_matches_fused_and_pool_is_pinned() {
+        use crate::shell::ShellPlan;
+        let d = Dims3::new(13, 11, 9);
+        let (med, st) = setup(d);
+        let at = Attenuation::new(&med, 1e-3, 0.1, 3.0, Idx3::new(0, 0, 0));
+        let mut fused = st.clone();
+        fused.mem = Some(crate::state::MemoryVars::new(d));
+        let mut split = fused.clone();
+        let plan = ShellPlan::from_widths(d, [2, 0, 2, 2, 0, 2], false);
+        update_velocity_mt(&mut fused, &med, 0.01, 2);
+        update_stress_mt(&mut fused, &med, Some(&at), 0.01, 1e-3, 2);
+        for w in plan.shells.iter().chain(std::iter::once(&plan.interior)) {
+            update_velocity_mt_win(&mut split, &med, 0.01, *w, 2);
+        }
+        for w in plan.shells.iter().chain(std::iter::once(&plan.interior)) {
+            update_stress_mt_win(&mut split, &med, Some(&at), 0.01, 1e-3, *w, 2);
+        }
+        for c in Component::ALL {
+            assert_eq!(fused.field(c), split.field(c), "{c:?}");
+        }
+        let (mf, ms) = (fused.mem.unwrap(), split.mem.unwrap());
+        assert_eq!(mf.xx, ms.xx);
+        assert_eq!(mf.yz, ms.yz);
+        // A pinned pool really runs with the requested width.
+        let seen = with_pool(3, rayon::current_num_threads);
+        assert_eq!(seen, 3);
     }
 }

@@ -46,16 +46,18 @@ pub mod kernels_mt;
 pub mod medium;
 pub mod pml;
 pub mod reference;
+pub mod shell;
 pub mod simd;
 pub mod solver;
 pub mod sourceinj;
 pub mod state;
 pub mod stations;
 
-pub use arena::HaloArena;
-pub use config::{AbcKind, CodeVersion, SolverConfig, SolverOpts};
+pub use arena::{ExchangeStats, HaloArena};
+pub use config::{AbcKind, CodeVersion, ConfigError, SolverConfig, SolverOpts};
 pub use medium::Medium;
+pub use shell::{ShellPlan, Win};
 pub use simd::SimdBackend;
-pub use solver::{run_parallel, RankResult, Solver};
+pub use solver::{run_parallel, try_run_parallel, RankResult, Solver};
 pub use state::WaveState;
 pub use stations::{Station, StationRecorder};

@@ -14,6 +14,7 @@
 //! similarly confines ABC work to edge processors, §III.A).
 
 use crate::medium::Medium;
+use crate::shell::Win;
 use crate::state::WaveState;
 use awp_grid::array3::Array3;
 use awp_grid::decomp::Subdomain;
@@ -150,7 +151,17 @@ impl Mpml {
 
     /// Apply the velocity-pass PML correction (after the velocity update).
     pub fn apply_velocity(&mut self, state: &mut WaveState, med: &Medium, dth: f32) {
-        let d = state.dims;
+        let win = Win::full(state.dims);
+        self.apply_velocity_win(state, med, dth, win);
+    }
+
+    /// Windowed velocity-pass correction (shell/interior split). The ψ
+    /// update at a cell reads only that cell's ψ and the frozen
+    /// cross-field derivatives, so restricting to a window is bit-exact.
+    pub fn apply_velocity_win(&mut self, state: &mut WaveState, med: &Medium, dth: f32, win: Win) {
+        if win.is_empty() {
+            return;
+        }
         let (sy, sz, base) = crate::kernels::layout(state);
         let rx = med.rhox_inv.as_ref().expect("precompute() required for PML").as_slice();
         let ry = med.rhoy_inv.as_ref().unwrap().as_slice();
@@ -159,9 +170,9 @@ impl Mpml {
         let (vx, vy, vz) = (vx.as_mut_slice(), vy.as_mut_slice(), vz.as_mut_slice());
         let (sxx, syy, szz) = (sxx.as_slice(), syy.as_slice(), szz.as_slice());
         let (sxy, sxz, syz) = (sxy.as_slice(), sxz.as_slice(), syz.as_slice());
-        for k in 0..d.nz {
-            for j in 0..d.ny {
-                for i in 0..d.nx {
+        for k in win.k0..win.k1 {
+            for j in win.j0..win.j1 {
+                for i in win.i0..win.i1 {
                     if !self.in_zone(i, j, k) {
                         continue;
                     }
@@ -197,7 +208,15 @@ impl Mpml {
 
     /// Apply the stress-pass PML correction (after the stress update).
     pub fn apply_stress(&mut self, state: &mut WaveState, med: &Medium, dth: f32) {
-        let d = state.dims;
+        let win = Win::full(state.dims);
+        self.apply_stress_win(state, med, dth, win);
+    }
+
+    /// Windowed stress-pass correction — see [`Mpml::apply_velocity_win`].
+    pub fn apply_stress_win(&mut self, state: &mut WaveState, med: &Medium, dth: f32, win: Win) {
+        if win.is_empty() {
+            return;
+        }
         let (sy, sz, base) = crate::kernels::layout(state);
         let lam = med.lam.as_slice();
         let mu = med.mu.as_slice();
@@ -208,9 +227,9 @@ impl Mpml {
         let (vx, vy, vz) = (vx.as_slice(), vy.as_slice(), vz.as_slice());
         let (sxx, syy, szz) = (sxx.as_mut_slice(), syy.as_mut_slice(), szz.as_mut_slice());
         let (sxy, sxz, syz) = (sxy.as_mut_slice(), sxz.as_mut_slice(), syz.as_mut_slice());
-        for k in 0..d.nz {
-            for j in 0..d.ny {
-                for i in 0..d.nx {
+        for k in win.k0..win.k1 {
+            for j in win.j0..win.j1 {
+                for i in win.i0..win.i1 {
                     if !self.in_zone(i, j, k) {
                         continue;
                     }
@@ -346,6 +365,42 @@ mod tests {
         // Centre cell and its neighbours are outside every slab → no change.
         assert_eq!(st.vx.get(15, 15, 15), before.vx.get(15, 15, 15));
         assert_eq!(st.vx.get(14, 15, 15), 0.0);
+    }
+
+    #[test]
+    fn windowed_union_matches_fused_passes() {
+        use crate::shell::ShellPlan;
+        let d = Dims3::new(20, 18, 16);
+        let (_, med, pml) = setup(d, 5);
+        let mut st = WaveState::new(d, false);
+        let mut x = 0x1234u64;
+        for c in awp_grid::stagger::Component::ALL {
+            for v in st.field_mut(c).as_mut_slice() {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *v = ((x % 2000) as f32 / 1000.0 - 1.0) * 1e3;
+            }
+        }
+        let mut pml_fused = pml.clone();
+        let mut pml_split = pml;
+        let mut fused = st.clone();
+        let mut split = st;
+        let plan = ShellPlan::from_widths(d, [2, 2, 2, 0, 0, 2], false);
+        pml_fused.apply_velocity(&mut fused, &med, 0.01);
+        pml_fused.apply_stress(&mut fused, &med, 0.01);
+        for w in plan.shells.iter().chain(std::iter::once(&plan.interior)) {
+            pml_split.apply_velocity_win(&mut split, &med, 0.01, *w);
+        }
+        for w in plan.shells.iter().chain(std::iter::once(&plan.interior)) {
+            pml_split.apply_stress_win(&mut split, &med, 0.01, *w);
+        }
+        for c in awp_grid::stagger::Component::ALL {
+            assert_eq!(fused.field(c), split.field(c), "{c:?}");
+        }
+        for (a, b) in pml_fused.psi.iter().zip(&pml_split.psi) {
+            assert_eq!(a, b, "ψ arrays diverged");
+        }
     }
 
     #[test]

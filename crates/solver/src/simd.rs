@@ -24,8 +24,9 @@
 use crate::attenuation::Attenuation;
 use crate::kernels::layout;
 use crate::medium::Medium;
+use crate::shell::Win;
 use crate::state::WaveState;
-use awp_grid::blocking::{blocked_tiles, BlockSpec};
+use awp_grid::blocking::{blocked_tiles_range, BlockSpec};
 use awp_grid::{C1, C2};
 use std::sync::OnceLock;
 
@@ -86,7 +87,22 @@ pub fn detect() -> SimdBackend {
 /// SIMD velocity update — bit-identical to
 /// `update_velocity(…, optimized = true)`.
 pub fn update_velocity_simd(state: &mut WaveState, med: &Medium, dth: f32, block: BlockSpec) {
-    update_velocity_backend(state, med, dth, block, detect());
+    let win = Win::full(state.dims);
+    update_velocity_backend_win(state, med, dth, block, win, detect());
+}
+
+/// Windowed SIMD velocity update (shell/interior split): bit-identical to
+/// the fused pass restricted to `win`, because the vector loop restarts at
+/// `win.i0` with the same expression tree (unaligned loads, no FMA) and
+/// per-cell updates are window-invariant.
+pub fn update_velocity_simd_win(
+    state: &mut WaveState,
+    med: &Medium,
+    dth: f32,
+    block: BlockSpec,
+    win: Win,
+) {
+    update_velocity_backend_win(state, med, dth, block, win, detect());
 }
 
 /// SIMD stress update (optional attenuation) — bit-identical to
@@ -99,7 +115,21 @@ pub fn update_stress_simd(
     dt: f32,
     block: BlockSpec,
 ) {
-    update_stress_backend(state, med, atten, dth, dt, block, detect());
+    let win = Win::full(state.dims);
+    update_stress_backend_win(state, med, atten, dth, dt, block, win, detect());
+}
+
+/// Windowed SIMD stress update — see [`update_velocity_simd_win`].
+pub fn update_stress_simd_win(
+    state: &mut WaveState,
+    med: &Medium,
+    atten: Option<&Attenuation>,
+    dth: f32,
+    dt: f32,
+    block: BlockSpec,
+    win: Win,
+) {
+    update_stress_backend_win(state, med, atten, dth, dt, block, win, detect());
 }
 
 /// Velocity update on an explicit backend (benches and pinning tests;
@@ -111,17 +141,33 @@ pub fn update_velocity_backend(
     block: BlockSpec,
     backend: SimdBackend,
 ) {
+    let win = Win::full(state.dims);
+    update_velocity_backend_win(state, med, dth, block, win, backend);
+}
+
+/// Windowed velocity update on an explicit backend.
+pub fn update_velocity_backend_win(
+    state: &mut WaveState,
+    med: &Medium,
+    dth: f32,
+    block: BlockSpec,
+    win: Win,
+    backend: SimdBackend,
+) {
     assert!(backend.available(), "{} not supported by this CPU", backend.name());
+    if win.is_empty() {
+        return;
+    }
     match backend {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: availability asserted above.
-        SimdBackend::Avx2 => unsafe { velocity_avx2(state, med, dth, block) },
+        SimdBackend::Avx2 => unsafe { velocity_avx2(state, med, dth, block, win) },
         #[cfg(target_arch = "x86_64")]
         // SAFETY: availability asserted above.
-        SimdBackend::Sse2 => unsafe { velocity_sse2(state, med, dth, block) },
+        SimdBackend::Sse2 => unsafe { velocity_sse2(state, med, dth, block, win) },
         // SAFETY: the f32 instantiation performs ordinary slice-derived
         // pointer accesses with the same bounds as the scalar kernel.
-        _ => unsafe { velocity_body::<f32>(state, med, dth, block) },
+        _ => unsafe { velocity_body::<f32>(state, med, dth, block, win) },
     }
 }
 
@@ -135,29 +181,48 @@ pub fn update_stress_backend(
     block: BlockSpec,
     backend: SimdBackend,
 ) {
+    let win = Win::full(state.dims);
+    update_stress_backend_win(state, med, atten, dth, dt, block, win, backend);
+}
+
+/// Windowed stress update on an explicit backend.
+#[allow(clippy::too_many_arguments)]
+pub fn update_stress_backend_win(
+    state: &mut WaveState,
+    med: &Medium,
+    atten: Option<&Attenuation>,
+    dth: f32,
+    dt: f32,
+    block: BlockSpec,
+    win: Win,
+    backend: SimdBackend,
+) {
     assert!(backend.available(), "{} not supported by this CPU", backend.name());
+    if win.is_empty() {
+        return;
+    }
     match backend {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: availability asserted above.
-        SimdBackend::Avx2 => unsafe { stress_avx2(state, med, atten, dth, dt, block) },
+        SimdBackend::Avx2 => unsafe { stress_avx2(state, med, atten, dth, dt, block, win) },
         #[cfg(target_arch = "x86_64")]
         // SAFETY: availability asserted above.
-        SimdBackend::Sse2 => unsafe { stress_sse2(state, med, atten, dth, dt, block) },
+        SimdBackend::Sse2 => unsafe { stress_sse2(state, med, atten, dth, dt, block, win) },
         // SAFETY: as for the velocity fallback.
-        _ => unsafe { stress_body::<f32>(state, med, atten, dth, dt, block) },
+        _ => unsafe { stress_body::<f32>(state, med, atten, dth, dt, block, win) },
     }
 }
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-unsafe fn velocity_avx2(state: &mut WaveState, med: &Medium, dth: f32, block: BlockSpec) {
-    velocity_body::<x86::V8>(state, med, dth, block)
+unsafe fn velocity_avx2(state: &mut WaveState, med: &Medium, dth: f32, block: BlockSpec, win: Win) {
+    velocity_body::<x86::V8>(state, med, dth, block, win)
 }
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse2")]
-unsafe fn velocity_sse2(state: &mut WaveState, med: &Medium, dth: f32, block: BlockSpec) {
-    velocity_body::<x86::V4>(state, med, dth, block)
+unsafe fn velocity_sse2(state: &mut WaveState, med: &Medium, dth: f32, block: BlockSpec, win: Win) {
+    velocity_body::<x86::V4>(state, med, dth, block, win)
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -169,8 +234,9 @@ unsafe fn stress_avx2(
     dth: f32,
     dt: f32,
     block: BlockSpec,
+    win: Win,
 ) {
-    stress_body::<x86::V8>(state, med, atten, dth, dt, block)
+    stress_body::<x86::V8>(state, med, atten, dth, dt, block, win)
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -182,8 +248,9 @@ unsafe fn stress_sse2(
     dth: f32,
     dt: f32,
     block: BlockSpec,
+    win: Win,
 ) {
-    stress_body::<x86::V4>(state, med, atten, dth, dt, block)
+    stress_body::<x86::V4>(state, med, atten, dth, dt, block, win)
 }
 
 /// `WIDTH` consecutive f32 lanes and the four arithmetic ops the kernels
@@ -402,8 +469,8 @@ unsafe fn velocity_body<V: Lanes>(
     med: &Medium,
     dth: f32,
     block: BlockSpec,
+    win: Win,
 ) {
-    let d = state.dims;
     let (sy, sz, base) = layout(state);
     let p = VelPtrs {
         vx: state.vx.as_mut_slice().as_mut_ptr(),
@@ -419,16 +486,16 @@ unsafe fn velocity_body<V: Lanes>(
         ry: med.rhoy_inv.as_ref().expect("precompute() not called").as_slice().as_ptr(),
         rz: med.rhoz_inv.as_ref().expect("precompute() not called").as_slice().as_ptr(),
     };
-    for (jr, kr) in blocked_tiles(d.ny, d.nz, block) {
+    for (jr, kr) in blocked_tiles_range(win.j0, win.j1, win.k0, win.k1, block) {
         for k in kr {
             for j in jr.clone() {
                 let row = base + sy * j + sz * k;
-                let mut i = 0;
-                while i + V::WIDTH <= d.nx {
+                let mut i = win.i0;
+                while i + V::WIDTH <= win.i1 {
                     vel_chunk::<V>(p, row + i, sy, sz, dth);
                     i += V::WIDTH;
                 }
-                while i < d.nx {
+                while i < win.i1 {
                     vel_chunk::<f32>(p, row + i, sy, sz, dth);
                     i += 1;
                 }
@@ -582,8 +649,8 @@ unsafe fn stress_body<V: Lanes>(
     dth: f32,
     dt: f32,
     block: BlockSpec,
+    win: Win,
 ) {
-    let d = state.dims;
     let (sy, sz, base) = layout(state);
     let p = StressPtrs {
         vx: state.vx.as_slice().as_ptr(),
@@ -617,16 +684,16 @@ unsafe fn stress_body<V: Lanes>(
         }),
         _ => None,
     };
-    for (jr, kr) in blocked_tiles(d.ny, d.nz, block) {
+    for (jr, kr) in blocked_tiles_range(win.j0, win.j1, win.k0, win.k1, block) {
         for k in kr {
             for j in jr.clone() {
                 let row = base + sy * j + sz * k;
-                let mut i = 0;
-                while i + V::WIDTH <= d.nx {
+                let mut i = win.i0;
+                while i + V::WIDTH <= win.i1 {
                     stress_chunk::<V>(p, an, row + i, sy, sz, dth, dt);
                     i += V::WIDTH;
                 }
-                while i < d.nx {
+                while i < win.i1 {
                     stress_chunk::<f32>(p, an, row + i, sy, sz, dth, dt);
                     i += 1;
                 }
@@ -772,6 +839,46 @@ mod tests {
             let (ms, mv) = (scalar.mem.unwrap(), simd.mem.unwrap());
             assert_eq!(ms.xx, mv.xx, "{}", backend.name());
             assert_eq!(ms.yz, mv.yz, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn windowed_shell_interior_union_matches_fused() {
+        // Running the seven shell/interior windows (any order) must be
+        // bit-identical to the fused full-domain pass, per backend.
+        use crate::shell::ShellPlan;
+        for backend in backends() {
+            for (seed, &(nx, ny, nz)) in DIMS.iter().enumerate() {
+                let d = Dims3::new(nx, ny, nz);
+                let plan = ShellPlan::from_widths(d, [2, 2, 0, 2, 2, 0], false);
+                let (med, st) = setup(d, 0x5eed + seed as u64);
+                let at = Attenuation::new(&med, 1e-3, 0.1, 3.0, Idx3::new(0, 0, 0));
+                let mut fused = st.clone();
+                fused.mem = Some(MemoryVars::new(d));
+                let mut split = fused.clone();
+                let b = BlockSpec::new(3, 2);
+                update_velocity_backend(&mut fused, &med, 0.01, b, backend);
+                update_stress_backend(&mut fused, &med, Some(&at), 0.01, 1e-3, b, backend);
+                for w in plan.shells.iter().chain(std::iter::once(&plan.interior)) {
+                    update_velocity_backend_win(&mut split, &med, 0.01, b, *w, backend);
+                }
+                for w in plan.shells.iter().chain(std::iter::once(&plan.interior)) {
+                    update_stress_backend_win(
+                        &mut split,
+                        &med,
+                        Some(&at),
+                        0.01,
+                        1e-3,
+                        b,
+                        *w,
+                        backend,
+                    );
+                }
+                assert_bits_equal(&fused, &split, &format!("{} {d:?}", backend.name()));
+                let (mf, ms) = (fused.mem.unwrap(), split.mem.unwrap());
+                assert_eq!(mf.xx, ms.xx, "{} {d:?}", backend.name());
+                assert_eq!(mf.yz, ms.yz, "{} {d:?}", backend.name());
+            }
         }
     }
 

@@ -3,29 +3,33 @@
 //! mode"): update velocities → share with neighbours → update stresses →
 //! share → repeat, with Eq. (7) phase timing.
 
-use crate::arena::HaloArena;
+use crate::arena::{ExchangeStats, HaloArena};
 use crate::attenuation::Attenuation;
 use crate::boundary::{
-    apply_free_surface_stress, apply_free_surface_stress_group, apply_free_surface_velocity,
+    apply_free_surface_stress, apply_free_surface_stress_win, apply_free_surface_velocity,
     owns_free_surface, Sponge,
 };
-use crate::config::{AbcKind, SolverConfig};
+use crate::config::{AbcKind, ConfigError, SolverConfig};
 use crate::exchange::{
     exchange, finish_exchange, full_plan, reduced_stress_plan, reduced_velocity_plan,
-    start_exchange, FieldPlan, PendingExchange, Phase,
+    start_exchange, FieldPlan, Phase,
 };
 use crate::flops::FlopCounter;
-use crate::kernels::{
-    update_stress, update_stress_group, update_velocity, update_velocity_component,
+use crate::kernels::{update_stress, update_stress_win, update_velocity, update_velocity_win};
+use crate::kernels_mt::{
+    update_stress_mt, update_stress_mt_win, update_velocity_mt, update_velocity_mt_win,
 };
-use crate::kernels_mt::{update_stress_mt, update_velocity_mt};
-use crate::simd::{update_stress_simd, update_velocity_simd};
 use crate::medium::Medium;
 use crate::pml::Mpml;
+use crate::shell::{ShellPlan, Win};
+use crate::simd::{
+    update_stress_simd, update_stress_simd_win, update_velocity_simd, update_velocity_simd_win,
+};
 use crate::sourceinj::SourceInjector;
 use crate::state::WaveState;
 use crate::stations::{Seismogram, Station, StationRecorder};
 use awp_cvm::mesh::Mesh;
+use awp_grid::blocking::BlockSpec;
 use awp_grid::decomp::{Decomp3, Subdomain};
 use awp_grid::stagger::Component;
 use awp_source::kinematic::KinematicSource;
@@ -33,14 +37,13 @@ use awp_source::partition::partition_spatial;
 use awp_vcluster::cluster::RankCtx;
 use awp_vcluster::{Category, Cluster, TimeLedger};
 
-/// Overlap-path stress exchange groups (§IV.C): the normal components
-/// finalise together, each shear component on its own.
-const STRESS_GROUPS: [&[Component]; 4] = [
-    &[Component::Sxx, Component::Syy, Component::Szz],
-    &[Component::Sxy],
-    &[Component::Sxz],
-    &[Component::Syz],
-];
+/// Kernel backend for one window of the shell/interior split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Scalar,
+    Simd,
+    Hybrid,
+}
 
 /// One rank's solver instance.
 pub struct Solver {
@@ -57,10 +60,8 @@ pub struct Solver {
     pub flops: FlopCounter,
     vel_plan: Vec<FieldPlan>,
     str_plan: Vec<FieldPlan>,
-    /// Per-component / per-group plan slices, precomputed so the overlap
-    /// path filters nothing per step.
-    vel_plan_by_comp: [Vec<FieldPlan>; 3],
-    str_plan_by_group: [Vec<FieldPlan>; 4],
+    /// Precomputed shell/interior decomposition for the overlap timestep.
+    shell: ShellPlan,
     /// Pooled halo staging buffers (zero-copy exchange path).
     arena: HaloArena,
 }
@@ -78,11 +79,17 @@ pub struct RankResult {
     /// Running per-surface-cell peak |v_horizontal| (PGV map fragment),
     /// x-fastest over this rank's surface cells (empty off-surface ranks).
     pub pgv_map: Vec<f32>,
+    /// Per-phase exchange timing (send/wait/inject) accumulated over the
+    /// run — the overlap-efficiency bench reads `wait_ns` to measure how
+    /// much communication the split timestep hid.
+    pub exchange: ExchangeStats,
     pub sub: Subdomain,
 }
 
 impl Solver {
     /// Build a rank's solver from its local mesh and (rank-local) source.
+    /// Panics on an invalid configuration — use [`Solver::try_new`] to get
+    /// a recoverable [`ConfigError`] instead.
     pub fn new(
         cfg: SolverConfig,
         sub: Subdomain,
@@ -90,6 +97,21 @@ impl Solver {
         source: &KinematicSource,
         stations: &[Station],
     ) -> Self {
+        Self::try_new(cfg, sub, mesh, source, stations).expect("invalid solver configuration")
+    }
+
+    /// Fallible constructor: checks option consistency
+    /// (`SolverConfig::validate`) before building anything, so a bad
+    /// engine/overlap combination fails the run gracefully instead of
+    /// panicking a rank thread mid-step.
+    pub fn try_new(
+        cfg: SolverConfig,
+        sub: Subdomain,
+        mesh: &Mesh,
+        source: &KinematicSource,
+        stations: &[Station],
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         assert_eq!(mesh.dims, sub.dims, "mesh does not match subdomain");
         let mut med = Medium::from_mesh(mesh);
         // CFL guard.
@@ -132,18 +154,8 @@ impl Solver {
                 full_plan(&Component::STRESSES),
             )
         };
-        let vel_plan_by_comp = std::array::from_fn(|c| {
-            let cid = Component::VELOCITIES[c].id();
-            vel_plan.iter().filter(|p| p.comp.id() == cid).copied().collect()
-        });
-        let str_plan_by_group = std::array::from_fn(|g| {
-            str_plan
-                .iter()
-                .filter(|p| STRESS_GROUPS[g].iter().any(|c| c.id() == p.comp.id()))
-                .copied()
-                .collect()
-        });
-        Self {
+        let shell = ShellPlan::new(&sub, cfg.free_surface && owns_free_surface(&sub));
+        Ok(Self {
             cfg,
             sub,
             med,
@@ -157,10 +169,9 @@ impl Solver {
             flops: FlopCounter::default(),
             vel_plan,
             str_plan,
-            vel_plan_by_comp,
-            str_plan_by_group,
+            shell,
             arena: HaloArena::new(),
-        }
+        })
     }
 
     /// Heap-touching events in the exchange staging arena (flat across
@@ -169,8 +180,91 @@ impl Solver {
         self.arena.allocations()
     }
 
+    /// Cumulative send/wait/inject exchange timing for this rank.
+    pub fn exchange_stats(&self) -> ExchangeStats {
+        self.arena.stats
+    }
+
+    /// The shell/interior decomposition the overlap timestep uses.
+    pub fn shell_plan(&self) -> &ShellPlan {
+        &self.shell
+    }
+
     fn dth(&self) -> f32 {
         (self.cfg.dt / self.cfg.h) as f32
+    }
+
+    /// Velocity phase over one window: kernel update then the M-PML
+    /// velocity correction, both restricted to `w`.
+    fn velocity_win(&mut self, w: Win, dth: f32, block: BlockSpec, backend: Backend) {
+        match backend {
+            Backend::Hybrid => update_velocity_mt_win(
+                &mut self.state,
+                &self.med,
+                dth,
+                w,
+                self.cfg.opts.threads,
+            ),
+            Backend::Simd => update_velocity_simd_win(&mut self.state, &self.med, dth, block, w),
+            Backend::Scalar => update_velocity_win(&mut self.state, &self.med, dth, block, w),
+        }
+        if let Some(p) = &mut self.mpml {
+            p.apply_velocity_win(&mut self.state, &self.med, dth, w);
+        }
+    }
+
+    /// Stress phase over one window, in the fused pass's order: kernel
+    /// update → M-PML correction → source injection → free-surface imaging
+    /// (surface-touching windows only) → stress sponge.
+    fn stress_win(
+        &mut self,
+        w: Win,
+        t: f64,
+        on_surface: bool,
+        dth: f32,
+        block: BlockSpec,
+        backend: Backend,
+    ) {
+        let dt = self.cfg.dt as f32;
+        match backend {
+            Backend::Hybrid => update_stress_mt_win(
+                &mut self.state,
+                &self.med,
+                self.atten.as_ref(),
+                dth,
+                dt,
+                w,
+                self.cfg.opts.threads,
+            ),
+            Backend::Simd => update_stress_simd_win(
+                &mut self.state,
+                &self.med,
+                self.atten.as_ref(),
+                dth,
+                dt,
+                block,
+                w,
+            ),
+            Backend::Scalar => update_stress_win(
+                &mut self.state,
+                &self.med,
+                self.atten.as_ref(),
+                dth,
+                dt,
+                block,
+                w,
+            ),
+        }
+        if let Some(p) = &mut self.mpml {
+            p.apply_stress_win(&mut self.state, &self.med, dth, w);
+        }
+        self.injector.inject_win(&mut self.state, t, self.cfg.dt, w);
+        if on_surface && w.k0 == 0 {
+            apply_free_surface_stress_win(&mut self.state, w);
+        }
+        if let Some(sp) = &self.sponge {
+            sp.apply_components_win(&mut self.state, &Component::STRESSES, w);
+        }
     }
 
     /// Advance one step without communication (serial / interior of the
@@ -188,7 +282,7 @@ impl Solver {
         let simd = self.cfg.opts.simd && optimized && !hybrid;
         ledger.time(Category::Comp, || {
             if hybrid {
-                update_velocity_mt(&mut self.state, &self.med, dth);
+                update_velocity_mt(&mut self.state, &self.med, dth, self.cfg.opts.threads);
             } else if simd {
                 update_velocity_simd(&mut self.state, &self.med, dth, block);
             } else {
@@ -210,6 +304,7 @@ impl Solver {
                     self.atten.as_ref(),
                     dth,
                     self.cfg.dt as f32,
+                    self.cfg.opts.threads,
                 );
             } else if simd {
                 update_stress_simd(
@@ -296,6 +391,7 @@ impl Solver {
             steps: cfg.steps,
             surface: Some(crate::stations::surface_velocities(&solver.state, 1)),
             pgv_map: pgv,
+            exchange: ExchangeStats::default(),
             sub,
         }
     }
@@ -324,6 +420,7 @@ impl Solver {
             steps: cfg.steps,
             surface: Some(crate::stations::surface_velocities(&solver.state, 1)),
             pgv_map: pgv,
+            exchange: ExchangeStats::default(),
             sub,
         }
     }
@@ -331,12 +428,18 @@ impl Solver {
     /// One full parallel step (velocity → exchange → stress → exchange),
     /// honouring the configured engine, overlap and barrier options.
     ///
-    /// With overlap on (§IV.C) the updates are split per component/group
-    /// and each piece's exchange starts as soon as that piece is final:
-    /// "While the value of v is computed, the exchange of u can be
-    /// performed simultaneously". Overlap requires the asynchronous
-    /// engine, the optimized kernels and no PML (PML corrections post-date
-    /// the component updates and would miss the early sends).
+    /// With overlap on (§IV.C) each pass runs as a *shell/interior split*:
+    /// the boundary shell — the planes that feed outgoing ghost faces — is
+    /// updated first, every halo send starts immediately, and the interior
+    /// core is updated with the full-strength backend (SIMD, blocked,
+    /// optionally Rayon) while the messages fly: "While the value of v is
+    /// computed, the exchange of u can be performed simultaneously".
+    /// Because the velocity pass reads only stresses and the stress pass
+    /// reads only velocities, per-cell updates are window-order invariant
+    /// and the split is bit-exact against the fused pass — which lets it
+    /// compose with SIMD, hybrid threading and M-PML instead of excluding
+    /// them. Overlap only requires the asynchronous engine (validated at
+    /// construction) and the optimized data layout.
     pub fn step_parallel(&mut self, ctx: &mut RankCtx) {
         let t = self.step as f64 * self.cfg.dt;
         let dth = self.dth();
@@ -346,42 +449,44 @@ impl Solver {
         let simd = self.cfg.opts.simd && optimized && !hybrid;
         let on_surface = self.cfg.free_surface && owns_free_surface(&self.sub);
         let step_tag = self.step as u64;
-        // The overlap path stays on the scalar split kernels: it trades
-        // fused-loop throughput for earlier sends by design, and the split
-        // kernels are pinned bit-exact to the fused ones (which SIMD also
-        // is), so all four paths agree.
         let use_overlap = self.cfg.opts.overlap
             && ctx.mode() == awp_vcluster::CommMode::Asynchronous
-            && optimized
-            && !hybrid
-            && self.mpml.is_none();
+            && optimized;
+        // Shell slabs are thin (≤2 planes): spawning a thread pool on them
+        // costs more than the update, so the shell always runs single
+        // threaded (SIMD when available) and only the interior goes hybrid.
+        let shell_backend = if self.cfg.opts.simd && optimized {
+            Backend::Simd
+        } else {
+            Backend::Scalar
+        };
+        let interior_backend = if hybrid { Backend::Hybrid } else { shell_backend };
 
         // Velocity phase.
         if use_overlap {
-            let mut pendings: [Option<PendingExchange>; 3] = [None, None, None];
-            for (comp, pending) in pendings.iter_mut().enumerate() {
+            for w in self.shell.shells {
                 ctx.time(Category::Comp, || {
-                    update_velocity_component(&mut self.state, &self.med, dth, block, comp);
+                    self.velocity_win(w, dth, block, shell_backend);
                 });
-                *pending = Some(start_exchange(
-                    &self.state,
-                    &self.sub,
-                    ctx,
-                    &self.vel_plan_by_comp[comp],
-                    Phase::Velocity,
-                    step_tag,
-                    &mut self.arena,
-                ));
             }
-            for pending in &mut pendings {
-                if let Some(pending) = pending.take() {
-                    finish_exchange(&mut self.state, ctx, pending, &mut self.arena);
-                }
-            }
+            let pending = start_exchange(
+                &self.state,
+                &self.sub,
+                ctx,
+                &self.vel_plan,
+                Phase::Velocity,
+                step_tag,
+                &mut self.arena,
+            );
+            let interior = self.shell.interior;
+            ctx.time(Category::Comp, || {
+                self.velocity_win(interior, dth, block, interior_backend);
+            });
+            finish_exchange(&mut self.state, ctx, pending, &mut self.arena);
         } else {
             ctx.time(Category::Comp, || {
                 if hybrid {
-                    update_velocity_mt(&mut self.state, &self.med, dth);
+                    update_velocity_mt(&mut self.state, &self.med, dth, self.cfg.opts.threads);
                 } else if simd {
                     update_velocity_simd(&mut self.state, &self.med, dth, block);
                 } else {
@@ -404,53 +509,40 @@ impl Solver {
 
         // Stress phase.
         if use_overlap {
+            // Velocity imaging must precede every stress window (all of
+            // them read the mirrored velocities near the surface).
             ctx.time(Category::Comp, || {
                 if on_surface {
                     apply_free_surface_velocity(&mut self.state, &self.med, self.cfg.h as f32);
                 }
             });
-            let mut pendings: [Option<PendingExchange>; 4] = [None, None, None, None];
-            for (g, comps) in STRESS_GROUPS.iter().enumerate() {
+            for w in self.shell.shells {
                 ctx.time(Category::Comp, || {
-                    update_stress_group(
-                        &mut self.state,
-                        &self.med,
-                        self.atten.as_ref(),
-                        dth,
-                        self.cfg.dt as f32,
-                        block,
-                        g,
-                    );
-                    self.injector.inject_group(&mut self.state, t, self.cfg.dt, g);
-                    if on_surface {
-                        apply_free_surface_stress_group(&mut self.state, g);
-                    }
-                    if let Some(sp) = &self.sponge {
-                        sp.apply_components(&mut self.state, comps);
-                    }
+                    self.stress_win(w, t, on_surface, dth, block, shell_backend);
                 });
-                pendings[g] = Some(start_exchange(
-                    &self.state,
-                    &self.sub,
-                    ctx,
-                    &self.str_plan_by_group[g],
-                    Phase::Stress,
-                    step_tag,
-                    &mut self.arena,
-                ));
             }
-            // Velocities are damped after every stress read is done; they
-            // are not part of the stress exchange.
+            let pending = start_exchange(
+                &self.state,
+                &self.sub,
+                ctx,
+                &self.str_plan,
+                Phase::Stress,
+                step_tag,
+                &mut self.arena,
+            );
+            let interior = self.shell.interior;
+            ctx.time(Category::Comp, || {
+                self.stress_win(interior, t, on_surface, dth, block, interior_backend);
+            });
+            // The velocity sponge runs after every stress window has read
+            // the undamped velocities; it commutes with the in-flight
+            // stress messages because it touches no stress component.
             ctx.time(Category::Comp, || {
                 if let Some(sp) = &self.sponge {
                     sp.apply_components(&mut self.state, &Component::VELOCITIES);
                 }
             });
-            for pending in &mut pendings {
-                if let Some(pending) = pending.take() {
-                    finish_exchange(&mut self.state, ctx, pending, &mut self.arena);
-                }
-            }
+            finish_exchange(&mut self.state, ctx, pending, &mut self.arena);
         } else {
             ctx.time(Category::Comp, || {
                 if on_surface {
@@ -463,6 +555,7 @@ impl Solver {
                         self.atten.as_ref(),
                         dth,
                         self.cfg.dt as f32,
+                        self.cfg.opts.threads,
                     );
                 } else if simd {
                     update_stress_simd(
@@ -546,12 +639,28 @@ pub fn run_parallel(
     source: &KinematicSource,
     stations: &[Station],
 ) -> Vec<RankResult> {
+    try_run_parallel(cfg, parts, meshes, source, stations)
+        .expect("invalid solver configuration")
+}
+
+/// Fallible variant of [`run_parallel`]: validates the configuration
+/// before any rank thread spawns, so an inconsistent option set (e.g.
+/// overlap on the synchronous engine) surfaces as a [`ConfigError`]
+/// instead of a cross-thread panic.
+pub fn try_run_parallel(
+    cfg: &SolverConfig,
+    parts: [usize; 3],
+    meshes: &[Mesh],
+    source: &KinematicSource,
+    stations: &[Station],
+) -> Result<Vec<RankResult>, ConfigError> {
+    cfg.validate()?;
     let decomp = Decomp3::new(cfg.dims, parts);
     let n = decomp.rank_count();
     assert_eq!(meshes.len(), n, "need one local mesh per rank");
     let sources = partition_spatial(source, &decomp);
     let cluster = Cluster::new(n, cfg.opts.comm_mode.into());
-    cluster.run(|ctx| {
+    Ok(cluster.run(|ctx| {
         let rank = ctx.rank();
         let sub = decomp.subdomain(rank);
         let mut solver = Solver::new(cfg.clone(), sub, &meshes[rank], &sources[rank], stations);
@@ -579,9 +688,10 @@ pub fn run_parallel(
             surface: owns_free_surface(&sub)
                 .then(|| crate::stations::surface_velocities(&solver.state, 1)),
             pgv_map: pgv,
+            exchange: solver.arena.stats,
             sub,
         }
-    })
+    }))
 }
 
 fn solver_ledger(ctx: &RankCtx) -> TimeLedger {

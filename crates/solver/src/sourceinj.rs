@@ -63,43 +63,38 @@ impl SourceInjector {
         self.entries.len()
     }
 
-    /// Moment release for one stress group only (0 = normals, 1 = σxy,
-    /// 2 = σxz, 3 = σyz) — used by the §IV.C overlap schedule.
-    pub fn inject_group(&self, state: &mut WaveState, t: f64, dt: f64, group: usize) {
+    /// Moment release restricted to subfaults inside `win` (the
+    /// shell/interior split injects each window's sources right after that
+    /// window's stress update; windows partition the grid, so every entry
+    /// fires exactly once per step).
+    pub fn inject_win(&self, state: &mut WaveState, t: f64, dt: f64, win: crate::shell::Win) {
         for e in &self.entries {
+            if !win.contains(e.idx) {
+                continue;
+            }
             let rate = sample_rate(&e.rate, t - e.t0, self.dt_src);
             if rate == 0.0 {
                 continue;
             }
             let s = (rate * dt) as f32;
             let (i, j, k) = (e.idx.i as isize, e.idx.j as isize, e.idx.k as isize);
-            match group {
-                0 => {
-                    if e.m[0] != 0.0 {
-                        state.sxx.add(i, j, k, e.m[0] * s);
-                    }
-                    if e.m[1] != 0.0 {
-                        state.syy.add(i, j, k, e.m[1] * s);
-                    }
-                    if e.m[2] != 0.0 {
-                        state.szz.add(i, j, k, e.m[2] * s);
-                    }
-                }
-                1 => {
-                    if e.m[3] != 0.0 {
-                        state.sxy.add(i, j, k, e.m[3] * s);
-                    }
-                }
-                2 => {
-                    if e.m[4] != 0.0 {
-                        state.sxz.add(i, j, k, e.m[4] * s);
-                    }
-                }
-                _ => {
-                    if e.m[5] != 0.0 {
-                        state.syz.add(i, j, k, e.m[5] * s);
-                    }
-                }
+            if e.m[0] != 0.0 {
+                state.sxx.add(i, j, k, e.m[0] * s);
+            }
+            if e.m[1] != 0.0 {
+                state.syy.add(i, j, k, e.m[1] * s);
+            }
+            if e.m[2] != 0.0 {
+                state.szz.add(i, j, k, e.m[2] * s);
+            }
+            if e.m[3] != 0.0 {
+                state.sxy.add(i, j, k, e.m[3] * s);
+            }
+            if e.m[4] != 0.0 {
+                state.sxz.add(i, j, k, e.m[4] * s);
+            }
+            if e.m[5] != 0.0 {
+                state.syz.add(i, j, k, e.m[5] * s);
             }
         }
     }

@@ -250,6 +250,9 @@ fn sync_and_async_engines_agree() {
     let decomp = awp_grid::decomp::Decomp3::new(d, parts);
     let meshes = partition_mesh_direct(&mesh, &decomp);
     let mut cfg = SolverConfig::small(d, h, dt, 50);
+    // Overlap requires the asynchronous engine; turn it off so the same
+    // options are legal under both engines being compared.
+    cfg.opts.overlap = false;
     cfg.opts.comm_mode = awp_solver::config::CommModeOpt::Asynchronous;
     let async_res = run_parallel(&cfg, parts, &meshes, &src, &stations);
     cfg.opts.comm_mode = awp_solver::config::CommModeOpt::Synchronous;
@@ -399,6 +402,8 @@ fn hybrid_threaded_solver_matches_default() {
     cfg.attenuation = true;
     let plain = Solver::run_serial(cfg.clone(), &mesh, &src, &stations);
     cfg.opts.hybrid = true;
+    // Pin the pool size so the run is deterministic on 1-core CI hosts.
+    cfg.opts.threads = 2;
     let hybrid = Solver::run_serial(cfg, &mesh, &src, &stations);
     assert_eq!(plain.seismograms[0].vx, hybrid.seismograms[0].vx);
     assert_eq!(plain.seismograms[0].vz, hybrid.seismograms[0].vz);
@@ -476,6 +481,7 @@ fn long_run_with_all_features_stays_finite() {
     cfg.attenuation = true;
     cfg.abc = AbcKind::Mpml { width: 6, pmax: 0.3 };
     cfg.opts.hybrid = true;
+    cfg.opts.threads = 2;
     cfg.q_band = (0.2, 6.0);
     let src = KinematicSource::point(
         Idx3::new(12, 12, 10),

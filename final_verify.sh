@@ -22,7 +22,12 @@ timeout 900 ./target/release/awp chaos --chaos-seed 3405691582 > results/logs/cl
 timeout 600 ./target/release/s7b_memory > results/logs/s7b_memory.log 2>&1; echo "s7b exit $?"
 timeout 600 ./target/release/s7c_resilience > results/logs/s7c_resilience.log 2>&1; echo "s7c exit $?"
 echo "=== EXAMPLES DONE ==="
+# Overlap smoke: the shell/interior split timestep must stay bit-exact to
+# the fused path across decompositions/backends (property + cluster tests).
+cargo test --release -p awp-solver --test shell_overlap 2>&1 | grep -E "test result|FAILED"; echo "overlap_smoke exit ${PIPESTATUS[0]}"
+echo "=== OVERLAP SMOKE DONE ==="
 # Perf regression gate: nonzero exit if the SIMD kernels are slower than
-# scalar or the steady-state exchange path allocates (arena ledger).
+# scalar, the steady-state exchange path allocates (arena ledger), or the
+# overlap run loses to the plain run on the multi-rank config.
 timeout 600 ./target/release/bench_kernels --smoke --gate > results/logs/bench_kernels.log 2>&1; echo "bench_gate exit $?"
 echo "=== BENCH GATE DONE ==="

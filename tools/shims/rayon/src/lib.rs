@@ -2,6 +2,81 @@
 //! sequential std iterators, which keeps results identical (the real crate
 //! only changes scheduling). Never shipped — dev-container only.
 
+use std::cell::Cell;
+
+thread_local! {
+    /// Advertised width of the "pool" whose `install` scope we are inside
+    /// (the shim executes everything on the calling thread).
+    static INSTALLED_WIDTH: Cell<usize> = const { Cell::new(1) };
+}
+
+/// Threads visible to the current scope — the configured width of the
+/// innermost `ThreadPool::install`, like the real crate reports.
+pub fn current_num_threads() -> usize {
+    INSTALLED_WIDTH.with(|w| w.get())
+}
+
+/// Sequential stand-in for a dedicated pool: `install` runs the closure on
+/// the calling thread but advertises the configured width through
+/// [`current_num_threads`], so pool-pinning logic can be asserted offline.
+#[derive(Debug)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        INSTALLED_WIDTH.with(|w| {
+            let prev = w.replace(self.width);
+            let r = op();
+            w.set(prev);
+            r
+        })
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("shim thread pool build error (unreachable)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirrors `rayon::ThreadPoolBuilder` far enough for pinned-pool callers.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            width: if self.num_threads == 0 { 1 } else { self.num_threads },
+        })
+    }
+}
+
 pub mod prelude {
     /// `par_iter` → sequential `iter`.
     pub trait ShimParIter {
