@@ -3,27 +3,71 @@
 //! ```text
 //! awp scenarios                         list the milestone catalogue
 //! awp run <name> [nx] [seconds]         run a scenario serially, print PGVs
-//! awp workflow <name> [nx] [seconds]    run the full E2E workflow (4 ranks)
+//! awp workflow [name] [nx] [seconds]    run the full E2E workflow (4 ranks)
 //! awp efficiency                        print the Eq. (8) M8 numbers
 //! awp machines                          print the Table-1 registry
 //! awp chaos --chaos-seed <n> [name]     seeded fault-injection soak: the
 //!                                       chaos run must reproduce the clean
 //!                                       run bit-for-bit or exit nonzero
 //! ```
+//!
+//! Telemetry flags (workflow runs; `awp --profile` alone runs a small
+//! default workflow):
+//!
+//! ```text
+//! --profile            print the cross-rank TelemetryReport after the solve
+//! --trace-out FILE     write a Chrome trace-event JSON (open in Perfetto);
+//!                      the trace is parsed back and validated before exit
+//! ```
 
 use awp_odc::perfmodel::machines::Machine;
 use awp_odc::perfmodel::speedup::{efficiency, m8_mesh, m8_parts, speedup, ModelInput, PAPER_C};
 use awp_odc::scenario::{RuptureDirection, Scenario};
+use awp_odc::telemetry::Registry;
 use awp_odc::vcluster::fault::{FaultPlan, WatchdogConfig};
 use awp_odc::workflow::{scratch_dir, E2EWorkflow};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  awp scenarios\n  awp run <name> [nx] [seconds]\n  awp workflow <name> [nx] [seconds]\n  awp efficiency\n  awp machines\n  awp chaos --chaos-seed <n> [name] [nx] [seconds]\n\nscenario names: terashake-k | terashake-d | shakeout-k | shakeout-d |\n                wall-to-wall | m8 | pnw"
+        "usage:\n  awp scenarios\n  awp run <name> [nx] [seconds]\n  awp workflow [name] [nx] [seconds] [--profile] [--trace-out FILE]\n  awp efficiency\n  awp machines\n  awp chaos --chaos-seed <n> [name] [nx] [seconds]\n  awp --profile [--trace-out FILE]      profiled default workflow\n\nscenario names: terashake-k | terashake-d | shakeout-k | shakeout-d |\n                wall-to-wall | m8 | pnw"
     );
     std::process::exit(2);
+}
+
+/// Validate a Chrome trace-event JSON string: it must parse, carry a
+/// non-empty `traceEvents` array, and every event must have the fields
+/// Perfetto needs (`name`/`ph`/`pid`, plus `ts`/`dur` on complete events).
+/// Returns the number of complete ("X") span events.
+fn validate_chrome_trace(trace: &str) -> Result<usize, String> {
+    let v: serde_json::Value =
+        serde_json::from_str(trace).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let events = v["traceEvents"]
+        .as_array()
+        .ok_or("traceEvents missing or not an array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+    let mut spans = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev["ph"].as_str().ok_or(format!("event {i}: missing ph"))?;
+        ev["name"].as_str().ok_or(format!("event {i}: missing name"))?;
+        ev["pid"].as_f64().ok_or(format!("event {i}: missing pid"))?;
+        if ph == "X" {
+            ev["ts"].as_f64().ok_or(format!("event {i}: X event missing ts"))?;
+            let dur = ev["dur"].as_f64().ok_or(format!("event {i}: X event missing dur"))?;
+            if dur < 0.0 {
+                return Err(format!("event {i}: negative dur"));
+            }
+            spans += 1;
+        }
+    }
+    if spans == 0 {
+        return Err("trace has metadata but no span events".into());
+    }
+    Ok(spans)
 }
 
 fn build_scenario(name: &str, nx: usize) -> Scenario {
@@ -43,7 +87,26 @@ fn build_scenario(name: &str, nx: usize) -> Scenario {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Telemetry flags may appear anywhere; strip them before the
+    // subcommand dispatch so positional parsing stays simple.
+    let mut profile = false;
+    let mut trace_out: Option<PathBuf> = None;
+    if let Some(i) = args.iter().position(|a| a == "--profile") {
+        profile = true;
+        args.remove(i);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
+        let path = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        trace_out = Some(PathBuf::from(path));
+        args.drain(i..=i + 1);
+    }
+    let profiling = profile || trace_out.is_some();
+    if args.is_empty() && profiling {
+        // Bare `awp --profile [--trace-out f]`: profile a small default
+        // workflow rather than erroring out.
+        args = vec!["workflow".into(), "shakeout-k".into(), "24".into(), "15".into()];
+    }
     match args.first().map(String::as_str) {
         Some("scenarios") => {
             println!("{:<14} {:>8} {:>10} {:>8}  description", "name", "box (km)", "fault (km)", "source");
@@ -99,9 +162,17 @@ fn main() {
             let sc = build_scenario(name, nx).with_duration(secs);
             let dir = scratch_dir("awp-cli");
             println!("{} → E2E workflow on 4 ranks (workdir {dir:?})", sc.name);
-            let rep = E2EWorkflow::new(sc.prepare(), [2, 2, 1], &dir)
-                .execute()
-                .expect("workflow failed");
+            let registry = profiling.then(|| Registry::new(4));
+            let mut wf = E2EWorkflow::new(sc.prepare(), [2, 2, 1], &dir);
+            if let Some(reg) = &registry {
+                wf = wf.with_telemetry(Arc::clone(reg));
+                // A profiled run should show the checkpoint phase on every
+                // rank's track. Epochs save when `done % every == 0 && done <
+                // steps`, so a cadence of 4 still fires on the short smoke
+                // runs (8 steps) used by final_verify.sh.
+                wf.checkpoint_every = Some(4);
+            }
+            let rep = wf.execute().expect("workflow failed");
             println!("{:<20} {:>9} {:>10} {:>9}", "stage", "seconds", "MB", "MB/s");
             for s in &rep.stages {
                 println!(
@@ -116,6 +187,26 @@ fn main() {
                 "archive verified: {}; collection MD5 {}",
                 rep.archive_verified, rep.collection_checksum
             );
+            if let Some(reg) = &registry {
+                if profile {
+                    println!("\n{}", reg.report());
+                }
+                if let Some(path) = &trace_out {
+                    let trace = reg.chrome_trace();
+                    std::fs::write(path, &trace)
+                        .unwrap_or_else(|e| panic!("writing {path:?} failed: {e}"));
+                    // Self-validate: parse the emitted trace back before
+                    // claiming success, so a malformed trace is a CLI
+                    // failure, not a surprise inside Perfetto.
+                    match validate_chrome_trace(&trace) {
+                        Ok(spans) => println!("chrome trace → {} ({spans} span events)", path.display()),
+                        Err(why) => {
+                            eprintln!("INVALID chrome trace {}: {why}", path.display());
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
             let _ = std::fs::remove_dir_all(&dir);
         }
         Some("efficiency") => {

@@ -38,4 +38,5 @@ pub use awp_rupture as rupture;
 pub use awp_signal as signal;
 pub use awp_solver as solver;
 pub use awp_source as source;
+pub use awp_telemetry as telemetry;
 pub use awp_vcluster as vcluster;

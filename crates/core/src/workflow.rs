@@ -31,6 +31,7 @@ use awp_solver::config::SolverConfig;
 use awp_solver::solver::{exchange_material_halos, Solver};
 use awp_solver::stations::{surface_velocities, Station};
 use awp_source::kinematic::KinematicSource;
+use awp_telemetry::Registry;
 use awp_vcluster::fault::{FaultPlan, FaultReport, WatchdogConfig};
 use awp_vcluster::Cluster;
 use serde::Serialize;
@@ -128,6 +129,12 @@ pub struct E2EWorkflow {
     /// "restart in the case of unexpected termination" entry point for a
     /// *new* process picking up a dead run's scratch directory.
     pub resume: bool,
+    /// Telemetry registry for the solve cluster (one rank per solve rank).
+    /// When set, each solve pass submits per-rank snapshots; after
+    /// [`execute`](Self::execute) the caller reads `registry.report()` /
+    /// `registry.chrome_trace()`. A restart pass overwrites the aborted
+    /// pass's snapshots, so the report describes the pass that completed.
+    pub telemetry: Option<Arc<Registry>>,
 }
 
 /// Per-rank solve outcome.
@@ -150,6 +157,7 @@ impl E2EWorkflow {
             watchdog: None,
             max_restarts: 3,
             resume: false,
+            telemetry: None,
         }
     }
 
@@ -157,6 +165,14 @@ impl E2EWorkflow {
     pub fn with_chaos(mut self, plan: Arc<FaultPlan>, watchdog: WatchdogConfig) -> Self {
         self.fault_plan = Some(plan);
         self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Attach a telemetry registry (must be sized to the rank count of
+    /// `parts`). The caller keeps the `Arc` and reads the aggregate after
+    /// `execute`.
+    pub fn with_telemetry(mut self, registry: Arc<Registry>) -> Self {
+        self.telemetry = Some(registry);
         self
     }
 
@@ -264,6 +280,7 @@ impl E2EWorkflow {
             keep_checkpoints: self.keep_checkpoints,
             fault_plan: self.fault_plan.clone(),
             watchdog: self.watchdog,
+            telemetry: self.telemetry.clone(),
         };
         let t = Instant::now();
         let legacy_stop = self.fail_at_step.filter(|&s| s < cfg.steps);
@@ -399,6 +416,7 @@ struct SolveEnv<'a> {
     keep_checkpoints: usize,
     fault_plan: Option<Arc<FaultPlan>>,
     watchdog: Option<WatchdogConfig>,
+    telemetry: Option<Arc<Registry>>,
 }
 
 /// Run all ranks from step 0 (or from the given checkpoint epoch) until
@@ -419,6 +437,9 @@ fn solve_ranks(
     }
     if let Some(wd) = env.watchdog {
         cluster = cluster.with_watchdog(wd);
+    }
+    if let Some(reg) = &env.telemetry {
+        cluster = cluster.with_telemetry(Arc::clone(reg));
     }
     let outcomes = cluster.try_run(|ctx| -> io::Result<RankOutcome> {
         let rank = ctx.rank();
@@ -459,7 +480,7 @@ fn solve_ranks(
             if let Some(agg) = agg.as_mut() {
                 let mut rec = surface_velocities(&solver.state, 1);
                 rec.resize(env.plan.rank_len, 0.0);
-                agg.record(step, &rec, env.writer)?;
+                agg.record_traced(step, &rec, env.writer, &mut ctx.telem)?;
                 for j in 0..sub.dims.ny {
                     for i in 0..sub.dims.nx {
                         let vx = solver.state.vx.get(i as isize, j as isize, 0);
@@ -481,17 +502,20 @@ fn solve_ranks(
                     // displacements, so flush-then-checkpoint ordering is
                     // what keeps the surface file bit-exact across faults.
                     if let Some(agg) = agg.as_mut() {
-                        agg.flush(env.writer)?;
+                        agg.flush_traced(env.writer, &mut ctx.telem)?;
                     }
                     env.writer.sync()?;
                     let mut fields = solver.state.checkpoint_fields();
                     fields.push(("workflow_pgv".to_string(), pgv.clone()));
-                    store.save(&CheckpointData { step: done as u64, fields })?;
+                    store.save_traced(
+                        &CheckpointData { step: done as u64, fields },
+                        &mut ctx.telem,
+                    )?;
                 }
             }
         }
         if let Some(agg) = agg.as_mut() {
-            agg.flush(env.writer)?;
+            agg.flush_traced(env.writer, &mut ctx.telem)?;
         }
         env.writer.sync()?;
         // Parallel MD5 of this rank's final output block (only meaningful

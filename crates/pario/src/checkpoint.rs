@@ -24,6 +24,21 @@ impl CheckpointData {
     pub fn field(&self, name: &str) -> Option<&[f32]> {
         self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_slice())
     }
+
+    /// Exact on-disk size of this payload in the [`write_checkpoint`]
+    /// format: magic + step + field count, per-field name/length headers
+    /// and f32 data, and the trailing MD5. Telemetry charges this to
+    /// [`awp_telemetry::Counter::CheckpointBytes`] without re-statting the
+    /// file.
+    pub fn byte_len(&self) -> u64 {
+        let header = 8 + 8 + 8; // magic + step + field count
+        let fields: u64 = self
+            .fields
+            .iter()
+            .map(|(name, values)| 8 + name.len() as u64 + 8 + 4 * values.len() as u64)
+            .sum();
+        header + fields + 16 // MD5 digest
+    }
 }
 
 /// File name of rank `r`'s checkpoint at a given epoch.

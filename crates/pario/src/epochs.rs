@@ -15,6 +15,7 @@
 //! common survivor.
 
 use crate::checkpoint::{read_checkpoint, write_checkpoint, CheckpointData};
+use awp_telemetry::{Counter, Phase, Recorder};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -91,10 +92,29 @@ impl CheckpointStore {
     /// transient failures, then prune epochs beyond the retention depth.
     /// Returns the epoch id.
     pub fn save(&self, data: &CheckpointData) -> io::Result<u64> {
+        self.save_traced(data, &mut Recorder::disabled())
+    }
+
+    /// [`save`](Self::save) with telemetry: the whole write (including
+    /// retries and pruning) becomes a [`Phase::Checkpoint`] span, the
+    /// payload size is charged to [`Counter::CheckpointBytes`], and each
+    /// retried attempt to [`Counter::IoRetries`].
+    pub fn save_traced(&self, data: &CheckpointData, tel: &mut Recorder) -> io::Result<u64> {
+        let t0 = tel.start();
         let epoch = data.step;
         let path = self.path_for(epoch);
-        retry_io(3, Duration::from_millis(10), || write_checkpoint(&path, data))?;
+        let mut attempts: u64 = 0;
+        let res = retry_io(3, Duration::from_millis(10), || {
+            attempts += 1;
+            write_checkpoint(&path, data)
+        });
+        if attempts > 1 {
+            tel.count(Counter::IoRetries, attempts - 1);
+        }
+        res?;
         self.prune()?;
+        tel.count(Counter::CheckpointBytes, data.byte_len());
+        tel.finish(t0, Phase::Checkpoint);
         Ok(epoch)
     }
 
@@ -270,6 +290,26 @@ mod tests {
         CheckpointStore::new(dir.path(), 0, 8).save(&data(10)).unwrap();
         CheckpointStore::new(dir.path(), 1, 8).save(&data(20)).unwrap();
         assert_eq!(consistent_epoch(dir.path(), 2).unwrap(), None);
+    }
+
+    #[test]
+    fn save_traced_records_span_and_exact_bytes() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = CheckpointStore::new(dir.path(), 0, 2);
+        let reg = awp_telemetry::Registry::new(1);
+        let mut tel = reg.recorder(0);
+        let d = data(10);
+        store.save_traced(&d, &mut tel).unwrap();
+        let snap = tel.snapshot();
+        assert_eq!(snap.phase_count(Phase::Checkpoint), 1);
+        assert!(snap.phase_ns(Phase::Checkpoint) > 0);
+        let on_disk = std::fs::metadata(dir.path().join(epoch_file_name(0, 10))).unwrap().len();
+        assert_eq!(
+            snap.counter(Counter::CheckpointBytes),
+            on_disk,
+            "byte_len must be the exact serialized size"
+        );
+        assert_eq!(snap.counter(Counter::IoRetries), 0);
     }
 
     #[test]

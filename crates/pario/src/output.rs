@@ -7,6 +7,7 @@
 //! optimisation that cut I/O overhead from 49 % to under 2 %. M8 "saved the
 //! ground velocity vector at every 20th time step" (temporal decimation).
 
+use awp_telemetry::{Counter, Phase, Recorder};
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::os::unix::fs::FileExt;
@@ -133,21 +134,47 @@ impl OutputAggregator {
         data: &[f32],
         writer: &SharedFileWriter,
     ) -> io::Result<()> {
+        self.record_traced(step, data, writer, &mut Recorder::disabled())
+    }
+
+    /// [`record`](Self::record) with telemetry: buffering stays unprobed
+    /// (it is pure memory traffic); only an interval-triggered flush shows
+    /// up, as a [`Phase::Output`] span via [`flush_traced`](Self::flush_traced).
+    pub fn record_traced(
+        &mut self,
+        step: usize,
+        data: &[f32],
+        writer: &SharedFileWriter,
+        tel: &mut Recorder,
+    ) -> io::Result<()> {
         if self.plan.saves(step) {
             assert_eq!(data.len(), self.plan.rank_len, "record length mismatch");
             self.pending.push((self.plan.record_index(step), data.to_vec()));
         }
         if step > 0 && step % self.plan.flush_every == 0 {
-            self.flush(writer)?;
+            self.flush_traced(writer, tel)?;
         }
         Ok(())
     }
 
     /// Write all pending records at their displacements.
     pub fn flush(&mut self, writer: &SharedFileWriter) -> io::Result<()> {
+        self.flush_traced(writer, &mut Recorder::disabled())
+    }
+
+    /// [`flush`](Self::flush) with telemetry: the drain of the aggregation
+    /// buffer becomes a [`Phase::Output`] span and the flushed payload is
+    /// charged to [`Counter::OutputBytes`]. An empty flush records nothing.
+    pub fn flush_traced(
+        &mut self,
+        writer: &SharedFileWriter,
+        tel: &mut Recorder,
+    ) -> io::Result<()> {
         if self.pending.is_empty() {
             return Ok(());
         }
+        let bytes = self.buffered_bytes() as u64;
+        let t0 = tel.start();
         // Coalesce contiguous record runs into single transactions when the
         // rank's blocks are adjacent (single-rank case) — otherwise one
         // write per record.
@@ -155,6 +182,8 @@ impl OutputAggregator {
             writer.write_f32_at(self.plan.offset(rec, self.rank), &data)?;
         }
         self.flushes += 1;
+        tel.count(Counter::OutputBytes, bytes);
+        tel.finish(t0, Phase::Output);
         Ok(())
     }
 
@@ -281,6 +310,26 @@ mod tests {
                 assert!(got.iter().all(|&v| v == (rank * 1000 + rec) as f32));
             }
         }
+    }
+
+    #[test]
+    fn traced_flush_records_output_span_and_bytes() {
+        let dir = tempfile::tempdir().unwrap();
+        let w = SharedFileWriter::create(&dir.path().join("t.bin")).unwrap();
+        let plan = OutputPlan { decimate: 1, flush_every: 4, rank_len: 2, ranks: 1 };
+        let mut agg = OutputAggregator::new(plan, 0);
+        let reg = awp_telemetry::Registry::new(1);
+        let mut tel = reg.recorder(0);
+        for step in 0..=4 {
+            agg.record_traced(step, &[step as f32, 0.0], &w, &mut tel).unwrap();
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.phase_count(Phase::Output), 1, "one interval flush at step 4");
+        assert!(snap.phase_ns(Phase::Output) > 0);
+        assert_eq!(snap.counter(Counter::OutputBytes), w.bytes_written());
+        // An empty flush must not fabricate a span.
+        agg.flush_traced(&w, &mut tel).unwrap();
+        assert_eq!(tel.snapshot().phase_count(Phase::Output), 1);
     }
 
     #[test]

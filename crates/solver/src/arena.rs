@@ -21,26 +21,14 @@
 
 use crate::exchange::PendingRecv;
 
-/// Per-phase exchange timing (nanoseconds, accumulated across steps):
-/// how long this rank spent extracting/posting sends, blocked waiting for
-/// neighbour messages, and injecting received halos. `wait_ns` is the
-/// overlap-sensitive term — the shell/interior split exists to shrink it.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct ExchangeStats {
-    pub send_ns: u64,
-    pub wait_ns: u64,
-    pub inject_ns: u64,
-}
-
-/// Per-rank pool of reusable exchange buffers with an allocation ledger
-/// and per-phase timing counters.
+/// Per-rank pool of reusable exchange buffers with an allocation ledger.
+/// Exchange phase timing lives in the telemetry recorder on the rank's
+/// `RankCtx` (`Phase::{Send, Wait, Inject}` spans), not here.
 #[derive(Debug, Default)]
 pub struct HaloArena {
     bufs: Vec<Vec<f32>>,
     req_lists: Vec<Vec<PendingRecv>>,
     allocs: u64,
-    /// Cumulative send/wait/inject timing, filled in by `exchange`.
-    pub stats: ExchangeStats,
 }
 
 impl HaloArena {

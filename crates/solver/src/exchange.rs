@@ -28,8 +28,10 @@ use crate::state::WaveState;
 use awp_grid::decomp::Subdomain;
 use awp_grid::face::{extract_face, face_len, inject_halo, Axis, Face};
 use awp_grid::stagger::Component;
+use awp_telemetry::Phase as TelPhase;
 use awp_vcluster::cluster::{CommMode, RankCtx};
 use awp_vcluster::message::{make_tag, Tag};
+use std::time::Duration;
 
 /// One component-axis exchange rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,7 +155,7 @@ pub fn start_exchange(
         CommMode::Asynchronous,
         "overlapped exchange needs the async engine"
     );
-    let t_send = std::time::Instant::now();
+    let t_send = ctx.telem.start();
     let mut reqs = arena.take_reqs();
     for p in plan {
         let (f_lo, f_hi) = faces_of(p.axis);
@@ -207,7 +209,7 @@ pub fn start_exchange(
             }
         }
     }
-    arena.stats.send_ns += t_send.elapsed().as_nanos() as u64;
+    ctx.telem.finish(t_send, TelPhase::Send);
     PendingExchange { reqs }
 }
 
@@ -222,7 +224,7 @@ pub fn finish_exchange(
     pending: PendingExchange,
     arena: &mut HaloArena,
 ) {
-    let t_all = std::time::Instant::now();
+    let t_all = ctx.telem.start();
     let mut inject_ns = 0u64;
     let PendingExchange { mut reqs } = pending;
     let mut remaining = reqs.len();
@@ -234,9 +236,11 @@ pub fn finish_exchange(
             }
             if let Some(payload) = ctx.try_recv(r.src, r.tag) {
                 let data = payload.into_f32();
-                let t = std::time::Instant::now();
+                let t = ctx.telem.start();
                 inject_halo(state.field_mut(r.comp), r.face, r.width, &data);
-                inject_ns += t.elapsed().as_nanos() as u64;
+                if let Some(t) = t {
+                    inject_ns += t.elapsed().as_nanos() as u64;
+                }
                 arena.put_buf(data);
                 r.done = true;
                 remaining -= 1;
@@ -246,9 +250,11 @@ pub fn finish_exchange(
         if !progressed {
             if let Some(r) = reqs.iter_mut().find(|r| !r.done) {
                 let data = ctx.recv(r.src, r.tag).into_f32();
-                let t = std::time::Instant::now();
+                let t = ctx.telem.start();
                 inject_halo(state.field_mut(r.comp), r.face, r.width, &data);
-                inject_ns += t.elapsed().as_nanos() as u64;
+                if let Some(t) = t {
+                    inject_ns += t.elapsed().as_nanos() as u64;
+                }
                 arena.put_buf(data);
                 r.done = true;
                 remaining -= 1;
@@ -256,8 +262,16 @@ pub fn finish_exchange(
         }
     }
     arena.put_reqs(reqs);
-    arena.stats.inject_ns += inject_ns;
-    arena.stats.wait_ns += (t_all.elapsed().as_nanos() as u64).saturating_sub(inject_ns);
+    // Split the completion interval into its two meanings: time blocked on
+    // neighbours (wait, the overlap-sensitive term the shell/interior split
+    // exists to shrink) and time spent copying arrived slabs into ghosts
+    // (inject, presented as one span following the wait).
+    if let Some(t0) = t_all {
+        let inject = Duration::from_nanos(inject_ns);
+        let wait = t0.elapsed().saturating_sub(inject);
+        ctx.telem.span_at(TelPhase::Wait, t0, wait);
+        ctx.telem.span_at(TelPhase::Inject, t0 + wait, inject);
+    }
 }
 
 /// Full exchange of a plan, dispatching on the engine:
@@ -280,7 +294,13 @@ pub fn exchange(
             let pending = start_exchange(state, sub, ctx, plan, phase, step, arena);
             finish_exchange(state, ctx, pending, arena);
         }
-        CommMode::Synchronous => exchange_sync(state, sub, ctx, plan, phase, step, arena),
+        CommMode::Synchronous => {
+            // The rendezvous path interleaves sends and receives; the whole
+            // ordered exchange is one blocking wait from the solver's view.
+            let t0 = ctx.telem.start();
+            exchange_sync(state, sub, ctx, plan, phase, step, arena);
+            ctx.telem.finish(t0, TelPhase::Wait);
+        }
     }
 }
 

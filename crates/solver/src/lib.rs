@@ -53,11 +53,14 @@ pub mod sourceinj;
 pub mod state;
 pub mod stations;
 
-pub use arena::{ExchangeStats, HaloArena};
+pub use arena::HaloArena;
+pub use awp_telemetry as telemetry;
 pub use config::{AbcKind, CodeVersion, ConfigError, SolverConfig, SolverOpts};
 pub use medium::Medium;
 pub use shell::{ShellPlan, Win};
 pub use simd::SimdBackend;
-pub use solver::{run_parallel, try_run_parallel, RankResult, Solver};
+pub use solver::{
+    run_parallel, run_parallel_with, try_run_parallel, try_run_parallel_with, RankResult, Solver,
+};
 pub use state::WaveState;
 pub use stations::{Station, StationRecorder};

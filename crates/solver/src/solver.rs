@@ -3,7 +3,7 @@
 //! mode"): update velocities → share with neighbours → update stresses →
 //! share → repeat, with Eq. (7) phase timing.
 
-use crate::arena::{ExchangeStats, HaloArena};
+use crate::arena::HaloArena;
 use crate::attenuation::Attenuation;
 use crate::boundary::{
     apply_free_surface_stress, apply_free_surface_stress_win, apply_free_surface_velocity,
@@ -34,8 +34,13 @@ use awp_grid::decomp::{Decomp3, Subdomain};
 use awp_grid::stagger::Component;
 use awp_source::kinematic::KinematicSource;
 use awp_source::partition::partition_spatial;
+use awp_telemetry::{
+    Counter as TelCounter, Phase as TelPhase, Recorder, Registry, Snapshot,
+};
 use awp_vcluster::cluster::RankCtx;
 use awp_vcluster::{Category, Cluster, TimeLedger};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Kernel backend for one window of the shell/interior split.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,10 +84,14 @@ pub struct RankResult {
     /// Running per-surface-cell peak |v_horizontal| (PGV map fragment),
     /// x-fastest over this rank's surface cells (empty off-surface ranks).
     pub pgv_map: Vec<f32>,
-    /// Per-phase exchange timing (send/wait/inject) accumulated over the
-    /// run — the overlap-efficiency bench reads `wait_ns` to measure how
-    /// much communication the split timestep hid.
-    pub exchange: ExchangeStats,
+    /// This rank's telemetry snapshot: per-phase span totals
+    /// (`Phase::{Send, Wait, Inject}` replace the old `ExchangeStats`),
+    /// comm counters, and latency histograms. Empty/disabled unless the run
+    /// was started with a telemetry registry
+    /// ([`run_parallel_with`]/[`try_run_parallel_with`]) — the
+    /// overlap-efficiency bench reads the `Wait` total to measure how much
+    /// communication the split timestep hid.
+    pub telemetry: Snapshot,
     pub sub: Subdomain,
 }
 
@@ -180,11 +189,6 @@ impl Solver {
         self.arena.allocations()
     }
 
-    /// Cumulative send/wait/inject exchange timing for this rank.
-    pub fn exchange_stats(&self) -> ExchangeStats {
-        self.arena.stats
-    }
-
     /// The shell/interior decomposition the overlap timestep uses.
     pub fn shell_plan(&self) -> &ShellPlan {
         &self.shell
@@ -195,8 +199,10 @@ impl Solver {
     }
 
     /// Velocity phase over one window: kernel update then the M-PML
-    /// velocity correction, both restricted to `w`.
-    fn velocity_win(&mut self, w: Win, dth: f32, block: BlockSpec, backend: Backend) {
+    /// velocity correction, both restricted to `w`. The M-PML work is
+    /// recorded as a nested `Boundary` span (inclusive: it also counts
+    /// toward the enclosing window-phase span).
+    fn velocity_win(&mut self, w: Win, dth: f32, block: BlockSpec, backend: Backend, tel: &mut Recorder) {
         match backend {
             Backend::Hybrid => update_velocity_mt_win(
                 &mut self.state,
@@ -209,13 +215,18 @@ impl Solver {
             Backend::Scalar => update_velocity_win(&mut self.state, &self.med, dth, block, w),
         }
         if let Some(p) = &mut self.mpml {
+            let t0 = tel.start();
             p.apply_velocity_win(&mut self.state, &self.med, dth, w);
+            tel.finish(t0, TelPhase::Boundary);
         }
     }
 
     /// Stress phase over one window, in the fused pass's order: kernel
     /// update → M-PML correction → source injection → free-surface imaging
-    /// (surface-touching windows only) → stress sponge.
+    /// (surface-touching windows only) → stress sponge. Boundary-condition
+    /// work (M-PML, free surface, sponge) and source injection are recorded
+    /// as nested `Boundary`/`Source` spans inside the window-phase span.
+    #[allow(clippy::too_many_arguments)]
     fn stress_win(
         &mut self,
         w: Win,
@@ -224,6 +235,7 @@ impl Solver {
         dth: f32,
         block: BlockSpec,
         backend: Backend,
+        tel: &mut Recorder,
     ) {
         let dt = self.cfg.dt as f32;
         match backend {
@@ -256,14 +268,22 @@ impl Solver {
             ),
         }
         if let Some(p) = &mut self.mpml {
+            let t0 = tel.start();
             p.apply_stress_win(&mut self.state, &self.med, dth, w);
+            tel.finish(t0, TelPhase::Boundary);
         }
+        let t0 = tel.start();
         self.injector.inject_win(&mut self.state, t, self.cfg.dt, w);
-        if on_surface && w.k0 == 0 {
-            apply_free_surface_stress_win(&mut self.state, w);
-        }
-        if let Some(sp) = &self.sponge {
-            sp.apply_components_win(&mut self.state, &Component::STRESSES, w);
+        tel.finish(t0, TelPhase::Source);
+        if (on_surface && w.k0 == 0) || self.sponge.is_some() {
+            let t0 = tel.start();
+            if on_surface && w.k0 == 0 {
+                apply_free_surface_stress_win(&mut self.state, w);
+            }
+            if let Some(sp) = &self.sponge {
+                sp.apply_components_win(&mut self.state, &Component::STRESSES, w);
+            }
+            tel.finish(t0, TelPhase::Boundary);
         }
     }
 
@@ -391,7 +411,7 @@ impl Solver {
             steps: cfg.steps,
             surface: Some(crate::stations::surface_velocities(&solver.state, 1)),
             pgv_map: pgv,
-            exchange: ExchangeStats::default(),
+            telemetry: Snapshot::default(),
             sub,
         }
     }
@@ -420,7 +440,7 @@ impl Solver {
             steps: cfg.steps,
             surface: Some(crate::stations::surface_velocities(&solver.state, 1)),
             pgv_map: pgv,
-            exchange: ExchangeStats::default(),
+            telemetry: Snapshot::default(),
             sub,
         }
     }
@@ -449,6 +469,7 @@ impl Solver {
         let simd = self.cfg.opts.simd && optimized && !hybrid;
         let on_surface = self.cfg.free_surface && owns_free_surface(&self.sub);
         let step_tag = self.step as u64;
+        ctx.telem.set_step(step_tag);
         let use_overlap = self.cfg.opts.overlap
             && ctx.mode() == awp_vcluster::CommMode::Asynchronous
             && optimized;
@@ -462,12 +483,16 @@ impl Solver {
         };
         let interior_backend = if hybrid { Backend::Hybrid } else { shell_backend };
 
-        // Velocity phase.
+        // Velocity phase. Each compute interval is measured once and feeds
+        // both the coarse Eq. (7) ledger (Category::Comp) and the telemetry
+        // phase span — one clock read, two sinks.
         if use_overlap {
             for w in self.shell.shells {
-                ctx.time(Category::Comp, || {
-                    self.velocity_win(w, dth, block, shell_backend);
-                });
+                let t0 = Instant::now();
+                self.velocity_win(w, dth, block, shell_backend, &mut ctx.telem);
+                let el = t0.elapsed();
+                ctx.ledger.add(Category::Comp, el);
+                ctx.telem.span_at(TelPhase::VelocityShell, t0, el);
             }
             let pending = start_exchange(
                 &self.state,
@@ -479,23 +504,30 @@ impl Solver {
                 &mut self.arena,
             );
             let interior = self.shell.interior;
-            ctx.time(Category::Comp, || {
-                self.velocity_win(interior, dth, block, interior_backend);
-            });
+            let t0 = Instant::now();
+            self.velocity_win(interior, dth, block, interior_backend, &mut ctx.telem);
+            let el = t0.elapsed();
+            ctx.ledger.add(Category::Comp, el);
+            ctx.telem.span_at(TelPhase::VelocityInterior, t0, el);
             finish_exchange(&mut self.state, ctx, pending, &mut self.arena);
         } else {
-            ctx.time(Category::Comp, || {
-                if hybrid {
-                    update_velocity_mt(&mut self.state, &self.med, dth, self.cfg.opts.threads);
-                } else if simd {
-                    update_velocity_simd(&mut self.state, &self.med, dth, block);
-                } else {
-                    update_velocity(&mut self.state, &self.med, dth, block, optimized);
-                }
-                if let Some(p) = &mut self.mpml {
-                    p.apply_velocity(&mut self.state, &self.med, dth);
-                }
-            });
+            // Fused pass: the whole velocity update is one Interior span.
+            let t0 = Instant::now();
+            if hybrid {
+                update_velocity_mt(&mut self.state, &self.med, dth, self.cfg.opts.threads);
+            } else if simd {
+                update_velocity_simd(&mut self.state, &self.med, dth, block);
+            } else {
+                update_velocity(&mut self.state, &self.med, dth, block, optimized);
+            }
+            if let Some(p) = &mut self.mpml {
+                let tb = ctx.telem.start();
+                p.apply_velocity(&mut self.state, &self.med, dth);
+                ctx.telem.finish(tb, TelPhase::Boundary);
+            }
+            let el = t0.elapsed();
+            ctx.ledger.add(Category::Comp, el);
+            ctx.telem.span_at(TelPhase::VelocityInterior, t0, el);
             exchange(
                 &mut self.state,
                 &self.sub,
@@ -511,15 +543,19 @@ impl Solver {
         if use_overlap {
             // Velocity imaging must precede every stress window (all of
             // them read the mirrored velocities near the surface).
-            ctx.time(Category::Comp, || {
-                if on_surface {
-                    apply_free_surface_velocity(&mut self.state, &self.med, self.cfg.h as f32);
-                }
-            });
+            if on_surface {
+                let t0 = Instant::now();
+                apply_free_surface_velocity(&mut self.state, &self.med, self.cfg.h as f32);
+                let el = t0.elapsed();
+                ctx.ledger.add(Category::Comp, el);
+                ctx.telem.span_at(TelPhase::Boundary, t0, el);
+            }
             for w in self.shell.shells {
-                ctx.time(Category::Comp, || {
-                    self.stress_win(w, t, on_surface, dth, block, shell_backend);
-                });
+                let t0 = Instant::now();
+                self.stress_win(w, t, on_surface, dth, block, shell_backend, &mut ctx.telem);
+                let el = t0.elapsed();
+                ctx.ledger.add(Category::Comp, el);
+                ctx.telem.span_at(TelPhase::StressShell, t0, el);
             }
             let pending = start_exchange(
                 &self.state,
@@ -531,63 +567,79 @@ impl Solver {
                 &mut self.arena,
             );
             let interior = self.shell.interior;
-            ctx.time(Category::Comp, || {
-                self.stress_win(interior, t, on_surface, dth, block, interior_backend);
-            });
+            let t0 = Instant::now();
+            self.stress_win(interior, t, on_surface, dth, block, interior_backend, &mut ctx.telem);
+            let el = t0.elapsed();
+            ctx.ledger.add(Category::Comp, el);
+            ctx.telem.span_at(TelPhase::StressInterior, t0, el);
             // The velocity sponge runs after every stress window has read
             // the undamped velocities; it commutes with the in-flight
             // stress messages because it touches no stress component.
-            ctx.time(Category::Comp, || {
-                if let Some(sp) = &self.sponge {
-                    sp.apply_components(&mut self.state, &Component::VELOCITIES);
-                }
-            });
+            if let Some(sp) = &self.sponge {
+                let t0 = Instant::now();
+                sp.apply_components(&mut self.state, &Component::VELOCITIES);
+                let el = t0.elapsed();
+                ctx.ledger.add(Category::Comp, el);
+                ctx.telem.span_at(TelPhase::Boundary, t0, el);
+            }
             finish_exchange(&mut self.state, ctx, pending, &mut self.arena);
         } else {
-            ctx.time(Category::Comp, || {
-                if on_surface {
-                    apply_free_surface_velocity(&mut self.state, &self.med, self.cfg.h as f32);
-                }
-                if hybrid {
-                    update_stress_mt(
-                        &mut self.state,
-                        &self.med,
-                        self.atten.as_ref(),
-                        dth,
-                        self.cfg.dt as f32,
-                        self.cfg.opts.threads,
-                    );
-                } else if simd {
-                    update_stress_simd(
-                        &mut self.state,
-                        &self.med,
-                        self.atten.as_ref(),
-                        dth,
-                        self.cfg.dt as f32,
-                        block,
-                    );
-                } else {
-                    update_stress(
-                        &mut self.state,
-                        &self.med,
-                        self.atten.as_ref(),
-                        dth,
-                        self.cfg.dt as f32,
-                        block,
-                        optimized,
-                    );
-                }
-                if let Some(p) = &mut self.mpml {
-                    p.apply_stress(&mut self.state, &self.med, dth);
-                }
-                self.injector.inject(&mut self.state, t, self.cfg.dt);
+            let t0 = Instant::now();
+            if on_surface {
+                let tb = ctx.telem.start();
+                apply_free_surface_velocity(&mut self.state, &self.med, self.cfg.h as f32);
+                ctx.telem.finish(tb, TelPhase::Boundary);
+            }
+            if hybrid {
+                update_stress_mt(
+                    &mut self.state,
+                    &self.med,
+                    self.atten.as_ref(),
+                    dth,
+                    self.cfg.dt as f32,
+                    self.cfg.opts.threads,
+                );
+            } else if simd {
+                update_stress_simd(
+                    &mut self.state,
+                    &self.med,
+                    self.atten.as_ref(),
+                    dth,
+                    self.cfg.dt as f32,
+                    block,
+                );
+            } else {
+                update_stress(
+                    &mut self.state,
+                    &self.med,
+                    self.atten.as_ref(),
+                    dth,
+                    self.cfg.dt as f32,
+                    block,
+                    optimized,
+                );
+            }
+            if let Some(p) = &mut self.mpml {
+                let tb = ctx.telem.start();
+                p.apply_stress(&mut self.state, &self.med, dth);
+                ctx.telem.finish(tb, TelPhase::Boundary);
+            }
+            let tb = ctx.telem.start();
+            self.injector.inject(&mut self.state, t, self.cfg.dt);
+            ctx.telem.finish(tb, TelPhase::Source);
+            if on_surface || self.sponge.is_some() {
+                let tb = ctx.telem.start();
                 if on_surface {
                     apply_free_surface_stress(&mut self.state);
                 }
                 if let Some(sp) = &self.sponge {
                     sp.apply(&mut self.state);
                 }
-            });
+                ctx.telem.finish(tb, TelPhase::Boundary);
+            }
+            let el = t0.elapsed();
+            ctx.ledger.add(Category::Comp, el);
+            ctx.telem.span_at(TelPhase::StressInterior, t0, el);
             exchange(
                 &mut self.state,
                 &self.sub,
@@ -602,9 +654,11 @@ impl Solver {
         if self.cfg.opts.per_step_barrier {
             ctx.barrier();
         }
-        ctx.time(Category::Output, || {
-            self.recorder.record(&self.state);
-        });
+        let t0 = Instant::now();
+        self.recorder.record(&self.state);
+        let el = t0.elapsed();
+        ctx.ledger.add(Category::Output, el);
+        ctx.telem.span_at(TelPhase::Output, t0, el);
         self.flops.add_step(self.sub.dims.count(), self.cfg.attenuation);
         self.step += 1;
     }
@@ -643,6 +697,22 @@ pub fn run_parallel(
         .expect("invalid solver configuration")
 }
 
+/// [`run_parallel`] with an optional telemetry registry: when `Some`, every
+/// rank records phase spans / counters / histograms, each `RankResult`
+/// carries the rank's snapshot, and the registry can produce the aggregate
+/// [`awp_telemetry::TelemetryReport`] and Chrome trace after the run.
+pub fn run_parallel_with(
+    cfg: &SolverConfig,
+    parts: [usize; 3],
+    meshes: &[Mesh],
+    source: &KinematicSource,
+    stations: &[Station],
+    telemetry: Option<Arc<Registry>>,
+) -> Vec<RankResult> {
+    try_run_parallel_with(cfg, parts, meshes, source, stations, telemetry)
+        .expect("invalid solver configuration")
+}
+
 /// Fallible variant of [`run_parallel`]: validates the configuration
 /// before any rank thread spawns, so an inconsistent option set (e.g.
 /// overlap on the synchronous engine) surfaces as a [`ConfigError`]
@@ -654,12 +724,27 @@ pub fn try_run_parallel(
     source: &KinematicSource,
     stations: &[Station],
 ) -> Result<Vec<RankResult>, ConfigError> {
+    try_run_parallel_with(cfg, parts, meshes, source, stations, None)
+}
+
+/// Fallible, telemetry-aware driver (see [`run_parallel_with`]).
+pub fn try_run_parallel_with(
+    cfg: &SolverConfig,
+    parts: [usize; 3],
+    meshes: &[Mesh],
+    source: &KinematicSource,
+    stations: &[Station],
+    telemetry: Option<Arc<Registry>>,
+) -> Result<Vec<RankResult>, ConfigError> {
     cfg.validate()?;
     let decomp = Decomp3::new(cfg.dims, parts);
     let n = decomp.rank_count();
     assert_eq!(meshes.len(), n, "need one local mesh per rank");
     let sources = partition_spatial(source, &decomp);
-    let cluster = Cluster::new(n, cfg.opts.comm_mode.into());
+    let mut cluster = Cluster::new(n, cfg.opts.comm_mode.into());
+    if let Some(reg) = telemetry {
+        cluster = cluster.with_telemetry(reg);
+    }
     Ok(cluster.run(|ctx| {
         let rank = ctx.rank();
         let sub = decomp.subdomain(rank);
@@ -679,6 +764,7 @@ pub fn try_run_parallel(
                 update_pgv(&solver.state, &mut pgv);
             }
         }
+        ctx.telem.count(TelCounter::ArenaAllocs, solver.arena_allocations());
         RankResult {
             rank,
             seismograms: solver.recorder.into_seismograms(),
@@ -688,7 +774,7 @@ pub fn try_run_parallel(
             surface: owns_free_surface(&sub)
                 .then(|| crate::stations::surface_velocities(&solver.state, 1)),
             pgv_map: pgv,
-            exchange: solver.arena.stats,
+            telemetry: ctx.telem.snapshot(),
             sub,
         }
     }))

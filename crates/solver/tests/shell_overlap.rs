@@ -269,8 +269,7 @@ fn overlap_on_sync_engine_is_rejected_at_construction() {
     let parts = [2, 1, 1];
     let meshes = partition_mesh_direct(&mesh, &Decomp3::new(d, parts));
     let err = try_run_parallel(&cfg, parts, &meshes, &src, &stations)
-        .err()
-        .expect("try_run_parallel must validate before spawning ranks");
+        .expect_err("try_run_parallel must validate before spawning ranks");
     assert_eq!(err, ConfigError::OverlapNeedsAsyncEngine);
     // The same options become valid by flipping either knob.
     cfg.opts.overlap = false;
@@ -283,14 +282,36 @@ fn overlap_on_sync_engine_is_rejected_at_construction() {
 #[test]
 fn overlap_records_exchange_phase_timing() {
     // The per-phase breakdown the bench reads must be populated: a
-    // multi-rank overlap run sends, waits and injects on every rank.
+    // multi-rank overlap run with telemetry attached records send, wait,
+    // inject and the four split compute phases on every rank.
+    use awp_solver::telemetry::{Counter, Phase, Registry};
     let d = Dims3::new(16, 14, 12);
     let (mesh, src, stations, cfg) = overlap_fixture(d, 10);
     let parts = [2, 1, 1];
     let meshes = partition_mesh_direct(&mesh, &Decomp3::new(d, parts));
-    let results = run_parallel(&cfg, parts, &meshes, &src, &stations);
+    let reg = Registry::new(2);
+    let results =
+        awp_solver::run_parallel_with(&cfg, parts, &meshes, &src, &stations, Some(reg.clone()));
     for r in &results {
-        assert!(r.exchange.send_ns > 0, "rank {} recorded no send time", r.rank);
-        assert!(r.exchange.inject_ns > 0, "rank {} recorded no inject time", r.rank);
+        let tel = &r.telemetry;
+        assert!(tel.enabled, "rank {} has no telemetry", r.rank);
+        assert!(tel.phase_ns(Phase::Send) > 0, "rank {} recorded no send time", r.rank);
+        assert!(tel.phase_ns(Phase::Inject) > 0, "rank {} recorded no inject time", r.rank);
+        assert!(tel.phase_ns(Phase::VelocityShell) > 0, "rank {} missing shell spans", r.rank);
+        assert!(tel.phase_ns(Phase::VelocityInterior) > 0, "rank {} missing interior", r.rank);
+        assert!(tel.phase_ns(Phase::StressShell) > 0, "rank {}", r.rank);
+        assert!(tel.phase_ns(Phase::StressInterior) > 0, "rank {}", r.rank);
+        assert!(tel.counter(Counter::MsgsSent) > 0, "rank {} counted no sends", r.rank);
+    }
+    // Cross-rank report exists and carries the headline ratios.
+    let rep = reg.report();
+    assert_eq!(rep.ranks, 2);
+    assert!(rep.load_imbalance >= 1.0);
+    assert!((0.0..=1.0).contains(&rep.hidden_comm_fraction));
+    // Without a registry the same run keeps telemetry disabled end-to-end.
+    let plain = run_parallel(&cfg, parts, &meshes, &src, &stations);
+    for r in &plain {
+        assert!(!r.telemetry.enabled);
+        assert_eq!(r.telemetry.phase_ns(Phase::Send), 0);
     }
 }

@@ -1,0 +1,191 @@
+//! Fixed log2-bucket latency histogram.
+//!
+//! Bucket `i` (for `i >= 1`) counts durations in `[2^i, 2^(i+1))` ns;
+//! bucket 0 counts `[0, 2)` ns. The last bucket is open-ended. Recording is
+//! a `leading_zeros` plus two adds — no allocation, ever — so histograms can
+//! live inside the per-rank recorder and be merged at aggregation time.
+
+/// Number of buckets. Bucket 39 starts at 2^39 ns ≈ 9.2 min, far beyond any
+/// single comm primitive we time; everything above folds into it.
+pub const HIST_BUCKETS: usize = 40;
+
+#[derive(Debug, Clone, Copy)]
+pub struct Log2Hist {
+    counts: [u64; HIST_BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Log2Hist { counts: [0; HIST_BUCKETS], count: 0, sum_ns: 0, max_ns: 0 }
+    }
+}
+
+impl Log2Hist {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a duration in nanoseconds: `floor(log2(ns))`,
+    /// clamped to the table (0 and 1 ns both land in bucket 0).
+    #[inline]
+    pub fn bucket_of(ns: u64) -> usize {
+        if ns < 2 {
+            0
+        } else {
+            ((63 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive lower edge of bucket `i` in nanoseconds.
+    #[inline]
+    pub fn bucket_floor_ns(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    #[inline]
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+        if ns > self.max_ns {
+            self.max_ns = ns;
+        }
+    }
+
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    #[inline]
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    #[inline]
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    #[inline]
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Approximate quantile: upper edge of the first bucket whose cumulative
+    /// count reaches `q * count` (q in [0, 1]). Returns the recorded max for
+    /// the open-ended last bucket so p99 of a wild outlier is not understated.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return if i == HIST_BUCKETS - 1 {
+                    self.max_ns
+                } else {
+                    // Upper edge of bucket i (exclusive bound 2^(i+1)).
+                    (1u64 << (i + 1)).min(self.max_ns.max(1))
+                };
+            }
+        }
+        self.max_ns
+    }
+
+    pub fn merge(&mut self, other: &Log2Hist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        // [0,2) → 0, then [2^i, 2^(i+1)) → i.
+        assert_eq!(Log2Hist::bucket_of(0), 0);
+        assert_eq!(Log2Hist::bucket_of(1), 0);
+        assert_eq!(Log2Hist::bucket_of(2), 1);
+        assert_eq!(Log2Hist::bucket_of(3), 1);
+        assert_eq!(Log2Hist::bucket_of(4), 2);
+        assert_eq!(Log2Hist::bucket_of(7), 2);
+        assert_eq!(Log2Hist::bucket_of(8), 3);
+        for i in 1..HIST_BUCKETS - 1 {
+            let lo = 1u64 << i;
+            assert_eq!(Log2Hist::bucket_of(lo), i, "lower edge of bucket {i}");
+            assert_eq!(Log2Hist::bucket_of(lo * 2 - 1), i, "upper edge of bucket {i}");
+        }
+        // Open-ended last bucket.
+        assert_eq!(Log2Hist::bucket_of(1u64 << (HIST_BUCKETS - 1)), HIST_BUCKETS - 1);
+        assert_eq!(Log2Hist::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Log2Hist::new();
+        for ns in [1u64, 2, 3, 100, 1000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_ns(), 1106);
+        assert_eq!(h.max_ns(), 1000);
+        assert_eq!(h.bucket_count(0), 1); // 1
+        assert_eq!(h.bucket_count(1), 2); // 2, 3
+        assert_eq!(h.bucket_count(6), 1); // 100 in [64,128)
+        assert_eq!(h.bucket_count(9), 1); // 1000 in [512,1024)
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = Log2Hist::new();
+        for _ in 0..99 {
+            h.record_ns(100); // bucket 6: [64, 128)
+        }
+        h.record_ns(1_000_000); // bucket 19
+        assert_eq!(h.quantile_ns(0.5), 128);
+        assert_eq!(h.quantile_ns(0.95), 128);
+        assert!(h.quantile_ns(1.0) >= 1 << 19);
+        // Empty histogram.
+        assert_eq!(Log2Hist::new().quantile_ns(0.95), 0);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Log2Hist::new();
+        let mut b = Log2Hist::new();
+        a.record_ns(10);
+        b.record_ns(20);
+        b.record_ns(1 << 20);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum_ns(), 30 + (1 << 20));
+        assert_eq!(a.max_ns(), 1 << 20);
+        assert_eq!(a.bucket_count(3), 1); // 10
+        assert_eq!(a.bucket_count(4), 1); // 20
+        assert_eq!(a.bucket_count(20), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! `awp-telemetry` — low-overhead, opt-in per-rank instrumentation.
+//!
+//! Design (see DESIGN.md "Observability"):
+//! - **Opt-in**: a run owns an `Arc<Registry>`; each vcluster rank gets an
+//!   enabled [`Recorder`] at spawn. Without a registry, every probe site
+//!   holds a [`Recorder::disabled`] and compiles to a not-taken branch with
+//!   zero allocation and zero clock reads (enforced by `tests/zero_alloc.rs`).
+//! - **Hot path is enum + array math**: spans are tagged with [`Phase`]
+//!   (never strings), recorded into a preallocated ring buffer; counters and
+//!   log2-bucket histograms are fixed arrays.
+//! - **Exact totals, bounded memory**: per-phase totals and counters are
+//!   always exact; only the span *timeline* is bounded by the ring (evictions
+//!   surface as `dropped_spans`).
+//! - **Aggregation**: at run completion each rank's [`Snapshot`] is submitted
+//!   to the [`Registry`], which produces a [`TelemetryReport`]
+//!   (min/mean/max/p95 per phase, load-imbalance ratio, hidden-comm
+//!   fraction) and a Chrome trace-event JSON (one virtual pid per rank).
+//!
+//! The crate is std-only on purpose: it sits under every other crate in the
+//! workspace and must build offline with no registry dependencies.
+
+pub mod hist;
+pub mod phase;
+pub mod recorder;
+pub mod registry;
+pub mod report;
+pub mod trace;
+
+pub use hist::{Log2Hist, HIST_BUCKETS};
+pub use phase::{Counter, HistKind, Phase};
+pub use recorder::{PhaseTotal, Recorder, Snapshot, SpanRec};
+pub use registry::{Registry, DEFAULT_SPAN_CAPACITY};
+pub use report::{PhaseAgg, TelemetryReport};
+pub use trace::chrome_trace;

@@ -1,0 +1,322 @@
+//! Per-rank span recorder.
+//!
+//! One `Recorder` lives on each rank's `RankCtx` (thread-local by
+//! construction: ranks are threads and the recorder is never shared).
+//! Every probe branches on `enabled` first; when telemetry is off the
+//! recorder holds zero-capacity buffers and a probe is a predictable
+//! not-taken branch with **no clock read and no allocation** (enforced by
+//! `tests/zero_alloc.rs`). When on, spans go into a preallocated ring
+//! buffer (fixed-size records, phase enums not strings) so steady-state
+//! recording never touches the allocator either.
+
+use crate::hist::Log2Hist;
+use crate::phase::{Counter, HistKind, Phase};
+use std::time::{Duration, Instant};
+
+/// One recorded span. 24 bytes; `step` lets the trace viewer correlate
+/// spans with timestep numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanRec {
+    pub phase: Phase,
+    /// Start offset from the registry epoch, ns.
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    pub step: u32,
+}
+
+/// Per-phase running totals — always exact even when the span ring wraps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTotal {
+    pub count: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+}
+
+/// Drained/cloned state of one rank's recorder. This is what crosses the
+/// rank boundary: `RankResult` carries one and the `Registry` aggregates
+/// them into a `TelemetryReport`.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub rank: usize,
+    pub enabled: bool,
+    /// Spans in chronological order (oldest first). If the ring wrapped,
+    /// only the newest `capacity` spans survive and `dropped_spans` counts
+    /// the evicted ones; phase totals stay exact regardless.
+    pub spans: Vec<SpanRec>,
+    pub dropped_spans: u64,
+    pub totals: [PhaseTotal; Phase::COUNT],
+    pub counters: [u64; Counter::COUNT],
+    pub hists: [Log2Hist; HistKind::COUNT],
+}
+
+impl Snapshot {
+    #[inline]
+    pub fn phase_ns(&self, p: Phase) -> u64 {
+        self.totals[p.index()].total_ns
+    }
+
+    #[inline]
+    pub fn phase_count(&self, p: Phase) -> u64 {
+        self.totals[p.index()].count
+    }
+
+    #[inline]
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.index()]
+    }
+
+    #[inline]
+    pub fn hist(&self, k: HistKind) -> &Log2Hist {
+        &self.hists[k.index()]
+    }
+
+    /// Total compute time (the four stencil passes), for load-imbalance.
+    pub fn compute_ns(&self) -> u64 {
+        Phase::COMPUTE.iter().map(|p| self.phase_ns(*p)).sum()
+    }
+
+    /// Total communication time (send + wait + inject).
+    pub fn comm_ns(&self) -> u64 {
+        Phase::COMM.iter().map(|p| self.phase_ns(*p)).sum()
+    }
+}
+
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: bool,
+    rank: usize,
+    epoch: Instant,
+    cur_step: u32,
+    /// Ring storage, preallocated to capacity at registration.
+    spans: Vec<SpanRec>,
+    /// Next overwrite position once the ring is full.
+    next: usize,
+    dropped: u64,
+    totals: [PhaseTotal; Phase::COUNT],
+    counters: [u64; Counter::COUNT],
+    hists: [Log2Hist; HistKind::COUNT],
+}
+
+impl Recorder {
+    /// Recorder for a registered rank; `capacity` spans are preallocated
+    /// here, off the hot path.
+    pub(crate) fn enabled(rank: usize, epoch: Instant, capacity: usize) -> Self {
+        Recorder {
+            enabled: true,
+            rank,
+            epoch,
+            cur_step: 0,
+            spans: Vec::with_capacity(capacity),
+            next: 0,
+            dropped: 0,
+            totals: [PhaseTotal::default(); Phase::COUNT],
+            counters: [0; Counter::COUNT],
+            hists: [Log2Hist::new(); HistKind::COUNT],
+        }
+    }
+
+    /// The default, telemetry-off recorder: every probe is a not-taken
+    /// branch; nothing is allocated (zero-capacity `Vec` holds no heap).
+    pub fn disabled() -> Self {
+        Recorder {
+            enabled: false,
+            rank: 0,
+            epoch: Instant::now(),
+            cur_step: 0,
+            spans: Vec::new(),
+            next: 0,
+            dropped: 0,
+            totals: [PhaseTotal::default(); Phase::COUNT],
+            counters: [0; Counter::COUNT],
+            hists: [Log2Hist::new(); HistKind::COUNT],
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Tag subsequent spans with the current timestep.
+    #[inline]
+    pub fn set_step(&mut self, step: u64) {
+        if self.enabled {
+            self.cur_step = step.min(u32::MAX as u64) as u32;
+        }
+    }
+
+    /// Begin timing a span. Returns `None` (no clock read) when disabled.
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// End a span begun with [`start`](Self::start).
+    #[inline]
+    pub fn finish(&mut self, t0: Option<Instant>, phase: Phase) {
+        if let Some(t0) = t0 {
+            self.span_at(phase, t0, t0.elapsed());
+        }
+    }
+
+    /// Record a span with an explicit start and duration (used when one
+    /// measured interval feeds both the vcluster `TimeLedger` and
+    /// telemetry, or when a wait interval is split into wait + inject).
+    #[inline]
+    pub fn span_at(&mut self, phase: Phase, t0: Instant, dur: Duration) {
+        if !self.enabled {
+            return;
+        }
+        let rec = SpanRec {
+            phase,
+            start_ns: t0.saturating_duration_since(self.epoch).as_nanos() as u64,
+            dur_ns: dur.as_nanos() as u64,
+            step: self.cur_step,
+        };
+        let t = &mut self.totals[phase.index()];
+        t.count += 1;
+        t.total_ns += rec.dur_ns;
+        t.max_ns = t.max_ns.max(rec.dur_ns);
+        if self.spans.len() < self.spans.capacity() {
+            self.spans.push(rec);
+        } else if self.spans.capacity() > 0 {
+            // Ring is full: overwrite the oldest record in place.
+            self.spans[self.next] = rec;
+            self.next = (self.next + 1) % self.spans.capacity();
+            self.dropped += 1;
+        } else {
+            // Capacity 0 (counters-only recorder): totals stay exact.
+            self.dropped += 1;
+        }
+    }
+
+    /// Time a closure as one span.
+    #[inline]
+    pub fn time<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let t0 = self.start();
+        let out = f();
+        self.finish(t0, phase);
+        out
+    }
+
+    /// Bump a monotonic counter.
+    #[inline]
+    pub fn count(&mut self, c: Counter, n: u64) {
+        if self.enabled {
+            self.counters[c.index()] += n;
+        }
+    }
+
+    /// Record one latency observation in a log2 histogram.
+    #[inline]
+    pub fn observe(&mut self, kind: HistKind, dur: Duration) {
+        if self.enabled {
+            self.hists[kind.index()].record_ns(dur.as_nanos() as u64);
+        }
+    }
+
+    /// Clone the current state into a `Snapshot` with spans rotated into
+    /// chronological order. Non-destructive: the recorder keeps recording.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut spans = Vec::with_capacity(self.spans.len());
+        if self.dropped > 0 && self.spans.len() == self.spans.capacity() {
+            // Wrapped ring: oldest record sits at `next`.
+            spans.extend_from_slice(&self.spans[self.next..]);
+            spans.extend_from_slice(&self.spans[..self.next]);
+        } else {
+            spans.extend_from_slice(&self.spans);
+        }
+        Snapshot {
+            rank: self.rank,
+            enabled: self.enabled,
+            spans,
+            dropped_spans: self.dropped,
+            totals: self.totals,
+            counters: self.counters,
+            hists: self.hists,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraparound_keeps_newest_and_exact_totals() {
+        let epoch = Instant::now();
+        let mut r = Recorder::enabled(3, epoch, 4);
+        for i in 0..10u64 {
+            r.set_step(i);
+            r.span_at(Phase::Send, epoch, Duration::from_nanos(100 + i));
+        }
+        let s = r.snapshot();
+        assert_eq!(s.rank, 3);
+        assert_eq!(s.spans.len(), 4, "ring holds exactly capacity");
+        assert_eq!(s.dropped_spans, 6);
+        // Newest 4 spans survive, in chronological order.
+        let steps: Vec<u32> = s.spans.iter().map(|x| x.step).collect();
+        assert_eq!(steps, vec![6, 7, 8, 9]);
+        // Totals are exact despite the drops.
+        assert_eq!(s.phase_count(Phase::Send), 10);
+        assert_eq!(s.phase_ns(Phase::Send), (0..10).map(|i| 100 + i).sum::<u64>());
+        assert_eq!(s.totals[Phase::Send.index()].max_ns, 109);
+    }
+
+    #[test]
+    fn partial_ring_is_chronological() {
+        let epoch = Instant::now();
+        let mut r = Recorder::enabled(0, epoch, 8);
+        r.span_at(Phase::Wait, epoch, Duration::from_nanos(5));
+        r.set_step(1);
+        r.span_at(Phase::Inject, epoch, Duration::from_nanos(7));
+        let s = r.snapshot();
+        assert_eq!(s.spans.len(), 2);
+        assert_eq!(s.dropped_spans, 0);
+        assert_eq!(s.spans[0].phase, Phase::Wait);
+        assert_eq!(s.spans[1].phase, Phase::Inject);
+        assert_eq!(s.spans[1].step, 1);
+    }
+
+    #[test]
+    fn disabled_probes_record_nothing() {
+        let mut r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        assert!(r.start().is_none());
+        r.set_step(9);
+        let t0 = r.start();
+        r.finish(t0, Phase::Send);
+        r.count(Counter::BytesSent, 1 << 20);
+        r.observe(HistKind::Barrier, Duration::from_millis(1));
+        let v = r.time(Phase::Wait, || 42);
+        assert_eq!(v, 42);
+        let s = r.snapshot();
+        assert!(!s.enabled);
+        assert!(s.spans.is_empty());
+        assert_eq!(s.counter(Counter::BytesSent), 0);
+        assert_eq!(s.phase_count(Phase::Wait), 0);
+        assert_eq!(s.hist(HistKind::Barrier).count(), 0);
+    }
+
+    #[test]
+    fn counters_and_hists_accumulate() {
+        let mut r = Recorder::enabled(1, Instant::now(), 16);
+        r.count(Counter::MsgsSent, 2);
+        r.count(Counter::MsgsSent, 3);
+        r.observe(HistKind::Send, Duration::from_nanos(100));
+        r.observe(HistKind::Send, Duration::from_nanos(200));
+        let s = r.snapshot();
+        assert_eq!(s.counter(Counter::MsgsSent), 5);
+        assert_eq!(s.hist(HistKind::Send).count(), 2);
+        assert_eq!(s.hist(HistKind::Send).sum_ns(), 300);
+    }
+}

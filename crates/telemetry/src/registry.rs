@@ -1,0 +1,132 @@
+//! Cross-rank registry: hands out recorders at rank spawn, collects
+//! snapshots at rank completion, aggregates and exports.
+
+use crate::recorder::{Recorder, Snapshot};
+use crate::report::TelemetryReport;
+use crate::trace;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default span-ring capacity per rank: 16384 spans × 24 B = 384 KiB/rank.
+/// Small profile runs fit comfortably; long runs wrap the ring (newest spans
+/// kept for the trace, totals stay exact).
+pub const DEFAULT_SPAN_CAPACITY: usize = 16_384;
+
+/// Shared telemetry hub for one cluster run. Create before spawning ranks;
+/// each rank calls [`recorder`](Registry::recorder) at spawn and the cluster
+/// submits the rank's snapshot when its body completes (even on panic, so
+/// fault forensics keep the partial timeline).
+#[derive(Debug)]
+pub struct Registry {
+    epoch: Instant,
+    ranks: usize,
+    span_capacity: usize,
+    slots: Mutex<Vec<Option<Snapshot>>>,
+}
+
+impl Registry {
+    pub fn new(ranks: usize) -> Arc<Registry> {
+        Self::with_capacity(ranks, DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// `span_capacity` is the per-rank ring size in spans (0 = counters and
+    /// totals only, no timeline).
+    pub fn with_capacity(ranks: usize, span_capacity: usize) -> Arc<Registry> {
+        Arc::new(Registry {
+            epoch: Instant::now(),
+            ranks,
+            span_capacity,
+            slots: Mutex::new(vec![None; ranks]),
+        })
+    }
+
+    #[inline]
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Common time origin for all rank recorders (trace timestamps are
+    /// offsets from this instant).
+    #[inline]
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Hand out the (enabled) recorder for `rank`. Preallocation happens
+    /// here, before the timestep loop starts.
+    pub fn recorder(&self, rank: usize) -> Recorder {
+        assert!(rank < self.ranks, "rank {rank} out of range for {}-rank registry", self.ranks);
+        Recorder::enabled(rank, self.epoch, self.span_capacity)
+    }
+
+    /// Store a rank's snapshot. Re-running the cluster (e.g. a resilience
+    /// restart pass) overwrites the rank's previous submission: the report
+    /// describes the latest pass.
+    pub fn submit(&self, snap: Snapshot) {
+        let rank = snap.rank;
+        let mut slots = self.slots.lock().unwrap();
+        if rank < slots.len() {
+            slots[rank] = Some(snap);
+        }
+    }
+
+    /// Snapshots submitted so far, in rank order (missing ranks skipped).
+    pub fn snapshots(&self) -> Vec<Snapshot> {
+        self.slots.lock().unwrap().iter().flatten().cloned().collect()
+    }
+
+    /// Aggregate all submitted snapshots into a cross-rank report.
+    pub fn report(&self) -> TelemetryReport {
+        TelemetryReport::from_snapshots(&self.snapshots())
+    }
+
+    /// Chrome trace-event JSON (one virtual pid per rank); open in Perfetto
+    /// or chrome://tracing.
+    pub fn chrome_trace(&self) -> String {
+        trace::chrome_trace(&self.snapshots())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+    use std::time::Duration;
+
+    #[test]
+    fn registry_hands_out_and_collects() {
+        let reg = Registry::with_capacity(4, 64);
+        for rank in 0..4 {
+            let mut r = reg.recorder(rank);
+            assert!(r.is_enabled());
+            assert_eq!(r.rank(), rank);
+            r.span_at(Phase::Send, reg.epoch(), Duration::from_nanos(10 * (rank as u64 + 1)));
+            reg.submit(r.snapshot());
+        }
+        let snaps = reg.snapshots();
+        assert_eq!(snaps.len(), 4);
+        assert_eq!(snaps[2].rank, 2);
+        assert_eq!(snaps[2].phase_ns(Phase::Send), 30);
+    }
+
+    #[test]
+    fn resubmission_overwrites() {
+        let reg = Registry::with_capacity(1, 8);
+        let mut r = reg.recorder(0);
+        r.span_at(Phase::Wait, reg.epoch(), Duration::from_nanos(5));
+        reg.submit(r.snapshot());
+        let mut r2 = reg.recorder(0);
+        r2.span_at(Phase::Wait, reg.epoch(), Duration::from_nanos(99));
+        reg.submit(r2.snapshot());
+        let snaps = reg.snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].phase_ns(Phase::Wait), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn recorder_rank_bounds_checked() {
+        let reg = Registry::new(2);
+        let _ = reg.recorder(2);
+    }
+}

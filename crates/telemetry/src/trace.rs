@@ -1,0 +1,86 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Emits the stable subset of the trace-event format understood by Perfetto
+//! and chrome://tracing: one metadata `process_name` event per rank (virtual
+//! pid = rank), then complete (`"ph":"X"`) duration events with `ts`/`dur`
+//! in microseconds relative to the registry epoch. All event names come from
+//! `Phase::name()` — static snake_case strings, so no JSON escaping is
+//! needed and the exporter stays serde-free (std-only crate).
+
+use crate::recorder::Snapshot;
+use std::fmt::Write as _;
+
+/// Serialize snapshots to a Chrome trace-event JSON string.
+pub fn chrome_trace(snaps: &[Snapshot]) -> String {
+    // ~120 bytes per event; preallocate to avoid rehashing the String.
+    let n_events: usize = snaps.iter().map(|s| s.spans.len() + 1).sum();
+    let mut out = String::with_capacity(64 + n_events * 128);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for s in snaps {
+        // Metadata: name the virtual process after the rank.
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+             \"args\":{{\"name\":\"rank {}\"}}}}",
+            s.rank, s.rank
+        );
+        for sp in &s.spans {
+            let _ = write!(
+                out,
+                ",{{\"name\":\"{}\",\"cat\":\"awp\",\"ph\":\"X\",\"ts\":{:.3},\
+                 \"dur\":{:.3},\"pid\":{},\"tid\":0,\"args\":{{\"step\":{}}}}}",
+                sp.phase.name(),
+                sp.start_ns as f64 / 1e3,
+                sp.dur_ns as f64 / 1e3,
+                s.rank,
+                sp.step
+            );
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+    use crate::recorder::Recorder;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn trace_structure_is_sound() {
+        let epoch = Instant::now();
+        let mut snaps = Vec::new();
+        for rank in 0..2 {
+            let mut r = Recorder::enabled(rank, epoch, 16);
+            r.set_step(7);
+            r.span_at(Phase::VelocityShell, epoch, Duration::from_micros(3));
+            r.span_at(Phase::Wait, epoch, Duration::from_micros(1));
+            snaps.push(r.snapshot());
+        }
+        let json = chrome_trace(&snaps);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert_eq!(json.matches("\"process_name\"").count(), 2);
+        assert_eq!(json.matches("\"velocity_shell\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"args\":{\"step\":7}"));
+        // Balanced braces/brackets — cheap structural sanity without a
+        // parser dependency (full parse-back lives in tests/telemetry.rs).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let json = chrome_trace(&[]);
+        assert_eq!(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Disabled-mode flatness: with telemetry off, every probe must be a branch
+//! with zero heap traffic. Same ledger idea as the halo-arena allocation
+//! test, but enforced globally with a counting allocator so nothing on the
+//! probe path can hide an allocation.
+
+use awp_telemetry::{Counter, HistKind, Phase, Recorder, Registry};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn disabled_probes_never_allocate() {
+    let mut r = Recorder::disabled();
+    let before = allocs();
+    for step in 0..10_000u64 {
+        r.set_step(step);
+        let t0 = r.start();
+        r.finish(t0, Phase::VelocityInterior);
+        r.count(Counter::BytesSent, 4096);
+        r.observe(HistKind::Send, Duration::from_nanos(250));
+        let _ = r.time(Phase::Wait, || step + 1);
+    }
+    assert_eq!(allocs() - before, 0, "disabled-mode probes must not allocate");
+}
+
+#[test]
+fn disabled_recorder_construction_is_allocation_free() {
+    let before = allocs();
+    let r = Recorder::disabled();
+    assert!(!r.is_enabled());
+    assert_eq!(allocs() - before, 0, "Recorder::disabled() must not allocate");
+}
+
+#[test]
+fn enabled_steady_state_stays_in_the_ring() {
+    // Registration preallocates; after that, recording must be flat even
+    // once the ring wraps (records are overwritten in place).
+    let reg = Registry::with_capacity(1, 256);
+    let mut r = reg.recorder(0);
+    let before = allocs();
+    for step in 0..10_000u64 {
+        r.set_step(step);
+        let t0 = r.start();
+        r.finish(t0, Phase::Send);
+        r.count(Counter::MsgsSent, 1);
+        r.observe(HistKind::Send, Duration::from_nanos(100));
+    }
+    assert_eq!(allocs() - before, 0, "steady-state recording must not allocate");
+    let s = r.snapshot();
+    assert_eq!(s.phase_count(Phase::Send), 10_000);
+    assert_eq!(s.spans.len(), 256);
+}

@@ -13,6 +13,7 @@ use crate::fault::{
 use crate::ledger::{Category, TimeLedger};
 use crate::mailbox::Mailbox;
 use crate::message::{Message, Payload, Tag};
+use awp_telemetry::{Counter, HistKind, Phase, Recorder, Registry};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -155,6 +156,9 @@ struct Shared {
     /// Set once on teardown; blocks all further blocking communication.
     aborted: AtomicBool,
     fault_plan: Option<Arc<FaultPlan>>,
+    /// Opt-in telemetry hub. When attached, each rank gets an enabled
+    /// recorder at spawn and its snapshot is submitted at rank completion.
+    telemetry: Option<Arc<Registry>>,
 }
 
 impl Shared {
@@ -304,6 +308,7 @@ impl Cluster {
             hung: (0..size).map(|_| AtomicBool::new(false)).collect(),
             aborted: AtomicBool::new(false),
             fault_plan: None,
+            telemetry: None,
         });
         Self { shared, size, mode, watchdog: None }
     }
@@ -314,6 +319,25 @@ impl Cluster {
         Arc::get_mut(&mut self.shared)
             .expect("attach the fault plan before running the cluster")
             .fault_plan = Some(plan);
+        self
+    }
+
+    /// Attach a telemetry registry (builder style; call before the first
+    /// `run`/`try_run`). Every rank then records phase spans, comm
+    /// counters, and latency histograms into a per-rank [`Recorder`] and
+    /// submits its snapshot when its body completes — even on a panic, so
+    /// fault forensics keep the partial timeline.
+    pub fn with_telemetry(mut self, registry: Arc<Registry>) -> Self {
+        assert_eq!(
+            registry.ranks(),
+            self.size,
+            "telemetry registry sized for {} ranks, cluster has {}",
+            registry.ranks(),
+            self.size
+        );
+        Arc::get_mut(&mut self.shared)
+            .expect("attach telemetry before running the cluster")
+            .telemetry = Some(registry);
         self
     }
 
@@ -378,17 +402,26 @@ impl Cluster {
                     let body = &body;
                     scope.spawn(move || {
                         shared.beat(rank);
-                        let result = panic::catch_unwind(AssertUnwindSafe(|| {
-                            let mut ctx = RankCtx {
-                                rank,
-                                size,
-                                mode,
-                                shared: Arc::clone(&shared),
-                                ledger: TimeLedger::new(),
-                            };
-                            body(&mut ctx)
-                        }));
+                        // The ctx lives outside the panic boundary so its
+                        // telemetry survives a mid-run fault: the partial
+                        // timeline is submitted either way.
+                        let mut ctx = RankCtx {
+                            rank,
+                            size,
+                            mode,
+                            shared: Arc::clone(&shared),
+                            ledger: TimeLedger::new(),
+                            telem: shared
+                                .telemetry
+                                .as_ref()
+                                .map(|reg| reg.recorder(rank))
+                                .unwrap_or_else(Recorder::disabled),
+                        };
+                        let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
                         shared.done[rank].store(true, Ordering::SeqCst);
+                        if let Some(reg) = &shared.telemetry {
+                            reg.submit(ctx.telem.snapshot());
+                        }
                         match result {
                             Ok(v) => Ok(v),
                             Err(payload) => {
@@ -444,6 +477,11 @@ pub struct RankCtx {
     /// Wall-time ledger; solvers charge phases through
     /// [`RankCtx::time`]. Communication calls charge themselves.
     pub ledger: TimeLedger,
+    /// Telemetry recorder — enabled when the cluster was built
+    /// [`with_telemetry`](Cluster::with_telemetry), otherwise a disabled
+    /// recorder whose probes are not-taken branches (zero allocation).
+    /// Communication calls feed it implicitly; solvers add phase spans.
+    pub telem: Recorder,
 }
 
 impl RankCtx {
@@ -477,9 +515,14 @@ impl RankCtx {
     pub fn tick(&mut self, step: u64) {
         self.shared.beat(self.rank);
         self.shared.steps[self.rank].store(step, Ordering::Relaxed);
+        self.telem.set_step(step);
         self.shared.check_abort();
         let Some(plan) = self.shared.fault_plan.clone() else { return };
-        match plan.step_fault(self.rank, step) {
+        let fault = plan.step_fault(self.rank, step);
+        if fault.is_some() {
+            self.telem.count(Counter::FaultEvents, 1);
+        }
+        match fault {
             Some(FaultKind::Crash) => {
                 panic::panic_any(FaultUnwind(FaultReport {
                     rank: self.rank,
@@ -532,6 +575,9 @@ impl RankCtx {
     pub fn send(&mut self, dst: usize, tag: Tag, payload: impl Into<Payload>) {
         let payload = payload.into();
         self.count(&payload);
+        let bytes = payload.byte_len() as u64;
+        self.telem.count(Counter::MsgsSent, 1);
+        self.telem.count(Counter::BytesSent, bytes);
         assert!(dst < self.size, "send to rank {dst} of {}", self.size);
         assert_ne!(dst, self.rank, "self-sends are not supported");
         let t0 = std::time::Instant::now();
@@ -541,6 +587,9 @@ impl RankCtx {
             .fault_plan
             .as_ref()
             .and_then(|p| p.msg_fault(self.rank, dst, tag));
+        if fault.is_some() {
+            self.telem.count(Counter::FaultEvents, 1);
+        }
         let mut duplicate = false;
         match fault {
             Some(MsgFault::Drop) => {
@@ -551,7 +600,9 @@ impl RankCtx {
                     let (_ack_tx, ack_rx) = crossbeam::channel::bounded::<()>(1);
                     self.await_ack(&ack_rx, dst);
                 }
-                self.ledger.add(Category::Comm, t0.elapsed());
+                let el = t0.elapsed();
+                self.ledger.add(Category::Comm, el);
+                self.telem.observe(HistKind::Send, el);
                 return;
             }
             Some(MsgFault::Delay { micros }) => {
@@ -601,7 +652,9 @@ impl RankCtx {
                 self.await_ack(&ack_rx, dst);
             }
         }
-        self.ledger.add(Category::Comm, t0.elapsed());
+        let el = t0.elapsed();
+        self.ledger.add(Category::Comm, el);
+        self.telem.observe(HistKind::Send, el);
     }
 
     /// Blocking matched receive.
@@ -609,7 +662,11 @@ impl RankCtx {
         let t0 = std::time::Instant::now();
         self.shared.beat(self.rank);
         let p = self.shared.mailboxes[self.rank].recv(src, tag);
-        self.ledger.add(Category::Comm, t0.elapsed());
+        let el = t0.elapsed();
+        self.ledger.add(Category::Comm, el);
+        self.telem.count(Counter::MsgsRecv, 1);
+        self.telem.count(Counter::BytesRecv, p.byte_len() as u64);
+        self.telem.observe(HistKind::Recv, el);
         p
     }
 
@@ -619,7 +676,12 @@ impl RankCtx {
     /// fresh vector (the zero-copy halo pipeline polls with this).
     pub fn try_recv(&mut self, src: usize, tag: Tag) -> Option<Payload> {
         self.shared.beat(self.rank);
-        self.shared.mailboxes[self.rank].try_recv(src, tag)
+        let p = self.shared.mailboxes[self.rank].try_recv(src, tag);
+        if let Some(p) = &p {
+            self.telem.count(Counter::MsgsRecv, 1);
+            self.telem.count(Counter::BytesRecv, p.byte_len() as u64);
+        }
+        p
     }
 
     /// Blocking receive with a deadline (returns `None` on timeout) — used
@@ -628,7 +690,13 @@ impl RankCtx {
         let t0 = std::time::Instant::now();
         self.shared.beat(self.rank);
         let p = self.shared.mailboxes[self.rank].recv_timeout(src, tag, timeout);
-        self.ledger.add(Category::Comm, t0.elapsed());
+        let el = t0.elapsed();
+        self.ledger.add(Category::Comm, el);
+        if let Some(p) = &p {
+            self.telem.count(Counter::MsgsRecv, 1);
+            self.telem.count(Counter::BytesRecv, p.byte_len() as u64);
+            self.telem.observe(HistKind::Recv, el);
+        }
         p
     }
 
@@ -714,8 +782,19 @@ impl RankCtx {
                 }
             }
         }
-        self.ledger.add(Category::Comm, t0.elapsed());
-        Some(out.into_iter().map(|p| p.expect("all requests completed")).collect())
+        let el = t0.elapsed();
+        self.ledger.add(Category::Comm, el);
+        let msgs: Vec<Payload> =
+            out.into_iter().map(|p| p.expect("all requests completed")).collect();
+        if self.telem.is_enabled() {
+            let bytes: u64 = msgs.iter().map(|p| p.byte_len() as u64).sum();
+            self.telem.count(Counter::MsgsRecv, msgs.len() as u64);
+            self.telem.count(Counter::BytesRecv, bytes);
+            // One observation for the whole completion set: wait_all drains
+            // the mailbox directly, so per-message latency is not visible.
+            self.telem.observe(HistKind::Recv, el);
+        }
+        Some(msgs)
     }
 
     /// Global barrier; time charged to `Sync` (the paper's T_sync is
@@ -729,7 +808,10 @@ impl RankCtx {
             BarrierWait::Poisoned => panic::panic_any(AbortUnwind),
             BarrierWait::TimedOut => unreachable!("deadline-free barrier cannot time out"),
         }
-        self.ledger.add(Category::Sync, t0.elapsed());
+        let el = t0.elapsed();
+        self.ledger.add(Category::Sync, el);
+        self.telem.span_at(Phase::Barrier, t0, el);
+        self.telem.observe(HistKind::Barrier, el);
         if self.rank == 0 {
             self.shared.stats.barriers.fetch_add(1, Ordering::Relaxed);
         }
@@ -744,7 +826,10 @@ impl RankCtx {
         let rank = self.rank;
         let outcome =
             self.shared.barrier.wait(Some(Instant::now() + timeout), &|| shared.beat(rank));
-        self.ledger.add(Category::Sync, t0.elapsed());
+        let el = t0.elapsed();
+        self.ledger.add(Category::Sync, el);
+        self.telem.span_at(Phase::Barrier, t0, el);
+        self.telem.observe(HistKind::Barrier, el);
         match outcome {
             BarrierWait::Passed => {
                 if self.rank == 0 {
@@ -1112,5 +1197,86 @@ mod tests {
         });
         assert_eq!(second[0].as_ref().unwrap(), &0);
         assert_eq!(second[1].as_ref().unwrap(), &1);
+    }
+
+    #[test]
+    fn telemetry_aggregates_across_eight_ranks() {
+        use awp_telemetry::{Counter, HistKind, Phase, Registry};
+        let n = 8;
+        let reg = Registry::with_capacity(n, 256);
+        let c = Cluster::new(n, CommMode::Asynchronous).with_telemetry(Arc::clone(&reg));
+        c.run(|ctx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            for step in 0..4u64 {
+                ctx.tick(step);
+                ctx.telem.time(Phase::VelocityInterior, || {
+                    std::hint::black_box((0..500).map(|i| i as f64).sum::<f64>())
+                });
+                ctx.send(next, 42, vec![step as f32; 8]);
+                let _ = ctx.recv(prev, 42);
+                ctx.barrier();
+            }
+        });
+        let snaps = reg.snapshots();
+        assert_eq!(snaps.len(), n, "every rank submitted a snapshot");
+        for (r, s) in snaps.iter().enumerate() {
+            assert_eq!(s.rank, r);
+            assert_eq!(s.counter(Counter::MsgsSent), 4);
+            assert_eq!(s.counter(Counter::BytesSent), 4 * 8 * 4);
+            assert_eq!(s.counter(Counter::MsgsRecv), 4);
+            assert_eq!(s.phase_count(Phase::VelocityInterior), 4);
+            assert_eq!(s.phase_count(Phase::Barrier), 4);
+            assert_eq!(s.hist(HistKind::Send).count(), 4);
+            assert_eq!(s.hist(HistKind::Recv).count(), 4);
+            assert_eq!(s.hist(HistKind::Barrier).count(), 4);
+            assert!(s.spans.iter().any(|sp| sp.step == 3), "spans carry step tags");
+        }
+        let rep = reg.report();
+        assert_eq!(rep.ranks, n);
+        assert_eq!(rep.counter(Counter::MsgsSent), 4 * n as u64);
+        assert_eq!(rep.counter(Counter::BytesSent), (4 * 8 * 4 * n) as u64);
+        assert_eq!(rep.phase(Phase::VelocityInterior).count, 4 * n as u64);
+        assert!(rep.load_imbalance >= 1.0, "imbalance is max/mean >= 1");
+        assert!(rep.phase(Phase::VelocityInterior).max_s >= rep.phase(Phase::VelocityInterior).min_s);
+        assert_eq!(rep.hist(HistKind::Barrier).count(), 4 * n as u64);
+        // Trace export carries one virtual pid per rank.
+        let trace = reg.chrome_trace();
+        for r in 0..n {
+            assert!(trace.contains(&format!("\"args\":{{\"name\":\"rank {r}\"}}")));
+        }
+    }
+
+    #[test]
+    fn telemetry_snapshot_survives_rank_crash() {
+        use awp_telemetry::{Phase, Registry};
+        let reg = Registry::with_capacity(2, 64);
+        let plan = FaultPlan::new(7).with_crash(0, 2);
+        let c = Cluster::new(2, CommMode::Asynchronous)
+            .with_telemetry(Arc::clone(&reg))
+            .with_fault_plan(Arc::new(plan));
+        let results = c.try_run(|ctx| {
+            for step in 0..5u64 {
+                ctx.tick(step);
+                ctx.telem.time(Phase::StressInterior, || std::hint::black_box(1 + 1));
+            }
+        });
+        assert!(results[0].is_err());
+        let snaps = reg.snapshots();
+        assert_eq!(snaps.len(), 2, "crashed rank still submitted its partial timeline");
+        let crashed = snaps.iter().find(|s| s.rank == 0).unwrap();
+        assert_eq!(crashed.phase_count(Phase::StressInterior), 2, "steps 0..2 ran before the crash");
+        assert_eq!(crashed.counter(awp_telemetry::Counter::FaultEvents), 1);
+    }
+
+    #[test]
+    fn telemetry_disabled_by_default() {
+        let c = Cluster::new(2, CommMode::Asynchronous);
+        let enabled = c.run(|ctx| {
+            ctx.send((ctx.rank() + 1) % 2, 5, vec![1.0f32]);
+            let _ = ctx.recv((ctx.rank() + 1) % 2, 5);
+            ctx.telem.is_enabled()
+        });
+        assert_eq!(enabled, vec![false, false]);
     }
 }

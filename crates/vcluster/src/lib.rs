@@ -33,6 +33,7 @@ pub mod probe;
 pub mod topology;
 
 pub use cluster::{Cluster, CommMode, RankCtx};
+pub use awp_telemetry as telemetry;
 pub use fault::{FaultKind, FaultPlan, FaultReport, WatchdogConfig};
 pub use collectives::{allreduce_f64, broadcast_f64, gather_bytes, gather_f64, reduce_f64};
 pub use ledger::{Category, TimeLedger};

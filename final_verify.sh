@@ -27,7 +27,18 @@ echo "=== EXAMPLES DONE ==="
 cargo test --release -p awp-solver --test shell_overlap 2>&1 | grep -E "test result|FAILED"; echo "overlap_smoke exit ${PIPESTATUS[0]}"
 echo "=== OVERLAP SMOKE DONE ==="
 # Perf regression gate: nonzero exit if the SIMD kernels are slower than
-# scalar, the steady-state exchange path allocates (arena ledger), or the
-# overlap run loses to the plain run on the multi-rank config.
+# scalar, the steady-state exchange path allocates (arena ledger), the
+# overlap run loses to the plain run on the multi-rank config, or enabling
+# telemetry costs more than the hardware-aware tolerance vs disabled.
 timeout 600 ./target/release/bench_kernels --smoke --gate > results/logs/bench_kernels.log 2>&1; echo "bench_gate exit $?"
 echo "=== BENCH GATE DONE ==="
+# Telemetry smoke: a profiled workflow must print nonzero phase totals and
+# a load-imbalance ratio, and the Chrome trace must be well-formed (the awp
+# binary parses it back and exits nonzero on schema violations; disabled-
+# overhead is gated inside bench_kernels above).
+timeout 900 ./target/release/awp workflow shakeout-k 24 12 --profile --trace-out results/logs/profile_trace.json.tmp > results/logs/cli_profile.log 2>&1; echo "profile exit $?"
+grep -q "chrome trace" results/logs/cli_profile.log; echo "trace_written exit $?"
+grep -q "load imbalance" results/logs/cli_profile.log; echo "imbalance_printed exit $?"
+grep -Eq "velocity_shell +[1-9]" results/logs/cli_profile.log; echo "phase_nonzero exit $?"
+grep -q '"traceEvents"' results/logs/profile_trace.json.tmp; echo "trace_json exit $?"
+echo "=== TELEMETRY SMOKE DONE ==="
