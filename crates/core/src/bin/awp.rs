@@ -32,7 +32,7 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  awp scenarios\n  awp run <name> [nx] [seconds]\n  awp workflow [name] [nx] [seconds] [--profile] [--trace-out FILE]\n  awp efficiency\n  awp machines\n  awp chaos --chaos-seed <n> [name] [nx] [seconds]\n  awp --profile [--trace-out FILE]      profiled default workflow\n\nscenario names: terashake-k | terashake-d | shakeout-k | shakeout-d |\n                wall-to-wall | m8 | pnw"
+        "usage:\n  awp scenarios\n  awp run <name> [nx] [seconds]\n  awp workflow [name] [nx] [seconds] [--profile] [--trace-out FILE]\n  awp verify [--smoke] [--seeds N] [--base-seed S] [--out FILE]\n  awp efficiency\n  awp machines\n  awp chaos --chaos-seed <n> [name] [nx] [seconds]\n  awp --profile [--trace-out FILE]      profiled default workflow\n\nscenario names: terashake-k | terashake-d | shakeout-k | shakeout-d |\n                wall-to-wall | m8 | pnw"
     );
     std::process::exit(2);
 }
@@ -208,6 +208,83 @@ fn main() {
                 }
             }
             let _ = std::fs::remove_dir_all(&dir);
+        }
+        Some("verify") => {
+            let rest = &args[1..];
+            let smoke = rest.iter().any(|a| a == "--smoke");
+            let seeds = rest
+                .iter()
+                .position(|a| a == "--seeds")
+                .map(|i| rest.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            let base_seed = rest
+                .iter()
+                .position(|a| a == "--base-seed")
+                .map(|i| rest.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            let out = rest
+                .iter()
+                .position(|a| a == "--out")
+                .map(|i| rest.get(i + 1).map(PathBuf::from).unwrap_or_else(|| usage()))
+                .unwrap_or_else(|| PathBuf::from("results/verify.json"));
+            let mode = if smoke { "smoke" } else { "full" };
+            println!("quantitative verification ({mode} mode)\n");
+            let report =
+                awp_odc::verify::run(&awp_odc::verify::VerifySpec { smoke, seeds, base_seed });
+
+            println!("{:<16} {:>10} {:>10} {:>10}  gate", "accuracy case", "worst L2", "worst env", "shift/dt");
+            for c in &report.accuracy {
+                println!(
+                    "{:<16} {:>10.4} {:>10.4} {:>10.2}  {} (L2 ≤ {}, env ≤ {})",
+                    c.case,
+                    c.worst_l2,
+                    c.worst_envelope,
+                    c.worst_shift_dt,
+                    if c.passed { "pass" } else { "FAIL" },
+                    c.l2_tol,
+                    c.env_tol,
+                );
+            }
+            let conv = &report.convergence;
+            let errs: Vec<String> =
+                conv.levels.iter().map(|l| format!("{}³→{:.2e}", l.n, l.error)).collect();
+            println!(
+                "\nconvergence: order {:.2} in [{}, {}] → {}  ({})",
+                conv.observed_order,
+                conv.order_lo,
+                conv.order_hi,
+                if conv.passed { "pass" } else { "FAIL" },
+                errs.join(", "),
+            );
+            let fz = &report.fuzz;
+            println!(
+                "schedule fuzz: {} seeds × {} ranks × {} steps, baseline {} → {}",
+                fz.runs,
+                fz.ranks,
+                fz.steps,
+                fz.baseline_fingerprint,
+                if fz.passed {
+                    "bit-exact".to_string()
+                } else {
+                    format!("MISMATCH at seeds {:?}", fz.mismatched_seeds)
+                },
+            );
+
+            report.write(&out).unwrap_or_else(|e| panic!("writing {out:?} failed: {e}"));
+            // Self-validate the emitted artifact, same discipline as the
+            // Chrome-trace path: a malformed report is a CLI failure.
+            let text = std::fs::read_to_string(&out)
+                .unwrap_or_else(|e| panic!("reading back {out:?} failed: {e}"));
+            match awp_odc::verify::report::validate_json(&text) {
+                Ok(cases) => println!("\nreport → {} ({cases} accuracy cases)", out.display()),
+                Err(why) => {
+                    eprintln!("INVALID verify report {}: {why}", out.display());
+                    std::process::exit(1);
+                }
+            }
+            if !report.passed {
+                eprintln!("\nVERIFICATION FAILED");
+                std::process::exit(1);
+            }
+            println!("verification passed");
         }
         Some("efficiency") => {
             let inp = ModelInput {

@@ -33,6 +33,7 @@ use awp_solver::stations::{surface_velocities, Station};
 use awp_source::kinematic::KinematicSource;
 use awp_telemetry::Registry;
 use awp_vcluster::fault::{FaultPlan, FaultReport, WatchdogConfig};
+use awp_vcluster::schedule::SchedulePlan;
 use awp_vcluster::Cluster;
 use serde::Serialize;
 use std::io;
@@ -121,6 +122,11 @@ pub struct E2EWorkflow {
     /// Heartbeat watchdog for the solve cluster (converts hangs into
     /// structured faults; required for drop/stall chaos to terminate).
     pub watchdog: Option<WatchdogConfig>,
+    /// Seeded message-schedule perturbation for the solve cluster
+    /// (delivery reorder + waitall polling permutation). Every solve pass
+    /// — including restarts — runs under the same plan; the tag-matched
+    /// exchange stack must stay bit-exact regardless.
+    pub schedule: Option<Arc<SchedulePlan>>,
     /// Give up after this many restart passes.
     pub max_restarts: usize,
     /// Resume a previously failed run: the first solve pass starts from
@@ -155,6 +161,7 @@ impl E2EWorkflow {
             keep_checkpoints: 3,
             fault_plan: None,
             watchdog: None,
+            schedule: None,
             max_restarts: 3,
             resume: false,
             telemetry: None,
@@ -165,6 +172,14 @@ impl E2EWorkflow {
     pub fn with_chaos(mut self, plan: Arc<FaultPlan>, watchdog: WatchdogConfig) -> Self {
         self.fault_plan = Some(plan);
         self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Run every solve pass under a seeded message-schedule perturbation
+    /// (composable with [`with_chaos`](Self::with_chaos): faults and
+    /// adversarial delivery order at the same time).
+    pub fn with_schedule(mut self, plan: Arc<SchedulePlan>) -> Self {
+        self.schedule = Some(plan);
         self
     }
 
@@ -280,6 +295,7 @@ impl E2EWorkflow {
             keep_checkpoints: self.keep_checkpoints,
             fault_plan: self.fault_plan.clone(),
             watchdog: self.watchdog,
+            schedule: self.schedule.clone(),
             telemetry: self.telemetry.clone(),
         };
         let t = Instant::now();
@@ -416,6 +432,7 @@ struct SolveEnv<'a> {
     keep_checkpoints: usize,
     fault_plan: Option<Arc<FaultPlan>>,
     watchdog: Option<WatchdogConfig>,
+    schedule: Option<Arc<SchedulePlan>>,
     telemetry: Option<Arc<Registry>>,
 }
 
@@ -437,6 +454,9 @@ fn solve_ranks(
     }
     if let Some(wd) = env.watchdog {
         cluster = cluster.with_watchdog(wd);
+    }
+    if let Some(plan) = &env.schedule {
+        cluster = cluster.with_schedule(Arc::clone(plan));
     }
     if let Some(reg) = &env.telemetry {
         cluster = cluster.with_telemetry(Arc::clone(reg));

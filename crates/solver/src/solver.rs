@@ -38,7 +38,7 @@ use awp_telemetry::{
     Counter as TelCounter, Phase as TelPhase, Recorder, Registry, Snapshot,
 };
 use awp_vcluster::cluster::RankCtx;
-use awp_vcluster::{Category, Cluster, TimeLedger};
+use awp_vcluster::{Category, Cluster, SchedulePlan, TimeLedger};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -736,6 +736,25 @@ pub fn try_run_parallel_with(
     stations: &[Station],
     telemetry: Option<Arc<Registry>>,
 ) -> Result<Vec<RankResult>, ConfigError> {
+    try_run_parallel_sched(cfg, parts, meshes, source, stations, telemetry, None)
+}
+
+/// Fallible driver with an optional [`SchedulePlan`]: when `Some`, the
+/// virtual cluster deterministically perturbs message delivery order and
+/// wait-all polling per the plan's seed. The schedule fuzzer in
+/// `awp-verify` drives this to assert that results are bit-exact under
+/// any legal completion order; production paths pass `None` and keep the
+/// plain FIFO mailboxes.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_parallel_sched(
+    cfg: &SolverConfig,
+    parts: [usize; 3],
+    meshes: &[Mesh],
+    source: &KinematicSource,
+    stations: &[Station],
+    telemetry: Option<Arc<Registry>>,
+    schedule: Option<Arc<SchedulePlan>>,
+) -> Result<Vec<RankResult>, ConfigError> {
     cfg.validate()?;
     let decomp = Decomp3::new(cfg.dims, parts);
     let n = decomp.rank_count();
@@ -744,6 +763,9 @@ pub fn try_run_parallel_with(
     let mut cluster = Cluster::new(n, cfg.opts.comm_mode.into());
     if let Some(reg) = telemetry {
         cluster = cluster.with_telemetry(reg);
+    }
+    if let Some(plan) = schedule {
+        cluster = cluster.with_schedule(plan);
     }
     Ok(cluster.run(|ctx| {
         let rank = ctx.rank();

@@ -1,9 +1,13 @@
 //! Kinematic moment-rate source insertion.
 //!
-//! Each subfault adds its moment-rate, distributed by its mechanism, to the
-//! stress components of its grid cell: `σ_ij += Δt · M_ij ṁ(t) / V` with
-//! `V = h³` the cell volume (the standard staggered-grid moment-tensor
-//! coupling). Shear components land on the nearest staggered node.
+//! Each subfault couples its moment-rate, distributed by its mechanism,
+//! into the stress components of its grid cell via the stress-glut
+//! convention: `σ_ij −= Δt · M_ij ṁ(t) / V` with `V = h³` the cell volume
+//! (Graves 1996; the modelled stress is the elastic stress minus the
+//! moment glut). Shear components land on the nearest staggered node.
+//! The sign matters: with `+=` an explosion radiates an *implosion* —
+//! the `awp-verify` accuracy suite pins the polarity against the analytic
+//! full-space solution, which is how the original `+=` was caught.
 
 use crate::state::WaveState;
 use awp_grid::dims::Idx3;
@@ -76,7 +80,7 @@ impl SourceInjector {
             if rate == 0.0 {
                 continue;
             }
-            let s = (rate * dt) as f32;
+            let s = -(rate * dt) as f32;
             let (i, j, k) = (e.idx.i as isize, e.idx.j as isize, e.idx.k as isize);
             if e.m[0] != 0.0 {
                 state.sxx.add(i, j, k, e.m[0] * s);
@@ -107,7 +111,7 @@ impl SourceInjector {
             if rate == 0.0 {
                 continue;
             }
-            let s = (rate * dt) as f32;
+            let s = -(rate * dt) as f32;
             let (i, j, k) = (e.idx.i as isize, e.idx.j as isize, e.idx.k as isize);
             if e.m[0] != 0.0 {
                 state.sxx.add(i, j, k, e.m[0] * s);
@@ -172,7 +176,8 @@ mod tests {
         let mut s = WaveState::new(Dims3::new(5, 5, 5), false);
         inj.inject(&mut s, 0.1, 1e-3);
         let xx = s.sxx.get(2, 2, 2);
-        assert!(xx > 0.0);
+        // Stress-glut sign: positive moment release *subtracts* stress.
+        assert!(xx < 0.0);
         assert_eq!(xx, s.syy.get(2, 2, 2));
         assert_eq!(xx, s.szz.get(2, 2, 2));
         assert_eq!(s.sxy.get(2, 2, 2), 0.0);
@@ -184,7 +189,7 @@ mod tests {
         let inj = SourceInjector::new(&src, 100.0);
         let mut s = WaveState::new(Dims3::new(5, 5, 5), false);
         inj.inject(&mut s, 0.1, 1e-3);
-        assert!(s.sxy.get(2, 2, 2) > 0.0);
+        assert!(s.sxy.get(2, 2, 2) < 0.0, "stress-glut sign");
         assert_eq!(s.sxx.get(2, 2, 2), 0.0);
         assert_eq!(s.szz.get(2, 2, 2), 0.0);
     }
@@ -198,12 +203,12 @@ mod tests {
         inj.inject(&mut s, 0.4, 1e-3);
         assert_eq!(s.sxx.get(2, 2, 2), 0.0, "before onset");
         inj.inject(&mut s, 0.6, 1e-3);
-        assert!(s.sxx.get(2, 2, 2) > 0.0, "after onset");
+        assert!(s.sxx.get(2, 2, 2) != 0.0, "after onset");
     }
 
     #[test]
     fn total_injected_stress_scales_with_moment_over_volume() {
-        // Integrate injections over the full STF: Σ Δσ = M0/V.
+        // Integrate injections over the full STF: Σ Δσ = −M0/V (glut).
         let m0 = 2.0e15;
         let h = 100.0;
         let src = point_source(m0, MomentTensor::explosion());
@@ -213,7 +218,7 @@ mod tests {
         for step in 0..400 {
             inj.inject(&mut s, step as f64 * dt, dt);
         }
-        let want = (m0 / (h * h * h)) as f32;
+        let want = (-m0 / (h * h * h)) as f32;
         let got = s.sxx.get(2, 2, 2);
         assert!((got / want - 1.0).abs() < 0.02, "got {got} want {want}");
     }

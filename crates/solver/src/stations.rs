@@ -3,6 +3,7 @@
 use crate::state::WaveState;
 use awp_grid::decomp::Subdomain;
 use awp_grid::dims::Idx3;
+use awp_grid::stagger::Component;
 use serde::{Deserialize, Serialize};
 
 /// A named recording site at a global grid cell (usually on the surface,
@@ -16,6 +17,20 @@ pub struct Station {
 impl Station {
     pub fn new(name: impl Into<String>, idx: Idx3) -> Self {
         Self { name: name.into(), idx }
+    }
+
+    /// Physical position (metres) of the staggered node a recorded
+    /// velocity component actually lives at. On the staggered grid the
+    /// three velocities of "cell (i,j,k)" sit at three *different* points
+    /// — `vx` at `((i+½)h, jh, kh)`, `vy` at `(ih, (j+½)h, kh)`, `vz` at
+    /// `(ih, jh, (k+½)h)` — and a quantitative comparison against an
+    /// analytic solution must evaluate the reference at the component's
+    /// true node, not at the cell corner (the half-cell offset is a
+    /// first-order position error otherwise, swamping a fourth-order
+    /// scheme). Used by the `awp-verify` misfit extraction.
+    pub fn component_position(&self, comp: Component, h: f64) -> [f64; 3] {
+        let (x, y, z) = comp.loc().coord((self.idx.i, self.idx.j, self.idx.k));
+        [x * h, y * h, z * h]
     }
 }
 
@@ -45,6 +60,31 @@ impl Seismogram {
         let px = self.vx.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         let py = self.vy.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         (px * py).sqrt()
+    }
+
+    /// Physical time of sample `s` on the leapfrog-staggered axis.
+    ///
+    /// Sample `s` is recorded after step `s` completes, so it holds the
+    /// half-step velocity `v^{s+½}` at `(s+½)·dt`. The injector, however,
+    /// evaluates the moment-rate at `step·dt` when forming the stress
+    /// increment centred at `(step+½)·dt` — the source history the scheme
+    /// integrates runs `dt/2` behind the nominal one, delaying the whole
+    /// field by `dt/2`. The two half-step offsets cancel: sample `s`
+    /// corresponds to source-clock time `s·dt`. The `awp-verify` accuracy
+    /// suite measures the exact residual offset with a sub-dt shift
+    /// search; this helper provides the nominal axis.
+    pub fn sample_time(&self, s: usize) -> f64 {
+        s as f64 * self.dt
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.vx.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.vx.is_empty()
     }
 
     /// Horizontal component rotated to azimuth `theta` (radians from +x) —
@@ -182,6 +222,32 @@ mod tests {
         assert!((c45[0] - 2.0f64.sqrt()).abs() < 1e-12);
         let c90 = s.horizontal_component(std::f64::consts::FRAC_PI_2);
         assert!((c90[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn component_positions_carry_staggered_offsets() {
+        let st = Station::new("s", Idx3::new(2, 3, 4));
+        let h = 10.0;
+        assert_eq!(st.component_position(Component::Vx, h), [25.0, 30.0, 40.0]);
+        assert_eq!(st.component_position(Component::Vy, h), [20.0, 35.0, 40.0]);
+        assert_eq!(st.component_position(Component::Vz, h), [20.0, 30.0, 45.0]);
+        // Normal stresses sit at the cell corner the index names.
+        assert_eq!(st.component_position(Component::Sxx, h), [20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn sample_time_axis() {
+        let s = Seismogram {
+            station: Station::new("x", Idx3::new(0, 0, 0)),
+            dt: 0.25,
+            vx: vec![0.0; 3],
+            vy: vec![0.0; 3],
+            vz: vec![0.0; 3],
+        };
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.sample_time(0), 0.0);
+        assert_eq!(s.sample_time(4), 1.0);
     }
 
     #[test]

@@ -52,6 +52,43 @@ impl Stf {
         }
     }
 
+    /// Time derivative of the moment-rate density (the moment
+    /// *acceleration* shape). The far-field terms of the analytic
+    /// full-space Green's function are proportional to `M̈(t)`, so the
+    /// verification suite needs this in closed form — a finite difference
+    /// of [`rate`](Self::rate) would inject its own discretisation error
+    /// into the reference solution. `Triangle` has jump discontinuities at
+    /// 0, rise/2 and rise (one-sided values are returned); `Cosine` is the
+    /// smooth choice for quantitative verification (C¹ rate, continuous
+    /// derivative at both endpoints).
+    pub fn rate_dot(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        match *self {
+            Stf::Triangle { rise_time } => {
+                let h = rise_time / 2.0;
+                let slope = 2.0 / (rise_time * h); // peak / h
+                if t < h {
+                    slope
+                } else if t < rise_time {
+                    -slope
+                } else {
+                    0.0
+                }
+            }
+            Stf::Brune { tau } => (1.0 / (tau * tau)) * (1.0 - t / tau) * (-t / tau).exp(),
+            Stf::Cosine { rise_time } => {
+                if t < rise_time {
+                    let w = 2.0 * std::f64::consts::PI / rise_time;
+                    w * (w * t).sin() / rise_time
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
     /// Effective duration (time by which ≥ ~99.9% of moment is released).
     pub fn duration(&self) -> f64 {
         match *self {
@@ -129,6 +166,50 @@ mod tests {
         let v = s.sample(m0, 0.01, 200);
         let released: f64 = v.iter().map(|&r| r as f64 * 0.01).sum();
         assert!((released / m0 - 1.0).abs() < 0.01, "released {released}");
+    }
+
+    #[test]
+    fn rate_dot_matches_finite_difference() {
+        // Central differences of `rate` must agree with the closed-form
+        // derivative away from the Triangle's corner points.
+        let eps = 1e-6;
+        for s in [
+            Stf::Triangle { rise_time: 1.0 },
+            Stf::Brune { tau: 0.3 },
+            Stf::Cosine { rise_time: 1.3 },
+        ] {
+            for i in 1..200 {
+                let t = i as f64 * 0.007;
+                if let Stf::Triangle { rise_time } = s {
+                    let h = rise_time / 2.0;
+                    // Skip the kinks where the derivative jumps.
+                    if (t - h).abs() < 0.01 || (t - rise_time).abs() < 0.01 {
+                        continue;
+                    }
+                }
+                let fd = (s.rate(t + eps) - s.rate(t - eps)) / (2.0 * eps);
+                let an = s.rate_dot(t);
+                assert!(
+                    (fd - an).abs() <= 1e-4 * (1.0 + an.abs()),
+                    "{s:?} at t={t}: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rate_dot_is_causal_and_ends() {
+        for s in [
+            Stf::Triangle { rise_time: 1.0 },
+            Stf::Cosine { rise_time: 1.0 },
+        ] {
+            assert_eq!(s.rate_dot(-0.5), 0.0);
+            assert_eq!(s.rate_dot(1.5), 0.0);
+        }
+        // Cosine derivative is continuous at both endpoints (≈ 0).
+        let c = Stf::Cosine { rise_time: 1.0 };
+        assert!(c.rate_dot(1e-9).abs() < 1e-6);
+        assert!(c.rate_dot(1.0 - 1e-9).abs() < 1e-6);
     }
 
     #[test]

@@ -174,6 +174,40 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_has_zero_stats() {
+        let h = Log2Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.max_ns(), 0);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile_ns(q), 0, "q={q} of empty");
+        }
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = Log2Hist::new();
+        h.record_ns(100); // bucket 6: [64, 128), clamped to max_ns
+        for q in [0.0, 0.01, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile_ns(q), 100, "q={q} of single sample");
+        }
+        assert_eq!(h.mean_ns(), 100.0);
+    }
+
+    #[test]
+    fn all_samples_in_one_bucket_pin_p95_to_its_edge() {
+        let mut h = Log2Hist::new();
+        for ns in [64u64, 80, 100, 127] {
+            h.record_ns(ns); // all bucket 6
+        }
+        assert_eq!(h.bucket_count(6), 4);
+        // The estimate can't resolve inside a bucket: p95 is the bucket's
+        // upper edge capped at the recorded max, and p50 matches it.
+        assert_eq!(h.quantile_ns(0.95), 127);
+        assert_eq!(h.quantile_ns(0.5), 127);
+    }
+
+    #[test]
     fn merge_adds_everything() {
         let mut a = Log2Hist::new();
         let mut b = Log2Hist::new();

@@ -13,6 +13,7 @@ use crate::fault::{
 use crate::ledger::{Category, TimeLedger};
 use crate::mailbox::Mailbox;
 use crate::message::{Message, Payload, Tag};
+use crate::schedule::SchedulePlan;
 use awp_telemetry::{Counter, HistKind, Phase, Recorder, Registry};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -159,6 +160,9 @@ struct Shared {
     /// Opt-in telemetry hub. When attached, each rank gets an enabled
     /// recorder at spawn and its snapshot is submitted at rank completion.
     telemetry: Option<Arc<Registry>>,
+    /// Opt-in seeded schedule perturbation (test harness): reorders
+    /// eligible message delivery and wait-all polling deterministically.
+    schedule: Option<Arc<SchedulePlan>>,
 }
 
 impl Shared {
@@ -309,6 +313,7 @@ impl Cluster {
             aborted: AtomicBool::new(false),
             fault_plan: None,
             telemetry: None,
+            schedule: None,
         });
         Self { shared, size, mode, watchdog: None }
     }
@@ -338,6 +343,22 @@ impl Cluster {
         Arc::get_mut(&mut self.shared)
             .expect("attach telemetry before running the cluster")
             .telemetry = Some(registry);
+        self
+    }
+
+    /// Attach a deterministic schedule-perturbation plan (builder style;
+    /// call before the first `run`/`try_run`). Every mailbox then applies
+    /// seeded delivery reordering and hold-backs, and every `wait_all`
+    /// polls its request set in a seeded order — see
+    /// [`SchedulePlan`](crate::schedule::SchedulePlan). Production runs
+    /// (no plan) keep the plain FIFO path.
+    pub fn with_schedule(mut self, plan: Arc<SchedulePlan>) -> Self {
+        let shared = Arc::get_mut(&mut self.shared)
+            .expect("attach the schedule plan before running the cluster");
+        for (rank, mb) in shared.mailboxes.iter().enumerate() {
+            mb.set_policy(Arc::clone(&plan), rank);
+        }
+        shared.schedule = Some(plan);
         self
     }
 
@@ -410,6 +431,7 @@ impl Cluster {
                             size,
                             mode,
                             shared: Arc::clone(&shared),
+                            waitall_calls: 0,
                             ledger: TimeLedger::new(),
                             telem: shared
                                 .telemetry
@@ -474,6 +496,10 @@ pub struct RankCtx {
     size: usize,
     mode: CommMode,
     shared: Arc<Shared>,
+    /// Number of `wait_all` completions this rank has issued — the
+    /// deterministic (program-order) index a schedule plan keys its
+    /// polling-order permutation on.
+    waitall_calls: u64,
     /// Wall-time ledger; solvers charge phases through
     /// [`RankCtx::time`]. Communication calls charge themselves.
     pub ledger: TimeLedger,
@@ -732,7 +758,18 @@ impl RankCtx {
         let t0 = std::time::Instant::now();
         self.shared.beat(self.rank);
         let mut out: Vec<Option<Payload>> = (0..reqs.len()).map(|_| None).collect();
-        let mut remaining: Vec<usize> = (0..reqs.len()).collect();
+        // Under a schedule plan the initial polling order is a seeded
+        // permutation keyed on this rank's wait-all call index, so the
+        // fuzzer exercises every completion order a real MPI_Waitall may
+        // produce. Results are still returned in request order.
+        let mut remaining: Vec<usize> = match &self.shared.schedule {
+            Some(plan) => {
+                let call = self.waitall_calls;
+                self.waitall_calls += 1;
+                plan.waitall_perm(self.rank, call, reqs.len())
+            }
+            None => (0..reqs.len()).collect(),
+        };
         // Poll for whichever arrives first; fall back to a blocking wait on
         // the first outstanding request when nothing is ready.
         while !remaining.is_empty() {
@@ -1117,6 +1154,52 @@ mod tests {
             let expect: f32 = (0..20).map(|s| prev as f32 + s as f32).sum();
             assert_eq!(*v, expect, "rank {r}");
         }
+    }
+
+    #[test]
+    fn schedule_plan_preserves_tag_matched_results() {
+        // A ring exchange with per-step tags under an aggressive schedule
+        // plan must produce exactly the unperturbed results: matching is
+        // fully (src, tag)-keyed, so reordering eligible delivery and
+        // wait-all polling cannot change what each rank receives.
+        for seed in [1u64, 0xDEAD_BEEF, 42] {
+            let c = Cluster::new(4, CommMode::Asynchronous)
+                .with_schedule(SchedulePlan::with_bounds(seed, 3, 4));
+            let sums = c.run(|ctx| {
+                let next = (ctx.rank() + 1) % ctx.size();
+                let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+                for step in 0..20u64 {
+                    ctx.send(next, 100 + step, vec![ctx.rank() as f32 + step as f32]);
+                }
+                let reqs: Vec<_> = (0..20u64).map(|s| ctx.irecv(prev, 100 + s)).collect();
+                ctx.wait_all(&reqs).iter().map(|p| p.clone().into_f32()[0]).sum::<f32>()
+            });
+            for (r, v) in sums.iter().enumerate() {
+                let prev = (r + 3) % 4;
+                let expect: f32 = (0..20).map(|s| prev as f32 + s as f32).sum();
+                assert_eq!(*v, expect, "rank {r} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_plan_works_with_rendezvous_sends() {
+        // Deferred matching must still fire the rendezvous ack — a held
+        // back message delays the sender by a few probe naps, never
+        // deadlocks it.
+        let c = Cluster::new(2, CommMode::Synchronous)
+            .with_schedule(SchedulePlan::with_bounds(0xA5, 3, 2));
+        let out = c.run(|ctx| {
+            if ctx.rank() == 0 {
+                for step in 0..8u64 {
+                    ctx.send(1, step, vec![step as f32]);
+                }
+                0.0
+            } else {
+                (0..8u64).map(|s| ctx.recv(0, s).into_f32()[0]).sum::<f32>()
+            }
+        });
+        assert_eq!(out[1], (0..8).sum::<u64>() as f32);
     }
 
     #[test]

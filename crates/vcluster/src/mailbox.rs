@@ -2,17 +2,76 @@
 
 use crate::fault::AbortUnwind;
 use crate::message::{Message, Payload, Tag};
+use crate::schedule::SchedulePlan;
 use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
-use std::time::Duration;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A queued message plus its remaining schedule-fuzz hold-back: matching
+/// probes skip the entry (decrementing `defer`) until it reaches zero.
+struct Queued {
+    msg: Message,
+    defer: u32,
+}
 
 #[derive(Default)]
 struct State {
-    queue: VecDeque<Message>,
+    queue: VecDeque<Queued>,
     /// Set on cluster teardown: receivers unwind instead of blocking
     /// forever, new deliveries are discarded.
     poisoned: bool,
+    /// Schedule-fuzz policy (None in production: zero-cost FIFO path).
+    policy: Option<Arc<SchedulePlan>>,
+    /// Rank that owns this mailbox, for policy hashing.
+    rank: usize,
+    /// Per-(src, tag) arrival counter feeding the policy's decisions.
+    occ: HashMap<(usize, Tag), u64>,
 }
+
+/// Outcome of one matching pass over the queue.
+enum Probe {
+    /// An eligible match was removed from the queue.
+    Hit(Message),
+    /// Matches exist but all are held back by the schedule policy; the
+    /// pass decremented their defer counts, so retrying makes progress.
+    Deferred,
+    /// No message from this (src, tag) is queued.
+    Miss,
+}
+
+/// Find the first eligible (defer == 0) match for `(src, tag)` and remove
+/// it. Matching entries that are still held back have their defer count
+/// decremented, so every probe moves deferred messages toward delivery —
+/// the fuzzer can reorder but never starve a receive.
+fn probe(s: &mut State, src: usize, tag: Tag) -> Probe {
+    let mut deferred = false;
+    let mut hit = None;
+    for (i, q) in s.queue.iter_mut().enumerate() {
+        if q.msg.src == src && q.msg.tag == tag {
+            if q.defer == 0 {
+                hit = Some(i);
+                break;
+            }
+            q.defer -= 1;
+            deferred = true;
+        }
+    }
+    if let Some(i) = hit {
+        let q = s.queue.remove(i).expect("position just found");
+        return Probe::Hit(q.msg);
+    }
+    if deferred {
+        Probe::Deferred
+    } else {
+        Probe::Miss
+    }
+}
+
+/// How long a receiver naps before re-probing a deferred match. Short:
+/// the defer budget is small (a few probes), so this only stretches a
+/// receive by microseconds while still yielding the lock.
+const DEFER_NAP: Duration = Duration::from_micros(200);
 
 /// Unexpected-message queue plus wakeup for blocked receivers.
 #[derive(Default)]
@@ -26,15 +85,41 @@ impl Mailbox {
         Self::default()
     }
 
+    /// Attach a schedule-perturbation policy (test harness only). Must be
+    /// installed before the run starts delivering messages.
+    pub(crate) fn set_policy(&self, plan: Arc<SchedulePlan>, rank: usize) {
+        let mut s = self.state.lock();
+        s.policy = Some(plan);
+        s.rank = rank;
+        s.occ.clear();
+    }
+
     /// Deliver a message (eager/buffered path): enqueue and wake receivers.
     /// Messages delivered to a poisoned mailbox are dropped (their
     /// rendezvous ack channel closes, unblocking the sender with an error).
+    /// Under a schedule policy the insertion slot and a per-message defer
+    /// count are drawn deterministically from (seed, rank, src, tag,
+    /// occurrence).
     pub fn deliver(&self, msg: Message) {
         let mut s = self.state.lock();
         if s.poisoned {
             return;
         }
-        s.queue.push_back(msg);
+        if let Some(plan) = s.policy.clone() {
+            let key = (msg.src, msg.tag);
+            let occ = {
+                let n = s.occ.entry(key).or_insert(0);
+                let o = *n;
+                *n += 1;
+                o
+            };
+            let defer = plan.defer_count(s.rank, msg.src, msg.tag, occ);
+            let depth = plan.insert_depth(s.rank, msg.src, msg.tag, occ).min(s.queue.len());
+            let at = s.queue.len() - depth;
+            s.queue.insert(at, Queued { msg, defer });
+        } else {
+            s.queue.push_back(Queued { msg, defer: 0 });
+        }
         self.cv.notify_all();
     }
 
@@ -45,56 +130,79 @@ impl Mailbox {
     pub fn recv(&self, src: usize, tag: Tag) -> Payload {
         let mut s = self.state.lock();
         loop {
-            if let Some(pos) = s.queue.iter().position(|m| m.src == src && m.tag == tag) {
-                let msg = s.queue.remove(pos).expect("position just found");
-                drop(s);
-                if let Some(ack) = msg.ack {
-                    // Receiver matched: release the rendezvous sender. The
-                    // sender may have timed-out only on cluster teardown, so
-                    // a closed channel is fine to ignore.
-                    let _ = ack.send(());
+            match probe(&mut s, src, tag) {
+                Probe::Hit(msg) => {
+                    drop(s);
+                    if let Some(ack) = msg.ack {
+                        // Receiver matched: release the rendezvous sender.
+                        // The sender may have timed-out only on cluster
+                        // teardown, so a closed channel is fine to ignore.
+                        let _ = ack.send(());
+                    }
+                    return msg.payload;
                 }
-                return msg.payload;
+                Probe::Deferred => {
+                    // A match is queued but held back: nap briefly and
+                    // re-probe (each probe decrements the hold-back, so
+                    // this terminates).
+                    let _ = self.cv.wait_for(&mut s, DEFER_NAP);
+                }
+                Probe::Miss => {
+                    if s.poisoned {
+                        drop(s);
+                        std::panic::panic_any(AbortUnwind);
+                    }
+                    self.cv.wait(&mut s);
+                }
             }
-            if s.poisoned {
-                drop(s);
-                std::panic::panic_any(AbortUnwind);
-            }
-            self.cv.wait(&mut s);
         }
     }
 
     /// Non-blocking matched receive.
     pub fn try_recv(&self, src: usize, tag: Tag) -> Option<Payload> {
         let mut s = self.state.lock();
-        let pos = s.queue.iter().position(|m| m.src == src && m.tag == tag)?;
-        let msg = s.queue.remove(pos).expect("position just found");
-        drop(s);
-        if let Some(ack) = msg.ack {
-            let _ = ack.send(());
-        }
-        Some(msg.payload)
-    }
-
-    /// Blocking matched receive with timeout (deadlock diagnostics).
-    pub fn recv_timeout(&self, src: usize, tag: Tag, timeout: Duration) -> Option<Payload> {
-        let deadline = std::time::Instant::now() + timeout;
-        let mut s = self.state.lock();
-        loop {
-            if let Some(pos) = s.queue.iter().position(|m| m.src == src && m.tag == tag) {
-                let msg = s.queue.remove(pos).expect("position just found");
+        match probe(&mut s, src, tag) {
+            Probe::Hit(msg) => {
                 drop(s);
                 if let Some(ack) = msg.ack {
                     let _ = ack.send(());
                 }
-                return Some(msg.payload);
+                Some(msg.payload)
             }
-            if s.poisoned {
-                drop(s);
-                std::panic::panic_any(AbortUnwind);
-            }
-            if self.cv.wait_until(&mut s, deadline).timed_out() {
-                return None;
+            _ => None,
+        }
+    }
+
+    /// Blocking matched receive with timeout (deadlock diagnostics).
+    pub fn recv_timeout(&self, src: usize, tag: Tag, timeout: Duration) -> Option<Payload> {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.state.lock();
+        loop {
+            match probe(&mut s, src, tag) {
+                Probe::Hit(msg) => {
+                    drop(s);
+                    if let Some(ack) = msg.ack {
+                        let _ = ack.send(());
+                    }
+                    return Some(msg.payload);
+                }
+                Probe::Deferred => {
+                    let next = deadline.min(Instant::now() + DEFER_NAP);
+                    if self.cv.wait_until(&mut s, next).timed_out()
+                        && Instant::now() >= deadline
+                    {
+                        return None;
+                    }
+                }
+                Probe::Miss => {
+                    if s.poisoned {
+                        drop(s);
+                        std::panic::panic_any(AbortUnwind);
+                    }
+                    if self.cv.wait_until(&mut s, deadline).timed_out() {
+                        return None;
+                    }
+                }
             }
         }
     }
@@ -106,13 +214,18 @@ impl Mailbox {
         let mut s = self.state.lock();
         s.poisoned = true;
         s.queue.clear();
+        s.occ.clear();
         self.cv.notify_all();
     }
 
     /// Clear the poison flag so the mailbox can serve a fresh pass
-    /// (restart after a fault). The queue was already drained by `poison`.
+    /// (restart after a fault). The queue was already drained by `poison`;
+    /// arrival counters restart too so a schedule plan perturbs every pass
+    /// identically.
     pub(crate) fn unpoison(&self) {
-        self.state.lock().poisoned = false;
+        let mut s = self.state.lock();
+        s.poisoned = false;
+        s.occ.clear();
     }
 
     /// Number of queued (unmatched) messages.
@@ -216,5 +329,65 @@ mod tests {
         // Post-poison deliveries are discarded.
         mb.deliver(Message { src: 1, tag: 6, payload: Payload::Empty, ack: None });
         assert_eq!(mb.pending(), 0);
+    }
+
+    #[test]
+    fn policy_preserves_matched_delivery() {
+        // Under an aggressive plan every message is still receivable, and
+        // per-(src, tag) content is exactly what was sent.
+        let mb = Mailbox::new();
+        mb.set_policy(SchedulePlan::with_bounds(0xABCD, 3, 4), 0);
+        for t in 0..12u64 {
+            mb.deliver(msg(0, t, vec![t as f32]));
+            mb.deliver(msg(1, t, vec![100.0 + t as f32]));
+        }
+        for t in 0..12u64 {
+            assert_eq!(mb.recv(1, t).into_f32(), vec![100.0 + t as f32]);
+            assert_eq!(mb.recv(0, t).into_f32(), vec![t as f32]);
+        }
+        assert_eq!(mb.pending(), 0);
+    }
+
+    #[test]
+    fn policy_keeps_same_src_tag_fifo_content_wise() {
+        // Two messages with the SAME (src, tag): the fuzzer may reorder
+        // them in the queue, and tag matching alone cannot distinguish
+        // them — the vcluster protocols never rely on same-(src,tag)
+        // ordering within a step (tags embed step and face). Both must
+        // still be delivered.
+        let mb = Mailbox::new();
+        mb.set_policy(SchedulePlan::with_bounds(99, 2, 3), 1);
+        mb.deliver(msg(4, 8, vec![1.0]));
+        mb.deliver(msg(4, 8, vec![2.0]));
+        let mut got = vec![mb.recv(4, 8).into_f32()[0], mb.recv(4, 8).into_f32()[0]];
+        got.sort_by(f32::total_cmp);
+        assert_eq!(got, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn deferred_match_does_not_block_try_recv_forever() {
+        let mb = Mailbox::new();
+        mb.set_policy(SchedulePlan::with_bounds(5, 3, 0), 0);
+        mb.deliver(msg(0, 1, vec![7.0]));
+        // At most max_defer probes return None; then the message appears.
+        let mut seen = None;
+        for _ in 0..8 {
+            if let Some(p) = mb.try_recv(0, 1) {
+                seen = Some(p.into_f32());
+                break;
+            }
+        }
+        assert_eq!(seen, Some(vec![7.0]));
+    }
+
+    #[test]
+    fn blocking_recv_survives_defer() {
+        let mb = Arc::new(Mailbox::new());
+        mb.set_policy(SchedulePlan::with_bounds(13, 3, 2), 0);
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || mb2.recv(2, 9).into_f32());
+        std::thread::sleep(Duration::from_millis(10));
+        mb.deliver(msg(2, 9, vec![4.5]));
+        assert_eq!(h.join().unwrap(), vec![4.5]);
     }
 }

@@ -1,0 +1,300 @@
+//! Closed-form full-space point-source solution (Aki & Richards 2002,
+//! eq. 4.29), differentiated to particle *velocity* — the quantity the
+//! solver records.
+//!
+//! For a moment-tensor point source `M_pq(t) = M₀ T_pq s(t)` in a
+//! homogeneous, unbounded, isotropic elastic medium the velocity at
+//! receiver offset `r γ` is
+//!
+//! ```text
+//! v_n = 1/(4πρ) [ AN_n/r⁴ · ∫_{r/α}^{r/β} τ g(t−τ) dτ
+//!               + AIP_n/(α²r²) · g(t−r/α)  −  AIS_n/(β²r²) · g(t−r/β)
+//!               + AFP_n/(α³r)  · ġ(t−r/α)  −  AFS_n/(β³r)  · ġ(t−r/β) ]
+//! ```
+//!
+//! where `g(t) = M₀ ṡ(t)` is the moment *rate* (the displacement formula
+//! carries `M(t)`; one time derivative turns every occurrence into its
+//! rate). With `q = γ·Tγ`, `tr = T_pp` and `(Tγ)_n = T_np γ_p`, the
+//! radiation-pattern contractions are
+//!
+//! ```text
+//! AN_n  = 15 q γ_n − 3 tr γ_n − 6 (Tγ)_n        (near field)
+//! AIP_n =  6 q γ_n −   tr γ_n − 2 (Tγ)_n        (intermediate P)
+//! AIS_n =  6 q γ_n −   tr γ_n − 3 (Tγ)_n        (intermediate S)
+//! AFP_n =    q γ_n                              (far P, longitudinal)
+//! AFS_n =    q γ_n −            (Tγ)_n          (far S, transverse)
+//! ```
+//!
+//! Sanity limit baked into the tests: for an isotropic explosion
+//! (`T = δ`) every S and near-field coefficient vanishes and
+//! `AIP = AFP = γ` — a pure radial P radiator.
+
+use awp_source::moment::MomentTensor;
+use awp_source::stf::Stf;
+
+/// Homogeneous unbounded medium.
+#[derive(Debug, Clone, Copy)]
+pub struct FullSpace {
+    /// P velocity α (m/s).
+    pub vp: f64,
+    /// S velocity β (m/s).
+    pub vs: f64,
+    /// Density ρ (kg/m³).
+    pub rho: f64,
+}
+
+impl FullSpace {
+    /// The verification medium: Poisson solid rock (α/β = √3) matching
+    /// `HomogeneousModel::new(6000, 6000/√3, 2700)`.
+    pub fn rock() -> Self {
+        FullSpace { vp: 6000.0, vs: 6000.0 / 3f64.sqrt(), rho: 2700.0 }
+    }
+}
+
+/// A moment-tensor point source with an analytic source-time function.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyticPoint {
+    /// Physical source position (m) — the staggered node the solver
+    /// actually injects into (cell corner for normal stresses, edge
+    /// midpoints for shear components).
+    pub pos: [f64; 3],
+    /// Unit mechanism tensor `T`.
+    pub tensor: MomentTensor,
+    /// Scalar moment M₀ (N·m).
+    pub moment: f64,
+    /// Slip-rate shape `ṡ(t)` (unit time-integral).
+    pub stf: Stf,
+}
+
+/// `T γ` for the symmetric mechanism tensor.
+fn t_gamma(t: &MomentTensor, g: [f64; 3]) -> [f64; 3] {
+    [
+        t.mxx * g[0] + t.mxy * g[1] + t.mxz * g[2],
+        t.mxy * g[0] + t.myy * g[1] + t.myz * g[2],
+        t.mxz * g[0] + t.myz * g[1] + t.mzz * g[2],
+    ]
+}
+
+/// Composite-Simpson quadrature of `f` over `[a, b]` with `n` intervals
+/// (`n` rounded up to even).
+fn simpson(a: f64, b: f64, n: usize, f: impl Fn(f64) -> f64) -> f64 {
+    let n = (n.max(2) + 1) & !1; // even, ≥ 2
+    let h = (b - a) / n as f64;
+    let mut s = f(a) + f(b);
+    for i in 1..n {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        s += w * f(a + i as f64 * h);
+    }
+    s * h / 3.0
+}
+
+impl AnalyticPoint {
+    fn g(&self, t: f64) -> f64 {
+        self.moment * self.stf.rate(t)
+    }
+
+    fn g_dot(&self, t: f64) -> f64 {
+        self.moment * self.stf.rate_dot(t)
+    }
+
+    /// Particle velocity at receiver position `x` (m) and time `t` (s).
+    pub fn velocity(&self, med: &FullSpace, x: [f64; 3], t: f64) -> [f64; 3] {
+        let d = [x[0] - self.pos[0], x[1] - self.pos[1], x[2] - self.pos[2]];
+        let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+        assert!(r > 0.0, "receiver coincides with the source");
+        let gam = [d[0] / r, d[1] / r, d[2] / r];
+        let (a, b, rho) = (med.vp, med.vs, med.rho);
+        let (ta, tb) = (r / a, r / b);
+        if t <= ta {
+            return [0.0; 3]; // causality: nothing before the P arrival
+        }
+
+        let tg = t_gamma(&self.tensor, gam);
+        let q = gam[0] * tg[0] + gam[1] * tg[1] + gam[2] * tg[2];
+        let tr = self.tensor.mxx + self.tensor.myy + self.tensor.mzz;
+
+        // Near-field integral ∫ τ g(t−τ) dτ over the P→S window, resolved
+        // well below the source-pulse timescale (Simpson is exact through
+        // cubics; the residual is O((T/n)²) of an already-small term).
+        let n = (200.0 * (tb - ta) / self.stf.duration()).ceil() as usize + 8;
+        let near = simpson(ta, tb, n, |tau| tau * self.g(t - tau));
+
+        let (gp, gs) = (self.g(t - ta), self.g(t - tb));
+        let (gdp, gds) = (self.g_dot(t - ta), self.g_dot(t - tb));
+        let c = 1.0 / (4.0 * std::f64::consts::PI * rho);
+        let mut v = [0.0; 3];
+        for i in 0..3 {
+            let an = 15.0 * q * gam[i] - 3.0 * tr * gam[i] - 6.0 * tg[i];
+            let aip = 6.0 * q * gam[i] - tr * gam[i] - 2.0 * tg[i];
+            let ais = 6.0 * q * gam[i] - tr * gam[i] - 3.0 * tg[i];
+            let afp = q * gam[i];
+            let afs = q * gam[i] - tg[i];
+            v[i] = c
+                * (an / r.powi(4) * near + aip / (a * a * r * r) * gp
+                    - ais / (b * b * r * r) * gs
+                    + afp / (a * a * a * r) * gdp
+                    - afs / (b * b * b * r) * gds);
+        }
+        v
+    }
+
+    /// Three-component velocity trace at per-component receiver positions
+    /// (the staggered grid puts `vx`, `vy`, `vz` at different physical
+    /// nodes): `n` samples at spacing `dt`, sample `s` at time `s·dt`.
+    pub fn velocity_trace(
+        &self,
+        med: &FullSpace,
+        pos: [[f64; 3]; 3],
+        dt: f64,
+        n: usize,
+    ) -> [Vec<f64>; 3] {
+        let mut out = [Vec::with_capacity(n), Vec::with_capacity(n), Vec::with_capacity(n)];
+        for s in 0..n {
+            let t = s as f64 * dt;
+            for c in 0..3 {
+                out[c].push(self.velocity(med, pos[c], t)[c]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn explosion(moment: f64, rise: f64) -> AnalyticPoint {
+        AnalyticPoint {
+            pos: [0.0; 3],
+            tensor: MomentTensor::explosion(),
+            moment,
+            stf: Stf::Cosine { rise_time: rise },
+        }
+    }
+
+    #[test]
+    fn simpson_is_exact_for_cubics() {
+        let v = simpson(1.0, 3.0, 7, |x| 2.0 * x * x * x - x + 5.0);
+        let exact = 0.5 * (3f64.powi(4) - 1.0) - 0.5 * (9.0 - 1.0) + 5.0 * 2.0;
+        assert!((v - exact).abs() < 1e-10, "{v} vs {exact}");
+    }
+
+    #[test]
+    fn explosion_is_pure_radial_p() {
+        let med = FullSpace::rock();
+        let src = explosion(1e15, 0.4);
+        let x = [900.0, 1200.0, 2000.0]; // r = 2500
+        let r = 2500.0;
+        let gam = [x[0] / r, x[1] / r, x[2] / r];
+        let (ta, tb) = (r / med.vp, r / med.vs);
+        let amp = |v: [f64; 3]| (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+        let mut peak = 0.0f64;
+        for s in 0..400 {
+            let t = s as f64 * 0.005;
+            let v = src.velocity(&med, x, t);
+            // Longitudinal polarisation: v ∥ γ at every instant.
+            let vr = v[0] * gam[0] + v[1] * gam[1] + v[2] * gam[2];
+            for i in 0..3 {
+                assert!((v[i] - vr * gam[i]).abs() <= 1e-12 * (1.0 + vr.abs()), "t={t}");
+            }
+            // Confined to the P window [ta, ta + rise]: no S, no coda.
+            // (Only up-to-rounding zero outside: q = |γ|² carries an ulp,
+            // so the vanishing AN/AIS/AFS contractions leave ~1e-16·term.)
+            if t < ta - 1e-9 || (t > ta + 0.4 + 1e-9 && t < tb - 1e-9) || t > tb + 0.4 + 1e-9 {
+                assert!(amp(v) < 1e-10, "t={t} outside the P window: {v:?}");
+            }
+            peak = peak.max(amp(v));
+        }
+        assert!(peak > 1e-6, "the P pulse must actually arrive (peak {peak})");
+    }
+
+    #[test]
+    fn causality_before_p_arrival() {
+        let med = FullSpace::rock();
+        let src = AnalyticPoint {
+            pos: [100.0, -50.0, 30.0],
+            tensor: MomentTensor::strike_slip(0.7),
+            moment: 1e16,
+            stf: Stf::Cosine { rise_time: 0.3 },
+        };
+        let x = [2100.0, 1450.0, 30.0];
+        let r = (2000.0f64 * 2000.0 + 1500.0 * 1500.0).sqrt();
+        for s in 0..50 {
+            let t = s as f64 * (r / med.vp) / 50.0;
+            assert_eq!(src.velocity(&med, x, t * 0.999), [0.0; 3]);
+        }
+    }
+
+    #[test]
+    fn strike_slip_nodal_and_max_directions() {
+        // Pure Mxy double couple: on the +x axis P is nodal (q = 2γxγy = 0)
+        // and S is maximal and y-polarised; on the 45° diagonal P is
+        // maximal and the far-field S vanishes (AFS = qγ − Tγ = 0 there).
+        let med = FullSpace::rock();
+        let src = AnalyticPoint {
+            pos: [0.0; 3],
+            tensor: MomentTensor::strike_slip(0.0),
+            moment: 1e16,
+            stf: Stf::Cosine { rise_time: 0.25 },
+        };
+        let r = 40_000.0; // far field: 1/r² terms down by ~g·β/(ġ·r) ≈ 1%
+        let on_axis = [r, 0.0, 0.0];
+        // Probe at quarter-pulse: ġ peaks there (it crosses zero at T/2,
+        // where the far-field terms would vanish and bury the contrast).
+        let ts = r / med.vs + 0.0625;
+        let v = src.velocity(&med, on_axis, ts);
+        assert!(v[1].abs() > 1e3 * v[0].abs().max(v[2].abs()), "S on axis is y-polarised: {v:?}");
+        let tp = r / med.vp + 0.0625;
+        let vp_axis = src.velocity(&med, on_axis, tp);
+        let diag = [r / 2f64.sqrt(), r / 2f64.sqrt(), 0.0];
+        let vp_diag = src.velocity(&med, diag, tp);
+        let amp = |v: [f64; 3]| (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+        // The far-field P is nodal on the axis; what survives there is the
+        // intermediate 1/r² term, so the contrast is large but not ∞.
+        assert!(amp(vp_diag) > 20.0 * amp(vp_axis), "P lobe on the diagonal, node on axis");
+        let vs_diag = src.velocity(&med, diag, ts);
+        assert!(amp(vs_diag) < 0.05 * amp(v), "far-field S is nodal on the diagonal");
+    }
+
+    #[test]
+    fn far_field_scales_as_one_over_r() {
+        let med = FullSpace::rock();
+        let src = explosion(1e15, 0.2);
+        let (r1, r2) = (30_000.0, 60_000.0);
+        // Quarter-pulse probe: ġ is maximal there, while at mid-pulse
+        // (T/2) it is zero and only the 1/r² near terms would survive.
+        let t1 = r1 / med.vp + 0.05;
+        let t2 = t1 + (r2 - r1) / med.vp; // same retarded time
+        let v1 = src.velocity(&med, [r1, 0.0, 0.0], t1)[0];
+        let v2 = src.velocity(&med, [r2, 0.0, 0.0], t2)[0];
+        assert!(v1.abs() > 0.0);
+        assert!((v1 * r1 / (v2 * r2) - 1.0).abs() < 2e-2, "{} vs {}", v1 * r1, v2 * r2);
+    }
+
+    #[test]
+    fn explosion_axes_are_symmetric() {
+        let med = FullSpace::rock();
+        let src = explosion(2e15, 0.3);
+        for s in 0..200 {
+            let t = s as f64 * 0.004;
+            let vx = src.velocity(&med, [1500.0, 0.0, 0.0], t)[0];
+            let vy = src.velocity(&med, [0.0, 1500.0, 0.0], t)[1];
+            let vz = src.velocity(&med, [0.0, 0.0, 1500.0], t)[2];
+            assert!((vx - vy).abs() <= 1e-12 * (1.0 + vx.abs()));
+            assert!((vx - vz).abs() <= 1e-12 * (1.0 + vx.abs()));
+        }
+    }
+
+    #[test]
+    fn trace_matches_pointwise_eval() {
+        let med = FullSpace::rock();
+        let src = explosion(1e15, 0.3);
+        let pos = [[1000.0, 50.0, 0.0], [950.0, 100.0, 0.0], [950.0, 50.0, 50.0]];
+        let tr = src.velocity_trace(&med, pos, 0.01, 80);
+        for s in [0usize, 17, 40, 79] {
+            for c in 0..3 {
+                assert_eq!(tr[c][s], src.velocity(&med, pos[c], s as f64 * 0.01)[c]);
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Deterministic schedule fuzzer for the virtual cluster.
+//!
+//! The solver's correctness contract under the asynchronous engine is
+//! that every receive is (source, tag)-matched, so *any* legal message
+//! delivery order and wait-all completion order must produce bit-exact
+//! results. [`awp_vcluster::SchedulePlan`] makes "any order" testable: a
+//! seeded pure-hash policy deterministically defers and reorders eligible
+//! deliveries and permutes wait-all polling. This driver replays one
+//! 8-rank overlap-enabled run under N distinct seeds and compares every
+//! run's full observable state — seismograms, PGV map fragments, surface
+//! snapshots — bit-for-bit against the unfuzzed baseline.
+//!
+//! A mismatch seed is reproducible in isolation:
+//! `SchedulePlan::with_bounds(seed, …)` rebuilds the exact schedule (the
+//! plan is a pure function of the seed — no RNG state, no time).
+
+use awp_cvm::mesh::MeshGenerator;
+use awp_cvm::model::HomogeneousModel;
+use awp_grid::decomp::Decomp3;
+use awp_grid::dims::{Dims3, Idx3};
+use awp_solver::solver::{partition_mesh_direct, try_run_parallel_sched};
+use awp_solver::{AbcKind, RankResult, SolverConfig, Station};
+use awp_source::kinematic::KinematicSource;
+use awp_source::moment::MomentTensor;
+use awp_source::stf::Stf;
+use awp_vcluster::SchedulePlan;
+use serde::Serialize;
+
+/// Fuzzer workload shape.
+#[derive(Debug, Clone, Serialize)]
+pub struct FuzzSpec {
+    /// Global grid.
+    pub dims: [usize; 3],
+    /// Rank decomposition (the tentpole target is 8 ranks, [2,2,2]).
+    pub parts: [usize; 3],
+    /// Timesteps per replay.
+    pub steps: usize,
+    /// Number of seeds to replay.
+    pub seeds: u64,
+    /// First seed (seeds run `base_seed..base_seed + seeds`).
+    pub base_seed: u64,
+    /// Max per-message delivery deferrals the plan may inject.
+    pub max_defer: u32,
+    /// Max queue depth a delivery may be inserted behind.
+    pub max_depth: usize,
+}
+
+impl FuzzSpec {
+    /// CI-budget replay: 8 ranks, 16 seeds.
+    pub fn smoke() -> Self {
+        FuzzSpec {
+            dims: [24, 24, 24],
+            parts: [2, 2, 2],
+            steps: 24,
+            seeds: 16,
+            base_seed: 0x5eed_0001,
+            max_defer: 3,
+            max_depth: 4,
+        }
+    }
+
+    /// Deeper sweep: more seeds, nastier bounds.
+    pub fn full() -> Self {
+        FuzzSpec { seeds: 32, max_defer: 5, max_depth: 6, ..Self::smoke() }
+    }
+}
+
+/// Outcome of one fuzz sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct FuzzResult {
+    pub ranks: usize,
+    pub steps: usize,
+    /// Replays actually executed (baseline not counted).
+    pub runs: u64,
+    pub base_seed: u64,
+    /// Seeds whose results diverged from the baseline (must be empty).
+    pub mismatched_seeds: Vec<u64>,
+    /// FNV-1a fingerprint of the baseline observable state (hex) — lets
+    /// two hosts/builds compare runs without shipping the raw fields.
+    pub baseline_fingerprint: String,
+    pub passed: bool,
+}
+
+/// FNV-1a over the bit patterns of every observable output, in a fixed
+/// rank-major order.
+fn fingerprint(results: &[RankResult]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for r in results {
+        eat(&(r.rank as u64).to_le_bytes());
+        for s in &r.seismograms {
+            for tr in [&s.vx, &s.vy, &s.vz] {
+                for v in tr.iter() {
+                    eat(&v.to_bits().to_le_bytes());
+                }
+            }
+        }
+        for v in &r.pgv_map {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        if let Some(surf) = &r.surface {
+            for v in surf {
+                eat(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+    h
+}
+
+/// Exact comparison of the observable state of two runs (the fingerprint
+/// alone could collide; this cannot).
+fn bit_identical(a: &[RankResult], b: &[RankResult]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b).all(|(x, y)| {
+        x.rank == y.rank
+            && x.seismograms == y.seismograms
+            && x.pgv_map.iter().map(|v| v.to_bits()).eq(y.pgv_map.iter().map(|v| v.to_bits()))
+            && match (&x.surface, &y.surface) {
+                (None, None) => true,
+                (Some(p), Some(q)) => {
+                    p.iter().map(|v| v.to_bits()).eq(q.iter().map(|v| v.to_bits()))
+                }
+                _ => false,
+            }
+    })
+}
+
+/// Build the shared workload: an overlap-enabled multi-rank run with a
+/// double-couple source straddling rank seams and stations on several
+/// ranks.
+fn workload(spec: &FuzzSpec) -> (SolverConfig, Vec<awp_cvm::mesh::Mesh>, KinematicSource, Vec<Station>) {
+    let dims = Dims3::new(spec.dims[0], spec.dims[1], spec.dims[2]);
+    let h = 100.0;
+    let vp = 6000.0f64;
+    let dt = 0.8 * 6.0 * h / (7.0 * 3f64.sqrt() * vp);
+    let mut cfg = SolverConfig::small(dims, h, dt, spec.steps);
+    // M-PML + free surface + the overlap/simd/async engine: the full
+    // communication surface (halo exchanges both phases, reduced-comm
+    // widths, shell/interior split) is what the fuzzer must not be able
+    // to break.
+    cfg.abc = AbcKind::Mpml { width: 6, pmax: 0.3 };
+    cfg.free_surface = true;
+    cfg.attenuation = false;
+
+    let model = HomogeneousModel::new(6000.0, 3464.0, 2700.0);
+    let mesh = MeshGenerator::new(&model, dims, h).generate();
+    let decomp = Decomp3::new(dims, spec.parts);
+    let meshes = partition_mesh_direct(&mesh, &decomp);
+
+    // Off-centre source one cell from a seam: its halo traffic matters
+    // from the very first step.
+    let c = [dims.nx / 2 + 1, dims.ny / 2 - 1, dims.nz / 2 + 2];
+    let source = KinematicSource::point(
+        Idx3::new(c[0], c[1], c[2]),
+        MomentTensor::strike_slip(0.3),
+        1e16,
+        Stf::Triangle { rise_time: 12.0 * dt },
+        dt,
+    );
+    let q = |f: usize, n: usize| (n * f) / 4;
+    let stations = vec![
+        Station::new("nw", Idx3::new(q(1, dims.nx), q(1, dims.ny), 0)),
+        Station::new("ne", Idx3::new(q(3, dims.nx), q(1, dims.ny), 0)),
+        Station::new("sw", Idx3::new(q(1, dims.nx), q(3, dims.ny), 0)),
+        Station::new("se", Idx3::new(q(3, dims.nx), q(3, dims.ny), 0)),
+        Station::new("seam", Idx3::new(dims.nx / 2, dims.ny / 2, 0)),
+    ];
+    (cfg, meshes, source, stations)
+}
+
+/// Run the sweep: one unfuzzed baseline, then one replay per seed.
+pub fn run_fuzz(spec: &FuzzSpec) -> FuzzResult {
+    let (cfg, meshes, source, stations) = workload(spec);
+    let ranks = spec.parts[0] * spec.parts[1] * spec.parts[2];
+    let baseline = try_run_parallel_sched(&cfg, spec.parts, &meshes, &source, &stations, None, None)
+        .expect("fuzz workload config is valid");
+    let baseline_fingerprint = fingerprint(&baseline);
+
+    let mut mismatched = Vec::new();
+    for seed in spec.base_seed..spec.base_seed + spec.seeds {
+        let plan = SchedulePlan::with_bounds(seed, spec.max_defer, spec.max_depth);
+        let fuzzed =
+            try_run_parallel_sched(&cfg, spec.parts, &meshes, &source, &stations, None, Some(plan))
+                .expect("fuzz workload config is valid");
+        if !bit_identical(&baseline, &fuzzed) {
+            mismatched.push(seed);
+        }
+    }
+    FuzzResult {
+        ranks,
+        steps: spec.steps,
+        runs: spec.seeds,
+        base_seed: spec.base_seed,
+        passed: mismatched.is_empty(),
+        mismatched_seeds: mismatched,
+        baseline_fingerprint: format!("{baseline_fingerprint:016x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FuzzSpec {
+        // Debug-build scale: 4 ranks, 3 seeds, a dozen steps.
+        FuzzSpec {
+            dims: [16, 16, 8],
+            parts: [2, 2, 1],
+            steps: 10,
+            seeds: 3,
+            base_seed: 77,
+            max_defer: 2,
+            max_depth: 3,
+        }
+    }
+
+    #[test]
+    fn fuzzed_runs_stay_bit_exact() {
+        let r = run_fuzz(&tiny());
+        assert_eq!(r.runs, 3);
+        assert_eq!(r.ranks, 4);
+        assert!(r.passed, "mismatched seeds: {:?}", r.mismatched_seeds);
+        assert_eq!(r.baseline_fingerprint.len(), 16);
+    }
+
+    #[test]
+    fn fingerprint_tracks_observable_state() {
+        let (cfg, meshes, source, stations) = workload(&tiny());
+        let a = try_run_parallel_sched(&cfg, [2, 2, 1], &meshes, &source, &stations, None, None)
+            .unwrap();
+        let mut b = try_run_parallel_sched(&cfg, [2, 2, 1], &meshes, &source, &stations, None, None)
+            .unwrap();
+        assert!(bit_identical(&a, &b), "identical configs replay bit-exactly");
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        // Any single-bit output perturbation must flip both detectors.
+        let seis = b
+            .iter_mut()
+            .flat_map(|r| r.seismograms.iter_mut())
+            .find(|s| !s.vx.is_empty())
+            .expect("some rank records a station");
+        seis.vx[0] += 1.0e-30;
+        assert!(!bit_identical(&a, &b));
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+}

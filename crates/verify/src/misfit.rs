@@ -1,0 +1,185 @@
+//! Waveform misfit measures for the accuracy suite.
+//!
+//! Two complementary scores per trace pair:
+//!
+//! - **Shift-tolerant L2** ([`shifted_l2`]): the normalised L2 residual
+//!   minimised over a sub-sample time shift. The leapfrog scheme carries a
+//!   small constant phase offset (the injector's and recorder's half-step
+//!   conventions cancel only nominally); the search absorbs it and
+//!   *reports* it, so the suite can both score waveform fit and assert the
+//!   residual offset stays sub-dt.
+//! - **Envelope misfit** ([`envelope_misfit`]): L2 distance between
+//!   Hilbert envelopes — phase-blind, so it isolates amplitude/dispersion
+//!   errors from pure arrival-time error and catches polarity-style
+//!   pathologies the shifted L2 could trade away.
+
+use awp_signal::fft::{fft, ifft, next_pow2, Complex};
+
+/// Plain L2 norm `√Σx²` (no `dt` factor — every use is a ratio).
+pub fn l2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Result of the shift search.
+#[derive(Debug, Clone, Copy)]
+pub struct ShiftScore {
+    /// Minimised `‖sim − ref(t+shift)‖ / denom`.
+    pub misfit: f64,
+    /// The minimising shift (seconds; positive = reference delayed).
+    pub shift: f64,
+}
+
+/// Reference trace value at time `t` by linear interpolation (zero outside
+/// the sampled window — traces are causal and windowed to quiescence).
+fn interp(r: &[f64], dt: f64, t: f64) -> f64 {
+    if t < 0.0 || r.is_empty() {
+        return 0.0;
+    }
+    let s = t / dt;
+    let i = s.floor() as usize;
+    if i + 1 >= r.len() {
+        return if i < r.len() { r[i] } else { 0.0 };
+    }
+    let f = s - i as f64;
+    r[i] * (1.0 - f) + r[i + 1] * f
+}
+
+/// Normalised L2 misfit minimised over time shifts in
+/// `[-max_shift, +max_shift]` (grid search at dt/16 resolution).
+pub fn shifted_l2(sim: &[f64], refr: &[f64], dt: f64, max_shift: f64, denom: f64) -> ShiftScore {
+    assert_eq!(sim.len(), refr.len(), "trace lengths must match");
+    assert!(denom > 0.0, "normalisation must be positive");
+    let step = dt / 16.0;
+    let n = (max_shift / step).ceil() as i64;
+    let mut best = ShiftScore { misfit: f64::INFINITY, shift: 0.0 };
+    for k in -n..=n {
+        let tau = k as f64 * step;
+        let mut ss = 0.0;
+        for (s, x) in sim.iter().enumerate() {
+            let d = x - interp(refr, dt, s as f64 * dt + tau);
+            ss += d * d;
+        }
+        let m = ss.sqrt() / denom;
+        if m < best.misfit {
+            best = ShiftScore { misfit: m, shift: tau };
+        }
+    }
+    best
+}
+
+/// Hilbert-transform magnitude envelope via FFT: zero the negative
+/// frequencies, double the positive ones, inverse-transform, take `|·|`.
+/// The trace is zero-padded to twice the next power of two to push the
+/// circular-convolution wraparound out of the window.
+pub fn hilbert_envelope(x: &[f64]) -> Vec<f64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let n = x.len();
+    let m = next_pow2(2 * n);
+    let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+    buf.resize(m, Complex::new(0.0, 0.0));
+    fft(&mut buf);
+    for (k, c) in buf.iter_mut().enumerate() {
+        if k == 0 || (m % 2 == 0 && k == m / 2) {
+            // DC and Nyquist stay as-is.
+        } else if k < m / 2 {
+            *c = c.scale(2.0);
+        } else {
+            *c = Complex::new(0.0, 0.0);
+        }
+    }
+    ifft(&mut buf);
+    buf[..n].iter().map(|c| (c.re * c.re + c.im * c.im).sqrt()).collect()
+}
+
+/// Normalised L2 distance between the Hilbert envelopes of two traces.
+pub fn envelope_misfit(sim: &[f64], refr: &[f64], denom: f64) -> f64 {
+    assert_eq!(sim.len(), refr.len(), "trace lengths must match");
+    assert!(denom > 0.0, "normalisation must be positive");
+    let es = hilbert_envelope(sim);
+    let er = hilbert_envelope(refr);
+    es.iter().zip(&er).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt() / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pulse(n: usize, dt: f64, t0: f64, f: f64) -> Vec<f64> {
+        // Gaussian-windowed sine: a clean transient for shift/envelope tests.
+        (0..n)
+            .map(|s| {
+                let t = s as f64 * dt - t0;
+                (-t * t / 0.02).exp() * (2.0 * std::f64::consts::PI * f * t).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_traces_score_zero() {
+        let x = pulse(256, 0.01, 1.2, 2.0);
+        let d = l2(&x);
+        let s = shifted_l2(&x, &x, 0.01, 0.02, d);
+        // Interpolation at nominal sample times carries an ulp of jitter,
+        // so "zero" means ≪ any physical misfit, not bitwise 0.
+        assert!(s.misfit < 1e-12, "misfit {}", s.misfit);
+        assert!(s.shift.abs() <= 0.01 / 16.0 + 1e-12, "shift {}", s.shift);
+        assert!(envelope_misfit(&x, &x, d) < 1e-12);
+    }
+
+    #[test]
+    fn shift_search_recovers_known_offset() {
+        let dt = 0.01;
+        let r = pulse(512, dt, 2.0, 1.5);
+        let delayed = pulse(512, dt, 2.0 + 0.004, 1.5); // sim delayed 0.4 dt
+        // Convention: sim(t) ≈ ref(t + shift), so a *delayed* sim is
+        // aligned by a *negative* shift.
+        let s = shifted_l2(&delayed, &r, dt, 2.0 * dt, l2(&r));
+        assert!((s.shift + 0.004).abs() <= dt / 16.0 + 1e-12, "shift {}", s.shift);
+        assert!(s.misfit < 0.02, "residual after alignment: {}", s.misfit);
+        // Without the search the same pair scores an order of magnitude worse.
+        let raw = shifted_l2(&delayed, &r, dt, 0.0, l2(&r));
+        assert!(raw.misfit > 5.0 * s.misfit);
+    }
+
+    #[test]
+    fn envelope_is_phase_blind_but_amplitude_aware() {
+        let dt = 0.01;
+        let r = pulse(512, dt, 2.0, 2.0);
+        let flipped: Vec<f64> = r.iter().map(|v| -v).collect();
+        let d = l2(&r);
+        // Polarity flip: maximal L2 misfit, near-zero envelope misfit.
+        assert!(shifted_l2(&flipped, &r, dt, 2.0 * dt, d).misfit > 1.0);
+        assert!(envelope_misfit(&flipped, &r, d) < 1e-9);
+        // A 30% amplitude error shows up in the envelope at ~30% when
+        // normalised by the reference *envelope* energy.
+        let d_env = l2(&hilbert_envelope(&r));
+        let scaled: Vec<f64> = r.iter().map(|v| 1.3 * v).collect();
+        let e = envelope_misfit(&scaled, &r, d_env);
+        assert!((e - 0.3).abs() < 0.02, "envelope misfit {e}");
+    }
+
+    #[test]
+    fn envelope_bounds_the_carrier() {
+        let n = 512;
+        let x: Vec<f64> =
+            (0..n).map(|s| (2.0 * std::f64::consts::PI * 8.0 * s as f64 / n as f64).sin()).collect();
+        let env = hilbert_envelope(&x);
+        // Away from the edges the envelope of a pure sine is ~1.
+        for s in n / 8..7 * n / 8 {
+            assert!(env[s] >= x[s].abs() - 1e-6, "envelope under carrier at {s}");
+            assert!((env[s] - 1.0).abs() < 0.06, "env[{s}] = {}", env[s]);
+        }
+        assert!(hilbert_envelope(&[]).is_empty());
+    }
+
+    #[test]
+    fn interp_handles_edges() {
+        let r = [1.0, 3.0, 5.0];
+        assert_eq!(interp(&r, 0.5, -0.1), 0.0);
+        assert_eq!(interp(&r, 0.5, 0.25), 2.0);
+        assert_eq!(interp(&r, 0.5, 1.0), 5.0);
+        assert_eq!(interp(&r, 0.5, 1.7), 0.0);
+    }
+}

@@ -6,6 +6,7 @@ use awp_odc::pario::epochs::{consistent_epoch, epoch_file_name};
 use awp_odc::pario::Md5;
 use awp_odc::scenario::Scenario;
 use awp_odc::vcluster::fault::{FaultKind, FaultPlan, WatchdogConfig};
+use awp_odc::vcluster::SchedulePlan;
 use awp_odc::workflow::{scratch_dir, E2EWorkflow};
 use std::sync::Arc;
 use std::time::Duration;
@@ -141,6 +142,57 @@ fn chaos_soak_random_plan_converges() {
     assert_eq!(rep_clean.pgv.data, rep.pgv.data, "PGV must match bitwise");
     assert_eq!(surface_md5(&rep_clean), surface_md5(&rep));
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn schedule_fuzz_composes_with_fault_injection() {
+    // Composed chaos: the schedule fuzzer (SchedulePlan) and the fault
+    // injector (FaultPlan) each have their own bit-exactness gates; this
+    // test aims them at the same run. Messages are duplicated *and*
+    // delivered in a seeded adversarial order while a mid-run crash
+    // forces the workflow back to the newest consistent checkpoint epoch
+    // — and the final outputs must still be bit-identical to an
+    // unperturbed reference run.
+    let sc = Scenario::shakeout_k(20, 0.3).with_duration(12.0);
+
+    let clean_dir = scratch_dir("chaos-sched-clean");
+    let clean = E2EWorkflow::new(sc.prepare(), [2, 1, 1], &clean_dir)
+        .execute()
+        .expect("clean reference run failed");
+
+    // Chaos run: crash rank 1 at step 6 (forcing an epoch fallback),
+    // duplicate ~5% of messages, and permute delivery/waitall order.
+    let run = sc.prepare();
+    assert!(run.cfg.steps > 8, "scenario too short to crash mid-run");
+    let faults =
+        Arc::new(FaultPlan::new(0xC0FF_EE01).with_crash(1, 6).with_msg_faults(0.0, 0.0, 0.05, 0));
+    let chaos_dir = scratch_dir("chaos-sched");
+    let mut wf = E2EWorkflow::new(run, [2, 1, 1], &chaos_dir)
+        .with_chaos(
+            faults,
+            WatchdogConfig { timeout: Duration::from_secs(10), poll: Duration::from_millis(50) },
+        )
+        .with_schedule(SchedulePlan::with_bounds(0xD15C_0001, 3, 4));
+    wf.checkpoint_every = Some(4);
+    wf.max_restarts = 6;
+    let rep = wf.execute().expect("chaos run must converge");
+
+    assert!(rep.restarted && rep.restarts >= 1, "the crash must force a restart");
+    assert_eq!(rep.failed_at, Some(6), "first fault is the scheduled crash");
+    assert!(rep.faults.iter().any(|f| f.kind == FaultKind::Crash), "{:?}", rep.faults);
+    assert!(rep.archive_verified);
+
+    // Bit-exactness: the checkpoint fallback under a perturbed schedule
+    // must reproduce the clean run's observable outputs exactly.
+    assert_eq!(surface_md5(&clean), surface_md5(&rep), "surface file diverged under chaos");
+    assert_eq!(clean.pgv.data, rep.pgv.data, "PGV map diverged under chaos");
+    assert_eq!(
+        clean.collection_checksum, rep.collection_checksum,
+        "per-rank output digests diverged under chaos"
+    );
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&chaos_dir);
 }
 
 #[test]

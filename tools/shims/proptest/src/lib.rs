@@ -287,20 +287,32 @@ pub mod strategy {
 
 pub mod test_runner {
     /// Subset of proptest's `Config`.
+    ///
+    /// The `PROPTEST_CASES` environment variable (as in real proptest)
+    /// overrides the default case count; here it additionally *caps*
+    /// explicit `with_cases` requests so CI can bound the whole prop
+    /// suite's runtime with one knob.
     #[derive(Clone, Copy)]
     pub struct Config {
         pub cases: u32,
     }
 
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
+    }
+
     impl Config {
         pub fn with_cases(cases: u32) -> Self {
-            Config { cases }
+            match env_cases() {
+                Some(cap) => Config { cases: cases.min(cap) },
+                None => Config { cases },
+            }
         }
     }
 
     impl Default for Config {
         fn default() -> Self {
-            Config { cases: 64 }
+            Config { cases: env_cases().unwrap_or(64) }
         }
     }
 }
