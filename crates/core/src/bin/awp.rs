@@ -25,6 +25,7 @@ use awp_odc::perfmodel::speedup::{efficiency, m8_mesh, m8_parts, speedup, ModelI
 use awp_odc::scenario::{RuptureDirection, Scenario};
 use awp_odc::telemetry::Registry;
 use awp_odc::vcluster::fault::{FaultPlan, WatchdogConfig};
+use awp_odc::vcluster::RetryPolicy;
 use awp_odc::workflow::{scratch_dir, E2EWorkflow};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -32,7 +33,7 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  awp scenarios\n  awp run <name> [nx] [seconds]\n  awp workflow [name] [nx] [seconds] [--profile] [--trace-out FILE]\n  awp verify [--smoke] [--seeds N] [--base-seed S] [--out FILE]\n  awp efficiency\n  awp machines\n  awp chaos --chaos-seed <n> [name] [nx] [seconds]\n  awp --profile [--trace-out FILE]      profiled default workflow\n\nscenario names: terashake-k | terashake-d | shakeout-k | shakeout-d |\n                wall-to-wall | m8 | pnw"
+        "usage:\n  awp scenarios\n  awp run <name> [nx] [seconds]\n  awp workflow [name] [nx] [seconds] [--profile] [--trace-out FILE]\n  awp verify [--smoke] [--seeds N] [--base-seed S] [--out FILE]\n  awp efficiency\n  awp machines\n  awp chaos --chaos-seed <n> [name] [nx] [seconds]\n  awp chaos --recover [--fault crash|stall|both] [--chaos-seed <n>]\n            seeded rank-failure drill: the run must complete via in-flight\n            supervisor recovery (rollback-rejoin, no whole-run restart) and\n            stay bit-identical to the clean run, or exit nonzero\n  awp --profile [--trace-out FILE]      profiled default workflow\n\nscenario names: terashake-k | terashake-d | shakeout-k | shakeout-d |\n                wall-to-wall | m8 | pnw"
     );
     std::process::exit(2);
 }
@@ -312,6 +313,19 @@ fn main() {
                     .unwrap_or_else(|| usage());
                 rest.drain(i..=i + 1);
             }
+            let mut recover = false;
+            if let Some(i) = rest.iter().position(|a| *a == "--recover") {
+                recover = true;
+                rest.remove(i);
+            }
+            let mut fault_mode = "crash";
+            if let Some(i) = rest.iter().position(|a| *a == "--fault") {
+                fault_mode = rest.get(i + 1).copied().unwrap_or_else(|| usage());
+                if !matches!(fault_mode, "crash" | "stall" | "both") {
+                    usage();
+                }
+                rest.drain(i..=i + 1);
+            }
             let name = rest.first().copied().unwrap_or("shakeout-k");
             let nx: usize = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
             let secs: f64 = rest.get(2).and_then(|s| s.parse().ok()).unwrap_or(20.0);
@@ -321,6 +335,89 @@ fn main() {
             let rep_clean = E2EWorkflow::new(sc.prepare(), [2, 1, 1], &clean_dir)
                 .execute()
                 .expect("clean reference run failed");
+
+            if recover {
+                // Recovery drill: a directed single-rank failure must be
+                // absorbed *in flight* — supervisor rollback to the last
+                // MD5-consistent epoch and respawn, costing one epoch of
+                // rework — with zero whole-run restarts and a bit-exact
+                // surface. Crash step 5 / stall step 6 sit just past the
+                // first checkpoint epoch (cadence 4), so a rollback line
+                // always exists.
+                let run = sc.prepare();
+                let mut plan = FaultPlan::new(seed);
+                if matches!(fault_mode, "crash" | "both") {
+                    plan = plan.with_crash(1, 5);
+                }
+                if matches!(fault_mode, "stall" | "both") {
+                    plan = plan.with_stall(0, 6, 3600.0);
+                }
+                let plan = Arc::new(plan);
+                println!(
+                    "{} → recovery drill ({fault_mode}), seed {seed:#x}, schedule: {}",
+                    sc.name,
+                    plan.schedule_digest()
+                );
+                let drill_dir = scratch_dir("awp-chaos-recover");
+                let registry = profiling.then(|| Registry::new(2));
+                let mut wf = E2EWorkflow::new(run, [2, 1, 1], &drill_dir);
+                wf.checkpoint_every = Some(4);
+                wf = wf
+                    .with_chaos(
+                        plan,
+                        WatchdogConfig {
+                            timeout: Duration::from_secs(2),
+                            poll: Duration::from_millis(50),
+                        },
+                    )
+                    .with_recovery(RetryPolicy::new(3).with_jitter(0.25, seed));
+                if let Some(reg) = &registry {
+                    wf = wf.with_telemetry(Arc::clone(reg));
+                }
+                let rep = wf.execute().expect("recovery drill failed to converge");
+                for f in &rep.faults {
+                    println!("  recovered: {f}");
+                }
+                println!(
+                    "  in-flight recoveries: {}; whole-run restarts: {}; degraded: {}; \
+                     dead letters: {} drained / {} retained",
+                    rep.in_flight_recoveries,
+                    rep.restarts,
+                    rep.recovery_degraded,
+                    rep.dead_letters.total,
+                    rep.dead_letters.retained,
+                );
+                if let Some(reg) = &registry {
+                    if profile {
+                        println!("\n{}", reg.report());
+                    }
+                }
+                let clean_md5 = awp_odc::pario::Md5::digest_hex(
+                    &std::fs::read(&rep_clean.surface_file).unwrap(),
+                );
+                let drill_md5 =
+                    awp_odc::pario::Md5::digest_hex(&std::fs::read(&rep.surface_file).unwrap());
+                let pgv_ok = rep_clean.pgv.data == rep.pgv.data;
+                let _ = std::fs::remove_dir_all(&clean_dir);
+                let _ = std::fs::remove_dir_all(&drill_dir);
+                let recovered_in_flight = rep.in_flight_recoveries >= 1
+                    && rep.restarts == 0
+                    && !rep.recovery_degraded;
+                if recovered_in_flight && pgv_ok && clean_md5 == drill_md5 {
+                    println!(
+                        "recovery drill passed: in-flight recovery, bit-identical surface \
+                         (MD5 {clean_md5})"
+                    );
+                } else {
+                    eprintln!(
+                        "RECOVERY DRILL FAILED: in_flight={} restarts={} degraded={} \
+                         pgv_ok={pgv_ok} clean_md5={clean_md5} drill_md5={drill_md5}",
+                        rep.in_flight_recoveries, rep.restarts, rep.recovery_degraded,
+                    );
+                    std::process::exit(1);
+                }
+                return;
+            }
 
             let run = sc.prepare();
             let steps = run.cfg.steps as u64;

@@ -34,7 +34,7 @@ use awp_source::kinematic::KinematicSource;
 use awp_telemetry::Registry;
 use awp_vcluster::fault::{FaultPlan, FaultReport, WatchdogConfig};
 use awp_vcluster::schedule::SchedulePlan;
-use awp_vcluster::Cluster;
+use awp_vcluster::{Cluster, DeadLetterStats, RecoveryEvent, RetryPolicy, Supervisor};
 use serde::Serialize;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -78,10 +78,23 @@ pub struct WorkflowReport {
     pub failed_at: Option<usize>,
     /// Whether a restart pass ran.
     pub restarted: bool,
-    /// Structured fault reports collected across all aborted passes.
+    /// Structured fault reports collected across all aborted passes,
+    /// including faults absorbed by in-flight recovery.
     pub faults: Vec<FaultReport>,
-    /// Number of restart passes that were needed.
+    /// Number of whole-run restart passes that were needed.
     pub restarts: usize,
+    /// Completed in-flight recovery cycles (rollback + respawn inside a
+    /// supervised pass, without tearing the cluster down).
+    pub in_flight_recoveries: u32,
+    /// True when at least one supervised pass exhausted its retry budget
+    /// (or had no epoch to roll back to) and fell back to the whole-run
+    /// restart ladder.
+    pub recovery_degraded: bool,
+    /// Supervisor state-machine transitions across all passes, in order.
+    pub recovery_events: Vec<RecoveryEvent>,
+    /// Dead-letter accounting summed across all supervised passes
+    /// (`retained` is the last pass's live count).
+    pub dead_letters: DeadLetterStats,
 }
 
 /// Mesh-input scheme — the paper's two PetaMeshP I/O models (§III.C):
@@ -141,6 +154,13 @@ pub struct E2EWorkflow {
     /// `registry.chrome_trace()`. A restart pass overwrites the aborted
     /// pass's snapshots, so the report describes the pass that completed.
     pub telemetry: Option<Arc<Registry>>,
+    /// In-flight rank recovery: when set, every solve pass runs under a
+    /// [`Supervisor`] that rolls survivors back to the newest consistent
+    /// checkpoint epoch and respawns the failed rank instead of tearing
+    /// the whole cluster down. A pass that degrades (retry budget
+    /// exhausted, nothing to roll back to) falls through to the
+    /// whole-run restart ladder governed by `max_restarts`.
+    pub recovery: Option<RetryPolicy>,
 }
 
 /// Per-rank solve outcome.
@@ -165,6 +185,7 @@ impl E2EWorkflow {
             max_restarts: 3,
             resume: false,
             telemetry: None,
+            recovery: None,
         }
     }
 
@@ -188,6 +209,13 @@ impl E2EWorkflow {
     /// `execute`.
     pub fn with_telemetry(mut self, registry: Arc<Registry>) -> Self {
         self.telemetry = Some(registry);
+        self
+    }
+
+    /// Enable in-flight rank recovery under `policy` (requires
+    /// checkpointing so the supervisor has an epoch to roll back to).
+    pub fn with_recovery(mut self, policy: RetryPolicy) -> Self {
+        self.recovery = Some(policy);
         self
     }
 
@@ -297,18 +325,33 @@ impl E2EWorkflow {
             watchdog: self.watchdog,
             schedule: self.schedule.clone(),
             telemetry: self.telemetry.clone(),
+            recovery: self.recovery,
         };
         let t = Instant::now();
         let legacy_stop = self.fail_at_step.filter(|&s| s < cfg.steps);
         if legacy_stop.is_some() || self.fault_plan.is_some() {
             assert!(self.checkpoint_every.is_some(), "failure injection requires checkpointing");
         }
+        if self.recovery.is_some() {
+            assert!(
+                self.checkpoint_every.is_some(),
+                "in-flight recovery requires checkpointing (the rollback epoch)"
+            );
+        }
         let mut failed_at: Option<usize> = legacy_stop;
         let mut restarted = false;
         let mut restarts = 0usize;
         let mut faults: Vec<FaultReport> = Vec::new();
-        // Solve / restart loop: a faulted pass tears the cluster down, the
-        // newest epoch that is MD5-valid on *every* rank becomes the
+        let mut in_flight_recoveries = 0u32;
+        let mut recovery_degraded = false;
+        let mut recovery_events: Vec<RecoveryEvent> = Vec::new();
+        let mut dead_letters = DeadLetterStats::default();
+        // Solve / restart loop — the outer rung of the degradation ladder.
+        // With `recovery` set, faults are first absorbed *inside* a pass by
+        // the supervisor (rollback to the newest MD5-consistent epoch and
+        // respawn — one epoch of rework, no teardown). Only a degraded
+        // pass reaches this loop's restart path: the cluster is torn down,
+        // the newest epoch that is MD5-valid on *every* rank becomes the
         // globally consistent restart line, and the next pass resumes from
         // it. "This approach helps restart in the case of unexpected
         // termination" (§III.F).
@@ -319,7 +362,19 @@ impl E2EWorkflow {
                 consistent_epoch(&ckpt_dir, n_ranks)?
             };
             let stop_at = if restarts == 0 { legacy_stop } else { None };
-            let outcomes = solve_ranks(&env, resume_epoch, stop_at)?;
+            let pass = solve_ranks(&env, resume_epoch, stop_at)?;
+            in_flight_recoveries += pass.recoveries;
+            recovery_degraded |= pass.degraded;
+            recovery_events.extend(pass.events);
+            dead_letters.total += pass.dead_letters.total;
+            dead_letters.dropped += pass.dead_letters.dropped;
+            dead_letters.expired += pass.dead_letters.expired;
+            dead_letters.retained = pass.dead_letters.retained;
+            if let Some(step) = pass.recovered_faults.iter().filter_map(|f| f.step).min() {
+                failed_at.get_or_insert(step as usize);
+            }
+            faults.extend(pass.recovered_faults);
+            let outcomes = pass.outcomes;
             let pass_faults: Vec<FaultReport> =
                 outcomes.iter().filter_map(|r| r.as_ref().err().cloned()).collect();
             if pass_faults.is_empty() && stop_at.is_none() {
@@ -410,6 +465,10 @@ impl E2EWorkflow {
             restarted,
             faults,
             restarts,
+            in_flight_recoveries,
+            recovery_degraded,
+            recovery_events,
+            dead_letters,
         })
     }
 }
@@ -434,6 +493,18 @@ struct SolveEnv<'a> {
     watchdog: Option<WatchdogConfig>,
     schedule: Option<Arc<SchedulePlan>>,
     telemetry: Option<Arc<Registry>>,
+    recovery: Option<RetryPolicy>,
+}
+
+/// What one solve pass produced: per-rank outcomes plus the supervisor's
+/// recovery accounting (zeroed when recovery is off).
+struct PassOutput {
+    outcomes: Vec<Result<RankOutcome, FaultReport>>,
+    recoveries: u32,
+    degraded: bool,
+    recovered_faults: Vec<FaultReport>,
+    events: Vec<RecoveryEvent>,
+    dead_letters: DeadLetterStats,
 }
 
 /// Run all ranks from step 0 (or from the given checkpoint epoch) until
@@ -445,7 +516,7 @@ fn solve_ranks(
     env: &SolveEnv<'_>,
     resume_epoch: Option<u64>,
     stop_at: Option<usize>,
-) -> io::Result<Vec<Result<RankOutcome, FaultReport>>> {
+) -> io::Result<PassOutput> {
     let cfg = env.cfg;
     let n_ranks = env.decomp.rank_count();
     let mut cluster = Cluster::new(n_ranks, cfg.opts.comm_mode.into());
@@ -461,7 +532,7 @@ fn solve_ranks(
     if let Some(reg) = &env.telemetry {
         cluster = cluster.with_telemetry(Arc::clone(reg));
     }
-    let outcomes = cluster.try_run(|ctx| -> io::Result<RankOutcome> {
+    let body = |ctx: &mut awp_vcluster::RankCtx| -> io::Result<RankOutcome> {
         let rank = ctx.rank();
         let sub = env.decomp.subdomain(rank);
         // Each rank obtains its sub-mesh per the configured input scheme.
@@ -482,7 +553,11 @@ fn solve_ranks(
         };
         let store = CheckpointStore::new(env.ckpt_dir, rank, env.keep_checkpoints);
         let mut start_step = 0usize;
-        if let Some(epoch) = resume_epoch {
+        // An in-flight recovery generation overrides the pass-level resume
+        // epoch: the supervisor already picked the newest epoch that is
+        // MD5-valid on every rank, and every respawned/rolled-back rank
+        // must restart from that same line.
+        if let Some(epoch) = ctx.recovery_epoch().or(resume_epoch) {
             // Every rank resumes from the same globally consistent epoch
             // (selected by `consistent_epoch` before this pass started).
             let ckpt = store.load(epoch)?;
@@ -555,17 +630,55 @@ fn solve_ranks(
             String::new()
         };
         Ok((rank, sub, pgv, digest, solver.flops.total))
-    });
+    };
+    let (results, recoveries, degraded, recovered_faults, events, dead_letters) =
+        match env.recovery {
+            Some(policy) => {
+                // Supervised pass: the supervisor owns rank lifecycles and
+                // absorbs faults via rollback-rejoin; the epoch source is
+                // the same consistent-line scan the whole-run restart path
+                // uses, so both rungs of the ladder agree on where "safe"
+                // is.
+                let ckpt_dir = env.ckpt_dir;
+                let run = Supervisor::new(&cluster, policy).run(body, || {
+                    consistent_epoch(ckpt_dir, n_ranks).ok().flatten()
+                });
+                (
+                    run.results,
+                    run.recoveries,
+                    run.degraded,
+                    run.recovered_faults,
+                    run.events,
+                    run.dead_letters,
+                )
+            }
+            None => (
+                cluster.try_run(body),
+                0,
+                false,
+                Vec::new(),
+                Vec::new(),
+                DeadLetterStats::default(),
+            ),
+        };
     // Transpose: a rank-local I/O error fails the whole pass (as the
     // pre-resilience code did); a fault report stays per-rank.
-    outcomes
+    let outcomes: io::Result<Vec<Result<RankOutcome, FaultReport>>> = results
         .into_iter()
         .map(|r| match r {
             Ok(Ok(outcome)) => Ok(Ok(outcome)),
             Ok(Err(io_err)) => Err(io_err),
             Err(fault) => Ok(Err(fault)),
         })
-        .collect()
+        .collect();
+    Ok(PassOutput {
+        outcomes: outcomes?,
+        recoveries,
+        degraded,
+        recovered_faults,
+        events,
+        dead_letters,
+    })
 }
 
 /// Convenience: locate a stage by name.

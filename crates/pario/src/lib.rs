@@ -29,7 +29,7 @@ pub mod surface;
 pub mod throttle;
 
 pub use checkpoint::{read_checkpoint, write_checkpoint, CheckpointData};
-pub use epochs::{consistent_epoch, epoch_file_name, retry_io, CheckpointStore};
+pub use epochs::{consistent_epoch, epoch_file_name, retry_io, retry_io_with, CheckpointStore};
 pub use md5::Md5;
 pub use output::{OutputAggregator, SharedFileWriter};
 pub use surface::SurfaceReader;

@@ -30,11 +30,14 @@ pub enum Phase {
     Barrier,
     Checkpoint,
     Output,
+    /// Time a rank spends parked at the supervisor's rollback gate during
+    /// an in-flight recovery (quarantine → rollback barrier → respawn).
+    Recovery,
 }
 
 impl Phase {
     /// Number of phases; sizes the fixed per-recorder totals array.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 13;
 
     /// All phases in display order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -50,6 +53,7 @@ impl Phase {
         Phase::Barrier,
         Phase::Checkpoint,
         Phase::Output,
+        Phase::Recovery,
     ];
 
     /// Phases whose per-rank totals define compute time for the
@@ -86,6 +90,7 @@ impl Phase {
             Phase::Barrier => "barrier",
             Phase::Checkpoint => "checkpoint",
             Phase::Output => "output",
+            Phase::Recovery => "recovery",
         }
     }
 }
@@ -106,10 +111,16 @@ pub enum Counter {
     FaultEvents,
     /// IO retry attempts beyond the first try (checkpoint write retries).
     IoRetries,
+    /// In-flight recovery cycles this rank rejoined (rollback + respawn
+    /// without a whole-run restart).
+    Recoveries,
+    /// Messages drained from this rank's quarantined mailbox into the
+    /// dead-letter buffer during in-flight recovery.
+    DeadLetters,
 }
 
 impl Counter {
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 11;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::MsgsSent,
@@ -121,6 +132,8 @@ impl Counter {
         Counter::OutputBytes,
         Counter::FaultEvents,
         Counter::IoRetries,
+        Counter::Recoveries,
+        Counter::DeadLetters,
     ];
 
     #[inline]
@@ -139,6 +152,8 @@ impl Counter {
             Counter::OutputBytes => "output_bytes",
             Counter::FaultEvents => "fault_events",
             Counter::IoRetries => "io_retries",
+            Counter::Recoveries => "recoveries",
+            Counter::DeadLetters => "dead_letters",
         }
     }
 }

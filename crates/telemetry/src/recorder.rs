@@ -11,6 +11,8 @@
 
 use crate::hist::Log2Hist;
 use crate::phase::{Counter, HistKind, Phase};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One recorded span. 24 bytes; `step` lets the trace viewer correlate
@@ -95,6 +97,11 @@ pub struct Recorder {
     totals: [PhaseTotal; Phase::COUNT],
     counters: [u64; Counter::COUNT],
     hists: [Log2Hist; HistKind::COUNT],
+    /// Optional liveness pulse: bumped on every probe (even with recording
+    /// disabled) so a watchdog can distinguish a rank that is slow but
+    /// emitting phase spans from one that is wedged. `None` (the default)
+    /// keeps every probe's overhead at a single not-taken branch.
+    pulse: Option<Arc<AtomicU64>>,
 }
 
 impl Recorder {
@@ -112,6 +119,7 @@ impl Recorder {
             totals: [PhaseTotal::default(); Phase::COUNT],
             counters: [0; Counter::COUNT],
             hists: [Log2Hist::new(); HistKind::COUNT],
+            pulse: None,
         }
     }
 
@@ -129,12 +137,28 @@ impl Recorder {
             totals: [PhaseTotal::default(); Phase::COUNT],
             counters: [0; Counter::COUNT],
             hists: [Log2Hist::new(); HistKind::COUNT],
+            pulse: None,
         }
     }
 
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Attach a liveness pulse cell. Every subsequent probe — span start,
+    /// span record, counter bump, histogram observation — increments the
+    /// cell, whether or not recording is enabled, so a watchdog polling it
+    /// sees activity from ranks that are busy inside long phase windows.
+    pub fn set_pulse(&mut self, cell: Arc<AtomicU64>) {
+        self.pulse = Some(cell);
+    }
+
+    #[inline]
+    fn beat_pulse(&self) {
+        if let Some(p) = &self.pulse {
+            p.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     #[inline]
@@ -153,6 +177,7 @@ impl Recorder {
     /// Begin timing a span. Returns `None` (no clock read) when disabled.
     #[inline]
     pub fn start(&self) -> Option<Instant> {
+        self.beat_pulse();
         if self.enabled {
             Some(Instant::now())
         } else {
@@ -173,6 +198,7 @@ impl Recorder {
     /// telemetry, or when a wait interval is split into wait + inject).
     #[inline]
     pub fn span_at(&mut self, phase: Phase, t0: Instant, dur: Duration) {
+        self.beat_pulse();
         if !self.enabled {
             return;
         }
@@ -211,6 +237,7 @@ impl Recorder {
     /// Bump a monotonic counter.
     #[inline]
     pub fn count(&mut self, c: Counter, n: u64) {
+        self.beat_pulse();
         if self.enabled {
             self.counters[c.index()] += n;
         }
@@ -219,6 +246,7 @@ impl Recorder {
     /// Record one latency observation in a log2 histogram.
     #[inline]
     pub fn observe(&mut self, kind: HistKind, dur: Duration) {
+        self.beat_pulse();
         if self.enabled {
             self.hists[kind.index()].record_ns(dur.as_nanos() as u64);
         }

@@ -185,6 +185,12 @@ impl fmt::Display for TelemetryReport {
             self.counter(Counter::IoRetries),
             self.dropped_spans,
         )?;
+        writeln!(
+            f,
+            "  recoveries: {}   dead letters: {}",
+            self.counter(Counter::Recoveries),
+            self.counter(Counter::DeadLetters),
+        )?;
         for k in HistKind::ALL {
             let h = self.hist(k);
             if h.count() == 0 {

@@ -8,7 +8,8 @@
 //! hangs into reportable faults.
 
 use crate::fault::{
-    AbortUnwind, FaultKind, FaultPlan, FaultReport, FaultUnwind, MsgFault, WatchdogConfig,
+    AbortUnwind, FaultKind, FaultPlan, FaultReport, FaultUnwind, MsgFault, RollbackUnwind,
+    WatchdogConfig,
 };
 use crate::ledger::{Category, TimeLedger};
 use crate::mailbox::Mailbox;
@@ -70,7 +71,7 @@ struct BarrierState {
 /// Re-usable counting barrier that, unlike `std::sync::Barrier`, can be
 /// poisoned (waking every waiter so it can unwind during teardown) and
 /// supports per-wait deadlines.
-struct SyncBarrier {
+pub(crate) struct SyncBarrier {
     n: usize,
     state: parking_lot::Mutex<BarrierState>,
     cv: parking_lot::Condvar,
@@ -130,6 +131,10 @@ impl SyncBarrier {
         self.cv.notify_all();
     }
 
+    /// Clear poison and stale arrivals. Also used after a rollback
+    /// interrupt: ranks that unwound out of a barrier wait leave their
+    /// `arrived` contribution behind, so the count must restart from zero
+    /// before the next generation.
     fn unpoison(&self) {
         let mut s = self.state.lock();
         s.poisoned = false;
@@ -138,39 +143,48 @@ impl SyncBarrier {
 }
 
 /// Heartbeat sentinel meaning "no step reported yet".
-const NO_STEP: u64 = u64::MAX;
+pub(crate) const NO_STEP: u64 = u64::MAX;
 
-struct Shared {
-    mailboxes: Vec<Mailbox>,
-    barrier: SyncBarrier,
-    stats: ClusterStats,
+pub(crate) struct Shared {
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) barrier: SyncBarrier,
+    pub(crate) stats: ClusterStats,
     /// Epoch for heartbeat timestamps.
-    start: Instant,
+    pub(crate) start: Instant,
     /// Millis-since-start of each rank's last sign of life.
-    heartbeats: Vec<AtomicU64>,
+    pub(crate) heartbeats: Vec<AtomicU64>,
     /// Last solver step each rank reported via [`RankCtx::tick`].
-    steps: Vec<AtomicU64>,
+    pub(crate) steps: Vec<AtomicU64>,
     /// Ranks whose body returned (or unwound) — exempt from the watchdog.
-    done: Vec<AtomicBool>,
+    pub(crate) done: Vec<AtomicBool>,
     /// Watchdog verdicts, recorded before poisoning for fault attribution.
-    hung: Vec<AtomicBool>,
+    pub(crate) hung: Vec<AtomicBool>,
     /// Set once on teardown; blocks all further blocking communication.
-    aborted: AtomicBool,
-    fault_plan: Option<Arc<FaultPlan>>,
+    pub(crate) aborted: AtomicBool,
+    /// Set while the supervisor is coordinating an in-flight recovery:
+    /// surviving ranks unwind with [`RollbackUnwind`] at their next
+    /// cancellation point and park at the rollback gate instead of dying.
+    pub(crate) rollback: AtomicBool,
+    /// Per-rank telemetry-probe pulse cells: bumped by every recorder
+    /// probe so the liveness scan can tell a slow-but-instrumented rank
+    /// from a wedged one. Wired into each rank's recorder only when a
+    /// watchdog (or supervisor) is attached.
+    pub(crate) pulses: Vec<Arc<AtomicU64>>,
+    pub(crate) fault_plan: Option<Arc<FaultPlan>>,
     /// Opt-in telemetry hub. When attached, each rank gets an enabled
     /// recorder at spawn and its snapshot is submitted at rank completion.
-    telemetry: Option<Arc<Registry>>,
+    pub(crate) telemetry: Option<Arc<Registry>>,
     /// Opt-in seeded schedule perturbation (test harness): reorders
     /// eligible message delivery and wait-all polling deterministically.
-    schedule: Option<Arc<SchedulePlan>>,
+    pub(crate) schedule: Option<Arc<SchedulePlan>>,
 }
 
 impl Shared {
-    fn beat(&self, rank: usize) {
+    pub(crate) fn beat(&self, rank: usize) {
         self.heartbeats[rank].store(self.start.elapsed().as_millis() as u64, Ordering::Relaxed);
     }
 
-    fn last_step(&self, rank: usize) -> Option<u64> {
+    pub(crate) fn last_step(&self, rank: usize) -> Option<u64> {
         match self.steps[rank].load(Ordering::Relaxed) {
             NO_STEP => None,
             s => Some(s),
@@ -178,7 +192,7 @@ impl Shared {
     }
 
     /// Tear the cluster down: wake and unwind every blocked rank.
-    fn poison(&self) {
+    pub(crate) fn poison(&self) {
         if !self.aborted.swap(true, Ordering::SeqCst) {
             for mb in &self.mailboxes {
                 mb.poison();
@@ -187,9 +201,78 @@ impl Shared {
         }
     }
 
-    fn check_abort(&self) {
+    pub(crate) fn check_abort(&self) {
         if self.aborted.load(Ordering::SeqCst) {
             panic::panic_any(AbortUnwind);
+        }
+    }
+
+    /// Rollback cancellation point: while the supervisor is rewinding the
+    /// cluster, surviving ranks unwind here (recoverably) instead of
+    /// continuing a pass whose peer is gone.
+    pub(crate) fn check_rollback(&self) {
+        if self.rollback.load(Ordering::SeqCst) {
+            panic::panic_any(RollbackUnwind);
+        }
+    }
+
+    /// Reset communication state between supervised generations: every
+    /// mailbox is cleared of interrupt flags and stale traffic, the
+    /// barrier forgets arrivals left behind by unwound waiters, and the
+    /// per-rank progress/liveness markers restart. Called by the
+    /// supervisor once all ranks are parked at the rollback gate.
+    pub(crate) fn reset_for_generation(&self) {
+        self.barrier.unpoison();
+        for mb in &self.mailboxes {
+            mb.reset_for_rejoin();
+        }
+        for rank in 0..self.mailboxes.len() {
+            self.done[rank].store(false, Ordering::SeqCst);
+            self.hung[rank].store(false, Ordering::SeqCst);
+            self.steps[rank].store(NO_STEP, Ordering::Relaxed);
+            self.beat(rank);
+        }
+        self.rollback.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Pulse-aware liveness bookkeeping shared by the plain watchdog loop and
+/// the supervisor's monitor: a rank counts as alive at the later of its
+/// last explicit heartbeat and the last time its telemetry-probe pulse
+/// advanced. This is the fix for the "long interior window" false
+/// positive — a rank deep in compute that still emits phase spans is
+/// slow, not hung, while a genuinely wedged rank emits neither beats nor
+/// probes and is still caught.
+pub(crate) struct LivenessTracker {
+    prev_pulse: Vec<u64>,
+    pulse_ms: Vec<u64>,
+}
+
+impl LivenessTracker {
+    pub(crate) fn new(shared: &Shared) -> Self {
+        let now = shared.start.elapsed().as_millis() as u64;
+        LivenessTracker {
+            prev_pulse: shared.pulses.iter().map(|p| p.load(Ordering::Relaxed)).collect(),
+            pulse_ms: vec![now; shared.pulses.len()],
+        }
+    }
+
+    /// Millis-since-start of `rank`'s most recent sign of life.
+    pub(crate) fn last_alive(&mut self, shared: &Shared, rank: usize, now: u64) -> u64 {
+        let cur = shared.pulses[rank].load(Ordering::Relaxed);
+        if cur != self.prev_pulse[rank] {
+            self.prev_pulse[rank] = cur;
+            self.pulse_ms[rank] = now;
+        }
+        shared.heartbeats[rank].load(Ordering::Relaxed).max(self.pulse_ms[rank])
+    }
+
+    /// Restart the staleness clock (rollback gate release).
+    pub(crate) fn reset(&mut self, shared: &Shared) {
+        let now = shared.start.elapsed().as_millis() as u64;
+        for rank in 0..self.pulse_ms.len() {
+            self.prev_pulse[rank] = shared.pulses[rank].load(Ordering::Relaxed);
+            self.pulse_ms[rank] = now;
         }
     }
 }
@@ -208,10 +291,10 @@ impl Shared {
 /// assert_eq!(sums, vec![2.0, 0.0, 1.0]);
 /// ```
 pub struct Cluster {
-    shared: Arc<Shared>,
-    size: usize,
-    mode: CommMode,
-    watchdog: Option<WatchdogConfig>,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) size: usize,
+    pub(crate) mode: CommMode,
+    pub(crate) watchdog: Option<WatchdogConfig>,
 }
 
 /// Handle to a posted non-blocking receive.
@@ -222,15 +305,15 @@ pub struct RecvReq {
 }
 
 /// Silence the panic-hook output for cluster-internal unwind payloads
-/// (injected faults and teardown aborts); genuine rank panics keep the
-/// default report.
-fn install_fault_hook() {
+/// (injected faults, teardown aborts, and supervised rollback
+/// interrupts); genuine rank panics keep the default report.
+pub(crate) fn install_fault_hook() {
     static INIT: std::sync::Once = std::sync::Once::new();
     INIT.call_once(|| {
         let prev = panic::take_hook();
         panic::set_hook(Box::new(move |info| {
             let p = info.payload();
-            if p.is::<AbortUnwind>() || p.is::<FaultUnwind>() {
+            if p.is::<AbortUnwind>() || p.is::<FaultUnwind>() || p.is::<RollbackUnwind>() {
                 return;
             }
             prev(info);
@@ -239,7 +322,7 @@ fn install_fault_hook() {
 }
 
 /// Convert a caught rank-thread panic payload into a structured report.
-fn classify_panic(
+pub(crate) fn classify_panic(
     rank: usize,
     payload: Box<dyn std::any::Any + Send>,
     shared: &Shared,
@@ -247,6 +330,16 @@ fn classify_panic(
     let step = shared.last_step(rank);
     if let Some(fu) = payload.downcast_ref::<FaultUnwind>() {
         return fu.0.clone();
+    }
+    if payload.is::<RollbackUnwind>() {
+        // Only reachable outside a supervised run (the supervisor's worker
+        // loop intercepts this payload before classification).
+        return FaultReport {
+            rank,
+            step,
+            kind: FaultKind::Aborted,
+            detail: "interrupted for rollback outside a supervised run".into(),
+        };
     }
     if payload.is::<AbortUnwind>() {
         if shared.hung[rank].load(Ordering::SeqCst) {
@@ -274,6 +367,7 @@ fn classify_panic(
 
 fn watchdog_loop(shared: &Shared, cfg: WatchdogConfig, shutdown: &AtomicBool) {
     let timeout_ms = cfg.timeout.as_millis() as u64;
+    let mut liveness = LivenessTracker::new(shared);
     loop {
         std::thread::sleep(cfg.poll);
         if shutdown.load(Ordering::SeqCst) || shared.aborted.load(Ordering::SeqCst) {
@@ -285,7 +379,7 @@ fn watchdog_loop(shared: &Shared, cfg: WatchdogConfig, shutdown: &AtomicBool) {
             if shared.done[rank].load(Ordering::SeqCst) {
                 continue;
             }
-            let last = shared.heartbeats[rank].load(Ordering::Relaxed);
+            let last = liveness.last_alive(shared, rank, now);
             if now.saturating_sub(last) > timeout_ms {
                 shared.hung[rank].store(true, Ordering::SeqCst);
                 any_hung = true;
@@ -311,6 +405,8 @@ impl Cluster {
             done: (0..size).map(|_| AtomicBool::new(false)).collect(),
             hung: (0..size).map(|_| AtomicBool::new(false)).collect(),
             aborted: AtomicBool::new(false),
+            rollback: AtomicBool::new(false),
+            pulses: (0..size).map(|_| Arc::new(AtomicU64::new(0))).collect(),
             fault_plan: None,
             telemetry: None,
             schedule: None,
@@ -421,24 +517,13 @@ impl Cluster {
                 .map(|rank| {
                     let shared = Arc::clone(shared);
                     let body = &body;
+                    let wire_pulse = self.watchdog.is_some();
                     scope.spawn(move || {
                         shared.beat(rank);
                         // The ctx lives outside the panic boundary so its
                         // telemetry survives a mid-run fault: the partial
                         // timeline is submitted either way.
-                        let mut ctx = RankCtx {
-                            rank,
-                            size,
-                            mode,
-                            shared: Arc::clone(&shared),
-                            waitall_calls: 0,
-                            ledger: TimeLedger::new(),
-                            telem: shared
-                                .telemetry
-                                .as_ref()
-                                .map(|reg| reg.recorder(rank))
-                                .unwrap_or_else(Recorder::disabled),
-                        };
+                        let mut ctx = RankCtx::new(Arc::clone(&shared), rank, size, mode, wire_pulse);
                         let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
                         shared.done[rank].store(true, Ordering::SeqCst);
                         if let Some(reg) = &shared.telemetry {
@@ -474,9 +559,10 @@ impl Cluster {
 
     /// Clear teardown state so a cluster object can host another pass
     /// (e.g. a restart after a fault).
-    fn reset_run_state(&self) {
+    pub(crate) fn reset_run_state(&self) {
         let shared = &self.shared;
         shared.aborted.store(false, Ordering::SeqCst);
+        shared.rollback.store(false, Ordering::SeqCst);
         shared.barrier.unpoison();
         for mb in &shared.mailboxes {
             mb.unpoison();
@@ -500,6 +586,9 @@ pub struct RankCtx {
     /// deterministic (program-order) index a schedule plan keys its
     /// polling-order permutation on.
     waitall_calls: u64,
+    /// Checkpoint epoch the supervisor rewound this rank to, set at the
+    /// rollback gate before a body re-run. `None` on a fresh pass.
+    recovery_epoch: Option<u64>,
     /// Wall-time ledger; solvers charge phases through
     /// [`RankCtx::time`]. Communication calls charge themselves.
     pub ledger: TimeLedger,
@@ -511,6 +600,53 @@ pub struct RankCtx {
 }
 
 impl RankCtx {
+    /// Build the communicator handle for one rank. `wire_pulse` attaches
+    /// the rank's liveness pulse cell to its recorder (only wanted when a
+    /// watchdog or supervisor is scanning — the plain path keeps telemetry
+    /// probes at a single not-taken branch).
+    pub(crate) fn new(
+        shared: Arc<Shared>,
+        rank: usize,
+        size: usize,
+        mode: CommMode,
+        wire_pulse: bool,
+    ) -> Self {
+        let mut telem = shared
+            .telemetry
+            .as_ref()
+            .map(|reg| reg.recorder(rank))
+            .unwrap_or_else(Recorder::disabled);
+        if wire_pulse {
+            telem.set_pulse(Arc::clone(&shared.pulses[rank]));
+        }
+        RankCtx {
+            rank,
+            size,
+            mode,
+            shared,
+            waitall_calls: 0,
+            recovery_epoch: None,
+            ledger: TimeLedger::new(),
+            telem,
+        }
+    }
+
+    /// Rewind this rank's per-pass state for a supervised body re-run:
+    /// schedule-plan polling restarts from call 0 (the re-run pass is
+    /// perturbed exactly like a fresh one) and the recovery epoch is what
+    /// the body should reload from.
+    pub(crate) fn reset_for_generation(&mut self, epoch: Option<u64>) {
+        self.waitall_calls = 0;
+        self.recovery_epoch = epoch;
+    }
+
+    /// The checkpoint epoch the supervisor rewound this rank to for the
+    /// current body invocation (`None` on the first, unrewound pass).
+    /// Supervised bodies should resume from this epoch when set.
+    pub fn recovery_epoch(&self) -> Option<u64> {
+        self.recovery_epoch
+    }
+
     pub fn rank(&self) -> usize {
         self.rank
     }
@@ -543,6 +679,7 @@ impl RankCtx {
         self.shared.steps[self.rank].store(step, Ordering::Relaxed);
         self.telem.set_step(step);
         self.shared.check_abort();
+        self.shared.check_rollback();
         let Some(plan) = self.shared.fault_plan.clone() else { return };
         let fault = plan.step_fault(self.rank, step);
         if fault.is_some() {
@@ -564,6 +701,10 @@ impl RankCtx {
                 while Instant::now() < deadline {
                     std::thread::sleep(Duration::from_millis(10));
                     self.shared.check_abort();
+                    // A supervised rollback recalls even a stalled rank:
+                    // the injected stall is "recovered around" instead of
+                    // waited out.
+                    self.shared.check_rollback();
                 }
             }
             _ => {}
@@ -579,10 +720,14 @@ impl RankCtx {
                 Ok(()) => return,
                 Err(RecvTimeoutError::Timeout) => {
                     self.shared.check_abort();
+                    self.shared.check_rollback();
                     self.shared.beat(self.rank);
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     self.shared.check_abort();
+                    // A quarantine drain closes ack channels; during a
+                    // rollback that is a recall, not a vanished peer.
+                    self.shared.check_rollback();
                     panic::panic_any(FaultUnwind(FaultReport {
                         rank: self.rank,
                         step: self.shared.last_step(self.rank),
@@ -840,7 +985,10 @@ impl RankCtx {
         let t0 = std::time::Instant::now();
         let shared = Arc::clone(&self.shared);
         let rank = self.rank;
-        match self.shared.barrier.wait(None, &|| shared.beat(rank)) {
+        match self.shared.barrier.wait(None, &|| {
+            shared.beat(rank);
+            shared.check_rollback();
+        }) {
             BarrierWait::Passed => {}
             BarrierWait::Poisoned => panic::panic_any(AbortUnwind),
             BarrierWait::TimedOut => unreachable!("deadline-free barrier cannot time out"),
@@ -861,8 +1009,10 @@ impl RankCtx {
         let t0 = std::time::Instant::now();
         let shared = Arc::clone(&self.shared);
         let rank = self.rank;
-        let outcome =
-            self.shared.barrier.wait(Some(Instant::now() + timeout), &|| shared.beat(rank));
+        let outcome = self.shared.barrier.wait(Some(Instant::now() + timeout), &|| {
+            shared.beat(rank);
+            shared.check_rollback();
+        });
         let el = t0.elapsed();
         self.ledger.add(Category::Sync, el);
         self.telem.span_at(Phase::Barrier, t0, el);
@@ -1088,6 +1238,30 @@ mod tests {
                 "rank {r}: {err}"
             );
         }
+    }
+
+    #[test]
+    fn watchdog_spares_slow_rank_that_emits_telemetry_probes() {
+        // Satellite fix: a rank buried in a long compute window that
+        // still emits telemetry probes must not be killed by the
+        // watchdog, even though it never beats the heartbeat — the
+        // probe pulse counts as a sign of life.
+        let c = Cluster::new(2, CommMode::Asynchronous).with_watchdog(WatchdogConfig {
+            timeout: Duration::from_millis(300),
+            poll: Duration::from_millis(25),
+        });
+        let out = c.try_run(|ctx| {
+            if ctx.rank() == 0 {
+                // ~900ms of "compute", probing every 50ms, never ticking.
+                for _ in 0..18 {
+                    std::thread::sleep(Duration::from_millis(50));
+                    ctx.telem.count(Counter::OutputBytes, 1);
+                }
+            }
+            ctx.rank()
+        });
+        assert_eq!(*out[0].as_ref().expect("instrumented slow rank must survive"), 0);
+        assert_eq!(*out[1].as_ref().unwrap(), 1);
     }
 
     #[test]

@@ -73,6 +73,13 @@ pub(crate) struct FaultUnwind(pub FaultReport);
 /// cluster.
 pub(crate) struct AbortUnwind;
 
+/// Panic payload used by the supervisor to interrupt a surviving rank
+/// mid-pass for an in-flight recovery: the rank unwinds to its worker
+/// loop, parks at the rollback gate, and re-runs its body from the last
+/// validated checkpoint epoch. Unlike `AbortUnwind` this is recoverable —
+/// the rank is not dead, it is being rewound.
+pub(crate) struct RollbackUnwind;
+
 /// One scheduled step fault.
 #[derive(Debug)]
 struct StepFault {
@@ -91,8 +98,9 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Stateless mixer for per-message decisions.
-fn mix(seed: u64, generation: u64, src: u64, dst: u64, tag: u64) -> u64 {
+/// Stateless mixer for per-message decisions (also reused by the
+/// supervisor's deterministic backoff jitter).
+pub(crate) fn mix(seed: u64, generation: u64, src: u64, dst: u64, tag: u64) -> u64 {
     let mut s = seed ^ 0xA076_1D64_78BD_642F;
     for v in [generation, src, dst, tag] {
         s ^= v.wrapping_mul(0xE703_7ED1_A0B4_28DB);
@@ -102,7 +110,7 @@ fn mix(seed: u64, generation: u64, src: u64, dst: u64, tag: u64) -> u64 {
     splitmix64(&mut st)
 }
 
-fn unit(x: u64) -> f64 {
+pub(crate) fn unit(x: u64) -> f64 {
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 

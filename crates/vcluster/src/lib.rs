@@ -31,11 +31,15 @@ pub mod mailbox;
 pub mod message;
 pub mod probe;
 pub mod schedule;
+pub mod supervisor;
 pub mod topology;
 
 pub use cluster::{Cluster, CommMode, RankCtx};
 pub use awp_telemetry as telemetry;
 pub use fault::{FaultKind, FaultPlan, FaultReport, WatchdogConfig};
+pub use supervisor::{
+    DeadLetterBuffer, DeadLetterStats, RecoveryEvent, RetryPolicy, SupervisedRun, Supervisor,
+};
 pub use schedule::SchedulePlan;
 pub use collectives::{allreduce_f64, broadcast_f64, gather_bytes, gather_f64, reduce_f64};
 pub use ledger::{Category, TimeLedger};

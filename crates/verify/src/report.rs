@@ -106,7 +106,8 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
     for (i, l) in levels.iter().enumerate() {
         for key in ["h", "dt", "error"] {
             let x = l[key].as_f64().ok_or(format!("levels[{i}]: missing {key}"))?;
-            if !(x > 0.0) {
+            // NaN must fail too, so compare via partial_cmp rather than `>`.
+            if x.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                 return Err(format!("levels[{i}].{key} = {x} must be positive"));
             }
         }

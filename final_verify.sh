@@ -23,6 +23,16 @@ timeout 1800 ./target/release/examples/shakeout_scenario > results/logs/example_
 # Fixed-seed chaos soak: injected faults + epoch-fallback restart must
 # reproduce the clean run bit-for-bit (nonzero exit on any mismatch).
 timeout 900 ./target/release/awp chaos --chaos-seed 3405691582 > results/logs/cli_chaos.log 2>&1; echo "chaos exit $?"
+# Recovery drills: a seeded rank crash and a seeded rank stall must each be
+# absorbed *in flight* (supervisor rollback-rejoin: recovery counters > 0,
+# zero whole-run restarts, no degradation) and stay bit-identical to the
+# clean run. The awp binary enforces the gate and exits nonzero otherwise.
+timeout 900 ./target/release/awp chaos --recover --fault crash --chaos-seed 3405691582 > results/logs/cli_recover_crash.log 2>&1; echo "recover_crash exit $?"
+timeout 900 ./target/release/awp chaos --recover --fault stall --chaos-seed 3405691582 > results/logs/cli_recover_stall.log 2>&1; echo "recover_stall exit $?"
+grep -q "in-flight recoveries: [1-9]" results/logs/cli_recover_crash.log; echo "recover_crash_counted exit $?"
+grep -q "whole-run restarts: 0" results/logs/cli_recover_crash.log; echo "recover_crash_inflight exit $?"
+grep -q "in-flight recoveries: [1-9]" results/logs/cli_recover_stall.log; echo "recover_stall_counted exit $?"
+grep -q "whole-run restarts: 0" results/logs/cli_recover_stall.log; echo "recover_stall_inflight exit $?"
 timeout 600 ./target/release/s7b_memory > results/logs/s7b_memory.log 2>&1; echo "s7b exit $?"
 timeout 600 ./target/release/s7c_resilience > results/logs/s7c_resilience.log 2>&1; echo "s7c exit $?"
 echo "=== EXAMPLES DONE ==="

@@ -6,7 +6,7 @@ use awp_odc::pario::epochs::{consistent_epoch, epoch_file_name};
 use awp_odc::pario::Md5;
 use awp_odc::scenario::Scenario;
 use awp_odc::vcluster::fault::{FaultKind, FaultPlan, WatchdogConfig};
-use awp_odc::vcluster::SchedulePlan;
+use awp_odc::vcluster::{RecoveryEvent, RetryPolicy, SchedulePlan};
 use awp_odc::workflow::{scratch_dir, E2EWorkflow};
 use std::sync::Arc;
 use std::time::Duration;
@@ -152,8 +152,9 @@ fn schedule_fuzz_composes_with_fault_injection() {
     // delivered in a seeded adversarial order while a mid-run crash
     // forces the workflow back to the newest consistent checkpoint epoch
     // — and the final outputs must still be bit-identical to an
-    // unperturbed reference run.
-    let sc = Scenario::shakeout_k(20, 0.3).with_duration(12.0);
+    // unperturbed reference run. (Duration 20 s ⇒ 11 steps: enough for a
+    // checkpoint epoch at step 4 and a crash at step 6.)
+    let sc = Scenario::shakeout_k(20, 0.3).with_duration(20.0);
 
     let clean_dir = scratch_dir("chaos-sched-clean");
     let clean = E2EWorkflow::new(sc.prepare(), [2, 1, 1], &clean_dir)
@@ -193,6 +194,106 @@ fn schedule_fuzz_composes_with_fault_injection() {
 
     let _ = std::fs::remove_dir_all(&clean_dir);
     let _ = std::fs::remove_dir_all(&chaos_dir);
+}
+
+#[test]
+fn in_flight_recovery_composes_with_schedule_fuzz() {
+    // Composed chaos, supervised: a mid-run rank crash is absorbed
+    // *in flight* (supervisor rollback-rejoin, zero whole-run restarts)
+    // while ~5% of messages are duplicated, ~2% delayed, and the
+    // schedule fuzzer permutes delivery/waitall order under 8 different
+    // seeds. Every composition must converge via exactly the in-flight
+    // path and stay bit-identical to the unperturbed reference.
+    let sc = Scenario::shakeout_k(20, 0.3).with_duration(20.0);
+
+    let clean_dir = scratch_dir("recov-fuzz-clean");
+    let clean = E2EWorkflow::new(sc.prepare(), [2, 1, 1], &clean_dir)
+        .execute()
+        .expect("clean reference run failed");
+
+    for fuzz_seed in 0..8u64 {
+        let run = sc.prepare();
+        assert!(run.cfg.steps > 8, "scenario too short to crash mid-run");
+        let faults = Arc::new(
+            FaultPlan::new(0xBAD0_0000 + fuzz_seed)
+                .with_crash(1, 6)
+                .with_msg_faults(0.0, 0.02, 0.05, 300),
+        );
+        let dir = scratch_dir(&format!("recov-fuzz-{fuzz_seed}"));
+        let mut wf = E2EWorkflow::new(run, [2, 1, 1], &dir)
+            .with_chaos(
+                faults,
+                WatchdogConfig { timeout: Duration::from_secs(10), poll: Duration::from_millis(50) },
+            )
+            .with_schedule(SchedulePlan::with_bounds(0xF077_u64 ^ fuzz_seed, 3, 4))
+            .with_recovery(RetryPolicy::new(3));
+        wf.checkpoint_every = Some(4);
+        let rep = wf.execute().expect("supervised run must converge");
+
+        assert!(
+            rep.in_flight_recoveries >= 1,
+            "seed {fuzz_seed}: the crash must be absorbed in flight"
+        );
+        assert_eq!(rep.restarts, 0, "seed {fuzz_seed}: no whole-run restart allowed");
+        assert!(!rep.recovery_degraded, "seed {fuzz_seed}: must not degrade");
+        assert!(
+            rep.faults.iter().any(|f| f.kind == FaultKind::Crash),
+            "seed {fuzz_seed}: the recovered crash must still be reported: {:?}",
+            rep.faults
+        );
+        assert!(
+            rep.recovery_events
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::Respawned { .. })),
+            "seed {fuzz_seed}: a respawn event must be recorded"
+        );
+        assert_eq!(
+            surface_md5(&clean),
+            surface_md5(&rep),
+            "seed {fuzz_seed}: surface diverged under supervised chaos"
+        );
+        assert_eq!(clean.pgv.data, rep.pgv.data, "seed {fuzz_seed}: PGV diverged");
+        assert_eq!(clean.collection_checksum, rep.collection_checksum, "seed {fuzz_seed}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&clean_dir);
+}
+
+#[test]
+fn recovery_degrades_to_whole_run_restart_ladder() {
+    // Degradation ladder: a crash *before the first checkpoint epoch*
+    // leaves the supervisor nothing to roll back to — the pass must
+    // degrade, fall through to the whole-run restart rung, and the
+    // restarted run (one-shot fault already fired) must still finish
+    // bit-exact.
+    let rep_clean = clean_reference("recov-degrade-clean");
+
+    let sc = Scenario::shakeout_k(20, 0.3).with_duration(20.0);
+    let run = sc.prepare();
+    let dir = scratch_dir("recov-degrade");
+    let mut wf = E2EWorkflow::new(run, [2, 1, 1], &dir)
+        .with_chaos(
+            Arc::new(FaultPlan::new(0xDE6D).with_crash(1, 2)),
+            WatchdogConfig { timeout: Duration::from_secs(10), poll: Duration::from_millis(50) },
+        )
+        .with_recovery(RetryPolicy::new(3));
+    wf.checkpoint_every = Some(4);
+    let rep = wf.execute().expect("degraded run must still converge via restart");
+
+    assert!(rep.recovery_degraded, "no epoch to roll back to ⇒ must degrade");
+    assert!(rep.restarts >= 1, "degradation must fall through to a whole-run restart");
+    assert!(
+        rep.recovery_events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::Degraded { .. })),
+        "a Degraded event must be recorded: {:?}",
+        rep.recovery_events
+    );
+    assert!(rep.faults.iter().any(|f| f.kind == FaultKind::Crash));
+    assert_eq!(rep_clean.pgv.data, rep.pgv.data, "PGV must match bitwise after the ladder");
+    assert_eq!(surface_md5(&rep_clean), surface_md5(&rep));
+    assert!(rep.archive_verified);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
