@@ -45,10 +45,10 @@ use awp_solver::flops::per_point;
 use awp_solver::kernels::{update_stress, update_velocity};
 use awp_solver::medium::Medium;
 use awp_solver::simd::{detect, update_stress_simd, update_velocity_simd, SimdBackend};
-use awp_solver::solver::partition_mesh_direct;
+use awp_solver::solver::{partition_mesh_direct, Solver};
 use awp_solver::state::WaveState;
 use awp_solver::telemetry::{Phase as TelPhase, Registry};
-use awp_solver::{run_parallel_with, SolverConfig};
+use awp_solver::{run_parallel_with, LtsOpts, LtsPlan, SolverConfig};
 use awp_source::kinematic::KinematicSource;
 use awp_source::moment::MomentTensor;
 use awp_source::stf::Stf;
@@ -222,6 +222,45 @@ fn time_overlap(
     (best, comp, comm)
 }
 
+/// LTS vs global-dt wall clock: serial solver on the basin-over-rock
+/// medium (the soft basin earns rate-4/2 dt-clusters while the rock floor
+/// pins the base dt), optimized opts, best-of-`reps` per variant. Returns
+/// (global secs, lts secs, global flops, lts flops, plan).
+fn time_lts(d: Dims3, steps: usize, reps: usize) -> (f64, f64, u64, u64, LtsPlan) {
+    let h = 150.0;
+    // Near the rock CFL bound 6h/(7√3·6000): the basin's headroom becomes
+    // octaves instead of a smaller global dt.
+    let dt = 0.012;
+    let mesh = MeshGenerator::new(&LayeredModel::basin_over_rock(24.0 * h), d, h).generate();
+    let src = KinematicSource::point(
+        Idx3::new(d.nx / 2, d.ny / 2, 8),
+        MomentTensor::strike_slip(0.3),
+        5.0e16,
+        Stf::Brune { tau: 0.25 },
+        dt,
+    );
+    let plan = LtsPlan::from_mesh(&mesh, dt, LtsOpts::new());
+    let mut cfg = SolverConfig::small(d, h, dt, steps);
+    cfg.opts = awp_solver::config::SolverOpts::optimized();
+    let run = |lts: bool| {
+        let mut cfg = cfg.clone();
+        cfg.opts.lts = lts.then(LtsOpts::new);
+        let mut best = f64::INFINITY;
+        let mut flops = 0u64;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let rep = Solver::run_serial(cfg.clone(), &mesh, &src, &[]);
+            best = best.min(t0.elapsed().as_secs_f64());
+            flops = rep.flops;
+            black_box(&rep);
+        }
+        (best, flops)
+    };
+    let (g_secs, g_flops) = run(false);
+    let (l_secs, l_flops) = run(true);
+    (g_secs, l_secs, g_flops, l_flops, plan)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let opts = Opts {
@@ -349,6 +388,41 @@ fn main() {
         hidden_comm_fraction
     );
 
+    // Local time stepping: serial wall clock on the basin-contrast medium.
+    // The cluster census gives the upper bound (update work saved); the
+    // measured ratio has to carry the interface save/blend/restore
+    // overhead on top.
+    let (ld, lsteps, lreps) = if opts.smoke {
+        (Dims3::new(24, 20, 32), 24usize, 2usize)
+    } else {
+        (Dims3::new(64, 64, 32), 80usize, 3usize)
+    };
+    let (lts_g_secs, lts_l_secs, lts_g_flops, lts_l_flops, lts_plan) =
+        time_lts(ld, lsteps, lreps);
+    let lts_speedup = lts_g_secs / lts_l_secs;
+    let lts_theoretical = lts_plan.theoretical_speedup();
+    let lts_flop_ratio = lts_g_flops as f64 / lts_l_flops as f64;
+    println!("\n{:<12} {:>10} {:>10} {:>12}", "stepping", "wall ms", "Gflop", "clusters");
+    println!(
+        "{:<12} {:>10.2} {:>10.2} {:>12}",
+        "global-dt",
+        lts_g_secs * 1e3,
+        lts_g_flops as f64 / 1e9,
+        1
+    );
+    println!(
+        "{:<12} {:>10.2} {:>10.2} {:>12}",
+        "lts",
+        lts_l_secs * 1e3,
+        lts_l_flops as f64 / 1e9,
+        lts_plan.clusters.len()
+    );
+    println!(
+        "lts speedup: {lts_speedup:.2}x measured / {lts_theoretical:.2}x census \
+         (flop ratio {lts_flop_ratio:.2}x), ladder {:?}",
+        lts_plan.clusters.iter().map(|c| c.rate).collect::<Vec<_>>()
+    );
+
     // Telemetry overhead: the same overlap config with the probes on vs
     // disabled, measured as interleaved pairs (on, off, on, off, ...) so
     // scheduler drift on oversubscribed hosts hits both variants equally
@@ -397,6 +471,12 @@ fn main() {
     // widens there (same rationale as the overlap tolerance above).
     let telemetry_tol = if cores >= 2 { 1.10 } else { 1.5 };
     let telemetry_ok = tel_on_wall <= tel_off_wall * telemetry_tol;
+    // LTS must beat global-dt stepping on the basin-contrast medium. The
+    // acceptance bar (1.5×) applies to the full-size problem; the shrunk
+    // smoke grid amortises the interface overhead over far fewer interior
+    // points, so the smoke gate only demands a clear win.
+    let lts_threshold = if opts.smoke { 1.1 } else { 1.5 };
+    let lts_ok = lts_plan.is_multi_rate() && lts_speedup >= lts_threshold;
     println!("\nSIMD/scalar (blocked): {ratio:.2}x   steady-state allocations: {alloc_delta_total}");
 
     let report = json!({
@@ -417,8 +497,33 @@ fn main() {
             "telemetry_over_disabled_wall": tel_on_wall / tel_off_wall,
             "telemetry_tolerance": telemetry_tol,
             "telemetry_cheap_enough": telemetry_ok,
-            "passed": simd_ok && alloc_ok && overlap_ok && telemetry_ok,
+            "lts_speedup": lts_speedup,
+            "lts_threshold": lts_threshold,
+            "lts_fast_enough": lts_ok,
+            "passed": simd_ok && alloc_ok && overlap_ok && telemetry_ok && lts_ok,
         },
+    });
+    let lts_report = json!({
+        "mode": mode,
+        "backend": backend.name(),
+        "dims": [ld.nx, ld.ny, ld.nz],
+        "h": 150.0,
+        "dt": 0.012,
+        "steps": lsteps,
+        "medium": "basin_over_rock",
+        "clusters": lts_plan
+            .clusters
+            .iter()
+            .map(|c| json!({"k0": c.k0, "k1": c.k1, "rate": c.rate}))
+            .collect::<Vec<_>>(),
+        "global_wall_secs": lts_g_secs,
+        "lts_wall_secs": lts_l_secs,
+        "global_flops": lts_g_flops,
+        "lts_flops": lts_l_flops,
+        "flop_ratio": lts_flop_ratio,
+        "measured_speedup": lts_speedup,
+        "theoretical_speedup": lts_theoretical,
+        "gate": {"threshold": lts_threshold, "passed": lts_ok},
     });
     // Smoke mode is the CI gate: it must not clobber the committed
     // full-mode artifacts with shrunk-problem numbers.
@@ -426,6 +531,10 @@ fn main() {
         let pretty = serde_json::to_string_pretty(&report).expect("serialize report");
         std::fs::write("BENCH_kernels.json", &pretty).expect("write BENCH_kernels.json");
         println!("[record] BENCH_kernels.json");
+
+        let pretty = serde_json::to_string_pretty(&lts_report).expect("serialize lts report");
+        std::fs::write("BENCH_lts.json", &pretty).expect("write BENCH_lts.json");
+        println!("[record] BENCH_lts.json");
 
         let baseline = json!({
             "backend": "scalar",
@@ -442,12 +551,13 @@ fn main() {
         println!("[record] results/bench_kernels_baseline.json");
     }
 
-    if opts.gate && !(simd_ok && alloc_ok && overlap_ok && telemetry_ok) {
+    if opts.gate && !(simd_ok && alloc_ok && overlap_ok && telemetry_ok && lts_ok) {
         eprintln!(
             "GATE FAILED: simd_not_slower={simd_ok} (ratio {ratio:.3}), \
              steady_state_alloc_free={alloc_ok} (delta {alloc_delta_total}), \
              overlap_not_slower={overlap_ok} (ratio {:.3}, tol {overlap_tol} on {cores} cores), \
-             telemetry_cheap_enough={telemetry_ok} (ratio {:.3}, tol {telemetry_tol})",
+             telemetry_cheap_enough={telemetry_ok} (ratio {:.3}, tol {telemetry_tol}), \
+             lts_fast_enough={lts_ok} (speedup {lts_speedup:.3}, threshold {lts_threshold})",
             ov_wall / plain_wall,
             tel_on_wall / tel_off_wall
         );

@@ -33,7 +33,7 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  awp scenarios\n  awp run <name> [nx] [seconds]\n  awp workflow [name] [nx] [seconds] [--profile] [--trace-out FILE]\n  awp verify [--smoke] [--seeds N] [--base-seed S] [--out FILE]\n  awp efficiency\n  awp machines\n  awp chaos --chaos-seed <n> [name] [nx] [seconds]\n  awp chaos --recover [--fault crash|stall|both] [--chaos-seed <n>]\n            seeded rank-failure drill: the run must complete via in-flight\n            supervisor recovery (rollback-rejoin, no whole-run restart) and\n            stay bit-identical to the clean run, or exit nonzero\n  awp --profile [--trace-out FILE]      profiled default workflow\n\nscenario names: terashake-k | terashake-d | shakeout-k | shakeout-d |\n                wall-to-wall | m8 | pnw"
+        "usage:\n  awp scenarios\n  awp run <name> [nx] [seconds] [--lts]\n  awp workflow [name] [nx] [seconds] [--lts] [--profile] [--trace-out FILE]\n  awp verify [--smoke] [--lts] [--seeds N] [--base-seed S] [--out FILE]\n  awp efficiency\n  awp machines\n  awp chaos --chaos-seed <n> [name] [nx] [seconds]\n  awp chaos --recover [--fault crash|stall|both] [--chaos-seed <n>]\n            seeded rank-failure drill: the run must complete via in-flight\n            supervisor recovery (rollback-rejoin, no whole-run restart) and\n            stay bit-identical to the clean run, or exit nonzero\n  awp --profile [--trace-out FILE]      profiled default workflow\n\nscenario names: terashake-k | terashake-d | shakeout-k | shakeout-d |\n                wall-to-wall | m8 | pnw"
     );
     std::process::exit(2);
 }
@@ -102,6 +102,14 @@ fn main() {
         trace_out = Some(PathBuf::from(path));
         args.drain(i..=i + 1);
     }
+    // Clustered local time stepping: valid on run/workflow (arms
+    // `opts.lts`, a no-op ladder on media without ≥2 dt octaves) and on
+    // verify (delegation-contract gate).
+    let mut lts = false;
+    if let Some(i) = args.iter().position(|a| a == "--lts") {
+        lts = true;
+        args.remove(i);
+    }
     let profiling = profile || trace_out.is_some();
     if args.is_empty() && profiling {
         // Bare `awp --profile [--trace-out f]`: profile a small default
@@ -135,7 +143,10 @@ fn main() {
             let secs: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(60.0);
             let sc = build_scenario(name, nx).with_duration(secs);
             println!("{} — {}", sc.name, sc.description);
-            let run = sc.prepare();
+            let mut run = sc.prepare();
+            if lts {
+                run.cfg.opts.lts = Some(awp_solver::LtsOpts::new());
+            }
             println!(
                 "grid {:?} (h = {:.1} km), {} steps, source Mw {:.2}",
                 run.cfg.dims,
@@ -164,7 +175,11 @@ fn main() {
             let dir = scratch_dir("awp-cli");
             println!("{} → E2E workflow on 4 ranks (workdir {dir:?})", sc.name);
             let registry = profiling.then(|| Registry::new(4));
-            let mut wf = E2EWorkflow::new(sc.prepare(), [2, 2, 1], &dir);
+            let mut run = sc.prepare();
+            if lts {
+                run.cfg.opts.lts = Some(awp_solver::LtsOpts::new());
+            }
+            let mut wf = E2EWorkflow::new(run, [2, 2, 1], &dir);
             if let Some(reg) = &registry {
                 wf = wf.with_telemetry(Arc::clone(reg));
                 // A profiled run should show the checkpoint phase on every
@@ -227,9 +242,14 @@ fn main() {
                 .map(|i| rest.get(i + 1).map(PathBuf::from).unwrap_or_else(|| usage()))
                 .unwrap_or_else(|| PathBuf::from("results/verify.json"));
             let mode = if smoke { "smoke" } else { "full" };
-            println!("quantitative verification ({mode} mode)\n");
-            let report =
-                awp_odc::verify::run(&awp_odc::verify::VerifySpec { smoke, seeds, base_seed });
+            let lts_note = if lts { ", lts armed" } else { "" };
+            println!("quantitative verification ({mode} mode{lts_note})\n");
+            let report = awp_odc::verify::run(&awp_odc::verify::VerifySpec {
+                smoke,
+                seeds,
+                base_seed,
+                lts,
+            });
 
             println!("{:<16} {:>10} {:>10} {:>10}  gate", "accuracy case", "worst L2", "worst env", "shift/dt");
             for c in &report.accuracy {

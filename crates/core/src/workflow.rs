@@ -30,6 +30,7 @@ use awp_solver::boundary::owns_free_surface;
 use awp_solver::config::SolverConfig;
 use awp_solver::solver::{exchange_material_halos, Solver};
 use awp_solver::stations::{surface_velocities, Station};
+use awp_solver::LtsPlan;
 use awp_source::kinematic::KinematicSource;
 use awp_telemetry::Registry;
 use awp_vcluster::fault::{FaultPlan, FaultReport, WatchdogConfig};
@@ -307,6 +308,23 @@ impl E2EWorkflow {
         if self.checkpoint_every.is_some() {
             std::fs::create_dir_all(&ckpt_dir)?;
         }
+        // Clustered local time stepping: the plan is computed once from the
+        // *global* mesh so every rank arms the identical cluster ladder
+        // (per-rank CFL profiles would disagree across partition seams).
+        let lts_plan = cfg.opts.lts.map(|lo| LtsPlan::from_mesh(&self.run.mesh, cfg.dt, lo));
+        if lts_plan.is_some() {
+            assert_eq!(
+                self.parts[2], 1,
+                "LTS clusters are z-slabs: the workflow decomposition must keep a single z part"
+            );
+        }
+        // Checkpoint epochs must land on cluster-aligned ticks: at a tick
+        // that is a multiple of the slowest cadence every cluster fires and
+        // the interface prev-planes are recaptured before first use, so a
+        // restored pass needs no extra LTS state to be bit-exact. Round the
+        // requested cadence up rather than rejecting it.
+        let lts_align = lts_plan.as_ref().map_or(1, |p| p.max_rate() as usize);
+        let checkpoint_every = self.checkpoint_every.map(|e| e.div_ceil(lts_align) * lts_align);
         let env = SolveEnv {
             cfg,
             decomp: &decomp,
@@ -319,8 +337,9 @@ impl E2EWorkflow {
             plan,
             surface_ranks: &surface_ranks,
             ckpt_dir: &ckpt_dir,
-            checkpoint_every: self.checkpoint_every,
+            checkpoint_every,
             keep_checkpoints: self.keep_checkpoints,
+            lts_plan: &lts_plan,
             fault_plan: self.fault_plan.clone(),
             watchdog: self.watchdog,
             schedule: self.schedule.clone(),
@@ -489,6 +508,9 @@ struct SolveEnv<'a> {
     ckpt_dir: &'a Path,
     checkpoint_every: Option<usize>,
     keep_checkpoints: usize,
+    /// Cluster ladder for local time stepping, computed from the global
+    /// mesh (`None` = fused global-dt stepping).
+    lts_plan: &'a Option<LtsPlan>,
     fault_plan: Option<Arc<FaultPlan>>,
     watchdog: Option<WatchdogConfig>,
     schedule: Option<Arc<SchedulePlan>>,
@@ -544,6 +566,9 @@ fn solve_ranks(
             Solver::new(cfg.clone(), sub, &local, &env.rank_sources[rank], env.stations);
         exchange_material_halos(&mut solver.med, &sub, ctx);
         solver.med.precompute();
+        if let Some(plan) = env.lts_plan {
+            solver.enable_lts(plan);
+        }
         let surf_slot = env.surface_ranks.iter().position(|&r| r == rank);
         let mut agg = surf_slot.map(|slot| OutputAggregator::new(env.plan, slot));
         let mut pgv = if surf_slot.is_some() {
@@ -566,6 +591,17 @@ fn solve_ranks(
             solver.step = start_step;
             if let (Some(saved), false) = (ckpt.field("workflow_pgv"), pgv.is_empty()) {
                 pgv.copy_from_slice(saved);
+            }
+            if let Some(phase) = ckpt.field("workflow_lts_phase") {
+                // The aligned checkpoint cadence guarantees every epoch sits
+                // on a tick where all dt-clusters fire; a nonzero phase
+                // would mean the resumed run needs interface prev-planes we
+                // did not snapshot.
+                assert_eq!(
+                    phase,
+                    &[0.0f32][..],
+                    "LTS checkpoint epoch must land on a cluster-aligned tick"
+                );
             }
         }
         let end = stop_at.unwrap_or(cfg.steps).min(cfg.steps);
@@ -602,6 +638,14 @@ fn solve_ranks(
                     env.writer.sync()?;
                     let mut fields = solver.state.checkpoint_fields();
                     fields.push(("workflow_pgv".to_string(), pgv.clone()));
+                    if solver.lts_active() {
+                        let align =
+                            env.lts_plan.as_ref().map_or(1, |p| p.max_rate() as u64);
+                        fields.push((
+                            "workflow_lts_phase".to_string(),
+                            vec![(done as u64 % align) as f32],
+                        ));
+                    }
                     store.save_traced(
                         &CheckpointData { step: done as u64, fields },
                         &mut ctx.telem,
@@ -629,6 +673,9 @@ fn solve_ranks(
         } else {
             String::new()
         };
+        if solver.lts_active() {
+            ctx.telem.set_lts_stats(solver.lts_stats());
+        }
         Ok((rank, sub, pgv, digest, solver.flops.total))
     };
     let (results, recoveries, degraded, recovered_faults, events, dead_letters) =

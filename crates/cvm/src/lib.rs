@@ -15,6 +15,7 @@
 //! (Rayon workers stand in for the per-slice MPI cores) and
 //! [`meshfile`] the single global mesh file that PetaMeshP later partitions.
 
+pub mod lts;
 pub mod material;
 pub mod mesh;
 pub mod meshfile;
@@ -22,6 +23,6 @@ pub mod model;
 pub mod socal;
 
 pub use material::MaterialSample;
-pub use mesh::{Mesh, MeshGenerator, MeshStats};
+pub use mesh::{Mesh, MeshGenerator, MeshStats, Region};
 pub use model::{CommunityVelocityModel, HomogeneousModel, LayeredModel};
 pub use socal::SoCalModel;

@@ -73,6 +73,88 @@ impl Mesh {
     pub fn memory_bytes(&self) -> usize {
         5 * self.dims.count() * std::mem::size_of::<f32>()
     }
+
+    /// Summary statistics restricted to a subvolume. The returned stats
+    /// carry the region's extent in `dims`, so `dt_max`/`f_max` give the
+    /// *local* stability and resolution limits of that block — the basis
+    /// for dt-clustered local time stepping, where each cluster's step is
+    /// bounded by its own Vp maximum rather than the worldwide one.
+    pub fn stats_region(&self, r: Region) -> MeshStats {
+        assert!(
+            r.i1 <= self.dims.nx && r.j1 <= self.dims.ny && r.k1 <= self.dims.nz,
+            "region {r:?} exceeds mesh dims {:?}",
+            self.dims
+        );
+        assert!(r.i0 < r.i1 && r.j0 < r.j1 && r.k0 < r.k1, "empty region {r:?}");
+        let mut vs_min = f32::INFINITY;
+        let mut vs_max = 0.0f32;
+        let mut vp_min = f32::INFINITY;
+        let mut vp_max = 0.0f32;
+        for k in r.k0..r.k1 {
+            for j in r.j0..r.j1 {
+                let row = self.idx(r.i0, j, k)..self.idx(r.i1 - 1, j, k) + 1;
+                for n in row {
+                    vs_min = vs_min.min(self.vs[n]);
+                    vs_max = vs_max.max(self.vs[n]);
+                    vp_min = vp_min.min(self.vp[n]);
+                    vp_max = vp_max.max(self.vp[n]);
+                }
+            }
+        }
+        MeshStats {
+            dims: Dims3::new(r.i1 - r.i0, r.j1 - r.j0, r.k1 - r.k0),
+            h: self.h,
+            vs_min,
+            vs_max,
+            vp_min,
+            vp_max,
+        }
+    }
+
+    /// Local CFL bound of a subvolume: the largest stable time step for a
+    /// scheme whose stencil only sees material inside `r`.
+    pub fn dt_max_local(&self, r: Region) -> f64 {
+        self.stats_region(r).dt_max()
+    }
+
+    /// Per-depth-plane Vp maximum (one entry per k). Drives the z-slab
+    /// dt-cluster construction: plane k's entry bounds the time step of any
+    /// cluster containing that plane. Cheap (one pass) and, unlike full
+    /// per-region scans, trivially reducible across ranks by elementwise
+    /// max when the domain is split in x/y.
+    pub fn vp_max_per_k(&self) -> Vec<f64> {
+        let plane = self.dims.nx * self.dims.ny;
+        (0..self.dims.nz)
+            .map(|k| {
+                self.vp[k * plane..(k + 1) * plane]
+                    .iter()
+                    .fold(0.0f32, |a, &b| a.max(b)) as f64
+            })
+            .collect()
+    }
+}
+
+/// A half-open index subvolume `[i0, i1) × [j0, j1) × [k0, k1)` of a mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    pub i0: usize,
+    pub i1: usize,
+    pub j0: usize,
+    pub j1: usize,
+    pub k0: usize,
+    pub k1: usize,
+}
+
+impl Region {
+    /// The whole mesh.
+    pub fn full(d: Dims3) -> Self {
+        Region { i0: 0, i1: d.nx, j0: 0, j1: d.ny, k0: 0, k1: d.nz }
+    }
+
+    /// A horizontal slab of depth planes `[k0, k1)`.
+    pub fn k_slab(d: Dims3, k0: usize, k1: usize) -> Self {
+        Region { i0: 0, i1: d.nx, j0: 0, j1: d.ny, k0, k1 }
+    }
 }
 
 /// Mesh summary with the solver's stability/accuracy limits.
@@ -247,5 +329,58 @@ mod tests {
     fn memory_estimate() {
         let mesh = Mesh::zeroed(Dims3::new(10, 10, 10), 40.0);
         assert_eq!(mesh.memory_bytes(), 5 * 1000 * 4);
+    }
+
+    #[test]
+    fn region_stats_match_global_on_full_region() {
+        let m = LayeredModel::loh1();
+        let mesh = MeshGenerator::new(&m, Dims3::new(4, 3, 20), 100.0).generate();
+        let g = mesh.stats();
+        let r = mesh.stats_region(Region::full(mesh.dims));
+        assert_eq!((g.vs_min, g.vs_max, g.vp_min, g.vp_max), (r.vs_min, r.vs_max, r.vp_min, r.vp_max));
+        assert_eq!(r.dims, mesh.dims);
+    }
+
+    #[test]
+    fn region_stats_see_only_their_slab() {
+        let m = LayeredModel::loh1();
+        // 100 m cells: k < 10 is the slow layer (vp 4000), k ≥ 10 rock (6000).
+        let mesh = MeshGenerator::new(&m, Dims3::new(3, 3, 20), 100.0).generate();
+        let top = mesh.stats_region(Region::k_slab(mesh.dims, 0, 10));
+        let bot = mesh.stats_region(Region::k_slab(mesh.dims, 10, 20));
+        assert_eq!(top.vp_max, 4000.0);
+        assert_eq!(top.vs_min, 2000.0);
+        assert_eq!(bot.vp_min, 6000.0);
+        assert_eq!(bot.vs_max, 3464.0);
+        // The slab's local CFL bound beats the global one by Vp ratio.
+        let global_dt = mesh.stats().dt_max();
+        assert!((mesh.dt_max_local(Region::k_slab(mesh.dims, 0, 10)) / global_dt - 1.5).abs() < 1e-9);
+        assert!((mesh.dt_max_local(Region::k_slab(mesh.dims, 10, 20)) - global_dt).abs() < 1e-15);
+    }
+
+    #[test]
+    fn region_stats_window_in_xy() {
+        let m = HomogeneousModel::rock();
+        let mut mesh = MeshGenerator::new(&m, Dims3::new(4, 4, 2), 50.0).generate();
+        // Soften one corner column; an x/y window excluding it must not see it.
+        let mut s = mesh.sample(3, 3, 0);
+        s.vp = 1500.0;
+        s.vs = 500.0;
+        mesh.set_sample(3, 3, 0, s);
+        let excl = mesh.stats_region(Region { i0: 0, i1: 3, j0: 0, j1: 3, k0: 0, k1: 2 });
+        assert_eq!(excl.vp_min, 6000.0);
+        let incl = mesh.stats_region(Region { i0: 2, i1: 4, j0: 2, j1: 4, k0: 0, k1: 1 });
+        assert_eq!(incl.vp_min, 1500.0);
+        assert_eq!(incl.vs_min, 500.0);
+    }
+
+    #[test]
+    fn vp_profile_tracks_layers() {
+        let m = LayeredModel::loh1();
+        let mesh = MeshGenerator::new(&m, Dims3::new(2, 2, 20), 100.0).generate();
+        let prof = mesh.vp_max_per_k();
+        assert_eq!(prof.len(), 20);
+        assert!(prof[..10].iter().all(|&v| v == 4000.0));
+        assert!(prof[10..].iter().all(|&v| v == 6000.0));
     }
 }

@@ -80,6 +80,17 @@ impl LayeredModel {
         Self::new(profile.iter().map(|&(d, vs)| (d, sample_from_vs(vs))).collect())
     }
 
+    /// A deep soft basin over hard basement: Vp contrast 4× (1500 vs
+    /// 6000 m/s), so per-depth CFL bounds span two octaves. This is the
+    /// stress medium for clustered local time stepping — most of the
+    /// column tolerates a 4× coarser step than the basement demands.
+    pub fn basin_over_rock(basin_depth: f64) -> Self {
+        Self::new(vec![
+            (basin_depth, MaterialSample::from_speeds(1500.0, 600.0, 2000.0)),
+            (f64::INFINITY, MaterialSample::from_speeds(6000.0, 3464.0, 2700.0)),
+        ])
+    }
+
     pub fn sample_at_depth(&self, z: f64) -> MaterialSample {
         for &(bottom, s) in &self.layers {
             if z < bottom {

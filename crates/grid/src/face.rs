@@ -104,6 +104,108 @@ pub fn face_len(a: &Array3, face: Face, width: usize) -> usize {
     }
 }
 
+/// Number of `f32` values in a face slab of thickness `width` restricted
+/// to the k-planes `[k0, k1)`. Z faces ignore the restriction (k is their
+/// normal axis); X/Y faces scale with the window height. Used by the
+/// local-time-stepping exchange, which ships each dt-cluster's slice of a
+/// face at the cluster's own cadence.
+pub fn face_len_k(a: &Array3, face: Face, width: usize, k0: usize, k1: usize) -> usize {
+    let d = a.interior();
+    debug_assert!(k0 <= k1 && k1 <= d.nz, "k-window out of range");
+    match face.axis() {
+        Axis::X => width * d.ny * (k1 - k0),
+        Axis::Y => d.nx * width * (k1 - k0),
+        Axis::Z => d.nx * d.ny * width,
+    }
+}
+
+/// [`extract_face`] restricted to the k-planes `[k0, k1)` (Z faces ignore
+/// the restriction). Layer/row order matches the full extraction so a
+/// k-windowed slab injects with [`inject_halo_k`] under the same protocol.
+pub fn extract_face_k(a: &Array3, face: Face, width: usize, k0: usize, k1: usize, buf: &mut Vec<f32>) {
+    if face.axis() == Axis::Z {
+        return extract_face(a, face, width, buf);
+    }
+    buf.clear();
+    buf.reserve(face_len_k(a, face, width, k0, k1));
+    let d = a.interior();
+    let (sy, _) = a.strides();
+    let data = a.as_slice();
+    match face.axis() {
+        Axis::X => {
+            for l in 0..width {
+                let i = layers(face, d.nx, width, l);
+                for k in k0..k1 {
+                    let col = a.offset(i, 0, k as isize);
+                    buf.extend((0..d.ny).map(|j| data[col + sy * j]));
+                }
+            }
+        }
+        Axis::Y => {
+            for l in 0..width {
+                let j = layers(face, d.ny, width, l);
+                for k in k0..k1 {
+                    let row = a.offset(0, j, k as isize);
+                    buf.extend_from_slice(&data[row..row + d.nx]);
+                }
+            }
+        }
+        Axis::Z => unreachable!(),
+    }
+}
+
+/// [`inject_halo`] restricted to the k-planes `[k0, k1)` (Z faces ignore
+/// the restriction): only the windowed slice of the halo is overwritten.
+pub fn inject_halo_k(a: &mut Array3, face: Face, width: usize, k0: usize, k1: usize, buf: &[f32]) {
+    if face.axis() == Axis::Z {
+        return inject_halo(a, face, width, buf);
+    }
+    assert_eq!(
+        buf.len(),
+        face_len_k(a, face, width, k0, k1),
+        "halo slab size mismatch"
+    );
+    let d = a.interior();
+    let (sy, _) = a.strides();
+    let mut src = buf;
+    match face.axis() {
+        Axis::X => {
+            for l in 0..width {
+                let i = if face.is_low() {
+                    l as isize - width as isize
+                } else {
+                    (d.nx + l) as isize
+                };
+                for k in k0..k1 {
+                    let col = a.offset(i, 0, k as isize);
+                    let (layer, rest) = src.split_at(d.ny);
+                    src = rest;
+                    let data = a.as_mut_slice();
+                    for (j, v) in layer.iter().enumerate() {
+                        data[col + sy * j] = *v;
+                    }
+                }
+            }
+        }
+        Axis::Y => {
+            for l in 0..width {
+                let j = if face.is_low() {
+                    l as isize - width as isize
+                } else {
+                    (d.ny + l) as isize
+                };
+                for k in k0..k1 {
+                    let row = a.offset(0, j, k as isize);
+                    let (line, rest) = src.split_at(d.nx);
+                    src = rest;
+                    a.as_mut_slice()[row..row + d.nx].copy_from_slice(line);
+                }
+            }
+        }
+        Axis::Z => unreachable!(),
+    }
+}
+
 /// Iterate the (normal-layer, tangential) interior ranges of a face slab.
 ///
 /// `layer_of` maps a layer counter `0..width` to the interior coordinate
@@ -356,6 +458,45 @@ mod tests {
                 Axis::X => unreachable!(),
             }
         }
+    }
+
+    /// Full-range k-windowed extraction must equal the plain extraction,
+    /// and a partial window must be exactly the matching k-slice.
+    #[test]
+    fn k_windowed_extract_matches_full() {
+        let d = Dims3::new(4, 3, 6);
+        let a = seq_array(d);
+        for face in [Face::XLo, Face::XHi, Face::YLo, Face::YHi] {
+            let (mut full, mut kw) = (Vec::new(), Vec::new());
+            extract_face(&a, face, 2, &mut full);
+            extract_face_k(&a, face, 2, 0, d.nz, &mut kw);
+            assert_eq!(full, kw, "{face:?} full-range");
+            extract_face_k(&a, face, 2, 2, 5, &mut kw);
+            assert_eq!(kw.len(), face_len_k(&a, face, 2, 2, 5), "{face:?}");
+        }
+    }
+
+    /// Injecting a k-windowed slab fills exactly the windowed halo planes
+    /// and leaves the rest untouched.
+    #[test]
+    fn k_windowed_inject_fills_only_window() {
+        let d = Dims3::new(4, 3, 6);
+        let src = seq_array(d);
+        let mut dst = Array3::new(d, 2);
+        let mut buf = Vec::new();
+        extract_face_k(&src, Face::YHi, 2, 2, 5, &mut buf);
+        inject_halo_k(&mut dst, Face::YLo, 2, 2, 5, &buf);
+        // Windowed planes hold the neighbour layers (nearest-to-boundary
+        // order preserved: src layer l lands at halo -(width-l)).
+        for k in 2..5 {
+            for i in 0..d.nx as isize {
+                assert_eq!(dst.get(i, -2, k), src.get(i, 1, k));
+                assert_eq!(dst.get(i, -1, k), src.get(i, 2, k));
+            }
+        }
+        // Outside the window nothing was written.
+        assert_eq!(dst.get(0, -1, 0), 0.0);
+        assert_eq!(dst.get(0, -1, 5), 0.0);
     }
 
     #[test]

@@ -79,6 +79,42 @@ pub struct SolverOpts {
     /// Insert a global barrier every step (the redundant synchronisation
     /// the paper removes; kept togglable to measure T_sync).
     pub per_step_barrier: bool,
+    /// Clustered local time stepping: partition the depth axis into
+    /// rate-2ᵏ dt-clusters from the medium's per-plane CFL bounds and
+    /// substep each at its own rate. `None` (the default, including in
+    /// [`SolverOpts::optimized`]) keeps single-rate stepping; LTS stays an
+    /// explicit opt-in ([`SolverOpts::optimized_lts`]) because a
+    /// multi-rate schedule is a different — O(dt)-equivalent but not
+    /// bit-identical — numerical scheme whenever the medium warrants ≥ 2
+    /// rates. With a cluster census of 1 the solver delegates to the plain
+    /// path and is bit-exact. Requires `reciprocal_media` (the windowed
+    /// kernels assume the optimized layout) and, in parallel runs, a
+    /// z-unpartitioned decomposition (`parts[2] == 1`).
+    #[serde(default)]
+    pub lts: Option<LtsOpts>,
+}
+
+/// Knobs for the dt-cluster construction (see `awp_cvm::lts`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LtsOpts {
+    /// Cap on the rate ladder: clusters step at most `2^max_rate_log2 × dt`.
+    pub max_rate_log2: u32,
+    /// Minimum cluster thickness in depth planes. Must be at least 4
+    /// (2 × the stencil half-width) so the two ghost planes a fine cluster
+    /// reads from its coarse neighbour never reach into a third cluster.
+    pub min_slab: usize,
+}
+
+impl LtsOpts {
+    pub fn new() -> Self {
+        Self { max_rate_log2: 3, min_slab: 4 }
+    }
+}
+
+impl Default for LtsOpts {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Serializable mirror of [`CommMode`].
@@ -110,7 +146,16 @@ impl SolverOpts {
             per_step_barrier: false,
             hybrid: false,
             threads: 0,
+            lts: None,
         }
+    }
+
+    /// Everything on *plus* clustered local time stepping: when the
+    /// medium's depth-contrast warrants ≥ 2 rates the solver substeps
+    /// dt-clusters; otherwise the census collapses to one cluster and this
+    /// is bit-identical to [`SolverOpts::optimized`].
+    pub fn optimized_lts() -> Self {
+        Self { lts: Some(LtsOpts::new()), ..Self::optimized() }
     }
 
     /// Everything off — the original research code.
@@ -125,6 +170,7 @@ impl SolverOpts {
             per_step_barrier: true,
             hybrid: false,
             threads: 0,
+            lts: None,
         }
     }
 }
@@ -137,6 +183,17 @@ pub enum ConfigError {
     /// posts sends early and completes receives late, which the ordered
     /// synchronous rendezvous cannot express.
     OverlapNeedsAsyncEngine,
+    /// `opts.lts` requires the optimized (reciprocal-media) layout: the
+    /// cluster schedule drives the windowed kernels, which assume it.
+    LtsNeedsOptimizedLayout,
+    /// `opts.lts` requires `parts[2] == 1` in parallel runs: with the
+    /// depth axis unpartitioned every rank holds the full rate ladder, all
+    /// cluster coupling stays rank-local, and halo exchange is per-cluster
+    /// x/y traffic at each cluster's own cadence.
+    LtsNeedsSingleZPart,
+    /// `opts.lts.min_slab` must be ≥ 4: a fine cluster reads two ghost
+    /// planes from its coarse neighbour, which must not span a cluster.
+    LtsSlabTooThin,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -146,6 +203,18 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "opts.overlap requires the asynchronous engine \
                  (set opts.comm_mode = Asynchronous or disable overlap)"
+            ),
+            ConfigError::LtsNeedsOptimizedLayout => write!(
+                f,
+                "opts.lts requires the optimized layout (set opts.reciprocal_media or disable lts)"
+            ),
+            ConfigError::LtsNeedsSingleZPart => write!(
+                f,
+                "opts.lts requires a z-unpartitioned decomposition (parts[2] == 1)"
+            ),
+            ConfigError::LtsSlabTooThin => write!(
+                f,
+                "opts.lts.min_slab must be at least 4 (two stencil half-widths)"
             ),
         }
     }
@@ -264,6 +333,14 @@ impl SolverConfig {
         if self.opts.overlap && self.opts.comm_mode == CommModeOpt::Synchronous {
             return Err(ConfigError::OverlapNeedsAsyncEngine);
         }
+        if let Some(lts) = self.opts.lts {
+            if !self.opts.reciprocal_media {
+                return Err(ConfigError::LtsNeedsOptimizedLayout);
+            }
+            if lts.min_slab < 4 {
+                return Err(ConfigError::LtsSlabTooThin);
+            }
+        }
         Ok(())
     }
 
@@ -341,6 +418,24 @@ mod tests {
         let o = SolverOpts::optimized();
         assert!(o.overlap && o.simd, "v-next default: overlap composes with simd");
         assert_eq!(o.threads, 0, "global pool unless pinned");
+    }
+
+    #[test]
+    fn lts_is_opt_in_and_validated() {
+        assert!(SolverOpts::optimized().lts.is_none(), "LTS is an explicit opt-in");
+        let o = SolverOpts::optimized_lts();
+        assert_eq!(o.lts, Some(LtsOpts::new()));
+        assert_eq!({ let mut p = o; p.lts = None; p }, SolverOpts::optimized());
+        let mut cfg = SolverConfig::small(Dims3::new(8, 8, 8), 100.0, 1e-3, 4);
+        cfg.opts = SolverOpts::optimized_lts();
+        assert!(cfg.validate().is_ok());
+        cfg.opts.reciprocal_media = false;
+        cfg.opts.simd = false;
+        cfg.opts.overlap = false;
+        assert_eq!(cfg.validate(), Err(ConfigError::LtsNeedsOptimizedLayout));
+        cfg.opts = SolverOpts::optimized_lts();
+        cfg.opts.lts = Some(LtsOpts { max_rate_log2: 3, min_slab: 2 });
+        assert_eq!(cfg.validate(), Err(ConfigError::LtsSlabTooThin));
     }
 
     #[test]

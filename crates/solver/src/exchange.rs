@@ -26,7 +26,7 @@
 use crate::arena::HaloArena;
 use crate::state::WaveState;
 use awp_grid::decomp::Subdomain;
-use awp_grid::face::{extract_face, face_len, inject_halo, Axis, Face};
+use awp_grid::face::{extract_face_k, face_len_k, inject_halo_k, Axis, Face};
 use awp_grid::stagger::Component;
 use awp_telemetry::Phase as TelPhase;
 use awp_vcluster::cluster::{CommMode, RankCtx};
@@ -127,6 +127,10 @@ pub struct PendingRecv {
     comp: Component,
     face: Face,
     width: usize,
+    /// k-plane window `[k0, k1)` the slab covers (the full extent for the
+    /// global-dt path; a dt-cluster's slice under local time stepping).
+    k0: usize,
+    k1: usize,
     done: bool,
 }
 
@@ -146,6 +150,27 @@ pub fn start_exchange(
     phase: Phase,
     step: u64,
     arena: &mut HaloArena,
+) -> PendingExchange {
+    let kr = (0, state.dims.nz);
+    start_exchange_k(state, sub, ctx, plan, phase, step, arena, kr)
+}
+
+/// [`start_exchange`] restricted to the k-planes `[kr.0, kr.1)`: only that
+/// slice of each X/Y face travels (Z faces would ship whole — the LTS
+/// driver requires a z-unpartitioned decomposition, so plans carry no
+/// active Z entries). Local time stepping calls this once per firing
+/// dt-cluster with the cluster's k-range and a cluster-disambiguated
+/// `step` tag.
+#[allow(clippy::too_many_arguments)]
+pub fn start_exchange_k(
+    state: &WaveState,
+    sub: &Subdomain,
+    ctx: &mut RankCtx,
+    plan: &[FieldPlan],
+    phase: Phase,
+    step: u64,
+    arena: &mut HaloArena,
+    kr: (usize, usize),
 ) -> PendingExchange {
     // Guarded at solver construction (`SolverConfig::validate`): a bad
     // engine/overlap combination is a ConfigError before any rank thread
@@ -169,6 +194,8 @@ pub fn start_exchange(
                     comp: p.comp,
                     face: f_lo,
                     width: p.recv_lo,
+                    k0: kr.0,
+                    k1: kr.1,
                     done: false,
                 });
             }
@@ -182,6 +209,8 @@ pub fn start_exchange(
                     comp: p.comp,
                     face: f_hi,
                     width: p.recv_hi,
+                    k0: kr.0,
+                    k1: kr.1,
                     done: false,
                 });
             }
@@ -192,8 +221,8 @@ pub fn start_exchange(
         if let Some(nb) = sub.neighbor(f_lo) {
             if p.recv_hi > 0 {
                 let field = state.field(p.comp);
-                let mut buf = arena.take_buf(face_len(field, f_lo, p.recv_hi));
-                extract_face(field, f_lo, p.recv_hi, &mut buf);
+                let mut buf = arena.take_buf(face_len_k(field, f_lo, p.recv_hi, kr.0, kr.1));
+                extract_face_k(field, f_lo, p.recv_hi, kr.0, kr.1, &mut buf);
                 let tag = make_tag(phase as u8, p.comp.id() as u8, f_hi.id() as u8, step);
                 ctx.send(nb, tag, buf);
             }
@@ -202,8 +231,8 @@ pub fn start_exchange(
         if let Some(nb) = sub.neighbor(f_hi) {
             if p.recv_lo > 0 {
                 let field = state.field(p.comp);
-                let mut buf = arena.take_buf(face_len(field, f_hi, p.recv_lo));
-                extract_face(field, f_hi, p.recv_lo, &mut buf);
+                let mut buf = arena.take_buf(face_len_k(field, f_hi, p.recv_lo, kr.0, kr.1));
+                extract_face_k(field, f_hi, p.recv_lo, kr.0, kr.1, &mut buf);
                 let tag = make_tag(phase as u8, p.comp.id() as u8, f_lo.id() as u8, step);
                 ctx.send(nb, tag, buf);
             }
@@ -237,7 +266,7 @@ pub fn finish_exchange(
             if let Some(payload) = ctx.try_recv(r.src, r.tag) {
                 let data = payload.into_f32();
                 let t = ctx.telem.start();
-                inject_halo(state.field_mut(r.comp), r.face, r.width, &data);
+                inject_halo_k(state.field_mut(r.comp), r.face, r.width, r.k0, r.k1, &data);
                 if let Some(t) = t {
                     inject_ns += t.elapsed().as_nanos() as u64;
                 }
@@ -251,7 +280,7 @@ pub fn finish_exchange(
             if let Some(r) = reqs.iter_mut().find(|r| !r.done) {
                 let data = ctx.recv(r.src, r.tag).into_f32();
                 let t = ctx.telem.start();
-                inject_halo(state.field_mut(r.comp), r.face, r.width, &data);
+                inject_halo_k(state.field_mut(r.comp), r.face, r.width, r.k0, r.k1, &data);
                 if let Some(t) = t {
                     inject_ns += t.elapsed().as_nanos() as u64;
                 }
@@ -289,21 +318,39 @@ pub fn exchange(
     step: u64,
     arena: &mut HaloArena,
 ) {
+    let kr = (0, state.dims.nz);
+    exchange_k(state, sub, ctx, plan, phase, step, arena, kr);
+}
+
+/// [`exchange`] restricted to the k-planes `[kr.0, kr.1)` (see
+/// [`start_exchange_k`]); dispatches on the engine like [`exchange`].
+#[allow(clippy::too_many_arguments)]
+pub fn exchange_k(
+    state: &mut WaveState,
+    sub: &Subdomain,
+    ctx: &mut RankCtx,
+    plan: &[FieldPlan],
+    phase: Phase,
+    step: u64,
+    arena: &mut HaloArena,
+    kr: (usize, usize),
+) {
     match ctx.mode() {
         CommMode::Asynchronous => {
-            let pending = start_exchange(state, sub, ctx, plan, phase, step, arena);
+            let pending = start_exchange_k(state, sub, ctx, plan, phase, step, arena, kr);
             finish_exchange(state, ctx, pending, arena);
         }
         CommMode::Synchronous => {
             // The rendezvous path interleaves sends and receives; the whole
             // ordered exchange is one blocking wait from the solver's view.
             let t0 = ctx.telem.start();
-            exchange_sync(state, sub, ctx, plan, phase, step, arena);
+            exchange_sync(state, sub, ctx, plan, phase, step, arena, kr);
             ctx.telem.finish(t0, TelPhase::Wait);
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exchange_sync(
     state: &mut WaveState,
     sub: &Subdomain,
@@ -312,6 +359,7 @@ fn exchange_sync(
     phase: Phase,
     step: u64,
     arena: &mut HaloArena,
+    kr: (usize, usize),
 ) {
     for p in plan {
         let (f_lo, f_hi) = faces_of(p.axis);
@@ -322,8 +370,8 @@ fn exchange_sync(
             if let Some(nb) = sub.neighbor(f_hi) {
                 if p.recv_lo > 0 {
                     let field = state.field(p.comp);
-                    let mut buf = arena.take_buf(face_len(field, f_hi, p.recv_lo));
-                    extract_face(field, f_hi, p.recv_lo, &mut buf);
+                    let mut buf = arena.take_buf(face_len_k(field, f_hi, p.recv_lo, kr.0, kr.1));
+                    extract_face_k(field, f_hi, p.recv_lo, kr.0, kr.1, &mut buf);
                     let tag = make_tag(phase as u8, p.comp.id() as u8, f_lo.id() as u8, step);
                     ctx.send(nb, tag, buf);
                 }
@@ -334,7 +382,7 @@ fn exchange_sync(
                 if p.recv_lo > 0 {
                     let tag = make_tag(phase as u8, p.comp.id() as u8, f_lo.id() as u8, step);
                     let data = ctx.recv(nb, tag).into_f32();
-                    inject_halo(state.field_mut(p.comp), f_lo, p.recv_lo, &data);
+                    inject_halo_k(state.field_mut(p.comp), f_lo, p.recv_lo, kr.0, kr.1, &data);
                     arena.put_buf(data);
                 }
             }
@@ -351,8 +399,8 @@ fn exchange_sync(
             if let Some(nb) = sub.neighbor(f_lo) {
                 if p.recv_hi > 0 {
                     let field = state.field(p.comp);
-                    let mut buf = arena.take_buf(face_len(field, f_lo, p.recv_hi));
-                    extract_face(field, f_lo, p.recv_hi, &mut buf);
+                    let mut buf = arena.take_buf(face_len_k(field, f_lo, p.recv_hi, kr.0, kr.1));
+                    extract_face_k(field, f_lo, p.recv_hi, kr.0, kr.1, &mut buf);
                     let tag = make_tag(phase as u8, p.comp.id() as u8, f_hi.id() as u8, step);
                     ctx.send(nb, tag, buf);
                 }
@@ -363,7 +411,7 @@ fn exchange_sync(
                 if p.recv_hi > 0 {
                     let tag = make_tag(phase as u8, p.comp.id() as u8, f_hi.id() as u8, step);
                     let data = ctx.recv(nb, tag).into_f32();
-                    inject_halo(state.field_mut(p.comp), f_hi, p.recv_hi, &data);
+                    inject_halo_k(state.field_mut(p.comp), f_hi, p.recv_hi, kr.0, kr.1, &data);
                     arena.put_buf(data);
                 }
             }

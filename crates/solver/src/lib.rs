@@ -43,6 +43,7 @@ pub mod exchange;
 pub mod flops;
 pub mod kernels;
 pub mod kernels_mt;
+pub mod lts;
 pub mod medium;
 pub mod pml;
 pub mod reference;
@@ -55,7 +56,8 @@ pub mod stations;
 
 pub use arena::HaloArena;
 pub use awp_telemetry as telemetry;
-pub use config::{AbcKind, CodeVersion, ConfigError, SolverConfig, SolverOpts};
+pub use config::{AbcKind, CodeVersion, ConfigError, LtsOpts, SolverConfig, SolverOpts};
+pub use lts::{LtsPlan, LtsRuntime};
 pub use medium::Medium;
 pub use shell::{ShellPlan, Win};
 pub use simd::SimdBackend;

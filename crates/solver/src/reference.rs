@@ -247,8 +247,10 @@ impl ReferenceSolver {
                 }
             }
         }
-        // Source injection.
-        let inv_v = 1.0 / (self.h * self.h * self.h);
+        // Source injection. Stress-glut sign convention (Graves 1996):
+        // moment release *subtracts* from the stress field, matching the
+        // production injector (sourceinj.rs) so the polarities agree.
+        let inv_v = -1.0 / (self.h * self.h * self.h);
         for sf in &source.subfaults {
             let tl = t - sf.t0;
             let rate = if tl < 0.0 || sf.rate.is_empty() {

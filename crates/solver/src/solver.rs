@@ -11,10 +11,11 @@ use crate::boundary::{
 };
 use crate::config::{AbcKind, ConfigError, SolverConfig};
 use crate::exchange::{
-    exchange, finish_exchange, full_plan, reduced_stress_plan, reduced_velocity_plan,
-    start_exchange, FieldPlan, Phase,
+    exchange, exchange_k, finish_exchange, full_plan, reduced_stress_plan,
+    reduced_velocity_plan, start_exchange, start_exchange_k, FieldPlan, Phase,
 };
 use crate::flops::FlopCounter;
+use crate::lts::{LtsCluster, LtsPlan, LtsRuntime, MAX_CLUSTERS};
 use crate::kernels::{update_stress, update_stress_win, update_velocity, update_velocity_win};
 use crate::kernels_mt::{
     update_stress_mt, update_stress_mt_win, update_velocity_mt, update_velocity_mt_win,
@@ -69,6 +70,8 @@ pub struct Solver {
     shell: ShellPlan,
     /// Pooled halo staging buffers (zero-copy exchange path).
     arena: HaloArena,
+    /// Armed local-time-stepping runtime (`None` ⇒ fused global-dt path).
+    lts: Option<LtsRuntime>,
 }
 
 /// Output of one rank's run.
@@ -180,7 +183,29 @@ impl Solver {
             str_plan,
             shell,
             arena: HaloArena::new(),
+            lts: None,
         })
+    }
+
+    /// Arm clustered local time stepping from a plan derived from the
+    /// *global* velocity structure (so all ranks agree on the partition).
+    /// Returns `true` when a multi-rate runtime is active; single-cluster
+    /// plans — uniform media, or a profile whose CFL headroom never
+    /// reaches one octave — leave the solver on the fused global-dt path,
+    /// which is the bit-exact degenerate case of the LTS schedule.
+    pub fn enable_lts(&mut self, plan: &LtsPlan) -> bool {
+        self.lts = LtsRuntime::build(&self.cfg, &self.sub, &self.med, &plan.clusters);
+        self.lts.is_some()
+    }
+
+    /// Is a multi-rate LTS schedule driving this solver?
+    pub fn lts_active(&self) -> bool {
+        self.lts.is_some()
+    }
+
+    /// Per-cluster substep/time accounting (empty when LTS is not armed).
+    pub fn lts_stats(&self) -> Vec<awp_telemetry::LtsClusterStat> {
+        self.lts.as_ref().map(LtsRuntime::stats).unwrap_or_default()
     }
 
     /// Heap-touching events in the exchange staging arena (flat across
@@ -287,9 +312,234 @@ impl Solver {
         }
     }
 
+    /// Velocity phase of one LTS cluster window: like [`Self::velocity_win`]
+    /// but with the cluster's dt-scaled operators (rate-1 clusters fall
+    /// back to the solver's global-dt M-PML).
+    fn lts_velocity_win(
+        &mut self,
+        cl: &mut LtsCluster,
+        w: Win,
+        dth_c: f32,
+        block: BlockSpec,
+        backend: Backend,
+        tel: &mut Recorder,
+    ) {
+        match backend {
+            Backend::Hybrid => update_velocity_mt_win(
+                &mut self.state,
+                &self.med,
+                dth_c,
+                w,
+                self.cfg.opts.threads,
+            ),
+            Backend::Simd => {
+                update_velocity_simd_win(&mut self.state, &self.med, dth_c, block, w)
+            }
+            Backend::Scalar => update_velocity_win(&mut self.state, &self.med, dth_c, block, w),
+        }
+        if let Some(p) = cl.mpml.as_mut().or(self.mpml.as_mut()) {
+            let t0 = tel.start();
+            p.apply_velocity_win(&mut self.state, &self.med, dth_c, w);
+            tel.finish(t0, TelPhase::Boundary);
+        }
+    }
+
+    /// Stress phase of one LTS cluster window, in the fused pass's order
+    /// (kernel → M-PML → source at the substep midpoint → free-surface
+    /// imaging → stress sponge), using the cluster's dt-scaled operators.
+    #[allow(clippy::too_many_arguments)]
+    fn lts_stress_win(
+        &mut self,
+        cl: &mut LtsCluster,
+        w: Win,
+        t_mid: f64,
+        dt_c: f64,
+        on_surface: bool,
+        dth_c: f32,
+        block: BlockSpec,
+        backend: Backend,
+        tel: &mut Recorder,
+    ) {
+        let atten = cl.atten.as_ref().or(self.atten.as_ref());
+        match backend {
+            Backend::Hybrid => update_stress_mt_win(
+                &mut self.state,
+                &self.med,
+                atten,
+                dth_c,
+                dt_c as f32,
+                w,
+                self.cfg.opts.threads,
+            ),
+            Backend::Simd => update_stress_simd_win(
+                &mut self.state,
+                &self.med,
+                atten,
+                dth_c,
+                dt_c as f32,
+                block,
+                w,
+            ),
+            Backend::Scalar => update_stress_win(
+                &mut self.state,
+                &self.med,
+                atten,
+                dth_c,
+                dt_c as f32,
+                block,
+                w,
+            ),
+        }
+        if let Some(p) = cl.mpml.as_mut().or(self.mpml.as_mut()) {
+            let t0 = tel.start();
+            p.apply_stress_win(&mut self.state, &self.med, dth_c, w);
+            tel.finish(t0, TelPhase::Boundary);
+        }
+        let t0 = tel.start();
+        self.injector.inject_win(&mut self.state, t_mid, dt_c, w);
+        tel.finish(t0, TelPhase::Source);
+        let surface_win = on_surface && w.k0 == 0;
+        if surface_win || cl.sponge.is_some() || self.sponge.is_some() {
+            let t0 = tel.start();
+            if surface_win {
+                apply_free_surface_stress_win(&mut self.state, w);
+            }
+            if let Some(sp) = cl.sponge.as_ref().or(self.sponge.as_ref()) {
+                sp.apply_components_win(&mut self.state, &Component::STRESSES, w);
+            }
+            tel.finish(t0, TelPhase::Boundary);
+        }
+    }
+
+    /// One serial base tick of the LTS schedule (see `crate::lts` module
+    /// docs for the sub-phase structure and interface interpolation).
+    fn step_serial_lts(&mut self, ledger: &mut TimeLedger) {
+        let mut rt = self.lts.take().expect("lts runtime armed");
+        let n = self.step as u64;
+        let dth = self.dth();
+        let block = self.cfg.opts.block;
+        let optimized = self.cfg.opts.reciprocal_media;
+        let hybrid = self.cfg.opts.hybrid && optimized;
+        let simd = self.cfg.opts.simd && optimized && !hybrid;
+        let backend = if hybrid {
+            Backend::Hybrid
+        } else if simd {
+            Backend::Simd
+        } else {
+            Backend::Scalar
+        };
+        let on_surface = self.cfg.free_surface && owns_free_surface(&self.sub);
+        let mut tel = Recorder::disabled();
+        let mut firing = [false; MAX_CLUSTERS];
+        for (i, c) in rt.clusters.iter().enumerate() {
+            firing[i] = n % u64::from(c.rate) == 0;
+        }
+
+        let t_tick = Instant::now();
+        // Sub-phase 0: snapshot coarse edge planes on coarse firing ticks.
+        for f in &mut rt.interfaces {
+            if firing[f.coarse] {
+                f.capture_prev(&self.state);
+            }
+        }
+
+        // Sub-phase 1: velocity phases. A fine cluster whose coarse
+        // neighbour idles this tick reads midpoint-interpolated σ ghosts.
+        for c in 0..rt.clusters.len() {
+            if !firing[c] {
+                continue;
+            }
+            let tc = Instant::now();
+            for f in &mut rt.interfaces {
+                if f.fine == c && !firing[f.coarse] {
+                    f.blend_stress(&mut self.state);
+                }
+            }
+            let w = rt.clusters[c].win;
+            let dth_c = dth * rt.clusters[c].rate as f32;
+            self.lts_velocity_win(&mut rt.clusters[c], w, dth_c, block, backend, &mut tel);
+            for f in &mut rt.interfaces {
+                if f.fine == c && !firing[f.coarse] {
+                    f.restore_stress(&mut self.state);
+                }
+            }
+            rt.clusters[c].ns += tc.elapsed().as_nanos() as u64;
+        }
+
+        // Sub-phase 2: stress phases. Free-surface velocity imaging runs
+        // just before the surface cluster's phase (only its windows reach
+        // the mirrored halo planes — deeper clusters start ≥ min_slab ≥ 4
+        // planes down, beyond the stencil's reach of 2). A fine cluster
+        // whose coarse neighbour also fires reads ¾-interpolated v ghosts.
+        for c in 0..rt.clusters.len() {
+            if !firing[c] {
+                continue;
+            }
+            let tc = Instant::now();
+            if on_surface && rt.clusters[c].win.k0 == 0 {
+                apply_free_surface_velocity(&mut self.state, &self.med, self.cfg.h as f32);
+            }
+            for f in &mut rt.interfaces {
+                if f.fine == c && firing[f.coarse] {
+                    f.blend_velocity(&mut self.state);
+                }
+            }
+            let w = rt.clusters[c].win;
+            let rate = rt.clusters[c].rate;
+            let dth_c = dth * rate as f32;
+            let dt_c = self.cfg.dt * f64::from(rate);
+            // Substep midpoint: the σ update spans base ticks n..n+rate, so
+            // the source term applies at its centre (rate 1 ⇒ n·dt, fused).
+            let t_mid = (n as f64 + (f64::from(rate) - 1.0) * 0.5) * self.cfg.dt;
+            self.lts_stress_win(
+                &mut rt.clusters[c],
+                w,
+                t_mid,
+                dt_c,
+                on_surface,
+                dth_c,
+                block,
+                backend,
+                &mut tel,
+            );
+            for f in &mut rt.interfaces {
+                if f.fine == c && firing[f.coarse] {
+                    f.restore_velocity(&mut self.state);
+                }
+            }
+            let cl = &mut rt.clusters[c];
+            cl.fires += 1;
+            cl.ns += tc.elapsed().as_nanos() as u64;
+            self.flops.add_step(w.count(), self.cfg.attenuation);
+        }
+
+        // Sub-phase 3: velocity sponge of every firing cluster, after all
+        // stress phases read the undamped velocities (fused semantics).
+        for cl in &mut rt.clusters {
+            let fires = n % u64::from(cl.rate) == 0;
+            if !fires {
+                continue;
+            }
+            let w = cl.win;
+            if let Some(sp) = cl.sponge.as_ref().or(self.sponge.as_ref()) {
+                sp.apply_components_win(&mut self.state, &Component::VELOCITIES, w);
+            }
+        }
+        ledger.add(Category::Comp, t_tick.elapsed());
+
+        ledger.time(Category::Output, || {
+            self.recorder.record(&self.state);
+        });
+        self.lts = Some(rt);
+        self.step += 1;
+    }
+
     /// Advance one step without communication (serial / interior of the
     /// parallel step). `ledger` receives phase timings.
     pub fn step_serial(&mut self, ledger: &mut TimeLedger) {
+        if self.lts.is_some() {
+            return self.step_serial_lts(ledger);
+        }
         let t = self.step as f64 * self.cfg.dt;
         let dth = self.dth();
         let block = self.cfg.opts.block;
@@ -388,6 +638,9 @@ impl Solver {
         let sub = decomp.subdomain(0);
         let tp = TemporalPartition::new(source, window);
         let mut solver = Solver::new(cfg.clone(), sub, mesh, &tp.segments[0], stations);
+        if let Some(lo) = cfg.opts.lts {
+            solver.enable_lts(&LtsPlan::from_mesh(mesh, cfg.dt, lo));
+        }
         let mut current_seg = 0usize;
         let mut ledger = TimeLedger::new();
         let mut pgv = vec![0.0f32; cfg.dims.nx * cfg.dims.ny];
@@ -426,6 +679,9 @@ impl Solver {
         let decomp = Decomp3::new(cfg.dims, [1, 1, 1]);
         let sub = decomp.subdomain(0);
         let mut solver = Solver::new(cfg.clone(), sub, mesh, source, stations);
+        if let Some(lo) = cfg.opts.lts {
+            solver.enable_lts(&LtsPlan::from_mesh(mesh, cfg.dt, lo));
+        }
         let mut ledger = TimeLedger::new();
         let mut pgv = vec![0.0f32; cfg.dims.nx * cfg.dims.ny];
         for _ in 0..cfg.steps {
@@ -461,6 +717,9 @@ impl Solver {
     /// them. Overlap only requires the asynchronous engine (validated at
     /// construction) and the optimized data layout.
     pub fn step_parallel(&mut self, ctx: &mut RankCtx) {
+        if self.lts.is_some() {
+            return self.step_parallel_lts(ctx);
+        }
         let t = self.step as f64 * self.cfg.dt;
         let dth = self.dth();
         let block = self.cfg.opts.block;
@@ -662,6 +921,307 @@ impl Solver {
         self.flops.add_step(self.sub.dims.count(), self.cfg.attenuation);
         self.step += 1;
     }
+
+    /// One parallel base tick of the LTS schedule. Same sub-phase structure
+    /// as [`Self::step_serial_lts`], with each firing cluster running its
+    /// own *k-windowed* x/y halo exchange at the cluster's cadence (ranks
+    /// never split z under LTS — validated by the drivers — so z-plan
+    /// entries have no neighbour and naturally drop out). Message tags pack
+    /// the cluster index into the low bits of the step field
+    /// (`tick << 4 | c`, cluster count ≤ [`MAX_CLUSTERS`]), keeping every
+    /// cluster-phase exchange in its own tag space. With overlap on, the
+    /// shell/interior split is intersected with the cluster's k-slab, so
+    /// LTS composes with the hidden-communication path unchanged.
+    fn step_parallel_lts(&mut self, ctx: &mut RankCtx) {
+        let mut rt = self.lts.take().expect("lts runtime armed");
+        let n = self.step as u64;
+        ctx.telem.set_step(n);
+        let dth = self.dth();
+        let block = self.cfg.opts.block;
+        let optimized = self.cfg.opts.reciprocal_media;
+        let hybrid = self.cfg.opts.hybrid && optimized;
+        let on_surface = self.cfg.free_surface && owns_free_surface(&self.sub);
+        let use_overlap = self.cfg.opts.overlap
+            && ctx.mode() == awp_vcluster::CommMode::Asynchronous
+            && optimized;
+        let shell_backend = if self.cfg.opts.simd && optimized {
+            Backend::Simd
+        } else {
+            Backend::Scalar
+        };
+        let interior_backend = if hybrid { Backend::Hybrid } else { shell_backend };
+        let mut firing = [false; MAX_CLUSTERS];
+        for (i, c) in rt.clusters.iter().enumerate() {
+            firing[i] = n % u64::from(c.rate) == 0;
+        }
+
+        // Sub-phase 0: snapshot coarse edge planes on coarse firing ticks.
+        for f in &mut rt.interfaces {
+            if firing[f.coarse] {
+                f.capture_prev(&self.state);
+            }
+        }
+
+        // Sub-phase 1: velocity phases.
+        for c in 0..rt.clusters.len() {
+            if !firing[c] {
+                continue;
+            }
+            ctx.telem.set_cluster(c as u8);
+            for f in &mut rt.interfaces {
+                if f.fine == c && !firing[f.coarse] {
+                    f.blend_stress(&mut self.state);
+                }
+            }
+            let w = rt.clusters[c].win;
+            let dth_c = dth * rt.clusters[c].rate as f32;
+            let kr = (w.k0, w.k1);
+            let tag_step = (n << 4) | c as u64;
+            let tc = Instant::now();
+            if use_overlap {
+                for s in self.shell.shells {
+                    let sw = intersect_k(s, w.k0, w.k1);
+                    if sw.is_empty() {
+                        continue;
+                    }
+                    let t0 = Instant::now();
+                    self.lts_velocity_win(
+                        &mut rt.clusters[c],
+                        sw,
+                        dth_c,
+                        block,
+                        shell_backend,
+                        &mut ctx.telem,
+                    );
+                    let el = t0.elapsed();
+                    ctx.ledger.add(Category::Comp, el);
+                    ctx.telem.span_at(TelPhase::VelocityShell, t0, el);
+                }
+                let pending = start_exchange_k(
+                    &self.state,
+                    &self.sub,
+                    ctx,
+                    &self.vel_plan,
+                    Phase::Velocity,
+                    tag_step,
+                    &mut self.arena,
+                    kr,
+                );
+                let iw = intersect_k(self.shell.interior, w.k0, w.k1);
+                if !iw.is_empty() {
+                    let t0 = Instant::now();
+                    self.lts_velocity_win(
+                        &mut rt.clusters[c],
+                        iw,
+                        dth_c,
+                        block,
+                        interior_backend,
+                        &mut ctx.telem,
+                    );
+                    let el = t0.elapsed();
+                    ctx.ledger.add(Category::Comp, el);
+                    ctx.telem.span_at(TelPhase::VelocityInterior, t0, el);
+                }
+                // Drop the ghost overwrites before the halo injection so
+                // the blend window stays as narrow as possible; messages
+                // only ever carry this cluster's own k-range, so the
+                // blended coarse planes never leak into a send.
+                for f in &mut rt.interfaces {
+                    if f.fine == c && !firing[f.coarse] {
+                        f.restore_stress(&mut self.state);
+                    }
+                }
+                finish_exchange(&mut self.state, ctx, pending, &mut self.arena);
+            } else {
+                let t0 = Instant::now();
+                self.lts_velocity_win(
+                    &mut rt.clusters[c],
+                    w,
+                    dth_c,
+                    block,
+                    interior_backend,
+                    &mut ctx.telem,
+                );
+                let el = t0.elapsed();
+                ctx.ledger.add(Category::Comp, el);
+                ctx.telem.span_at(TelPhase::VelocityInterior, t0, el);
+                for f in &mut rt.interfaces {
+                    if f.fine == c && !firing[f.coarse] {
+                        f.restore_stress(&mut self.state);
+                    }
+                }
+                exchange_k(
+                    &mut self.state,
+                    &self.sub,
+                    ctx,
+                    &self.vel_plan,
+                    Phase::Velocity,
+                    tag_step,
+                    &mut self.arena,
+                    kr,
+                );
+            }
+            rt.clusters[c].ns += tc.elapsed().as_nanos() as u64;
+        }
+
+        // Sub-phase 2: stress phases.
+        for c in 0..rt.clusters.len() {
+            if !firing[c] {
+                continue;
+            }
+            ctx.telem.set_cluster(c as u8);
+            if on_surface && rt.clusters[c].win.k0 == 0 {
+                let t0 = Instant::now();
+                apply_free_surface_velocity(&mut self.state, &self.med, self.cfg.h as f32);
+                let el = t0.elapsed();
+                ctx.ledger.add(Category::Comp, el);
+                ctx.telem.span_at(TelPhase::Boundary, t0, el);
+            }
+            for f in &mut rt.interfaces {
+                if f.fine == c && firing[f.coarse] {
+                    f.blend_velocity(&mut self.state);
+                }
+            }
+            let w = rt.clusters[c].win;
+            let rate = rt.clusters[c].rate;
+            let dth_c = dth * rate as f32;
+            let dt_c = self.cfg.dt * f64::from(rate);
+            let t_mid = (n as f64 + (f64::from(rate) - 1.0) * 0.5) * self.cfg.dt;
+            let kr = (w.k0, w.k1);
+            let tag_step = (n << 4) | c as u64;
+            let tc = Instant::now();
+            if use_overlap {
+                for s in self.shell.shells {
+                    let sw = intersect_k(s, w.k0, w.k1);
+                    if sw.is_empty() {
+                        continue;
+                    }
+                    let t0 = Instant::now();
+                    self.lts_stress_win(
+                        &mut rt.clusters[c],
+                        sw,
+                        t_mid,
+                        dt_c,
+                        on_surface,
+                        dth_c,
+                        block,
+                        shell_backend,
+                        &mut ctx.telem,
+                    );
+                    let el = t0.elapsed();
+                    ctx.ledger.add(Category::Comp, el);
+                    ctx.telem.span_at(TelPhase::StressShell, t0, el);
+                }
+                let pending = start_exchange_k(
+                    &self.state,
+                    &self.sub,
+                    ctx,
+                    &self.str_plan,
+                    Phase::Stress,
+                    tag_step,
+                    &mut self.arena,
+                    kr,
+                );
+                let iw = intersect_k(self.shell.interior, w.k0, w.k1);
+                if !iw.is_empty() {
+                    let t0 = Instant::now();
+                    self.lts_stress_win(
+                        &mut rt.clusters[c],
+                        iw,
+                        t_mid,
+                        dt_c,
+                        on_surface,
+                        dth_c,
+                        block,
+                        interior_backend,
+                        &mut ctx.telem,
+                    );
+                    let el = t0.elapsed();
+                    ctx.ledger.add(Category::Comp, el);
+                    ctx.telem.span_at(TelPhase::StressInterior, t0, el);
+                }
+                for f in &mut rt.interfaces {
+                    if f.fine == c && firing[f.coarse] {
+                        f.restore_velocity(&mut self.state);
+                    }
+                }
+                finish_exchange(&mut self.state, ctx, pending, &mut self.arena);
+            } else {
+                let t0 = Instant::now();
+                self.lts_stress_win(
+                    &mut rt.clusters[c],
+                    w,
+                    t_mid,
+                    dt_c,
+                    on_surface,
+                    dth_c,
+                    block,
+                    interior_backend,
+                    &mut ctx.telem,
+                );
+                let el = t0.elapsed();
+                ctx.ledger.add(Category::Comp, el);
+                ctx.telem.span_at(TelPhase::StressInterior, t0, el);
+                for f in &mut rt.interfaces {
+                    if f.fine == c && firing[f.coarse] {
+                        f.restore_velocity(&mut self.state);
+                    }
+                }
+                exchange_k(
+                    &mut self.state,
+                    &self.sub,
+                    ctx,
+                    &self.str_plan,
+                    Phase::Stress,
+                    tag_step,
+                    &mut self.arena,
+                    kr,
+                );
+            }
+            let cl = &mut rt.clusters[c];
+            cl.fires += 1;
+            cl.ns += tc.elapsed().as_nanos() as u64;
+            self.flops.add_step(w.count(), self.cfg.attenuation);
+        }
+
+        // Sub-phase 3: velocity sponge of every firing cluster.
+        for (c, cl) in rt.clusters.iter_mut().enumerate() {
+            if !firing[c] {
+                continue;
+            }
+            let w = cl.win;
+            if let Some(sp) = cl.sponge.as_ref().or(self.sponge.as_ref()) {
+                ctx.telem.set_cluster(c as u8);
+                let t0 = Instant::now();
+                sp.apply_components_win(&mut self.state, &Component::VELOCITIES, w);
+                let el = t0.elapsed();
+                ctx.ledger.add(Category::Comp, el);
+                ctx.telem.span_at(TelPhase::Boundary, t0, el);
+            }
+        }
+        ctx.telem.set_cluster(awp_telemetry::NO_CLUSTER);
+
+        if self.cfg.opts.per_step_barrier {
+            ctx.barrier();
+        }
+        let t0 = Instant::now();
+        self.recorder.record(&self.state);
+        let el = t0.elapsed();
+        ctx.ledger.add(Category::Output, el);
+        ctx.telem.span_at(TelPhase::Output, t0, el);
+        self.lts = Some(rt);
+        self.step += 1;
+    }
+}
+
+/// Clamp a window's k-range to `[k0, k1)` (may come out empty). Used to
+/// restrict the shell/interior split to one LTS cluster's slab.
+fn intersect_k(w: Win, k0: usize, k1: usize) -> Win {
+    Win {
+        k0: w.k0.max(k0),
+        k1: w.k1.min(k1),
+        ..w
+    }
 }
 
 /// Track per-surface-cell peak horizontal velocity into a local PGV map
@@ -756,9 +1316,25 @@ pub fn try_run_parallel_sched(
     schedule: Option<Arc<SchedulePlan>>,
 ) -> Result<Vec<RankResult>, ConfigError> {
     cfg.validate()?;
+    if cfg.opts.lts.is_some() && parts[2] != 1 {
+        return Err(ConfigError::LtsNeedsSingleZPart);
+    }
     let decomp = Decomp3::new(cfg.dims, parts);
     let n = decomp.rank_count();
     assert_eq!(meshes.len(), n, "need one local mesh per rank");
+    // The dt-cluster partition must be identical on every rank, so it is
+    // derived from the *global* per-plane Vp profile: with no z split each
+    // local mesh spans the full z extent, and the global profile is the
+    // elementwise max over ranks.
+    let lts_plan = cfg.opts.lts.map(|lo| {
+        let mut prof = vec![0.0f64; cfg.dims.nz];
+        for m in meshes {
+            for (p, v) in prof.iter_mut().zip(m.vp_max_per_k()) {
+                *p = p.max(v);
+            }
+        }
+        LtsPlan::from_profile(&prof, cfg.h, cfg.dt, lo)
+    });
     let sources = partition_spatial(source, &decomp);
     let mut cluster = Cluster::new(n, cfg.opts.comm_mode.into());
     if let Some(reg) = telemetry {
@@ -775,6 +1351,9 @@ pub fn try_run_parallel_sched(
         // run exactly.
         exchange_material_halos(&mut solver.med, &sub, ctx);
         solver.med.precompute();
+        if let Some(plan) = &lts_plan {
+            solver.enable_lts(plan);
+        }
         let mut pgv = if owns_free_surface(&sub) {
             vec![0.0f32; sub.dims.nx * sub.dims.ny]
         } else {
@@ -787,6 +1366,9 @@ pub fn try_run_parallel_sched(
             }
         }
         ctx.telem.count(TelCounter::ArenaAllocs, solver.arena_allocations());
+        if solver.lts_active() {
+            ctx.telem.set_lts_stats(solver.lts_stats());
+        }
         RankResult {
             rank,
             seismograms: solver.recorder.into_seismograms(),

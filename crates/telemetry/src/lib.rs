@@ -28,7 +28,7 @@ pub mod trace;
 
 pub use hist::{Log2Hist, HIST_BUCKETS};
 pub use phase::{Counter, HistKind, Phase};
-pub use recorder::{PhaseTotal, Recorder, Snapshot, SpanRec};
+pub use recorder::{LtsClusterStat, PhaseTotal, Recorder, Snapshot, SpanRec, NO_CLUSTER};
 pub use registry::{Registry, DEFAULT_SPAN_CAPACITY};
-pub use report::{PhaseAgg, TelemetryReport};
+pub use report::{LtsClusterAgg, PhaseAgg, TelemetryReport};
 pub use trace::chrome_trace;

@@ -15,8 +15,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// One recorded span. 24 bytes; `step` lets the trace viewer correlate
-/// spans with timestep numbers.
+/// Cluster tag value meaning "not inside any dt-cluster's phase".
+pub const NO_CLUSTER: u8 = u8::MAX;
+
+/// One recorded span. `step` lets the trace viewer correlate spans with
+/// timestep numbers; `cluster` tags spans emitted inside a local-time-
+/// stepping dt-cluster's phase ([`NO_CLUSTER`] otherwise).
 #[derive(Debug, Clone, Copy)]
 pub struct SpanRec {
     pub phase: Phase,
@@ -24,6 +28,23 @@ pub struct SpanRec {
     pub start_ns: u64,
     pub dur_ns: u64,
     pub step: u32,
+    pub cluster: u8,
+}
+
+/// Per-dt-cluster accounting from a local-time-stepping run: how often the
+/// cluster fired and how much compute time its substeps took. Set once at
+/// the end of a rank's run via [`Recorder::set_lts_stats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LtsClusterStat {
+    pub cluster: u8,
+    /// Substep cadence: the cluster fires every `rate` base ticks.
+    pub rate: u32,
+    /// Number of z-planes the cluster owns.
+    pub planes: u32,
+    /// Substeps actually executed (velocity+stress pairs).
+    pub fires: u64,
+    /// Wall time spent inside this cluster's compute phases, ns.
+    pub ns: u64,
 }
 
 /// Per-phase running totals — always exact even when the span ring wraps.
@@ -49,6 +70,9 @@ pub struct Snapshot {
     pub totals: [PhaseTotal; Phase::COUNT],
     pub counters: [u64; Counter::COUNT],
     pub hists: [Log2Hist; HistKind::COUNT],
+    /// Per-dt-cluster substep accounting (empty unless the run used local
+    /// time stepping and called [`Recorder::set_lts_stats`]).
+    pub lts: Vec<LtsClusterStat>,
 }
 
 impl Snapshot {
@@ -89,6 +113,9 @@ pub struct Recorder {
     rank: usize,
     epoch: Instant,
     cur_step: u32,
+    cur_cluster: u8,
+    /// Per-cluster LTS accounting, set once at end of run (empty ⇒ no LTS).
+    lts: Vec<LtsClusterStat>,
     /// Ring storage, preallocated to capacity at registration.
     spans: Vec<SpanRec>,
     /// Next overwrite position once the ring is full.
@@ -113,6 +140,8 @@ impl Recorder {
             rank,
             epoch,
             cur_step: 0,
+            cur_cluster: NO_CLUSTER,
+            lts: Vec::new(),
             spans: Vec::with_capacity(capacity),
             next: 0,
             dropped: 0,
@@ -131,6 +160,8 @@ impl Recorder {
             rank: 0,
             epoch: Instant::now(),
             cur_step: 0,
+            cur_cluster: NO_CLUSTER,
+            lts: Vec::new(),
             spans: Vec::new(),
             next: 0,
             dropped: 0,
@@ -174,6 +205,24 @@ impl Recorder {
         }
     }
 
+    /// Tag subsequent spans with a dt-cluster id (local time stepping);
+    /// pass [`NO_CLUSTER`] when leaving a cluster's phase.
+    #[inline]
+    pub fn set_cluster(&mut self, cluster: u8) {
+        if self.enabled {
+            self.cur_cluster = cluster;
+        }
+    }
+
+    /// Install the per-cluster substep accounting for this rank's run.
+    /// Guarded on `enabled` so the telemetry-off recorder stays
+    /// allocation-free (the zero-alloc invariant).
+    pub fn set_lts_stats(&mut self, stats: Vec<LtsClusterStat>) {
+        if self.enabled {
+            self.lts = stats;
+        }
+    }
+
     /// Begin timing a span. Returns `None` (no clock read) when disabled.
     #[inline]
     pub fn start(&self) -> Option<Instant> {
@@ -207,6 +256,7 @@ impl Recorder {
             start_ns: t0.saturating_duration_since(self.epoch).as_nanos() as u64,
             dur_ns: dur.as_nanos() as u64,
             step: self.cur_step,
+            cluster: self.cur_cluster,
         };
         let t = &mut self.totals[phase.index()];
         t.count += 1;
@@ -271,6 +321,7 @@ impl Recorder {
             totals: self.totals,
             counters: self.counters,
             hists: self.hists,
+            lts: self.lts.clone(),
         }
     }
 }

@@ -7,6 +7,23 @@ use crate::phase::{Counter, HistKind, Phase};
 use crate::recorder::Snapshot;
 use std::fmt;
 
+/// Cross-rank aggregate for one local-time-stepping dt-cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct LtsClusterAgg {
+    pub cluster: u8,
+    /// Substep cadence (fires every `rate` base ticks).
+    pub rate: u32,
+    /// z-planes the cluster owns (clusters are z-slabs, identical on every
+    /// rank because LTS forbids z decomposition).
+    pub planes: u32,
+    /// Substeps summed across ranks.
+    pub substeps: u64,
+    /// Compute time inside this cluster's phases summed across ranks, ns.
+    pub ns: u64,
+    /// Fraction of all LTS cluster compute time spent in this cluster.
+    pub time_share: f64,
+}
+
 /// Distribution of one phase's **per-rank totals** across ranks.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseAgg {
@@ -36,6 +53,9 @@ pub struct TelemetryReport {
     pub hidden_comm_fraction: f64,
     /// Spans evicted from rings (totals remain exact), summed across ranks.
     pub dropped_spans: u64,
+    /// Per-dt-cluster substep accounting merged across ranks (empty unless
+    /// the run used local time stepping).
+    pub lts: Vec<LtsClusterAgg>,
 }
 
 /// p95 by nearest-rank on a sorted slice (matches how the bench suite
@@ -97,6 +117,35 @@ impl TelemetryReport {
 
         let dropped_spans = snaps.iter().map(|s| s.dropped_spans).sum();
 
+        // Merge LTS cluster stats: identity fields (rate, planes) agree
+        // across ranks by construction; substeps and ns accumulate.
+        let mut lts: Vec<LtsClusterAgg> = Vec::new();
+        for s in snaps {
+            for c in &s.lts {
+                match lts.iter_mut().find(|a| a.cluster == c.cluster) {
+                    Some(a) => {
+                        a.substeps += c.fires;
+                        a.ns += c.ns;
+                    }
+                    None => lts.push(LtsClusterAgg {
+                        cluster: c.cluster,
+                        rate: c.rate,
+                        planes: c.planes,
+                        substeps: c.fires,
+                        ns: c.ns,
+                        time_share: 0.0,
+                    }),
+                }
+            }
+        }
+        lts.sort_by_key(|a| a.cluster);
+        let lts_total_ns: u64 = lts.iter().map(|a| a.ns).sum();
+        if lts_total_ns > 0 {
+            for a in &mut lts {
+                a.time_share = a.ns as f64 / lts_total_ns as f64;
+            }
+        }
+
         TelemetryReport {
             ranks,
             phases,
@@ -105,6 +154,7 @@ impl TelemetryReport {
             load_imbalance,
             hidden_comm_fraction,
             dropped_spans,
+            lts,
         }
     }
 
@@ -191,6 +241,25 @@ impl fmt::Display for TelemetryReport {
             self.counter(Counter::Recoveries),
             self.counter(Counter::DeadLetters),
         )?;
+        if !self.lts.is_empty() {
+            writeln!(f, "  dt-clusters (local time stepping):")?;
+            writeln!(
+                f,
+                "    {:<8} {:>5} {:>7} {:>10} {:>11}",
+                "cluster", "rate", "planes", "substeps", "time-share"
+            )?;
+            for c in &self.lts {
+                writeln!(
+                    f,
+                    "    {:<8} {:>5} {:>7} {:>10} {:>10.1}%",
+                    c.cluster,
+                    c.rate,
+                    c.planes,
+                    c.substeps,
+                    c.time_share * 100.0
+                )?;
+            }
+        }
         for k in HistKind::ALL {
             let h = self.hist(k);
             if h.count() == 0 {
@@ -260,6 +329,31 @@ mod tests {
         assert_eq!(rep.hidden_comm_fraction, 0.0);
         let text = format!("{rep}");
         assert!(text.contains("load imbalance"));
+    }
+
+    #[test]
+    fn lts_cluster_table_aggregates_and_prints() {
+        use crate::recorder::LtsClusterStat;
+        let epoch = Instant::now();
+        let mk = |rank: usize| {
+            let mut r = crate::recorder::Recorder::enabled(rank, epoch, 16);
+            r.span_at(Phase::VelocityInterior, epoch, Duration::from_nanos(100));
+            r.set_lts_stats(vec![
+                LtsClusterStat { cluster: 0, rate: 1, planes: 8, fires: 32, ns: 3_000 },
+                LtsClusterStat { cluster: 1, rate: 4, planes: 24, fires: 8, ns: 1_000 },
+            ]);
+            r.snapshot()
+        };
+        let rep = TelemetryReport::from_snapshots(&[mk(0), mk(1)]);
+        assert_eq!(rep.lts.len(), 2);
+        assert_eq!(rep.lts[0].substeps, 64, "substeps sum across ranks");
+        assert_eq!(rep.lts[1].substeps, 16);
+        assert_eq!((rep.lts[0].rate, rep.lts[1].rate), (1, 4));
+        assert!((rep.lts[0].time_share - 0.75).abs() < 1e-12);
+        assert!((rep.lts[1].time_share - 0.25).abs() < 1e-12);
+        let text = format!("{rep}");
+        assert!(text.contains("dt-clusters"), "{text}");
+        assert!(text.contains("substeps"), "{text}");
     }
 
     #[test]

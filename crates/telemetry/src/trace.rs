@@ -7,7 +7,7 @@
 //! `Phase::name()` — static snake_case strings, so no JSON escaping is
 //! needed and the exporter stays serde-free (std-only crate).
 
-use crate::recorder::Snapshot;
+use crate::recorder::{Snapshot, NO_CLUSTER};
 use std::fmt::Write as _;
 
 /// Serialize snapshots to a Chrome trace-event JSON string.
@@ -33,13 +33,19 @@ pub fn chrome_trace(snaps: &[Snapshot]) -> String {
             let _ = write!(
                 out,
                 ",{{\"name\":\"{}\",\"cat\":\"awp\",\"ph\":\"X\",\"ts\":{:.3},\
-                 \"dur\":{:.3},\"pid\":{},\"tid\":0,\"args\":{{\"step\":{}}}}}",
+                 \"dur\":{:.3},\"pid\":{},\"tid\":0,\"args\":{{\"step\":{}",
                 sp.phase.name(),
                 sp.start_ns as f64 / 1e3,
                 sp.dur_ns as f64 / 1e3,
                 s.rank,
                 sp.step
             );
+            // Spans emitted inside a dt-cluster's phase carry the cluster
+            // id so Perfetto can filter/color by cluster.
+            if sp.cluster != NO_CLUSTER {
+                let _ = write!(out, ",\"cluster\":{}", sp.cluster);
+            }
+            out.push_str("}}");
         }
     }
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
@@ -76,6 +82,22 @@ mod tests {
         // parser dependency (full parse-back lives in tests/telemetry.rs).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn cluster_tagged_spans_carry_cluster_arg() {
+        let epoch = Instant::now();
+        let mut r = Recorder::enabled(0, epoch, 16);
+        r.set_step(3);
+        r.set_cluster(2);
+        r.span_at(Phase::VelocityInterior, epoch, Duration::from_micros(5));
+        r.set_cluster(crate::recorder::NO_CLUSTER);
+        r.span_at(Phase::Wait, epoch, Duration::from_micros(1));
+        let json = chrome_trace(&[r.snapshot()]);
+        assert!(json.contains("\"args\":{\"step\":3,\"cluster\":2}"), "{json}");
+        // The untagged span must not mention a cluster.
+        assert_eq!(json.matches("\"cluster\"").count(), 1, "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

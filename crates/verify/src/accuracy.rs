@@ -50,6 +50,12 @@ pub struct AccuracySpec {
     pub env_tol: f64,
     /// Hard threshold on the |residual time shift| in units of dt.
     pub shift_tol_dt: f64,
+    /// Run the solver with clustered local time stepping armed. The
+    /// homogeneous full-space medium collapses the dt-cluster plan to a
+    /// single cluster, so the gate asserts the *delegation* contract: the
+    /// LTS-enabled configuration must reproduce the fused path's misfits
+    /// exactly, validating the whole opt-in wiring end to end.
+    pub lts: bool,
 }
 
 impl AccuracySpec {
@@ -63,14 +69,30 @@ impl AccuracySpec {
     /// regressions still do — the source-polarity bug this suite caught
     /// scored L2 ≈ 2.0, and kernel-coefficient edits land far above 0.3.
     pub fn smoke() -> Self {
-        AccuracySpec { n: 48, d_cells: 8, ppw: 9.0, l2_tol: 0.30, env_tol: 0.30, shift_tol_dt: 1.0 }
+        AccuracySpec {
+            n: 48,
+            d_cells: 8,
+            ppw: 9.0,
+            l2_tol: 0.30,
+            env_tol: 0.30,
+            shift_tol_dt: 1.0,
+            lts: false,
+        }
     }
 
     /// Full geometry (64³, receivers ~12 cells out, better-resolved pulse).
     /// Measured worsts: explosion 0.112/0.113, double-couple 0.188/0.184,
     /// shift ≤ 0.07 dt — the finer grid earns the tighter gate.
     pub fn full() -> Self {
-        AccuracySpec { n: 64, d_cells: 12, ppw: 12.0, l2_tol: 0.24, env_tol: 0.24, shift_tol_dt: 1.0 }
+        AccuracySpec {
+            n: 64,
+            d_cells: 12,
+            ppw: 12.0,
+            l2_tol: 0.24,
+            env_tol: 0.24,
+            shift_tol_dt: 1.0,
+            lts: false,
+        }
     }
 }
 
@@ -228,6 +250,9 @@ fn run_case(spec: &AccuracySpec, kind: &CaseKind) -> AccuracyCase {
     cfg.abc = AbcKind::None;
     cfg.free_surface = false; // rigid box: the full-space stand-in
     cfg.attenuation = false;
+    if spec.lts {
+        cfg.opts.lts = Some(awp_solver::LtsOpts::new());
+    }
 
     let model = HomogeneousModel::new(med.vp as f32, med.vs as f32, med.rho as f32);
     let mesh = MeshGenerator::new(&model, cfg.dims, h).generate();
@@ -329,6 +354,7 @@ mod tests {
             l2_tol: 0.35,
             env_tol: 0.35,
             shift_tol_dt: 2.0,
+            lts: false,
         };
         let case = run_case(&spec, &CaseKind::Explosion);
         assert!(case.worst_l2.is_finite() && case.worst_l2 > 0.0);
@@ -377,6 +403,7 @@ mod tests {
             l2_tol: 1.0,
             env_tol: 1.0,
             shift_tol_dt: 10.0,
+            lts: false,
         };
         run_case(&spec, &CaseKind::DoubleCouple);
     }

@@ -54,6 +54,9 @@ pub struct ConvergenceSpec {
     /// Accepted band for the fitted order.
     pub order_lo: f64,
     pub order_hi: f64,
+    /// Arm clustered local time stepping on every level (homogeneous
+    /// medium ⇒ single-cluster delegation; see `AccuracySpec::lts`).
+    pub lts: bool,
 }
 
 impl ConvergenceSpec {
@@ -68,6 +71,7 @@ impl ConvergenceSpec {
             cfl_frac: 0.8,
             order_lo: 0.8,
             order_hi: 4.5,
+            lts: false,
         }
     }
 
@@ -156,6 +160,9 @@ fn run_level(spec: &ConvergenceSpec, level: usize) -> LevelResult {
     cfg.abc = AbcKind::None;
     cfg.free_surface = false;
     cfg.attenuation = false;
+    if spec.lts {
+        cfg.opts.lts = Some(awp_solver::LtsOpts::new());
+    }
 
     let model = HomogeneousModel::new(med.vp as f32, med.vs as f32, med.rho as f32);
     let mesh = MeshGenerator::new(&model, cfg.dims, h).generate();
@@ -365,6 +372,7 @@ mod tests {
             cfl_frac: 0.8,
             order_lo: 1.0,
             order_hi: 6.0,
+            lts: false,
         };
         let r = run_convergence(&spec);
         assert_eq!(r.levels.len(), 2);

@@ -38,17 +38,25 @@ pub struct VerifySpec {
     /// Override the first fuzz seed (`None` → mode default). With
     /// `seeds: Some(1)` this replays exactly one reported schedule.
     pub base_seed: Option<u64>,
+    /// Arm clustered local time stepping in the accuracy and convergence
+    /// streams. The analytic scenarios use homogeneous media, so the plan
+    /// collapses to one cluster and the run asserts LTS's delegation
+    /// contract under the same misfit thresholds and convergence band as
+    /// the fused path.
+    pub lts: bool,
 }
 
 /// Run all three verification streams and aggregate the report.
 pub fn run(spec: &VerifySpec) -> VerifyReport {
-    let acc_spec =
+    let mut acc_spec =
         if spec.smoke { accuracy::AccuracySpec::smoke() } else { accuracy::AccuracySpec::full() };
-    let conv_spec = if spec.smoke {
+    acc_spec.lts = spec.lts;
+    let mut conv_spec = if spec.smoke {
         convergence::ConvergenceSpec::smoke()
     } else {
         convergence::ConvergenceSpec::full()
     };
+    conv_spec.lts = spec.lts;
     let mut fuzz_spec = if spec.smoke { fuzz::FuzzSpec::smoke() } else { fuzz::FuzzSpec::full() };
     if let Some(n) = spec.seeds {
         fuzz_spec.seeds = n;

@@ -63,6 +63,30 @@ echo "=== TELEMETRY SMOKE DONE ==="
 # Timeout is sized for the 1-core host (~3 min typical, 6x headroom).
 cargo test --release -p awp-verify 2>&1 | grep -E "test result|FAILED"; echo "verify_tests exit ${PIPESTATUS[0]}"
 timeout 1200 ./target/release/awp verify --smoke > results/logs/cli_verify.log 2>&1; echo "verify_smoke exit $?"
+# Local time stepping: the same accuracy/convergence gates with opts.lts
+# armed (the homogeneous analytic media collapse the cluster ladder to one
+# cluster, so this asserts LTS's bit-exact delegation contract end to end),
+# plus the LTS solver suite (multi-rate bit-exactness across decomps, the
+# schedule fuzzer, accuracy vs global dt) and the workflow composition
+# tests (cluster-aligned checkpoints, restart, in-flight recovery).
+timeout 1200 ./target/release/awp verify --smoke --lts > results/logs/cli_verify_lts.log 2>&1; echo "verify_lts_smoke exit $?"
+cargo test --release -p awp-solver --test lts 2>&1 | grep -E "test result|FAILED"; echo "lts_tests exit ${PIPESTATUS[0]}"
+cargo test --release -p awp-odc --test lts_workflow 2>&1 | grep -E "test result|FAILED"; echo "lts_workflow_tests exit ${PIPESTATUS[0]}"
+# BENCH_lts.json gate: the committed full-mode artifact must exist, carry a
+# multi-rate ladder, and record the acceptance speedup (≥1.5× measured,
+# census ratio reported alongside). The smoke bench gate above re-measures
+# on this host; this check pins the recorded trajectory point.
+python3 - <<'EOF'; echo "bench_lts_artifact exit $?"
+import json, sys
+r = json.load(open("BENCH_lts.json"))
+assert r["mode"] == "full", r["mode"]
+assert len(r["clusters"]) >= 2, r["clusters"]
+assert r["measured_speedup"] >= 1.5, r["measured_speedup"]
+assert r["theoretical_speedup"] > 1.0, r["theoretical_speedup"]
+assert r["gate"]["passed"] is True
+print(f"BENCH_lts.json: {r['measured_speedup']:.2f}x measured, "
+      f"{r['theoretical_speedup']:.2f}x census")
+EOF
 echo "=== VERIFY DONE ==="
 # Hygiene gate: a clean run must leave no untracked scratch files behind
 # (everything a smoke run writes is either tracked under results/ or
