@@ -23,7 +23,8 @@
 use awp_odc::perfmodel::machines::Machine;
 use awp_odc::perfmodel::speedup::{efficiency, m8_mesh, m8_parts, speedup, ModelInput, PAPER_C};
 use awp_odc::scenario::{RuptureDirection, Scenario};
-use awp_odc::telemetry::Registry;
+use awp_odc::stats::{read_stream, validate_stream, StatsAddr, StatsServer};
+use awp_odc::telemetry::{LiveStats, Registry};
 use awp_odc::vcluster::fault::{FaultPlan, WatchdogConfig};
 use awp_odc::vcluster::RetryPolicy;
 use awp_odc::workflow::{scratch_dir, E2EWorkflow};
@@ -33,7 +34,7 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  awp scenarios\n  awp run <name> [nx] [seconds] [--lts]\n  awp workflow [name] [nx] [seconds] [--lts] [--profile] [--trace-out FILE]\n  awp verify [--smoke] [--lts] [--seeds N] [--base-seed S] [--out FILE]\n  awp efficiency\n  awp machines\n  awp chaos --chaos-seed <n> [name] [nx] [seconds]\n  awp chaos --recover [--fault crash|stall|both] [--chaos-seed <n>]\n            seeded rank-failure drill: the run must complete via in-flight\n            supervisor recovery (rollback-rejoin, no whole-run restart) and\n            stay bit-identical to the clean run, or exit nonzero\n  awp --profile [--trace-out FILE]      profiled default workflow\n\nscenario names: terashake-k | terashake-d | shakeout-k | shakeout-d |\n                wall-to-wall | m8 | pnw"
+        "usage:\n  awp scenarios\n  awp run <name> [nx] [seconds] [--lts]\n  awp workflow [name] [nx] [seconds] [--lts] [--sched] [--stats-addr A]\n               [--profile] [--trace-out FILE]\n  awp verify [--smoke] [--lts] [--seeds N] [--base-seed S] [--out FILE]\n  awp stats --smoke | (<addr> | --stats-addr A) [--snapshots N]\n            connect to a live run's stats endpoint (TCP host:port or\n            unix:<path>), read the versioned hello + N snapshot lines,\n            schema-check them, and print the stream; --smoke self-tests\n            against an in-process scheduled workflow\n  awp efficiency\n  awp machines\n  awp chaos --chaos-seed <n> [name] [nx] [seconds]\n  awp chaos --recover [--fault crash|stall|both] [--chaos-seed <n>]\n            seeded rank-failure drill: the run must complete via in-flight\n            supervisor recovery (rollback-rejoin, no whole-run restart) and\n            stay bit-identical to the clean run, or exit nonzero\n  awp --profile [--trace-out FILE]      profiled default workflow\n\n--sched arms the work-stealing tile scheduler (workflow and chaos runs);\n--stats-addr serves live per-rank telemetry at A while the run is in\nflight (newline-delimited versioned JSON, protocol awp-stats v1)\n\nscenario names: terashake-k | terashake-d | shakeout-k | shakeout-d |\n                wall-to-wall | m8 | pnw"
     );
     std::process::exit(2);
 }
@@ -110,6 +111,19 @@ fn main() {
         lts = true;
         args.remove(i);
     }
+    // Work-stealing tile scheduler (workflow/chaos solve passes) and the
+    // live streaming-stats endpoint address.
+    let mut sched = false;
+    if let Some(i) = args.iter().position(|a| a == "--sched") {
+        sched = true;
+        args.remove(i);
+    }
+    let mut stats_addr: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--stats-addr") {
+        let addr = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        stats_addr = Some(addr);
+        args.drain(i..=i + 1);
+    }
     let profiling = profile || trace_out.is_some();
     if args.is_empty() && profiling {
         // Bare `awp --profile [--trace-out f]`: profile a small default
@@ -179,6 +193,9 @@ fn main() {
             if lts {
                 run.cfg.opts.lts = Some(awp_solver::LtsOpts::new());
             }
+            if sched {
+                run.cfg.opts.sched = Some(awp_solver::SchedOpts::new());
+            }
             let mut wf = E2EWorkflow::new(run, [2, 2, 1], &dir);
             if let Some(reg) = &registry {
                 wf = wf.with_telemetry(Arc::clone(reg));
@@ -188,7 +205,26 @@ fn main() {
                 // runs (8 steps) used by final_verify.sh.
                 wf.checkpoint_every = Some(4);
             }
+            // Live streaming stats: serve the endpoint for the whole run;
+            // clients connect with `awp stats --stats-addr <A>`.
+            let live_srv = stats_addr.as_ref().map(|a| {
+                let live = LiveStats::new(4);
+                let srv = StatsServer::serve(
+                    &StatsAddr::parse(a),
+                    Arc::clone(&live),
+                    Duration::from_millis(250),
+                )
+                .expect("stats endpoint bind failed");
+                println!("live stats endpoint at {}", srv.local_addr());
+                (live, srv)
+            });
+            if let Some((live, _)) = &live_srv {
+                wf = wf.with_live_stats(Arc::clone(live));
+            }
             let rep = wf.execute().expect("workflow failed");
+            if let Some((_, srv)) = live_srv {
+                srv.stop();
+            }
             println!("{:<20} {:>9} {:>10} {:>9}", "stage", "seconds", "MB", "MB/s");
             for s in &rep.stages {
                 println!(
@@ -307,6 +343,86 @@ fn main() {
             }
             println!("verification passed");
         }
+        Some("stats") => {
+            let rest = &args[1..];
+            let smoke = rest.iter().any(|a| a == "--smoke");
+            let snapshots: usize = rest
+                .iter()
+                .position(|a| a == "--snapshots")
+                .map(|i| rest.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+                .unwrap_or(3);
+            if smoke {
+                // Self-test: serve an ephemeral endpoint, run a scheduled
+                // workflow against it, and play the client ourselves — the
+                // stream must carry ≥ 2 schema-valid versioned snapshots.
+                let sc = build_scenario("shakeout-k", 24).with_duration(15.0);
+                let mut run = sc.prepare();
+                run.cfg.opts.sched = Some(awp_solver::SchedOpts::new());
+                let live = LiveStats::new(4);
+                let srv = StatsServer::serve(
+                    &StatsAddr::parse("127.0.0.1:0"),
+                    Arc::clone(&live),
+                    Duration::from_millis(50),
+                )
+                .expect("stats endpoint bind failed");
+                let addr = srv.local_addr().clone();
+                println!("stats smoke: endpoint {addr}, scheduled shakeout-k workflow");
+                let want = snapshots.max(2);
+                let reader = std::thread::spawn(move || {
+                    read_stream(&addr, want, Duration::from_secs(30))
+                });
+                let dir = scratch_dir("awp-stats-smoke");
+                let wf = E2EWorkflow::new(run, [2, 2, 1], &dir)
+                    .with_live_stats(Arc::clone(&live));
+                let rep = wf.execute().expect("stats smoke workflow failed");
+                let lines = reader
+                    .join()
+                    .expect("stats client thread panicked")
+                    .expect("stats client read failed");
+                srv.stop();
+                let _ = std::fs::remove_dir_all(&dir);
+                match validate_stream(&lines) {
+                    Ok((ranks, snaps)) if snaps >= 2 => println!(
+                        "stats smoke passed: {ranks} ranks, {snaps} schema-valid snapshots \
+                         (archive verified: {})",
+                        rep.archive_verified
+                    ),
+                    Ok((_, snaps)) => {
+                        eprintln!("STATS SMOKE FAILED: only {snaps} snapshots streamed");
+                        std::process::exit(1);
+                    }
+                    Err(why) => {
+                        eprintln!("STATS SMOKE FAILED: {why}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                let addr = stats_addr
+                    .clone()
+                    .or_else(|| {
+                        rest.iter().find(|a| !a.starts_with("--")).cloned()
+                    })
+                    .unwrap_or_else(|| usage());
+                let addr = StatsAddr::parse(&addr);
+                let lines = read_stream(&addr, snapshots, Duration::from_secs(10))
+                    .unwrap_or_else(|e| {
+                        eprintln!("connecting to {addr} failed: {e}");
+                        std::process::exit(1);
+                    });
+                match validate_stream(&lines) {
+                    Ok((ranks, snaps)) => {
+                        println!("# {addr}: {ranks} ranks, {snaps} snapshots (awp-stats v1)");
+                        for l in &lines {
+                            println!("{l}");
+                        }
+                    }
+                    Err(why) => {
+                        eprintln!("INVALID stats stream from {addr}: {why}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
         Some("efficiency") => {
             let inp = ModelInput {
                 n: m8_mesh(),
@@ -364,7 +480,12 @@ fn main() {
                 // surface. Crash step 5 / stall step 6 sit just past the
                 // first checkpoint epoch (cadence 4), so a rollback line
                 // always exists.
-                let run = sc.prepare();
+                let mut run = sc.prepare();
+                if sched {
+                    // The drill run steals tiles; the clean reference does
+                    // not — the bit-exact gate below covers both axes.
+                    run.cfg.opts.sched = Some(awp_solver::SchedOpts::new());
+                }
                 let mut plan = FaultPlan::new(seed);
                 if matches!(fault_mode, "crash" | "both") {
                     plan = plan.with_crash(1, 5);
@@ -439,7 +560,10 @@ fn main() {
                 return;
             }
 
-            let run = sc.prepare();
+            let mut run = sc.prepare();
+            if sched {
+                run.cfg.opts.sched = Some(awp_solver::SchedOpts::new());
+            }
             let steps = run.cfg.steps as u64;
             let plan = Arc::new(FaultPlan::random(seed, 2, steps));
             println!(

@@ -23,9 +23,11 @@
 //! ```
 
 pub mod scenario;
+pub mod stats;
 pub mod workflow;
 
 pub use scenario::{RuptureDirection, Scenario, ScenarioReport, ScenarioRun, SourceSpec};
+pub use stats::{StatsAddr, StatsServer};
 pub use workflow::{E2EWorkflow, WorkflowReport};
 
 // Re-export the component crates under their paper names.

@@ -1,0 +1,365 @@
+//! Live streaming stats endpoint — the scx_stats-shaped monitoring side
+//! channel.
+//!
+//! A run that was armed with an [`LiveStats`] table exposes it through a
+//! long-lived endpoint (TCP or Unix-domain socket). Each client that
+//! connects receives one self-describing **hello** line, then periodic
+//! **snapshot** lines — newline-delimited versioned JSON produced by
+//! [`LiveStats::hello_json`]/[`LiveStats::snapshot_json`] — for as long as
+//! it stays connected. The server samples racy relaxed atomics on its own
+//! thread; the solve hot path never blocks on, allocates for, or even
+//! notices the endpoint (zero-alloc discipline is pinned in
+//! `telemetry/tests/zero_alloc.rs`).
+//!
+//! Version negotiation is deliberately one-sided and dumb: the first line
+//! carries `{"v":N,"proto":"awp-stats"}` and clients must reject a stream
+//! whose version or proto they do not recognise ([`validate_stream`]).
+//! There is no renegotiation — a mismatched client disconnects and the
+//! server does not care.
+
+use awp_telemetry::{LiveStats, STATS_PROTO_NAME, STATS_PROTO_VERSION};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where a stats endpoint listens. `unix:<path>` selects a Unix-domain
+/// socket; anything else is a TCP `host:port` bind address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsAddr {
+    Tcp(String),
+    Unix(PathBuf),
+}
+
+impl StatsAddr {
+    pub fn parse(s: &str) -> StatsAddr {
+        match s.strip_prefix("unix:") {
+            Some(path) => StatsAddr::Unix(PathBuf::from(path)),
+            None => StatsAddr::Tcp(s.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for StatsAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsAddr::Tcp(a) => write!(f, "{a}"),
+            StatsAddr::Unix(p) => write!(f, "unix:{}", p.display()),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Non-blocking accept; `Ok(None)` when nobody is knocking.
+    fn poll_accept(&self) -> io::Result<Option<Box<dyn Write + Send>>> {
+        let stream: io::Result<Box<dyn Write + Send>> = match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true);
+                Box::new(s) as Box<dyn Write + Send>
+            }),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Box::new(s) as Box<dyn Write + Send>),
+        };
+        match stream {
+            Ok(s) => Ok(Some(s)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// A running stats endpoint. Dropping (or calling [`stop`](Self::stop))
+/// shuts the listener down and joins every per-client writer thread.
+pub struct StatsServer {
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    /// The resolved bind address — useful when binding TCP port 0.
+    local: StatsAddr,
+    /// Unix socket path to unlink on shutdown.
+    unlink: Option<PathBuf>,
+}
+
+impl StatsServer {
+    /// Bind `addr` and start streaming `live` at `interval` to every
+    /// client that connects.
+    pub fn serve(
+        addr: &StatsAddr,
+        live: Arc<LiveStats>,
+        interval: Duration,
+    ) -> io::Result<StatsServer> {
+        let (listener, local, unlink) = match addr {
+            StatsAddr::Tcp(a) => {
+                let l = TcpListener::bind(a.as_str())?;
+                let local = StatsAddr::Tcp(l.local_addr()?.to_string());
+                l.set_nonblocking(true)?;
+                (Listener::Tcp(l), local, None)
+            }
+            StatsAddr::Unix(p) => {
+                // A stale socket file from a dead run would fail the bind.
+                let _ = std::fs::remove_file(p);
+                let l = UnixListener::bind(p)?;
+                l.set_nonblocking(true)?;
+                (Listener::Unix(l), StatsAddr::Unix(p.clone()), Some(p.clone()))
+            }
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let clients: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+                while !stop.load(Ordering::Acquire) {
+                    match listener.poll_accept() {
+                        Ok(Some(mut sink)) => {
+                            let live = Arc::clone(&live);
+                            let stop = Arc::clone(&stop);
+                            let handle = std::thread::spawn(move || {
+                                let mut seq = 0u64;
+                                if writeln!(sink, "{}", live.hello_json()).is_err() {
+                                    return;
+                                }
+                                loop {
+                                    let t_ms = t0.elapsed().as_millis() as u64;
+                                    if writeln!(sink, "{}", live.snapshot_json(seq, t_ms))
+                                        .and_then(|_| sink.flush())
+                                        .is_err()
+                                    {
+                                        return; // client went away
+                                    }
+                                    seq += 1;
+                                    // Sleep in short slices so stop() is
+                                    // never held up by a long interval.
+                                    let mut left = interval;
+                                    while !left.is_zero() {
+                                        if stop.load(Ordering::Acquire) {
+                                            return;
+                                        }
+                                        let slice = left.min(Duration::from_millis(25));
+                                        std::thread::sleep(slice);
+                                        left -= slice;
+                                    }
+                                }
+                            });
+                            clients.lock().unwrap().push(handle);
+                        }
+                        Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+                        Err(_) => break, // listener died; clients drain below
+                    }
+                }
+                for h in clients.lock().unwrap().drain(..) {
+                    let _ = h.join();
+                }
+            })
+        };
+        Ok(StatsServer { stop, accept: Some(accept), local, unlink })
+    }
+
+    /// The address the listener actually bound (port 0 resolved).
+    pub fn local_addr(&self) -> &StatsAddr {
+        &self.local
+    }
+
+    /// Shut down: stop streaming, join every thread, unlink the socket.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(p) = self.unlink.take() {
+            let _ = std::fs::remove_file(&p);
+        }
+    }
+}
+
+impl Drop for StatsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Connect to a stats endpoint and read the hello line plus
+/// `max_snapshots` snapshot lines (or until `timeout`). Returns the raw
+/// lines; pair with [`validate_stream`].
+pub fn read_stream(
+    addr: &StatsAddr,
+    max_snapshots: usize,
+    timeout: Duration,
+) -> io::Result<Vec<String>> {
+    let reader: Box<dyn Read> = match addr {
+        StatsAddr::Tcp(a) => {
+            let s = TcpStream::connect(a.as_str())?;
+            s.set_read_timeout(Some(timeout))?;
+            Box::new(s)
+        }
+        StatsAddr::Unix(p) => {
+            let s = UnixStream::connect(p)?;
+            s.set_read_timeout(Some(timeout))?;
+            Box::new(s)
+        }
+    };
+    let mut lines = Vec::new();
+    for line in BufReader::new(reader).lines() {
+        lines.push(line?);
+        if lines.len() > max_snapshots {
+            break; // hello + N snapshots
+        }
+    }
+    Ok(lines)
+}
+
+/// Schema-check one received stream: a versioned hello first (reject
+/// unknown protocol or version — that is the whole negotiation), then
+/// monotonically sequenced snapshots whose per-rank arrays match the
+/// advertised rank count. Returns `(ranks, snapshots)`.
+pub fn validate_stream(lines: &[String]) -> Result<(usize, usize), String> {
+    let hello: serde_json::Value = serde_json::from_str(
+        lines.first().ok_or("empty stream: no hello line")?,
+    )
+    .map_err(|e| format!("hello is not valid JSON: {e}"))?;
+    if hello["kind"].as_str() != Some("hello") {
+        return Err(format!("first line is not a hello: {hello}"));
+    }
+    if hello["proto"].as_str() != Some(STATS_PROTO_NAME) {
+        return Err(format!("unknown proto {:?}", hello["proto"]));
+    }
+    let v = hello["v"].as_f64().ok_or("hello: missing v")?;
+    if v != STATS_PROTO_VERSION as f64 {
+        return Err(format!("protocol version {v} != {STATS_PROTO_VERSION}; refusing stream"));
+    }
+    let ranks = hello["ranks"].as_f64().ok_or("hello: missing ranks")? as usize;
+    if ranks == 0 {
+        return Err("hello advertises zero ranks".into());
+    }
+    let mut last_seq: Option<u64> = None;
+    let mut snapshots = 0usize;
+    for (i, line) in lines[1..].iter().enumerate() {
+        let snap: serde_json::Value = serde_json::from_str(line)
+            .map_err(|e| format!("snapshot {i} is not valid JSON: {e}"))?;
+        if snap["kind"].as_str() != Some("snapshot") {
+            return Err(format!("line {} is not a snapshot", i + 1));
+        }
+        if snap["v"].as_f64() != Some(STATS_PROTO_VERSION as f64) {
+            return Err(format!("snapshot {i}: version changed mid-stream"));
+        }
+        let seq = snap["seq"].as_f64().ok_or(format!("snapshot {i}: missing seq"))? as u64;
+        if let Some(prev) = last_seq {
+            if seq <= prev {
+                return Err(format!("snapshot {i}: seq {seq} not after {prev}"));
+            }
+        }
+        last_seq = Some(seq);
+        snap["t_ms"].as_f64().ok_or(format!("snapshot {i}: missing t_ms"))?;
+        for key in ["imbalance", "hidden_comm"] {
+            let x = snap[key].as_f64().ok_or(format!("snapshot {i}: missing {key}"))?;
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!("snapshot {i}: {key} = {x} is not a finite metric"));
+            }
+        }
+        let cells = snap["ranks"].as_array().ok_or(format!("snapshot {i}: missing ranks"))?;
+        if cells.len() != ranks {
+            return Err(format!(
+                "snapshot {i}: {} rank cells != advertised {ranks}",
+                cells.len()
+            ));
+        }
+        for (r, c) in cells.iter().enumerate() {
+            for key in ["rank", "step", "steals", "stolen", "tiles", "queue_depth"] {
+                c[key].as_f64().ok_or(format!("snapshot {i} rank {r}: missing {key}"))?;
+            }
+            for key in ["compute_ms", "wait_ms", "send_ms", "inject_ms"] {
+                c[key].as_f64().ok_or(format!("snapshot {i} rank {r}: missing {key}"))?;
+            }
+        }
+        snapshots += 1;
+    }
+    Ok((ranks, snapshots))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bumped_live(ranks: usize) -> Arc<LiveStats> {
+        let live = LiveStats::new(ranks);
+        for r in 0..ranks {
+            live.rank(r).step.store(5, Ordering::Relaxed);
+            live.rank(r).tiles.fetch_add(8, Ordering::Relaxed);
+        }
+        live
+    }
+
+    #[test]
+    fn tcp_endpoint_streams_versioned_snapshots() {
+        let live = bumped_live(4);
+        let srv = StatsServer::serve(
+            &StatsAddr::parse("127.0.0.1:0"),
+            Arc::clone(&live),
+            Duration::from_millis(20),
+        )
+        .expect("bind ephemeral TCP port");
+        let lines =
+            read_stream(srv.local_addr(), 3, Duration::from_secs(5)).expect("client reads");
+        srv.stop();
+        let (ranks, snapshots) = validate_stream(&lines).expect("stream is schema-valid");
+        assert_eq!(ranks, 4);
+        assert!(snapshots >= 2, "got {snapshots} snapshots: {lines:?}");
+    }
+
+    #[test]
+    fn unix_endpoint_streams_and_unlinks_socket() {
+        let path = std::env::temp_dir()
+            .join(format!("awp-stats-test-{}.sock", std::process::id()));
+        let live = bumped_live(2);
+        let srv = StatsServer::serve(
+            &StatsAddr::Unix(path.clone()),
+            Arc::clone(&live),
+            Duration::from_millis(20),
+        )
+        .expect("bind unix socket");
+        let lines =
+            read_stream(&StatsAddr::Unix(path.clone()), 2, Duration::from_secs(5))
+                .expect("client reads over UDS");
+        srv.stop();
+        let (ranks, snapshots) = validate_stream(&lines).expect("stream is schema-valid");
+        assert_eq!(ranks, 2);
+        assert!(snapshots >= 1);
+        assert!(!path.exists(), "socket file unlinked on shutdown");
+    }
+
+    #[test]
+    fn validator_rejects_foreign_and_future_streams() {
+        assert!(validate_stream(&[]).is_err(), "empty stream");
+        let bad_proto = vec![r#"{"v":1,"kind":"hello","proto":"scx-stats","ranks":1}"#.into()];
+        assert!(validate_stream(&bad_proto).unwrap_err().contains("proto"));
+        let future = vec![r#"{"v":999,"kind":"hello","proto":"awp-stats","ranks":1}"#.into()];
+        assert!(validate_stream(&future).unwrap_err().contains("version"));
+        let live = LiveStats::new(2);
+        let ok = vec![live.hello_json(), live.snapshot_json(0, 10), live.snapshot_json(1, 20)];
+        assert_eq!(validate_stream(&ok), Ok((2, 2)));
+        // Snapshot whose rank array shrank mid-stream.
+        let short = vec![live.hello_json(), LiveStats::new(1).snapshot_json(0, 10)];
+        assert!(validate_stream(&short).unwrap_err().contains("rank cells"));
+    }
+
+    #[test]
+    fn addr_parse_round_trips() {
+        assert_eq!(StatsAddr::parse("127.0.0.1:7070"), StatsAddr::Tcp("127.0.0.1:7070".into()));
+        assert_eq!(
+            StatsAddr::parse("unix:/tmp/awp.sock"),
+            StatsAddr::Unix(PathBuf::from("/tmp/awp.sock"))
+        );
+        assert_eq!(StatsAddr::parse("unix:/tmp/awp.sock").to_string(), "unix:/tmp/awp.sock");
+    }
+}

@@ -26,6 +26,13 @@ use std::ops::Range;
 pub struct Decomp3 {
     pub global: Dims3,
     pub parts: [usize; 3],
+    /// Deliberate per-axis imbalance: `skew[a]` extra cells are granted to
+    /// part 0 along axis `a`, taken evenly from the remaining parts. All
+    /// zeros (the default, and what [`Decomp3::new`] builds) keeps the
+    /// balanced split. Used by scheduler benchmarks to construct a known
+    /// straggler rank; every cell still has exactly one owner.
+    #[serde(default)]
+    pub skew: [usize; 3],
 }
 
 impl Decomp3 {
@@ -39,7 +46,15 @@ impl Decomp3 {
                 global.axis(a)
             );
         }
-        Self { global, parts }
+        Self { global, parts, skew: [0; 3] }
+    }
+
+    /// Skew the split along `axis`: part 0 takes `extra` cells beyond its
+    /// balanced share (capped so every other part keeps at least one cell).
+    pub fn with_skew(mut self, axis: usize, extra: usize) -> Self {
+        assert!(axis < 3);
+        self.skew[axis] = extra;
+        self
     }
 
     /// Choose a near-cubic factorisation of `n` ranks for this global grid,
@@ -100,7 +115,8 @@ impl Decomp3 {
         ]
     }
 
-    /// Cell range owned by part `p` (of `parts`) along an axis of length `n`.
+    /// Cell range owned by part `p` (of `parts`) along an axis of length `n`
+    /// under the balanced split.
     fn axis_range(n: usize, parts: usize, p: usize) -> Range<usize> {
         let base = n / parts;
         let rem = n % parts;
@@ -109,18 +125,56 @@ impl Decomp3 {
         start..start + len
     }
 
+    /// Part 0's extent along axis `a`, honouring the skew cap (every later
+    /// part keeps at least one cell).
+    fn first_len(&self, a: usize) -> usize {
+        let n = self.global.axis(a);
+        let parts = self.parts[a];
+        let bal0 = Self::axis_range(n, parts, 0).len();
+        (bal0 + self.skew[a]).min(n - (parts - 1))
+    }
+
+    /// Cell range owned by part `p` along axis `a`, skew included: part 0
+    /// takes its enlarged share, the rest split the remainder evenly.
+    fn skewed_axis_range(&self, a: usize, p: usize) -> Range<usize> {
+        let n = self.global.axis(a);
+        let parts = self.parts[a];
+        if self.skew[a] == 0 || parts == 1 {
+            return Self::axis_range(n, parts, p);
+        }
+        let first = self.first_len(a);
+        if p == 0 {
+            return 0..first;
+        }
+        let r = Self::axis_range(n - first, parts - 1, p - 1);
+        (r.start + first)..(r.end + first)
+    }
+
     /// The subdomain owned by `rank`.
     pub fn subdomain(&self, rank: usize) -> Subdomain {
         let coords = self.coords_of(rank);
-        let xr = Self::axis_range(self.global.nx, self.parts[0], coords[0]);
-        let yr = Self::axis_range(self.global.ny, self.parts[1], coords[1]);
-        let zr = Self::axis_range(self.global.nz, self.parts[2], coords[2]);
+        let xr = self.skewed_axis_range(0, coords[0]);
+        let yr = self.skewed_axis_range(1, coords[1]);
+        let zr = self.skewed_axis_range(2, coords[2]);
         Subdomain {
             rank,
             coords,
             origin: Idx3::new(xr.start, yr.start, zr.start),
             dims: Dims3::new(xr.len(), yr.len(), zr.len()),
             decomp: *self,
+        }
+    }
+
+    /// Part coordinate owning cell `x` of `n` under the balanced split.
+    fn balanced_coord(n: usize, parts: usize, x: usize) -> usize {
+        let base = n / parts;
+        let rem = n % parts;
+        // First `rem` parts have length base+1.
+        let split = rem * (base + 1);
+        if x < split {
+            x / (base + 1)
+        } else {
+            rem + (x - split) / base.max(1)
         }
     }
 
@@ -131,15 +185,16 @@ impl Decomp3 {
         for (a, coord) in coords.iter_mut().enumerate() {
             let n = self.global.axis(a);
             let parts = self.parts[a];
-            let base = n / parts;
-            let rem = n % parts;
             let x = idx.axis(a);
-            // First `rem` parts have length base+1.
-            let split = rem * (base + 1);
-            *coord = if x < split {
-                x / (base + 1)
+            *coord = if self.skew[a] == 0 || parts == 1 {
+                Self::balanced_coord(n, parts, x)
             } else {
-                rem + (x - split) / base.max(1)
+                let first = self.first_len(a);
+                if x < first {
+                    0
+                } else {
+                    1 + Self::balanced_coord(n - first, parts - 1, x - first)
+                }
             };
         }
         self.rank_of(coords)
@@ -293,5 +348,32 @@ mod tests {
     #[should_panic(expected = "more parts than cells")]
     fn too_many_parts_rejected() {
         Decomp3::new(Dims3::new(2, 2, 2), [4, 1, 1]);
+    }
+
+    #[test]
+    fn skewed_split_partitions_exactly_and_biases_part_zero() {
+        let d = Decomp3::new(Dims3::new(32, 8, 8), [2, 1, 1]).with_skew(0, 8);
+        let s0 = d.subdomain(0);
+        let s1 = d.subdomain(1);
+        assert_eq!(s0.dims.nx, 24, "part 0 takes its balanced 16 plus 8 skew");
+        assert_eq!(s1.dims.nx, 8);
+        assert_eq!(s1.origin.i, 24);
+        // Every cell still has exactly one owner, matching the subdomains.
+        for r in 0..d.rank_count() {
+            let s = d.subdomain(r);
+            for k in 0..s.dims.nz {
+                for j in 0..s.dims.ny {
+                    for i in 0..s.dims.nx {
+                        let g = s.local_to_global(Idx3::new(i, j, k));
+                        assert_eq!(d.owner_of(g), r, "cell {g:?}");
+                    }
+                }
+            }
+        }
+        // Oversized skew is capped: later parts keep at least one cell.
+        let d = Decomp3::new(Dims3::new(10, 4, 4), [4, 1, 1]).with_skew(0, 100);
+        let lens: Vec<usize> = (0..4).map(|r| d.subdomain(r).dims.nx).collect();
+        assert_eq!(lens, vec![7, 1, 1, 1]);
+        assert_eq!(lens.iter().sum::<usize>(), 10);
     }
 }

@@ -92,6 +92,39 @@ pub struct SolverOpts {
     /// z-unpartitioned decomposition (`parts[2] == 1`).
     #[serde(default)]
     pub lts: Option<LtsOpts>,
+    /// Cooperative work-stealing tile scheduler: decompose each rank's
+    /// interior velocity/stress update into disjoint-write k-slab tiles on
+    /// per-rank dispatch queues, and let ranks that finish early (or park
+    /// in `finish_exchange`) steal tiles from lagging peers. `None` keeps
+    /// the one-thread-per-rank path. Requires `overlap` (tiles are the
+    /// interior window of the shell/interior split) and conflicts with the
+    /// `hybrid`/`threads` intra-rank pool — the scheduler *is* the
+    /// intra-host thread budget ([`ConfigError::SchedConflictsWithHybrid`]).
+    /// Bit-exact with the unscheduled path under any steal order.
+    #[serde(default)]
+    pub sched: Option<SchedOpts>,
+}
+
+/// Knobs for the work-stealing tile scheduler (see `awp_vcluster::sched`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedOpts {
+    /// Tile granularity: z-planes per tile. Tiles keep the full i/j extent
+    /// of the interior window (identical SIMD row geometry), so this is
+    /// the only split knob. 0 means one tile per window (no stealing
+    /// opportunity — useful for overhead measurement).
+    pub tile_planes: usize,
+}
+
+impl SchedOpts {
+    pub fn new() -> Self {
+        Self { tile_planes: 4 }
+    }
+}
+
+impl Default for SchedOpts {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Knobs for the dt-cluster construction (see `awp_cvm::lts`).
@@ -147,6 +180,7 @@ impl SolverOpts {
             hybrid: false,
             threads: 0,
             lts: None,
+            sched: None,
         }
     }
 
@@ -171,7 +205,15 @@ impl SolverOpts {
             hybrid: false,
             threads: 0,
             lts: None,
+            sched: None,
         }
+    }
+
+    /// Everything on *plus* the work-stealing tile scheduler: interior
+    /// updates run as disjoint-write k-slab tiles that idle ranks steal.
+    /// Bit-exact with [`SolverOpts::optimized`] under any steal order.
+    pub fn optimized_sched() -> Self {
+        Self { sched: Some(SchedOpts::new()), ..Self::optimized() }
     }
 }
 
@@ -194,6 +236,15 @@ pub enum ConfigError {
     /// `opts.lts.min_slab` must be ≥ 4: a fine cluster reads two ghost
     /// planes from its coarse neighbour, which must not span a cluster.
     LtsSlabTooThin,
+    /// `opts.sched` conflicts with the `hybrid`/`threads` intra-rank pool:
+    /// both claim the host's spare cores, and arbitrating a shared budget
+    /// silently would make wall-clock numbers unattributable. Pick one
+    /// thread strategy per run.
+    SchedConflictsWithHybrid,
+    /// `opts.sched` requires `opts.overlap`: tiles are the interior window
+    /// of the shell/interior split; the unsplit step has no interior-only
+    /// phase for thieves to help with.
+    SchedNeedsOverlap,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -215,6 +266,16 @@ impl std::fmt::Display for ConfigError {
             ConfigError::LtsSlabTooThin => write!(
                 f,
                 "opts.lts.min_slab must be at least 4 (two stencil half-widths)"
+            ),
+            ConfigError::SchedConflictsWithHybrid => write!(
+                f,
+                "opts.sched conflicts with the hybrid/threads intra-rank pool \
+                 (disable opts.hybrid and set opts.threads = 0, or drop opts.sched)"
+            ),
+            ConfigError::SchedNeedsOverlap => write!(
+                f,
+                "opts.sched requires the shell/interior overlap split \
+                 (set opts.overlap or drop opts.sched)"
             ),
         }
     }
@@ -341,6 +402,14 @@ impl SolverConfig {
                 return Err(ConfigError::LtsSlabTooThin);
             }
         }
+        if self.opts.sched.is_some() {
+            if self.opts.hybrid || self.opts.threads > 0 {
+                return Err(ConfigError::SchedConflictsWithHybrid);
+            }
+            if !self.opts.overlap {
+                return Err(ConfigError::SchedNeedsOverlap);
+            }
+        }
         Ok(())
     }
 
@@ -436,6 +505,33 @@ mod tests {
         cfg.opts = SolverOpts::optimized_lts();
         cfg.opts.lts = Some(LtsOpts { max_rate_log2: 3, min_slab: 2 });
         assert_eq!(cfg.validate(), Err(ConfigError::LtsSlabTooThin));
+    }
+
+    #[test]
+    fn sched_is_opt_in_and_arbitrated_against_hybrid() {
+        assert!(SolverOpts::optimized().sched.is_none(), "scheduler is an explicit opt-in");
+        let o = SolverOpts::optimized_sched();
+        assert_eq!(o.sched, Some(SchedOpts::new()));
+        assert_eq!({ let mut p = o; p.sched = None; p }, SolverOpts::optimized());
+
+        let mut cfg = SolverConfig::small(Dims3::new(8, 8, 8), 100.0, 1e-3, 4);
+        cfg.opts = SolverOpts::optimized_sched();
+        assert!(cfg.validate().is_ok());
+        // Thread-budget arbitration: the scheduler and the hybrid pool both
+        // claim the host's spare cores — conflicting configs are rejected
+        // up front, whichever knob expresses the conflict.
+        cfg.opts.hybrid = true;
+        assert_eq!(cfg.validate(), Err(ConfigError::SchedConflictsWithHybrid));
+        cfg.opts.hybrid = false;
+        cfg.opts.threads = 2;
+        assert_eq!(cfg.validate(), Err(ConfigError::SchedConflictsWithHybrid));
+        cfg.opts.threads = 0;
+        assert!(cfg.validate().is_ok());
+        // Tiles are the interior window of the overlap split.
+        cfg.opts.overlap = false;
+        assert_eq!(cfg.validate(), Err(ConfigError::SchedNeedsOverlap));
+        let msg = ConfigError::SchedConflictsWithHybrid.to_string();
+        assert!(msg.contains("hybrid"), "{msg}");
     }
 
     #[test]

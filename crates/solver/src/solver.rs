@@ -36,10 +36,12 @@ use awp_grid::stagger::Component;
 use awp_source::kinematic::KinematicSource;
 use awp_source::partition::partition_spatial;
 use awp_telemetry::{
-    Counter as TelCounter, Phase as TelPhase, Recorder, Registry, Snapshot,
+    Counter as TelCounter, HistKind as TelHistKind, Phase as TelPhase, Recorder, Registry,
+    Snapshot,
 };
 use awp_vcluster::cluster::RankCtx;
-use awp_vcluster::{Category, Cluster, SchedulePlan, TimeLedger};
+use awp_vcluster::sched::fold_counters;
+use awp_vcluster::{Category, Cluster, ExecSlot, HostTopology, SchedulePlan, Tile, TimeLedger};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -49,6 +51,67 @@ enum Backend {
     Scalar,
     Simd,
     Hybrid,
+}
+
+/// A scheduler [`Tile`] viewed as a kernel window.
+fn win_of(t: Tile) -> Win {
+    Win { i0: t.i0, i1: t.i1, j0: t.j0, j1: t.j1, k0: t.k0, k1: t.k1 }
+}
+
+/// A kernel window viewed as a scheduler [`Tile`].
+fn tile_of(w: Win) -> Tile {
+    Tile { i0: w.i0, i1: w.i1, j0: w.j0, j1: w.j1, k0: w.k0, k1: w.k1 }
+}
+
+/// Executor context for a velocity tile batch: raw pointers into the owner
+/// rank's solver, valid from `submit` to `run_to_completion` per the
+/// [`ExecSlot`] contract. Tiles partition the window into disjoint k-slabs
+/// and the velocity kernel writes only velocity components of its own
+/// cells while reading stresses (which the batch never writes), so the
+/// concurrent mutable accesses through `state` never alias a written cell.
+struct VelTileCtx {
+    state: *mut WaveState,
+    med: *const Medium,
+    dth: f32,
+    block: BlockSpec,
+    simd: bool,
+}
+
+unsafe fn run_velocity_tile(p: *const (), t: Tile) {
+    let c = unsafe { &*(p as *const VelTileCtx) };
+    let state = unsafe { &mut *c.state };
+    let med = unsafe { &*c.med };
+    if c.simd {
+        update_velocity_simd_win(state, med, c.dth, c.block, win_of(t));
+    } else {
+        update_velocity_win(state, med, c.dth, c.block, win_of(t));
+    }
+}
+
+/// Executor context for a stress tile batch (same aliasing argument as
+/// [`VelTileCtx`], with the field roles swapped: tiles write stresses and
+/// memory variables of their own cells, read velocities). `atten` is null
+/// when attenuation is off.
+struct StressTileCtx {
+    state: *mut WaveState,
+    med: *const Medium,
+    atten: *const Attenuation,
+    dth: f32,
+    dt: f32,
+    block: BlockSpec,
+    simd: bool,
+}
+
+unsafe fn run_stress_tile(p: *const (), t: Tile) {
+    let c = unsafe { &*(p as *const StressTileCtx) };
+    let state = unsafe { &mut *c.state };
+    let med = unsafe { &*c.med };
+    let atten = unsafe { c.atten.as_ref() };
+    if c.simd {
+        update_stress_simd_win(state, med, atten, c.dth, c.dt, c.block, win_of(t));
+    } else {
+        update_stress_win(state, med, atten, c.dth, c.dt, c.block, win_of(t));
+    }
 }
 
 /// One rank's solver instance.
@@ -309,6 +372,209 @@ impl Solver {
                 sp.apply_components_win(&mut self.state, &Component::STRESSES, w);
             }
             tel.finish(t0, TelPhase::Boundary);
+        }
+    }
+
+    /// Run a window's velocity kernel as disjoint-write k-slab tiles on
+    /// this rank's dispatch queue, then park on the batch barrier (helping
+    /// lagging peers while waiting). Only the cell-pure kernel is tiled —
+    /// boundary work stays owner-side, after the barrier.
+    fn tiled_velocity_kernel(
+        &mut self,
+        w: Win,
+        dth: f32,
+        block: BlockSpec,
+        simd: bool,
+        ctx: &mut RankCtx,
+        planes: usize,
+    ) {
+        let sched = Arc::clone(ctx.sched().expect("tiled path requires an attached scheduler"));
+        let rank = ctx.rank();
+        let tiles = tile_of(w).split_k(planes);
+        ctx.telem.observe_count(TelHistKind::QueueDepth, tiles.len() as u64);
+        let tctx = VelTileCtx { state: &mut self.state, med: &self.med, dth, block, simd };
+        // SAFETY: `tctx` outlives the batch (submit → run_to_completion,
+        // both below, on this stack frame); tiles write disjoint cells and
+        // the kernel is cell-pure, so concurrent executors never write the
+        // same memory (see `awp_vcluster::sched` module docs).
+        unsafe {
+            let exec = ExecSlot::new(&tctx as *const VelTileCtx as *const (), run_velocity_tile);
+            sched.submit(rank, exec, &tiles);
+        }
+        sched.run_to_completion(rank);
+    }
+
+    /// Stress-kernel counterpart of [`Self::tiled_velocity_kernel`].
+    /// `atten` is the effective attenuation for this window (null ⇒ none;
+    /// LTS clusters pass their dt-scaled override).
+    #[allow(clippy::too_many_arguments)]
+    fn tiled_stress_kernel(
+        &mut self,
+        w: Win,
+        atten: *const Attenuation,
+        dth: f32,
+        dt: f32,
+        block: BlockSpec,
+        simd: bool,
+        ctx: &mut RankCtx,
+        planes: usize,
+    ) {
+        let sched = Arc::clone(ctx.sched().expect("tiled path requires an attached scheduler"));
+        let rank = ctx.rank();
+        let tiles = tile_of(w).split_k(planes);
+        ctx.telem.observe_count(TelHistKind::QueueDepth, tiles.len() as u64);
+        let tctx = StressTileCtx {
+            state: &mut self.state,
+            med: &self.med,
+            atten,
+            dth,
+            dt,
+            block,
+            simd,
+        };
+        // SAFETY: as in `tiled_velocity_kernel` — context outlives the
+        // batch, tiles are disjoint-write.
+        unsafe {
+            let exec = ExecSlot::new(&tctx as *const StressTileCtx as *const (), run_stress_tile);
+            sched.submit(rank, exec, &tiles);
+        }
+        sched.run_to_completion(rank);
+    }
+
+    /// [`Self::velocity_win`] with the kernel tiled onto the scheduler.
+    /// The M-PML tail runs owner-side after the batch barrier, in the
+    /// untiled path's exact order — bit-exact under any steal schedule.
+    fn velocity_win_sched(
+        &mut self,
+        w: Win,
+        dth: f32,
+        block: BlockSpec,
+        backend: Backend,
+        ctx: &mut RankCtx,
+        planes: usize,
+    ) {
+        debug_assert_ne!(backend, Backend::Hybrid, "validate() rejects sched+hybrid");
+        self.tiled_velocity_kernel(w, dth, block, backend == Backend::Simd, ctx, planes);
+        if let Some(p) = &mut self.mpml {
+            let t0 = ctx.telem.start();
+            p.apply_velocity_win(&mut self.state, &self.med, dth, w);
+            ctx.telem.finish(t0, TelPhase::Boundary);
+        }
+    }
+
+    /// [`Self::stress_win`] with the kernel tiled onto the scheduler. The
+    /// non-cell-pure tail (M-PML → source injection → free surface →
+    /// sponge) runs owner-side after the batch barrier, in the untiled
+    /// pass's order.
+    #[allow(clippy::too_many_arguments)]
+    fn stress_win_sched(
+        &mut self,
+        w: Win,
+        t: f64,
+        on_surface: bool,
+        dth: f32,
+        block: BlockSpec,
+        backend: Backend,
+        ctx: &mut RankCtx,
+        planes: usize,
+    ) {
+        debug_assert_ne!(backend, Backend::Hybrid, "validate() rejects sched+hybrid");
+        let dt = self.cfg.dt as f32;
+        let atten = self.atten.as_ref().map_or(std::ptr::null(), |a| a as *const Attenuation);
+        self.tiled_stress_kernel(w, atten, dth, dt, block, backend == Backend::Simd, ctx, planes);
+        if let Some(p) = &mut self.mpml {
+            let t0 = ctx.telem.start();
+            p.apply_stress_win(&mut self.state, &self.med, dth, w);
+            ctx.telem.finish(t0, TelPhase::Boundary);
+        }
+        let t0 = ctx.telem.start();
+        self.injector.inject_win(&mut self.state, t, self.cfg.dt, w);
+        ctx.telem.finish(t0, TelPhase::Source);
+        if (on_surface && w.k0 == 0) || self.sponge.is_some() {
+            let t0 = ctx.telem.start();
+            if on_surface && w.k0 == 0 {
+                apply_free_surface_stress_win(&mut self.state, w);
+            }
+            if let Some(sp) = &self.sponge {
+                sp.apply_components_win(&mut self.state, &Component::STRESSES, w);
+            }
+            ctx.telem.finish(t0, TelPhase::Boundary);
+        }
+    }
+
+    /// [`Self::lts_velocity_win`] with the kernel tiled onto the scheduler
+    /// (cluster-rate dt, cluster M-PML override in the owner-side tail).
+    #[allow(clippy::too_many_arguments)]
+    fn lts_velocity_win_sched(
+        &mut self,
+        cl: &mut LtsCluster,
+        w: Win,
+        dth_c: f32,
+        block: BlockSpec,
+        backend: Backend,
+        ctx: &mut RankCtx,
+        planes: usize,
+    ) {
+        debug_assert_ne!(backend, Backend::Hybrid, "validate() rejects sched+hybrid");
+        self.tiled_velocity_kernel(w, dth_c, block, backend == Backend::Simd, ctx, planes);
+        if let Some(p) = cl.mpml.as_mut().or(self.mpml.as_mut()) {
+            let t0 = ctx.telem.start();
+            p.apply_velocity_win(&mut self.state, &self.med, dth_c, w);
+            ctx.telem.finish(t0, TelPhase::Boundary);
+        }
+    }
+
+    /// [`Self::lts_stress_win`] with the kernel tiled onto the scheduler
+    /// (cluster-rate dt and attenuation; cluster boundary overrides in the
+    /// owner-side tail, fused order preserved).
+    #[allow(clippy::too_many_arguments)]
+    fn lts_stress_win_sched(
+        &mut self,
+        cl: &mut LtsCluster,
+        w: Win,
+        t_mid: f64,
+        dt_c: f64,
+        on_surface: bool,
+        dth_c: f32,
+        block: BlockSpec,
+        backend: Backend,
+        ctx: &mut RankCtx,
+        planes: usize,
+    ) {
+        debug_assert_ne!(backend, Backend::Hybrid, "validate() rejects sched+hybrid");
+        let atten = cl
+            .atten
+            .as_ref()
+            .or(self.atten.as_ref())
+            .map_or(std::ptr::null(), |a| a as *const Attenuation);
+        self.tiled_stress_kernel(
+            w,
+            atten,
+            dth_c,
+            dt_c as f32,
+            block,
+            backend == Backend::Simd,
+            ctx,
+            planes,
+        );
+        if let Some(p) = cl.mpml.as_mut().or(self.mpml.as_mut()) {
+            let t0 = ctx.telem.start();
+            p.apply_stress_win(&mut self.state, &self.med, dth_c, w);
+            ctx.telem.finish(t0, TelPhase::Boundary);
+        }
+        let t0 = ctx.telem.start();
+        self.injector.inject_win(&mut self.state, t_mid, dt_c, w);
+        ctx.telem.finish(t0, TelPhase::Source);
+        let surface_win = on_surface && w.k0 == 0;
+        if surface_win || cl.sponge.is_some() || self.sponge.is_some() {
+            let t0 = ctx.telem.start();
+            if surface_win {
+                apply_free_surface_stress_win(&mut self.state, w);
+            }
+            if let Some(sp) = cl.sponge.as_ref().or(self.sponge.as_ref()) {
+                sp.apply_components_win(&mut self.state, &Component::STRESSES, w);
+            }
+            ctx.telem.finish(t0, TelPhase::Boundary);
         }
     }
 
@@ -741,6 +1007,15 @@ impl Solver {
             Backend::Scalar
         };
         let interior_backend = if hybrid { Backend::Hybrid } else { shell_backend };
+        // Interior tiles go on the work-stealing scheduler when both the
+        // config asks for it and the cluster carries one; shells stay
+        // owner-side (they gate the halo sends and are too thin to split).
+        let sched_planes = self
+            .cfg
+            .opts
+            .sched
+            .filter(|_| use_overlap && ctx.sched().is_some())
+            .map(|s| s.tile_planes);
 
         // Velocity phase. Each compute interval is measured once and feeds
         // both the coarse Eq. (7) ledger (Category::Comp) and the telemetry
@@ -764,7 +1039,11 @@ impl Solver {
             );
             let interior = self.shell.interior;
             let t0 = Instant::now();
-            self.velocity_win(interior, dth, block, interior_backend, &mut ctx.telem);
+            if let Some(planes) = sched_planes {
+                self.velocity_win_sched(interior, dth, block, interior_backend, ctx, planes);
+            } else {
+                self.velocity_win(interior, dth, block, interior_backend, &mut ctx.telem);
+            }
             let el = t0.elapsed();
             ctx.ledger.add(Category::Comp, el);
             ctx.telem.span_at(TelPhase::VelocityInterior, t0, el);
@@ -827,7 +1106,11 @@ impl Solver {
             );
             let interior = self.shell.interior;
             let t0 = Instant::now();
-            self.stress_win(interior, t, on_surface, dth, block, interior_backend, &mut ctx.telem);
+            if let Some(planes) = sched_planes {
+                self.stress_win_sched(interior, t, on_surface, dth, block, interior_backend, ctx, planes);
+            } else {
+                self.stress_win(interior, t, on_surface, dth, block, interior_backend, &mut ctx.telem);
+            }
             let el = t0.elapsed();
             ctx.ledger.add(Category::Comp, el);
             ctx.telem.span_at(TelPhase::StressInterior, t0, el);
@@ -950,6 +1233,12 @@ impl Solver {
             Backend::Scalar
         };
         let interior_backend = if hybrid { Backend::Hybrid } else { shell_backend };
+        let sched_planes = self
+            .cfg
+            .opts
+            .sched
+            .filter(|_| use_overlap && ctx.sched().is_some())
+            .map(|s| s.tile_planes);
         let mut firing = [false; MAX_CLUSTERS];
         for (i, c) in rt.clusters.iter().enumerate() {
             firing[i] = n % u64::from(c.rate) == 0;
@@ -1010,14 +1299,26 @@ impl Solver {
                 let iw = intersect_k(self.shell.interior, w.k0, w.k1);
                 if !iw.is_empty() {
                     let t0 = Instant::now();
-                    self.lts_velocity_win(
-                        &mut rt.clusters[c],
-                        iw,
-                        dth_c,
-                        block,
-                        interior_backend,
-                        &mut ctx.telem,
-                    );
+                    if let Some(planes) = sched_planes {
+                        self.lts_velocity_win_sched(
+                            &mut rt.clusters[c],
+                            iw,
+                            dth_c,
+                            block,
+                            interior_backend,
+                            ctx,
+                            planes,
+                        );
+                    } else {
+                        self.lts_velocity_win(
+                            &mut rt.clusters[c],
+                            iw,
+                            dth_c,
+                            block,
+                            interior_backend,
+                            &mut ctx.telem,
+                        );
+                    }
                     let el = t0.elapsed();
                     ctx.ledger.add(Category::Comp, el);
                     ctx.telem.span_at(TelPhase::VelocityInterior, t0, el);
@@ -1125,17 +1426,32 @@ impl Solver {
                 let iw = intersect_k(self.shell.interior, w.k0, w.k1);
                 if !iw.is_empty() {
                     let t0 = Instant::now();
-                    self.lts_stress_win(
-                        &mut rt.clusters[c],
-                        iw,
-                        t_mid,
-                        dt_c,
-                        on_surface,
-                        dth_c,
-                        block,
-                        interior_backend,
-                        &mut ctx.telem,
-                    );
+                    if let Some(planes) = sched_planes {
+                        self.lts_stress_win_sched(
+                            &mut rt.clusters[c],
+                            iw,
+                            t_mid,
+                            dt_c,
+                            on_surface,
+                            dth_c,
+                            block,
+                            interior_backend,
+                            ctx,
+                            planes,
+                        );
+                    } else {
+                        self.lts_stress_win(
+                            &mut rt.clusters[c],
+                            iw,
+                            t_mid,
+                            dt_c,
+                            on_surface,
+                            dth_c,
+                            block,
+                            interior_backend,
+                            &mut ctx.telem,
+                        );
+                    }
                     let el = t0.elapsed();
                     ctx.ledger.add(Category::Comp, el);
                     ctx.telem.span_at(TelPhase::StressInterior, t0, el);
@@ -1315,11 +1631,29 @@ pub fn try_run_parallel_sched(
     telemetry: Option<Arc<Registry>>,
     schedule: Option<Arc<SchedulePlan>>,
 ) -> Result<Vec<RankResult>, ConfigError> {
+    let decomp = Decomp3::new(cfg.dims, parts);
+    try_run_parallel_decomp(cfg, decomp, meshes, source, stations, telemetry, schedule)
+}
+
+/// Lowest-level fallible driver: takes an explicit (possibly skewed)
+/// [`Decomp3`] instead of a balanced `parts` split. The scheduler bench
+/// uses this to construct a deliberately imbalanced decomposition and
+/// measure how much wall-clock work stealing recovers.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_parallel_decomp(
+    cfg: &SolverConfig,
+    decomp: Decomp3,
+    meshes: &[Mesh],
+    source: &KinematicSource,
+    stations: &[Station],
+    telemetry: Option<Arc<Registry>>,
+    schedule: Option<Arc<SchedulePlan>>,
+) -> Result<Vec<RankResult>, ConfigError> {
     cfg.validate()?;
-    if cfg.opts.lts.is_some() && parts[2] != 1 {
+    if cfg.opts.lts.is_some() && decomp.parts[2] != 1 {
         return Err(ConfigError::LtsNeedsSingleZPart);
     }
-    let decomp = Decomp3::new(cfg.dims, parts);
+    assert_eq!(decomp.global, cfg.dims, "decomposition does not match the configured grid");
     let n = decomp.rank_count();
     assert_eq!(meshes.len(), n, "need one local mesh per rank");
     // The dt-cluster partition must be identical on every rank, so it is
@@ -1342,6 +1676,9 @@ pub fn try_run_parallel_sched(
     }
     if let Some(plan) = schedule {
         cluster = cluster.with_schedule(plan);
+    }
+    if cfg.opts.sched.is_some() {
+        cluster = cluster.with_sched(HostTopology::detect());
     }
     Ok(cluster.run(|ctx| {
         let rank = ctx.rank();
@@ -1368,6 +1705,10 @@ pub fn try_run_parallel_sched(
         ctx.telem.count(TelCounter::ArenaAllocs, solver.arena_allocations());
         if solver.lts_active() {
             ctx.telem.set_lts_stats(solver.lts_stats());
+        }
+        if let Some(s) = ctx.sched() {
+            let s = Arc::clone(s);
+            fold_counters(&s, rank, &mut ctx.telem);
         }
         RankResult {
             rank,

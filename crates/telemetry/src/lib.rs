@@ -20,6 +20,7 @@
 //! workspace and must build offline with no registry dependencies.
 
 pub mod hist;
+pub mod live;
 pub mod phase;
 pub mod recorder;
 pub mod registry;
@@ -27,6 +28,7 @@ pub mod report;
 pub mod trace;
 
 pub use hist::{Log2Hist, HIST_BUCKETS};
+pub use live::{LiveRank, LiveStats, STATS_PROTO_NAME, STATS_PROTO_VERSION};
 pub use phase::{Counter, HistKind, Phase};
 pub use recorder::{LtsClusterStat, PhaseTotal, Recorder, Snapshot, SpanRec, NO_CLUSTER};
 pub use registry::{Registry, DEFAULT_SPAN_CAPACITY};

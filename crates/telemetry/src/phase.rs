@@ -117,10 +117,16 @@ pub enum Counter {
     /// Messages drained from this rank's quarantined mailbox into the
     /// dead-letter buffer during in-flight recovery.
     DeadLetters,
+    /// Interior tiles this rank executed from its own dispatch queue.
+    TilesExecuted,
+    /// Tiles this rank stole (and executed) from lagging peers' queues.
+    TilesStolen,
+    /// Steal probes this rank issued (successful or not) while idle.
+    StealAttempts,
 }
 
 impl Counter {
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 14;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::MsgsSent,
@@ -134,6 +140,9 @@ impl Counter {
         Counter::IoRetries,
         Counter::Recoveries,
         Counter::DeadLetters,
+        Counter::TilesExecuted,
+        Counter::TilesStolen,
+        Counter::StealAttempts,
     ];
 
     #[inline]
@@ -154,6 +163,9 @@ impl Counter {
             Counter::IoRetries => "io_retries",
             Counter::Recoveries => "recoveries",
             Counter::DeadLetters => "dead_letters",
+            Counter::TilesExecuted => "tiles_executed",
+            Counter::TilesStolen => "tiles_stolen",
+            Counter::StealAttempts => "steal_attempts",
         }
     }
 }
@@ -165,12 +177,16 @@ pub enum HistKind {
     Send,
     Recv,
     Barrier,
+    /// Dispatch-queue depth (tile count) observed at each batch submit.
+    /// Buckets are counts, not nanoseconds.
+    QueueDepth,
 }
 
 impl HistKind {
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
-    pub const ALL: [HistKind; HistKind::COUNT] = [HistKind::Send, HistKind::Recv, HistKind::Barrier];
+    pub const ALL: [HistKind; HistKind::COUNT] =
+        [HistKind::Send, HistKind::Recv, HistKind::Barrier, HistKind::QueueDepth];
 
     #[inline]
     pub const fn index(self) -> usize {
@@ -182,6 +198,7 @@ impl HistKind {
             HistKind::Send => "send",
             HistKind::Recv => "recv",
             HistKind::Barrier => "barrier",
+            HistKind::QueueDepth => "queue_depth",
         }
     }
 }

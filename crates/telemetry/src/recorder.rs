@@ -10,6 +10,7 @@
 //! recording never touches the allocator either.
 
 use crate::hist::Log2Hist;
+use crate::live::LiveRank;
 use crate::phase::{Counter, HistKind, Phase};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -129,6 +130,10 @@ pub struct Recorder {
     /// emitting phase spans from one that is wedged. `None` (the default)
     /// keeps every probe's overhead at a single not-taken branch.
     pulse: Option<Arc<AtomicU64>>,
+    /// Optional live-stats cells (streaming stats endpoint). Finished spans
+    /// fold into coarse per-rank buckets; `None` (the default) keeps the
+    /// extra cost at one not-taken branch per span — zero allocation.
+    live: Option<Arc<LiveRank>>,
 }
 
 impl Recorder {
@@ -149,6 +154,7 @@ impl Recorder {
             counters: [0; Counter::COUNT],
             hists: [Log2Hist::new(); HistKind::COUNT],
             pulse: None,
+            live: None,
         }
     }
 
@@ -169,6 +175,7 @@ impl Recorder {
             counters: [0; Counter::COUNT],
             hists: [Log2Hist::new(); HistKind::COUNT],
             pulse: None,
+            live: None,
         }
     }
 
@@ -183,6 +190,15 @@ impl Recorder {
     /// sees activity from ranks that are busy inside long phase windows.
     pub fn set_pulse(&mut self, cell: Arc<AtomicU64>) {
         self.pulse = Some(cell);
+    }
+
+    /// Attach this rank's live-stats cells (streaming stats endpoint).
+    /// Finished spans then also fold into the coarse live buckets — like
+    /// the pulse, this works whether or not span recording is enabled, so
+    /// `awp run --stats-addr` without `--profile` still streams steps and
+    /// steal counters.
+    pub fn set_live(&mut self, cells: Arc<LiveRank>) {
+        self.live = Some(cells);
     }
 
     #[inline]
@@ -200,6 +216,9 @@ impl Recorder {
     /// Tag subsequent spans with the current timestep.
     #[inline]
     pub fn set_step(&mut self, step: u64) {
+        if let Some(l) = &self.live {
+            l.step.store(step, Ordering::Relaxed);
+        }
         if self.enabled {
             self.cur_step = step.min(u32::MAX as u64) as u32;
         }
@@ -223,11 +242,12 @@ impl Recorder {
         }
     }
 
-    /// Begin timing a span. Returns `None` (no clock read) when disabled.
+    /// Begin timing a span. Returns `None` (no clock read) when neither
+    /// span recording nor live streaming wants the interval.
     #[inline]
     pub fn start(&self) -> Option<Instant> {
         self.beat_pulse();
-        if self.enabled {
+        if self.enabled || self.live.is_some() {
             Some(Instant::now())
         } else {
             None
@@ -248,6 +268,11 @@ impl Recorder {
     #[inline]
     pub fn span_at(&mut self, phase: Phase, t0: Instant, dur: Duration) {
         self.beat_pulse();
+        // The live fold happens regardless of `enabled`: a monitoring-only
+        // run streams phase timers without paying for span recording.
+        if let Some(l) = &self.live {
+            l.add_phase(phase, dur.as_nanos() as u64);
+        }
         if !self.enabled {
             return;
         }
@@ -299,6 +324,16 @@ impl Recorder {
         self.beat_pulse();
         if self.enabled {
             self.hists[kind.index()].record_ns(dur.as_nanos() as u64);
+        }
+    }
+
+    /// Record a raw (non-duration) value in a log2 histogram — e.g. the
+    /// dispatch-queue depth at a tile-batch submit ([`HistKind::QueueDepth`]).
+    #[inline]
+    pub fn observe_count(&mut self, kind: HistKind, value: u64) {
+        self.beat_pulse();
+        if self.enabled {
+            self.hists[kind.index()].record_ns(value);
         }
     }
 

@@ -3,7 +3,7 @@
 //! test, but enforced globally with a counting allocator so nothing on the
 //! probe path can hide an allocation.
 
-use awp_telemetry::{Counter, HistKind, Phase, Recorder, Registry};
+use awp_telemetry::{Counter, HistKind, LiveStats, Phase, Recorder, Registry};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -74,4 +74,36 @@ fn enabled_steady_state_stays_in_the_ring() {
     let s = r.snapshot();
     assert_eq!(s.phase_count(Phase::Send), 10_000);
     assert_eq!(s.spans.len(), 256);
+}
+
+#[test]
+fn live_stats_publishing_is_allocation_free() {
+    // The streaming-stats cells are plain atomics: wiring them must keep
+    // both the disabled fast path and enabled steady-state recording flat.
+    let live = LiveStats::new(2);
+
+    let mut off = Recorder::disabled();
+    off.set_live(std::sync::Arc::clone(live.rank(0)));
+    let before = allocs();
+    for step in 0..10_000u64 {
+        off.set_step(step);
+        let t0 = off.start();
+        off.finish(t0, Phase::StressInterior);
+        off.count(Counter::TilesStolen, 1);
+    }
+    assert_eq!(allocs() - before, 0, "disabled probes with live cells must not allocate");
+
+    let reg = Registry::with_capacity(1, 64);
+    let mut on = reg.recorder(0);
+    on.set_live(std::sync::Arc::clone(live.rank(1)));
+    let before = allocs();
+    for step in 0..10_000u64 {
+        on.set_step(step);
+        let t0 = on.start();
+        on.finish(t0, Phase::VelocityInterior);
+        on.observe_count(HistKind::QueueDepth, 8);
+    }
+    assert_eq!(allocs() - before, 0, "live publishing must stay in the atomic cells");
+    assert_eq!(live.rank(1).step.load(Ordering::Relaxed), 9_999);
+    assert!(live.rank(1).compute_ns.load(Ordering::Relaxed) > 0);
 }

@@ -5,7 +5,7 @@
 
 use crate::accuracy::AccuracyCase;
 use crate::convergence::ConvergenceResult;
-use crate::fuzz::FuzzResult;
+use crate::fuzz::{FuzzResult, StealFuzzResult};
 use serde::Serialize;
 use std::io::Write;
 use std::path::Path;
@@ -23,6 +23,8 @@ pub struct VerifyReport {
     pub accuracy: Vec<AccuracyCase>,
     pub convergence: ConvergenceResult,
     pub fuzz: FuzzResult,
+    /// Work-stealing scheduler determinism sweep.
+    pub steal: StealFuzzResult,
     /// Conjunction of every stream's gate.
     pub passed: bool,
 }
@@ -33,15 +35,19 @@ impl VerifyReport {
         accuracy: Vec<AccuracyCase>,
         convergence: ConvergenceResult,
         fuzz: FuzzResult,
+        steal: StealFuzzResult,
     ) -> Self {
-        let passed =
-            accuracy.iter().all(|c| c.passed) && convergence.passed && fuzz.passed;
+        let passed = accuracy.iter().all(|c| c.passed)
+            && convergence.passed
+            && fuzz.passed
+            && steal.passed;
         VerifyReport {
             schema_version: SCHEMA_VERSION,
             mode: mode.to_string(),
             accuracy,
             convergence,
             fuzz,
+            steal,
             passed,
         }
     }
@@ -124,6 +130,36 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
         return Err(format!("fuzz: malformed fingerprint {fp:?}"));
     }
     fuzz["mismatched_seeds"].as_array().ok_or("fuzz: missing mismatched_seeds")?;
+
+    let steal = &v["steal"];
+    steal["passed"].as_bool().ok_or("steal: missing passed")?;
+    let sruns = steal["runs"].as_f64().ok_or("steal: missing runs")?;
+    if sruns < 1.0 {
+        return Err("steal: no replays executed".into());
+    }
+    let scases = steal["cases"].as_array().ok_or("steal: missing cases")?;
+    if scases.is_empty() {
+        return Err("steal: no decompositions swept".into());
+    }
+    for (i, c) in scases.iter().enumerate() {
+        let ranks = c["ranks"].as_f64().ok_or(format!("steal.cases[{i}]: missing ranks"))?;
+        if ranks < 1.0 {
+            return Err(format!("steal.cases[{i}]: ranks {ranks} must be positive"));
+        }
+        c["passed"].as_bool().ok_or(format!("steal.cases[{i}]: missing passed"))?;
+        c["unseeded_passed"]
+            .as_bool()
+            .ok_or(format!("steal.cases[{i}]: missing unseeded_passed"))?;
+        let fp = c["baseline_fingerprint"]
+            .as_str()
+            .ok_or(format!("steal.cases[{i}]: missing fingerprint"))?;
+        if fp.len() != 16 || !fp.chars().all(|ch| ch.is_ascii_hexdigit()) {
+            return Err(format!("steal.cases[{i}]: malformed fingerprint {fp:?}"));
+        }
+        c["mismatched_seeds"]
+            .as_array()
+            .ok_or(format!("steal.cases[{i}]: missing mismatched_seeds"))?;
+    }
     Ok(cases.len())
 }
 
@@ -132,7 +168,7 @@ mod tests {
     use super::*;
     use crate::accuracy::{AccuracyCase, ComponentScore, ReceiverScore};
     use crate::convergence::{ConvergenceResult, LevelResult};
-    use crate::fuzz::FuzzResult;
+    use crate::fuzz::{FuzzResult, StealCase, StealFuzzResult};
 
     fn sample_report(passed: bool) -> VerifyReport {
         let case = AccuracyCase {
@@ -181,7 +217,23 @@ mod tests {
             baseline_fingerprint: "0123456789abcdef".into(),
             passed: true,
         };
-        VerifyReport::new("smoke", vec![case], convergence, fuzz)
+        let steal = StealFuzzResult {
+            lts: false,
+            steps: 16,
+            tile_planes: 2,
+            runs: 20,
+            base_seed: 0x5eed_0004,
+            cases: vec![StealCase {
+                ranks: 8,
+                runs: 17,
+                unseeded_passed: true,
+                mismatched_seeds: vec![],
+                baseline_fingerprint: "fedcba9876543210".into(),
+                passed: true,
+            }],
+            passed: true,
+        };
+        VerifyReport::new("smoke", vec![case], convergence, fuzz, steal)
     }
 
     #[test]
