@@ -9,6 +9,8 @@
 //! awp chaos --chaos-seed <n> [name]     seeded fault-injection soak: the
 //!                                       chaos run must reproduce the clean
 //!                                       run bit-for-bit or exit nonzero
+//! awp analyze <trace.json>              causal critical-path profile of a
+//!                                       Chrome trace written by --trace-out
 //! ```
 //!
 //! Telemetry flags (workflow runs; `awp --profile` alone runs a small
@@ -34,7 +36,7 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  awp scenarios\n  awp run <name> [nx] [seconds] [--lts]\n  awp workflow [name] [nx] [seconds] [--lts] [--sched] [--stats-addr A]\n               [--profile] [--trace-out FILE]\n  awp verify [--smoke] [--lts] [--seeds N] [--base-seed S] [--out FILE]\n  awp stats --smoke | (<addr> | --stats-addr A) [--snapshots N]\n            connect to a live run's stats endpoint (TCP host:port or\n            unix:<path>), read the versioned hello + N snapshot lines,\n            schema-check them, and print the stream; --smoke self-tests\n            against an in-process scheduled workflow\n  awp efficiency\n  awp machines\n  awp chaos --chaos-seed <n> [name] [nx] [seconds]\n  awp chaos --recover [--fault crash|stall|both] [--chaos-seed <n>]\n            seeded rank-failure drill: the run must complete via in-flight\n            supervisor recovery (rollback-rejoin, no whole-run restart) and\n            stay bit-identical to the clean run, or exit nonzero\n  awp --profile [--trace-out FILE]      profiled default workflow\n\n--sched arms the work-stealing tile scheduler (workflow and chaos runs);\n--stats-addr serves live per-rank telemetry at A while the run is in\nflight (newline-delimited versioned JSON, protocol awp-stats v1)\n\nscenario names: terashake-k | terashake-d | shakeout-k | shakeout-d |\n                wall-to-wall | m8 | pnw"
+        "usage:\n  awp scenarios\n  awp run <name> [nx] [seconds] [--lts]\n  awp workflow [name] [nx] [seconds] [--lts] [--sched] [--stats-addr A]\n               [--profile] [--trace-out FILE] [--health-every N]\n  awp verify [--smoke] [--lts] [--seeds N] [--base-seed S] [--out FILE]\n  awp stats --smoke | (<addr> | --stats-addr A) [--snapshots N]\n            connect to a live run's stats endpoint (TCP host:port or\n            unix:<path>), read the versioned hello + N snapshot lines,\n            schema-check them, and print the stream; --smoke self-tests\n            against an in-process scheduled workflow\n  awp analyze <trace.json> [--top N] [--json FILE]\n            reconstruct the cross-rank causal DAG from a Chrome trace\n            (written by --trace-out), walk the critical path, and print\n            the wall-clock attribution; --json writes a schema-checked\n            analyze.json artifact\n  awp analyze --smoke [--json FILE]\n            self-test: trace an in-process 8-rank --lts workflow, analyze\n            it, and require the critical path to cover ≥ 90% of the wall\n            clock\n  awp efficiency\n  awp machines\n  awp chaos --chaos-seed <n> [name] [nx] [seconds]\n  awp chaos --recover [--fault crash|stall|both] [--chaos-seed <n>]\n            seeded rank-failure drill: the run must complete via in-flight\n            supervisor recovery (rollback-rejoin, no whole-run restart) and\n            stay bit-identical to the clean run, or exit nonzero\n  awp --profile [--trace-out FILE]      profiled default workflow\n\n--sched arms the work-stealing tile scheduler (workflow and chaos runs);\n--stats-addr serves live per-rank telemetry at A while the run is in\nflight (newline-delimited versioned JSON, protocol awp-stats v1);\n--health-every N scans the shell slabs for NaN/Inf every N steps and\naborts on the first non-finite velocity (0 = off, the default);\n--flight-dir DIR arms the crash flight recorder: on a rank fault or\ndegradation the supervisor dumps DIR/flightrec-<rank>.json with the last\nenvelopes and span tails for each rank\n\nscenario names: terashake-k | terashake-d | shakeout-k | shakeout-d |\n                wall-to-wall | m8 | pnw"
     );
     std::process::exit(2);
 }
@@ -124,6 +126,22 @@ fn main() {
         stats_addr = Some(addr);
         args.drain(i..=i + 1);
     }
+    // Simulation-health sentinel cadence (0 = off) and the crash flight
+    // recorder dump directory.
+    let mut health_every: u64 = 0;
+    if let Some(i) = args.iter().position(|a| a == "--health-every") {
+        health_every = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage());
+        args.drain(i..=i + 1);
+    }
+    let mut flight_dir: Option<PathBuf> = None;
+    if let Some(i) = args.iter().position(|a| a == "--flight-dir") {
+        let dir = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        flight_dir = Some(PathBuf::from(dir));
+        args.drain(i..=i + 1);
+    }
     let profiling = profile || trace_out.is_some();
     if args.is_empty() && profiling {
         // Bare `awp --profile [--trace-out f]`: profile a small default
@@ -196,7 +214,11 @@ fn main() {
             if sched {
                 run.cfg.opts.sched = Some(awp_solver::SchedOpts::new());
             }
+            run.cfg.opts.health_every = health_every;
             let mut wf = E2EWorkflow::new(run, [2, 2, 1], &dir);
+            if let Some(fdir) = &flight_dir {
+                wf = wf.with_flight_recorder(fdir.clone());
+            }
             if let Some(reg) = &registry {
                 wf = wf.with_telemetry(Arc::clone(reg));
                 // A profiled run should show the checkpoint phase on every
@@ -423,6 +445,92 @@ fn main() {
                 }
             }
         }
+        Some("analyze") => {
+            use awp_odc::analyze::{parse_trace, render, to_json, validate_json};
+            let rest = &args[1..];
+            let smoke = rest.iter().any(|a| a == "--smoke");
+            let top: usize = rest
+                .iter()
+                .position(|a| a == "--top")
+                .map(|i| rest.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+                .unwrap_or(5);
+            let json_out = rest
+                .iter()
+                .position(|a| a == "--json")
+                .map(|i| rest.get(i + 1).map(PathBuf::from).unwrap_or_else(|| usage()));
+            let trace = if smoke {
+                // Self-test: trace an in-process 8-rank clustered-LTS
+                // workflow and analyze our own artifact — the causal DAG
+                // gate (≥ 90% wall-clock coverage) runs below.
+                let sc = build_scenario("shakeout-k", 24).with_duration(15.0);
+                let mut run = sc.prepare();
+                run.cfg.opts.lts = Some(awp_solver::LtsOpts::new());
+                run.cfg.opts.health_every = health_every;
+                println!("analyze smoke: 8-rank --lts {} workflow, tracing armed", sc.name);
+                let registry = Registry::new(8);
+                let dir = scratch_dir("awp-analyze-smoke");
+                // LTS clusters are z-slabs, so the 8-rank decomposition
+                // keeps a single z part.
+                let mut wf = E2EWorkflow::new(run, [4, 2, 1], &dir)
+                    .with_telemetry(Arc::clone(&registry));
+                wf.checkpoint_every = Some(4);
+                let rep = wf.execute().expect("analyze smoke workflow failed");
+                let _ = std::fs::remove_dir_all(&dir);
+                println!("workflow done (archive verified: {})", rep.archive_verified);
+                registry.chrome_trace()
+            } else {
+                let path = rest
+                    .iter()
+                    .find(|a| !a.starts_with("--"))
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| usage());
+                std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("reading {path:?} failed: {e}"))
+            };
+            let graph = parse_trace(&trace).unwrap_or_else(|why| {
+                eprintln!("INVALID trace: {why}");
+                std::process::exit(1);
+            });
+            let path = graph.critical_path();
+            println!("{}", render(&graph, &path, top));
+            let json_out = json_out
+                .or_else(|| smoke.then(|| PathBuf::from("results/analyze.json")));
+            if let Some(out) = json_out {
+                if let Some(parent) = out.parent() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+                let doc = to_json(&graph, &path);
+                std::fs::write(&out, &doc)
+                    .unwrap_or_else(|e| panic!("writing {out:?} failed: {e}"));
+                // Self-validate before claiming success, same discipline
+                // as the verify-report and Chrome-trace paths.
+                match validate_json(&doc) {
+                    Ok(()) => println!("analysis → {}", out.display()),
+                    Err(why) => {
+                        eprintln!("INVALID analyze report {}: {why}", out.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
+            if smoke {
+                let cov = path.coverage();
+                if cov < 0.90 {
+                    eprintln!(
+                        "ANALYZE SMOKE FAILED: critical path covers {:.1}% of wall clock (< 90%)",
+                        cov * 100.0
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "analyze smoke passed: {} hops cover {:.1}% of wall clock \
+                     ({} edges, {} unmatched recvs)",
+                    path.hops.len(),
+                    cov * 100.0,
+                    graph.edges.len(),
+                    graph.unmatched_recvs
+                );
+            }
+        }
         Some("efficiency") => {
             let inp = ModelInput {
                 n: m8_mesh(),
@@ -486,6 +594,7 @@ fn main() {
                     // not — the bit-exact gate below covers both axes.
                     run.cfg.opts.sched = Some(awp_solver::SchedOpts::new());
                 }
+                run.cfg.opts.health_every = health_every;
                 let mut plan = FaultPlan::new(seed);
                 if matches!(fault_mode, "crash" | "both") {
                     plan = plan.with_crash(1, 5);
@@ -502,6 +611,9 @@ fn main() {
                 let drill_dir = scratch_dir("awp-chaos-recover");
                 let registry = profiling.then(|| Registry::new(2));
                 let mut wf = E2EWorkflow::new(run, [2, 1, 1], &drill_dir);
+                if let Some(fdir) = &flight_dir {
+                    wf = wf.with_flight_recorder(fdir.clone());
+                }
                 wf.checkpoint_every = Some(4);
                 wf = wf
                     .with_chaos(
@@ -564,6 +676,7 @@ fn main() {
             if sched {
                 run.cfg.opts.sched = Some(awp_solver::SchedOpts::new());
             }
+            run.cfg.opts.health_every = health_every;
             let steps = run.cfg.steps as u64;
             let plan = Arc::new(FaultPlan::random(seed, 2, steps));
             println!(
@@ -573,6 +686,9 @@ fn main() {
             );
             let chaos_dir = scratch_dir("awp-chaos");
             let mut wf = E2EWorkflow::new(run, [2, 1, 1], &chaos_dir);
+            if let Some(fdir) = &flight_dir {
+                wf = wf.with_flight_recorder(fdir.clone());
+            }
             wf.checkpoint_every = Some(4);
             wf.max_restarts = 6;
             wf = wf.with_chaos(

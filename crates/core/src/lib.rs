@@ -22,6 +22,7 @@
 //! assert!(report.pgv.max() > 0.0, "the scenario must shake");
 //! ```
 
+pub mod analyze;
 pub mod scenario;
 pub mod stats;
 pub mod workflow;

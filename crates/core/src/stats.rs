@@ -242,6 +242,14 @@ pub fn validate_stream(lines: &[String]) -> Result<(usize, usize), String> {
     if ranks == 0 {
         return Err("hello advertises zero ranks".into());
     }
+    // v1 additive extras: a hello may advertise additional per-rank
+    // snapshot fields (e.g. ["recoveries","dead_letters"]). They are
+    // required only when advertised, so clients of this validator stay
+    // compatible with older servers that never emit them.
+    let extras: Vec<String> = hello["extras"]
+        .as_array()
+        .map(|a| a.iter().filter_map(|v| v.as_str().map(String::from)).collect())
+        .unwrap_or_default();
     let mut last_seq: Option<u64> = None;
     let mut snapshots = 0usize;
     for (i, line) in lines[1..].iter().enumerate() {
@@ -280,6 +288,11 @@ pub fn validate_stream(lines: &[String]) -> Result<(usize, usize), String> {
             }
             for key in ["compute_ms", "wait_ms", "send_ms", "inject_ms"] {
                 c[key].as_f64().ok_or(format!("snapshot {i} rank {r}: missing {key}"))?;
+            }
+            for key in &extras {
+                c[key.as_str()].as_f64().ok_or(format!(
+                    "snapshot {i} rank {r}: missing advertised extra {key}"
+                ))?;
             }
         }
         snapshots += 1;
@@ -351,6 +364,28 @@ mod tests {
         // Snapshot whose rank array shrank mid-stream.
         let short = vec![live.hello_json(), LiveStats::new(1).snapshot_json(0, 10)];
         assert!(validate_stream(&short).unwrap_err().contains("rank cells"));
+    }
+
+    #[test]
+    fn advertised_extras_are_required_but_backward_compatible() {
+        let live = LiveStats::new(1);
+        live.rank(0).recoveries.fetch_add(2, Ordering::Relaxed);
+        let ok = vec![live.hello_json(), live.snapshot_json(0, 10)];
+        assert_eq!(validate_stream(&ok), Ok((1, 1)), "v1 stream carries its extras");
+        // A hello that advertises an extra the snapshots lack must fail...
+        let lying = vec![live.hello_json(), {
+            let s = live.snapshot_json(0, 10);
+            s.replace(",\"recoveries\":2", "")
+        }];
+        assert!(validate_stream(&lying).unwrap_err().contains("recoveries"));
+        // ...while an old-style hello without `extras` keeps validating
+        // snapshots that never carry them.
+        let old_hello = r#"{"v":1,"kind":"hello","proto":"awp-stats","ranks":1}"#.to_string();
+        let old_snap = live
+            .snapshot_json(0, 10)
+            .replace(",\"recoveries\":2", "")
+            .replace(",\"dead_letters\":0", "");
+        assert_eq!(validate_stream(&[old_hello, old_snap]), Ok((1, 1)));
     }
 
     #[test]

@@ -169,6 +169,12 @@ pub struct E2EWorkflow {
     /// steal counters into it — this is what a [`crate::stats`] endpoint
     /// streams to clients while the run is in flight.
     pub live: Option<Arc<LiveStats>>,
+    /// Crash flight recorder: when set, every solve rank keeps an
+    /// always-on ring of its last message envelopes/span tails and the
+    /// supervisor dumps `flightrec-<rank>.json` into this directory on
+    /// quarantine or degradation (post-mortem triage without full
+    /// telemetry).
+    pub flight_dir: Option<PathBuf>,
 }
 
 /// Per-rank solve outcome.
@@ -195,6 +201,7 @@ impl E2EWorkflow {
             telemetry: None,
             recovery: None,
             live: None,
+            flight_dir: None,
         }
     }
 
@@ -232,6 +239,14 @@ impl E2EWorkflow {
     /// pass (serve it with [`crate::stats::StatsServer`]).
     pub fn with_live_stats(mut self, live: Arc<LiveStats>) -> Self {
         self.live = Some(live);
+        self
+    }
+
+    /// Arm the crash flight recorder: dumps land in `dir` as
+    /// `flightrec-<rank>.json` when a supervised pass quarantines a rank
+    /// or degrades.
+    pub fn with_flight_recorder(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.flight_dir = Some(dir.into());
         self
     }
 
@@ -361,6 +376,7 @@ impl E2EWorkflow {
             telemetry: self.telemetry.clone(),
             recovery: self.recovery,
             live: self.live.clone(),
+            flight_dir: self.flight_dir.clone(),
         };
         let t = Instant::now();
         let legacy_stop = self.fail_at_step.filter(|&s| s < cfg.steps);
@@ -533,6 +549,7 @@ struct SolveEnv<'a> {
     telemetry: Option<Arc<Registry>>,
     recovery: Option<RetryPolicy>,
     live: Option<Arc<LiveStats>>,
+    flight_dir: Option<PathBuf>,
 }
 
 /// What one solve pass produced: per-rank outcomes plus the supervisor's
@@ -573,6 +590,9 @@ fn solve_ranks(
     }
     if let Some(live) = &env.live {
         cluster = cluster.with_live_stats(Arc::clone(live));
+    }
+    if let Some(dir) = &env.flight_dir {
+        cluster = cluster.with_flight_recorder(dir.clone());
     }
     if cfg.opts.sched.is_some() {
         cluster = cluster.with_sched(HostTopology::detect());

@@ -103,6 +103,13 @@ pub struct SolverOpts {
     /// Bit-exact with the unscheduled path under any steal order.
     #[serde(default)]
     pub sched: Option<SchedOpts>,
+    /// Simulation-health sentinel cadence (`--health-every N`): every N
+    /// steps each rank scans its shell slabs for non-finite velocities and
+    /// records the |v| watermark, aborting with a clear `sim-health:` error
+    /// on NaN/Inf instead of writing garbage outputs. 0 (the default)
+    /// disables the probe entirely.
+    #[serde(default)]
+    pub health_every: u64,
 }
 
 /// Knobs for the work-stealing tile scheduler (see `awp_vcluster::sched`).
@@ -181,6 +188,7 @@ impl SolverOpts {
             threads: 0,
             lts: None,
             sched: None,
+            health_every: 0,
         }
     }
 
@@ -206,6 +214,7 @@ impl SolverOpts {
             threads: 0,
             lts: None,
             sched: None,
+            health_every: 0,
         }
     }
 

@@ -36,8 +36,8 @@ use awp_grid::stagger::Component;
 use awp_source::kinematic::KinematicSource;
 use awp_source::partition::partition_spatial;
 use awp_telemetry::{
-    Counter as TelCounter, HistKind as TelHistKind, Phase as TelPhase, Recorder, Registry,
-    Snapshot,
+    CausalKind, Counter as TelCounter, HistKind as TelHistKind, Phase as TelPhase, Recorder,
+    Registry, Snapshot, NO_PEER,
 };
 use awp_vcluster::cluster::RankCtx;
 use awp_vcluster::sched::fold_counters;
@@ -984,7 +984,9 @@ impl Solver {
     /// construction) and the optimized data layout.
     pub fn step_parallel(&mut self, ctx: &mut RankCtx) {
         if self.lts.is_some() {
-            return self.step_parallel_lts(ctx);
+            self.step_parallel_lts(ctx);
+            self.health_probe(ctx);
+            return;
         }
         let t = self.step as f64 * self.cfg.dt;
         let dth = self.dth();
@@ -1203,6 +1205,59 @@ impl Solver {
         ctx.telem.span_at(TelPhase::Output, t0, el);
         self.flops.add_step(self.sub.dims.count(), self.cfg.attenuation);
         self.step += 1;
+        self.health_probe(ctx);
+    }
+
+    /// Simulation-health sentinel (`--health-every N`): scan the shell
+    /// slabs of the velocity field for non-finite values and the peak |v|
+    /// watermark. The shells bound every halo that left this rank, so
+    /// corruption is caught at the cheapest surface before it spreads to
+    /// peers. Emits a structured Health causal event (tag 1 = non-finite
+    /// found, bytes = watermark f32 bits) and aborts the run with a clear
+    /// error instead of letting NaNs silently reach the outputs.
+    fn health_probe(&mut self, ctx: &mut RankCtx) {
+        let every = self.cfg.opts.health_every;
+        if every == 0 {
+            return;
+        }
+        // `step` was just incremented: probe the step that completed.
+        let step = (self.step as u64).saturating_sub(1);
+        if step % every != 0 {
+            return;
+        }
+        let mut peak = 0.0f32;
+        let mut finite = true;
+        for w in self.shell.shells {
+            for k in w.k0..w.k1 {
+                for j in w.j0..w.j1 {
+                    for i in w.i0..w.i1 {
+                        let (i, j, k) = (i as isize, j as isize, k as isize);
+                        let m = self
+                            .state
+                            .vx
+                            .get(i, j, k)
+                            .abs()
+                            .max(self.state.vy.get(i, j, k).abs())
+                            .max(self.state.vz.get(i, j, k).abs());
+                        if m.is_finite() {
+                            peak = peak.max(m);
+                        } else {
+                            finite = false;
+                        }
+                    }
+                }
+            }
+        }
+        ctx.telem.count(TelCounter::HealthProbes, 1);
+        ctx.telem.causal_mark(
+            CausalKind::Health,
+            NO_PEER,
+            u64::from(!finite),
+            u64::from(peak.to_bits()),
+        );
+        if !finite {
+            panic!("sim-health: non-finite velocity at step {step} rank {}", ctx.rank());
+        }
     }
 
     /// One parallel base tick of the LTS schedule. Same sub-phase structure
@@ -1257,6 +1312,14 @@ impl Solver {
                 continue;
             }
             ctx.telem.set_cluster(c as u8);
+            // Cluster-tick causal anchor: tag = cluster index, bytes = rate
+            // (one mark per firing cluster per base tick, velocity phase).
+            ctx.telem.causal_mark(
+                CausalKind::ClusterTick,
+                NO_PEER,
+                c as u64,
+                u64::from(rt.clusters[c].rate),
+            );
             for f in &mut rt.interfaces {
                 if f.fine == c && !firing[f.coarse] {
                     f.blend_stress(&mut self.state);

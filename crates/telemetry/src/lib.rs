@@ -19,6 +19,8 @@
 //! The crate is std-only on purpose: it sits under every other crate in the
 //! workspace and must build offline with no registry dependencies.
 
+pub mod causal;
+pub mod flightrec;
 pub mod hist;
 pub mod live;
 pub mod phase;
@@ -27,6 +29,13 @@ pub mod registry;
 pub mod report;
 pub mod trace;
 
+pub use causal::{
+    clocks_monotonic, CausalEdge, CausalEvent, CausalGraph, CausalKind, CriticalPath, EdgeKind,
+    GraphSpan, Hop, NO_PEER,
+};
+pub use flightrec::{
+    EnvDir, EnvelopeRec, FlightRecorder, SpanTailRec, FLIGHT_ENV_CAPACITY, FLIGHT_SPAN_CAPACITY,
+};
 pub use hist::{Log2Hist, HIST_BUCKETS};
 pub use live::{LiveRank, LiveStats, STATS_PROTO_NAME, STATS_PROTO_VERSION};
 pub use phase::{Counter, HistKind, Phase};

@@ -49,6 +49,12 @@ pub struct LiveRank {
     pub tiles: AtomicU64,
     /// Size of the most recently submitted tile batch (gauge).
     pub queue_depth: AtomicU64,
+    /// In-flight recovery cycles this rank rejoined (mirrors
+    /// `Counter::Recoveries`).
+    pub recoveries: AtomicU64,
+    /// Messages drained from this rank's quarantined mailbox (mirrors
+    /// `Counter::DeadLetters`).
+    pub dead_letters: AtomicU64,
 }
 
 impl LiveRank {
@@ -91,10 +97,15 @@ impl LiveStats {
     }
 
     /// The one-time header line a server writes to each new client:
-    /// `{"v":1,"kind":"hello","proto":"awp-stats","ranks":N}`.
+    /// `{"v":1,"kind":"hello","proto":"awp-stats","ranks":N,"extras":[...]}`.
+    /// `extras` advertises additive per-rank snapshot fields beyond the v1
+    /// base schema; clients that predate a field simply ignore it, clients
+    /// that know it require it only when advertised (backward compatible
+    /// within v1).
     pub fn hello_json(&self) -> String {
         format!(
-            "{{\"v\":{STATS_PROTO_VERSION},\"kind\":\"hello\",\"proto\":\"{STATS_PROTO_NAME}\",\"ranks\":{}}}",
+            "{{\"v\":{STATS_PROTO_VERSION},\"kind\":\"hello\",\"proto\":\"{STATS_PROTO_NAME}\",\"ranks\":{},\
+             \"extras\":[\"recoveries\",\"dead_letters\"]}}",
             self.ranks.len()
         )
     }
@@ -134,7 +145,7 @@ impl LiveStats {
                 out,
                 "{{\"rank\":{i},\"step\":{},\"compute_ms\":{:.3},\"wait_ms\":{:.3},\
                  \"send_ms\":{:.3},\"inject_ms\":{:.3},\"steals\":{},\"stolen\":{},\
-                 \"tiles\":{},\"queue_depth\":{}}}",
+                 \"tiles\":{},\"queue_depth\":{},\"recoveries\":{},\"dead_letters\":{}}}",
                 r.step.load(Ordering::Relaxed),
                 r.compute_ns.load(Ordering::Relaxed) as f64 / 1e6,
                 r.wait_ns.load(Ordering::Relaxed) as f64 / 1e6,
@@ -144,6 +155,8 @@ impl LiveStats {
                 r.stolen.load(Ordering::Relaxed),
                 r.tiles.load(Ordering::Relaxed),
                 r.queue_depth.load(Ordering::Relaxed),
+                r.recoveries.load(Ordering::Relaxed),
+                r.dead_letters.load(Ordering::Relaxed),
             );
         }
         out.push_str("]}");
@@ -185,6 +198,19 @@ mod tests {
         assert!(line.contains("\"stolen\":4"), "{line}");
         assert!(line.contains("\"step\":7"), "{line}");
         assert!(!line.contains('\n'), "one line per snapshot");
+    }
+
+    #[test]
+    fn hello_advertises_recovery_extras_and_snapshots_carry_them() {
+        let live = LiveStats::new(2);
+        let hello = live.hello_json();
+        assert!(hello.contains("\"extras\":[\"recoveries\",\"dead_letters\"]"), "{hello}");
+        live.rank(1).recoveries.fetch_add(2, Ordering::Relaxed);
+        live.rank(1).dead_letters.fetch_add(5, Ordering::Relaxed);
+        let line = live.snapshot_json(0, 0);
+        assert!(line.contains("\"recoveries\":2"), "{line}");
+        assert!(line.contains("\"dead_letters\":5"), "{line}");
+        assert!(line.contains("\"recoveries\":0"), "{line}");
     }
 
     #[test]

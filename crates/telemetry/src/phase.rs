@@ -123,10 +123,12 @@ pub enum Counter {
     TilesStolen,
     /// Steal probes this rank issued (successful or not) while idle.
     StealAttempts,
+    /// Simulation-health sentinel probes executed (`--health-every N`).
+    HealthProbes,
 }
 
 impl Counter {
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 15;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::MsgsSent,
@@ -143,6 +145,7 @@ impl Counter {
         Counter::TilesExecuted,
         Counter::TilesStolen,
         Counter::StealAttempts,
+        Counter::HealthProbes,
     ];
 
     #[inline]
@@ -166,6 +169,7 @@ impl Counter {
             Counter::TilesExecuted => "tiles_executed",
             Counter::TilesStolen => "tiles_stolen",
             Counter::StealAttempts => "steal_attempts",
+            Counter::HealthProbes => "health_probes",
         }
     }
 }

@@ -9,11 +9,13 @@
 //! buffer (fixed-size records, phase enums not strings) so steady-state
 //! recording never touches the allocator either.
 
+use crate::causal::{CausalEvent, CausalKind};
+use crate::flightrec::{EnvDir, EnvelopeRec, FlightRecorder, SpanTailRec};
 use crate::hist::Log2Hist;
 use crate::live::LiveRank;
 use crate::phase::{Counter, HistKind, Phase};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Cluster tag value meaning "not inside any dt-cluster's phase".
@@ -74,6 +76,10 @@ pub struct Snapshot {
     /// Per-dt-cluster substep accounting (empty unless the run used local
     /// time stepping and called [`Recorder::set_lts_stats`]).
     pub lts: Vec<LtsClusterStat>,
+    /// Causal events (message lineage, steal/cluster/rollback/health
+    /// marks) in chronological order; ring-bounded like `spans`.
+    pub causal: Vec<CausalEvent>,
+    pub dropped_causal: u64,
 }
 
 impl Snapshot {
@@ -134,6 +140,19 @@ pub struct Recorder {
     /// fold into coarse per-rank buckets; `None` (the default) keeps the
     /// extra cost at one not-taken branch per span — zero allocation.
     live: Option<Arc<LiveRank>>,
+    /// Lamport logical clock: ticked on every causal event, merged on
+    /// receive. Maintained unconditionally (plain integer math) so message
+    /// envelopes are stamped even when recording is disarmed — the flight
+    /// recorder and any armed peer's trace still see coherent lineage.
+    clock: u64,
+    /// Causal-event ring, preallocated like `spans`.
+    causal: Vec<CausalEvent>,
+    causal_next: usize,
+    dropped_causal: u64,
+    /// Optional always-on flight recorder (black box). Armed by the
+    /// supervised-run path independently of `enabled`; `None` (the
+    /// default) keeps disarmed probes allocation- and clock-read-free.
+    flight: Option<Arc<Mutex<FlightRecorder>>>,
 }
 
 impl Recorder {
@@ -155,6 +174,12 @@ impl Recorder {
             hists: [Log2Hist::new(); HistKind::COUNT],
             pulse: None,
             live: None,
+            clock: 0,
+            // Sends + receives outnumber spans per step; double the ring.
+            causal: Vec::with_capacity(capacity.saturating_mul(2)),
+            causal_next: 0,
+            dropped_causal: 0,
+            flight: None,
         }
     }
 
@@ -176,6 +201,11 @@ impl Recorder {
             hists: [Log2Hist::new(); HistKind::COUNT],
             pulse: None,
             live: None,
+            clock: 0,
+            causal: Vec::new(),
+            causal_next: 0,
+            dropped_causal: 0,
+            flight: None,
         }
     }
 
@@ -201,6 +231,37 @@ impl Recorder {
         self.live = Some(cells);
     }
 
+    /// Arm the always-on flight recorder (black box). Subsequent message
+    /// envelopes and finished spans are mirrored into its rings whether or
+    /// not span recording is enabled, so a supervised run without
+    /// `--profile` still leaves a dump-worthy tail on crash.
+    pub fn set_flight(&mut self, rec: Arc<Mutex<FlightRecorder>>) {
+        self.flight = Some(rec);
+    }
+
+    /// Current Lamport clock (diagnostics/tests).
+    #[inline]
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Tick the Lamport clock for a send and return the envelope stamp.
+    /// Always maintained — integer math only, no allocation, no clock
+    /// read — so envelopes stay coherently stamped when tracing is off.
+    #[inline]
+    pub fn clock_send(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Merge a received envelope stamp: `clock = max(clock, peer) + 1`.
+    /// Returns the merged local clock.
+    #[inline]
+    pub fn clock_recv(&mut self, peer_clock: u64) -> u64 {
+        self.clock = self.clock.max(peer_clock) + 1;
+        self.clock
+    }
+
     #[inline]
     fn beat_pulse(&self) {
         if let Some(p) = &self.pulse {
@@ -213,15 +274,15 @@ impl Recorder {
         self.rank
     }
 
-    /// Tag subsequent spans with the current timestep.
+    /// Tag subsequent spans with the current timestep. The step gauge is
+    /// kept even when recording is disabled (plain store) so flight-
+    /// recorder envelopes carry the right step.
     #[inline]
     pub fn set_step(&mut self, step: u64) {
         if let Some(l) = &self.live {
             l.step.store(step, Ordering::Relaxed);
         }
-        if self.enabled {
-            self.cur_step = step.min(u32::MAX as u64) as u32;
-        }
+        self.cur_step = step.min(u32::MAX as u64) as u32;
     }
 
     /// Tag subsequent spans with a dt-cluster id (local time stepping);
@@ -243,11 +304,12 @@ impl Recorder {
     }
 
     /// Begin timing a span. Returns `None` (no clock read) when neither
-    /// span recording nor live streaming wants the interval.
+    /// span recording, live streaming, nor the flight recorder wants the
+    /// interval.
     #[inline]
     pub fn start(&self) -> Option<Instant> {
         self.beat_pulse();
-        if self.enabled || self.live.is_some() {
+        if self.enabled || self.live.is_some() || self.flight.is_some() {
             Some(Instant::now())
         } else {
             None
@@ -272,6 +334,18 @@ impl Recorder {
         // run streams phase timers without paying for span recording.
         if let Some(l) = &self.live {
             l.add_phase(phase, dur.as_nanos() as u64);
+        }
+        // Likewise the flight-recorder tail: the black box stays current
+        // on supervised runs even without `--profile`.
+        if let Some(f) = &self.flight {
+            if let Ok(mut fr) = f.lock() {
+                fr.record_span(SpanTailRec {
+                    phase,
+                    step: self.cur_step,
+                    start_ns: t0.saturating_duration_since(self.epoch).as_nanos() as u64,
+                    dur_ns: dur.as_nanos() as u64,
+                });
+            }
         }
         if !self.enabled {
             return;
@@ -313,9 +387,124 @@ impl Recorder {
     #[inline]
     pub fn count(&mut self, c: Counter, n: u64) {
         self.beat_pulse();
+        // Recovery accounting also feeds the live stream (the stats
+        // endpoint publishes recoveries/dead_letters per rank).
+        if let Some(l) = &self.live {
+            match c {
+                Counter::Recoveries => {
+                    l.recoveries.fetch_add(n, Ordering::Relaxed);
+                }
+                Counter::DeadLetters => {
+                    l.dead_letters.fetch_add(n, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+        }
         if self.enabled {
             self.counters[c.index()] += n;
         }
+    }
+
+    /// Push one causal record into the preallocated ring (enabled only).
+    #[inline]
+    fn push_causal(&mut self, ev: CausalEvent) {
+        if self.causal.len() < self.causal.capacity() {
+            self.causal.push(ev);
+        } else if self.causal.capacity() > 0 {
+            self.causal[self.causal_next] = ev;
+            self.causal_next = (self.causal_next + 1) % self.causal.capacity();
+            self.dropped_causal += 1;
+        } else {
+            self.dropped_causal += 1;
+        }
+    }
+
+    /// Record a message-send causal event. `clock` is the stamp returned
+    /// by [`clock_send`](Self::clock_send) and carried on the envelope.
+    /// Free when disarmed: one pulse bump and a not-taken branch.
+    #[inline]
+    pub fn causal_send(&mut self, peer: u32, tag: u64, bytes: u64, clock: u64) {
+        self.beat_pulse();
+        if !self.enabled && self.flight.is_none() {
+            return;
+        }
+        let t_ns = self.epoch.elapsed().as_nanos() as u64;
+        if let Some(f) = &self.flight {
+            if let Ok(mut fr) = f.lock() {
+                fr.record_env(EnvelopeRec {
+                    dir: EnvDir::Send,
+                    peer,
+                    tag,
+                    bytes,
+                    clock,
+                    step: self.cur_step,
+                    t_ns,
+                });
+            }
+        }
+        if self.enabled {
+            self.push_causal(CausalEvent {
+                kind: CausalKind::Send,
+                clock,
+                peer,
+                peer_clock: 0,
+                tag,
+                bytes,
+                step: self.cur_step,
+                t_ns,
+            });
+        }
+    }
+
+    /// Record a message-receive causal event. `peer_clock` is the stamp
+    /// from the envelope, `clock` the merged local clock returned by
+    /// [`clock_recv`](Self::clock_recv).
+    #[inline]
+    pub fn causal_recv(&mut self, peer: u32, tag: u64, bytes: u64, peer_clock: u64, clock: u64) {
+        self.beat_pulse();
+        if !self.enabled && self.flight.is_none() {
+            return;
+        }
+        let t_ns = self.epoch.elapsed().as_nanos() as u64;
+        if let Some(f) = &self.flight {
+            if let Ok(mut fr) = f.lock() {
+                fr.record_env(EnvelopeRec {
+                    dir: EnvDir::Recv,
+                    peer,
+                    tag,
+                    bytes,
+                    clock,
+                    step: self.cur_step,
+                    t_ns,
+                });
+            }
+        }
+        if self.enabled {
+            self.push_causal(CausalEvent {
+                kind: CausalKind::Recv,
+                clock,
+                peer,
+                peer_clock,
+                tag,
+                bytes,
+                step: self.cur_step,
+                t_ns,
+            });
+        }
+    }
+
+    /// Record a local causal mark (steal aggregate, LTS cluster tick,
+    /// recovery rollback, health probe). Ticks the Lamport clock.
+    #[inline]
+    pub fn causal_mark(&mut self, kind: CausalKind, peer: u32, tag: u64, bytes: u64) {
+        self.beat_pulse();
+        self.clock += 1;
+        if !self.enabled {
+            return;
+        }
+        let t_ns = self.epoch.elapsed().as_nanos() as u64;
+        let (clock, step) = (self.clock, self.cur_step);
+        self.push_causal(CausalEvent { kind, clock, peer, peer_clock: 0, tag, bytes, step, t_ns });
     }
 
     /// Record one latency observation in a log2 histogram.
@@ -348,6 +537,13 @@ impl Recorder {
         } else {
             spans.extend_from_slice(&self.spans);
         }
+        let mut causal = Vec::with_capacity(self.causal.len());
+        if self.dropped_causal > 0 && self.causal.len() == self.causal.capacity() {
+            causal.extend_from_slice(&self.causal[self.causal_next..]);
+            causal.extend_from_slice(&self.causal[..self.causal_next]);
+        } else {
+            causal.extend_from_slice(&self.causal);
+        }
         Snapshot {
             rank: self.rank,
             enabled: self.enabled,
@@ -357,6 +553,8 @@ impl Recorder {
             counters: self.counters,
             hists: self.hists,
             lts: self.lts.clone(),
+            causal,
+            dropped_causal: self.dropped_causal,
         }
     }
 }

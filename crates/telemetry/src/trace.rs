@@ -7,10 +7,17 @@
 //! `Phase::name()` — static snake_case strings, so no JSON escaping is
 //! needed and the exporter stays serde-free (std-only crate).
 
+use crate::causal::{CausalGraph, EdgeKind};
 use crate::recorder::{Snapshot, NO_CLUSTER};
 use std::fmt::Write as _;
 
 /// Serialize snapshots to a Chrome trace-event JSON string.
+///
+/// Message edges matched from the causal event stream are emitted as flow
+/// events (`"ph":"s"` at the send, `"ph":"f"` with `"bp":"e"` at the
+/// receive, one shared id per edge) so Perfetto draws the cross-rank
+/// arrows and `awp analyze` can parse the dependency DAG back out of the
+/// trace file. Steal edges use the name `steal` on the same pattern.
 pub fn chrome_trace(snaps: &[Snapshot]) -> String {
     // ~120 bytes per event; preallocate to avoid rehashing the String.
     let n_events: usize = snaps.iter().map(|s| s.spans.len() + 1).sum();
@@ -47,6 +54,35 @@ pub fn chrome_trace(snaps: &[Snapshot]) -> String {
             }
             out.push_str("}}");
         }
+    }
+    // Causal flow events: one s/f pair per matched edge.
+    let graph = CausalGraph::from_snapshots(snaps);
+    for (id, e) in graph.edges.iter().enumerate() {
+        let name = match e.kind {
+            EdgeKind::Message => "msg",
+            EdgeKind::Steal => "steal",
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{name}\",\"cat\":\"awp.flow\",\"ph\":\"s\",\"id\":{id},\
+             \"pid\":{},\"tid\":0,\"ts\":{:.3},\"args\":{{\"tag\":{},\"bytes\":{},\"clock\":{}}}}},\
+             {{\"name\":\"{name}\",\"cat\":\"awp.flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\
+             \"pid\":{},\"tid\":0,\"ts\":{:.3},\"args\":{{\"tag\":{},\"bytes\":{},\"clock\":{}}}}}",
+            e.src,
+            e.send_ns as f64 / 1e3,
+            e.tag,
+            e.bytes,
+            e.src_clock,
+            e.dst,
+            e.recv_ns as f64 / 1e3,
+            e.tag,
+            e.bytes,
+            e.dst_clock,
+        );
     }
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
     out
@@ -104,5 +140,25 @@ mod tests {
     fn empty_trace_is_valid() {
         let json = chrome_trace(&[]);
         assert_eq!(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+    }
+
+    #[test]
+    fn matched_message_edges_become_flow_event_pairs() {
+        let epoch = Instant::now();
+        let mut r0 = Recorder::enabled(0, epoch, 16);
+        let mut r1 = Recorder::enabled(1, epoch, 16);
+        r0.span_at(Phase::Send, epoch, Duration::from_micros(2));
+        let c = r0.clock_send();
+        r0.causal_send(1, 77, 512, c);
+        let m = r1.clock_recv(c);
+        r1.causal_recv(0, 77, 512, c, m);
+        let json = chrome_trace(&[r0.snapshot(), r1.snapshot()]);
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 1, "{json}");
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 1, "{json}");
+        assert_eq!(json.matches("\"cat\":\"awp.flow\"").count(), 2, "{json}");
+        assert!(json.contains("\"bp\":\"e\""), "{json}");
+        assert!(json.contains("\"tag\":77"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

@@ -49,6 +49,55 @@ fn disabled_probes_never_allocate() {
 }
 
 #[test]
+fn disarmed_causal_tracing_never_allocates() {
+    // Lamport stamping and the causal probes ride the message hot path on
+    // every send/recv; with tracing disarmed (no registry, no flight
+    // recorder) they must be pure integer math — no ring pushes, no clock
+    // reads, no heap.
+    use awp_telemetry::CausalKind;
+    let mut sender = Recorder::disabled();
+    let mut receiver = Recorder::disabled();
+    let before = allocs();
+    for i in 0..10_000u64 {
+        let c = sender.clock_send();
+        sender.causal_send(1, i, 4096, c);
+        let m = receiver.clock_recv(c);
+        receiver.causal_recv(0, i, 4096, c, m);
+        receiver.causal_mark(CausalKind::Steal, 0, 0, 1);
+    }
+    assert_eq!(allocs() - before, 0, "disarmed causal probes must not allocate");
+    assert!(sender.clock() > 0 && receiver.clock() > sender.clock());
+    let s = receiver.snapshot();
+    assert!(s.causal.is_empty());
+    assert_eq!(s.dropped_causal, 0);
+}
+
+#[test]
+fn enabled_causal_tracing_stays_in_the_ring() {
+    let reg = Registry::with_capacity(2, 64);
+    let mut sender = reg.recorder(0);
+    let mut receiver = reg.recorder(1);
+    // Warm both rings past the wrap point, then assert flatness.
+    for i in 0..200u64 {
+        let c = sender.clock_send();
+        sender.causal_send(1, i, 64, c);
+        let m = receiver.clock_recv(c);
+        receiver.causal_recv(0, i, 64, c, m);
+    }
+    let before = allocs();
+    for i in 0..10_000u64 {
+        let c = sender.clock_send();
+        sender.causal_send(1, i, 64, c);
+        let m = receiver.clock_recv(c);
+        receiver.causal_recv(0, i, 64, c, m);
+    }
+    assert_eq!(allocs() - before, 0, "wrapped causal ring must overwrite in place");
+    let s = receiver.snapshot();
+    assert_eq!(s.causal.len(), 128, "ring holds 2x span capacity");
+    assert!(s.dropped_causal > 0);
+}
+
+#[test]
 fn disabled_recorder_construction_is_allocation_free() {
     let before = allocs();
     let r = Recorder::disabled();

@@ -17,10 +17,14 @@ use crate::message::{Message, Payload, Tag};
 use crate::sched::TileScheduler;
 use crate::schedule::SchedulePlan;
 use crate::topology::HostTopology;
-use awp_telemetry::{Counter, HistKind, LiveStats, Phase, Recorder, Registry};
+use awp_telemetry::{
+    Counter, FlightRecorder, HistKind, LiveStats, Phase, Recorder, Registry,
+    FLIGHT_ENV_CAPACITY, FLIGHT_SPAN_CAPACITY,
+};
 use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Communication engine selection (paper §IV.A).
@@ -185,6 +189,13 @@ pub(crate) struct Shared {
     /// Opt-in live streaming-stats cells (stats endpoint). Wired into each
     /// rank's recorder and the tile scheduler when attached.
     pub(crate) live: Option<Arc<LiveStats>>,
+    /// Opt-in per-rank crash flight recorders (last-N message envelopes +
+    /// span tails). Empty unless armed with
+    /// [`Cluster::with_flight_recorder`]; the supervisor dumps them to
+    /// `flight_dir/flightrec-<rank>.json` on quarantine/degradation.
+    pub(crate) flight: Vec<Arc<Mutex<FlightRecorder>>>,
+    /// Directory the flight-recorder dumps land in.
+    pub(crate) flight_dir: Option<PathBuf>,
 }
 
 impl Shared {
@@ -420,6 +431,8 @@ impl Cluster {
             schedule: None,
             sched: None,
             live: None,
+            flight: Vec::new(),
+            flight_dir: None,
         });
         Self { shared, size, mode, watchdog: None }
     }
@@ -515,6 +528,28 @@ impl Cluster {
             sched.set_live(Arc::clone(&live));
         }
         shared.live = Some(live);
+        self
+    }
+
+    /// Arm the crash flight recorder (builder style; call before the first
+    /// `run`/`try_run`): every rank keeps a small always-on ring of its
+    /// last message envelopes and span tails, independent of whether full
+    /// telemetry is attached. On a fault the supervisor dumps each ring to
+    /// `dir/flightrec-<rank>.json` for post-mortem triage.
+    pub fn with_flight_recorder(mut self, dir: impl Into<PathBuf>) -> Self {
+        let size = self.size;
+        let shared = Arc::get_mut(&mut self.shared)
+            .expect("arm the flight recorder before running the cluster");
+        shared.flight = (0..size)
+            .map(|r| {
+                Arc::new(Mutex::new(FlightRecorder::new(
+                    r,
+                    FLIGHT_ENV_CAPACITY,
+                    FLIGHT_SPAN_CAPACITY,
+                )))
+            })
+            .collect();
+        shared.flight_dir = Some(dir.into());
         self
     }
 
@@ -693,6 +728,9 @@ impl RankCtx {
         if let Some(live) = &shared.live {
             telem.set_live(Arc::clone(live.rank(rank)));
         }
+        if let Some(flight) = shared.flight.get(rank) {
+            telem.set_flight(Arc::clone(flight));
+        }
         RankCtx {
             rank,
             size,
@@ -843,6 +881,11 @@ impl RankCtx {
         self.telem.count(Counter::BytesSent, bytes);
         assert!(dst < self.size, "send to rank {dst} of {}", self.size);
         assert_ne!(dst, self.rank, "self-sends are not supported");
+        // Lamport stamp: one tick per send call; a fault-injected duplicate
+        // carries the same stamp as its original (it is the same message on
+        // the wire twice, not two causal events).
+        let clock = self.telem.clock_send();
+        self.telem.causal_send(dst as u32, tag, bytes, clock);
         let t0 = std::time::Instant::now();
         self.shared.beat(self.rank);
         let fault = self
@@ -881,6 +924,7 @@ impl RankCtx {
                         src: self.rank,
                         tag,
                         payload: payload.clone(),
+                        clock,
                         ack: None,
                     });
                 }
@@ -888,6 +932,7 @@ impl RankCtx {
                     src: self.rank,
                     tag,
                     payload,
+                    clock,
                     ack: None,
                 });
             }
@@ -898,6 +943,7 @@ impl RankCtx {
                     src: self.rank,
                     tag,
                     payload,
+                    clock,
                     ack: Some(ack_tx),
                 });
                 if let Some(p) = dup_payload {
@@ -908,6 +954,7 @@ impl RankCtx {
                         src: self.rank,
                         tag,
                         payload: p,
+                        clock,
                         ack: None,
                     });
                 }
@@ -920,13 +967,21 @@ impl RankCtx {
         self.telem.observe(HistKind::Send, el);
     }
 
+    /// Merge a matched message's Lamport stamp into this rank's clock and
+    /// record the recv half of the causal edge.
+    fn trace_recv(&mut self, src: usize, tag: Tag, bytes: u64, peer_clock: u64) {
+        let clock = self.telem.clock_recv(peer_clock);
+        self.telem.causal_recv(src as u32, tag, bytes, peer_clock, clock);
+    }
+
     /// Blocking matched receive.
     pub fn recv(&mut self, src: usize, tag: Tag) -> Payload {
         let t0 = std::time::Instant::now();
         self.shared.beat(self.rank);
-        let p = self.shared.mailboxes[self.rank].recv(src, tag);
+        let (p, peer_clock) = self.shared.mailboxes[self.rank].recv_traced(src, tag);
         let el = t0.elapsed();
         self.ledger.add(Category::Comm, el);
+        self.trace_recv(src, tag, p.byte_len() as u64, peer_clock);
         self.telem.count(Counter::MsgsRecv, 1);
         self.telem.count(Counter::BytesRecv, p.byte_len() as u64);
         self.telem.observe(HistKind::Recv, el);
@@ -939,12 +994,13 @@ impl RankCtx {
     /// fresh vector (the zero-copy halo pipeline polls with this).
     pub fn try_recv(&mut self, src: usize, tag: Tag) -> Option<Payload> {
         self.shared.beat(self.rank);
-        let p = self.shared.mailboxes[self.rank].try_recv(src, tag);
-        if let Some(p) = &p {
+        let got = self.shared.mailboxes[self.rank].try_recv_traced(src, tag);
+        got.map(|(p, peer_clock)| {
+            self.trace_recv(src, tag, p.byte_len() as u64, peer_clock);
             self.telem.count(Counter::MsgsRecv, 1);
             self.telem.count(Counter::BytesRecv, p.byte_len() as u64);
-        }
-        p
+            p
+        })
     }
 
     /// Blocking receive with a deadline (returns `None` on timeout) — used
@@ -952,15 +1008,16 @@ impl RankCtx {
     pub fn recv_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Payload> {
         let t0 = std::time::Instant::now();
         self.shared.beat(self.rank);
-        let p = self.shared.mailboxes[self.rank].recv_timeout(src, tag, timeout);
+        let got = self.shared.mailboxes[self.rank].recv_timeout_traced(src, tag, timeout);
         let el = t0.elapsed();
         self.ledger.add(Category::Comm, el);
-        if let Some(p) = &p {
+        got.map(|(p, peer_clock)| {
+            self.trace_recv(src, tag, p.byte_len() as u64, peer_clock);
             self.telem.count(Counter::MsgsRecv, 1);
             self.telem.count(Counter::BytesRecv, p.byte_len() as u64);
             self.telem.observe(HistKind::Recv, el);
-        }
-        p
+            p
+        })
     }
 
     /// Post a non-blocking receive (returns a handle for
@@ -1011,21 +1068,32 @@ impl RankCtx {
         // the first outstanding request when nothing is ready.
         while !remaining.is_empty() {
             let mut progressed = false;
-            remaining.retain(|&i| {
-                if let Some(p) = self.shared.mailboxes[self.rank].try_recv(reqs[i].src, reqs[i].tag)
+            let mut idx = 0;
+            while idx < remaining.len() {
+                let i = remaining[idx];
+                if let Some((p, peer_clock)) =
+                    self.shared.mailboxes[self.rank].try_recv_traced(reqs[i].src, reqs[i].tag)
                 {
+                    self.trace_recv(reqs[i].src, reqs[i].tag, p.byte_len() as u64, peer_clock);
                     out[i] = Some(p);
                     progressed = true;
-                    false
+                    remaining.remove(idx);
                 } else {
-                    true
+                    idx += 1;
                 }
-            });
+            }
             if !progressed {
                 if let Some(&i) = remaining.first() {
                     match deadline {
                         None => {
-                            let p = self.shared.mailboxes[self.rank].recv(reqs[i].src, reqs[i].tag);
+                            let (p, peer_clock) = self.shared.mailboxes[self.rank]
+                                .recv_traced(reqs[i].src, reqs[i].tag);
+                            self.trace_recv(
+                                reqs[i].src,
+                                reqs[i].tag,
+                                p.byte_len() as u64,
+                                peer_clock,
+                            );
                             out[i] = Some(p);
                             remaining.remove(0);
                         }
@@ -1035,12 +1103,18 @@ impl RankCtx {
                                 self.ledger.add(Category::Comm, t0.elapsed());
                                 return None;
                             }
-                            match self.shared.mailboxes[self.rank].recv_timeout(
+                            match self.shared.mailboxes[self.rank].recv_timeout_traced(
                                 reqs[i].src,
                                 reqs[i].tag,
                                 budget.min(Duration::from_millis(50)),
                             ) {
-                                Some(p) => {
+                                Some((p, peer_clock)) => {
+                                    self.trace_recv(
+                                        reqs[i].src,
+                                        reqs[i].tag,
+                                        p.byte_len() as u64,
+                                        peer_clock,
+                                    );
                                     out[i] = Some(p);
                                     remaining.remove(0);
                                 }

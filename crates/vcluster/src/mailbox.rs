@@ -134,6 +134,14 @@ impl Mailbox {
     /// returns the payload. Unwinds (cluster-internal abort payload) if the
     /// mailbox is poisoned while waiting.
     pub fn recv(&self, src: usize, tag: Tag) -> Payload {
+        self.recv_traced(src, tag).0
+    }
+
+    /// [`recv`](Self::recv) that also surfaces the matched envelope's
+    /// Lamport stamp so the receiver can merge its logical clock (causal
+    /// tracing). All receive paths funnel through the traced variants; the
+    /// plain ones are thin wrappers that discard the stamp.
+    pub fn recv_traced(&self, src: usize, tag: Tag) -> (Payload, u64) {
         let mut s = self.state.lock();
         loop {
             match probe(&mut s, src, tag) {
@@ -145,7 +153,7 @@ impl Mailbox {
                         // teardown, so a closed channel is fine to ignore.
                         let _ = ack.send(());
                     }
-                    return msg.payload;
+                    return (msg.payload, msg.clock);
                 }
                 Probe::Deferred => {
                     // A match is queued but held back: nap briefly and
@@ -170,6 +178,11 @@ impl Mailbox {
 
     /// Non-blocking matched receive.
     pub fn try_recv(&self, src: usize, tag: Tag) -> Option<Payload> {
+        self.try_recv_traced(src, tag).map(|(p, _)| p)
+    }
+
+    /// Non-blocking matched receive surfacing the envelope's clock stamp.
+    pub fn try_recv_traced(&self, src: usize, tag: Tag) -> Option<(Payload, u64)> {
         let mut s = self.state.lock();
         match probe(&mut s, src, tag) {
             Probe::Hit(msg) => {
@@ -177,7 +190,7 @@ impl Mailbox {
                 if let Some(ack) = msg.ack {
                     let _ = ack.send(());
                 }
-                Some(msg.payload)
+                Some((msg.payload, msg.clock))
             }
             _ => None,
         }
@@ -185,6 +198,16 @@ impl Mailbox {
 
     /// Blocking matched receive with timeout (deadlock diagnostics).
     pub fn recv_timeout(&self, src: usize, tag: Tag, timeout: Duration) -> Option<Payload> {
+        self.recv_timeout_traced(src, tag, timeout).map(|(p, _)| p)
+    }
+
+    /// [`recv_timeout`](Self::recv_timeout) surfacing the envelope's clock.
+    pub fn recv_timeout_traced(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Option<(Payload, u64)> {
         let deadline = Instant::now() + timeout;
         let mut s = self.state.lock();
         loop {
@@ -194,7 +217,7 @@ impl Mailbox {
                     if let Some(ack) = msg.ack {
                         let _ = ack.send(());
                     }
-                    return Some(msg.payload);
+                    return Some((msg.payload, msg.clock));
                 }
                 Probe::Deferred => {
                     let next = deadline.min(Instant::now() + DEFER_NAP);
@@ -284,7 +307,7 @@ mod tests {
     use std::sync::Arc;
 
     fn msg(src: usize, tag: Tag, v: Vec<f32>) -> Message {
-        Message { src, tag, payload: Payload::F32(v), ack: None }
+        Message { src, tag, payload: Payload::F32(v), clock: 0, ack: None }
     }
 
     #[test]
@@ -342,7 +365,7 @@ mod tests {
     fn rendezvous_ack_fires_on_match() {
         let (tx, rx) = crossbeam::channel::bounded(1);
         let mb = Mailbox::new();
-        mb.deliver(Message { src: 0, tag: 5, payload: Payload::Empty, ack: Some(tx) });
+        mb.deliver(Message { src: 0, tag: 5, payload: Payload::Empty, clock: 0, ack: Some(tx) });
         assert!(rx.try_recv().is_err(), "ack must not fire before match");
         let _ = mb.recv(0, 5);
         assert!(rx.try_recv().is_ok(), "ack must fire on match");
@@ -364,15 +387,29 @@ mod tests {
     fn poison_closes_rendezvous_acks_and_discards() {
         let (tx, rx) = crossbeam::channel::bounded(1);
         let mb = Mailbox::new();
-        mb.deliver(Message { src: 0, tag: 5, payload: Payload::Empty, ack: Some(tx) });
+        mb.deliver(Message { src: 0, tag: 5, payload: Payload::Empty, clock: 0, ack: Some(tx) });
         mb.poison();
         assert_eq!(mb.pending(), 0);
         // The queued message (and its ack sender) is gone: a rendezvous
         // sender blocked on this channel now observes disconnection.
         assert!(matches!(rx.recv(), Err(crossbeam::channel::RecvError)));
         // Post-poison deliveries are discarded.
-        mb.deliver(Message { src: 1, tag: 6, payload: Payload::Empty, ack: None });
+        mb.deliver(Message { src: 1, tag: 6, payload: Payload::Empty, clock: 0, ack: None });
         assert_eq!(mb.pending(), 0);
+    }
+
+    #[test]
+    fn traced_receives_surface_the_envelope_clock() {
+        let mb = Mailbox::new();
+        mb.deliver(Message { src: 2, tag: 9, payload: Payload::F32(vec![1.0]), clock: 41, ack: None });
+        mb.deliver(Message { src: 2, tag: 10, payload: Payload::Empty, clock: 42, ack: None });
+        mb.deliver(Message { src: 2, tag: 11, payload: Payload::Empty, clock: 43, ack: None });
+        let (p, c) = mb.recv_traced(2, 9);
+        assert_eq!((p.into_f32(), c), (vec![1.0], 41));
+        let (_, c) = mb.try_recv_traced(2, 10).expect("queued");
+        assert_eq!(c, 42);
+        let (_, c) = mb.recv_timeout_traced(2, 11, Duration::from_millis(10)).expect("queued");
+        assert_eq!(c, 43);
     }
 
     #[test]

@@ -101,6 +101,10 @@ pub struct Message {
     pub src: usize,
     pub tag: Tag,
     pub payload: Payload,
+    /// Sender's Lamport-clock stamp (message lineage, PR 9): the receiver
+    /// merges it into its own logical clock on match, which is what lets
+    /// the causal analyzer join send→recv edges across ranks.
+    pub clock: u64,
     /// Rendezvous acknowledgement: present for synchronous-mode sends; the
     /// receiver drops it on match, unblocking the sender.
     pub ack: Option<crossbeam::channel::Sender<()>>,

@@ -161,6 +161,9 @@ pub struct TileScheduler {
     pulses: Vec<Arc<AtomicU64>>,
     /// Live streaming-stats cells, when a stats endpoint is attached.
     live: Mutex<Option<Arc<LiveStats>>>,
+    /// Thief×victim steal counts (`matrix[thief * n + victim]`), the raw
+    /// material for the causal analyzer's steal edges.
+    steal_matrix: Vec<AtomicU64>,
 }
 
 impl TileScheduler {
@@ -176,6 +179,7 @@ impl TileScheduler {
             plan: Mutex::new(None),
             pulses: Vec::new(),
             live: Mutex::new(None),
+            steal_matrix: (0..n_ranks * n_ranks).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -323,6 +327,7 @@ impl TileScheduler {
                 unsafe { (exec.run)(exec.ctx, tile) };
                 vq.stolen_from.fetch_add(1, Ordering::Relaxed);
                 tq.steals.fetch_add(1, Ordering::Relaxed);
+                self.steal_matrix[thief * n + victim].fetch_add(1, Ordering::Relaxed);
                 if let Some(live) = self.live.lock().as_ref() {
                     live.rank(thief).steals.fetch_add(1, Ordering::Relaxed);
                     live.rank(victim).stolen.fetch_add(1, Ordering::Relaxed);
@@ -363,6 +368,11 @@ impl TileScheduler {
     pub fn total_steals(&self) -> u64 {
         (0..self.ranks.len()).map(|r| self.steals(r)).sum()
     }
+
+    /// Tiles `thief` stole from `victim` specifically.
+    pub fn stolen_by(&self, thief: usize, victim: usize) -> u64 {
+        self.steal_matrix[thief * self.ranks.len() + victim].load(Ordering::Relaxed)
+    }
 }
 
 /// Fold a rank's scheduler counters into its telemetry recorder at the end
@@ -370,13 +380,22 @@ impl TileScheduler {
 /// snapshot makes them part of the per-rank `Snapshot` like every other
 /// counter).
 pub fn fold_counters(sched: &TileScheduler, rank: usize, telem: &mut awp_telemetry::Recorder) {
-    use awp_telemetry::{Counter, HistKind};
+    use awp_telemetry::{CausalKind, Counter, HistKind};
     telem.count(Counter::TilesExecuted, sched.tiles_executed(rank));
     telem.count(Counter::TilesStolen, sched.steals(rank));
     telem.count(Counter::StealAttempts, sched.steal_attempts(rank));
     let hwm = sched.depth_hwm(rank);
     if hwm > 0 {
         telem.observe_count(HistKind::QueueDepth, hwm);
+    }
+    // One aggregated causal mark per victim this rank helped: the analyzer
+    // renders these as thief←victim helper edges (timing is end-of-run;
+    // tile-level timestamps would put an atomic clock on the steal path).
+    for victim in 0..sched.ranks() {
+        let tiles = sched.stolen_by(rank, victim);
+        if tiles > 0 {
+            telem.causal_mark(CausalKind::Steal, victim as u32, 0, tiles);
+        }
     }
 }
 

@@ -41,7 +41,7 @@
 use crate::cluster::{classify_panic, install_fault_hook, Cluster, LivenessTracker, RankCtx};
 use crate::fault::{mix, unit, FaultKind, FaultReport, RollbackUnwind};
 use crate::message::Tag;
-use awp_telemetry::{Counter, Phase};
+use awp_telemetry::{CausalKind, Counter, Phase, NO_PEER};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use serde::Serialize;
 use std::collections::VecDeque;
@@ -485,8 +485,10 @@ impl<'c> Supervisor<'c> {
             }
 
             // Quarantine: drain each faulted rank's in-flight messages to
-            // the dead-letter buffer.
+            // the dead-letter buffer, dumping the rank's flight recorder
+            // first (the drained envelopes are the crash's last traffic).
             for report in &faults {
+                dump_flight(shared, report.rank, &format!("{:?}: {}", report.kind, report.detail));
                 let msgs = shared.mailboxes[report.rank].drain();
                 let drained = msgs.len() as u64;
                 for m in msgs {
@@ -568,6 +570,11 @@ impl<'c> Supervisor<'c> {
         degraded: &mut bool,
         reason: String,
     ) {
+        // Degradation loses the run: preserve every rank's last envelopes
+        // for the post-mortem before anything unwinds.
+        for rank in 0..self.cluster.shared.mailboxes.len() {
+            dump_flight(&self.cluster.shared, rank, &format!("degraded: {reason}"));
+        }
         events.push(RecoveryEvent::Degraded { reason });
         *degraded = true;
         g.aborted = true;
@@ -577,6 +584,19 @@ impl<'c> Supervisor<'c> {
         self.cluster.shared.poison();
         gate_cv.notify_all();
     }
+}
+
+/// Dump `rank`'s flight recorder to `flight_dir/flightrec-<rank>.json`.
+/// No-op when the recorder is not armed ([`Cluster::with_flight_recorder`]);
+/// IO failures are swallowed — a post-mortem aid must never turn a recovery
+/// into a crash.
+fn dump_flight(shared: &crate::cluster::Shared, rank: usize, reason: &str) {
+    let (Some(dir), Some(fr)) = (shared.flight_dir.as_ref(), shared.flight.get(rank)) else {
+        return;
+    };
+    let json = fr.lock().unwrap_or_else(|e| e.into_inner()).to_json(reason);
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(dir.join(format!("flightrec-{rank}.json")), json);
 }
 
 /// One rank's supervised lifecycle: run the body behind a panic boundary,
@@ -674,6 +694,9 @@ where
             ctx.telem.count(Counter::DeadLetters, drained);
         }
         ctx.telem.span_at(Phase::Recovery, park_t0, park_t0.elapsed());
+        // Causal rollback mark: the analyzer anchors a new generation here
+        // (tag = rollback epoch, bytes = dead letters swallowed).
+        ctx.telem.causal_mark(CausalKind::Rollback, NO_PEER, epoch.unwrap_or(0), drained);
         last_fault = None;
         shared.beat(rank);
     }

@@ -482,6 +482,109 @@ mod tests {
         assert!(r.passed, "cases: {:?}", r.cases);
     }
 
+    use awp_telemetry::{clocks_monotonic, CausalGraph, Registry, Snapshot};
+    use std::sync::Arc;
+
+    /// Run one traced replay and return its snapshots, asserting the
+    /// per-rank Lamport-clock invariants hold and no causal events were
+    /// dropped (the ring is sized above the workload's event count, so a
+    /// drop would make the fingerprint window order-dependent).
+    fn traced_snapshots(
+        cfg: &SolverConfig,
+        parts: [usize; 3],
+        meshes: &[awp_cvm::mesh::Mesh],
+        source: &KinematicSource,
+        stations: &[Station],
+        plan: Option<std::sync::Arc<SchedulePlan>>,
+    ) -> Vec<Snapshot> {
+        let reg = Registry::with_capacity(parts.iter().product(), 4096);
+        try_run_parallel_sched(cfg, parts, meshes, source, stations, Some(Arc::clone(&reg)), plan)
+            .expect("traced workload config is valid");
+        let snaps = reg.snapshots();
+        assert!(snaps.iter().all(|s| s.dropped_causal == 0), "causal ring overflowed");
+        assert!(clocks_monotonic(&snaps), "per-rank causal clocks must strictly increase");
+        snaps
+    }
+
+    /// The causal-DAG message fingerprint is a schedule invariant: the
+    /// fuzzer may defer and reorder deliveries, but the multiset of
+    /// matched send→recv edges — who talked to whom, which tag, how many
+    /// bytes — cannot change, and every edge must advance the Lamport
+    /// order. 8 seeds, same bounds as the bit-exactness sweep.
+    #[test]
+    fn causal_dag_fingerprint_is_schedule_invariant() {
+        let spec = tiny();
+        let (cfg, meshes, source, stations) = workload(&spec);
+        let graph_of = |plan: Option<std::sync::Arc<SchedulePlan>>| {
+            let snaps = traced_snapshots(&cfg, spec.parts, &meshes, &source, &stations, plan);
+            let g = CausalGraph::from_snapshots(&snaps);
+            assert!(g.clock_order_holds(), "matched edges must advance the clock");
+            assert_eq!(g.unmatched_recvs, 0);
+            g
+        };
+        let baseline = graph_of(None);
+        assert!(!baseline.edges.is_empty(), "halo exchange must produce edges");
+        for seed in 0..8u64 {
+            let plan = SchedulePlan::with_bounds(spec.base_seed + seed, spec.max_defer, spec.max_depth);
+            assert_eq!(
+                graph_of(Some(plan)).fingerprint(),
+                baseline.fingerprint(),
+                "seed {seed} changed the causal DAG"
+            );
+        }
+    }
+
+    /// Same invariant under steal permutations: seeded victim-order
+    /// shuffles move tiles between ranks (Steal edges may differ — they
+    /// are excluded from the fingerprint by design) but the message DAG
+    /// stays fixed.
+    #[test]
+    fn causal_dag_fingerprint_is_steal_invariant() {
+        let spec = tiny_steal();
+        let (cfg_off, mesh, source, stations) = steal_workload(&spec);
+        let mut cfg = cfg_off;
+        cfg.opts.sched = Some(SchedOpts { tile_planes: spec.tile_planes });
+        let parts = [2, 2, 1];
+        let decomp = Decomp3::new(cfg.dims, parts);
+        let meshes = partition_mesh_direct(&mesh, &decomp);
+        let graph_of = |plan: Option<std::sync::Arc<SchedulePlan>>| {
+            let snaps = traced_snapshots(&cfg, parts, &meshes, &source, &stations, plan);
+            let g = CausalGraph::from_snapshots(&snaps);
+            assert!(g.clock_order_holds(), "matched edges must advance the clock");
+            g
+        };
+        let baseline = graph_of(None).fingerprint();
+        for seed in 0..8u64 {
+            let plan = SchedulePlan::with_bounds(spec.base_seed + seed, spec.max_defer, spec.max_depth);
+            assert_eq!(graph_of(Some(plan)).fingerprint(), baseline, "seed {seed}");
+        }
+    }
+
+    /// Arming the tracer must be observably invisible: a traced replay
+    /// stays bit-identical to the untraced baseline (the causal probes
+    /// are pure observation — no timing-dependent branches feed back into
+    /// the solve).
+    #[test]
+    fn armed_tracing_keeps_results_bit_exact() {
+        let spec = tiny();
+        let (cfg, meshes, source, stations) = workload(&spec);
+        let bare =
+            try_run_parallel_sched(&cfg, spec.parts, &meshes, &source, &stations, None, None)
+                .unwrap();
+        let reg = Registry::with_capacity(4, 4096);
+        let traced = try_run_parallel_sched(
+            &cfg,
+            spec.parts,
+            &meshes,
+            &source,
+            &stations,
+            Some(reg),
+            None,
+        )
+        .unwrap();
+        assert!(bit_identical(&bare, &traced), "tracing perturbed the solve");
+    }
+
     #[test]
     fn fingerprint_tracks_observable_state() {
         let (cfg, meshes, source, stations) = workload(&tiny());

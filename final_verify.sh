@@ -125,6 +125,48 @@ print(f"BENCH_sched.json: {r['measured_speedup']:.2f}x measured on "
       f"{r['gate']['cores']} cores, {r['tiles_stolen']} tiles stolen")
 EOF
 echo "=== VERIFY DONE ==="
+# Causal analyzer smoke: trace an 8-rank --lts workflow in process, parse
+# the trace back into the cross-rank causal DAG, and require the critical
+# path to cover >=90% of the wall clock (awp exits nonzero otherwise); the
+# emitted results/analyze.json must be schema-valid and carry a covering
+# path and a non-empty DAG.
+timeout 900 ./target/release/awp analyze --smoke > results/logs/cli_analyze.log 2>&1; echo "analyze_smoke exit $?"
+grep -q "analyze smoke passed" results/logs/cli_analyze.log; echo "analyze_gate exit $?"
+python3 - <<'EOF'; echo "analyze_artifact exit $?"
+import json
+r = json.load(open("results/analyze.json"))
+assert r["v"] == 1 and r["kind"] == "analyze", (r.get("v"), r.get("kind"))
+assert r["edges"] > 0 and r["spans"] > 0, (r["edges"], r["spans"])
+assert r["hops"] > 0 and r["wall_ns"] > 0
+assert r["coverage"] >= 0.90, r["coverage"]
+assert len(r["ranks"]) == 8, len(r["ranks"])
+assert r["phases"], "empty phase attribution"
+print(f"analyze.json: {r['hops']} hops, {r['edges']} edges, "
+      f"coverage {r['coverage']*100:.1f}%")
+EOF
+# Flight-recorder drill: a seeded rank-1 crash with the black box armed
+# must dump results/flightrec-1.json before quarantine; the dump must
+# parse and carry envelope lineage (clock-stamped sends/recvs) and span
+# tails for the crashed rank.
+rm -f results/flightrec-*.json
+timeout 900 ./target/release/awp chaos --recover --fault crash --flight-dir results --chaos-seed 3405691582 > results/logs/cli_flightrec.log 2>&1; echo "flightrec_drill exit $?"
+python3 - <<'EOF'; echo "flightrec_artifact exit $?"
+import json
+r = json.load(open("results/flightrec-1.json"))
+assert r["v"] == 1 and r["kind"] == "flightrec", (r.get("v"), r.get("kind"))
+assert r["rank"] == 1, r["rank"]
+assert "Crash" in r["reason"], r["reason"]
+assert r["total_envelopes"] > 0 and len(r["envelopes"]) > 0
+assert len(r["spans"]) > 0
+env = r["envelopes"][-1]
+for key in ("dir", "peer", "tag", "bytes", "clock", "step", "t_us"):
+    assert key in env, key
+assert env["clock"] > 0, env
+print(f"flightrec-1.json: {r['total_envelopes']} envelopes "
+      f"({len(r['envelopes'])} retained), reason: {r['reason']}")
+EOF
+rm -f results/flightrec-*.json
+echo "=== CAUSAL TRACING DONE ==="
 # Hygiene gate: a clean run must leave no untracked scratch files behind
 # (everything a smoke run writes is either tracked under results/ or
 # covered by .gitignore). Nonzero exit lists the strays.
