@@ -21,6 +21,7 @@ use awp_solver::stations::{Seismogram, Station};
 use awp_source::kinematic::{haskell_rupture, HaskellParams, KinematicSource};
 use awp_source::segments::{map_planar_source, SegmentedTrace};
 use serde::Serialize;
+use std::sync::Arc;
 
 /// Rupture propagation direction along the fault. The box x axis runs
 /// NW (Cholame) → SE (Bombay Beach), like the paper's map.
@@ -84,6 +85,10 @@ pub struct Scenario {
     pub source: SourceSpec,
     pub attenuation: bool,
     pub seed: u64,
+    /// Kinematic hypocentre override: position along the fault as a
+    /// fraction of its length (None = the direction's default end). Lets
+    /// ensemble catalogs nucleate events anywhere on the trace.
+    pub hypo_frac: Option<f64>,
 }
 
 /// City stations, as fractions of the full M8 box (x, y). Positions match
@@ -121,6 +126,15 @@ impl Scenario {
 
     pub fn with_attenuation(mut self, on: bool) -> Self {
         self.attenuation = on;
+        self
+    }
+
+    /// Place the kinematic hypocentre at `frac` of the fault length
+    /// (clamped to the trace; ignored by dynamic sources, whose
+    /// nucleation is driven by the prestress seed).
+    pub fn with_hypo_frac(mut self, frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "hypo_frac must be in [0, 1]");
+        self.hypo_frac = Some(frac);
         self
     }
 
@@ -175,6 +189,7 @@ impl Scenario {
             source: SourceSpec::Kinematic { mw: 7.7, direction, vr: 2_700.0, rise_time: 2.5 },
             attenuation: false,
             seed: 1,
+            hypo_frac: None,
         }
     }
 
@@ -213,6 +228,7 @@ impl Scenario {
             },
             attenuation: false,
             seed: 2,
+            hypo_frac: None,
         }
     }
 
@@ -250,6 +266,7 @@ impl Scenario {
             },
             attenuation: false,
             seed: 3,
+            hypo_frac: None,
         }
     }
 
@@ -284,6 +301,7 @@ impl Scenario {
             },
             attenuation: false,
             seed: 4,
+            hypo_frac: None,
         }
     }
 
@@ -303,11 +321,13 @@ impl Scenario {
     }
 }
 
-/// A prepared scenario: mesh, source and stations ready to solve.
+/// A prepared scenario: mesh, source and stations ready to solve. The
+/// mesh is shared (`Arc`) so an ensemble can prepare many events against
+/// one CVM build without copying it per event.
 pub struct ScenarioRun {
     pub scenario: Scenario,
     pub cfg: SolverConfig,
-    pub mesh: Mesh,
+    pub mesh: Arc<Mesh>,
     pub source: KinematicSource,
     pub stations: Vec<Station>,
     /// Present for dynamic scenarios: the step-1 rupture products.
@@ -315,12 +335,30 @@ pub struct ScenarioRun {
 }
 
 impl Scenario {
-    /// Build mesh and source (running the DFR step for dynamic sources).
-    pub fn prepare(&self) -> ScenarioRun {
+    /// CVM2MESH alone: query the velocity model over this scenario's grid.
+    /// Ensemble callers build this once per (grid, cvm-seed) and hand the
+    /// same mesh to [`prepare_with_mesh`](Self::prepare_with_mesh) for
+    /// every event that shares it.
+    pub fn build_mesh(&self) -> Mesh {
         let d = self.dims();
         let h = self.h();
         let model = SoCalModel::scaled(self.length, self.width);
-        let mesh = MeshGenerator::new(&model, d, h).generate();
+        MeshGenerator::new(&model, d, h).generate()
+    }
+
+    /// Build mesh and source (running the DFR step for dynamic sources).
+    pub fn prepare(&self) -> ScenarioRun {
+        self.prepare_with_mesh(Arc::new(self.build_mesh()))
+    }
+
+    /// Prepare this scenario against an already-built (possibly shared)
+    /// mesh. The mesh must cover this scenario's grid; dt and the step
+    /// count are derived from the *actual* mesh, so a perturbed CVM
+    /// deterministically changes the schedule too.
+    pub fn prepare_with_mesh(&self, mesh: Arc<Mesh>) -> ScenarioRun {
+        let d = self.dims();
+        let h = self.h();
+        assert_eq!(mesh.dims, d, "shared mesh dims must match the scenario grid");
         let stats = mesh.stats();
         let dt = stats.dt_max() * 0.9;
         let steps = (self.duration / dt).ceil() as usize;
@@ -330,9 +368,13 @@ impl Scenario {
 
         let (source, rupture) = match &self.source {
             SourceSpec::Kinematic { mw, direction, vr, rise_time } => {
-                let hypo_i = match direction {
-                    RuptureDirection::NwToSe => 1,
-                    RuptureDirection::SeToNw => fault_cells.saturating_sub(2),
+                let hypo_i = match self.hypo_frac {
+                    Some(frac) => ((frac * fault_cells as f64) as usize)
+                        .clamp(1, fault_cells.saturating_sub(2).max(1)),
+                    None => match direction {
+                        RuptureDirection::NwToSe => 1,
+                        RuptureDirection::SeToNw => fault_cells.saturating_sub(2),
+                    },
                 };
                 let planar = haskell_rupture(
                     &HaskellParams {

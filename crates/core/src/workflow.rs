@@ -15,6 +15,12 @@
 //! 5. **checksums** — parallel MD5 of every rank's output block;
 //! 6. **archive** — copy to the archive directory and re-verify the
 //!    digests (the GridFTP + iRODS ingestion stand-in).
+//!
+//! The pipeline is split into a reusable [`WorkflowSession`] — every knob
+//! *except* the scenario and the scratch directory, `Send + Clone` so an
+//! ensemble worker pool can carry one session across a whole catalog of
+//! events — and the one-scenario [`E2EWorkflow`] facade that binds a
+//! session to a prepared run and a workdir.
 
 use crate::scenario::ScenarioRun;
 use awp_analysis::pgv::PgvMap;
@@ -29,7 +35,7 @@ use awp_pario::Md5;
 use awp_solver::boundary::owns_free_surface;
 use awp_solver::config::SolverConfig;
 use awp_solver::solver::{exchange_material_halos, Solver};
-use awp_solver::stations::{surface_velocities, Station};
+use awp_solver::stations::{surface_velocities, Seismogram, Station};
 use awp_solver::LtsPlan;
 use awp_source::kinematic::KinematicSource;
 use awp_telemetry::{LiveStats, Registry};
@@ -74,6 +80,11 @@ pub struct WorkflowReport {
     /// Archive copy re-verified against the checksums.
     pub archive_verified: bool,
     pub pgv: PgvMap,
+    /// Station seismograms gathered from every rank. Complete for clean
+    /// runs; a pass that restarted from a checkpoint re-records only from
+    /// the restart step (recorder state is not checkpointed), so consumers
+    /// that need full traces should run without failure injection.
+    pub seismograms: Vec<Seismogram>,
     pub surface_file: PathBuf,
     /// Output write transactions (the aggregation-efficiency metric).
     pub output_transactions: u64,
@@ -110,11 +121,15 @@ pub enum InputMode {
     OnDemand { readers: usize },
 }
 
-/// The end-to-end workflow runner.
-pub struct E2EWorkflow {
-    pub run: ScenarioRun,
+/// A reusable workflow session: everything the pipeline needs *except*
+/// the scenario and the scratch directory. `Send + Clone`, so one session
+/// can be configured once and then drive many scenarios — sequentially or
+/// from a pool of ensemble worker threads, each calling
+/// [`execute`](Self::execute) with its own `(run, workdir)` pair.
+#[derive(Clone)]
+pub struct WorkflowSession {
+    /// Rank decomposition of every solve this session runs.
     pub parts: [usize; 3],
-    pub workdir: PathBuf,
     /// Temporal output decimation (M8: every 20th step).
     pub output_decimate: usize,
     /// Aggregation flush interval in steps (M8: 20 000).
@@ -146,7 +161,7 @@ pub struct E2EWorkflow {
     /// Give up after this many restart passes.
     pub max_restarts: usize,
     /// Resume a previously failed run: the first solve pass starts from
-    /// the newest globally consistent checkpoint epoch in `workdir` (and
+    /// the newest globally consistent checkpoint epoch in the workdir (and
     /// the surface file is reopened, not truncated). This is the §III.F
     /// "restart in the case of unexpected termination" entry point for a
     /// *new* process picking up a dead run's scratch directory.
@@ -177,15 +192,22 @@ pub struct E2EWorkflow {
     pub flight_dir: Option<PathBuf>,
 }
 
-/// Per-rank solve outcome.
-type RankOutcome = (usize, awp_grid::decomp::Subdomain, Vec<f32>, String, u64);
+/// The one-scenario workflow runner: a [`WorkflowSession`] bound to a
+/// prepared scenario and a scratch directory.
+pub struct E2EWorkflow {
+    pub run: ScenarioRun,
+    pub workdir: PathBuf,
+    pub session: WorkflowSession,
+}
 
-impl E2EWorkflow {
-    pub fn new(run: ScenarioRun, parts: [usize; 3], workdir: impl Into<PathBuf>) -> Self {
+/// Per-rank solve outcome.
+type RankOutcome =
+    (usize, awp_grid::decomp::Subdomain, Vec<f32>, String, u64, Vec<Seismogram>);
+
+impl WorkflowSession {
+    pub fn new(parts: [usize; 3]) -> Self {
         Self {
-            run,
             parts,
-            workdir: workdir.into(),
             output_decimate: 4,
             flush_every: 50,
             open_limit: 650,
@@ -250,18 +272,20 @@ impl E2EWorkflow {
         self
     }
 
-    /// Execute all stages.
-    pub fn execute(&self) -> io::Result<WorkflowReport> {
+    /// Execute all stages for one prepared scenario in `workdir`. The
+    /// session is borrowed immutably, so any number of worker threads may
+    /// run disjoint scenarios through one shared session concurrently.
+    pub fn execute(&self, run: &ScenarioRun, workdir: &Path) -> io::Result<WorkflowReport> {
         let mut stages = Vec::new();
-        std::fs::create_dir_all(&self.workdir)?;
-        let cfg = &self.run.cfg;
+        std::fs::create_dir_all(workdir)?;
+        let cfg = &run.cfg;
         let decomp = Decomp3::new(cfg.dims, self.parts);
         let n_ranks = decomp.rank_count();
 
         // 1. CVM2MESH: the global mesh file.
-        let mesh_path = self.workdir.join("mesh.global.bin");
+        let mesh_path = workdir.join("mesh.global.bin");
         let t = Instant::now();
-        awp_cvm::meshfile::write_mesh(&mesh_path, &self.run.mesh)?;
+        awp_cvm::meshfile::write_mesh(&mesh_path, &run.mesh)?;
         stages.push(StageTiming {
             stage: "cvm2mesh".into(),
             seconds: t.elapsed().as_secs_f64(),
@@ -270,7 +294,7 @@ impl E2EWorkflow {
 
         // 2. PetaMeshP: pre-partition, or on-demand reader/receiver
         // redistribution of the global file.
-        let parts_dir = self.workdir.join("parts");
+        let parts_dir = workdir.join("parts");
         let throttle = OpenThrottle::new(self.open_limit);
         let t = Instant::now();
         let ondemand_meshes = match self.input {
@@ -300,10 +324,10 @@ impl E2EWorkflow {
         };
 
         // 3. dSrcG + PetaSrcP.
-        let src_path = self.workdir.join("source.bin");
+        let src_path = workdir.join("source.bin");
         let t = Instant::now();
-        awp_source::srcfile::write_source(&src_path, &self.run.source)?;
-        let rank_sources = awp_source::partition::partition_spatial(&self.run.source, &decomp);
+        awp_source::srcfile::write_source(&src_path, &run.source)?;
+        let rank_sources = awp_source::partition::partition_spatial(&run.source, &decomp);
         stages.push(StageTiming {
             stage: "dsrcg+petasrcp".into(),
             seconds: t.elapsed().as_secs_f64(),
@@ -312,7 +336,7 @@ impl E2EWorkflow {
 
         // 4. AWM with run-time output aggregation (+ optional checkpoints
         // and failure-injected restart).
-        let surface_file = self.workdir.join("surface.bin");
+        let surface_file = workdir.join("surface.bin");
         let writer = Arc::new(if self.resume {
             SharedFileWriter::open_existing(&surface_file)?
         } else {
@@ -334,14 +358,14 @@ impl E2EWorkflow {
             rank_len,
             ranks: surface_ranks.len(),
         };
-        let ckpt_dir = self.workdir.join("ckpt");
+        let ckpt_dir = workdir.join("ckpt");
         if self.checkpoint_every.is_some() {
             std::fs::create_dir_all(&ckpt_dir)?;
         }
         // Clustered local time stepping: the plan is computed once from the
         // *global* mesh so every rank arms the identical cluster ladder
         // (per-rank CFL profiles would disagree across partition seams).
-        let lts_plan = cfg.opts.lts.map(|lo| LtsPlan::from_mesh(&self.run.mesh, cfg.dt, lo));
+        let lts_plan = cfg.opts.lts.map(|lo| LtsPlan::from_mesh(&run.mesh, cfg.dt, lo));
         if lts_plan.is_some() {
             assert_eq!(
                 self.parts[2], 1,
@@ -362,7 +386,7 @@ impl E2EWorkflow {
             throttle: &throttle,
             ondemand_meshes: &ondemand_meshes,
             rank_sources: &rank_sources,
-            stations: &self.run.stations,
+            stations: &run.stations,
             writer: &writer,
             plan,
             surface_ranks: &surface_ranks,
@@ -459,10 +483,12 @@ impl E2EWorkflow {
 
         let mut pgv_map = PgvMap::zeros(cfg.dims.nx, cfg.dims.ny, cfg.h);
         let mut checksums = Vec::new();
-        for (_, sub, pgv, digest, _) in results {
+        let mut seismograms: Vec<Seismogram> = Vec::new();
+        for (_, sub, pgv, digest, _, seis) in results {
             if !digest.is_empty() {
                 checksums.push(digest);
             }
+            seismograms.extend(seis);
             for j in 0..sub.dims.ny {
                 for i in 0..sub.dims.nx {
                     if !pgv.is_empty() {
@@ -487,7 +513,7 @@ impl E2EWorkflow {
         let collection_checksum = top.finalize_hex();
 
         // 6. Archive with verification.
-        let archive_dir = self.workdir.join("archive");
+        let archive_dir = workdir.join("archive");
         std::fs::create_dir_all(&archive_dir)?;
         let archived = archive_dir.join("surface.bin");
         let t = Instant::now();
@@ -510,6 +536,7 @@ impl E2EWorkflow {
             collection_checksum,
             archive_verified,
             pgv: pgv_map,
+            seismograms,
             surface_file,
             output_transactions,
             failed_at,
@@ -521,6 +548,55 @@ impl E2EWorkflow {
             recovery_events,
             dead_letters,
         })
+    }
+}
+
+impl E2EWorkflow {
+    pub fn new(run: ScenarioRun, parts: [usize; 3], workdir: impl Into<PathBuf>) -> Self {
+        Self { run, workdir: workdir.into(), session: WorkflowSession::new(parts) }
+    }
+
+    /// Enable seeded chaos: fault plan plus watchdog in one call.
+    pub fn with_chaos(mut self, plan: Arc<FaultPlan>, watchdog: WatchdogConfig) -> Self {
+        self.session = self.session.with_chaos(plan, watchdog);
+        self
+    }
+
+    /// Run every solve pass under a seeded message-schedule perturbation.
+    pub fn with_schedule(mut self, plan: Arc<SchedulePlan>) -> Self {
+        self.session = self.session.with_schedule(plan);
+        self
+    }
+
+    /// Attach a telemetry registry (must be sized to the rank count of
+    /// `parts`).
+    pub fn with_telemetry(mut self, registry: Arc<Registry>) -> Self {
+        self.session = self.session.with_telemetry(registry);
+        self
+    }
+
+    /// Enable in-flight rank recovery under `policy`.
+    pub fn with_recovery(mut self, policy: RetryPolicy) -> Self {
+        self.session = self.session.with_recovery(policy);
+        self
+    }
+
+    /// Publish live per-rank telemetry into `live` during every solve
+    /// pass.
+    pub fn with_live_stats(mut self, live: Arc<LiveStats>) -> Self {
+        self.session = self.session.with_live_stats(live);
+        self
+    }
+
+    /// Arm the crash flight recorder.
+    pub fn with_flight_recorder(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.session = self.session.with_flight_recorder(dir);
+        self
+    }
+
+    /// Execute all stages.
+    pub fn execute(&self) -> io::Result<WorkflowReport> {
+        self.session.execute(&self.run, &self.workdir)
     }
 }
 
@@ -719,7 +795,14 @@ fn solve_ranks(
         if solver.lts_active() {
             ctx.telem.set_lts_stats(solver.lts_stats());
         }
-        Ok((rank, sub, pgv, digest, solver.flops.total))
+        // Seismograms leave with the outcome only on a completed pass; a
+        // stopped pass reports empty traces (the restart re-records).
+        let seis = if end == cfg.steps {
+            solver.recorder.clone().into_seismograms()
+        } else {
+            Vec::new()
+        };
+        Ok((rank, sub, pgv, digest, solver.flops.total, seis))
     };
     let (results, recoveries, degraded, recovered_faults, events, dead_letters) =
         match env.recovery {
@@ -790,6 +873,14 @@ mod tests {
     use super::*;
     use crate::scenario::Scenario;
 
+    /// The ensemble worker-pool contract: a configured session must be
+    /// movable into worker threads and shareable across them.
+    #[test]
+    fn session_is_send_sync_and_clone() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<WorkflowSession>();
+    }
+
     #[test]
     fn workflow_runs_end_to_end() {
         let sc = Scenario::shakeout_k(24, 0.3).with_duration(15.0);
@@ -800,11 +891,35 @@ mod tests {
         assert!(rep.archive_verified, "archive digests must match");
         assert_eq!(rep.checksums.len(), 4, "all four surface ranks digest");
         assert!(rep.pgv.max() > 0.0, "the scenario must shake the surface");
+        assert_eq!(rep.seismograms.len(), sc.stations().len(), "every station recorded");
         assert!(rep.stage("cvm2mesh").is_some());
         assert!(rep.stage("awm-solve").unwrap().seconds > 0.0);
         assert!(rep.output_transactions > 0);
         assert!(rep.failed_at.is_none() && !rep.restarted);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// One session, many scenarios: the reuse shape the ensemble engine
+    /// drives. Outputs must match dedicated one-shot workflows bit-exactly.
+    #[test]
+    fn one_session_runs_many_scenarios() {
+        let session = WorkflowSession::new([2, 1, 1]);
+        let scs = [
+            Scenario::shakeout_k(20, 0.3).with_duration(10.0),
+            Scenario::shakeout_k(20, 0.3).with_duration(14.0),
+        ];
+        for (n, sc) in scs.iter().enumerate() {
+            let shared_dir = scratch_dir(&format!("wf-sess-{n}"));
+            let rep = session.execute(&sc.prepare(), &shared_dir).expect("session run");
+            let solo_dir = scratch_dir(&format!("wf-solo-{n}"));
+            let solo = E2EWorkflow::new(sc.prepare(), [2, 1, 1], &solo_dir)
+                .execute()
+                .expect("solo run");
+            assert_eq!(rep.pgv.data, solo.pgv.data, "scenario {n} PGV bit-exact");
+            assert_eq!(rep.collection_checksum, solo.collection_checksum);
+            let _ = std::fs::remove_dir_all(&shared_dir);
+            let _ = std::fs::remove_dir_all(&solo_dir);
+        }
     }
 
     /// The ISSUE's composition case: work-stealing scheduler armed, a rank
@@ -827,7 +942,7 @@ mod tests {
         // (cadence 4), so the supervisor always has a rollback line.
         let plan = Arc::new(FaultPlan::new(0x5EED_0008).with_crash(1, 5));
         let mut wf = E2EWorkflow::new(run, [2, 1, 1], &dir);
-        wf.checkpoint_every = Some(4);
+        wf.session.checkpoint_every = Some(4);
         wf = wf
             .with_chaos(
                 plan,

@@ -50,6 +50,32 @@ impl Mesh {
         }
     }
 
+    /// Seeded stochastic CVM perturbation: multiply each cell's velocities
+    /// by a factor in `[1-amp, 1+amp]` drawn from a per-cell hash of
+    /// `seed` (density follows at half strength, per the usual empirical
+    /// rho–vp coupling; Q is untouched). Deterministic in `(seed, amp)`
+    /// and independent of traversal order, so ensemble members keyed on a
+    /// cvm-seed are exactly reproducible.
+    pub fn perturb(&mut self, seed: u64, amp: f64) {
+        if amp == 0.0 {
+            return;
+        }
+        assert!((0.0..1.0).contains(&amp), "perturbation amplitude must be in [0, 1)");
+        for n in 0..self.dims.count() {
+            // splitmix64 over (seed, cell index) — stateless, so the
+            // factor for a cell never depends on any other cell.
+            let mut z = seed ^ (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let u = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+            let f = (1.0 + amp * (2.0 * u - 1.0)) as f32;
+            self.vp[n] *= f;
+            self.vs[n] *= f;
+            self.rho[n] *= 1.0 + (f - 1.0) * 0.5;
+        }
+    }
+
     pub fn set_sample(&mut self, i: usize, j: usize, k: usize, s: MaterialSample) {
         let n = self.idx(i, j, k);
         self.vp[n] = s.vp;

@@ -11,6 +11,8 @@
 //!                                       run bit-for-bit or exit nonzero
 //! awp analyze <trace.json>              causal critical-path profile of a
 //!                                       Chrome trace written by --trace-out
+//! awp serve [--smoke]                   ensemble hazard-query server
+//!                                       (catalogs, cached scenario runs)
 //! ```
 //!
 //! Telemetry flags (workflow runs; `awp --profile` alone runs a small
@@ -36,7 +38,7 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  awp scenarios\n  awp run <name> [nx] [seconds] [--lts]\n  awp workflow [name] [nx] [seconds] [--lts] [--sched] [--stats-addr A]\n               [--profile] [--trace-out FILE] [--health-every N]\n  awp verify [--smoke] [--lts] [--seeds N] [--base-seed S] [--out FILE]\n  awp stats --smoke | (<addr> | --stats-addr A) [--snapshots N]\n            connect to a live run's stats endpoint (TCP host:port or\n            unix:<path>), read the versioned hello + N snapshot lines,\n            schema-check them, and print the stream; --smoke self-tests\n            against an in-process scheduled workflow\n  awp analyze <trace.json> [--top N] [--json FILE]\n            reconstruct the cross-rank causal DAG from a Chrome trace\n            (written by --trace-out), walk the critical path, and print\n            the wall-clock attribution; --json writes a schema-checked\n            analyze.json artifact\n  awp analyze --smoke [--json FILE]\n            self-test: trace an in-process 8-rank --lts workflow, analyze\n            it, and require the critical path to cover ≥ 90% of the wall\n            clock\n  awp efficiency\n  awp machines\n  awp chaos --chaos-seed <n> [name] [nx] [seconds]\n  awp chaos --recover [--fault crash|stall|both] [--chaos-seed <n>]\n            seeded rank-failure drill: the run must complete via in-flight\n            supervisor recovery (rollback-rejoin, no whole-run restart) and\n            stay bit-identical to the clean run, or exit nonzero\n  awp --profile [--trace-out FILE]      profiled default workflow\n\n--sched arms the work-stealing tile scheduler (workflow and chaos runs);\n--stats-addr serves live per-rank telemetry at A while the run is in\nflight (newline-delimited versioned JSON, protocol awp-stats v1);\n--health-every N scans the shell slabs for NaN/Inf every N steps and\naborts on the first non-finite velocity (0 = off, the default);\n--flight-dir DIR arms the crash flight recorder: on a rank fault or\ndegradation the supervisor dumps DIR/flightrec-<rank>.json with the last\nenvelopes and span tails for each rank\n\nscenario names: terashake-k | terashake-d | shakeout-k | shakeout-d |\n                wall-to-wall | m8 | pnw"
+        "usage:\n  awp scenarios\n  awp run <name> [nx] [seconds] [--lts]\n  awp workflow [name] [nx] [seconds] [--lts] [--sched] [--stats-addr A]\n               [--profile] [--trace-out FILE] [--health-every N]\n  awp verify [--smoke] [--lts] [--seeds N] [--base-seed S] [--out FILE]\n  awp stats --smoke | (<addr> | --stats-addr A) [--snapshots N]\n            connect to a live run's stats endpoint (TCP host:port or\n            unix:<path>), read the versioned hello + N snapshot lines,\n            schema-check them, and print the stream; --smoke self-tests\n            against an in-process scheduled workflow\n  awp analyze <trace.json> [--top N] [--json FILE]\n            reconstruct the cross-rank causal DAG from a Chrome trace\n            (written by --trace-out), walk the critical path, and print\n            the wall-clock attribution; --json writes a schema-checked\n            analyze.json artifact\n  awp serve [--addr A] [--root DIR]\n            run the ensemble hazard-query server (protocol awp-serve v1,\n            newline-delimited versioned JSON over TCP or unix:<path>):\n            catalog runs, cached scenario queries, hazard curves\n  awp serve --smoke\n            end-to-end self-test: in-process server + client, seeded\n            8-event catalog through the job queue, cache-hit check on a\n            repeated query, cold-store replay verified bit-exact\n  awp analyze --smoke [--json FILE]\n            self-test: trace an in-process 8-rank --lts workflow, analyze\n            it, and require the critical path to cover ≥ 90% of the wall\n            clock\n  awp efficiency\n  awp machines\n  awp chaos --chaos-seed <n> [name] [nx] [seconds]\n  awp chaos --recover [--fault crash|stall|both] [--chaos-seed <n>]\n            seeded rank-failure drill: the run must complete via in-flight\n            supervisor recovery (rollback-rejoin, no whole-run restart) and\n            stay bit-identical to the clean run, or exit nonzero\n  awp --profile [--trace-out FILE]      profiled default workflow\n\n--sched arms the work-stealing tile scheduler (workflow and chaos runs);\n--stats-addr serves live per-rank telemetry at A while the run is in\nflight (newline-delimited versioned JSON, protocol awp-stats v1);\n--health-every N scans the shell slabs for NaN/Inf every N steps and\naborts on the first non-finite velocity (0 = off, the default);\n--flight-dir DIR arms the crash flight recorder: on a rank fault or\ndegradation the supervisor dumps DIR/flightrec-<rank>.json with the last\nenvelopes and span tails for each rank\n\nscenario names: terashake-k | terashake-d | shakeout-k | shakeout-d |\n                wall-to-wall | m8 | pnw"
     );
     std::process::exit(2);
 }
@@ -225,7 +227,7 @@ fn main() {
                 // rank's track. Epochs save when `done % every == 0 && done <
                 // steps`, so a cadence of 4 still fires on the short smoke
                 // runs (8 steps) used by final_verify.sh.
-                wf.checkpoint_every = Some(4);
+                wf.session.checkpoint_every = Some(4);
             }
             // Live streaming stats: serve the endpoint for the whole run;
             // clients connect with `awp stats --stats-addr <A>`.
@@ -445,6 +447,40 @@ fn main() {
                 }
             }
         }
+        Some("serve") => {
+            // Ensemble engine + hazard-query server (protocol awp-serve v1,
+            // same newline-JSON discipline as awp-stats).
+            let rest = &args[1..];
+            if rest.iter().any(|a| a == "--smoke") {
+                if let Err(why) = awp_ensemble::serve::smoke() {
+                    eprintln!("SERVE SMOKE FAILED: {why}");
+                    std::process::exit(1);
+                }
+            } else {
+                let root = rest
+                    .iter()
+                    .position(|a| a == "--root")
+                    .map(|i| rest.get(i + 1).cloned().unwrap_or_else(|| usage()))
+                    .unwrap_or_else(|| "awp-ensemble".to_string());
+                let addr = rest
+                    .iter()
+                    .position(|a| a == "--addr")
+                    .map(|i| rest.get(i + 1).cloned().unwrap_or_else(|| usage()))
+                    .unwrap_or_else(|| "127.0.0.1:7075".to_string());
+                let engine = awp_ensemble::EnsembleEngine::open(&root, [2, 2, 1])
+                    .expect("ensemble root open failed");
+                let srv =
+                    awp_ensemble::ServeServer::serve(&StatsAddr::parse(&addr), engine)
+                        .expect("serve endpoint bind failed");
+                println!(
+                    "awp-serve v1 listening at {} (results root {root}); Ctrl-C to stop",
+                    srv.local_addr()
+                );
+                loop {
+                    std::thread::sleep(Duration::from_secs(3600));
+                }
+            }
+        }
         Some("analyze") => {
             use awp_odc::analyze::{parse_trace, render, to_json, validate_json};
             let rest = &args[1..];
@@ -473,7 +509,7 @@ fn main() {
                 // keeps a single z part.
                 let mut wf = E2EWorkflow::new(run, [4, 2, 1], &dir)
                     .with_telemetry(Arc::clone(&registry));
-                wf.checkpoint_every = Some(4);
+                wf.session.checkpoint_every = Some(4);
                 let rep = wf.execute().expect("analyze smoke workflow failed");
                 let _ = std::fs::remove_dir_all(&dir);
                 println!("workflow done (archive verified: {})", rep.archive_verified);
@@ -614,7 +650,7 @@ fn main() {
                 if let Some(fdir) = &flight_dir {
                     wf = wf.with_flight_recorder(fdir.clone());
                 }
-                wf.checkpoint_every = Some(4);
+                wf.session.checkpoint_every = Some(4);
                 wf = wf
                     .with_chaos(
                         plan,
@@ -689,8 +725,8 @@ fn main() {
             if let Some(fdir) = &flight_dir {
                 wf = wf.with_flight_recorder(fdir.clone());
             }
-            wf.checkpoint_every = Some(4);
-            wf.max_restarts = 6;
+            wf.session.checkpoint_every = Some(4);
+            wf.session.max_restarts = 6;
             wf = wf.with_chaos(
                 plan,
                 WatchdogConfig {

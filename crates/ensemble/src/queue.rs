@@ -1,0 +1,375 @@
+//! Persistent priority job queue with cancellation.
+//!
+//! State machine (pinned in `DESIGN.md` and `tests/ensemble.rs`):
+//!
+//! ```text
+//!            submit            claim              complete
+//! (new) ──────────→ Pending ─────────→ Running ───────────→ Done
+//!                      │                  │        └───────→ Failed
+//!                      │ cancel           │ cancel (token)
+//!                      ▼                  ▼
+//!                  Cancelled          Cancelled   (worker observes the
+//!                                                  token and discards)
+//!        reopen after crash: Running ─→ Pending  (dead-process recovery)
+//! ```
+//!
+//! Every transition rewrites the job's own file (`job-<id>.json`) via
+//! write-to-temp + rename, so the on-disk queue is always a consistent
+//! snapshot: a process killed mid-transition leaves either the old or the
+//! new state, never a torn file. [`JobQueue::open`] reloads a directory
+//! and demotes `Running` jobs back to `Pending` — a claim held by a dead
+//! worker is not a claim.
+//!
+//! Claim order: highest `priority` first, FIFO (lowest id) within a
+//! priority. In-flight cancellation is cooperative: [`JobQueue::cancel`]
+//! flips the claim's [`CancelToken`]; the worker observes it at its next
+//! check and completes the job as `Cancelled` without publishing results.
+
+use crate::spec::ScenarioSpec;
+use serde_json::Value;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Job lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    Pending,
+    Running,
+    Done,
+    Cancelled,
+    Failed,
+}
+
+impl JobState {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobState::Pending => "pending",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "pending" => JobState::Pending,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "cancelled" => JobState::Cancelled,
+            "failed" => JobState::Failed,
+            _ => return None,
+        })
+    }
+}
+
+/// One queued scenario run.
+#[derive(Debug, Clone)]
+pub struct Job {
+    pub id: u64,
+    pub priority: i32,
+    pub state: JobState,
+    pub spec: ScenarioSpec,
+    /// Content hash of the stored result (set on `Done`).
+    pub result_hash: Option<String>,
+    /// Failure detail (set on `Failed`).
+    pub error: Option<String>,
+}
+
+/// Cooperative in-flight cancellation flag, shared between the queue and
+/// the worker holding the claim.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Terminal outcome a worker reports back for a claimed job.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    Done { hash: String },
+    Cancelled,
+    Failed { error: String },
+}
+
+/// A claimed job: the snapshot to execute plus the cancellation token the
+/// worker must poll.
+#[derive(Debug, Clone)]
+pub struct ClaimedJob {
+    pub job: Job,
+    pub token: CancelToken,
+}
+
+struct Inner {
+    jobs: Vec<Job>,
+    tokens: HashMap<u64, CancelToken>,
+    next_id: u64,
+}
+
+/// The queue. All mutation goes through one mutex; persistence is one
+/// file per job so concurrent workers never contend on a shared file.
+pub struct JobQueue {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl JobQueue {
+    /// Open (or create) a queue directory, reloading any persisted jobs.
+    /// `Running` jobs are demoted to `Pending`: if this process can open
+    /// the directory, the worker that claimed them is gone.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<JobQueue> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut jobs = Vec::new();
+        let mut next_id = 1u64;
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("job-") && n.ends_with(".json"))
+            })
+            .collect();
+        entries.sort();
+        for path in entries {
+            let text = std::fs::read_to_string(&path)?;
+            let mut job = parse_job(&text)
+                .map_err(|e| io::Error::other(format!("{}: {e}", path.display())))?;
+            if job.state == JobState::Running {
+                job.state = JobState::Pending;
+                persist(&dir, &job)?;
+            }
+            next_id = next_id.max(job.id + 1);
+            jobs.push(job);
+        }
+        Ok(JobQueue {
+            dir,
+            inner: Mutex::new(Inner { jobs, tokens: HashMap::new(), next_id }),
+        })
+    }
+
+    /// Submit a scenario at `priority` (higher runs earlier). Returns the
+    /// job id.
+    pub fn submit(&self, spec: ScenarioSpec, priority: i32) -> io::Result<u64> {
+        let mut inner = self.inner.lock().unwrap();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let job = Job {
+            id,
+            priority,
+            state: JobState::Pending,
+            spec,
+            result_hash: None,
+            error: None,
+        };
+        persist(&self.dir, &job)?;
+        inner.jobs.push(job);
+        Ok(id)
+    }
+
+    /// Claim the highest-priority pending job (FIFO within a priority).
+    /// Returns `None` when nothing is pending.
+    pub fn claim(&self) -> io::Result<Option<ClaimedJob>> {
+        let mut inner = self.inner.lock().unwrap();
+        let best = inner
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.state == JobState::Pending)
+            .max_by(|(_, a), (_, b)| {
+                a.priority.cmp(&b.priority).then(b.id.cmp(&a.id))
+            })
+            .map(|(i, _)| i);
+        let Some(i) = best else { return Ok(None) };
+        inner.jobs[i].state = JobState::Running;
+        let job = inner.jobs[i].clone();
+        persist(&self.dir, &job)?;
+        let token = CancelToken::default();
+        inner.tokens.insert(job.id, token.clone());
+        Ok(Some(ClaimedJob { job, token }))
+    }
+
+    /// Report a claimed job's terminal outcome.
+    pub fn complete(&self, id: u64, outcome: JobOutcome) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tokens.remove(&id);
+        let job = inner
+            .jobs
+            .iter_mut()
+            .find(|j| j.id == id)
+            .ok_or_else(|| io::Error::other(format!("complete: unknown job {id}")))?;
+        match outcome {
+            JobOutcome::Done { hash } => {
+                job.state = JobState::Done;
+                job.result_hash = Some(hash);
+            }
+            JobOutcome::Cancelled => job.state = JobState::Cancelled,
+            JobOutcome::Failed { error } => {
+                job.state = JobState::Failed;
+                job.error = Some(error);
+            }
+        }
+        let job = job.clone();
+        persist(&self.dir, &job)
+    }
+
+    /// Cancel a job. A pending job is terminally cancelled here; a
+    /// running job has its token flipped and the owning worker completes
+    /// it as cancelled. Returns false for unknown or already-terminal
+    /// jobs.
+    pub fn cancel(&self, id: u64) -> io::Result<bool> {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(job) = inner.jobs.iter_mut().find(|j| j.id == id) else {
+            return Ok(false);
+        };
+        match job.state {
+            JobState::Pending => {
+                job.state = JobState::Cancelled;
+                let job = job.clone();
+                persist(&self.dir, &job)?;
+                Ok(true)
+            }
+            JobState::Running => {
+                if let Some(token) = inner.tokens.get(&id) {
+                    token.cancel();
+                }
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Snapshot of every job (for status displays and tests).
+    pub fn jobs(&self) -> Vec<Job> {
+        self.inner.lock().unwrap().jobs.clone()
+    }
+
+    /// Number of jobs not yet in a terminal state.
+    pub fn open_jobs(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap()
+            .jobs
+            .iter()
+            .filter(|j| matches!(j.state, JobState::Pending | JobState::Running))
+            .count()
+    }
+}
+
+/// Atomically (tmp + rename) write one job file.
+fn persist(dir: &Path, job: &Job) -> io::Result<()> {
+    let doc = serde_json::json!({
+        "v": 1,
+        "kind": "awp-job",
+        "id": job.id,
+        "priority": job.priority,
+        "state": job.state.as_str(),
+        "spec": job.spec.to_json(),
+        "result_hash": job.result_hash.clone().map(Value::from).unwrap_or(Value::Null),
+        "error": job.error.clone().map(Value::from).unwrap_or(Value::Null)
+    });
+    let path = dir.join(format!("job-{:08}.json", job.id));
+    let tmp = dir.join(format!(".job-{:08}.json.tmp-{}", job.id, std::process::id()));
+    std::fs::write(&tmp, doc.to_string())?;
+    std::fs::rename(&tmp, &path)
+}
+
+fn parse_job(text: &str) -> Result<Job, String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    if v["kind"].as_str() != Some("awp-job") || v["v"].as_f64() != Some(1.0) {
+        return Err("not an awp-job v1 file".into());
+    }
+    Ok(Job {
+        id: v["id"].as_f64().ok_or("job: missing id")? as u64,
+        priority: v["priority"].as_f64().ok_or("job: missing priority")? as i32,
+        state: v["state"]
+            .as_str()
+            .and_then(JobState::parse)
+            .ok_or("job: bad state")?,
+        spec: ScenarioSpec::from_value(&v["spec"])?,
+        result_hash: v["result_hash"].as_str().map(String::from),
+        error: v["error"].as_str().map(String::from),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("awp-queue-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec::new("shakeout-k", 16).unwrap()
+    }
+
+    #[test]
+    fn claims_follow_priority_then_fifo() {
+        let dir = tmp_dir("prio");
+        let q = JobQueue::open(&dir).unwrap();
+        let low = q.submit(spec(), 1).unwrap();
+        let hi_a = q.submit(spec(), 9).unwrap();
+        let hi_b = q.submit(spec(), 9).unwrap();
+        let order: Vec<u64> = std::iter::from_fn(|| {
+            q.claim().unwrap().map(|c| {
+                q.complete(c.job.id, JobOutcome::Done { hash: "x".into() }).unwrap();
+                c.job.id
+            })
+        })
+        .collect();
+        assert_eq!(order, vec![hi_a, hi_b, low]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn queue_survives_reopen_and_demotes_running() {
+        let dir = tmp_dir("reopen");
+        {
+            let q = JobQueue::open(&dir).unwrap();
+            q.submit(spec(), 5).unwrap();
+            let c = q.claim().unwrap().unwrap();
+            assert_eq!(c.job.state, JobState::Running);
+            // Process "dies" here: the claim is never completed.
+        }
+        let q2 = JobQueue::open(&dir).unwrap();
+        let jobs = q2.jobs();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].state, JobState::Pending, "dead worker's claim released");
+        // Ids keep counting past reloaded jobs.
+        let id2 = q2.submit(spec(), 1).unwrap();
+        assert!(id2 > jobs[0].id);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancellation_of_pending_and_running() {
+        let dir = tmp_dir("cancel");
+        let q = JobQueue::open(&dir).unwrap();
+        let a = q.submit(spec(), 1).unwrap();
+        let b = q.submit(spec(), 2).unwrap();
+        assert!(q.cancel(a).unwrap());
+        let c = q.claim().unwrap().unwrap();
+        assert_eq!(c.job.id, b);
+        assert!(!c.token.is_cancelled());
+        assert!(q.cancel(b).unwrap(), "running job cancels via token");
+        assert!(c.token.is_cancelled());
+        q.complete(b, JobOutcome::Cancelled).unwrap();
+        assert!(q.claim().unwrap().is_none(), "cancelled jobs are never re-claimed");
+        assert!(!q.cancel(a).unwrap(), "terminal jobs cannot cancel again");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

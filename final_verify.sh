@@ -167,10 +167,28 @@ print(f"flightrec-1.json: {r['total_envelopes']} envelopes "
 EOF
 rm -f results/flightrec-*.json
 echo "=== CAUSAL TRACING DONE ==="
+# Ensemble/serve smoke: in-process awp-serve v1 server + client. The gate
+# requires a seeded 8-event catalog to drain through the persistent job
+# queue, a repeated site query to be a cache hit against the content-
+# addressed store, and a cold-store replay of the same catalog to
+# reproduce every stored artifact bit-exact (manifest MD5 comparison plus
+# re-verification from the bytes); awp exits nonzero otherwise.
+timeout 900 ./target/release/awp serve --smoke > results/logs/cli_serve.log 2>&1; echo "serve_smoke exit $?"
+grep -q "serve smoke passed" results/logs/cli_serve.log; echo "serve_valid exit $?"
+grep -q "cold replay bit-exact" results/logs/cli_serve.log; echo "serve_replay exit $?"
+echo "=== SERVE SMOKE DONE ==="
 # Hygiene gate: a clean run must leave no untracked scratch files behind
 # (everything a smoke run writes is either tracked under results/ or
 # covered by .gitignore). Nonzero exit lists the strays.
 stray="$(git ls-files --others --exclude-standard)"
 if [ -n "$stray" ]; then echo "untracked scratch files: $stray"; fi
 test -z "$stray"; echo "scratch_clean exit $?"
+# Empty directories are invisible to `git ls-files --others` (git does not
+# track directories), so an `examples_tmp/`-style stray survives the check
+# above. Catch those too, pruning build output and the git store.
+straydirs="$(find . -type d -empty \
+  -not -path './.git/*' -not -path './target/*' \
+  -not -path './tools/shims/*/target/*' -not -path '*/.git' | sort)"
+if [ -n "$straydirs" ]; then echo "untracked empty directories: $straydirs"; fi
+test -z "$straydirs"; echo "emptydir_clean exit $?"
 echo "=== HYGIENE DONE ==="

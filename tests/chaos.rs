@@ -35,7 +35,7 @@ fn chaos_crash_recovers_bit_exact() {
     let crash_step = (steps * 3 / 5) as u64;
     let dir = scratch_dir("chaos-crash");
     let mut wf = E2EWorkflow::new(run, [2, 1, 1], &dir);
-    wf.checkpoint_every = Some(4);
+    wf.session.checkpoint_every = Some(4);
     wf = wf.with_chaos(
         Arc::new(FaultPlan::new(0xC4A0_5EED).with_crash(1, crash_step)),
         WatchdogConfig::with_timeout(Duration::from_secs(20)),
@@ -78,8 +78,8 @@ fn chaos_corrupt_epoch_falls_back_and_recovers() {
     // Phase 1: the run dies (no restart budget), leaving epochs behind.
     let run_b = sc.prepare();
     let mut wf = E2EWorkflow::new(run_b, [2, 1, 1], &dir);
-    wf.checkpoint_every = Some(2);
-    wf.max_restarts = 0;
+    wf.session.checkpoint_every = Some(2);
+    wf.session.max_restarts = 0;
     wf = wf.with_chaos(
         Arc::new(FaultPlan::new(7).with_crash(0, crash_step)),
         WatchdogConfig::with_timeout(Duration::from_secs(20)),
@@ -102,8 +102,8 @@ fn chaos_corrupt_epoch_falls_back_and_recovers() {
 
     // Phase 3: a fresh process resumes the dead run's scratch directory.
     let mut wf2 = E2EWorkflow::new(sc.prepare(), [2, 1, 1], &dir);
-    wf2.checkpoint_every = Some(2);
-    wf2.resume = true;
+    wf2.session.checkpoint_every = Some(2);
+    wf2.session.resume = true;
     let rep = wf2.execute().expect("resume must recover from the fallback epoch");
 
     assert_eq!(rep_clean.pgv.data, rep.pgv.data, "PGV must match bitwise after fallback");
@@ -128,8 +128,8 @@ fn chaos_soak_random_plan_converges() {
     let steps = run.cfg.steps as u64;
     let dir = scratch_dir("chaos-soak");
     let mut wf = E2EWorkflow::new(run, [2, 1, 1], &dir);
-    wf.checkpoint_every = Some(4);
-    wf.max_restarts = 4;
+    wf.session.checkpoint_every = Some(4);
+    wf.session.max_restarts = 4;
     wf = wf.with_chaos(
         Arc::new(FaultPlan::random(0xD00D, 2, steps)),
         WatchdogConfig {
@@ -174,8 +174,8 @@ fn schedule_fuzz_composes_with_fault_injection() {
             WatchdogConfig { timeout: Duration::from_secs(10), poll: Duration::from_millis(50) },
         )
         .with_schedule(SchedulePlan::with_bounds(0xD15C_0001, 3, 4));
-    wf.checkpoint_every = Some(4);
-    wf.max_restarts = 6;
+    wf.session.checkpoint_every = Some(4);
+    wf.session.max_restarts = 6;
     let rep = wf.execute().expect("chaos run must converge");
 
     assert!(rep.restarted && rep.restarts >= 1, "the crash must force a restart");
@@ -227,7 +227,7 @@ fn in_flight_recovery_composes_with_schedule_fuzz() {
             )
             .with_schedule(SchedulePlan::with_bounds(0xF077_u64 ^ fuzz_seed, 3, 4))
             .with_recovery(RetryPolicy::new(3));
-        wf.checkpoint_every = Some(4);
+        wf.session.checkpoint_every = Some(4);
         let rep = wf.execute().expect("supervised run must converge");
 
         assert!(
@@ -277,7 +277,7 @@ fn recovery_degrades_to_whole_run_restart_ladder() {
             WatchdogConfig { timeout: Duration::from_secs(10), poll: Duration::from_millis(50) },
         )
         .with_recovery(RetryPolicy::new(3));
-    wf.checkpoint_every = Some(4);
+    wf.session.checkpoint_every = Some(4);
     let rep = wf.execute().expect("degraded run must still converge via restart");
 
     assert!(rep.recovery_degraded, "no epoch to roll back to ⇒ must degrade");
@@ -318,7 +318,7 @@ fn chaos_same_seed_is_byte_identical_schedule() {
         let n_steps = run.cfg.steps as u64;
         let dir = scratch_dir(&format!("chaos-det-{pass}"));
         let mut wf = E2EWorkflow::new(run, [2, 1, 1], &dir);
-        wf.checkpoint_every = Some(4);
+        wf.session.checkpoint_every = Some(4);
         wf = wf.with_chaos(
             Arc::new(FaultPlan::new(0xABCD).with_crash(1, n_steps * 3 / 5)),
             WatchdogConfig::with_timeout(Duration::from_secs(20)),

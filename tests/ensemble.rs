@@ -1,0 +1,434 @@
+//! Ensemble engine pins: canonical scenario-hash determinism (property
+//! tested and golden-pinned), the persistent job queue under concurrency
+//! and cancellation, shared-mesh reuse safety, and bit-exactness of
+//! engine runs against solo workflow runs — including one composed with
+//! the PR 5 schedule fuzzer.
+
+use awp_ensemble::catalog::{generate_catalog, CatalogConfig};
+use awp_ensemble::engine::{EnsembleEngine, RunOutcome};
+use awp_ensemble::queue::{JobOutcome, JobQueue, JobState};
+use awp_ensemble::spec::ScenarioSpec;
+use awp_odc::workflow::WorkflowSession;
+use awp_vcluster::schedule::SchedulePlan;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("awp-ens-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// A random-but-valid spec from primitive draws.
+#[allow(clippy::too_many_arguments)]
+fn spec_from(
+    family_pick: u8,
+    mw: f64,
+    hypo: f64,
+    vr: f64,
+    rise: f64,
+    seed: u64,
+    amp: f64,
+    flags: u8,
+) -> ScenarioSpec {
+    let family = ["shakeout-k", "terashake-k", "w2w"][family_pick as usize % 3];
+    let mut s = ScenarioSpec::new(family, 16).unwrap();
+    s.duration_s = 20.0;
+    s.mw = mw;
+    s.hypo_frac = hypo;
+    s.vr = vr;
+    s.rise_time = rise;
+    s.cvm_seed = seed % (1 << 40); // stays JSON-number safe
+    s.cvm_amp = amp;
+    s.lts = flags & 1 != 0;
+    s.sched = flags & 2 != 0;
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same physics → same hash, regardless of construction path: a spec
+    /// and its JSON round trip (and a key-shuffled JSON encoding) agree.
+    #[test]
+    fn hash_is_invariant_to_construction_path(
+        family_pick in 0u8..3,
+        mw in 6.0f64..8.5,
+        hypo in 0.0f64..1.0,
+        vr in 2000.0f64..3500.0,
+        rise in 0.5f64..4.0,
+        seed in 0u64..u64::MAX,
+        amp in 0.0f64..0.2,
+        flags in 0u8..4,
+    ) {
+        let spec = spec_from(family_pick, mw, hypo, vr, rise, seed, amp, flags);
+        let h = spec.hash().unwrap();
+        prop_assert_eq!(&h, &spec.hash().unwrap(), "hashing must be pure");
+
+        // JSON round trip in the emitted field order.
+        let back = ScenarioSpec::from_value(
+            &serde_json::from_str(&spec.to_json().to_string()).unwrap(),
+        )
+        .unwrap();
+        prop_assert_eq!(&h, &back.hash().unwrap());
+
+        // The same object with keys emitted in a different order.
+        let shuffled = format!(
+            r#"{{"sched":{},"lts":{},"cvm_amp":{},"cvm_seed":{},"rise_time":{},
+                "vr":{},"hypo_frac":{},"mw":{},"duration_s":{},"nx":{},"family":"{}"}}"#,
+            spec.sched,
+            spec.lts,
+            spec.cvm_amp,
+            spec.cvm_seed,
+            spec.rise_time,
+            spec.vr,
+            spec.hypo_frac,
+            spec.mw,
+            spec.duration_s,
+            spec.nx,
+            spec.family,
+        );
+        let back2 =
+            ScenarioSpec::from_value(&serde_json::from_str(&shuffled).unwrap()).unwrap();
+        prop_assert_eq!(&h, &back2.hash().unwrap(), "field order must not matter");
+    }
+
+    /// Every physical field is load-bearing: perturbing any one of them
+    /// produces a different hash (no two distinct scenarios collide into
+    /// one cache slot).
+    #[test]
+    fn every_field_perturbation_changes_hash(
+        family_pick in 0u8..3,
+        mw in 6.0f64..8.4,
+        hypo in 0.01f64..0.99,
+        vr in 2000.0f64..3400.0,
+        rise in 0.5f64..3.9,
+        seed in 0u64..(1u64 << 39),
+        amp in 0.001f64..0.19,
+        flags in 0u8..4,
+    ) {
+        let base = spec_from(family_pick, mw, hypo, vr, rise, seed, amp, flags);
+        let h0 = base.hash().unwrap();
+        let variants: Vec<(&str, ScenarioSpec)> = vec![
+            ("family", {
+                let mut s = base.clone();
+                s.family = if s.family == "w2w" { "shakeout-k".into() } else { "w2w".into() };
+                s
+            }),
+            ("nx", { let mut s = base.clone(); s.nx += 4; s }),
+            ("duration_s", { let mut s = base.clone(); s.duration_s += 1.0; s }),
+            ("mw", { let mut s = base.clone(); s.mw += 0.01; s }),
+            ("hypo_frac", { let mut s = base.clone(); s.hypo_frac += 0.005; s }),
+            ("vr", { let mut s = base.clone(); s.vr += 10.0; s }),
+            ("rise_time", { let mut s = base.clone(); s.rise_time += 0.05; s }),
+            ("cvm_seed", { let mut s = base.clone(); s.cvm_seed += 1; s }),
+            ("cvm_amp", { let mut s = base.clone(); s.cvm_amp += 0.001; s }),
+            ("lts", { let mut s = base.clone(); s.lts = !s.lts; s }),
+            ("sched", { let mut s = base.clone(); s.sched = !s.sched; s }),
+        ];
+        for (field, v) in variants {
+            prop_assert_ne!(
+                &h0,
+                &v.hash().unwrap(),
+                "perturbing {} must change the content address",
+                field
+            );
+        }
+    }
+}
+
+/// The golden pin: this exact spec hashed to this exact address when the
+/// v1 canonicalization was frozen. If this test fails, the canonical form
+/// changed and every existing store on disk silently invalidates — bump
+/// the magic to `awp-scenario v2` instead of editing the pin.
+#[test]
+fn golden_hash_is_pinned() {
+    let mut spec = ScenarioSpec::new("shakeout-k", 16).unwrap();
+    spec.duration_s = 20.0;
+    spec.mw = 7.25;
+    spec.hypo_frac = 0.5;
+    spec.vr = 3000.0;
+    spec.rise_time = 2.0;
+    spec.cvm_seed = 11;
+    spec.cvm_amp = 0.04;
+    assert_eq!(
+        spec.canonical().unwrap().lines().next().unwrap(),
+        "awp-scenario v1"
+    );
+    assert_eq!(
+        spec.hash().unwrap(),
+        "bcb3d7a15b569bc53dac2c00764cbc28",
+        "canonical hash drifted: stored results keyed by v1 addresses \
+         would be orphaned"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Queue concurrency suite.
+// ---------------------------------------------------------------------------
+
+fn small_spec(mw_milli: u64) -> ScenarioSpec {
+    let mut s = ScenarioSpec::new("shakeout-k", 16).unwrap();
+    s.duration_s = 20.0;
+    s.mw = 6.5 + mw_milli as f64 / 1000.0;
+    s
+}
+
+/// Claims observed one at a time (the claim itself serialises on the
+/// queue mutex) must come out in strict priority-desc, FIFO-within-
+/// priority order even when four threads race for them.
+#[test]
+fn contended_claims_respect_priority_order() {
+    let dir = tmp_dir("contend");
+    let q = Arc::new(JobQueue::open(&dir).unwrap());
+    let mut expect: Vec<(i32, u64)> = Vec::new();
+    for i in 0..24u64 {
+        let priority = (i % 5) as i32;
+        let id = q.submit(small_spec(i), priority).unwrap();
+        expect.push((priority, id));
+    }
+    // Highest priority first, FIFO (ascending id) within a priority.
+    expect.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    let order: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let q = Arc::clone(&q);
+        let order = Arc::clone(&order);
+        handles.push(std::thread::spawn(move || loop {
+            // Hold the recording lock across the claim so the observed
+            // sequence is exactly the claim sequence.
+            let mut rec = order.lock().unwrap();
+            match q.claim().unwrap() {
+                Some(c) => {
+                    rec.push(c.job.id);
+                    drop(rec);
+                    q.complete(c.job.id, JobOutcome::Done { hash: "t".into() }).unwrap();
+                }
+                None => break,
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let got = order.lock().unwrap().clone();
+    let want: Vec<u64> = expect.iter().map(|(_, id)| *id).collect();
+    assert_eq!(got, want, "contended claim order must follow priority then FIFO");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Free-for-all drain: no job is lost, none is claimed twice.
+#[test]
+fn concurrent_drain_loses_and_duplicates_nothing() {
+    let dir = tmp_dir("drain-raw");
+    let q = Arc::new(JobQueue::open(&dir).unwrap());
+    let n = 40u64;
+    for i in 0..n {
+        q.submit(small_spec(i), (i % 3) as i32).unwrap();
+    }
+    let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let q = Arc::clone(&q);
+        let seen = Arc::clone(&seen);
+        handles.push(std::thread::spawn(move || {
+            while let Some(c) = q.claim().unwrap() {
+                seen.lock().unwrap().push(c.job.id);
+                q.complete(c.job.id, JobOutcome::Done { hash: format!("h{}", c.job.id) })
+                    .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut got = seen.lock().unwrap().clone();
+    got.sort_unstable();
+    let dedup_len = { let mut d = got.clone(); d.dedup(); d.len() };
+    assert_eq!(got.len() as u64, n, "every job claimed");
+    assert_eq!(dedup_len as u64, n, "no job claimed twice");
+    for j in q.jobs() {
+        assert_eq!(j.state, JobState::Done);
+        assert_eq!(j.result_hash.as_deref(), Some(format!("h{}", j.id).as_str()));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Queued jobs cancel terminally; in-flight jobs cancel cooperatively via
+/// the claim token while workers are actually running.
+#[test]
+fn cancellation_hits_queued_and_in_flight_jobs() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+    let dir = tmp_dir("cancel-flight");
+    let q = Arc::new(JobQueue::open(&dir).unwrap());
+    let a = q.submit(small_spec(1), 5).unwrap(); // will run & be cancelled in flight
+    let b = q.submit(small_spec(2), 1).unwrap(); // cancelled while queued
+    let c = q.submit(small_spec(3), 1).unwrap(); // runs to completion
+
+    assert!(q.cancel(b).unwrap(), "queued job cancels immediately");
+
+    let running = Arc::new(AtomicU64::new(0));
+    let worker = {
+        let q = Arc::clone(&q);
+        let running = Arc::clone(&running);
+        std::thread::spawn(move || {
+            while let Some(claim) = q.claim().unwrap() {
+                running.store(claim.job.id, Ordering::Release);
+                // Simulated solve: poll the token like the engine does.
+                let mut polls = 0;
+                let outcome = loop {
+                    if claim.token.is_cancelled() {
+                        break JobOutcome::Cancelled;
+                    }
+                    polls += 1;
+                    if polls > 200 {
+                        break JobOutcome::Done { hash: "done".into() };
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                };
+                q.complete(claim.job.id, outcome).unwrap();
+            }
+        })
+    };
+    // Wait until the worker has claimed the high-priority job, then cancel
+    // it mid-flight.
+    while running.load(std::sync::atomic::Ordering::Acquire) != a {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(q.cancel(a).unwrap(), "running job cancels via its token");
+    worker.join().unwrap();
+
+    let by_id = |id: u64| q.jobs().into_iter().find(|j| j.id == id).unwrap();
+    assert_eq!(by_id(a).state, JobState::Cancelled, "in-flight cancel observed");
+    assert_eq!(by_id(b).state, JobState::Cancelled, "queued cancel is terminal");
+    assert_eq!(by_id(c).state, JobState::Done, "untouched job still completes");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Engine: catalog drain, cache behaviour, fuzzer-composed bit-exactness,
+// shared-mesh reuse safety.
+// ---------------------------------------------------------------------------
+
+/// Four workers drain a seeded catalog: every event lands in the store
+/// exactly once, and resubmitting the same catalog is pure cache hits.
+#[test]
+fn engine_drains_catalog_without_losing_results() {
+    use std::sync::atomic::Ordering;
+    let root = tmp_dir("engine-drain");
+    let engine = EnsembleEngine::open(&root, [2, 1, 1]).unwrap();
+    let events = generate_catalog(&CatalogConfig::demo(97, 6, 16, 20.0)).unwrap();
+    let ids = engine.submit_catalog(&events).unwrap();
+    engine.drain(4).unwrap();
+
+    let jobs = engine.queue.jobs();
+    assert_eq!(jobs.len(), 6);
+    for id in &ids {
+        let j = jobs.iter().find(|j| j.id == *id).unwrap();
+        assert_eq!(j.state, JobState::Done, "job {id} must complete");
+        let hash = j.result_hash.as_ref().expect("done job carries its hash");
+        assert!(engine.store.contains(hash), "result {hash} published");
+        engine.store.verify(hash).unwrap();
+    }
+    let mut unique: Vec<String> =
+        jobs.iter().filter_map(|j| j.result_hash.clone()).collect();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(engine.store.list().unwrap().len(), unique.len(), "store == results");
+    assert_eq!(engine.stats.jobs_done.load(Ordering::Relaxed), 6);
+
+    // Same catalog again: nothing recomputes.
+    let misses_before = engine.stats.cache_misses.load(Ordering::Relaxed);
+    engine.submit_catalog(&events).unwrap();
+    engine.drain(4).unwrap();
+    assert_eq!(
+        engine.stats.cache_misses.load(Ordering::Relaxed),
+        misses_before,
+        "resubmitted catalog must be served from the store"
+    );
+    assert!(engine.stats.cache_hits.load(Ordering::Relaxed) >= 6);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// ISSUE satellite: compose an engine run with the PR 5 schedule fuzzer
+/// and pin per-scenario outputs bit-exact against a solo (fuzzer-free)
+/// run — delayed/reordered messaging must never leak into the physics.
+#[test]
+fn fuzzer_composed_engine_runs_stay_bit_exact() {
+    let spec = small_spec(250);
+    let hash = spec.hash().unwrap();
+
+    let root_a = tmp_dir("fuzzed");
+    let fuzzed_session =
+        WorkflowSession::new([2, 1, 1]).with_schedule(SchedulePlan::new(0xF00D));
+    let fuzzed = EnsembleEngine::open_with_session(&root_a, fuzzed_session).unwrap();
+    assert!(matches!(fuzzed.run_spec(&spec, None).unwrap(), RunOutcome::Computed(_)));
+
+    let root_b = tmp_dir("solo");
+    let solo = EnsembleEngine::open(&root_b, [2, 1, 1]).unwrap();
+    assert!(matches!(solo.run_spec(&spec, None).unwrap(), RunOutcome::Computed(_)));
+
+    let fuzzed_manifest = fuzzed.store.manifest(&hash).unwrap();
+    let solo_manifest = solo.store.manifest(&hash).unwrap();
+    assert_eq!(
+        fuzzed_manifest["artifacts"].to_string(),
+        solo_manifest["artifacts"].to_string(),
+        "schedule fuzzing changed stored bytes for scenario {hash}"
+    );
+    let _ = std::fs::remove_dir_all(&root_a);
+    let _ = std::fs::remove_dir_all(&root_b);
+}
+
+/// ISSUE satellite: two scenarios sharing one `Arc<Mesh>` must produce
+/// outputs bit-exact to building the mesh fresh per scenario — and the
+/// shared mesh itself must come back untouched.
+#[test]
+fn shared_mesh_reuse_is_bit_exact_and_non_mutating() {
+    use std::sync::atomic::Ordering;
+    let mut spec_a = small_spec(100);
+    spec_a.cvm_seed = 11;
+    spec_a.cvm_amp = 0.04;
+    let mut spec_b = spec_a.clone();
+    spec_b.mw = 7.4;
+    spec_b.hypo_frac = 0.3;
+    assert_eq!(spec_a.mesh_key().unwrap(), spec_b.mesh_key().unwrap());
+
+    // Shared path: one engine, one mesh build amortised over both events.
+    let root = tmp_dir("mesh-shared");
+    let engine = EnsembleEngine::open(&root, [2, 1, 1]).unwrap();
+    let shared_mesh = engine.mesh_for(&spec_a).unwrap();
+    let pristine = (
+        shared_mesh.vp.clone(),
+        shared_mesh.vs.clone(),
+        shared_mesh.rho.clone(),
+        shared_mesh.qp.clone(),
+        shared_mesh.qs.clone(),
+    );
+    engine.run_spec(&spec_a, None).unwrap();
+    engine.run_spec(&spec_b, None).unwrap();
+    assert_eq!(engine.stats.mesh_builds.load(Ordering::Relaxed), 1, "one CVM build");
+    assert!(engine.stats.mesh_reuses.load(Ordering::Relaxed) >= 2, "mesh reused");
+    assert_eq!(shared_mesh.vp, pristine.0, "runs must not mutate the shared mesh");
+    assert_eq!(shared_mesh.vs, pristine.1);
+    assert_eq!(shared_mesh.rho, pristine.2);
+    assert_eq!(shared_mesh.qp, pristine.3);
+    assert_eq!(shared_mesh.qs, pristine.4);
+
+    // Fresh path: a new engine per spec, so every spec builds its own mesh.
+    for spec in [&spec_a, &spec_b] {
+        let fresh_root = tmp_dir(&format!("mesh-fresh-{}", spec.hash().unwrap()));
+        let fresh = EnsembleEngine::open(&fresh_root, [2, 1, 1]).unwrap();
+        fresh.run_spec(spec, None).unwrap();
+        let hash = spec.hash().unwrap();
+        assert_eq!(
+            engine.store.manifest(&hash).unwrap()["artifacts"].to_string(),
+            fresh.store.manifest(&hash).unwrap()["artifacts"].to_string(),
+            "shared-mesh output differs from fresh-mesh output for {hash}"
+        );
+        let _ = std::fs::remove_dir_all(&fresh_root);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -45,7 +45,7 @@ fn basin_run(steps: usize) -> ScenarioRun {
     ScenarioRun {
         scenario: Scenario::shakeout_k(24, 0.3),
         cfg,
-        mesh,
+        mesh: std::sync::Arc::new(mesh),
         source,
         stations: Vec::new(),
         rupture: None,
@@ -66,8 +66,8 @@ fn lts_workflow_restart_reproduces_clean_run() {
     // carry — and the resumed run could not be exact.
     let dir_b = scratch_dir("wf-lts-failed");
     let mut wf = E2EWorkflow::new(basin_run(steps), [2, 1, 1], &dir_b);
-    wf.checkpoint_every = Some(3);
-    wf.fail_at_step = Some(10);
+    wf.session.checkpoint_every = Some(3);
+    wf.session.fail_at_step = Some(10);
     let rep_b = wf.execute().unwrap();
     assert!(rep_b.restarted, "restart pass must run");
     assert!(rep_b.archive_verified);
@@ -89,7 +89,7 @@ fn lts_workflow_absorbs_rank_crash_in_flight() {
     let dir_b = scratch_dir("wf-lts-rec");
     let registry = Arc::new(Registry::new(2));
     let mut wf = E2EWorkflow::new(basin_run(steps), [2, 1, 1], &dir_b);
-    wf.checkpoint_every = Some(4);
+    wf.session.checkpoint_every = Some(4);
     wf = wf
         .with_chaos(
             Arc::new(FaultPlan::new(0xA11C_E5ED).with_crash(1, 10)),

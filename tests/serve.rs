@@ -1,0 +1,97 @@
+//! `awp serve` protocol pins: hello-first version negotiation, schema-
+//! checked query/response round trips over a real socket, cache-hit
+//! accounting on repeated queries, and error responses that keep the
+//! connection alive.
+
+use awp_ensemble::engine::EnsembleEngine;
+use awp_ensemble::serve::{
+    hello_json, validate_hello, ServeClient, ServeServer, SERVE_PROTO_VERSION,
+};
+use awp_odc::stats::StatsAddr;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("awp-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn hello_negotiation_rejects_foreign_and_future_servers() {
+    validate_hello(&hello_json()).expect("own hello validates");
+    let foreign = r#"{"v":1,"kind":"hello","proto":"awp-stats"}"#;
+    assert!(validate_hello(foreign).unwrap_err().contains("proto"));
+    let future = r#"{"v":999,"kind":"hello","proto":"awp-serve"}"#;
+    assert!(validate_hello(future).unwrap_err().contains("version"));
+    let not_hello = r#"{"v":1,"kind":"snapshot","proto":"awp-serve"}"#;
+    assert!(validate_hello(not_hello).unwrap_err().contains("hello"));
+    assert!(validate_hello("garbage").unwrap_err().contains("JSON"));
+}
+
+#[test]
+fn server_round_trips_schema_checked_queries_and_counts_cache_hits() {
+    let root = tmp_root("roundtrip");
+    let engine = EnsembleEngine::open(&root, [2, 1, 1]).unwrap();
+    let server =
+        ServeServer::serve(&StatsAddr::parse("127.0.0.1:0"), Arc::clone(&engine)).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    // stats: schema check on the trivially cheap request first.
+    let stats = client.request(&serde_json::json!({"kind": "stats"})).unwrap();
+    assert_eq!(stats["kind"].as_str(), Some("stats"));
+    assert_eq!(stats["v"].as_f64(), Some(SERVE_PROTO_VERSION as f64));
+    assert_eq!(stats["stats"]["cache_hits"].as_f64(), Some(0.0));
+
+    // A malformed request gets an error response and the connection lives.
+    let err = client.request(&serde_json::json!({"kind": "florp"})).unwrap_err();
+    assert!(err.to_string().contains("unknown request kind"), "got: {err}");
+
+    // query: first compute, then a cache hit with identical identity.
+    let spec = serde_json::json!({"family": "shakeout-k", "nx": 16, "duration_s": 20.0});
+    let q1 = client
+        .request(&serde_json::json!({"kind": "query", "spec": spec, "site": "Los Angeles"}))
+        .unwrap();
+    assert_eq!(q1["kind"].as_str(), Some("result"));
+    assert_eq!(q1["cached"].as_bool(), Some(false));
+    assert_eq!(q1["hash"].as_str().map(str::len), Some(32), "MD5 content address");
+    assert!(q1["pgvh"].as_f64().unwrap() >= 0.0);
+    assert!(q1["pgv_max"].as_f64().unwrap() >= q1["pgvh"].as_f64().unwrap());
+
+    let q2 = client
+        .request(&serde_json::json!({"kind": "query", "spec": spec, "site": "Los Angeles"}))
+        .unwrap();
+    assert_eq!(q2["cached"].as_bool(), Some(true), "repeat query must hit the cache");
+    assert_eq!(q1["hash"], q2["hash"]);
+    assert_eq!(q1["pgvh"], q2["pgvh"], "cached answer must be the stored answer");
+    assert_eq!(engine.stats.cache_hits.load(Ordering::Relaxed), 1);
+
+    // hazard: the stored scenario shows up in the site's curve.
+    let hz = client
+        .request(&serde_json::json!({"kind": "hazard", "site": "Los Angeles"}))
+        .unwrap();
+    let curve = hz["curve"].as_array().unwrap();
+    assert_eq!(curve.len(), 1);
+    assert_eq!(curve[0]["hash"], q1["hash"]);
+    assert_eq!(curve[0]["pgvh"], q1["pgvh"]);
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn serve_works_over_unix_domain_sockets_and_unlinks() {
+    let root = tmp_root("uds");
+    let sock = std::env::temp_dir().join(format!("awp-serve-{}.sock", std::process::id()));
+    let engine = EnsembleEngine::open(&root, [2, 1, 1]).unwrap();
+    let addr = StatsAddr::Unix(sock.clone());
+    let server = ServeServer::serve(&addr, engine).unwrap();
+    let mut client = ServeClient::connect(&addr).unwrap();
+    let stats = client.request(&serde_json::json!({"kind": "stats"})).unwrap();
+    assert_eq!(stats["kind"].as_str(), Some("stats"));
+    drop(client);
+    server.stop();
+    assert!(!sock.exists(), "socket file unlinked on shutdown");
+    let _ = std::fs::remove_dir_all(&root);
+}

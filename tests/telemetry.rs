@@ -15,7 +15,7 @@ fn workflow_telemetry_end_to_end() {
     let dir = scratch_dir("wf-telemetry");
     let reg = Registry::new(4);
     let mut wf = E2EWorkflow::new(run, [2, 2, 1], &dir).with_telemetry(reg.clone());
-    wf.checkpoint_every = Some(8);
+    wf.session.checkpoint_every = Some(8);
     let rep = wf.execute().expect("workflow must complete");
     assert!(rep.archive_verified, "telemetry must not disturb the run itself");
 

@@ -62,8 +62,8 @@ fn output_aggregation_limits_transactions() {
     let run = sc.prepare();
     let steps = run.cfg.steps;
     let mut wf = E2EWorkflow::new(run, [1, 1, 1], &dir);
-    wf.output_decimate = 1;
-    wf.flush_every = steps; // a single aggregated flush
+    wf.session.output_decimate = 1;
+    wf.session.flush_every = steps; // a single aggregated flush
     let rep = wf.execute().unwrap();
     // One transaction per record is still issued at flush time, but they
     // all happen in one burst; the count equals the saved records.
@@ -84,7 +84,7 @@ fn ondemand_input_matches_prepartitioned() {
         let dir = scratch_dir(&format!("wf-in-{input:?}").replace([' ', '{', '}', ':'], ""));
         let run = sc.prepare();
         let mut wf = E2EWorkflow::new(run, [2, 2, 1], &dir);
-        wf.input = input;
+        wf.session.input = input;
         let rep = wf.execute().unwrap();
         assert!(rep.archive_verified);
         maps.push(rep.pgv);
@@ -107,8 +107,8 @@ fn checkpoint_restart_reproduces_clean_run() {
     let dir_b = scratch_dir("wf-failed");
     let run_b = sc.prepare();
     let mut wf = E2EWorkflow::new(run_b, [2, 1, 1], &dir_b);
-    wf.checkpoint_every = Some(4);
-    wf.fail_at_step = Some(steps * 3 / 5);
+    wf.session.checkpoint_every = Some(4);
+    wf.session.fail_at_step = Some(steps * 3 / 5);
     let rep_b = wf.execute().unwrap();
     assert!(rep_b.restarted, "restart pass must run");
     assert_eq!(rep_b.failed_at, Some(steps * 3 / 5));
@@ -134,11 +134,11 @@ fn archived_surface_file_reproduces_pgv() {
     let run = sc.prepare();
     let dims = run.cfg.dims;
     let mut wf = E2EWorkflow::new(run, [1, 1, 1], &dir);
-    wf.output_decimate = 1; // every step saved → file PGV == report PGV
+    wf.session.output_decimate = 1; // every step saved → file PGV == report PGV
     let rep = wf.execute().unwrap();
     let plan = OutputPlan {
         decimate: 1,
-        flush_every: wf.flush_every,
+        flush_every: wf.session.flush_every,
         rank_len: 3 * dims.nx * dims.ny,
         ranks: 1,
     };

@@ -64,6 +64,51 @@ impl Value {
         }
     }
 
+    /// Single-line form, for newline-delimited wire protocols (`Display`
+    /// stays indented for on-disk artifacts; real serde_json callers
+    /// would use `to_string()` — shim users needing one line use this).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{}", n));
+                }
+            }
+            Value::String(s) => out.push_str(&format!("{:?}", s)),
+            Value::Array(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{:?}:", k));
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_pretty(&self, out: &mut String, indent: usize) {
         let pad = "  ".repeat(indent);
         let pad1 = "  ".repeat(indent + 1);
